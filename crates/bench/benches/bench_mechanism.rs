@@ -1,0 +1,61 @@
+//! Mechanism-layer benchmarks: settlement cost per round, per-agent
+//! payment computation, and the full strategyproofness sweep used by E4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mechanism::payment::{self, PaymentInputs};
+use mechanism::verify::{default_factor_grid, strategyproofness_report};
+use mechanism::{Agent, Conduct, DlsLbl};
+use std::hint::black_box;
+use workloads::ChainConfig;
+
+fn setup(n: usize) -> (DlsLbl, Vec<Agent>) {
+    let cfg = ChainConfig { processors: n + 1, ..Default::default() };
+    let net = workloads::chain(&cfg, 42);
+    let parts = workloads::mechanism_parts(&net);
+    let mech = DlsLbl::new(parts.root_rate, parts.link_rates);
+    let agents = parts.true_rates.into_iter().map(Agent::new).collect();
+    (mech, agents)
+}
+
+fn settle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settle_round");
+    for &m in &[4usize, 16, 64, 256] {
+        let (mech, agents) = setup(m);
+        let conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &conducts, |b, conducts| {
+            b.iter(|| black_box(mech.settle(conducts, false)))
+        });
+    }
+    group.finish();
+}
+
+fn single_payment(c: &mut Criterion) {
+    let (mech, agents) = setup(16);
+    let (net, sol) = mech.allocate(&agents.iter().map(|a| a.true_rate).collect::<Vec<_>>());
+    let j = 8;
+    let inputs = PaymentInputs {
+        assigned_load: sol.alloc.alpha(j),
+        actual_load: sol.alloc.alpha(j),
+        actual_rate: net.w(j),
+    };
+    c.bench_function("payment_single_agent", |b| {
+        b.iter(|| black_box(payment::settle(&net, j, inputs, 0.0)))
+    });
+}
+
+fn sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategyproof_sweep");
+    group.sample_size(10);
+    let grid = default_factor_grid();
+    for &m in &[4usize, 16] {
+        let (mech, agents) = setup(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &agents, |b, agents| {
+            b.iter(|| black_box(strategyproofness_report(&mech, agents, &grid)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, settle, single_payment, sweep);
+criterion_main!(benches);

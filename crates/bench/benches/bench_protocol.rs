@@ -1,0 +1,69 @@
+//! Protocol-layer benchmarks: full four-phase runs (honest and deviant),
+//! the DES event engine's raw throughput, and the signature substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use protocol::{Deviation, Registry, Scenario};
+use sim::{Engine, SimTime};
+use std::hint::black_box;
+use workloads::ChainConfig;
+
+fn scenario(m: usize) -> Scenario {
+    let cfg = ChainConfig { processors: m + 1, ..Default::default() };
+    let net = workloads::chain(&cfg, 42);
+    let parts = workloads::mechanism_parts(&net);
+    Scenario::honest(parts.root_rate, parts.true_rates, parts.link_rates)
+}
+
+fn full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    group.sample_size(20);
+    for &m in &[4usize, 16, 64] {
+        let honest = scenario(m);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("honest", m), &honest, |b, s| {
+            b.iter(|| black_box(protocol::run(s)))
+        });
+        let deviant = scenario(m).with_deviation(2, Deviation::ShedLoad { keep_fraction: 0.5 });
+        group.bench_with_input(BenchmarkId::new("shed_load", m), &deviant, |b, s| {
+            b.iter(|| black_box(protocol::run(s)))
+        });
+    }
+    group.finish();
+}
+
+fn event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_engine");
+    for &events in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                for i in 0..n as u64 {
+                    // pseudo-random interleaving without rand in the hot loop
+                    let t = ((i.wrapping_mul(2654435761)) % 1_000_000) as f64;
+                    eng.schedule_at(SimTime::new(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = eng.next_event() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn signatures(c: &mut Criterion) {
+    let registry = Registry::new(16, 42);
+    let key = registry.keypair(3);
+    let payload = 0.123456789f64;
+    c.bench_function("dsm_sign", |b| b.iter(|| black_box(key.sign(&payload))));
+    let sig = key.sign(&payload);
+    c.bench_function("dsm_verify", |b| {
+        b.iter(|| black_box(registry.verify(3, &payload, sig)))
+    });
+}
+
+criterion_group!(benches, full_run, event_engine, signatures);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E9 — solver scaling benchmarks: Algorithm 1 (O(m)) vs the bisection
+//! oracle (O(m log 1/ε)) vs the exact-rational solver, plus the companion
+//! star/tree/interior solvers, across chain lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlt::baseline::{solve_bisection, BisectionParams};
+use dlt::exact::ExactChain;
+use dlt::interior::InteriorNetwork;
+use dlt::model::{StarNetwork, TreeNode};
+use dlt::{exact, interior, linear, star, tree};
+use std::hint::black_box;
+use workloads::ChainConfig;
+
+fn chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_solver");
+    for &n in &[4usize, 16, 64, 256, 1024] {
+        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let net = workloads::chain(&cfg, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &net, |b, net| {
+            b.iter(|| black_box(linear::solve(net)))
+        });
+        group.bench_with_input(BenchmarkId::new("bisection", n), &net, |b, net| {
+            b.iter(|| black_box(solve_bisection(net, BisectionParams::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("equivalent_only", n), &net, |b, net| {
+            b.iter(|| black_box(linear::equivalent_time(net)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    for &n in &[4usize, 8, 16] {
+        let w: Vec<i64> = (0..n as i64).map(|i| 10 + (i * 7) % 13).collect();
+        let z: Vec<i64> = (1..n as i64).map(|i| 1 + (i * 3) % 5).collect();
+        let chain = ExactChain::from_scaled_ints(&w, &z, 10);
+        group.bench_with_input(BenchmarkId::new("rational", n), &chain, |b, chain| {
+            b.iter(|| black_box(exact::chain::solve(chain)))
+        });
+    }
+    group.finish();
+}
+
+fn companions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("companion_solvers");
+    for &n in &[16usize, 256] {
+        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let net = workloads::chain(&cfg, 42);
+        let star_net = StarNetwork::from_rates(&net.rates_w(), &net.rates_z());
+        group.bench_with_input(BenchmarkId::new("star", n), &star_net, |b, s| {
+            b.iter(|| black_box(star::solve(s)))
+        });
+        let tree_net = TreeNode::from_chain(&net);
+        group.bench_with_input(BenchmarkId::new("tree_chain", n), &tree_net, |b, t| {
+            b.iter(|| black_box(tree::solve(t)))
+        });
+        let interior_net = InteriorNetwork::new(net.clone(), n / 2);
+        group.bench_with_input(BenchmarkId::new("interior", n), &interior_net, |b, i| {
+            b.iter(|| black_box(interior::solve(i)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chains, exact_solver, companions);
+criterion_main!(benches);

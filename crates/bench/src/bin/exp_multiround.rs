@@ -1,0 +1,78 @@
+//! E12 (extension) — multi-installment scheduling \[21\]: the
+//! makespan-vs-rounds U-curve.
+//!
+//! For chains with slow links, splitting the load into `k` installments
+//! lets far processors start (and therefore absorb load) earlier; a
+//! per-installment communication startup caps the useful `k`. The
+//! experiment prints the U-curve for several link speeds and startup
+//! costs, plus the load migration towards the tail.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin exp_multiround
+//! ```
+
+use bench::Table;
+use dlt::model::LinearNetwork;
+use dlt::multiround::{self, MultiRoundConfig};
+
+fn main() {
+    println!("E12: multi-installment scheduling — makespan vs rounds");
+    println!();
+
+    // U-curves across link speeds (6 homogeneous processors).
+    let startup = 0.02;
+    let mut t = Table::new(&["k", "z=0.1", "z=0.4", "z=0.8", "z=1.6"]);
+    let nets: Vec<LinearNetwork> = [0.1, 0.4, 0.8, 1.6]
+        .iter()
+        .map(|&z| LinearNetwork::homogeneous(6, 1.0, z))
+        .collect();
+    let sweeps: Vec<Vec<(usize, f64)>> =
+        nets.iter().map(|n| multiround::round_sweep(n, startup, 16)).collect();
+    for k in 1..=16usize {
+        t.row(vec![
+            k.to_string(),
+            format!("{:.5}", sweeps[0][k - 1].1),
+            format!("{:.5}", sweeps[1][k - 1].1),
+            format!("{:.5}", sweeps[2][k - 1].1),
+            format!("{:.5}", sweeps[3][k - 1].1),
+        ]);
+    }
+    t.print();
+    println!("(per-installment startup c = {startup})");
+    println!();
+
+    let mut t2 = Table::new(&["z", "best k", "k=1 makespan", "best makespan", "speedup"]);
+    for (net, z) in nets.iter().zip([0.1, 0.4, 0.8, 1.6]) {
+        let k1 = multiround::schedule(net, &MultiRoundConfig::new(1, startup)).makespan;
+        let (bk, bms) = multiround::best_rounds(net, startup, 16);
+        t2.row(vec![
+            format!("{z}"),
+            bk.to_string(),
+            format!("{k1:.5}"),
+            format!("{bms:.5}"),
+            format!("{:.3}×", k1 / bms),
+        ]);
+        assert!(bms <= k1 + 1e-12);
+    }
+    t2.print();
+    println!();
+
+    // Load migration to the tail.
+    let net = LinearNetwork::homogeneous(6, 1.0, 0.8);
+    let mut t3 = Table::new(&["k", "α_0 (root)", "α_5 (terminal)", "terminal share growth"]);
+    let base_tail = multiround::schedule(&net, &MultiRoundConfig::new(1, 0.0))
+        .total_alloc
+        .alpha(5);
+    for k in [1usize, 2, 4, 8, 16] {
+        let s = multiround::schedule(&net, &MultiRoundConfig::new(k, 0.0));
+        t3.row(vec![
+            k.to_string(),
+            format!("{:.5}", s.total_alloc.alpha(0)),
+            format!("{:.5}", s.total_alloc.alpha(5)),
+            format!("{:.2}×", s.total_alloc.alpha(5) / base_tail),
+        ]);
+    }
+    t3.print();
+    println!();
+    println!("PASS: E12 — pipelining pays on slow links, startup caps the round count");
+}

@@ -1,0 +1,152 @@
+//! # `bench` — experiment harness shared utilities
+//!
+//! Each experiment from DESIGN.md §4 is a binary in `src/bin/exp_*.rs`;
+//! this library holds the shared plumbing: aligned table printing, summary
+//! statistics, and a rayon-parallel map for wide sweeps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Parallel-array indexing is idiomatic throughout this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// A plain-text table printer with right-aligned columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with per-column widths.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Stats {
+    /// Compute statistics; panics on an empty sample.
+    pub fn of(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty());
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        Self {
+            n,
+            min: sample.iter().copied().fold(f64::INFINITY, f64::min),
+            max: sample.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Rayon-parallel map over seeds — the sweep driver used by the wide
+/// experiments (and ablated against its sequential twin in `bench_ablation`).
+pub fn par_sweep<T: Send>(
+    seeds: std::ops::Range<u64>,
+    f: impl Fn(u64) -> T + Sync + Send,
+) -> Vec<T> {
+    seeds.into_par_iter().map(f).collect()
+}
+
+/// Sequential twin of [`par_sweep`] for the ablation bench.
+pub fn seq_sweep<T>(seeds: std::ops::Range<u64>, f: impl Fn(u64) -> T) -> Vec<T> {
+    seeds.map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "2.25".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_row() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_and_seq_sweeps_agree() {
+        let p = par_sweep(0..32, |s| s * s);
+        let q = seq_sweep(0..32, |s| s * s);
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,270 @@
+//! Affine cost model: LINEAR BOUNDARY-**AFFINE**.
+//!
+//! The paper's naming scheme ("the word following the hyphen identifies the
+//! cost model") anticipates cost models beyond linear. The affine model
+//! adds fixed startup overheads — `s_i` to start computing at `P_i` and
+//! `c_j` to open a transfer on link `ℓ_j` — so
+//!
+//! * computing `α` units at `P_i` costs `s_i + α·w_i` (when `α > 0`),
+//! * shipping `D` units over `ℓ_j` costs `c_j + D·z_j` (when `D > 0`).
+//!
+//! The closed-form chain reduction no longer applies (startups break
+//! scale-invariance), but the bisection approach of [`crate::baseline`]
+//! generalizes: for a candidate common finish time `T`, force the
+//! allocation front-to-back, clamping processors that cannot contribute
+//! (`T` too small to cover their startup) to zero — which reproduces the
+//! known qualitative behavior that *under affine costs, far processors may
+//! be excluded from the optimal schedule* (unlike Theorem 2.1's
+//! all-participate result for the linear model).
+
+use crate::model::{Allocation, LinearNetwork, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// Startup overheads for the affine model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineOverheads {
+    /// Computation startup `s_i` per processor (`s.len() == n`).
+    pub compute: Vec<f64>,
+    /// Communication startup `c_j` per link (`c.len() == n − 1`).
+    pub comm: Vec<f64>,
+}
+
+impl AffineOverheads {
+    /// Uniform overheads across the chain.
+    pub fn uniform(n: usize, compute: f64, comm: f64) -> Self {
+        assert!(compute >= 0.0 && comm >= 0.0);
+        Self { compute: vec![compute; n], comm: vec![comm; n.saturating_sub(1)] }
+    }
+
+    /// Zero overheads (degenerates to the linear model).
+    pub fn zero(n: usize) -> Self {
+        Self::uniform(n, 0.0, 0.0)
+    }
+}
+
+/// Solution of the affine chain problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineSolution {
+    /// The allocation (may contain zeros: far processors can be priced out
+    /// by their startup costs).
+    pub alloc: Allocation,
+    /// The achieved makespan.
+    pub makespan: f64,
+    /// How many processors participate (`α_i > 0`).
+    pub participants: usize,
+    /// Bisection iterations used.
+    pub iterations: usize,
+}
+
+/// Finish times under the affine model for an arbitrary allocation.
+///
+/// `T_j = Σ_{k≤j, D_k>0}(c_k + D_k z_k) + s_j + α_j w_j` for `α_j > 0`,
+/// else 0 — the affine generalization of eqs. 2.1–2.2.
+pub fn finish_times(
+    net: &LinearNetwork,
+    overheads: &AffineOverheads,
+    alloc: &Allocation,
+) -> Vec<f64> {
+    let n = net.len();
+    assert_eq!(alloc.len(), n);
+    assert_eq!(overheads.compute.len(), n);
+    assert_eq!(overheads.comm.len(), n - 1);
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = 1.0;
+    let mut comm = 0.0;
+    for j in 0..n {
+        if j > 0 {
+            remaining -= alloc.alpha(j - 1);
+            if remaining > EPSILON {
+                comm += overheads.comm[j - 1] + remaining * net.z(j);
+            }
+        }
+        if alloc.alpha(j) > 0.0 {
+            out.push(comm + overheads.compute[j] + alloc.alpha(j) * net.w(j));
+        } else {
+            out.push(0.0);
+        }
+    }
+    out
+}
+
+/// Makespan under the affine model.
+pub fn makespan(net: &LinearNetwork, overheads: &AffineOverheads, alloc: &Allocation) -> f64 {
+    finish_times(net, overheads, alloc).into_iter().fold(0.0, f64::max)
+}
+
+/// Force the allocation for a candidate common finish time `T`: each
+/// processor takes as much as it can finish by `T` (zero if its startup
+/// alone exceeds the budget), front to back. Returns the allocation and
+/// the unassigned residual.
+fn force(net: &LinearNetwork, overheads: &AffineOverheads, t: f64) -> (Vec<f64>, f64) {
+    let n = net.len();
+    let mut alloc = Vec::with_capacity(n);
+    let mut assigned = 0.0;
+    let mut comm = 0.0;
+    for j in 0..n {
+        if j > 0 {
+            let d_j = 1.0 - assigned;
+            if d_j <= EPSILON {
+                // Nothing (or less than nothing — `t` over-assigned) is
+                // left to ship; the tail is excluded.
+                alloc.push(0.0);
+                continue;
+            }
+            comm += overheads.comm[j - 1] + d_j * net.z(j);
+        }
+        let budget = t - comm - overheads.compute[j];
+        // No upper clamp: over-assignment makes the residual negative,
+        // which is exactly the bisection's "t too large" signal.
+        let a = (budget / net.w(j)).max(0.0);
+        alloc.push(a);
+        assigned += a;
+    }
+    (alloc, 1.0 - assigned)
+}
+
+/// Solve the affine chain problem by bisection on the common finish time.
+///
+/// With startups, the optimum no longer equalizes *all* finish times —
+/// only those of participating processors; excluded processors finish at 0.
+pub fn solve(net: &LinearNetwork, overheads: &AffineOverheads) -> AffineSolution {
+    let n = net.len();
+    assert_eq!(overheads.compute.len(), n);
+    assert_eq!(overheads.comm.len(), n - 1);
+    let mut lo = 0.0;
+    // Upper bound: the root alone computes everything.
+    let mut hi = overheads.compute[0] + net.w(0);
+    let mut iterations = 0;
+    while iterations < 200 {
+        let mid = 0.5 * (lo + hi);
+        let (_, residual) = force(net, overheads, mid);
+        if residual.abs() <= 1e-13 || (hi - lo) < f64::EPSILON * hi.max(1.0) {
+            lo = mid;
+            hi = mid;
+            iterations += 1;
+            break;
+        }
+        if residual > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        iterations += 1;
+    }
+    let t = 0.5 * (lo + hi);
+    let (mut alloc, residual) = force(net, overheads, t);
+    // Absorb the tiny residual into the last participating processor.
+    if let Some(last) = alloc.iter().rposition(|&a| a > 0.0) {
+        alloc[last] += residual;
+    }
+    let participants = alloc.iter().filter(|&&a| a > EPSILON).count();
+    let allocation = Allocation::new(alloc);
+    AffineSolution { makespan: t, alloc: allocation, participants, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear;
+
+    fn net() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn zero_overheads_reduce_to_linear_model() {
+        let net = net();
+        let sol = solve(&net, &AffineOverheads::zero(net.len()));
+        let lin = linear::solve(&net);
+        assert!((sol.makespan - lin.makespan()).abs() < 1e-9);
+        for i in 0..net.len() {
+            assert!((sol.alloc.alpha(i) - lin.alloc.alpha(i)).abs() < 1e-7, "α_{i}");
+        }
+        assert_eq!(sol.participants, net.len());
+    }
+
+    #[test]
+    fn overheads_increase_makespan() {
+        let net = net();
+        let free = solve(&net, &AffineOverheads::zero(net.len())).makespan;
+        let costly = solve(&net, &AffineOverheads::uniform(net.len(), 0.05, 0.05)).makespan;
+        assert!(costly > free);
+    }
+
+    #[test]
+    fn huge_comm_startup_excludes_far_processors() {
+        let net = net();
+        let overheads = AffineOverheads::uniform(net.len(), 0.0, 10.0);
+        let sol = solve(&net, &overheads);
+        assert_eq!(sol.participants, 1, "only the root should work");
+        assert!((sol.alloc.alpha(0) - 1.0).abs() < 1e-9);
+        assert!((sol.makespan - 1.0).abs() < 1e-9, "root alone takes w_0 = 1");
+    }
+
+    #[test]
+    fn moderate_startup_partial_participation() {
+        // Tune the startup so that some but not all processors are priced
+        // out.
+        let chain = LinearNetwork::from_rates(&[1.0, 1.0, 1.0, 1.0], &[0.5, 0.5, 0.5]);
+        let mut excluded_seen = false;
+        for c in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let sol = solve(&chain, &AffineOverheads::uniform(4, 0.0, c));
+            if sol.participants > 1 && sol.participants < 4 {
+                excluded_seen = true;
+            }
+        }
+        assert!(excluded_seen, "some startup level should exclude only the tail");
+    }
+
+    #[test]
+    fn participating_processors_finish_together() {
+        let net = net();
+        let overheads = AffineOverheads::uniform(net.len(), 0.02, 0.03);
+        let sol = solve(&net, &overheads);
+        let times = finish_times(&net, &overheads, &sol.alloc);
+        for (i, &t) in times.iter().enumerate() {
+            if sol.alloc.alpha(i) > EPSILON {
+                assert!((t - sol.makespan).abs() < 1e-7, "P{i}: {t} vs {}", sol.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_feasible() {
+        let net = net();
+        let sol = solve(&net, &AffineOverheads::uniform(net.len(), 0.1, 0.1));
+        sol.alloc.validate().unwrap();
+    }
+
+    #[test]
+    fn compute_startup_shifts_load_to_root() {
+        let chain = LinearNetwork::from_rates(&[1.0, 1.0], &[0.1]);
+        let free = solve(&chain, &AffineOverheads::zero(2));
+        let mut oh = AffineOverheads::zero(2);
+        oh.compute[1] = 0.2; // only the helper pays a startup
+        let costly = solve(&chain, &oh);
+        assert!(costly.alloc.alpha(0) > free.alloc.alpha(0));
+    }
+
+    #[test]
+    fn finish_times_skip_empty_transfers() {
+        // When nothing is forwarded, no communication startup is paid.
+        let chain = LinearNetwork::from_rates(&[1.0, 1.0], &[0.1]);
+        let oh = AffineOverheads::uniform(2, 0.0, 5.0);
+        let alloc = Allocation::new(vec![1.0, 0.0]);
+        let times = finish_times(&chain, &oh, &alloc);
+        assert_eq!(times[0], 1.0);
+        assert_eq!(times[1], 0.0);
+    }
+
+    #[test]
+    fn monotone_in_overheads() {
+        let net = net();
+        let mut prev = 0.0;
+        for c in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            let ms = solve(&net, &AffineOverheads::uniform(net.len(), c, c)).makespan;
+            assert!(ms >= prev - 1e-12, "makespan must grow with overheads");
+            prev = ms;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Independent baseline solver for LINEAR BOUNDARY-LINEAR, used as an
+//! oracle against Algorithm 1.
+//!
+//! Instead of the chain reduction, this solver bisects on the common finish
+//! time `T`. Given a candidate `T`, the allocation is forced front-to-back:
+//!
+//! * `α_0 = T / w_0` (from `T_0 = α_0 w_0`),
+//! * for `j ≥ 1`: `T_j = Σ_{k≤j} D_k z_k + α_j w_j = T` fixes
+//!   `α_j = (T − Σ_{k≤j} D_k z_k) / w_j`, where `D_k` follows from the
+//!   already-fixed `α_0 … α_{k-1}`.
+//!
+//! The residual load `g(T) = 1 − Σ α_j(T)` is strictly decreasing in `T`, so
+//! the unique root (the optimal makespan, by Theorem 2.1) is found by
+//! bisection. This is O(m log(range/tol)) versus Algorithm 1's O(m), which
+//! the ablation bench quantifies — but the real value is that it shares *no
+//! code or algebra* with the reduction solver.
+
+use crate::model::{Allocation, LinearNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating a candidate makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The forced allocation (may be infeasible: negative entries or not
+    /// summing to one).
+    pub alloc: Vec<f64>,
+    /// Residual load `1 − Σ α_j`; positive means `T` is too small.
+    pub residual: f64,
+}
+
+/// Force the front-to-back allocation for a candidate common finish time.
+pub fn force_allocation(net: &LinearNetwork, t: f64) -> Candidate {
+    let m = net.last_index();
+    let mut alloc = Vec::with_capacity(m + 1);
+    let mut assigned = 0.0;
+    let mut comm = 0.0;
+    alloc.push(t / net.w(0));
+    assigned += alloc[0];
+    for j in 1..=m {
+        let d_j = 1.0 - assigned; // load crossing link ℓ_j
+        comm += d_j * net.z(j);
+        let a = (t - comm) / net.w(j);
+        alloc.push(a);
+        assigned += a;
+    }
+    Candidate { alloc, residual: 1.0 - assigned }
+}
+
+/// Parameters for the bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BisectionParams {
+    /// Absolute tolerance on the residual load.
+    pub tolerance: f64,
+    /// Maximum number of bisection iterations.
+    pub max_iters: usize,
+}
+
+impl Default for BisectionParams {
+    fn default() -> Self {
+        Self { tolerance: 1e-13, max_iters: 200 }
+    }
+}
+
+/// Result of the bisection solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BisectionSolution {
+    /// The optimal allocation.
+    pub alloc: Allocation,
+    /// The optimal makespan.
+    pub makespan: f64,
+    /// Number of iterations used.
+    pub iterations: usize,
+}
+
+/// Solve the chain problem by bisection on the common finish time.
+pub fn solve_bisection(net: &LinearNetwork, params: BisectionParams) -> BisectionSolution {
+    // Lower bound: zero. Upper bound: the root computing everything alone.
+    let mut lo = 0.0;
+    let mut hi = net.w(0);
+    debug_assert!(force_allocation(net, hi).residual <= 0.0);
+    let mut iterations = 0;
+    while iterations < params.max_iters {
+        let mid = 0.5 * (lo + hi);
+        let cand = force_allocation(net, mid);
+        if cand.residual.abs() <= params.tolerance || (hi - lo) < f64::EPSILON * hi.max(1.0) {
+            lo = mid;
+            hi = mid;
+            iterations += 1;
+            break;
+        }
+        if cand.residual > 0.0 {
+            lo = mid; // T too small: load left over
+        } else {
+            hi = mid; // T too large: over-assigned
+        }
+        iterations += 1;
+    }
+    let t = 0.5 * (lo + hi);
+    let mut cand = force_allocation(net, t);
+    // Absorb the (tiny) residual into the terminal processor so the output
+    // sums to exactly one.
+    let m = net.last_index();
+    cand.alloc[m] += cand.residual;
+    BisectionSolution { alloc: Allocation::new(cand.alloc), makespan: t, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear;
+    use crate::timing::participation_spread;
+
+    #[test]
+    fn residual_decreases_in_t() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        let r1 = force_allocation(&net, 0.1).residual;
+        let r2 = force_allocation(&net, 0.5).residual;
+        let r3 = force_allocation(&net, 0.9).residual;
+        assert!(r1 > r2 && r2 > r3);
+    }
+
+    #[test]
+    fn bisection_matches_algorithm_1_two_proc() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let b = solve_bisection(&net, BisectionParams::default());
+        let a = linear::solve(&net);
+        assert!((b.makespan - a.makespan()).abs() < 1e-10);
+        for i in 0..2 {
+            assert!((b.alloc.alpha(i) - a.alloc.alpha(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bisection_matches_algorithm_1_heterogeneous() {
+        let net = LinearNetwork::from_rates(&[0.8, 2.5, 1.1, 3.7, 0.4], &[0.12, 0.45, 0.08, 0.33]);
+        let b = solve_bisection(&net, BisectionParams::default());
+        let a = linear::solve(&net);
+        assert!(
+            (b.makespan - a.makespan()).abs() < 1e-9,
+            "bisection {} vs reduction {}",
+            b.makespan,
+            a.makespan()
+        );
+        for i in 0..net.len() {
+            assert!((b.alloc.alpha(i) - a.alloc.alpha(i)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bisection_output_is_feasible_and_balanced() {
+        let net = LinearNetwork::from_rates(&[1.5, 0.9, 2.1], &[0.2, 0.3]);
+        let b = solve_bisection(&net, BisectionParams::default());
+        b.alloc.validate().unwrap();
+        assert!(participation_spread(&net, &b.alloc) < 1e-8);
+    }
+
+    #[test]
+    fn bisection_single_processor() {
+        let net = LinearNetwork::homogeneous(1, 4.0, 0.0);
+        let b = solve_bisection(&net, BisectionParams::default());
+        assert!((b.makespan - 4.0).abs() < 1e-10);
+        assert!((b.alloc.alpha(0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisection_converges_within_budget() {
+        let net = LinearNetwork::homogeneous(50, 1.0, 0.05);
+        let b = solve_bisection(&net, BisectionParams::default());
+        assert!(b.iterations <= BisectionParams::default().max_iters);
+        b.alloc.validate().unwrap();
+    }
+}

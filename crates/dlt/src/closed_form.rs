@@ -1,0 +1,167 @@
+//! Hand-derived closed forms used as independent cross-checks on the
+//! recursive solver.
+//!
+//! * Fully expanded polynomial formulas for the optimal allocation on 2- and
+//!   3-processor chains (derived by eliminating the recursion of eq. 2.7 by
+//!   hand — they share no code path with [`crate::linear::solve`]).
+//! * The fixed point of the homogeneous reduction map: for an infinitely
+//!   long chain with uniform rates `(w, z)`, the equivalent time satisfies
+//!   `w̄ = w(w̄+z)/(w+w̄+z)`, i.e. `w̄² + z·w̄ − w·z = 0`, giving
+//!   `w̄* = (−z + √(z² + 4wz)) / 2`.
+
+use crate::model::Allocation;
+use serde::{Deserialize, Serialize};
+
+/// Optimal allocation of a 2-processor chain `(w0) --z1-- (w1)`:
+/// `α_0 = (w1 + z1) / (w0 + w1 + z1)`.
+pub fn two_processor(w0: f64, w1: f64, z1: f64) -> Allocation {
+    let denom = w0 + w1 + z1;
+    Allocation::new(vec![(w1 + z1) / denom, w0 / denom])
+}
+
+/// Optimal makespan of the 2-processor chain: `w0 (w1 + z1) / (w0+w1+z1)`.
+pub fn two_processor_makespan(w0: f64, w1: f64, z1: f64) -> f64 {
+    w0 * (w1 + z1) / (w0 + w1 + z1)
+}
+
+/// Optimal allocation of a 3-processor chain, fully expanded:
+///
+/// ```text
+/// N  = w1·w2 + w1·z2 + z1·(w1 + w2 + z2)
+/// D  = w0·(w1 + w2 + z2) + N
+/// α0 = N / D
+/// ```
+/// and the tail splits the remainder `1 − α0` in the ratio
+/// `(w2 + z2) : w1` (the 2-processor rule applied to `P_1, P_2`).
+pub fn three_processor(w0: f64, w1: f64, w2: f64, z1: f64, z2: f64) -> Allocation {
+    let t1 = w2 + z2;
+    let n = w1 * t1 + z1 * (w1 + t1);
+    let d = w0 * (w1 + t1) + n;
+    let a0 = n / d;
+    let rest = 1.0 - a0;
+    let a1 = rest * t1 / (w1 + t1);
+    let a2 = rest * w1 / (w1 + t1);
+    Allocation::new(vec![a0, a1, a2])
+}
+
+/// The fixed point `w̄*` of the homogeneous reduction map: the equivalent
+/// unit processing time of an arbitrarily long uniform chain with processor
+/// rate `w` and link rate `z`.
+///
+/// For `z = 0` the map has fixed point 0 (infinitely many free helpers
+/// absorb everything).
+pub fn homogeneous_fixed_point(w: f64, z: f64) -> f64 {
+    assert!(w > 0.0 && z >= 0.0);
+    0.5 * (-z + (z * z + 4.0 * w * z).sqrt())
+}
+
+/// Saturation profile of a homogeneous chain: equivalent time of the
+/// `n`-processor uniform chain for `n = 1 ..= max_n`. Decreases
+/// monotonically towards [`homogeneous_fixed_point`]; used by the E10
+/// experiment to show where adding processors stops paying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationProfile {
+    /// Processor rate `w`.
+    pub w: f64,
+    /// Link rate `z`.
+    pub z: f64,
+    /// `profile[k]` is the equivalent time of the `(k+1)`-processor chain.
+    pub profile: Vec<f64>,
+    /// The infinite-chain limit.
+    pub fixed_point: f64,
+}
+
+/// Compute the saturation profile up to `max_n` processors.
+pub fn saturation_profile(w: f64, z: f64, max_n: usize) -> SaturationProfile {
+    assert!(max_n >= 1);
+    let mut profile = Vec::with_capacity(max_n);
+    let mut w_bar = w; // single processor
+    profile.push(w_bar);
+    for _ in 1..max_n {
+        // prepend one more processor at the head of the chain
+        let tail = w_bar + z;
+        w_bar = w * tail / (w + tail);
+        profile.push(w_bar);
+    }
+    SaturationProfile { w, z, profile, fixed_point: homogeneous_fixed_point(w, z) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear;
+    use crate::model::LinearNetwork;
+
+    #[test]
+    fn two_processor_matches_solver() {
+        for (w0, w1, z1) in [(1.0, 1.0, 1.0), (2.0, 0.5, 0.1), (0.3, 4.0, 2.0)] {
+            let cf = two_processor(w0, w1, z1);
+            let sol = linear::solve(&LinearNetwork::from_rates(&[w0, w1], &[z1]));
+            assert!((cf.alpha(0) - sol.alloc.alpha(0)).abs() < 1e-14);
+            assert!((cf.alpha(1) - sol.alloc.alpha(1)).abs() < 1e-14);
+            assert!((two_processor_makespan(w0, w1, z1) - sol.makespan()).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn three_processor_matches_solver() {
+        for (w0, w1, w2, z1, z2) in [
+            (1.0, 1.0, 1.0, 1.0, 1.0),
+            (2.0, 0.5, 1.5, 0.1, 0.4),
+            (0.7, 3.0, 0.2, 0.9, 0.05),
+        ] {
+            let cf = three_processor(w0, w1, w2, z1, z2);
+            let sol = linear::solve(&LinearNetwork::from_rates(&[w0, w1, w2], &[z1, z2]));
+            for i in 0..3 {
+                assert!(
+                    (cf.alpha(i) - sol.alloc.alpha(i)).abs() < 1e-13,
+                    "α_{i}: {} vs {}",
+                    cf.alpha(i),
+                    sol.alloc.alpha(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_satisfies_reduction_equation() {
+        for (w, z) in [(1.0, 1.0), (2.0, 0.3), (0.5, 5.0)] {
+            let fp = homogeneous_fixed_point(w, z);
+            let mapped = w * (fp + z) / (w + fp + z);
+            assert!((fp - mapped).abs() < 1e-12, "w={w} z={z}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_zero_link_is_zero() {
+        assert_eq!(homogeneous_fixed_point(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn long_chain_converges_to_fixed_point() {
+        let w = 1.0;
+        let z = 0.25;
+        let fp = homogeneous_fixed_point(w, z);
+        let net = LinearNetwork::homogeneous(400, w, z);
+        let eq = linear::equivalent_time(&net);
+        assert!((eq - fp).abs() < 1e-9, "chain eq {eq} vs fixed point {fp}");
+    }
+
+    #[test]
+    fn saturation_profile_is_monotone_decreasing() {
+        let prof = saturation_profile(1.0, 0.2, 50);
+        for pair in prof.profile.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-15);
+        }
+        assert!(*prof.profile.last().unwrap() >= prof.fixed_point - 1e-12);
+    }
+
+    #[test]
+    fn saturation_profile_matches_solver_at_each_length() {
+        let prof = saturation_profile(1.3, 0.4, 12);
+        for (k, &v) in prof.profile.iter().enumerate() {
+            let net = LinearNetwork::homogeneous(k + 1, 1.3, 0.4);
+            assert!((linear::equivalent_time(&net) - v).abs() < 1e-12, "n={}", k + 1);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! A small arbitrary-precision integer, implemented from scratch so the
+//! exact rational solver carries no external dependency.
+//!
+//! Representation: little-endian `u32` limbs with no trailing zero limbs
+//! (canonical form); zero is the empty limb vector. Arithmetic is
+//! schoolbook — the chain reduction on networks of interest (m ≤ a few
+//! hundred) never produces numbers where asymptotics matter.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Unsigned arbitrary-precision integer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs; canonical (no trailing zeros).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = Vec::new();
+        if v != 0 {
+            limbs.push(v as u32);
+            let hi = (v >> 32) as u32;
+            if hi != 0 {
+                limbs.push(hi);
+            }
+        }
+        Self { limbs }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(mut v: u128) -> Self {
+        let mut limbs = Vec::new();
+        while v != 0 {
+            limbs.push(v as u32);
+            v >>= 32;
+        }
+        Self { limbs }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 32 * (self.limbs.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn normalize(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        Self::normalize(out)
+    }
+
+    /// Subtraction; panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_mag(other) != Ordering::Less, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::normalize(out)
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = n / 32;
+        let bit_shift = n % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> Self {
+        let limb_shift = n / 32;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = n % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (32 - bit_shift)));
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// Division with remainder via binary long division. Panics on division
+    /// by zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient = Self::zero();
+        let mut d = divisor.shl(shift);
+        for s in (0..=shift).rev() {
+            if remainder.cmp_mag(&d) != Ordering::Less {
+                remainder = remainder.sub(&d);
+                quotient = quotient.add(&Self::one().shl(s));
+            }
+            d = d.shr(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Greatest common divisor (Euclid's algorithm on top of `div_rem`).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest via the top 53+ bits).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        v
+    }
+
+    /// Decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let ten = Self::from_u64(10);
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(&ten);
+            digits.push(char::from(b'0' + r.limbs.first().copied().unwrap_or(0) as u8));
+            v = q;
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Negative value.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Positive value.
+    Positive,
+}
+
+/// Signed arbitrary-precision integer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Construct from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => Self { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
+            Ordering::Less => {
+                Self { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
+            }
+        }
+    }
+
+    /// Construct from a magnitude and an explicit sign (normalized if the
+    /// magnitude is zero).
+    pub fn from_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with zero sign");
+            Self { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// True if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        match self.sign {
+            Sign::Zero => Self::zero(),
+            Sign::Positive => Self { sign: Sign::Negative, mag: self.mag.clone() },
+            Sign::Negative => Self { sign: Sign::Positive, mag: self.mag.clone() },
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Self { sign: a, mag: self.mag.add(&other.mag) },
+            _ => match self.mag.cmp_mag(&other.mag) {
+                Ordering::Equal => Self::zero(),
+                Ordering::Greater => Self { sign: self.sign, mag: self.mag.sub(&other.mag) },
+                Ordering::Less => Self { sign: other.sign, mag: other.mag.sub(&self.mag) },
+            },
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        Self { sign, mag: self.mag.mul(&other.mag) }
+    }
+
+    /// Comparison.
+    pub fn cmp_val(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => other.mag.cmp_mag(&self.mag),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.mag.cmp_mag(&other.mag),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        match self.sign {
+            Sign::Zero => 0.0,
+            Sign::Positive => self.mag.to_f64(),
+            Sign::Negative => -self.mag.to_f64(),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(big(0), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u32::MAX as u64);
+        let b = big(1);
+        assert_eq!(a.add(&b), big(1u64 << 32));
+    }
+
+    #[test]
+    fn add_is_commutative() {
+        let a = BigUint::from_u128(0xDEAD_BEEF_CAFE_BABE_1234_5678u128);
+        let b = big(987_654_321);
+        assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn sub_round_trip() {
+        let a = BigUint::from_u128(1u128 << 100);
+        let b = big(12345);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xFFFF_FFFF_FFFFu64;
+        let b = 0x1234_5678u64;
+        let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        assert_eq!(prod, BigUint::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn mul_by_zero() {
+        let a = BigUint::from_u128(u128::MAX);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let a = BigUint::from_u128(0x1234_5678_9ABC_DEF0_1111u128);
+        for n in [1usize, 7, 31, 32, 33, 64, 100] {
+            assert_eq!(a.shl(n).shr(n), a, "shift {n}");
+        }
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!(q, big(14));
+        assert_eq!(r, big(2));
+    }
+
+    #[test]
+    fn div_rem_large_matches_reconstruction() {
+        let a = BigUint::from_u128(0xFEDC_BA98_7654_3210_0123_4567_89AB_CDEFu128);
+        let b = BigUint::from_u64(0xDEAD_BEEF);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_mag(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_by_larger_gives_zero() {
+        let (q, r) = big(3).div_rem(&big(10));
+        assert!(q.is_zero());
+        assert_eq!(r, big(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+    }
+
+    #[test]
+    fn gcd_large() {
+        let a = BigUint::from_u128(2u128.pow(80) * 3 * 7);
+        let b = BigUint::from_u128(2u128.pow(75) * 7 * 11);
+        assert_eq!(a.gcd(&b), BigUint::from_u128(2u128.pow(75) * 7));
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(big(0).to_decimal(), "0");
+        assert_eq!(big(42).to_decimal(), "42");
+        assert_eq!(
+            BigUint::from_u128(123_456_789_012_345_678_901_234_567_890u128).to_decimal(),
+            "123456789012345678901234567890"
+        );
+    }
+
+    #[test]
+    fn to_f64_roundtrip_for_exact_values() {
+        assert_eq!(big(1u64 << 52).to_f64(), (1u64 << 52) as f64);
+        assert_eq!(BigUint::from_u128(1u128 << 100).to_f64(), 2f64.powi(100));
+    }
+
+    #[test]
+    fn bigint_signs() {
+        let pos = BigInt::from_i64(5);
+        let neg = BigInt::from_i64(-5);
+        assert_eq!(pos.add(&neg), BigInt::zero());
+        assert_eq!(pos.sub(&neg), BigInt::from_i64(10));
+        assert_eq!(neg.mul(&neg), BigInt::from_i64(25));
+        assert_eq!(pos.mul(&neg), BigInt::from_i64(-25));
+        assert_eq!(BigInt::from_i64(i64::MIN).to_f64(), i64::MIN as f64);
+    }
+
+    #[test]
+    fn bigint_ordering() {
+        let vals: Vec<BigInt> = [-3i64, -1, 0, 2, 7].iter().map(|&v| BigInt::from_i64(v)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bigint_display() {
+        assert_eq!(BigInt::from_i64(-42).to_string(), "-42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+}

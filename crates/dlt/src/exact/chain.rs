@@ -1,0 +1,202 @@
+//! Exact-rational version of the LINEAR BOUNDARY-LINEAR solver.
+//!
+//! Runs Algorithm 1 verbatim over [`Rational`] arithmetic, so the
+//! equal-finish-time invariant of Theorem 2.1 can be asserted as an exact
+//! identity rather than within floating-point tolerance, and the f64 solver
+//! can be validated against ground truth.
+
+use super::rational::Rational;
+use crate::model::LinearNetwork;
+
+/// A chain whose rates are exact rationals. `w.len() == z.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactChain {
+    /// Unit processing times (all strictly positive).
+    pub w: Vec<Rational>,
+    /// Unit link times (`z[j]` joins `P_j` to `P_{j+1}`; non-negative).
+    pub z: Vec<Rational>,
+}
+
+impl ExactChain {
+    /// Build from rational rates.
+    pub fn new(w: Vec<Rational>, z: Vec<Rational>) -> Self {
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), z.len() + 1);
+        assert!(w.iter().all(Rational::is_positive), "processor rates must be positive");
+        assert!(z.iter().all(|v| !v.is_negative()), "link rates must be non-negative");
+        Self { w, z }
+    }
+
+    /// Build from integer-valued rates scaled by `denom` (e.g. rates given
+    /// in thousandths pass `denom = 1000`).
+    pub fn from_scaled_ints(w: &[i64], z: &[i64], denom: u64) -> Self {
+        Self::new(
+            w.iter().map(|&v| Rational::from_ratio(v, denom)).collect(),
+            z.iter().map(|&v| Rational::from_ratio(v, denom)).collect(),
+        )
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if the chain is a single processor.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lossy conversion to the f64 network model.
+    pub fn to_f64_network(&self) -> LinearNetwork {
+        LinearNetwork::from_rates(
+            &self.w.iter().map(Rational::to_f64).collect::<Vec<_>>(),
+            &self.z.iter().map(Rational::to_f64).collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Exact solution of the chain problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSolution {
+    /// Local fractions `α̂` (exact).
+    pub local: Vec<Rational>,
+    /// Global fractions `α` (exact; sums to exactly 1).
+    pub alloc: Vec<Rational>,
+    /// Equivalent times `w̄_i` (exact).
+    pub equivalent: Vec<Rational>,
+}
+
+impl ExactSolution {
+    /// The optimal makespan `w̄_0`.
+    pub fn makespan(&self) -> &Rational {
+        &self.equivalent[0]
+    }
+}
+
+/// Algorithm 1 over exact rationals.
+pub fn solve(chain: &ExactChain) -> ExactSolution {
+    let m = chain.len() - 1;
+    let one = Rational::one;
+    let mut local = vec![Rational::zero(); m + 1];
+    let mut equivalent = vec![Rational::zero(); m + 1];
+    local[m] = one();
+    equivalent[m] = chain.w[m].clone();
+    for i in (0..m).rev() {
+        let tail = equivalent[i + 1].clone() + chain.z[i].clone();
+        local[i] = tail.clone() / (chain.w[i].clone() + tail);
+        equivalent[i] = local[i].clone() * chain.w[i].clone();
+    }
+    // eqs. 2.5–2.6
+    let mut alloc = Vec::with_capacity(m + 1);
+    let mut carried = one();
+    for ah in &local {
+        alloc.push(carried.clone() * ah.clone());
+        carried = carried * (one() - ah.clone());
+    }
+    ExactSolution { local, alloc, equivalent }
+}
+
+/// Exact finish time of processor `i` per eqs. 2.1–2.2.
+pub fn finish_time(chain: &ExactChain, alloc: &[Rational], i: usize) -> Rational {
+    if i == 0 {
+        return alloc[0].clone() * chain.w[0].clone();
+    }
+    if alloc[i].is_zero() {
+        return Rational::zero();
+    }
+    let mut remaining = Rational::one();
+    let mut comm = Rational::zero();
+    for k in 1..=i {
+        remaining = remaining - alloc[k - 1].clone();
+        comm = comm + remaining.clone() * chain.z[k - 1].clone();
+    }
+    comm + alloc[i].clone() * chain.w[i].clone()
+}
+
+/// Exact verification of Theorem 2.1: all finish times are *identical*
+/// rationals equal to `w̄_0`.
+pub fn verify_equal_finish(chain: &ExactChain, sol: &ExactSolution) -> bool {
+    let target = sol.makespan();
+    (0..chain.len()).all(|i| finish_time(chain, &sol.alloc, i) == *target)
+}
+
+/// Exact verification that the fractions sum to one.
+pub fn verify_total(sol: &ExactSolution) -> bool {
+    let mut acc = Rational::zero();
+    for a in &sol.alloc {
+        acc = acc + a.clone();
+    }
+    acc == Rational::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear;
+
+    fn r(n: i64, d: u64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn two_homogeneous_exact() {
+        let chain = ExactChain::from_scaled_ints(&[1, 1], &[1], 1);
+        let sol = solve(&chain);
+        assert_eq!(sol.alloc[0], r(2, 3));
+        assert_eq!(sol.alloc[1], r(1, 3));
+        assert_eq!(*sol.makespan(), r(2, 3));
+    }
+
+    #[test]
+    fn theorem_2_1_holds_exactly() {
+        let chain = ExactChain::from_scaled_ints(&[7, 13, 3, 21, 9], &[2, 5, 1, 8], 10);
+        let sol = solve(&chain);
+        assert!(verify_equal_finish(&chain, &sol));
+        assert!(verify_total(&sol));
+    }
+
+    #[test]
+    fn exact_matches_f64_solver() {
+        let chain = ExactChain::from_scaled_ints(&[12, 25, 5, 37], &[2, 1, 7], 10);
+        let exact = solve(&chain);
+        let f64net = chain.to_f64_network();
+        let approx = linear::solve(&f64net);
+        for i in 0..chain.len() {
+            let e = exact.alloc[i].to_f64();
+            let a = approx.alloc.alpha(i);
+            assert!((e - a).abs() < 1e-12, "α_{i}: exact {e} vs f64 {a}");
+        }
+        assert!((exact.makespan().to_f64() - approx.makespan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_chain_stays_exact() {
+        // 24 processors: denominators blow up but invariants must hold
+        // exactly — this is the whole point of the bigint substrate.
+        let w: Vec<i64> = (1..=24).map(|i| 10 + (i * 7) % 13).collect();
+        let z: Vec<i64> = (1..24).map(|i| 1 + (i * 3) % 5).collect();
+        let chain = ExactChain::from_scaled_ints(&w, &z, 10);
+        let sol = solve(&chain);
+        assert!(verify_equal_finish(&chain, &sol));
+        assert!(verify_total(&sol));
+        assert!(sol.alloc.iter().all(Rational::is_positive));
+    }
+
+    #[test]
+    fn zero_link_exact() {
+        let chain = ExactChain::new(vec![r(1, 1), r(3, 1)], vec![Rational::zero()]);
+        let sol = solve(&chain);
+        assert_eq!(sol.alloc[0], r(3, 4));
+        assert_eq!(sol.alloc[1], r(1, 4));
+    }
+
+    #[test]
+    fn equivalent_monotone_under_prefix() {
+        // w̄_i ≤ w_i exactly.
+        let chain = ExactChain::from_scaled_ints(&[9, 14, 4, 30], &[3, 2, 6], 10);
+        let sol = solve(&chain);
+        for i in 0..chain.len() {
+            assert!(sol.equivalent[i] <= chain.w[i]);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Exact arithmetic substrate: an arbitrary-precision integer, a rational
+//! type built on it, and an exact-rational version of the chain solver used
+//! to validate the `f64` implementation.
+
+pub mod bigint;
+pub mod chain;
+pub mod rational;
+pub mod star;
+
+pub use bigint::{BigInt, BigUint, Sign};
+pub use chain::{ExactChain, ExactSolution};
+pub use rational::Rational;
+pub use star::{ExactStar, ExactStarSolution};

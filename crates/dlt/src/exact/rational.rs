@@ -1,0 +1,279 @@
+//! Exact rational arithmetic on top of [`BigInt`]/[`BigUint`], with operator
+//! overloads for readable solver code.
+
+use super::bigint::{BigInt, BigUint, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` in lowest terms with `den > 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// From an integer.
+    pub fn from_int(v: i64) -> Self {
+        Self { num: BigInt::from_i64(v), den: BigUint::one() }
+    }
+
+    /// From a ratio of integers. Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: u64) -> Self {
+        assert!(den != 0, "zero denominator");
+        Self::normalized(BigInt::from_i64(num), BigUint::from_u64(den))
+    }
+
+    /// From big parts. Panics if `den` is zero.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        Self::normalized(num, den)
+    }
+
+    fn normalized(num: BigInt, den: BigUint) -> Self {
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            return Self { num, den };
+        }
+        let (nm, _) = num.magnitude().div_rem(&g);
+        let (dn, _) = den.div_rem(&g);
+        Self { num: BigInt::from_mag(num.sign(), nm), den: dn }
+    }
+
+    /// Numerator (signed, lowest terms).
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive, lowest terms).
+    pub fn denominator(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        let sign = self.num.sign();
+        Self {
+            num: BigInt::from_mag(sign, self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both parts fit comfortably in f64 before dividing.
+        let nb = self.num.magnitude().bits();
+        let db = self.den.bits();
+        let shift = nb.max(db).saturating_sub(900);
+        let n = self.num.magnitude().shr(shift).to_f64();
+        let d = self.den.shr(shift).to_f64();
+        let v = n / d;
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Comparison.
+    pub fn cmp_val(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0)
+        let lhs = self.num.mul(&BigInt::from_mag(Sign::Positive, other.den.clone()));
+        let rhs = other.num.mul(&BigInt::from_mag(Sign::Positive, self.den.clone()));
+        lhs.cmp_val(&rhs)
+    }
+
+    /// Absolute difference.
+    pub fn abs_diff(&self, other: &Self) -> Self {
+        let d = self.clone() - other.clone();
+        if d.is_negative() {
+            -d
+        } else {
+            d
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        let den_l = BigInt::from_mag(Sign::Positive, self.den.clone());
+        let den_r = BigInt::from_mag(Sign::Positive, rhs.den.clone());
+        let num = self.num.mul(&den_r).add(&rhs.num.mul(&den_l));
+        Rational::normalized(num, self.den.mul(&rhs.den))
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::normalized(self.num.mul(&rhs.num), self.den.mul(&rhs.den))
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·(1/b) by definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: self.num.neg(), den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn normalization_lowest_terms() {
+        let v = r(6, 8);
+        assert_eq!(v, r(3, 4));
+        assert_eq!(v.to_string(), "3/4");
+    }
+
+    #[test]
+    fn zero_normalizes_denominator() {
+        let v = r(0, 17);
+        assert!(v.is_zero());
+        assert_eq!(v.to_string(), "0");
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+    }
+
+    #[test]
+    fn negatives() {
+        assert_eq!(r(-1, 2) + r(1, 2), Rational::zero());
+        assert_eq!(-r(3, 5), r(-3, 5));
+        assert_eq!(r(-2, 4), r(-1, 2));
+        assert!(r(-1, 3).is_negative());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(r(-3, 7).recip(), r(-7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        Rational::zero().recip();
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 3) > r(2, 1));
+    }
+
+    #[test]
+    fn to_f64_small() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-7, 2).to_f64() + 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_f64_huge_values_do_not_overflow_prematurely() {
+        // (2^200 + 1) / 2^200 ≈ 1
+        let big = Rational::from_parts(
+            BigInt::from_mag(Sign::Positive, BigUint::one().shl(200).add(&BigUint::one())),
+            BigUint::one().shl(200),
+        );
+        let v = big.to_f64();
+        assert!((v - 1.0).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn abs_diff() {
+        assert_eq!(r(1, 2).abs_diff(&r(1, 3)), r(1, 6));
+        assert_eq!(r(1, 3).abs_diff(&r(1, 2)), r(1, 6));
+    }
+
+    #[test]
+    fn repeated_sums_stay_exact() {
+        // Σ 1/3, 300 times == 100 exactly.
+        let third = r(1, 3);
+        let mut acc = Rational::zero();
+        for _ in 0..300 {
+            acc = acc + third.clone();
+        }
+        assert_eq!(acc, Rational::from_int(100));
+    }
+}

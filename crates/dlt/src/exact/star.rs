@@ -1,0 +1,159 @@
+//! Exact-rational star/bus solver, mirroring [`crate::star`] over
+//! [`Rational`] arithmetic so the equal-finish-time identity of the star
+//! model can be asserted exactly and the f64 solver validated.
+
+use super::rational::Rational;
+use crate::model::StarNetwork;
+
+/// A star whose rates are exact rationals: `w\[0\]` is the root, `w[i]`
+/// (`i ≥ 1`) child `i`, `z[i-1]` the link to child `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactStar {
+    /// Processor rates, root first.
+    pub w: Vec<Rational>,
+    /// Link rates, one per child.
+    pub z: Vec<Rational>,
+}
+
+impl ExactStar {
+    /// Build from rational rates.
+    pub fn new(w: Vec<Rational>, z: Vec<Rational>) -> Self {
+        assert!(!w.is_empty());
+        assert_eq!(w.len() - 1, z.len());
+        assert!(w.iter().all(Rational::is_positive));
+        assert!(z.iter().all(|v| !v.is_negative()));
+        Self { w, z }
+    }
+
+    /// Build from integer-valued rates scaled by `denom`.
+    pub fn from_scaled_ints(w: &[i64], z: &[i64], denom: u64) -> Self {
+        Self::new(
+            w.iter().map(|&v| Rational::from_ratio(v, denom)).collect(),
+            z.iter().map(|&v| Rational::from_ratio(v, denom)).collect(),
+        )
+    }
+
+    /// Lossy conversion to the f64 model.
+    pub fn to_f64_network(&self) -> StarNetwork {
+        StarNetwork::from_rates(
+            &self.w.iter().map(Rational::to_f64).collect::<Vec<_>>(),
+            &self.z.iter().map(Rational::to_f64).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if the star has no children.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+}
+
+/// Exact solution of the star problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactStarSolution {
+    /// Exact fractions (root first; sums to exactly 1).
+    pub alloc: Vec<Rational>,
+    /// The exact common finish time.
+    pub makespan: Rational,
+}
+
+/// Solve the star problem exactly: `α_{i+1} = α_i · w_i / (z_{i+1} +
+/// w_{i+1})` anchored at the root, normalized to unit total.
+pub fn solve(star: &ExactStar) -> ExactStarSolution {
+    let n = star.len();
+    let mut raw = vec![Rational::one()];
+    for i in 1..n {
+        let prev_w = star.w[i - 1].clone();
+        let denom = star.z[i - 1].clone() + star.w[i].clone();
+        let prev = raw[i - 1].clone();
+        raw.push(prev * (prev_w / denom));
+    }
+    let mut total = Rational::zero();
+    for r in &raw {
+        total = total + r.clone();
+    }
+    let alloc: Vec<Rational> = raw.into_iter().map(|r| r / total.clone()).collect();
+    let makespan = alloc[0].clone() * star.w[0].clone();
+    ExactStarSolution { alloc, makespan }
+}
+
+/// Exact finish time of processor `i` (root = 0) under an allocation.
+pub fn finish_time(star: &ExactStar, alloc: &[Rational], i: usize) -> Rational {
+    if i == 0 {
+        return alloc[0].clone() * star.w[0].clone();
+    }
+    if alloc[i].is_zero() {
+        return Rational::zero();
+    }
+    let mut comm = Rational::zero();
+    for k in 1..=i {
+        comm = comm + alloc[k].clone() * star.z[k - 1].clone();
+    }
+    comm + alloc[i].clone() * star.w[i].clone()
+}
+
+/// Exact verification of the star participation theorem: all finish times
+/// identical.
+pub fn verify_equal_finish(star: &ExactStar, sol: &ExactStarSolution) -> bool {
+    (0..star.len()).all(|i| finish_time(star, &sol.alloc, i) == sol.makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star as f64star;
+
+    #[test]
+    fn two_processor_star_exact() {
+        let star = ExactStar::from_scaled_ints(&[1, 1], &[1], 1);
+        let sol = solve(&star);
+        assert_eq!(sol.alloc[0], Rational::from_ratio(2, 3));
+        assert_eq!(sol.alloc[1], Rational::from_ratio(1, 3));
+        assert_eq!(sol.makespan, Rational::from_ratio(2, 3));
+    }
+
+    #[test]
+    fn equal_finish_holds_exactly() {
+        let star = ExactStar::from_scaled_ints(&[7, 13, 3, 21], &[2, 5, 1], 10);
+        let sol = solve(&star);
+        assert!(verify_equal_finish(&star, &sol));
+        let mut total = Rational::zero();
+        for a in &sol.alloc {
+            total = total + a.clone();
+        }
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    fn matches_f64_solver() {
+        let star = ExactStar::from_scaled_ints(&[12, 25, 5, 37], &[2, 1, 7], 10);
+        let exact = solve(&star);
+        let approx = f64star::solve(&star.to_f64_network());
+        for i in 0..star.len() {
+            assert!((exact.alloc[i].to_f64() - approx.alloc.alpha(i)).abs() < 1e-12, "α_{i}");
+        }
+        assert!((exact.makespan.to_f64() - approx.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_star_stays_exact() {
+        let w: Vec<i64> = (1..=16).map(|i| 5 + (i * 11) % 17).collect();
+        let z: Vec<i64> = (1..16).map(|i| 1 + (i * 3) % 7).collect();
+        let star = ExactStar::from_scaled_ints(&w, &z, 10);
+        let sol = solve(&star);
+        assert!(verify_equal_finish(&star, &sol));
+        assert!(sol.alloc.iter().all(Rational::is_positive));
+    }
+
+    #[test]
+    fn childless_star() {
+        let star = ExactStar::from_scaled_ints(&[5], &[], 1);
+        let sol = solve(&star);
+        assert_eq!(sol.alloc[0], Rational::one());
+        assert_eq!(sol.makespan, Rational::from_int(5));
+    }
+}

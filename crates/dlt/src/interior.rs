@@ -1,0 +1,219 @@
+//! Linear networks with *interior* load origination — the variant the paper
+//! defines in §2 but leaves to future work (§6). Provided as an extension
+//! and used by the cross-architecture experiment (E10).
+//!
+//! The root `P_r` sits strictly inside the chain with a left arm
+//! `P_{r-1} … P_0` and a right arm `P_{r+1} … P_m`. Each arm, viewed from
+//! the root, is itself a boundary-origination chain, so it collapses into a
+//! single equivalent processor (eq. 2.4). The root then faces a two-child
+//! star; the one-port constraint makes the service *order* matter, so both
+//! orders are evaluated and the better one is kept. Arm-internal fractions
+//! are recovered by scaling each arm's boundary-chain solution by the load
+//! the arm receives (exact under the linear cost model).
+
+use crate::linear;
+use crate::model::{Allocation, LinearNetwork, Link, Processor, StarNetwork};
+use crate::star;
+use serde::{Deserialize, Serialize};
+
+/// A linear network with the load originating at an interior processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteriorNetwork {
+    chain: LinearNetwork,
+    root: usize,
+}
+
+/// Which arm the root serves first under the one-port constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceOrder {
+    /// Left arm first, then right.
+    LeftFirst,
+    /// Right arm first, then left.
+    RightFirst,
+}
+
+impl InteriorNetwork {
+    /// Wrap a chain with its root index. The root must be strictly interior
+    /// (`0 < root < m`); use the boundary solver otherwise.
+    pub fn new(chain: LinearNetwork, root: usize) -> Self {
+        assert!(
+            root > 0 && root < chain.last_index(),
+            "root {root} is not interior in a {}-processor chain",
+            chain.len()
+        );
+        Self { chain, root }
+    }
+
+    /// The underlying chain (`P_0 … P_m` in physical order).
+    pub fn chain(&self) -> &LinearNetwork {
+        &self.chain
+    }
+
+    /// The root index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The left arm as a boundary chain whose root is `P_{r-1}` (the
+    /// processor adjacent to the load origin), extending to `P_0`.
+    pub fn left_arm(&self) -> LinearNetwork {
+        let w: Vec<f64> = (0..self.root).rev().map(|i| self.chain.w(i)).collect();
+        let z: Vec<f64> = (1..self.root).rev().map(|j| self.chain.z(j)).collect();
+        LinearNetwork::from_rates(&w, &z)
+    }
+
+    /// The right arm as a boundary chain whose root is `P_{r+1}`.
+    pub fn right_arm(&self) -> LinearNetwork {
+        let m = self.chain.last_index();
+        let w: Vec<f64> = (self.root + 1..=m).map(|i| self.chain.w(i)).collect();
+        let z: Vec<f64> = (self.root + 2..=m).map(|j| self.chain.z(j)).collect();
+        LinearNetwork::from_rates(&w, &z)
+    }
+}
+
+/// Solution of the interior-origination problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteriorSolution {
+    /// Global allocation in *physical* order `P_0 … P_m`.
+    pub alloc: Allocation,
+    /// Achieved makespan.
+    pub makespan: f64,
+    /// The service order that won.
+    pub order: ServiceOrder,
+}
+
+/// Solve the interior problem, evaluating both service orders.
+pub fn solve(net: &InteriorNetwork) -> InteriorSolution {
+    let left = solve_with_order(net, ServiceOrder::LeftFirst);
+    let right = solve_with_order(net, ServiceOrder::RightFirst);
+    if left.makespan <= right.makespan {
+        left
+    } else {
+        right
+    }
+}
+
+/// Solve the interior problem with a fixed service order.
+pub fn solve_with_order(net: &InteriorNetwork, order: ServiceOrder) -> InteriorSolution {
+    let left_arm = net.left_arm();
+    let right_arm = net.right_arm();
+    let w_left = linear::equivalent_time(&left_arm);
+    let w_right = linear::equivalent_time(&right_arm);
+    let z_left = net.chain.z(net.root); // link ℓ_r joins P_{r-1} and P_r
+    let z_right = net.chain.z(net.root + 1);
+
+    // Two-child star at the root, children in service order.
+    let (first, second) = match order {
+        ServiceOrder::LeftFirst => ((z_left, w_left), (z_right, w_right)),
+        ServiceOrder::RightFirst => ((z_right, w_right), (z_left, w_left)),
+    };
+    let star_net = StarNetwork::new(
+        Processor::new(net.chain.w(net.root)),
+        vec![
+            (Link::new(first.0), Processor::new(first.1)),
+            (Link::new(second.0), Processor::new(second.1)),
+        ],
+    );
+    let star_sol = star::solve(&star_net);
+    let (left_amount, right_amount) = match order {
+        ServiceOrder::LeftFirst => (star_sol.alloc.alpha(1), star_sol.alloc.alpha(2)),
+        ServiceOrder::RightFirst => (star_sol.alloc.alpha(2), star_sol.alloc.alpha(1)),
+    };
+
+    // Expand arm-internal allocations (scaled boundary-chain solutions).
+    let left_internal = linear::solve(&left_arm).alloc;
+    let right_internal = linear::solve(&right_arm).alloc;
+
+    let m = net.chain.last_index();
+    let mut fractions = vec![0.0; m + 1];
+    fractions[net.root] = star_sol.alloc.alpha(0);
+    // left arm order: arm index 0 is P_{r-1}, arm index r-1 is P_0
+    for (arm_idx, &f) in left_internal.fractions().iter().enumerate() {
+        fractions[net.root - 1 - arm_idx] = f * left_amount;
+    }
+    for (arm_idx, &f) in right_internal.fractions().iter().enumerate() {
+        fractions[net.root + 1 + arm_idx] = f * right_amount;
+    }
+    InteriorSolution {
+        alloc: Allocation::new(fractions),
+        makespan: star_sol.makespan,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric() -> InteriorNetwork {
+        // P0 -0.3- P1 -0.3- P2(root) -0.3- P3 -0.3- P4, all w = 1
+        InteriorNetwork::new(LinearNetwork::homogeneous(5, 1.0, 0.3), 2)
+    }
+
+    #[test]
+    #[should_panic(expected = "not interior")]
+    fn rejects_boundary_root() {
+        InteriorNetwork::new(LinearNetwork::homogeneous(3, 1.0, 0.3), 0);
+    }
+
+    #[test]
+    fn arms_are_extracted_in_root_outward_order() {
+        let chain = LinearNetwork::from_rates(&[1.0, 2.0, 3.0, 4.0, 5.0], &[0.1, 0.2, 0.3, 0.4]);
+        let net = InteriorNetwork::new(chain, 2);
+        let left = net.left_arm();
+        assert_eq!(left.rates_w(), vec![2.0, 1.0]); // P1 then P0
+        assert_eq!(left.rates_z(), vec![0.1]); // the P1–P0 link is ℓ_1
+        let right = net.right_arm();
+        assert_eq!(right.rates_w(), vec![4.0, 5.0]); // P3 then P4
+        assert_eq!(right.rates_z(), vec![0.4]); // the P3–P4 link is ℓ_4
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let sol = solve(&symmetric());
+        sol.alloc.validate().unwrap();
+        assert!(sol.alloc.fractions().iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn symmetric_network_orders_tie() {
+        let net = symmetric();
+        let l = solve_with_order(&net, ServiceOrder::LeftFirst);
+        let r = solve_with_order(&net, ServiceOrder::RightFirst);
+        assert!((l.makespan - r.makespan).abs() < 1e-12);
+        // And the winning allocation mirrors: P1 under LeftFirst equals P3
+        // under RightFirst.
+        assert!((l.alloc.alpha(1) - r.alloc.alpha(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_network_prefers_heavier_side_first() {
+        // Right arm much faster: serving it first should win (or at least
+        // the solver must pick the min of both).
+        let chain = LinearNetwork::from_rates(&[5.0, 5.0, 1.0, 0.3, 0.3], &[0.2, 0.2, 0.2, 0.2]);
+        let net = InteriorNetwork::new(chain, 2);
+        let sol = solve(&net);
+        let l = solve_with_order(&net, ServiceOrder::LeftFirst);
+        let r = solve_with_order(&net, ServiceOrder::RightFirst);
+        assert!((sol.makespan - l.makespan.min(r.makespan)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interior_beats_boundary_on_symmetric_chain() {
+        // Originating in the middle shortens the longest communication path,
+        // so the makespan should not be worse than boundary origination.
+        let chain = LinearNetwork::homogeneous(5, 1.0, 0.3);
+        let boundary = linear::solve(&chain).makespan();
+        let interior = solve(&InteriorNetwork::new(chain, 2)).makespan;
+        assert!(interior <= boundary + 1e-12);
+    }
+
+    #[test]
+    fn root_fraction_is_largest_for_homogeneous() {
+        let sol = solve(&symmetric());
+        let root_alpha = sol.alloc.alpha(2);
+        for i in [0usize, 1, 3, 4] {
+            assert!(root_alpha >= sol.alloc.alpha(i));
+        }
+    }
+}

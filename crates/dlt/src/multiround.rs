@@ -1,0 +1,306 @@
+//! Multi-installment (multi-round) scheduling for chains — the extension
+//! direction of Yang, van der Raadt & Casanova \[21\], cited by the paper.
+//!
+//! Under the front-end model, single-installment chains already overlap
+//! forwarding with computation; what they cannot avoid is the *ramp-up*:
+//! processor `P_i` idles until its entire share has arrived. Splitting the
+//! load into `k` installments lets `P_i` start after roughly `1/k` of that
+//! wait, so far processors can absorb **more load** — the real source of
+//! multi-round gains (with the single-round split, the root still computes
+//! `α_0 w_0` and nothing improves).
+//!
+//! Multi-installment optimality is a hard open problem in general (\[21\]
+//! is devoted to it); this module takes the engineering route:
+//!
+//! * [`finish_times_with`] — *exact* evaluation of the discrete pipelined
+//!   timing recurrence for any allocation, under the one-port model with a
+//!   per-installment communication startup (the cost that makes `k → ∞`
+//!   counterproductive);
+//! * [`optimize_allocation`] — a damped multiplicative equalizer that
+//!   rebalances load until all finish times meet, evaluated against the
+//!   exact recurrence at every step (finish times are monotone in own
+//!   load, so equalization drives the makespan down);
+//! * [`schedule`] / [`round_sweep`] — the user-facing API and the
+//!   U-shaped makespan-vs-`k` data series.
+
+use crate::linear;
+use crate::model::{Allocation, LinearNetwork, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// Multi-installment schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiRoundConfig {
+    /// Number of installments `k ≥ 1`.
+    pub rounds: usize,
+    /// Per-installment communication startup on every link.
+    pub comm_startup: f64,
+}
+
+impl MultiRoundConfig {
+    /// `k` uniform installments with the given per-message startup.
+    pub fn new(rounds: usize, comm_startup: f64) -> Self {
+        assert!(rounds >= 1);
+        assert!(comm_startup >= 0.0);
+        Self { rounds, comm_startup }
+    }
+}
+
+/// Exact per-processor finish times of the discrete pipelined schedule for
+/// a given total allocation split into `k` uniform installments.
+///
+/// Timing recurrence (round `r`, processor `i`, link `ℓ_i` into `i`):
+///
+/// * link `ℓ_i` carries round `r` once it finished round `r−1` **and**
+///   the sender holds round `r`;
+/// * `recv_end[r][i] = max(link_free_i, recv_end[r][i−1]) + c + D_i^r·z_i`;
+/// * processors compute rounds in order:
+///   `comp_end[r][i] = max(comp_end[r−1][i], recv_end[r][i]) + α_i^r·w_i`.
+pub fn finish_times_with(
+    net: &LinearNetwork,
+    config: &MultiRoundConfig,
+    alloc: &Allocation,
+) -> Vec<Vec<f64>> {
+    let n = net.len();
+    assert_eq!(alloc.len(), n);
+    let k = config.rounds;
+    let share = 1.0 / k as f64;
+    let received = alloc.received();
+    let mut recv_end = vec![0.0f64; n];
+    let mut comp_end = vec![vec![0.0f64; n]; k];
+    let mut link_free = vec![0.0f64; n];
+    for r in 0..k {
+        for i in 0..n {
+            if i == 0 {
+                recv_end[0] = 0.0; // the root holds every round from t = 0
+            } else {
+                let amount = received[i] * share;
+                if amount > EPSILON {
+                    let start = link_free[i].max(recv_end[i - 1]);
+                    let end = start + config.comm_startup + amount * net.z(i);
+                    link_free[i] = end;
+                    recv_end[i] = end;
+                }
+                // else: nothing ships this round; recv_end[i] keeps its
+                // previous value (no new arrival).
+            }
+            let prev_comp = if r == 0 { 0.0 } else { comp_end[r - 1][i] };
+            comp_end[r][i] = prev_comp.max(recv_end[i]) + alloc.alpha(i) * share * net.w(i);
+        }
+    }
+    comp_end
+}
+
+/// The makespan of the discrete schedule for a given allocation.
+pub fn makespan_with(net: &LinearNetwork, config: &MultiRoundConfig, alloc: &Allocation) -> f64 {
+    finish_times_with(net, config, alloc)
+        .last()
+        .expect("k >= 1")
+        .iter()
+        .copied()
+        .fold(0.0, f64::max)
+}
+
+/// Optimize the total allocation for the discrete `k`-round schedule by
+/// damped multiplicative equalization of finish times. Returns the best
+/// allocation found and its exact makespan.
+pub fn optimize_allocation(net: &LinearNetwork, config: &MultiRoundConfig) -> (Allocation, f64) {
+    let n = net.len();
+    // Start from the single-round optimum.
+    let mut fractions = linear::solve(net).alloc.fractions().to_vec();
+    let mut best = fractions.clone();
+    let mut best_ms = makespan_with(net, config, &Allocation::new(fractions.clone()));
+    for _ in 0..120 {
+        let alloc = Allocation::new(fractions.clone());
+        let finals = finish_times_with(net, config, &alloc);
+        let finish = finals.last().expect("k >= 1");
+        let ms = finish.iter().copied().fold(0.0, f64::max);
+        if ms < best_ms {
+            best_ms = ms;
+            best = fractions.clone();
+        }
+        let mean = finish.iter().sum::<f64>() / n as f64;
+        let spread = finish.iter().copied().fold(0.0f64, f64::max)
+            - finish.iter().copied().fold(f64::INFINITY, f64::min);
+        if spread < 1e-12 * mean.max(1.0) {
+            break;
+        }
+        // Damped multiplicative update: nodes finishing late shed load,
+        // nodes finishing early absorb it.
+        let mut total = 0.0;
+        for (i, f) in fractions.iter_mut().enumerate() {
+            let ratio = (mean / finish[i].max(1e-300)).sqrt();
+            *f = (*f * ratio).max(1e-12);
+            total += *f;
+        }
+        for f in fractions.iter_mut() {
+            *f /= total;
+        }
+    }
+    (Allocation::new(best), best_ms)
+}
+
+/// The computed multi-round schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRoundSchedule {
+    /// Exact makespan of the discrete pipelined schedule.
+    pub makespan: f64,
+    /// Per-round, per-processor compute completion times
+    /// (`compute_end[r][i]`).
+    pub compute_end: Vec<Vec<f64>>,
+    /// The total (all rounds) allocation per processor.
+    pub total_alloc: Allocation,
+    /// Number of rounds.
+    pub rounds: usize,
+}
+
+/// Compute the optimized multi-round schedule.
+pub fn schedule(net: &LinearNetwork, config: &MultiRoundConfig) -> MultiRoundSchedule {
+    let (total_alloc, makespan) = if config.rounds == 1 && config.comm_startup == 0.0 {
+        let sol = linear::solve(net);
+        let ms = sol.makespan();
+        (sol.alloc, ms)
+    } else {
+        optimize_allocation(net, config)
+    };
+    let compute_end = finish_times_with(net, config, &total_alloc);
+    MultiRoundSchedule { makespan, compute_end, total_alloc, rounds: config.rounds }
+}
+
+/// Makespan as a function of `k` over `1..=max_rounds` — the U-curve data
+/// series.
+pub fn round_sweep(net: &LinearNetwork, comm_startup: f64, max_rounds: usize) -> Vec<(usize, f64)> {
+    (1..=max_rounds)
+        .map(|k| (k, schedule(net, &MultiRoundConfig::new(k, comm_startup)).makespan))
+        .collect()
+}
+
+/// The best round count on `1..=max_rounds` and its makespan.
+pub fn best_rounds(net: &LinearNetwork, comm_startup: f64, max_rounds: usize) -> (usize, f64) {
+    round_sweep(net, comm_startup, max_rounds)
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("max_rounds >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> LinearNetwork {
+        // Slow links make pipelining worthwhile.
+        LinearNetwork::from_rates(&[1.0, 1.0, 1.0, 1.0], &[0.8, 0.8, 0.8])
+    }
+
+    #[test]
+    fn one_round_without_startup_matches_single_installment() {
+        let net = net();
+        let sched = schedule(&net, &MultiRoundConfig::new(1, 0.0));
+        let single = linear::solve(&net);
+        assert!((sched.makespan - single.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrence_with_single_round_reproduces_eq_22() {
+        // k = 1: the recurrence must equal the closed-form finish times.
+        let net = net();
+        let sol = linear::solve(&net);
+        let cfg = MultiRoundConfig::new(1, 0.0);
+        let finals = finish_times_with(&net, &cfg, &sol.alloc);
+        let expected = crate::timing::finish_times(&net, &sol.alloc);
+        for i in 0..net.len() {
+            assert!((finals[0][i] - expected[i]).abs() < 1e-12, "P{i}");
+        }
+    }
+
+    #[test]
+    fn pipelining_helps_on_slow_links() {
+        let net = net();
+        let k1 = schedule(&net, &MultiRoundConfig::new(1, 0.0)).makespan;
+        let k8 = schedule(&net, &MultiRoundConfig::new(8, 0.0)).makespan;
+        assert!(k8 < k1 - 1e-4, "8 rounds {k8} vs 1 round {k1}");
+    }
+
+    #[test]
+    fn optimizer_never_loses_to_single_round_split() {
+        let net = net();
+        for k in [2usize, 4, 16] {
+            let cfg = MultiRoundConfig::new(k, 0.0);
+            let single_split = linear::solve(&net).alloc;
+            let naive = makespan_with(&net, &cfg, &single_split);
+            let (_, optimized) = optimize_allocation(&net, &cfg);
+            assert!(optimized <= naive + 1e-9, "k={k}: {optimized} vs naive {naive}");
+        }
+    }
+
+    #[test]
+    fn with_startup_the_curve_is_u_shaped() {
+        let net = net();
+        let startup = 0.05;
+        let sweep = round_sweep(&net, startup, 32);
+        let (best_k, best_ms) = best_rounds(&net, startup, 32);
+        assert!(best_k > 1, "some pipelining should pay: {sweep:?}");
+        assert!(best_k < 32, "startup should cap the useful round count");
+        assert!(sweep[0].1 > best_ms);
+        assert!(sweep[31].1 > best_ms);
+    }
+
+    #[test]
+    fn more_rounds_shift_load_to_the_tail() {
+        let net = net();
+        let k1 = schedule(&net, &MultiRoundConfig::new(1, 0.0));
+        let k8 = schedule(&net, &MultiRoundConfig::new(8, 0.0));
+        let m = net.last_index();
+        assert!(
+            k8.total_alloc.alpha(m) > k1.total_alloc.alpha(m) + 1e-6,
+            "the terminal processor should absorb more load when it starts earlier: {} vs {}",
+            k8.total_alloc.alpha(m),
+            k1.total_alloc.alpha(m)
+        );
+    }
+
+    #[test]
+    fn rounds_complete_in_order_per_processor() {
+        let net = net();
+        let sched = schedule(&net, &MultiRoundConfig::new(5, 0.01));
+        for i in 0..net.len() {
+            for r in 1..5 {
+                assert!(sched.compute_end[r][i] >= sched.compute_end[r - 1][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn total_load_is_preserved() {
+        let net = net();
+        for k in [1usize, 3, 7] {
+            let sched = schedule(&net, &MultiRoundConfig::new(k, 0.01));
+            sched.total_alloc.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_links_gain_little_from_pipelining() {
+        let fast = LinearNetwork::from_rates(&[1.0, 1.0, 1.0, 1.0], &[0.01, 0.01, 0.01]);
+        let k1 = schedule(&fast, &MultiRoundConfig::new(1, 0.0)).makespan;
+        let k8 = schedule(&fast, &MultiRoundConfig::new(8, 0.0)).makespan;
+        assert!((k1 - k8) / k1 < 0.05, "gain should be marginal: {k1} vs {k8}");
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_aggregate_speed() {
+        let net = net();
+        let agg: f64 = net.rates_w().iter().map(|w| 1.0 / w).sum();
+        for k in [1usize, 2, 8, 32] {
+            let sched = schedule(&net, &MultiRoundConfig::new(k, 0.0));
+            assert!(sched.makespan >= 1.0 / agg - 1e-9);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_chain_also_improves() {
+        let net = LinearNetwork::from_rates(&[1.2, 0.7, 2.0, 0.9], &[0.6, 0.9, 0.5]);
+        let k1 = schedule(&net, &MultiRoundConfig::new(1, 0.0)).makespan;
+        let k6 = schedule(&net, &MultiRoundConfig::new(6, 0.0)).makespan;
+        assert!(k6 < k1, "{k6} vs {k1}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Optimality verification utilities.
+//!
+//! Algorithm 1 is proved optimal in the DLT literature \[6\]; these utilities
+//! let tests and experiments *check* that claim numerically, independent of
+//! the solver's own algebra:
+//!
+//! * [`perturbation_probe`] — move load between processor pairs and confirm
+//!   the makespan never improves (local optimality over the feasible
+//!   simplex; the problem is a linear-fractional program, so local
+//!   optimality over pairwise exchanges implies global optimality).
+//! * [`monotonicity`] probes — the comparative statics that power the
+//!   strategyproofness proof (Lemma 5.3): bidding slower weakly *reduces*
+//!   assigned load, and weakly *increases* the chain's equivalent time.
+
+use crate::linear;
+use crate::model::{Allocation, LinearNetwork};
+use crate::timing::makespan;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a perturbation probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// Number of perturbations attempted.
+    pub attempts: usize,
+    /// Number of perturbations that (incorrectly) improved the makespan
+    /// beyond tolerance.
+    pub improvements: usize,
+    /// The best (most negative) makespan delta observed.
+    pub best_delta: f64,
+}
+
+impl ProbeReport {
+    /// True if no perturbation improved the makespan.
+    pub fn is_optimal(&self) -> bool {
+        self.improvements == 0
+    }
+}
+
+/// Exhaustively probe all ordered processor pairs `(i, j)`, moving `delta`
+/// units of load from `i` to `j` (clamped to feasibility), and record any
+/// makespan improvement beyond `tol`.
+pub fn perturbation_probe(
+    net: &LinearNetwork,
+    alloc: &Allocation,
+    delta: f64,
+    tol: f64,
+) -> ProbeReport {
+    let base = makespan(net, alloc);
+    let n = net.len();
+    let mut attempts = 0;
+    let mut improvements = 0;
+    let mut best_delta = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let moved = delta.min(alloc.alpha(i));
+            if moved <= 0.0 {
+                continue;
+            }
+            let mut f = alloc.fractions().to_vec();
+            f[i] -= moved;
+            f[j] += moved;
+            let perturbed = Allocation::new(f);
+            let d = makespan(net, &perturbed) - base;
+            attempts += 1;
+            if d < -tol {
+                improvements += 1;
+            }
+            best_delta = best_delta.min(d);
+        }
+    }
+    ProbeReport { attempts, improvements, best_delta }
+}
+
+/// Comparative statics of a single bid change: how processor `i`'s assigned
+/// load and the chain's equivalent time respond when `w_i` is replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BidResponse {
+    /// Assigned fraction at the original rate.
+    pub alpha_before: f64,
+    /// Assigned fraction at the new rate.
+    pub alpha_after: f64,
+    /// Chain equivalent time (optimal makespan) at the original rate.
+    pub makespan_before: f64,
+    /// Chain equivalent time at the new rate.
+    pub makespan_after: f64,
+}
+
+/// Evaluate the response of the optimal solution to changing `w_i` to
+/// `new_w`.
+pub fn bid_response(net: &LinearNetwork, i: usize, new_w: f64) -> BidResponse {
+    let before = linear::solve(net);
+    let after = linear::solve(&net.with_processor_rate(i, new_w));
+    BidResponse {
+        alpha_before: before.alloc.alpha(i),
+        alpha_after: after.alloc.alpha(i),
+        makespan_before: before.makespan(),
+        makespan_after: after.makespan(),
+    }
+}
+
+/// Check the two monotonicity properties used by Lemma 5.3 for processor
+/// `i` when its declared rate rises from `w_lo` to `w_hi` (`w_lo < w_hi`):
+/// load weakly decreases, equivalent time weakly increases.
+pub fn monotonicity(net: &LinearNetwork, i: usize, w_lo: f64, w_hi: f64, tol: f64) -> bool {
+    assert!(w_lo < w_hi);
+    let lo = linear::solve(&net.with_processor_rate(i, w_lo));
+    let hi = linear::solve(&net.with_processor_rate(i, w_hi));
+    lo.alloc.alpha(i) + tol >= hi.alloc.alpha(i) && lo.makespan() <= hi.makespan() + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn optimal_solution_survives_probe() {
+        let net = sample();
+        let sol = linear::solve(&net);
+        let report = perturbation_probe(&net, &sol.alloc, 1e-4, 1e-9);
+        assert!(report.is_optimal(), "probe found improvement: {report:?}");
+        assert!(report.attempts > 0);
+    }
+
+    #[test]
+    fn suboptimal_allocation_fails_probe() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[0.1]);
+        // Everything at the root is clearly improvable.
+        let bad = Allocation::new(vec![1.0, 0.0]);
+        let report = perturbation_probe(&net, &bad, 0.05, 1e-9);
+        assert!(!report.is_optimal());
+        assert!(report.best_delta < 0.0);
+    }
+
+    #[test]
+    fn probe_respects_feasibility() {
+        let net = sample();
+        let sol = linear::solve(&net);
+        // huge delta is clamped to the source fraction; must not panic
+        let report = perturbation_probe(&net, &sol.alloc, 10.0, 1e-9);
+        assert!(report.attempts > 0);
+    }
+
+    #[test]
+    fn bidding_slower_sheds_load() {
+        let net = sample();
+        for i in 0..net.len() {
+            let r = bid_response(&net, i, net.w(i) * 2.0);
+            assert!(r.alpha_after <= r.alpha_before + 1e-12, "P_{i} load must not grow");
+            assert!(r.makespan_after >= r.makespan_before - 1e-12, "makespan must not shrink");
+        }
+    }
+
+    #[test]
+    fn bidding_faster_attracts_load() {
+        let net = sample();
+        for i in 0..net.len() {
+            let r = bid_response(&net, i, net.w(i) * 0.5);
+            assert!(r.alpha_after >= r.alpha_before - 1e-12);
+            assert!(r.makespan_after <= r.makespan_before + 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotonicity_holds_across_grid() {
+        let net = sample();
+        for i in 0..net.len() {
+            for (lo, hi) in [(0.5, 1.0), (1.0, 3.0), (0.1, 10.0)] {
+                assert!(monotonicity(&net, i, lo, hi, 1e-12), "P_{i} lo={lo} hi={hi}");
+            }
+        }
+    }
+}

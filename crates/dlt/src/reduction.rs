@@ -1,0 +1,221 @@
+//! Equivalent-processor reduction machinery (Figure 3, eqs. 2.3–2.4).
+//!
+//! *Reduction* collapses a connected segment of the chain into a single
+//! *equivalent processor* whose unit processing time `w̄` equals the
+//! makespan the segment exhibits when handed a unit load in isolation
+//! (eq. 2.3; under the optimal internal allocation this is the common finish
+//! time of every member, eq. 2.4).
+//!
+//! This module exposes the reduction both as a one-shot segment collapse and
+//! as an explicit step-by-step trace (useful for the Figure 3 experiment and
+//! for teaching material), and provides the key structural lemmas as
+//! runtime-checkable predicates:
+//!
+//! * collapsing the two farthest processors repeatedly (Algorithm 1's order)
+//!   and collapsing any suffix first then continuing give identical results;
+//! * replacing a suffix by its equivalent processor leaves the optimal
+//!   allocation of the *prefix* unchanged.
+
+use crate::linear;
+use crate::model::{LinearNetwork, Link, Processor};
+use serde::{Deserialize, Serialize};
+
+/// One step in a reduction trace: processors `index` and `index + 1` of the
+/// *current* (partially reduced) chain were collapsed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionStep {
+    /// Index of the front processor of the collapsed pair within the chain
+    /// as it existed before this step.
+    pub index: usize,
+    /// Local fraction `α̂` retained by the front processor of the pair.
+    pub alpha_hat: f64,
+    /// Equivalent unit processing time `w̄` of the merged pair.
+    pub w_bar: f64,
+    /// The chain after the step.
+    pub network: LinearNetwork,
+}
+
+/// A full reduction trace from an `n`-processor chain down to a single
+/// equivalent processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionTrace {
+    /// The original network.
+    pub original: LinearNetwork,
+    /// The sequence of collapse steps (length `n − 1`).
+    pub steps: Vec<ReductionStep>,
+}
+
+impl ReductionTrace {
+    /// The final equivalent unit processing time of the whole chain.
+    pub fn equivalent_time(&self) -> f64 {
+        match self.steps.last() {
+            Some(step) => step.network.w(0),
+            None => self.original.w(0),
+        }
+    }
+}
+
+/// Collapse the farthest pair of the chain once: `P_{n-2}` and `P_{n-1}`
+/// become a single equivalent processor (Figure 3 with `i = n-2`).
+///
+/// # Panics
+/// Panics if the chain has fewer than two processors.
+pub fn collapse_last_pair(net: &LinearNetwork) -> ReductionStep {
+    let n = net.len();
+    assert!(n >= 2, "need at least two processors to reduce");
+    let i = n - 2;
+    let (alpha_hat, w_bar) = linear::reduce_pair(net.w(i), net.z(i + 1), net.w(i + 1));
+    let mut processors: Vec<Processor> = net.processors()[..i].to_vec();
+    processors.push(Processor::new(w_bar));
+    let links: Vec<Link> = net.links()[..i].to_vec();
+    ReductionStep { index: i, alpha_hat, w_bar, network: LinearNetwork::new(processors, links) }
+}
+
+/// Reduce the whole chain to a single equivalent processor, recording every
+/// step (Algorithm 1's reduction order: farthest pair first).
+pub fn reduce_fully(net: &LinearNetwork) -> ReductionTrace {
+    let mut steps = Vec::with_capacity(net.len().saturating_sub(1));
+    let mut current = net.clone();
+    while current.len() > 1 {
+        let step = collapse_last_pair(&current);
+        current = step.network.clone();
+        steps.push(step);
+    }
+    ReductionTrace { original: net.clone(), steps }
+}
+
+/// Replace the suffix `P_i … P_m` of the chain by a single equivalent
+/// processor, yielding an `(i+1)`-processor chain whose last member has rate
+/// `w̄_i`. The links `ℓ_1 … ℓ_i` are preserved.
+pub fn collapse_suffix(net: &LinearNetwork, i: usize) -> LinearNetwork {
+    assert!(i < net.len());
+    let w_bar = linear::equivalent_time(&net.suffix(i));
+    let mut processors: Vec<Processor> = net.processors()[..i].to_vec();
+    processors.push(Processor::new(w_bar));
+    let links: Vec<Link> = net.links()[..i].to_vec();
+    LinearNetwork::new(processors, links)
+}
+
+/// Structural check: the equivalent time of the collapsed network equals the
+/// equivalent time of the original (reduction preserves the makespan).
+pub fn reduction_preserves_makespan(net: &LinearNetwork, i: usize, tol: f64) -> bool {
+    let collapsed = collapse_suffix(net, i);
+    (linear::equivalent_time(&collapsed) - linear::equivalent_time(net)).abs() <= tol
+}
+
+/// Structural check: collapsing a suffix leaves the optimal *prefix*
+/// allocation unchanged — the first `i` global fractions of the collapsed
+/// network equal those of the original.
+pub fn reduction_preserves_prefix_allocation(net: &LinearNetwork, i: usize, tol: f64) -> bool {
+    let full = linear::solve(net);
+    let collapsed = linear::solve(&collapse_suffix(net, i));
+    (0..i).all(|k| (full.alloc.alpha(k) - collapsed.alloc.alpha(k)).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::makespan;
+
+    fn sample() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn collapse_last_pair_shrinks_by_one() {
+        let net = sample();
+        let step = collapse_last_pair(&net);
+        assert_eq!(step.network.len(), 3);
+        assert_eq!(step.index, 2);
+        assert_eq!(step.network.w(0), 1.0);
+        assert_eq!(step.network.w(1), 2.0);
+    }
+
+    #[test]
+    fn figure3_pair_equivalent_matches_segment_makespan() {
+        // w̄ of the collapsed pair equals the makespan of the isolated pair.
+        let net = sample();
+        let step = collapse_last_pair(&net);
+        let pair = net.segment(2, 3);
+        let sol = linear::solve(&pair);
+        assert!((step.w_bar - sol.makespan()).abs() < 1e-12);
+        assert!((step.w_bar - makespan(&pair, &sol.alloc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_trace_has_n_minus_1_steps() {
+        let net = sample();
+        let trace = reduce_fully(&net);
+        assert_eq!(trace.steps.len(), 3);
+        assert_eq!(trace.steps.last().unwrap().network.len(), 1);
+    }
+
+    #[test]
+    fn trace_equivalent_matches_direct_solver() {
+        let net = sample();
+        let trace = reduce_fully(&net);
+        assert!((trace.equivalent_time() - linear::equivalent_time(&net)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_on_singleton_is_empty() {
+        let net = LinearNetwork::homogeneous(1, 2.0, 0.0);
+        let trace = reduce_fully(&net);
+        assert!(trace.steps.is_empty());
+        assert_eq!(trace.equivalent_time(), 2.0);
+    }
+
+    #[test]
+    fn collapse_suffix_preserves_makespan_everywhere() {
+        let net = sample();
+        for i in 0..net.len() {
+            assert!(reduction_preserves_makespan(&net, i, 1e-12), "suffix {i}");
+        }
+    }
+
+    #[test]
+    fn collapse_suffix_preserves_prefix_allocation() {
+        let net = sample();
+        for i in 0..net.len() {
+            assert!(reduction_preserves_prefix_allocation(&net, i, 1e-12), "suffix {i}");
+        }
+    }
+
+    #[test]
+    fn collapse_suffix_zero_yields_single_equivalent() {
+        let net = sample();
+        let collapsed = collapse_suffix(&net, 0);
+        assert_eq!(collapsed.len(), 1);
+        assert!((collapsed.w(0) - linear::equivalent_time(&net)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_is_order_independent() {
+        // Collapsing the suffix at any cut, then fully reducing, matches the
+        // far-end-first order of Algorithm 1.
+        let net = LinearNetwork::from_rates(&[0.9, 1.7, 2.3, 0.6, 1.1], &[0.3, 0.15, 0.2, 0.4]);
+        let direct = reduce_fully(&net).equivalent_time();
+        for cut in 1..net.len() {
+            let partial = collapse_suffix(&net, cut);
+            let via_cut = reduce_fully(&partial).equivalent_time();
+            assert!((direct - via_cut).abs() < 1e-12, "cut={cut}: {direct} vs {via_cut}");
+        }
+    }
+
+    #[test]
+    fn equivalent_processor_is_faster_than_both_members() {
+        // The merged pair outperforms either member alone.
+        let step = collapse_last_pair(&LinearNetwork::from_rates(&[1.0, 2.0], &[0.1]));
+        assert!(step.w_bar < 1.0);
+        assert!(step.w_bar < 2.0);
+    }
+
+    #[test]
+    fn alpha_hat_in_unit_interval() {
+        let net = sample();
+        let trace = reduce_fully(&net);
+        for s in &trace.steps {
+            assert!(s.alpha_hat > 0.0 && s.alpha_hat < 1.0);
+        }
+    }
+}

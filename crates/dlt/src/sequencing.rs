@@ -1,0 +1,164 @@
+//! Service-order (sequencing) analysis for star networks.
+//!
+//! With one-port sequential distribution, the *order* in which a root
+//! serves its children is a degree of freedom. The classical result is
+//! that serving children in **ascending link-rate order** (fastest links
+//! first) minimizes the makespan, independently of the processor rates.
+//! This module provides:
+//!
+//! * [`exhaustive_best_order`] — brute-force search over all `m!` orders
+//!   (small `m`), the ground truth;
+//! * [`ascending_link_order`] — the classical heuristic;
+//! * [`order_makespan`] — evaluate any order.
+//!
+//! The experiment `exp_sequencing` uses these to verify the classical
+//! result empirically — it is also the justification for
+//! [`crate::tree::canonicalize`], which the tree *mechanism* needs: with a
+//! suboptimal service order the equal-finish solution is not min-makespan,
+//! the parent's equivalent time loses monotonicity in a child's bid, and
+//! strategyproofness breaks (observed, then fixed, during this
+//! reproduction — see DESIGN.md).
+
+use crate::model::StarNetwork;
+use crate::star;
+use serde::{Deserialize, Serialize};
+
+/// Evaluate the optimal equal-finish makespan of a star when children are
+/// served in the given order (indices into `net.children()`).
+pub fn order_makespan(net: &StarNetwork, order: &[usize]) -> f64 {
+    assert_eq!(order.len(), net.children().len());
+    let permuted = StarNetwork::new(
+        net.root(),
+        order.iter().map(|&i| net.children()[i]).collect(),
+    );
+    star::solve(&permuted).makespan
+}
+
+/// The ascending-link-rate order (stable for ties).
+pub fn ascending_link_order(net: &StarNetwork) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..net.children().len()).collect();
+    idx.sort_by(|&a, &b| net.children()[a].0.z.total_cmp(&net.children()[b].0.z));
+    idx
+}
+
+/// Result of the exhaustive order search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderSearch {
+    /// The best order found.
+    pub best_order: Vec<usize>,
+    /// Its makespan.
+    pub best_makespan: f64,
+    /// The worst order's makespan (for the spread).
+    pub worst_makespan: f64,
+    /// Number of orders evaluated.
+    pub evaluated: usize,
+}
+
+/// Brute-force all `m!` service orders. Panics if `m > 9` (guard against
+/// factorial blowup).
+pub fn exhaustive_best_order(net: &StarNetwork) -> OrderSearch {
+    let m = net.children().len();
+    assert!(m <= 9, "exhaustive search is factorial; m = {m} is too large");
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut best_order = order.clone();
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    let mut evaluated = 0;
+    permute(&mut order, 0, &mut |perm| {
+        let ms = order_makespan(net, perm);
+        evaluated += 1;
+        if ms < best {
+            best = ms;
+            best_order = perm.to_vec();
+        }
+        worst = worst.max(ms);
+    });
+    OrderSearch { best_order, best_makespan: best, worst_makespan: worst, evaluated }
+}
+
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Convenience: build a star from raw rates and search orders.
+pub fn search_from_rates(w: &[f64], z: &[f64]) -> OrderSearch {
+    exhaustive_best_order(&StarNetwork::from_rates(w, z))
+}
+
+/// True if the ascending-link order achieves the exhaustive optimum
+/// within `tol`.
+pub fn ascending_is_optimal(net: &StarNetwork, tol: f64) -> bool {
+    let search = exhaustive_best_order(net);
+    let asc = order_makespan(net, &ascending_link_order(net));
+    asc <= search.best_makespan + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StarNetwork;
+
+    fn heterogeneous() -> StarNetwork {
+        StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0, 1.1], &[0.66, 0.1, 0.4, 0.05])
+    }
+
+    #[test]
+    fn identity_order_matches_direct_solve() {
+        let net = heterogeneous();
+        let identity: Vec<usize> = (0..4).collect();
+        assert!((order_makespan(&net, &identity) - star::solve(&net).makespan).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exhaustive_covers_m_factorial() {
+        let net = heterogeneous();
+        let search = exhaustive_best_order(&net);
+        assert_eq!(search.evaluated, 24);
+        assert!(search.best_makespan <= search.worst_makespan);
+    }
+
+    #[test]
+    fn ascending_link_order_sorts_by_z() {
+        let net = heterogeneous();
+        let order = ascending_link_order(&net);
+        assert_eq!(order, vec![3, 1, 2, 0]); // z = 0.05, 0.1, 0.4, 0.66
+    }
+
+    #[test]
+    fn ascending_order_is_optimal_here() {
+        assert!(ascending_is_optimal(&heterogeneous(), 1e-12));
+    }
+
+    #[test]
+    fn order_matters_with_heterogeneous_links() {
+        let net = heterogeneous();
+        let search = exhaustive_best_order(&net);
+        assert!(
+            search.worst_makespan > search.best_makespan + 1e-6,
+            "with spread-out link rates the order must matter"
+        );
+    }
+
+    #[test]
+    fn order_is_irrelevant_for_uniform_links_and_rates() {
+        let net = StarNetwork::bus(1.0, &[2.0, 2.0, 2.0], 0.3);
+        let search = exhaustive_best_order(&net);
+        assert!((search.worst_makespan - search.best_makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "factorial")]
+    fn guards_against_large_m() {
+        let w = vec![1.0; 11];
+        let z = vec![0.1; 10];
+        exhaustive_best_order(&StarNetwork::from_rates(&w, &z));
+    }
+}

@@ -1,0 +1,182 @@
+//! Optimal divisible load scheduling on star (single-level tree) and bus
+//! networks — the substrates of the companion mechanisms \[9, 14\] that the
+//! paper cites as prior work, implemented here as baselines for the
+//! cross-architecture comparison experiment (E10).
+//!
+//! Model: the root `P_0` holds the load, computes its own share through its
+//! front-end, and transmits the children's shares sequentially in index
+//! order over dedicated links (one-port). Child `i` receives its entire
+//! share before computing. Finish times:
+//!
+//! * `T_0 = α_0 · w_0`
+//! * `T_i = Σ_{k≤i} α_k z_k + α_i w_i`
+//!
+//! Equal finish times (the star analogue of Theorem 2.1) give the recursion
+//! `α_i w_i = α_{i+1}(z_{i+1} + w_{i+1})`, anchored by
+//! `α_0 w_0 = α_1 (z_1 + w_1)`, then normalized to sum to one.
+
+use crate::model::{Allocation, StarNetwork, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// Solution of the star scheduling problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarSolution {
+    /// Global allocation: index 0 is the root, then children in
+    /// distribution order.
+    pub alloc: Allocation,
+    /// The common finish time (makespan) for the unit load.
+    pub makespan: f64,
+}
+
+/// Solve the star problem with every processor participating. Runs in O(m).
+pub fn solve(net: &StarNetwork) -> StarSolution {
+    let mut raw = Vec::with_capacity(net.len());
+    raw.push(1.0f64);
+    let mut prev_w = net.root().w;
+    for (link, child) in net.children() {
+        let ratio = prev_w / (link.z + child.w);
+        let prev = *raw.last().expect("non-empty");
+        raw.push(prev * ratio);
+        prev_w = child.w;
+    }
+    let total: f64 = raw.iter().sum();
+    let fractions: Vec<f64> = raw.iter().map(|r| r / total).collect();
+    let makespan = fractions[0] * net.root().w;
+    StarSolution { alloc: Allocation::new(fractions), makespan }
+}
+
+/// Finish times of every processor in the star under an arbitrary
+/// allocation (root first, then children in distribution order).
+pub fn finish_times(net: &StarNetwork, alloc: &Allocation) -> Vec<f64> {
+    assert_eq!(alloc.len(), net.len());
+    let mut out = Vec::with_capacity(net.len());
+    out.push(alloc.alpha(0) * net.root().w);
+    let mut comm = 0.0;
+    for (i, (link, child)) in net.children().iter().enumerate() {
+        let a = alloc.alpha(i + 1);
+        comm += a * link.z;
+        if a > 0.0 {
+            out.push(comm + a * child.w);
+        } else {
+            out.push(0.0);
+        }
+    }
+    out
+}
+
+/// Makespan of the star under an arbitrary allocation.
+pub fn makespan(net: &StarNetwork, alloc: &Allocation) -> f64 {
+    finish_times(net, alloc).into_iter().fold(0.0, f64::max)
+}
+
+/// Spread of finish times over participating processors; zero at the
+/// optimum.
+pub fn participation_spread(net: &StarNetwork, alloc: &Allocation) -> f64 {
+    let times = finish_times(net, alloc);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, &t) in times.iter().enumerate() {
+        if alloc.alpha(i) > EPSILON {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if lo.is_infinite() {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// The equivalent unit processing time of the whole star: its optimal
+/// makespan under unit load. Used by the tree solver to collapse subtrees.
+pub fn equivalent_time(net: &StarNetwork) -> f64 {
+    if net.children().is_empty() {
+        return net.root().w;
+    }
+    solve(net).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StarNetwork;
+
+    #[test]
+    fn childless_star_gives_root_everything() {
+        let net = StarNetwork::from_rates(&[2.0], &[]);
+        let sol = solve(&net);
+        assert_eq!(sol.alloc.alpha(0), 1.0);
+        assert_eq!(sol.makespan, 2.0);
+    }
+
+    #[test]
+    fn two_processor_star_matches_chain() {
+        // A star with one child is exactly a 2-processor chain.
+        let star = StarNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let sol = solve(&star);
+        assert!((sol.alloc.alpha(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((sol.makespan - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let net = StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0], &[0.1, 0.4, 0.2]);
+        let sol = solve(&net);
+        sol.alloc.validate().unwrap();
+        assert!(sol.alloc.fractions().iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn equal_finish_times_at_optimum() {
+        let net = StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0, 1.2], &[0.1, 0.4, 0.2, 0.3]);
+        let sol = solve(&net);
+        assert!(participation_spread(&net, &sol.alloc) < 1e-12);
+    }
+
+    #[test]
+    fn makespan_equals_root_term() {
+        let net = StarNetwork::from_rates(&[1.3, 0.9, 2.2], &[0.15, 0.25]);
+        let sol = solve(&net);
+        assert!((sol.makespan - sol.alloc.alpha(0) * 1.3).abs() < 1e-12);
+        assert!((sol.makespan - makespan(&net, &sol.alloc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_children_with_equal_rates_get_equal_load() {
+        let net = StarNetwork::bus(1.0, &[2.0, 2.0, 2.0], 0.2);
+        let sol = solve(&net);
+        // Sequential distribution: with equal w and z, later children get
+        // strictly less (α_{i+1} = α_i · w/(z+w) < α_i).
+        assert!(sol.alloc.alpha(2) < sol.alloc.alpha(1));
+        assert!(sol.alloc.alpha(3) < sol.alloc.alpha(2));
+    }
+
+    #[test]
+    fn faster_link_child_receives_more() {
+        let fast = StarNetwork::from_rates(&[1.0, 1.0], &[0.1]);
+        let slow = StarNetwork::from_rates(&[1.0, 1.0], &[2.0]);
+        assert!(solve(&fast).alloc.alpha(1) > solve(&slow).alloc.alpha(1));
+    }
+
+    #[test]
+    fn more_children_never_hurt() {
+        let small = StarNetwork::from_rates(&[1.0, 2.0], &[0.3]);
+        let big = StarNetwork::from_rates(&[1.0, 2.0, 2.0], &[0.3, 0.3]);
+        assert!(solve(&big).makespan <= solve(&small).makespan + 1e-12);
+    }
+
+    #[test]
+    fn equivalent_time_of_leaf_is_its_rate() {
+        let net = StarNetwork::from_rates(&[3.5], &[]);
+        assert_eq!(equivalent_time(&net), 3.5);
+    }
+
+    #[test]
+    fn zero_allocation_child_has_zero_finish_time() {
+        let net = StarNetwork::from_rates(&[1.0, 1.0, 1.0], &[0.5, 0.5]);
+        let alloc = Allocation::new(vec![0.7, 0.3, 0.0]);
+        let t = finish_times(&net, &alloc);
+        assert_eq!(t[2], 0.0);
+    }
+}

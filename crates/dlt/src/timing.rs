@@ -1,0 +1,325 @@
+//! Analytic timing model for chain execution (eqs. 2.1–2.2 of the paper).
+//!
+//! The chain operates under the *one-port*, *front-end*, store-and-forward
+//! model of Figure 2: `P_0` starts computing its share `α_0` at time zero
+//! while simultaneously transmitting the remainder `D_1 = 1 - α_0` to `P_1`;
+//! `P_1` must receive its entire delivery before it starts computing and
+//! forwarding, and so on down the chain. Communication of `D_j` units over
+//! link `ℓ_j` takes `D_j · z_j`.
+
+use crate::model::{Allocation, LinearNetwork, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// The finish time `T_i(α)` of processor `P_i` per eqs. 2.1–2.2:
+///
+/// * `T_0 = α_0 · w_0`
+/// * `T_j = Σ_{k=1}^{j} D_k z_k + α_j w_j` for `α_j > 0`, else `0`,
+///
+/// where `D_k = 1 - Σ_{ℓ<k} α_ℓ` is the load forwarded over link `ℓ_k`.
+pub fn finish_time(net: &LinearNetwork, alloc: &Allocation, i: usize) -> f64 {
+    assert_eq!(net.len(), alloc.len(), "allocation/network size mismatch");
+    assert!(i < net.len());
+    if i == 0 {
+        return alloc.alpha(0) * net.w(0);
+    }
+    if alloc.alpha(i) <= 0.0 {
+        return 0.0;
+    }
+    let mut remaining = 1.0;
+    let mut comm = 0.0;
+    for k in 1..=i {
+        remaining -= alloc.alpha(k - 1); // D_k = 1 - Σ_{ℓ<k} α_ℓ
+        comm += remaining * net.z(k);
+    }
+    comm + alloc.alpha(i) * net.w(i)
+}
+
+/// All finish times `T_0 … T_m` in a single O(m) pass.
+pub fn finish_times(net: &LinearNetwork, alloc: &Allocation) -> Vec<f64> {
+    assert_eq!(net.len(), alloc.len(), "allocation/network size mismatch");
+    let m = net.last_index();
+    let mut out = Vec::with_capacity(m + 1);
+    out.push(alloc.alpha(0) * net.w(0));
+    let mut remaining = 1.0;
+    let mut comm = 0.0;
+    for j in 1..=m {
+        remaining -= alloc.alpha(j - 1);
+        comm += remaining * net.z(j);
+        if alloc.alpha(j) > 0.0 {
+            out.push(comm + alloc.alpha(j) * net.w(j));
+        } else {
+            out.push(0.0);
+        }
+    }
+    out
+}
+
+/// The makespan `T(α) = max_i T_i(α)`.
+pub fn makespan(net: &LinearNetwork, alloc: &Allocation) -> f64 {
+    finish_times(net, alloc).into_iter().fold(0.0, f64::max)
+}
+
+/// The spread `max_i T_i − min_{i: α_i>0} T_i` over *participating*
+/// processors. Theorem 2.1 states this is zero at the optimum.
+pub fn participation_spread(net: &LinearNetwork, alloc: &Allocation) -> f64 {
+    let times = finish_times(net, alloc);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, &t) in times.iter().enumerate() {
+        if alloc.alpha(i) > EPSILON {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if lo.is_infinite() {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// One activity interval on a processor or link in the analytic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start time.
+    pub start: f64,
+    /// End time (`end ≥ start`).
+    pub end: f64,
+}
+
+impl Interval {
+    /// Construct an interval; panics if `end < start` beyond tolerance.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(end >= start - EPSILON, "interval ends before it starts: [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// Interval duration.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// True if two intervals overlap by more than the tolerance.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end - EPSILON && other.start < self.end - EPSILON
+    }
+}
+
+/// Per-processor activity in the closed-form chain schedule: when it
+/// receives, computes, and forwards. This is the analytic counterpart of the
+/// Gantt chart in Figure 2; the discrete-event simulator in the `sim` crate
+/// must reproduce it exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSchedule {
+    /// Receiving interval on the inbound link (`None` for the root, which
+    /// originates the load).
+    pub receive: Option<Interval>,
+    /// Computing interval (zero-length if the processor gets no load).
+    pub compute: Interval,
+    /// Forwarding interval on the outbound link (`None` for the terminal
+    /// processor or when nothing is forwarded).
+    pub send: Option<Interval>,
+    /// Load retained (`α_i`).
+    pub retained: f64,
+    /// Load forwarded (`D_{i+1}`).
+    pub forwarded: f64,
+}
+
+/// The full analytic schedule of a chain execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSchedule {
+    /// Per-processor activities, root first.
+    pub processors: Vec<ProcessorSchedule>,
+    /// Overall makespan.
+    pub makespan: f64,
+}
+
+impl ChainSchedule {
+    /// Build the analytic schedule for `alloc` on `net` (Figure 2 semantics).
+    ///
+    /// `P_i` finishes receiving at `R_i = Σ_{k=1}^{i} D_k z_k` (with
+    /// `R_0 = 0`), computes during `[R_i, R_i + α_i w_i]`, and forwards
+    /// during `[R_i, R_i + D_{i+1} z_{i+1}]` thanks to its front-end.
+    pub fn analytic(net: &LinearNetwork, alloc: &Allocation) -> Self {
+        assert_eq!(net.len(), alloc.len());
+        let m = net.last_index();
+        let received = alloc.received();
+        let mut processors = Vec::with_capacity(m + 1);
+        let mut recv_end = 0.0; // R_i
+        for i in 0..=m {
+            let receive = if i == 0 {
+                None
+            } else {
+                let d_i = received[i];
+                let start = recv_end - d_i * net.z(i);
+                Some(Interval::new(start, recv_end))
+            };
+            let compute = Interval::new(recv_end, recv_end + alloc.alpha(i) * net.w(i));
+            let forwarded = if i < m { received[i] - alloc.alpha(i) } else { 0.0 };
+            let send = if i < m && forwarded > EPSILON {
+                let dur = forwarded * net.z(i + 1);
+                Some(Interval::new(recv_end, recv_end + dur))
+            } else {
+                None
+            };
+            if i < m {
+                // successor finishes receiving when we finish sending
+                let send_dur = forwarded.max(0.0) * net.z(i + 1);
+                recv_end += send_dur;
+            }
+            processors.push(ProcessorSchedule {
+                receive,
+                compute,
+                send,
+                retained: alloc.alpha(i),
+                forwarded,
+            });
+        }
+        let makespan = processors
+            .iter()
+            .map(|p| p.compute.end)
+            .fold(0.0, f64::max);
+        Self { processors, makespan }
+    }
+
+    /// Check internal consistency of the schedule against the closed-form
+    /// finish times: each processor's compute end must equal `T_i(α)`
+    /// whenever `α_i > 0`.
+    pub fn matches_closed_form(&self, net: &LinearNetwork, alloc: &Allocation, tol: f64) -> bool {
+        let times = finish_times(net, alloc);
+        self.processors.iter().enumerate().all(|(i, p)| {
+            if alloc.alpha(i) > EPSILON {
+                (p.compute.end - times[i]).abs() <= tol
+            } else {
+                true
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_proc() -> (LinearNetwork, Allocation) {
+        // w0=1, w1=1, z1=1. Optimal: α̂_0 = (1+1)/(1+1+1) = 2/3.
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let alloc = Allocation::new(vec![2.0 / 3.0, 1.0 / 3.0]);
+        (net, alloc)
+    }
+
+    #[test]
+    fn finish_time_root_eq_21() {
+        let (net, alloc) = two_proc();
+        assert!((finish_time(&net, &alloc, 0) - 2.0 / 3.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn finish_time_successor_eq_22() {
+        let (net, alloc) = two_proc();
+        // T_1 = D_1 z_1 + α_1 w_1 = 1/3 + 1/3 = 2/3
+        assert!((finish_time(&net, &alloc, 1) - 2.0 / 3.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn finish_time_zero_allocation_is_zero() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let alloc = Allocation::new(vec![1.0, 0.0]);
+        assert_eq!(finish_time(&net, &alloc, 1), 0.0);
+    }
+
+    #[test]
+    fn finish_times_match_individual() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        let alloc = Allocation::new(vec![0.5, 0.3, 0.2]);
+        let all = finish_times(&net, &alloc);
+        for i in 0..3 {
+            assert!((all[i] - finish_time(&net, &alloc, i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        let alloc = Allocation::new(vec![0.5, 0.3, 0.2]);
+        let ms = makespan(&net, &alloc);
+        let times = finish_times(&net, &alloc);
+        assert_eq!(ms, times.iter().copied().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn spread_zero_for_balanced_two_proc() {
+        let (net, alloc) = two_proc();
+        assert!(participation_spread(&net, &alloc) < 1e-12);
+    }
+
+    #[test]
+    fn spread_positive_for_unbalanced() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let alloc = Allocation::new(vec![0.9, 0.1]);
+        assert!(participation_spread(&net, &alloc) > 0.1);
+    }
+
+    #[test]
+    fn spread_ignores_nonparticipants() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[1.0]);
+        let alloc = Allocation::new(vec![1.0, 0.0]);
+        // only P_0 participates → spread over singleton is zero
+        assert_eq!(participation_spread(&net, &alloc), 0.0);
+    }
+
+    #[test]
+    fn analytic_schedule_figure2_shape() {
+        let (net, alloc) = two_proc();
+        let sched = ChainSchedule::analytic(&net, &alloc);
+        let p0 = &sched.processors[0];
+        let p1 = &sched.processors[1];
+        assert!(p0.receive.is_none(), "root receives nothing");
+        assert!(p1.send.is_none(), "terminal forwards nothing");
+        // P_0 computes [0, 2/3], sends [0, 1/3]; P_1 receives [0,1/3], computes [1/3, 2/3].
+        assert!((p0.compute.end - 2.0 / 3.0).abs() < EPSILON);
+        let send = p0.send.expect("root sends");
+        assert!((send.end - 1.0 / 3.0).abs() < EPSILON);
+        let recv = p1.receive.expect("successor receives");
+        assert!((recv.start - 0.0).abs() < EPSILON);
+        assert!((recv.end - 1.0 / 3.0).abs() < EPSILON);
+        assert!((p1.compute.start - 1.0 / 3.0).abs() < EPSILON);
+        assert!((p1.compute.end - 2.0 / 3.0).abs() < EPSILON);
+        assert!((sched.makespan - 2.0 / 3.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn analytic_schedule_matches_closed_form_three_proc() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        let alloc = Allocation::new(vec![0.5, 0.3, 0.2]);
+        let sched = ChainSchedule::analytic(&net, &alloc);
+        assert!(sched.matches_closed_form(&net, &alloc, 1e-12));
+    }
+
+    #[test]
+    fn schedule_compute_follows_receive() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0, 4.0], &[0.4, 0.3, 0.2]);
+        let alloc = Allocation::new(vec![0.4, 0.3, 0.2, 0.1]);
+        let sched = ChainSchedule::analytic(&net, &alloc);
+        for p in &sched.processors[1..] {
+            let r = p.receive.expect("non-root receives");
+            assert!(p.compute.start >= r.end - EPSILON, "compute cannot precede full receipt");
+        }
+    }
+
+    #[test]
+    fn interval_overlap_detection() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(0.5, 2.0);
+        let c = Interval::new(1.0, 2.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn interval_rejects_reversed() {
+        Interval::new(1.0, 0.0);
+    }
+}

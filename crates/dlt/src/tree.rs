@@ -1,0 +1,231 @@
+//! Optimal divisible load scheduling on tree networks by recursive
+//! equivalent-processor reduction — the substrate of the companion tree
+//! mechanism \[9\], used here as a baseline in the cross-architecture
+//! comparison (E10) and as an independent oracle for the chain solver (a
+//! chain is a degenerate tree, and the two solvers must agree exactly).
+//!
+//! Every internal node solves a local star problem over (link, equivalent
+//! child) pairs: subtrees are collapsed bottom-up into equivalent processors
+//! (their optimal unit-load makespan), and the load is then split top-down,
+//! scaling the local star fractions by the amount each branch receives —
+//! exact under the linear cost model.
+
+use crate::model::{Link, Processor, StarNetwork, TreeNode, EPSILON};
+use crate::star;
+use serde::{Deserialize, Serialize};
+
+/// Per-node solution of the tree problem, mirroring the input tree's shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeSolution {
+    /// Load fraction retained by this node's processor.
+    pub alpha: f64,
+    /// Total load handed to this node (its `D`); the root receives 1.
+    pub received: f64,
+    /// Equivalent unit processing time of the subtree rooted here.
+    pub equivalent: f64,
+    /// Solutions of the child subtrees, in distribution order.
+    pub children: Vec<TreeSolution>,
+}
+
+impl TreeSolution {
+    /// Flatten retained fractions in depth-first (preorder) order.
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<f64>) {
+        out.push(self.alpha);
+        for c in &self.children {
+            c.collect(out);
+        }
+    }
+
+    /// Sum of retained fractions across the subtree; 1.0 at the root of a
+    /// full solution.
+    pub fn total(&self) -> f64 {
+        self.alpha + self.children.iter().map(TreeSolution::total).sum::<f64>()
+    }
+}
+
+/// Canonicalize a tree for scheduling: recursively sort every node's
+/// children by ascending link rate (stable for ties).
+///
+/// The classical single-level-tree sequencing result says serving
+/// faster links first is the optimal distribution order; with an
+/// arbitrary order the fixed-order equal-finish solution need not be
+/// min-makespan (a slow-linked child served early can block a fast
+/// sibling), which also breaks the makespan's monotonicity in a child's
+/// rate — the property the tree *mechanism* needs for strategyproofness.
+/// Canonicalize before solving whenever the child order is not itself
+/// meaningful.
+pub fn canonicalize(node: &TreeNode) -> TreeNode {
+    let mut children: Vec<(Link, TreeNode)> = node
+        .children
+        .iter()
+        .map(|(l, c)| (*l, canonicalize(c)))
+        .collect();
+    children.sort_by(|a, b| a.0.z.total_cmp(&b.0.z));
+    TreeNode { processor: node.processor, children }
+}
+
+/// Compute the equivalent unit processing time of a subtree by bottom-up
+/// star reduction.
+pub fn equivalent_time(node: &TreeNode) -> f64 {
+    if node.children.is_empty() {
+        return node.processor.w;
+    }
+    let star = local_star(node);
+    star::equivalent_time(&star)
+}
+
+fn local_star(node: &TreeNode) -> StarNetwork {
+    let children = node
+        .children
+        .iter()
+        .map(|(link, child)| (Link::new(link.z), Processor::new(equivalent_time(child))))
+        .collect();
+    StarNetwork::new(node.processor, children)
+}
+
+/// Solve the tree problem: optimal fractions for every processor when the
+/// root originates a unit load.
+pub fn solve(root: &TreeNode) -> TreeSolution {
+    distribute(root, 1.0)
+}
+
+/// Distribute `amount` units of load into the subtree rooted at `node`.
+pub fn distribute(node: &TreeNode, amount: f64) -> TreeSolution {
+    if node.children.is_empty() {
+        return TreeSolution {
+            alpha: amount,
+            received: amount,
+            equivalent: node.processor.w,
+            children: Vec::new(),
+        };
+    }
+    let star = local_star(node);
+    let local = star::solve(&star);
+    let children = node
+        .children
+        .iter()
+        .enumerate()
+        .map(|(i, (_, child))| distribute(child, local.alloc.alpha(i + 1) * amount))
+        .collect();
+    TreeSolution {
+        alpha: local.alloc.alpha(0) * amount,
+        received: amount,
+        equivalent: local.makespan,
+        children,
+    }
+}
+
+/// The makespan of the whole tree under the optimal allocation: the
+/// equivalent time of the root subtree (all processors finish together).
+pub fn makespan(root: &TreeNode) -> f64 {
+    equivalent_time(root)
+}
+
+/// Verify that the solution's fractions are non-negative and sum to one.
+pub fn validate(sol: &TreeSolution) -> bool {
+    fn all_nonneg(s: &TreeSolution) -> bool {
+        s.alpha >= -EPSILON && s.children.iter().all(all_nonneg)
+    }
+    all_nonneg(sol) && (sol.total() - 1.0).abs() < 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear;
+    use crate::model::LinearNetwork;
+
+    #[test]
+    fn leaf_takes_everything() {
+        let sol = solve(&TreeNode::leaf(2.0));
+        assert_eq!(sol.alpha, 1.0);
+        assert_eq!(sol.equivalent, 2.0);
+    }
+
+    #[test]
+    fn chain_as_tree_matches_chain_solver() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
+        let tree = TreeNode::from_chain(&net);
+        let tsol = solve(&tree);
+        let lsol = linear::solve(&net);
+        let flat = tsol.flatten();
+        for i in 0..net.len() {
+            assert!(
+                (flat[i] - lsol.alloc.alpha(i)).abs() < 1e-12,
+                "α_{i}: tree {} vs chain {}",
+                flat[i],
+                lsol.alloc.alpha(i)
+            );
+        }
+        assert!((makespan(&tree) - lsol.makespan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_as_tree_matches_star_solver() {
+        let star_net = StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0], &[0.1, 0.4, 0.2]);
+        let tree = TreeNode::internal(
+            1.0,
+            vec![(0.1, TreeNode::leaf(2.0)), (0.4, TreeNode::leaf(0.7)), (0.2, TreeNode::leaf(3.0))],
+        );
+        let tsol = solve(&tree);
+        let ssol = star::solve(&star_net);
+        let flat = tsol.flatten();
+        for i in 0..4 {
+            assert!((flat[i] - ssol.alloc.alpha(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn balanced_binary_tree_is_feasible_and_consistent() {
+        let tree = TreeNode::internal(
+            1.0,
+            vec![
+                (0.2, TreeNode::internal(1.5, vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))])),
+                (0.2, TreeNode::internal(1.5, vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))])),
+            ],
+        );
+        let sol = solve(&tree);
+        assert!(validate(&sol));
+        // Symmetric branches receive... the first branch receives more due
+        // to sequential distribution.
+        assert!(sol.children[0].received > sol.children[1].received);
+        // Within a branch, symmetry holds: both leaves of the first internal
+        // node relate by the same w/(z+w) ratio as the star recursion.
+        assert!(sol.children[0].children[0].alpha > sol.children[0].children[1].alpha);
+    }
+
+    #[test]
+    fn subtree_equivalent_bounded_by_root_rate() {
+        let tree = TreeNode::internal(
+            2.0,
+            vec![(0.5, TreeNode::leaf(1.0)), (0.1, TreeNode::leaf(3.0))],
+        );
+        let eq = equivalent_time(&tree);
+        assert!(eq < 2.0, "helpers can only speed the root up");
+        assert!(eq > 0.0);
+    }
+
+    #[test]
+    fn deep_chain_tree_is_stable() {
+        let net = LinearNetwork::homogeneous(64, 1.0, 0.1);
+        let tree = TreeNode::from_chain(&net);
+        let sol = solve(&tree);
+        assert!(validate(&sol));
+        assert!((makespan(&tree) - linear::solve(&net).makespan()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn distribute_scales_linearly() {
+        let tree = TreeNode::internal(1.0, vec![(0.2, TreeNode::leaf(2.0))]);
+        let full = distribute(&tree, 1.0);
+        let half = distribute(&tree, 0.5);
+        assert!((half.alpha - full.alpha * 0.5).abs() < 1e-12);
+        assert!((half.children[0].alpha - full.children[0].alpha * 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! One-parameter agent model (§3 of the paper).
+//!
+//! Each strategic processor `P_i` is characterized by a *privately known*
+//! true unit processing time `t_i`. Towards the mechanism it chooses:
+//!
+//! * a **bid** `w_i` — the declared unit processing time (any positive
+//!   value);
+//! * an **actual rate** `w̃_i ≥ t_i` — the speed it really computes at,
+//!   recorded by the tamper-proof meter (it cannot compute faster than its
+//!   hardware allows, but may stall);
+//! * an **actual load** `α̃_i` — how much of its prescribed assignment it
+//!   really retains (shedding pushes the remainder onto its successor).
+
+use serde::{Deserialize, Serialize};
+
+/// A strategic agent's private type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    /// True unit processing time `t_i` (private).
+    pub true_rate: f64,
+}
+
+impl Agent {
+    /// Create an agent with the given true rate.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite.
+    pub fn new(true_rate: f64) -> Self {
+        assert!(true_rate.is_finite() && true_rate > 0.0);
+        Self { true_rate }
+    }
+
+    /// The fastest rate this agent can legally report as its *actual*
+    /// execution speed: its hardware bound `t_i`.
+    pub fn fastest(&self) -> f64 {
+        self.true_rate
+    }
+
+    /// Clamp a desired execution rate to what the hardware permits
+    /// (`w̃ ≥ t`).
+    pub fn feasible_actual(&self, desired: f64) -> f64 {
+        desired.max(self.true_rate)
+    }
+}
+
+/// What an agent declares and does in one round of the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Conduct {
+    /// Declared unit processing time `w_i`.
+    pub bid: f64,
+    /// Actual unit processing time `w̃_i` as recorded by the meter.
+    pub actual_rate: f64,
+    /// Actual retained load `α̃_i` (units of total load). `None` means
+    /// exactly the prescribed assignment.
+    pub actual_load: Option<f64>,
+}
+
+impl Conduct {
+    /// Fully truthful conduct for an agent: bid the true rate, execute at
+    /// full capacity, take the prescribed load.
+    pub fn truthful(agent: Agent) -> Self {
+        Self { bid: agent.true_rate, actual_rate: agent.true_rate, actual_load: None }
+    }
+
+    /// Misreport the rate by `factor` (>1 overbids/slower, <1 underbids),
+    /// but otherwise comply: execute at the fastest *feasible* speed
+    /// consistent with the hardware.
+    pub fn misreport(agent: Agent, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        let bid = agent.true_rate * factor;
+        Self { bid, actual_rate: agent.feasible_actual(bid.min(agent.true_rate)), actual_load: None }
+    }
+
+    /// Bid truthfully but execute slower than capacity (`w̃ = t·factor`,
+    /// `factor ≥ 1`).
+    pub fn slack_execution(agent: Agent, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        Self {
+            bid: agent.true_rate,
+            actual_rate: agent.true_rate * factor,
+            actual_load: None,
+        }
+    }
+
+    /// True if the conduct is consistent with the agent's hardware
+    /// (`w̃ ≥ t`).
+    pub fn is_feasible(&self, agent: Agent) -> bool {
+        self.actual_rate >= agent.true_rate - 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthful_conduct() {
+        let a = Agent::new(2.0);
+        let c = Conduct::truthful(a);
+        assert_eq!(c.bid, 2.0);
+        assert_eq!(c.actual_rate, 2.0);
+        assert_eq!(c.actual_load, None);
+        assert!(c.is_feasible(a));
+    }
+
+    #[test]
+    fn underbid_cannot_execute_faster_than_hardware() {
+        let a = Agent::new(2.0);
+        let c = Conduct::misreport(a, 0.5); // bids 1.0
+        assert_eq!(c.bid, 1.0);
+        assert_eq!(c.actual_rate, 2.0, "meter will show the true rate");
+        assert!(c.is_feasible(a));
+    }
+
+    #[test]
+    fn overbid_may_execute_at_capacity() {
+        let a = Agent::new(2.0);
+        let c = Conduct::misreport(a, 2.0); // bids 4.0
+        assert_eq!(c.bid, 4.0);
+        assert_eq!(c.actual_rate, 2.0);
+        assert!(c.is_feasible(a));
+    }
+
+    #[test]
+    fn slack_execution_is_feasible() {
+        let a = Agent::new(1.5);
+        let c = Conduct::slack_execution(a, 2.0);
+        assert_eq!(c.actual_rate, 3.0);
+        assert!(c.is_feasible(a));
+    }
+
+    #[test]
+    fn infeasible_conduct_detected() {
+        let a = Agent::new(2.0);
+        let c = Conduct { bid: 2.0, actual_rate: 1.0, actual_load: None };
+        assert!(!c.is_feasible(a), "cannot compute faster than hardware");
+    }
+
+    #[test]
+    fn feasible_actual_clamps() {
+        let a = Agent::new(2.0);
+        assert_eq!(a.feasible_actual(1.0), 2.0);
+        assert_eq!(a.feasible_actual(3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_rate() {
+        Agent::new(0.0);
+    }
+}

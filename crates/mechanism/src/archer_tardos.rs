@@ -1,0 +1,304 @@
+//! Archer–Tardos one-parameter payments \[1\] — the general framework the
+//! paper cites for strategyproof mechanisms over monotone allocation rules.
+//!
+//! For agents whose private type is a single cost rate (`cost = load ×
+//! rate`), any allocation rule with loads *non-increasing in the agent's
+//! own bid* admits a strategyproof payment:
+//!
+//! ```text
+//! P_j(b) = b_j·α_j(b) + ∫_{b_j}^{w_max} α_j(b_{-j}, u) du
+//! ```
+//!
+//! over a bounded bid space `(0, w_max]` (DLT loads decay like `1/u`, so
+//! the usual `∞` upper limit diverges — the bounded domain is essential
+//! and is enforced here). A truthful agent's utility is
+//! `∫_{t_j}^{w_max} α_j(u) du ≥ 0`: strategyproofness and voluntary
+//! participation both fall out of monotonicity.
+//!
+//! This module instantiates the framework for the chain (Algorithm 1) and
+//! for bus/star networks — the latter realizing the goal of the companion
+//! bus mechanism \[14\] inside this codebase. Contrast with
+//! [`crate::dls_lbl`]: Archer–Tardos is a **tamper-proof** mechanism (a
+//! trusted center computes allocations and payments from bids alone),
+//! whereas DLS-LBL works in the **autonomous-node** model where agents run
+//! the algorithm themselves and must be kept honest by verification,
+//! grievances and fines. The two coincide in *incentive* but differ in
+//! *trust architecture* — exactly the gap the paper's protocol fills.
+
+use dlt::linear;
+use dlt::model::{LinearNetwork, StarNetwork};
+use dlt::star;
+use serde::{Deserialize, Serialize};
+
+/// A one-parameter allocation rule over `m` strategic agents.
+pub trait AllocationRule {
+    /// Number of strategic agents.
+    fn num_agents(&self) -> usize;
+    /// The load assigned to agent `j` (1-based) under the given bids.
+    fn load(&self, bids: &[f64], j: usize) -> f64;
+}
+
+/// The chain rule: Algorithm 1 over (obedient root, strategic `P_1…P_m`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainRule {
+    /// Root rate `w_0`.
+    pub root_rate: f64,
+    /// Link rates `z_1…z_m`.
+    pub link_rates: Vec<f64>,
+}
+
+impl AllocationRule for ChainRule {
+    fn num_agents(&self) -> usize {
+        self.link_rates.len()
+    }
+
+    fn load(&self, bids: &[f64], j: usize) -> f64 {
+        assert_eq!(bids.len(), self.num_agents());
+        let mut w = vec![self.root_rate];
+        w.extend_from_slice(bids);
+        let net = LinearNetwork::from_rates(&w, &self.link_rates);
+        linear::solve(&net).alloc.alpha(j)
+    }
+}
+
+/// The star rule: sequential-distribution star (bus = uniform links) over
+/// (obedient root, strategic children) — the substrate of \[14\].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarRule {
+    /// Root rate.
+    pub root_rate: f64,
+    /// Per-child link rates (uniform for a bus).
+    pub link_rates: Vec<f64>,
+}
+
+impl StarRule {
+    /// A bus: all children share one link rate.
+    pub fn bus(root_rate: f64, children: usize, bus_rate: f64) -> Self {
+        Self { root_rate, link_rates: vec![bus_rate; children] }
+    }
+}
+
+impl AllocationRule for StarRule {
+    fn num_agents(&self) -> usize {
+        self.link_rates.len()
+    }
+
+    fn load(&self, bids: &[f64], j: usize) -> f64 {
+        assert_eq!(bids.len(), self.num_agents());
+        let mut w = vec![self.root_rate];
+        w.extend_from_slice(bids);
+        let net = StarNetwork::from_rates(&w, &self.link_rates);
+        star::solve(&net).alloc.alpha(j)
+    }
+}
+
+/// The Archer–Tardos mechanism over a monotone allocation rule.
+#[derive(Debug, Clone)]
+pub struct ArcherTardos<R: AllocationRule> {
+    rule: R,
+    /// Upper end of the admissible bid space.
+    w_max: f64,
+    /// Simpson integration panels (even, ≥ 2).
+    panels: usize,
+}
+
+/// Outcome for one agent under Archer–Tardos.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtOutcome {
+    /// Assigned load `α_j`.
+    pub load: f64,
+    /// Payment `P_j`.
+    pub payment: f64,
+    /// Utility at the given true rate (`P_j − α_j·t_j`).
+    pub utility: f64,
+}
+
+impl<R: AllocationRule> ArcherTardos<R> {
+    /// Create the mechanism. Bids outside `(0, w_max]` are rejected.
+    pub fn new(rule: R, w_max: f64) -> Self {
+        assert!(w_max > 0.0);
+        Self { rule, w_max, panels: 256 }
+    }
+
+    /// Access the rule.
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+
+    /// `∫_{a}^{w_max} α_j(b_{-j}, u) du` by composite Simpson.
+    fn rebate(&self, bids: &[f64], j: usize, a: f64) -> f64 {
+        assert!(a <= self.w_max, "bid {a} above the admissible space {}", self.w_max);
+        let n = self.panels;
+        let h = (self.w_max - a) / n as f64;
+        if h <= 0.0 {
+            return 0.0;
+        }
+        let mut scratch = bids.to_vec();
+        let mut eval = |u: f64| -> f64 {
+            scratch[j - 1] = u;
+            self.rule.load(&scratch, j)
+        };
+        let mut acc = eval(a) + eval(self.w_max);
+        for i in 1..n {
+            let u = a + i as f64 * h;
+            acc += eval(u) * if i % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        acc * h / 3.0
+    }
+
+    /// Settle agent `j`: load, payment and utility given its true rate.
+    pub fn settle(&self, bids: &[f64], j: usize, true_rate: f64) -> AtOutcome {
+        assert!(j >= 1 && j <= self.rule.num_agents());
+        let b_j = bids[j - 1];
+        assert!(b_j > 0.0 && b_j <= self.w_max, "bid outside the admissible space");
+        let load = self.rule.load(bids, j);
+        let payment = b_j * load + self.rebate(bids, j, b_j);
+        AtOutcome { load, payment, utility: payment - load * true_rate }
+    }
+
+    /// Utility-vs-bid sweep for agent `j`, others fixed.
+    pub fn sweep(&self, bids: &[f64], j: usize, true_rate: f64, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter()
+            .filter(|&&b| b > 0.0 && b <= self.w_max)
+            .map(|&b| {
+                let mut bs = bids.to_vec();
+                bs[j - 1] = b;
+                (b, self.settle(&bs, j, true_rate).utility)
+            })
+            .collect()
+    }
+}
+
+/// Check that a rule is monotone (load non-increasing in own bid) for a
+/// specific instance — the precondition for Archer–Tardos truthfulness.
+pub fn is_monotone<R: AllocationRule>(rule: &R, bids: &[f64], j: usize, grid: &[f64]) -> bool {
+    let mut last = f64::INFINITY;
+    let mut sorted = grid.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for &b in &sorted {
+        let mut bs = bids.to_vec();
+        bs[j - 1] = b;
+        let load = rule.load(&bs, j);
+        if load > last + 1e-9 {
+            return false;
+        }
+        last = load;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_rule() -> ChainRule {
+        ChainRule { root_rate: 1.0, link_rates: vec![0.2, 0.1, 0.7] }
+    }
+
+    fn grid() -> Vec<f64> {
+        (1..=60).map(|i| i as f64 * 0.25).collect() // 0.25 … 15.0
+    }
+
+    #[test]
+    fn chain_rule_is_monotone() {
+        let rule = chain_rule();
+        let bids = [2.0, 0.5, 4.0];
+        for j in 1..=3 {
+            assert!(is_monotone(&rule, &bids, j, &grid()), "agent {j}");
+        }
+    }
+
+    #[test]
+    fn star_rule_is_monotone() {
+        let rule = StarRule { root_rate: 1.0, link_rates: vec![0.2, 0.3, 0.1] };
+        let bids = [1.5, 0.7, 2.5];
+        for j in 1..=3 {
+            assert!(is_monotone(&rule, &bids, j, &grid()), "agent {j}");
+        }
+    }
+
+    #[test]
+    fn truthful_utility_is_nonnegative() {
+        let at = ArcherTardos::new(chain_rule(), 20.0);
+        let truth = [2.0, 0.5, 4.0];
+        for j in 1..=3 {
+            let out = at.settle(&truth, j, truth[j - 1]);
+            assert!(out.utility >= 0.0, "agent {j}: {}", out.utility);
+        }
+    }
+
+    #[test]
+    fn truth_dominates_on_chain() {
+        let at = ArcherTardos::new(chain_rule(), 20.0);
+        let truth = [2.0, 0.5, 4.0];
+        for j in 1..=3 {
+            let t_j = truth[j - 1];
+            let honest = at.settle(&truth, j, t_j).utility;
+            for (_, u) in at.sweep(&truth, j, t_j, &grid()) {
+                assert!(u <= honest + 1e-6, "agent {j} gains: {u} vs {honest}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_dominates_on_bus() {
+        let at = ArcherTardos::new(StarRule::bus(1.0, 4, 0.25), 20.0);
+        let truth = [1.8, 0.6, 2.5, 1.2];
+        for j in 1..=4 {
+            let t_j = truth[j - 1];
+            let honest = at.settle(&truth, j, t_j).utility;
+            for (_, u) in at.sweep(&truth, j, t_j, &grid()) {
+                assert!(u <= honest + 1e-6, "agent {j} gains: {u} vs {honest}");
+            }
+        }
+    }
+
+    #[test]
+    fn utility_equals_rebate_at_truth() {
+        // U_j(truth) = ∫_{t_j}^{w_max} α_j(u) du: payment minus cost.
+        let at = ArcherTardos::new(chain_rule(), 20.0);
+        let truth = [2.0, 0.5, 4.0];
+        for j in 1..=3 {
+            let out = at.settle(&truth, j, truth[j - 1]);
+            let rebate = at.rebate(&truth, j, truth[j - 1]);
+            assert!((out.utility - rebate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bid_at_w_max_gets_zero_rebate() {
+        let at = ArcherTardos::new(chain_rule(), 20.0);
+        let mut bids = [2.0, 0.5, 4.0];
+        bids[0] = 20.0;
+        let out = at.settle(&bids, 1, 2.0);
+        // Payment is exactly cost-at-bid: utility = α(w_max)(w_max − t).
+        let expected = out.load * (20.0 - 2.0);
+        assert!((out.utility - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "admissible")]
+    fn rejects_bids_above_w_max() {
+        let at = ArcherTardos::new(chain_rule(), 5.0);
+        at.settle(&[6.0, 0.5, 4.0], 1, 2.0);
+    }
+
+    #[test]
+    fn payments_differ_from_dls_lbl_but_both_are_strategyproof() {
+        // Same instance, two mechanisms: utilities generally differ (the
+        // revenue/architecture trade-off), yet truth is dominant in both.
+        let at = ArcherTardos::new(chain_rule(), 20.0);
+        let mech = crate::DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]);
+        let truth = [2.0f64, 0.5, 4.0];
+        let agents: Vec<crate::Agent> = truth.iter().map(|&t| crate::Agent::new(t)).collect();
+        let lbl = mech.settle_truthful(&agents);
+        let mut any_diff = false;
+        for j in 1..=3 {
+            let at_u = at.settle(&truth, j, truth[j - 1]).utility;
+            if (at_u - lbl.utility(j)).abs() > 1e-6 {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "expected the two payment schemes to disagree somewhere");
+    }
+}

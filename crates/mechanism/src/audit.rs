@@ -1,0 +1,124 @@
+//! Phase IV audit analysis: the `F/q` overcharging deterrent.
+//!
+//! Each processor computes *its own* payment and submits the bill; the root
+//! challenges the supporting proof with probability `q`. An overcharging
+//! processor gains `overcharge` when unchallenged and loses `F/q` when
+//! caught, so its expected gain is `overcharge − F`. This module provides
+//! the expected-utility analysis and the deterrence boundary; the Monte
+//! Carlo counterpart (with real random challenges against the signed-proof
+//! machinery) lives in the `protocol` crate.
+
+use crate::fines::FineSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Expected-value analysis of one overcharge attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverchargeAnalysis {
+    /// The amount by which the bill was inflated.
+    pub overcharge: f64,
+    /// Audit probability `q`.
+    pub audit_probability: f64,
+    /// Fine applied on a caught overcharge (`F/q`).
+    pub fine_if_caught: f64,
+    /// Expected change in utility relative to billing honestly.
+    pub expected_gain: f64,
+}
+
+/// Analyze an overcharge attempt of size `overcharge ≥ 0` under the fine
+/// schedule.
+pub fn analyze_overcharge(schedule: &FineSchedule, overcharge: f64) -> OverchargeAnalysis {
+    assert!(overcharge >= 0.0);
+    let q = schedule.audit_probability;
+    let fine = schedule.overcharge_fine();
+    // With prob (1-q): keep the overcharge. With prob q: caught — the bill
+    // is rejected (no overcharge collected) and the fine is levied.
+    let expected_gain = (1.0 - q) * overcharge - q * fine;
+    OverchargeAnalysis { overcharge, audit_probability: q, fine_if_caught: fine, expected_gain }
+}
+
+/// The largest overcharge with non-negative expected gain:
+/// `(1−q)·x = q·F/q = F` ⇒ `x = F / (1−q)` — so deterrence requires `F`
+/// to exceed the attainable overcharge scaled by `(1−q)`. For the paper's
+/// requirement (`F` larger than any attainable profit) the expected gain is
+/// negative for every `x ≤ F`.
+pub fn break_even_overcharge(schedule: &FineSchedule) -> f64 {
+    let q = schedule.audit_probability;
+    if q >= 1.0 {
+        f64::INFINITY // always caught: no overcharge ever profits
+    } else {
+        schedule.base / (1.0 - q)
+    }
+}
+
+/// Sweep expected gain across a grid of audit probabilities for a fixed
+/// overcharge — the data series behind experiment E7.
+pub fn q_sweep(base_fine: f64, overcharge: f64, qs: &[f64]) -> Vec<OverchargeAnalysis> {
+    qs.iter()
+        .map(|&q| analyze_overcharge(&FineSchedule::new(base_fine, q), overcharge))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterrence_when_fine_exceeds_profit() {
+        // Paper requirement: F larger than any attainable profit.
+        let schedule = FineSchedule::new(10.0, 0.2);
+        for overcharge in [0.1, 1.0, 5.0, 9.9] {
+            let a = analyze_overcharge(&schedule, overcharge);
+            assert!(a.expected_gain < 0.0, "overcharge {overcharge} should not pay");
+        }
+    }
+
+    #[test]
+    fn expected_gain_formula() {
+        let schedule = FineSchedule::new(10.0, 0.5);
+        let a = analyze_overcharge(&schedule, 4.0);
+        // (1-0.5)*4 − 0.5*20 = 2 − 10 = −8
+        assert!((a.expected_gain + 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_overcharge_strictly_loses_if_audited() {
+        // An *invalid proof* with no inflation still risks the fine; honest
+        // billing (valid proof) is the only safe play.
+        let schedule = FineSchedule::new(10.0, 0.3);
+        let a = analyze_overcharge(&schedule, 0.0);
+        assert!(a.expected_gain < 0.0);
+    }
+
+    #[test]
+    fn break_even_grows_with_fine() {
+        let lo = break_even_overcharge(&FineSchedule::new(5.0, 0.5));
+        let hi = break_even_overcharge(&FineSchedule::new(50.0, 0.5));
+        assert!(hi > lo);
+        assert!((lo - 10.0).abs() < 1e-12); // 5 / (1-0.5)
+    }
+
+    #[test]
+    fn certain_audit_deters_everything() {
+        assert_eq!(break_even_overcharge(&FineSchedule::new(1.0, 1.0)), f64::INFINITY);
+        let a = analyze_overcharge(&FineSchedule::new(1.0, 1.0), 100.0);
+        assert!(a.expected_gain < 0.0);
+    }
+
+    #[test]
+    fn q_sweep_is_monotone_in_q() {
+        let sweep = q_sweep(10.0, 5.0, &[0.1, 0.3, 0.5, 0.9]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].expected_gain < pair[0].expected_gain);
+        }
+    }
+
+    #[test]
+    fn small_q_with_small_fine_can_leave_profit() {
+        // Shows the knob matters: a fine below the paper's requirement
+        // fails to deter.
+        let schedule = FineSchedule::new(0.5, 0.1);
+        let a = analyze_overcharge(&schedule, 10.0);
+        assert!(a.expected_gain > 0.0);
+        assert!(break_even_overcharge(&schedule) < 10.0);
+    }
+}

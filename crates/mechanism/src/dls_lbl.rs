@@ -1,0 +1,301 @@
+//! The DLS-LBL mechanism (§4): output function + payment function, glued
+//! into a one-shot settlement over a whole chain of strategic agents.
+//!
+//! This module is the *economic* view of the mechanism: given true types,
+//! bids, and executions, it computes allocations, payments and utilities.
+//! The message-level machinery (signatures, grievances, fines, audits) that
+//! *enforces* these numbers lives in the `protocol` crate; the two are
+//! wired together by the experiments.
+
+use crate::agent::{Agent, Conduct};
+use crate::payment::{self, PaymentBreakdown, PaymentInputs};
+use dlt::linear::{self, LinearSolution};
+use dlt::model::LinearNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MechanismConfig {
+    /// The link rates `z_1 … z_m` are public infrastructure (the links are
+    /// obedient per §4); processors only bid their `w`.
+    pub solution_bonus: f64,
+}
+
+impl Default for MechanismConfig {
+    fn default() -> Self {
+        Self { solution_bonus: 0.0 }
+    }
+}
+
+/// The mechanism instance for a chain with known (obedient) link rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlsLbl {
+    /// Unit link times `z_1 … z_m`.
+    pub link_rates: Vec<f64>,
+    /// Root's (obedient) unit processing time `w_0`.
+    pub root_rate: f64,
+    /// Extension knobs.
+    pub config: MechanismConfig,
+}
+
+/// The settled outcome for one strategic processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentOutcome {
+    /// Prescribed assignment `α_j` under the bids.
+    pub assigned_load: f64,
+    /// Load actually computed `α̃_j`.
+    pub actual_load: f64,
+    /// Metered actual rate `w̃_j`.
+    pub actual_rate: f64,
+    /// Itemized payment.
+    pub breakdown: PaymentBreakdown,
+}
+
+/// The settled outcome of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundOutcome {
+    /// The bid-derived network (root + declared rates).
+    pub bid_network: LinearNetwork,
+    /// The optimal solution under the bids.
+    pub solution: LinearSolution,
+    /// Root's load (α_0) — the root is obedient and nets zero utility.
+    pub root_load: f64,
+    /// Per-strategic-agent outcomes (index 0 is `P_1`).
+    pub agents: Vec<AgentOutcome>,
+}
+
+impl RoundOutcome {
+    /// Utility of strategic processor `P_j` (`j ≥ 1`).
+    pub fn utility(&self, j: usize) -> f64 {
+        self.agents[j - 1].breakdown.utility
+    }
+
+    /// Total payments disbursed by the mechanism.
+    pub fn total_payment(&self) -> f64 {
+        self.agents.iter().map(|a| a.breakdown.payment).sum()
+    }
+}
+
+impl DlsLbl {
+    /// Create a mechanism for a chain whose links have the given rates and
+    /// whose root (P_0, obedient) has rate `root_rate`.
+    pub fn new(root_rate: f64, link_rates: Vec<f64>) -> Self {
+        assert!(!link_rates.is_empty(), "need at least one strategic processor");
+        Self { link_rates, root_rate, config: MechanismConfig::default() }
+    }
+
+    /// Builder: enable the eq. 4.13 solution bonus.
+    pub fn with_solution_bonus(mut self, s: f64) -> Self {
+        assert!(s >= 0.0);
+        self.config.solution_bonus = s;
+        self
+    }
+
+    /// Number of strategic processors `m`.
+    pub fn num_agents(&self) -> usize {
+        self.link_rates.len()
+    }
+
+    /// The output function `α(w)`: assemble the bid network and run
+    /// Algorithm 1.
+    pub fn allocate(&self, bids: &[f64]) -> (LinearNetwork, LinearSolution) {
+        assert_eq!(bids.len(), self.num_agents(), "one bid per strategic processor");
+        let mut w = Vec::with_capacity(bids.len() + 1);
+        w.push(self.root_rate);
+        w.extend_from_slice(bids);
+        let net = LinearNetwork::from_rates(&w, &self.link_rates);
+        let sol = linear::solve(&net);
+        (net, sol)
+    }
+
+    /// Settle a round: given each agent's conduct, compute assignments,
+    /// actual loads, payments and utilities.
+    ///
+    /// `solution_found` feeds the eq. 4.13 extension: agents receive the
+    /// solution bonus only when the embedded problem was solved.
+    pub fn settle(&self, conducts: &[Conduct], solution_found: bool) -> RoundOutcome {
+        assert_eq!(conducts.len(), self.num_agents());
+        let bids: Vec<f64> = conducts.iter().map(|c| c.bid).collect();
+        let (net, sol) = self.allocate(&bids);
+        let s = if solution_found { self.config.solution_bonus } else { 0.0 };
+        let agents = conducts
+            .iter()
+            .enumerate()
+            .map(|(idx, c)| {
+                let j = idx + 1;
+                let assigned = sol.alloc.alpha(j);
+                let actual = c.actual_load.unwrap_or(assigned);
+                let inputs = PaymentInputs {
+                    assigned_load: assigned,
+                    actual_load: actual,
+                    actual_rate: c.actual_rate,
+                };
+                AgentOutcome {
+                    assigned_load: assigned,
+                    actual_load: actual,
+                    actual_rate: c.actual_rate,
+                    breakdown: payment::settle(&net, j, inputs, s),
+                }
+            })
+            .collect();
+        RoundOutcome { root_load: sol.alloc.alpha(0), bid_network: net, solution: sol, agents }
+    }
+
+    /// Settle with every agent truthful — the benchmark point of the
+    /// strategyproofness experiments.
+    pub fn settle_truthful(&self, agents: &[Agent]) -> RoundOutcome {
+        let conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        self.settle(&conducts, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mechanism() -> DlsLbl {
+        DlsLbl::new(1.0, vec![0.2, 0.1, 0.7])
+    }
+
+    fn agents() -> Vec<Agent> {
+        vec![Agent::new(2.0), Agent::new(0.5), Agent::new(4.0)]
+    }
+
+    #[test]
+    fn allocate_matches_direct_solver() {
+        let mech = mechanism();
+        let (net, sol) = mech.allocate(&[2.0, 0.5, 4.0]);
+        let direct = linear::solve(&LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]));
+        assert_eq!(net.len(), 4);
+        for i in 0..4 {
+            assert!((sol.alloc.alpha(i) - direct.alloc.alpha(i)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn truthful_settlement_nonnegative_utilities() {
+        let mech = mechanism();
+        let outcome = mech.settle_truthful(&agents());
+        for j in 1..=3 {
+            assert!(outcome.utility(j) >= 0.0, "voluntary participation violated at P{j}");
+        }
+    }
+
+    #[test]
+    fn truthful_utility_equals_w_pred_minus_w_bar_pred() {
+        // Lemma 5.4's identity.
+        let mech = mechanism();
+        let outcome = mech.settle_truthful(&agents());
+        let sol = &outcome.solution;
+        let net = &outcome.bid_network;
+        for j in 1..=3 {
+            let expected = net.w(j - 1) - sol.equivalent[j - 1];
+            assert!((outcome.utility(j) - expected).abs() < 1e-12, "P{j}");
+        }
+    }
+
+    #[test]
+    fn assigned_equals_actual_for_compliant_agents() {
+        let mech = mechanism();
+        let outcome = mech.settle_truthful(&agents());
+        for a in &outcome.agents {
+            assert_eq!(a.assigned_load, a.actual_load);
+        }
+    }
+
+    #[test]
+    fn loads_partition_the_unit() {
+        let mech = mechanism();
+        let outcome = mech.settle_truthful(&agents());
+        let total: f64 = outcome.root_load + outcome.agents.iter().map(|a| a.assigned_load).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_bonus_flows_only_when_found() {
+        let mech = mechanism().with_solution_bonus(0.1);
+        let conducts: Vec<Conduct> = agents().iter().map(|&a| Conduct::truthful(a)).collect();
+        let without = mech.settle(&conducts, false);
+        let with = mech.settle(&conducts, true);
+        for j in 1..=3 {
+            assert!((with.utility(j) - without.utility(j) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn underbidding_does_not_pay() {
+        let mech = mechanism();
+        let ag = agents();
+        let truthful = mech.settle_truthful(&ag);
+        for j in 1..=3 {
+            let mut conducts: Vec<Conduct> = ag.iter().map(|&a| Conduct::truthful(a)).collect();
+            conducts[j - 1] = Conduct::misreport(ag[j - 1], 0.5);
+            let deviant = mech.settle(&conducts, false);
+            assert!(
+                deviant.utility(j) <= truthful.utility(j) + 1e-12,
+                "P{j} profited from underbidding: {} > {}",
+                deviant.utility(j),
+                truthful.utility(j)
+            );
+        }
+    }
+
+    #[test]
+    fn overbidding_does_not_pay() {
+        let mech = mechanism();
+        let ag = agents();
+        let truthful = mech.settle_truthful(&ag);
+        for j in 1..=3 {
+            let mut conducts: Vec<Conduct> = ag.iter().map(|&a| Conduct::truthful(a)).collect();
+            conducts[j - 1] = Conduct::misreport(ag[j - 1], 2.0);
+            let deviant = mech.settle(&conducts, false);
+            assert!(
+                deviant.utility(j) <= truthful.utility(j) + 1e-12,
+                "P{j} profited from overbidding"
+            );
+        }
+    }
+
+    #[test]
+    fn slack_execution_does_not_pay() {
+        let mech = mechanism();
+        let ag = agents();
+        let truthful = mech.settle_truthful(&ag);
+        for j in 1..=3 {
+            let mut conducts: Vec<Conduct> = ag.iter().map(|&a| Conduct::truthful(a)).collect();
+            conducts[j - 1] = Conduct::slack_execution(ag[j - 1], 2.0);
+            let deviant = mech.settle(&conducts, false);
+            assert!(
+                deviant.utility(j) <= truthful.utility(j) + 1e-12,
+                "P{j} profited from slacking"
+            );
+        }
+    }
+
+    #[test]
+    fn utilities_independent_of_other_bids_shape() {
+        // Strategyproofness is dominant-strategy: truthful P1 must weakly
+        // prefer truth under *any* profile of others' bids.
+        let mech = mechanism();
+        let ag = agents();
+        for other_factor in [0.3, 1.0, 2.5] {
+            let mut base: Vec<Conduct> = ag.iter().map(|&a| Conduct::truthful(a)).collect();
+            base[1] = Conduct::misreport(ag[1], other_factor);
+            base[2] = Conduct::misreport(ag[2], 1.0 / other_factor.max(0.4));
+            let honest = mech.settle(&base, false);
+            let mut dev = base.clone();
+            dev[0] = Conduct::misreport(ag[0], 1.7);
+            let deviant = mech.settle(&dev, false);
+            assert!(
+                deviant.utility(1) <= honest.utility(1) + 1e-12,
+                "P1 gained by lying while others bid ×{other_factor}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one bid per strategic processor")]
+    fn allocate_rejects_wrong_arity() {
+        mechanism().allocate(&[1.0]);
+    }
+}

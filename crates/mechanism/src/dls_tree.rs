@@ -1,0 +1,439 @@
+//! DLS-T: the tree-network companion mechanism (\[9\], Carroll & Grosu,
+//! IPDPS 2006), generalized here from the same building blocks as DLS-LBL.
+//!
+//! Every non-root node of a tree is a strategic agent bidding its unit
+//! processing time; subtrees collapse into equivalent processors exactly
+//! as chain suffixes do (see `dlt::tree`). The payment mirrors
+//! eqs. 4.4–4.11 with "predecessor" generalized to "parent":
+//!
+//! * compensation `C_j = α_j w̃_j + E_j` for metered work;
+//! * bonus `B_j = w_p − w̄_p(α(bids), actual)`: the improvement agent `j`'s
+//!   subtree brings to its parent `p`'s equivalent processing time, with
+//!   `j`'s branch re-timed by its measured speed via the tree analogue of
+//!   eqs. 4.10–4.11 (`ŵ_j = α̂_j w̃_j` when slower than bid, unchanged
+//!   when at least as fast; leaves use `ŵ_j = w̃_j`).
+//!
+//! A chain is a degenerate tree, and on chains this mechanism **coincides
+//! exactly with DLS-LBL** — asserted in the tests — which is the
+//! strongest evidence the generalization is the intended one. Bus and
+//! star networks are depth-1 trees, so this module also covers the bus
+//! companion \[14\] in the paper's own verification style (in contrast to
+//! the Archer–Tardos realization in [`crate::archer_tardos`]).
+
+use crate::agent::{Agent, Conduct};
+use crate::payment::{compensation, recompense, valuation};
+use dlt::model::{Link, Processor, StarNetwork, TreeNode};
+use dlt::{star, tree};
+use serde::{Deserialize, Serialize};
+
+/// The shape of the network: processor rates at non-root nodes are
+/// *placeholders* (replaced by bids); the root's rate and all link rates
+/// are trusted infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeMechanism {
+    shape: TreeNode,
+    agents: usize,
+}
+
+/// Per-agent outcome of a tree settlement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeAgentOutcome {
+    /// Preorder index of the node (1-based among non-root nodes).
+    pub agent: usize,
+    /// Assigned load fraction.
+    pub assigned: f64,
+    /// Load actually computed.
+    pub actual_load: f64,
+    /// Bonus component.
+    pub bonus: f64,
+    /// Total payment.
+    pub payment: f64,
+    /// Utility.
+    pub utility: f64,
+}
+
+/// Settled outcome of one tree round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeOutcome {
+    /// Per-agent outcomes in preorder (index 0 is agent 1).
+    pub agents: Vec<TreeAgentOutcome>,
+    /// The root's assigned load.
+    pub root_load: f64,
+    /// The optimal makespan under the bids.
+    pub makespan: f64,
+}
+
+impl TreeOutcome {
+    /// Utility of agent `j` (1-based preorder index).
+    pub fn utility(&self, j: usize) -> f64 {
+        self.agents[j - 1].utility
+    }
+}
+
+/// Flattened per-node view used by the payment computation.
+struct NodeInfo {
+    parent: Option<usize>,
+    /// Bid rate at this node (root: trusted rate).
+    rate: f64,
+    /// Equivalent unit time of the subtree rooted here (bid-based).
+    equivalent: f64,
+    /// Assigned fraction of the unit load.
+    assigned: f64,
+    /// Local retained fraction `α̂` (assigned / received by the subtree).
+    alpha_hat: f64,
+    /// Is this node a leaf?
+    leaf: bool,
+    /// Children as `(link rate, child flat index)` in distribution order.
+    children: Vec<(f64, usize)>,
+}
+
+impl TreeMechanism {
+    /// Create the mechanism from a shape. Non-root processor rates in
+    /// `shape` are ignored (bids replace them); link rates and the root's
+    /// rate are kept.
+    /// The shape is canonicalized (children sorted by ascending link
+    /// rate) before use: the classical optimal distribution order, and a
+    /// precondition for the bonus's monotonicity argument. **Agent indices
+    /// are preorder positions in the canonicalized shape.**
+    pub fn new(shape: TreeNode) -> Self {
+        let shape = dlt::tree::canonicalize(&shape);
+        let agents = shape.size() - 1;
+        assert!(agents >= 1, "need at least one strategic node");
+        Self { shape, agents }
+    }
+
+    /// A chain as a degenerate tree (for cross-checks against DLS-LBL).
+    pub fn chain(root_rate: f64, link_rates: &[f64]) -> Self {
+        let mut node = TreeNode::leaf(1.0);
+        for &z in link_rates.iter().skip(1).rev() {
+            node = TreeNode { processor: Processor::new(1.0), children: vec![(Link::new(z), node)] };
+        }
+        let root = TreeNode {
+            processor: Processor::new(root_rate),
+            children: vec![(Link::new(link_rates[0]), node)],
+        };
+        Self::new(root)
+    }
+
+    /// A star/bus as a depth-1 tree.
+    pub fn star(root_rate: f64, link_rates: &[f64]) -> Self {
+        let children =
+            link_rates.iter().map(|&z| (Link::new(z), TreeNode::leaf(1.0))).collect();
+        Self::new(TreeNode { processor: Processor::new(root_rate), children })
+    }
+
+    /// Number of strategic agents.
+    pub fn num_agents(&self) -> usize {
+        self.agents
+    }
+
+    /// Instantiate the tree with the given bids (preorder over non-root
+    /// nodes).
+    fn with_bids(&self, bids: &[f64]) -> TreeNode {
+        assert_eq!(bids.len(), self.agents, "one bid per strategic node");
+        fn rebuild(node: &TreeNode, bids: &[f64], next: &mut usize, is_root: bool) -> TreeNode {
+            let rate = if is_root {
+                node.processor.w
+            } else {
+                let r = bids[*next];
+                *next += 1;
+                r
+            };
+            let children = node
+                .children
+                .iter()
+                .map(|(l, c)| (*l, rebuild(c, bids, next, false)))
+                .collect();
+            TreeNode { processor: Processor::new(rate), children }
+        }
+        let mut next = 0;
+        let out = rebuild(&self.shape, bids, &mut next, true);
+        assert_eq!(next, self.agents);
+        out
+    }
+
+    /// Flatten the solved tree into per-node info, preorder.
+    fn analyze(&self, bids: &[f64]) -> (Vec<NodeInfo>, f64, f64) {
+        let instantiated = self.with_bids(bids);
+        let solution = tree::solve(&instantiated);
+        let makespan = tree::makespan(&instantiated);
+        let mut infos: Vec<NodeInfo> = Vec::with_capacity(self.agents + 1);
+        fn walk(
+            node: &TreeNode,
+            sol: &tree::TreeSolution,
+            parent: Option<usize>,
+            infos: &mut Vec<NodeInfo>,
+        ) -> usize {
+            let idx = infos.len();
+            infos.push(NodeInfo {
+                parent,
+                rate: node.processor.w,
+                equivalent: tree::equivalent_time(node),
+                assigned: sol.alpha,
+                alpha_hat: if sol.received > 1e-300 { sol.alpha / sol.received } else { 1.0 },
+                leaf: node.children.is_empty(),
+                children: Vec::new(),
+            });
+            for ((link, child), csol) in node.children.iter().zip(&sol.children) {
+                let cidx = walk(child, csol, Some(idx), infos);
+                infos[idx].children.push((link.z, cidx));
+            }
+            idx
+        }
+        walk(&instantiated, &solution, None, &mut infos);
+        (infos, makespan, solution.alpha)
+    }
+
+    /// The tree analogue of eqs. 4.10–4.11: agent `j`'s adjusted subtree
+    /// equivalent given its metered rate.
+    fn adjusted_equivalent(info: &NodeInfo, actual_rate: f64) -> f64 {
+        if info.leaf {
+            actual_rate
+        } else if actual_rate >= info.rate {
+            info.alpha_hat * actual_rate
+        } else {
+            info.equivalent
+        }
+    }
+
+    /// The realized equivalent time of parent `p`'s local star when child
+    /// `j`'s branch is re-timed to `w_hat_j`, all split fractions fixed by
+    /// the bids.
+    fn realized_parent_equivalent(
+        infos: &[NodeInfo],
+        p: usize,
+        j: usize,
+        w_hat_j: f64,
+    ) -> f64 {
+        let parent = &infos[p];
+        let star_net = StarNetwork::new(
+            Processor::new(parent.rate),
+            parent
+                .children
+                .iter()
+                .map(|&(z, c)| (Link::new(z), Processor::new(infos[c].equivalent)))
+                .collect(),
+        );
+        let local = star::solve(&star_net);
+        // Evaluate finish times with child j's rate swapped for ŵ_j.
+        let mut worst = local.alloc.alpha(0) * parent.rate;
+        let mut comm = 0.0;
+        for (i, &(z, c)) in parent.children.iter().enumerate() {
+            let a = local.alloc.alpha(i + 1);
+            comm += a * z;
+            let rate = if c == j { w_hat_j } else { infos[c].equivalent };
+            worst = worst.max(comm + a * rate);
+        }
+        worst
+    }
+
+    /// Settle a round of conducts (preorder over non-root nodes).
+    pub fn settle(&self, conducts: &[Conduct]) -> TreeOutcome {
+        assert_eq!(conducts.len(), self.agents);
+        let bids: Vec<f64> = conducts.iter().map(|c| c.bid).collect();
+        let (infos, makespan, root_load) = self.analyze(&bids);
+        let agents = (1..=self.agents)
+            .map(|j| {
+                let info = &infos[j];
+                let c = &conducts[j - 1];
+                let assigned = info.assigned;
+                let actual_load = c.actual_load.unwrap_or(assigned);
+                let v = valuation(actual_load, c.actual_rate);
+                if actual_load <= 0.0 {
+                    return TreeAgentOutcome {
+                        agent: j,
+                        assigned,
+                        actual_load,
+                        bonus: 0.0,
+                        payment: 0.0,
+                        utility: v,
+                    };
+                }
+                let comp = compensation(assigned, actual_load, c.actual_rate);
+                let _e = recompense(assigned, actual_load, c.actual_rate);
+                let p = info.parent.expect("non-root");
+                let w_hat = Self::adjusted_equivalent(info, c.actual_rate);
+                let realized = Self::realized_parent_equivalent(&infos, p, j, w_hat);
+                let bonus = infos[p].rate - realized;
+                let payment = comp + bonus;
+                TreeAgentOutcome {
+                    agent: j,
+                    assigned,
+                    actual_load,
+                    bonus,
+                    payment,
+                    utility: v + payment,
+                }
+            })
+            .collect();
+        TreeOutcome { agents, root_load, makespan }
+    }
+
+    /// Truthful settlement.
+    pub fn settle_truthful(&self, agents: &[Agent]) -> TreeOutcome {
+        let conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        self.settle(&conducts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DlsLbl;
+
+    fn chain_agents() -> Vec<Agent> {
+        vec![Agent::new(2.0), Agent::new(0.5), Agent::new(4.0)]
+    }
+
+    #[test]
+    fn chain_case_matches_dls_lbl_exactly() {
+        let tree_mech = TreeMechanism::chain(1.0, &[0.2, 0.1, 0.7]);
+        let chain_mech = DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]);
+        let agents = chain_agents();
+        let t = tree_mech.settle_truthful(&agents);
+        let c = chain_mech.settle_truthful(&agents);
+        for j in 1..=3 {
+            assert!(
+                (t.utility(j) - c.utility(j)).abs() < 1e-12,
+                "P{j}: tree {} vs chain {}",
+                t.utility(j),
+                c.utility(j)
+            );
+        }
+        assert!((t.makespan - c.solution.makespan()).abs() < 1e-12);
+        assert!((t.root_load - c.root_load).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_case_matches_dls_lbl_under_deviations() {
+        let tree_mech = TreeMechanism::chain(1.0, &[0.2, 0.1, 0.7]);
+        let chain_mech = DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]);
+        let agents = chain_agents();
+        for (j, factor) in [(1usize, 0.5), (2, 2.0), (3, 1.5)] {
+            let mut conducts: Vec<Conduct> =
+                agents.iter().map(|&a| Conduct::truthful(a)).collect();
+            conducts[j - 1] = Conduct::misreport(agents[j - 1], factor);
+            let t = tree_mech.settle(&conducts);
+            let c = chain_mech.settle(&conducts, false);
+            for k in 1..=3 {
+                assert!(
+                    (t.utility(k) - c.utility(k)).abs() < 1e-12,
+                    "deviant P{j}×{factor}, agent P{k}"
+                );
+            }
+        }
+    }
+
+    fn binary_tree() -> TreeMechanism {
+        // root(1.0) with two internal children, each with two leaves
+        let shape = TreeNode::internal(
+            1.0,
+            vec![
+                (0.2, TreeNode::internal(1.0, vec![(0.3, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))])),
+                (0.15, TreeNode::internal(1.0, vec![(0.4, TreeNode::leaf(1.0)), (0.1, TreeNode::leaf(1.0))])),
+            ],
+        );
+        TreeMechanism::new(shape)
+    }
+
+    fn tree_agents() -> Vec<Agent> {
+        // preorder: branch1, leaf, leaf, branch2, leaf, leaf
+        vec![
+            Agent::new(1.5),
+            Agent::new(2.0),
+            Agent::new(0.8),
+            Agent::new(1.1),
+            Agent::new(3.0),
+            Agent::new(0.6),
+        ]
+    }
+
+    #[test]
+    fn tree_truthful_utilities_nonnegative() {
+        let mech = binary_tree();
+        let agents = tree_agents();
+        let outcome = mech.settle_truthful(&agents);
+        for j in 1..=6 {
+            assert!(outcome.utility(j) >= -1e-12, "P{j}: {}", outcome.utility(j));
+        }
+    }
+
+    #[test]
+    fn tree_truth_dominates_misreports() {
+        let mech = binary_tree();
+        let agents = tree_agents();
+        let honest = mech.settle_truthful(&agents);
+        for j in 1..=6 {
+            for factor in [0.3, 0.6, 0.9, 1.1, 1.5, 2.5, 5.0] {
+                let mut conducts: Vec<Conduct> =
+                    agents.iter().map(|&a| Conduct::truthful(a)).collect();
+                conducts[j - 1] = Conduct::misreport(agents[j - 1], factor);
+                let deviant = mech.settle(&conducts);
+                assert!(
+                    deviant.utility(j) <= honest.utility(j) + 1e-9,
+                    "P{j}×{factor}: {} vs {}",
+                    deviant.utility(j),
+                    honest.utility(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_slack_execution_does_not_pay() {
+        let mech = binary_tree();
+        let agents = tree_agents();
+        let honest = mech.settle_truthful(&agents);
+        for j in 1..=6 {
+            let mut conducts: Vec<Conduct> =
+                agents.iter().map(|&a| Conduct::truthful(a)).collect();
+            conducts[j - 1] = Conduct::slack_execution(agents[j - 1], 2.0);
+            let deviant = mech.settle(&conducts);
+            assert!(deviant.utility(j) <= honest.utility(j) + 1e-12, "P{j}");
+        }
+    }
+
+    #[test]
+    fn star_case_covers_the_bus_companion() {
+        let mech = TreeMechanism::star(1.0, &[0.3, 0.3, 0.3]); // a bus
+        let agents = vec![Agent::new(1.5), Agent::new(0.9), Agent::new(2.0)];
+        let honest = mech.settle_truthful(&agents);
+        for j in 1..=3 {
+            assert!(honest.utility(j) >= 0.0);
+            for factor in [0.4, 0.8, 1.3, 3.0] {
+                let mut conducts: Vec<Conduct> =
+                    agents.iter().map(|&a| Conduct::truthful(a)).collect();
+                conducts[j - 1] = Conduct::misreport(agents[j - 1], factor);
+                let deviant = mech.settle(&conducts);
+                assert!(deviant.utility(j) <= honest.utility(j) + 1e-9, "P{j}×{factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn loads_partition_the_unit() {
+        let mech = binary_tree();
+        let outcome = mech.settle_truthful(&tree_agents());
+        let total: f64 =
+            outcome.root_load + outcome.agents.iter().map(|a| a.assigned).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bid per strategic node")]
+    fn rejects_wrong_bid_arity() {
+        binary_tree().with_bids(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn overloaded_tree_victim_made_whole() {
+        let mech = binary_tree();
+        let agents = tree_agents();
+        let honest = mech.settle_truthful(&agents);
+        let mut conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        let base = honest.agents[1].assigned;
+        conducts[1].actual_load = Some(base + 0.05);
+        let outcome = mech.settle(&conducts);
+        assert!((outcome.utility(2) - honest.utility(2)).abs() < 1e-9);
+    }
+}

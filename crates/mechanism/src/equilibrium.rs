@@ -1,0 +1,186 @@
+//! Best-response dynamics: the game-theoretic consequence of
+//! strategyproofness, made observable.
+//!
+//! In a strategyproof mechanism, truth-telling is a *dominant* strategy,
+//! so best-response dynamics from any starting bid profile converge to the
+//! truthful profile in a single round of updates. Under a manipulable
+//! mechanism (the naive baseline) the dynamics drift away from truth and
+//! may keep moving. This module runs the dynamics over a bid grid and
+//! reports the trajectory — experiment E13's engine.
+
+use crate::agent::{Agent, Conduct};
+use crate::dls_lbl::DlsLbl;
+use crate::naive_baseline::NaiveMechanism;
+use serde::{Deserialize, Serialize};
+
+/// One step of the dynamics: every agent, in index order, switches to its
+/// utility-maximizing bid (from `grid × t_j`) against the current profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Bid profiles after each full round of best responses (index 0 is
+    /// the initial profile).
+    pub profiles: Vec<Vec<f64>>,
+    /// Whether the dynamics reached a fixed point within the round budget.
+    pub converged: bool,
+}
+
+impl Trajectory {
+    /// The final profile.
+    pub fn last(&self) -> &[f64] {
+        self.profiles.last().expect("non-empty")
+    }
+
+    /// Maximum relative distance of the final profile from the truthful
+    /// profile.
+    pub fn distance_from_truth(&self, agents: &[Agent]) -> f64 {
+        self.last()
+            .iter()
+            .zip(agents)
+            .map(|(&b, a)| (b / a.true_rate - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A mechanism the dynamics can run against: utility of agent `j` with the
+/// given bid profile (each agent executing feasibly for its bid).
+pub trait BidGame {
+    /// Utility of agent `j` (1-based) under `bids`, given the agents'
+    /// private types.
+    fn utility(&self, agents: &[Agent], bids: &[f64], j: usize) -> f64;
+}
+
+impl BidGame for DlsLbl {
+    fn utility(&self, agents: &[Agent], bids: &[f64], j: usize) -> f64 {
+        let conducts: Vec<Conduct> = agents
+            .iter()
+            .zip(bids)
+            .map(|(&a, &b)| Conduct {
+                bid: b,
+                actual_rate: a.feasible_actual(b.min(a.true_rate)),
+                actual_load: None,
+            })
+            .collect();
+        self.settle(&conducts, false).utility(j)
+    }
+}
+
+impl BidGame for NaiveMechanism {
+    fn utility(&self, agents: &[Agent], bids: &[f64], j: usize) -> f64 {
+        let conducts: Vec<Conduct> = agents
+            .iter()
+            .zip(bids)
+            .map(|(&a, &b)| Conduct { bid: b, actual_rate: a.true_rate, actual_load: None })
+            .collect();
+        NaiveMechanism::utility(self, agents, &conducts, j)
+    }
+}
+
+/// Run best-response dynamics from `initial` bids for at most `max_rounds`
+/// full rounds, with bids restricted to `grid × t_j`.
+pub fn best_response_dynamics<G: BidGame>(
+    game: &G,
+    agents: &[Agent],
+    initial: &[f64],
+    grid: &[f64],
+    max_rounds: usize,
+) -> Trajectory {
+    assert_eq!(initial.len(), agents.len());
+    let mut profiles = vec![initial.to_vec()];
+    let mut current = initial.to_vec();
+    let mut converged = false;
+    for _ in 0..max_rounds {
+        let mut next = current.clone();
+        for j in 1..=agents.len() {
+            let mut best_bid = next[j - 1];
+            let mut best_u = {
+                let mut bids = next.clone();
+                bids[j - 1] = best_bid;
+                game.utility(agents, &bids, j)
+            };
+            for &f in grid {
+                let candidate = agents[j - 1].true_rate * f;
+                let mut bids = next.clone();
+                bids[j - 1] = candidate;
+                let u = game.utility(agents, &bids, j);
+                if u > best_u + 1e-12 {
+                    best_u = u;
+                    best_bid = candidate;
+                }
+            }
+            next[j - 1] = best_bid;
+        }
+        let moved = next
+            .iter()
+            .zip(&current)
+            .any(|(a, b)| (a - b).abs() > 1e-12);
+        current = next.clone();
+        profiles.push(next);
+        if !moved {
+            converged = true;
+            break;
+        }
+    }
+    Trajectory { profiles, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DlsLbl, NaiveMechanism, Vec<Agent>) {
+        (
+            DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]),
+            NaiveMechanism::new(1.0, vec![0.2, 0.1, 0.7], 1.2),
+            vec![Agent::new(2.0), Agent::new(0.5), Agent::new(4.0)],
+        )
+    }
+
+    fn grid() -> Vec<f64> {
+        let mut g: Vec<f64> = (1..=30).map(|i| 0.1 + i as f64 * 0.1).collect();
+        g.push(1.0);
+        g
+    }
+
+    #[test]
+    fn dls_lbl_converges_to_truth_from_anywhere() {
+        let (mech, _, agents) = setup();
+        for initial in [vec![1.0, 1.0, 1.0], vec![4.0, 0.2, 8.0], vec![2.0, 0.5, 4.0]] {
+            let traj = best_response_dynamics(&mech, &agents, &initial, &grid(), 10);
+            assert!(traj.converged, "from {initial:?}");
+            assert!(
+                traj.distance_from_truth(&agents) < 1e-9,
+                "from {initial:?}: ended at {:?}",
+                traj.last()
+            );
+        }
+    }
+
+    #[test]
+    fn dls_lbl_converges_in_one_round() {
+        // Dominance means one pass suffices (plus the fixed-point check).
+        let (mech, _, agents) = setup();
+        let traj = best_response_dynamics(&mech, &agents, &[4.0, 0.2, 8.0], &grid(), 10);
+        assert!(traj.profiles.len() <= 3, "rounds used: {}", traj.profiles.len() - 1);
+    }
+
+    #[test]
+    fn naive_mechanism_drifts_from_truth() {
+        let (_, naive, agents) = setup();
+        let truthful: Vec<f64> = agents.iter().map(|a| a.true_rate).collect();
+        let traj = best_response_dynamics(&naive, &agents, &truthful, &grid(), 10);
+        assert!(
+            traj.distance_from_truth(&agents) > 0.1,
+            "the manipulable baseline should move away from truth: {:?}",
+            traj.last()
+        );
+    }
+
+    #[test]
+    fn truthful_profile_is_a_fixed_point_for_dls_lbl() {
+        let (mech, _, agents) = setup();
+        let truthful: Vec<f64> = agents.iter().map(|a| a.true_rate).collect();
+        let traj = best_response_dynamics(&mech, &agents, &truthful, &grid(), 5);
+        assert!(traj.converged);
+        assert_eq!(traj.profiles.len(), 2, "no agent should move");
+    }
+}

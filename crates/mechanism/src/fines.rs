@@ -1,0 +1,108 @@
+//! Fine schedule for deviation penalties (§4).
+//!
+//! The mechanism punishes substantiated deviations with a fine `F` that
+//! must exceed *any profit attainable by cheating* (the paper's requirement
+//! on `F`), and punishes overcharging caught by a probability-`q` audit
+//! with `F/q`, so the *expected* penalty for overcharging is again `F`.
+
+use dlt::model::LinearNetwork;
+use serde::{Deserialize, Serialize};
+
+/// The fine configuration used by the root when arbitrating grievances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineSchedule {
+    /// The base fine `F`.
+    pub base: f64,
+    /// Audit probability `q ∈ (0, 1]` for Phase IV proof challenges.
+    pub audit_probability: f64,
+}
+
+impl FineSchedule {
+    /// Create a schedule.
+    ///
+    /// # Panics
+    /// Panics unless `base > 0` and `0 < q ≤ 1`.
+    pub fn new(base: f64, audit_probability: f64) -> Self {
+        assert!(base > 0.0 && base.is_finite());
+        assert!(audit_probability > 0.0 && audit_probability <= 1.0);
+        Self { base, audit_probability }
+    }
+
+    /// The fine applied to a substantiated protocol deviation.
+    pub fn deviation_fine(&self) -> f64 {
+        self.base
+    }
+
+    /// The fine applied when a Phase IV audit catches an invalid payment
+    /// proof: `F/q`, so the expected penalty equals `F` regardless of how
+    /// rarely audits run.
+    pub fn overcharge_fine(&self) -> f64 {
+        self.base / self.audit_probability
+    }
+
+    /// A fine provably sufficient for the given chain.
+    ///
+    /// A strategic processor's utility components are bounded by the chain
+    /// parameters: the bonus is at most `w_{j-1} ≤ max_i w_i`, and
+    /// compensation tracks work actually performed (which the valuation
+    /// cancels), so no single deviation can net more than
+    /// `max_w + total work value ≤ max_w + max_w`. We take `2·max_w` with a
+    /// 50 % safety margin.
+    pub fn sufficient_for(net: &LinearNetwork, audit_probability: f64) -> Self {
+        let max_w = net.rates_w().into_iter().fold(0.0f64, f64::max);
+        Self::new(3.0 * max_w, audit_probability)
+    }
+
+    /// Expected penalty for an overcharge attempt (caught with probability
+    /// `q`, fined `F/q`): always exactly `F`.
+    pub fn expected_overcharge_penalty(&self) -> f64 {
+        self.audit_probability * self.overcharge_fine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overcharge_fine_scales_inverse_q() {
+        let f = FineSchedule::new(10.0, 0.25);
+        assert_eq!(f.overcharge_fine(), 40.0);
+        assert_eq!(f.deviation_fine(), 10.0);
+    }
+
+    #[test]
+    fn expected_overcharge_penalty_is_f() {
+        for q in [0.01, 0.1, 0.5, 1.0] {
+            let f = FineSchedule::new(7.0, q);
+            assert!((f.expected_overcharge_penalty() - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sufficient_fine_dominates_max_bonus() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
+        let f = FineSchedule::sufficient_for(&net, 0.5);
+        // The bonus for P_j is at most w_{j-1}; the fine must beat it.
+        let max_w = 4.0;
+        assert!(f.base > max_w);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_audit_probability() {
+        FineSchedule::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_q_above_one() {
+        FineSchedule::new(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_fine() {
+        FineSchedule::new(0.0, 0.5);
+    }
+}

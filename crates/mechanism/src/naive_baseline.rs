@@ -1,0 +1,137 @@
+//! The *naive* payment baseline: classical DLT with a flat declared-rate
+//! payment and no verification.
+//!
+//! This is the strawman the paper's introduction argues against: if the
+//! scheduler simply pays each processor for its declared work
+//! (`Q_j = α_j · w_j`, bid-priced, no meter), a strategic processor can
+//! profit by misreporting. The E4 experiment plots this mechanism's
+//! utility-vs-bid curves next to DLS-LBL's to show the manipulability gap —
+//! the paper's qualitative claim turned into a measurable series.
+
+use crate::agent::{Agent, Conduct};
+use dlt::linear;
+use dlt::model::LinearNetwork;
+use serde::{Deserialize, Serialize};
+
+/// The naive bid-priced mechanism: allocate with Algorithm 1 on the bids,
+/// pay `α_j · w_j` (declared rate), no verification of actual speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveMechanism {
+    /// Link rates (public).
+    pub link_rates: Vec<f64>,
+    /// Obedient root rate.
+    pub root_rate: f64,
+    /// Margin multiplier on the declared price (1.0 = at-cost; >1 gives
+    /// agents a surplus, as a deployment would).
+    pub price_margin: f64,
+}
+
+impl NaiveMechanism {
+    /// Create a baseline with the given margin.
+    pub fn new(root_rate: f64, link_rates: Vec<f64>, price_margin: f64) -> Self {
+        assert!(price_margin >= 1.0);
+        Self { link_rates, root_rate, price_margin }
+    }
+
+    /// Utility of agent `j` with conduct `c` while others bid `bids`:
+    /// pays `margin · α_j w_j` for declared work, costs `α_j w̃_j` to
+    /// actually perform it at the *true* rate (the agent computes as fast
+    /// as it can — nobody meters it, so slower execution saves nothing and
+    /// risks nothing).
+    pub fn utility(&self, agents: &[Agent], conducts: &[Conduct], j: usize) -> f64 {
+        assert_eq!(agents.len(), conducts.len());
+        let mut w = Vec::with_capacity(conducts.len() + 1);
+        w.push(self.root_rate);
+        w.extend(conducts.iter().map(|c| c.bid));
+        let net = LinearNetwork::from_rates(&w, &self.link_rates);
+        let sol = linear::solve(&net);
+        let alpha = sol.alloc.alpha(j);
+        let pay = self.price_margin * alpha * conducts[j - 1].bid;
+        let cost = alpha * agents[j - 1].true_rate;
+        pay - cost
+    }
+
+    /// Utility-vs-bid-factor curve for agent `j`, others truthful.
+    pub fn sweep(&self, agents: &[Agent], j: usize, factors: &[f64]) -> Vec<(f64, f64)> {
+        let truthful: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        factors
+            .iter()
+            .map(|&f| {
+                let mut conducts = truthful.clone();
+                let bid = agents[j - 1].true_rate * f;
+                conducts[j - 1] = Conduct { bid, actual_rate: agents[j - 1].true_rate, actual_load: None };
+                (f, self.utility(agents, &conducts, j))
+            })
+            .collect()
+    }
+
+    /// The most profitable bid factor on the grid for agent `j`.
+    pub fn best_factor(&self, agents: &[Agent], j: usize, factors: &[f64]) -> (f64, f64) {
+        self.sweep(agents, j, factors)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NaiveMechanism, Vec<Agent>) {
+        (
+            NaiveMechanism::new(1.0, vec![0.2, 0.1, 0.7], 1.2),
+            vec![Agent::new(2.0), Agent::new(0.5), Agent::new(4.0)],
+        )
+    }
+
+    #[test]
+    fn naive_mechanism_is_manipulable() {
+        // The whole point of the baseline: for at least one agent, some lie
+        // strictly beats the truth.
+        let (mech, agents) = setup();
+        let grid: Vec<f64> = (1..=30).map(|i| 0.2 + i as f64 * 0.1).collect();
+        let mut manipulable = false;
+        for j in 1..=agents.len() {
+            let truthful = mech.sweep(&agents, j, &[1.0])[0].1;
+            let (best_f, best_u) = mech.best_factor(&agents, j, &grid);
+            if best_u > truthful + 1e-9 && (best_f - 1.0).abs() > 1e-9 {
+                manipulable = true;
+            }
+        }
+        assert!(manipulable, "baseline should reward lying somewhere");
+    }
+
+    #[test]
+    fn at_cost_truthful_utility_is_zero() {
+        let mech = NaiveMechanism::new(1.0, vec![0.2], 1.0);
+        let agents = vec![Agent::new(2.0)];
+        let truthful = vec![Conduct::truthful(agents[0])];
+        assert!((mech.utility(&agents, &truthful, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_gives_truthful_surplus() {
+        let (mech, agents) = setup();
+        let truthful: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        for j in 1..=3 {
+            assert!(mech.utility(&agents, &truthful, j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn underbidding_at_cost_pricing_loses() {
+        // With margin 1, price equals declared cost < true cost when
+        // underbidding: guaranteed loss.
+        let mech = NaiveMechanism::new(1.0, vec![0.2], 1.0);
+        let agents = vec![Agent::new(2.0)];
+        let sweep = mech.sweep(&agents, 1, &[0.5]);
+        assert!(sweep[0].1 < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_sub_unit_margin() {
+        NaiveMechanism::new(1.0, vec![0.2], 0.9);
+    }
+}

@@ -1,0 +1,324 @@
+//! The DLS-LBL payment functions (eqs. 4.3–4.13).
+//!
+//! For a strategic processor `P_j` (`j ≥ 1`) the mechanism computes:
+//!
+//! * **valuation** `V_j = −α̃_j · w̃_j` (eq. 4.5) — the cost of the work
+//!   actually performed;
+//! * **compensation** `C_j = α_j w̃_j + E_j` (eq. 4.7) with the
+//!   **recompense** `E_j = (α̃_j − α_j) w̃_j` when `α̃_j ≥ α_j`, else 0
+//!   (eq. 4.8) — overloaded victims are paid for the extra work;
+//! * **bonus** `B_j = w_{j-1} − w̄_{j-1}(α(bids), actual)` (eq. 4.9) — the
+//!   *improvement* `P_j` and its successors bring to the predecessor's
+//!   equivalent processing time, evaluated at the allocation implied by the
+//!   bids but re-timed with `P_j`'s *actual* performance via eqs. 4.10–4.11;
+//! * optional **solution bonus** `S` (eq. 4.13) for the
+//!   selfish-and-annoying extension.
+//!
+//! Total payment `Q_j = C_j + B_j (+ S)` if the processor computed anything
+//! (`α̃_j > 0`), else 0 (eq. 4.6); utility `U_j = V_j + Q_j` (eq. 4.4).
+
+use dlt::linear;
+use dlt::model::LinearNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Everything the payment computation for one processor depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaymentInputs {
+    /// Prescribed assignment `α_j` (units of total load) from the bids.
+    pub assigned_load: f64,
+    /// Load actually computed, `α̃_j`.
+    pub actual_load: f64,
+    /// Actual unit processing time `w̃_j` recorded by the meter.
+    pub actual_rate: f64,
+}
+
+/// Itemized payment for one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaymentBreakdown {
+    /// Valuation `V_j` (non-positive).
+    pub valuation: f64,
+    /// Compensation `C_j` including recompense.
+    pub compensation: f64,
+    /// Recompense component `E_j` of the compensation.
+    pub recompense: f64,
+    /// Bonus `B_j`.
+    pub bonus: f64,
+    /// Solution bonus `S` (0 unless the extension is active and a solution
+    /// was found).
+    pub solution_bonus: f64,
+    /// Total payment `Q_j`.
+    pub payment: f64,
+    /// Utility `U_j = V_j + Q_j`.
+    pub utility: f64,
+}
+
+/// Valuation `V_j = −α̃_j w̃_j` (eq. 4.5).
+#[inline]
+pub fn valuation(actual_load: f64, actual_rate: f64) -> f64 {
+    -actual_load * actual_rate
+}
+
+/// Recompense `E_j` (eq. 4.8).
+#[inline]
+pub fn recompense(assigned_load: f64, actual_load: f64, actual_rate: f64) -> f64 {
+    if actual_load >= assigned_load {
+        (actual_load - assigned_load) * actual_rate
+    } else {
+        0.0
+    }
+}
+
+/// Compensation `C_j = α_j w̃_j + E_j` (eq. 4.7).
+#[inline]
+pub fn compensation(assigned_load: f64, actual_load: f64, actual_rate: f64) -> f64 {
+    assigned_load * actual_rate + recompense(assigned_load, actual_load, actual_rate)
+}
+
+/// The adjusted equivalent bid `ŵ_j` of the segment `P_j … P_m`
+/// (eqs. 4.10–4.11): dominated by `P_j`'s actual performance when it ran
+/// slower than bid, unchanged when it ran at or faster than bid.
+///
+/// * `bids` — the declared rates of the whole chain (used to derive the
+///   local fraction `α̂_j` and the equivalent time `w̄_j`);
+/// * `j` — the processor being paid;
+/// * `actual_rate` — its metered `w̃_j`.
+pub fn adjusted_equivalent(bids: &LinearNetwork, j: usize, actual_rate: f64) -> f64 {
+    let m = bids.last_index();
+    assert!(j >= 1 && j <= m, "payments are defined for strategic processors 1..=m");
+    let sol = linear::solve(&bids.suffix(j));
+    let alpha_hat_j = sol.local.alpha_hat(0);
+    let w_bar_j = sol.makespan();
+    if j == m {
+        // eq. 4.10: the terminal processor's equivalent is itself.
+        return actual_rate;
+    }
+    if actual_rate >= bids.w(j) {
+        alpha_hat_j * actual_rate // eq. 4.11, slow case
+    } else {
+        w_bar_j // eq. 4.11, fast case: equivalent time unchanged
+    }
+}
+
+/// The realized equivalent time of the segment `P_{j-1} … P_m`
+/// (the `w̄_{j-1}(α(bids), actual)` term of eq. 4.9): the two-element
+/// reduction of `P_{j-1}` against the adjusted equivalent successor, with
+/// the split fixed by the *bids* but the successor re-timed by `ŵ_j`.
+pub fn realized_predecessor_equivalent(bids: &LinearNetwork, j: usize, actual_rate: f64) -> f64 {
+    assert!(j >= 1);
+    let w_pred = bids.w(j - 1);
+    let z_j = bids.z(j);
+    let w_bar_j = linear::equivalent_time(&bids.suffix(j));
+    // Local split of P_{j-1} vs its successor segment, from the bids (eq. 2.7).
+    let tail = w_bar_j + z_j;
+    let alpha_hat_pred = tail / (w_pred + tail);
+    let w_hat_j = adjusted_equivalent(bids, j, actual_rate);
+    let front = alpha_hat_pred * w_pred;
+    let back = (1.0 - alpha_hat_pred) * (z_j + w_hat_j);
+    front.max(back)
+}
+
+/// Bonus `B_j = w_{j-1} − w̄_{j-1}(α(bids), actual)` (eq. 4.9).
+pub fn bonus(bids: &LinearNetwork, j: usize, actual_rate: f64) -> f64 {
+    bids.w(j - 1) - realized_predecessor_equivalent(bids, j, actual_rate)
+}
+
+/// Full payment and utility for processor `j` (eqs. 4.4–4.9, plus the
+/// optional eq. 4.13 solution bonus).
+pub fn settle(
+    bids: &LinearNetwork,
+    j: usize,
+    inputs: PaymentInputs,
+    solution_bonus: f64,
+) -> PaymentBreakdown {
+    let v = valuation(inputs.actual_load, inputs.actual_rate);
+    if inputs.actual_load <= 0.0 {
+        // eq. 4.6: a processor that computed nothing is paid nothing.
+        return PaymentBreakdown {
+            valuation: v,
+            compensation: 0.0,
+            recompense: 0.0,
+            bonus: 0.0,
+            solution_bonus: 0.0,
+            payment: 0.0,
+            utility: v,
+        };
+    }
+    let e = recompense(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let c = compensation(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let b = bonus(bids, j, inputs.actual_rate);
+    let q = c + b + solution_bonus;
+    PaymentBreakdown {
+        valuation: v,
+        compensation: c,
+        recompense: e,
+        bonus: b,
+        solution_bonus,
+        payment: q,
+        utility: v + q,
+    }
+}
+
+/// Utility of the obedient root (eq. 4.3): always zero — the mechanism
+/// reimburses exactly the cost of the work it performed.
+pub fn root_utility(assigned_load: f64, actual_rate: f64) -> f64 {
+    let v = -assigned_load * actual_rate;
+    let c = assigned_load * actual_rate;
+    v + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bids() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn valuation_is_cost() {
+        assert_eq!(valuation(0.5, 2.0), -1.0);
+        assert_eq!(valuation(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn recompense_only_for_overload() {
+        assert_eq!(recompense(0.3, 0.3, 2.0), 0.0);
+        assert_eq!(recompense(0.3, 0.5, 2.0), 0.4);
+        assert_eq!(recompense(0.3, 0.2, 2.0), 0.0, "underload earns nothing extra");
+    }
+
+    #[test]
+    fn compensation_covers_assigned_plus_extra() {
+        // α = 0.3, α̃ = 0.5, w̃ = 2 → C = 0.6 + 0.4 = 1.0 = α̃ w̃
+        assert!((compensation(0.3, 0.5, 2.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compliant_utility_is_pure_bonus() {
+        // When α̃ = α and w̃ = w (bid), V + C = 0 so U = B.
+        let net = bids();
+        for j in 1..net.len() {
+            let sol = dlt::linear::solve(&net);
+            let inputs = PaymentInputs {
+                assigned_load: sol.alloc.alpha(j),
+                actual_load: sol.alloc.alpha(j),
+                actual_rate: net.w(j),
+            };
+            let p = settle(&net, j, inputs, 0.0);
+            assert!((p.utility - p.bonus).abs() < 1e-12, "P{j}");
+        }
+    }
+
+    #[test]
+    fn truthful_bonus_equals_marginal_improvement() {
+        // At truthful full-speed conduct, ŵ_j = w̄_j and the realized
+        // equivalent is exactly w̄_{j-1}, so B_j = w_{j-1} − w̄_{j-1} ≥ 0.
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        for j in 1..net.len() {
+            let b = bonus(&net, j, net.w(j));
+            let expected = net.w(j - 1) - sol.equivalent[j - 1];
+            assert!((b - expected).abs() < 1e-12, "P{j}: {b} vs {expected}");
+            assert!(b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn adjusted_equivalent_terminal_is_actual() {
+        let net = bids();
+        let m = net.last_index();
+        assert_eq!(adjusted_equivalent(&net, m, 7.5), 7.5);
+    }
+
+    #[test]
+    fn adjusted_equivalent_fast_interior_unchanged() {
+        let net = bids();
+        let w_bar_1 = dlt::linear::equivalent_time(&net.suffix(1));
+        // executing faster than bid leaves the equivalent at the bid value
+        assert!((adjusted_equivalent(&net, 1, net.w(1) * 0.5) - w_bar_1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_equivalent_slow_interior_grows() {
+        let net = bids();
+        let w_bar_1 = dlt::linear::equivalent_time(&net.suffix(1));
+        let adj = adjusted_equivalent(&net, 1, net.w(1) * 2.0);
+        assert!(adj > w_bar_1, "running slower must worsen the equivalent");
+    }
+
+    #[test]
+    fn slow_execution_reduces_bonus() {
+        let net = bids();
+        for j in 1..net.len() {
+            let honest = bonus(&net, j, net.w(j));
+            let slow = bonus(&net, j, net.w(j) * 3.0);
+            assert!(slow < honest - 1e-12, "P{j}: slow {slow} vs honest {honest}");
+        }
+    }
+
+    #[test]
+    fn fast_execution_does_not_raise_bonus() {
+        let net = bids();
+        for j in 1..net.len() - 1 {
+            let honest = bonus(&net, j, net.w(j));
+            let fast = bonus(&net, j, net.w(j) * 0.5);
+            assert!((fast - honest).abs() < 1e-12, "interior P{j} cannot gain by overdelivering");
+        }
+    }
+
+    #[test]
+    fn zero_actual_load_pays_nothing() {
+        let net = bids();
+        let p = settle(
+            &net,
+            1,
+            PaymentInputs { assigned_load: 0.2, actual_load: 0.0, actual_rate: 2.0 },
+            0.0,
+        );
+        assert_eq!(p.payment, 0.0);
+        assert_eq!(p.utility, 0.0);
+    }
+
+    #[test]
+    fn overloaded_victim_is_made_whole() {
+        // Extra work is fully reimbursed: utility unchanged by the overload.
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        let j = 2;
+        let base = PaymentInputs {
+            assigned_load: sol.alloc.alpha(j),
+            actual_load: sol.alloc.alpha(j),
+            actual_rate: net.w(j),
+        };
+        let overloaded = PaymentInputs { actual_load: sol.alloc.alpha(j) + 0.1, ..base };
+        let u0 = settle(&net, j, base, 0.0).utility;
+        let u1 = settle(&net, j, overloaded, 0.0).utility;
+        assert!((u0 - u1).abs() < 1e-12, "recompense must neutralize the overload");
+    }
+
+    #[test]
+    fn solution_bonus_adds_linearly() {
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        let inputs = PaymentInputs {
+            assigned_load: sol.alloc.alpha(1),
+            actual_load: sol.alloc.alpha(1),
+            actual_rate: net.w(1),
+        };
+        let without = settle(&net, 1, inputs, 0.0);
+        let with = settle(&net, 1, inputs, 0.25);
+        assert!((with.utility - without.utility - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn root_utility_is_zero() {
+        assert_eq!(root_utility(0.4, 1.0), 0.0);
+        assert_eq!(root_utility(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strategic")]
+    fn bonus_undefined_for_root() {
+        adjusted_equivalent(&bids(), 0, 1.0);
+    }
+}

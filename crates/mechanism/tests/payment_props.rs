@@ -1,0 +1,147 @@
+//! Property-based tests of the payment layer: identities and inequalities
+//! from §4–§5, fuzzed over random networks and conducts.
+
+use mechanism::payment;
+use mechanism::{Agent, Conduct, DlsLbl};
+use proptest::prelude::*;
+
+fn mech_strategy() -> impl Strategy<Value = (DlsLbl, Vec<Agent>)> {
+    (2usize..=8).prop_flat_map(|m| {
+        (
+            0.1f64..5.0,
+            proptest::collection::vec(0.1f64..5.0, m),
+            proptest::collection::vec(0.01f64..2.0, m),
+        )
+            .prop_map(|(root, rates, links)| {
+                (
+                    DlsLbl::new(root, links),
+                    rates.into_iter().map(Agent::new).collect::<Vec<Agent>>(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// V_j + C_j = 0 for a compliant agent: compensation exactly covers
+    /// cost, so utility is pure bonus.
+    #[test]
+    fn compliant_utility_is_pure_bonus((mech, agents) in mech_strategy()) {
+        let outcome = mech.settle_truthful(&agents);
+        for (idx, a) in outcome.agents.iter().enumerate() {
+            prop_assert!(
+                (a.breakdown.utility - a.breakdown.bonus).abs() < 1e-9,
+                "P{}: U {} ≠ B {}",
+                idx + 1,
+                a.breakdown.utility,
+                a.breakdown.bonus
+            );
+        }
+    }
+
+    /// The Lemma 5.4 identity: truthful utility = w_{j-1} − w̄_{j-1}.
+    #[test]
+    fn lemma_5_4_identity((mech, agents) in mech_strategy()) {
+        let outcome = mech.settle_truthful(&agents);
+        for j in 1..=agents.len() {
+            let expected = outcome.bid_network.w(j - 1) - outcome.solution.equivalent[j - 1];
+            prop_assert!((outcome.utility(j) - expected).abs() < 1e-9, "P{j}");
+        }
+    }
+
+    /// Recompense neutralizes overloads exactly: E_j = (α̃−α)·w̃ when
+    /// α̃ ≥ α, so the utility is overload-invariant.
+    #[test]
+    fn recompense_is_exact(
+        (mech, agents) in mech_strategy(),
+        extra in 0.0f64..0.5,
+    ) {
+        let truthful: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        let base = mech.settle(&truthful, false);
+        for j in 1..=agents.len() {
+            let mut overloaded = truthful.clone();
+            overloaded[j - 1].actual_load = Some(base.agents[j - 1].assigned_load + extra);
+            let out = mech.settle(&overloaded, false);
+            prop_assert!((out.utility(j) - base.utility(j)).abs() < 1e-9, "P{j}");
+        }
+    }
+
+    /// Q_j = 0 when α̃_j = 0 (eq. 4.6's zero branch).
+    #[test]
+    fn zero_work_zero_pay((mech, agents) in mech_strategy()) {
+        let mut conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+        conducts[0].actual_load = Some(0.0);
+        let outcome = mech.settle(&conducts, false);
+        prop_assert_eq!(outcome.agents[0].breakdown.payment, 0.0);
+    }
+
+    /// Bonus is non-increasing in the metered execution time (running
+    /// slower never raises the bonus) — the payment-side engine of the
+    /// slack-execution analysis.
+    #[test]
+    fn bonus_monotone_in_actual_rate(
+        (mech, agents) in mech_strategy(),
+        slack_a in 1.0f64..4.0,
+        slack_b in 1.0f64..4.0,
+    ) {
+        let (lo, hi) = if slack_a <= slack_b { (slack_a, slack_b) } else { (slack_b, slack_a) };
+        let bids: Vec<f64> = agents.iter().map(|a| a.true_rate).collect();
+        let (net, _) = mech.allocate(&bids);
+        for j in 1..=agents.len() {
+            let fast = payment::bonus(&net, j, agents[j - 1].true_rate * lo);
+            let slow = payment::bonus(&net, j, agents[j - 1].true_rate * hi);
+            prop_assert!(slow <= fast + 1e-9, "P{j}: slower execution raised the bonus");
+        }
+    }
+
+    /// The adjusted equivalent never falls below the bid-based equivalent
+    /// when the agent is slower than bid (eq. 4.11's penalty direction).
+    #[test]
+    fn adjustment_only_penalizes(
+        (mech, agents) in mech_strategy(),
+        slack in 1.0f64..4.0,
+    ) {
+        let bids: Vec<f64> = agents.iter().map(|a| a.true_rate).collect();
+        let (net, _) = mech.allocate(&bids);
+        for j in 1..=agents.len() {
+            let base = dlt::linear::equivalent_time(&net.suffix(j));
+            let adjusted = payment::adjusted_equivalent(&net, j, agents[j - 1].true_rate * slack);
+            prop_assert!(adjusted >= base - 1e-9, "P{j}");
+        }
+    }
+
+    /// Root utility is identically zero (eq. 4.3).
+    #[test]
+    fn root_nets_zero(load in 0.0f64..1.0, rate in 0.1f64..5.0) {
+        prop_assert_eq!(payment::root_utility(load, rate), 0.0);
+    }
+
+    /// Total settlement is budget-feasible for the mechanism operator in
+    /// the sense that payments are finite and individually bounded by
+    /// compensation + predecessor rate (the bonus can never exceed
+    /// w_{j-1}).
+    #[test]
+    fn payments_are_bounded((mech, agents) in mech_strategy()) {
+        let outcome = mech.settle_truthful(&agents);
+        for (idx, a) in outcome.agents.iter().enumerate() {
+            let j = idx + 1;
+            let w_pred = outcome.bid_network.w(j - 1);
+            prop_assert!(a.breakdown.bonus <= w_pred + 1e-9, "P{j} bonus exceeds w_(j-1)");
+            prop_assert!(a.breakdown.payment.is_finite());
+        }
+    }
+
+    /// Settlement determinism: the same conducts settle identically.
+    #[test]
+    fn settlement_is_deterministic((mech, agents) in mech_strategy()) {
+        let conducts: Vec<Conduct> = agents
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| if i % 2 == 0 { Conduct::truthful(a) } else { Conduct::misreport(a, 1.5) })
+            .collect();
+        let a = mech.settle(&conducts, false);
+        let b = mech.settle(&conducts, false);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated digital signatures and PKI.
+//!
+//! The paper *assumes* an unforgeable signature scheme and a public key
+//! infrastructure (§4); Lemma 5.2 explicitly takes forgery to be
+//! impossible. We therefore simulate: every node holds a 128-bit secret,
+//! a signature is a keyed hash of the canonical message bytes, and the
+//! [`Registry`] (standing in for the PKI) verifies by recomputation. The
+//! hash is not cryptographically strong — it doesn't need to be; what the
+//! protocol logic requires is that *within the simulation* a node without
+//! the secret cannot mint a verifying tag, which holds by construction
+//! because secrets never leave the keypair/registry.
+//!
+//! All protocol-relevant behaviors are real on top of this substrate:
+//! inauthentic messages are rejected, contradictory signed messages are
+//! detectable and attributable, and evidence survives forwarding.
+
+use serde::{Deserialize, Serialize};
+
+/// A node identifier: index in the chain (`0` is the root).
+pub type NodeId = usize;
+
+/// A signature tag over a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(pub u128);
+
+/// Keyed 128-bit hash (FNV-1a style folded twice with different offsets).
+/// Deterministic, stable across runs.
+fn keyed_hash(secret: u128, data: &[u8]) -> u128 {
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+    let mut h1: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d ^ secret;
+    for &b in data {
+        h1 ^= b as u128;
+        h1 = h1.wrapping_mul(PRIME);
+    }
+    let mut h2: u128 = 0xcbf2_9ce4_8422_2325_8422_2325_cbf2_9ce4 ^ secret.rotate_left(64);
+    for &b in data.iter().rev() {
+        h2 ^= b as u128;
+        h2 = h2.wrapping_mul(PRIME);
+    }
+    h1 ^ h2.rotate_left(17)
+}
+
+/// A node's private key. Only the owning node (and the registry, which
+/// plays the PKI's role of binding identities to keys) ever holds it.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// The owning node.
+    pub node: NodeId,
+    secret: u128,
+}
+
+impl KeyPair {
+    /// Sign raw bytes.
+    pub fn sign_bytes(&self, data: &[u8]) -> Signature {
+        Signature(keyed_hash(self.secret, data))
+    }
+
+    /// Sign any serializable payload (canonical JSON bytes).
+    pub fn sign<T: Serialize>(&self, payload: &T) -> Signature {
+        let bytes = serde_json::to_vec(payload).expect("serializable payload");
+        self.sign_bytes(&bytes)
+    }
+}
+
+/// The PKI stand-in: issues keys and verifies signatures.
+#[derive(Debug, Default)]
+pub struct Registry {
+    secrets: Vec<u128>,
+}
+
+impl Registry {
+    /// Create a registry for `n` nodes with deterministic per-node secrets
+    /// derived from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut secrets = Vec::with_capacity(n);
+        let mut state = (seed as u128) | 1;
+        for i in 0..n {
+            // splitmix-style expansion; distinct per node
+            state = state
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835)
+                .wrapping_add(i as u128 + 0x632B_E5AB);
+            secrets.push(state ^ state.rotate_left(49));
+        }
+        Self { secrets }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// True if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.secrets.is_empty()
+    }
+
+    /// Hand node `id` its keypair.
+    pub fn keypair(&self, id: NodeId) -> KeyPair {
+        KeyPair { node: id, secret: self.secrets[id] }
+    }
+
+    /// Verify a signature over raw bytes.
+    pub fn verify_bytes(&self, id: NodeId, data: &[u8], sig: Signature) -> bool {
+        id < self.secrets.len() && keyed_hash(self.secrets[id], data) == sig.0
+    }
+
+    /// Verify a signature over a serializable payload.
+    pub fn verify<T: Serialize>(&self, id: NodeId, payload: &T, sig: Signature) -> bool {
+        let bytes = serde_json::to_vec(payload).expect("serializable payload");
+        self.verify_bytes(id, &bytes, sig)
+    }
+}
+
+/// A digitally signed message `dsm_i(m) = (m, sig_i(m))` (§4 notation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dsm<T> {
+    /// The payload `m`.
+    pub payload: T,
+    /// The signer.
+    pub signer: NodeId,
+    /// The signature `sig_i(m)`.
+    pub signature: Signature,
+}
+
+impl<T: Serialize + Clone> Dsm<T> {
+    /// Sign a payload.
+    pub fn new(key: &KeyPair, payload: T) -> Self {
+        let signature = key.sign(&payload);
+        Self { payload, signer: key.node, signature }
+    }
+
+    /// Verify against the registry, optionally pinning the expected signer.
+    pub fn verify(&self, registry: &Registry, expected_signer: Option<NodeId>) -> bool {
+        if let Some(exp) = expected_signer {
+            if exp != self.signer {
+                return false;
+            }
+        }
+        registry.verify(self.signer, &self.payload, self.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let reg = Registry::new(4, 42);
+        let key = reg.keypair(2);
+        let sig = key.sign(&"hello");
+        assert!(reg.verify(2, &"hello", sig));
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let reg = Registry::new(4, 42);
+        let key = reg.keypair(2);
+        let sig = key.sign(&"hello");
+        assert!(!reg.verify(1, &"hello", sig));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let reg = Registry::new(4, 42);
+        let key = reg.keypair(2);
+        let sig = key.sign(&"hello");
+        assert!(!reg.verify(2, &"hullo", sig));
+    }
+
+    #[test]
+    fn forgery_without_secret_fails() {
+        let reg = Registry::new(4, 42);
+        // An attacker guesses a signature value.
+        for guess in [0u128, 1, u128::MAX, 0xDEADBEEF] {
+            assert!(!reg.verify(3, &42.0f64, Signature(guess)));
+        }
+    }
+
+    #[test]
+    fn secrets_differ_across_nodes_and_seeds() {
+        let a = Registry::new(3, 1);
+        let b = Registry::new(3, 2);
+        let msg = 3.25f64;
+        let s0 = a.keypair(0).sign(&msg);
+        let s1 = a.keypair(1).sign(&msg);
+        let s0b = b.keypair(0).sign(&msg);
+        assert_ne!(s0, s1, "different nodes, different tags");
+        assert_ne!(s0, s0b, "different seeds, different tags");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Registry::new(3, 7);
+        let b = Registry::new(3, 7);
+        let msg = vec![1.0f64, 2.0];
+        assert_eq!(a.keypair(1).sign(&msg), b.keypair(1).sign(&msg));
+    }
+
+    #[test]
+    fn dsm_verify_pins_signer() {
+        let reg = Registry::new(4, 42);
+        let dsm = Dsm::new(&reg.keypair(1), 0.5f64);
+        assert!(dsm.verify(&reg, Some(1)));
+        assert!(!dsm.verify(&reg, Some(2)));
+        assert!(dsm.verify(&reg, None));
+    }
+
+    #[test]
+    fn dsm_detects_payload_substitution() {
+        let reg = Registry::new(4, 42);
+        let mut dsm = Dsm::new(&reg.keypair(1), 0.5f64);
+        dsm.payload = 0.75;
+        assert!(!dsm.verify(&reg, Some(1)));
+    }
+
+    #[test]
+    fn contradictory_messages_are_attributable() {
+        // Two authentic messages with different payloads from the same
+        // signer: both verify — exactly the evidence Phase I needs.
+        let reg = Registry::new(4, 42);
+        let key = reg.keypair(2);
+        let m1 = Dsm::new(&key, 0.5f64);
+        let m2 = Dsm::new(&key, 0.9f64);
+        assert!(m1.verify(&reg, Some(2)) && m2.verify(&reg, Some(2)));
+        assert_ne!(m1.payload, m2.payload);
+    }
+
+    #[test]
+    fn unknown_node_never_verifies() {
+        let reg = Registry::new(2, 42);
+        let key = reg.keypair(1);
+        let sig = key.sign(&1.0f64);
+        assert!(!reg.verify_bytes(5, b"x", sig));
+    }
+}

@@ -1,0 +1,182 @@
+//! The Λ data-tagging device (§4, footnote 1).
+//!
+//! The paper equips the load with a device `Λ_i` that lets processor `P_i`
+//! *prove how much load it received*. The footnote's own construction is
+//! implemented here: the unit load is divided into equal-sized blocks, each
+//! carrying a unique random identifier drawn from a space large enough that
+//! guessing a valid identifier is negligible. A node's receipt proof is the
+//! set of identifiers it received; the root checks them against the set it
+//! minted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The root-side mint: the authoritative set of block identifiers.
+#[derive(Debug, Clone)]
+pub struct BlockMint {
+    ids: Vec<u64>,
+    lookup: HashSet<u64>,
+    blocks: usize,
+}
+
+impl BlockMint {
+    /// Mint `blocks` identifiers for the unit load using `seed`.
+    pub fn new(blocks: usize, seed: u64) -> Self {
+        assert!(blocks > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lookup = HashSet::with_capacity(blocks);
+        let mut ids = Vec::with_capacity(blocks);
+        while ids.len() < blocks {
+            let id: u64 = rng.gen();
+            if lookup.insert(id) {
+                ids.push(id);
+            }
+        }
+        Self { ids, lookup, blocks }
+    }
+
+    /// Number of blocks the unit load was divided into.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The load amount represented by one block.
+    pub fn block_size(&self) -> f64 {
+        1.0 / self.blocks as f64
+    }
+
+    /// The identifiers for a contiguous range of blocks (used when carving
+    /// the load for distribution).
+    pub fn range(&self, start: usize, len: usize) -> LoadTag {
+        assert!(start + len <= self.blocks);
+        LoadTag { ids: self.ids[start..start + len].to_vec() }
+    }
+
+    /// Verify a receipt proof: every identifier must be genuine and
+    /// distinct. Returns the proven load amount, or `None` if any
+    /// identifier is invalid or duplicated.
+    pub fn verify(&self, tag: &LoadTag) -> Option<f64> {
+        let mut seen = HashSet::with_capacity(tag.ids.len());
+        for id in &tag.ids {
+            if !self.lookup.contains(id) || !seen.insert(*id) {
+                return None;
+            }
+        }
+        Some(tag.ids.len() as f64 / self.blocks as f64)
+    }
+
+    /// Convert a load amount into a whole number of blocks (rounding to
+    /// nearest; the protocol distributes block-aligned loads).
+    pub fn to_blocks(&self, amount: f64) -> usize {
+        (amount * self.blocks as f64).round() as usize
+    }
+}
+
+/// A receipt proof: the block identifiers a node can exhibit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadTag {
+    /// The identifiers.
+    pub ids: Vec<u64>,
+}
+
+impl LoadTag {
+    /// An empty tag (no load received).
+    pub fn empty() -> Self {
+        Self { ids: Vec::new() }
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no blocks are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Split off the first `n` blocks (the retained part), leaving the
+    /// remainder (the forwarded part).
+    pub fn split(mut self, n: usize) -> (LoadTag, LoadTag) {
+        assert!(n <= self.ids.len());
+        let rest = self.ids.split_off(n);
+        (self, LoadTag { ids: rest })
+    }
+
+    /// Forge a tag with guessed identifiers (for tests of the guessing
+    /// attack).
+    pub fn forged(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { ids: (0..n).map(|_| rng.gen()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_produces_unique_ids() {
+        let mint = BlockMint::new(1000, 1);
+        let all = mint.range(0, 1000);
+        let unique: HashSet<_> = all.ids.iter().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn verify_accepts_genuine_range() {
+        let mint = BlockMint::new(100, 2);
+        let tag = mint.range(25, 50);
+        assert_eq!(mint.verify(&tag), Some(0.5));
+    }
+
+    #[test]
+    fn verify_rejects_forged_ids() {
+        let mint = BlockMint::new(100, 3);
+        let forged = LoadTag::forged(10, 99);
+        assert_eq!(mint.verify(&forged), None, "guessing identifiers must fail");
+    }
+
+    #[test]
+    fn verify_rejects_duplicated_ids() {
+        let mint = BlockMint::new(100, 4);
+        let mut tag = mint.range(0, 5);
+        let dup = tag.ids[0];
+        tag.ids.push(dup);
+        assert_eq!(mint.verify(&tag), None, "double-counting blocks must fail");
+    }
+
+    #[test]
+    fn empty_tag_proves_zero() {
+        let mint = BlockMint::new(100, 5);
+        assert_eq!(mint.verify(&LoadTag::empty()), Some(0.0));
+    }
+
+    #[test]
+    fn split_partitions_blocks() {
+        let mint = BlockMint::new(10, 6);
+        let tag = mint.range(0, 10);
+        let (kept, fwd) = tag.split(3);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(fwd.len(), 7);
+        assert_eq!(mint.verify(&kept), Some(0.3));
+        assert_eq!(mint.verify(&fwd), Some(0.7));
+    }
+
+    #[test]
+    fn to_blocks_rounds() {
+        let mint = BlockMint::new(1000, 7);
+        assert_eq!(mint.to_blocks(0.25), 250);
+        assert_eq!(mint.to_blocks(1.0), 1000);
+        assert_eq!(mint.to_blocks(0.2504), 250);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BlockMint::new(10, 8);
+        let b = BlockMint::new(10, 8);
+        assert_eq!(a.range(0, 10), b.range(0, 10));
+    }
+}

@@ -1,0 +1,152 @@
+//! The payment-infrastructure ledger: every transfer the mechanism makes —
+//! payments, fines, rewards, recompense — lands here, so experiments can
+//! report net utilities and check conservation properties.
+
+use crate::crypto::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// Phase IV payment `Q_j` (compensation + bonus + solution bonus).
+    Payment,
+    /// A fine levied for a substantiated deviation (negative amount).
+    Fine,
+    /// A reward for reporting a deviant.
+    Reward,
+    /// Additional penalty covering a victim's extra work (Phase III,
+    /// `(α̃ − α)·w̃` on top of `F`).
+    ExtraWorkPenalty,
+}
+
+/// One ledger entry. `amount` is signed: positive credits the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The affected node.
+    pub node: NodeId,
+    /// The entry kind.
+    pub kind: EntryKind,
+    /// Signed amount (positive = credit).
+    pub amount: f64,
+    /// Free-form reason for audit trails.
+    pub phase: u8,
+}
+
+/// The full ledger of a protocol run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    entries: Vec<Entry>,
+}
+
+impl Ledger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn post(&mut self, node: NodeId, kind: EntryKind, amount: f64, phase: u8) {
+        assert!(amount.is_finite(), "ledger amounts must be finite");
+        self.entries.push(Entry { node, kind, amount, phase });
+    }
+
+    /// All entries in posting order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Net credited amount for a node.
+    pub fn net(&self, node: NodeId) -> f64 {
+        self.entries.iter().filter(|e| e.node == node).map(|e| e.amount).sum()
+    }
+
+    /// Net amount of a given kind for a node.
+    pub fn net_of(&self, node: NodeId, kind: EntryKind) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.node == node && e.kind == kind)
+            .map(|e| e.amount)
+            .sum()
+    }
+
+    /// Sum of all fines levied (as a positive number).
+    pub fn total_fines(&self) -> f64 {
+        -self
+            .entries
+            .iter()
+            .filter(|e| matches!(e.kind, EntryKind::Fine | EntryKind::ExtraWorkPenalty))
+            .map(|e| e.amount)
+            .sum::<f64>()
+    }
+
+    /// Sum of all rewards disbursed.
+    pub fn total_rewards(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Reward)
+            .map(|e| e.amount)
+            .sum()
+    }
+
+    /// True if every fine has a matching reward of equal magnitude posted
+    /// in the same phase (the paper's fines are transfers to the reporter,
+    /// not burnt — except the Phase IV `F/q` audit fine, which is kept by
+    /// the mechanism; pass `phase4_excluded = true` to skip those).
+    pub fn fines_match_rewards(&self, phase4_excluded: bool, tol: f64) -> bool {
+        let fines: f64 = self
+            .entries
+            .iter()
+            .filter(|e| e.kind == EntryKind::Fine && !(phase4_excluded && e.phase == 4))
+            .map(|e| -e.amount)
+            .sum();
+        (fines - self.total_rewards()).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_sums_signed_entries() {
+        let mut l = Ledger::new();
+        l.post(1, EntryKind::Payment, 2.0, 4);
+        l.post(1, EntryKind::Fine, -5.0, 2);
+        l.post(2, EntryKind::Reward, 5.0, 2);
+        assert_eq!(l.net(1), -3.0);
+        assert_eq!(l.net(2), 5.0);
+        assert_eq!(l.net(3), 0.0);
+    }
+
+    #[test]
+    fn kind_filters() {
+        let mut l = Ledger::new();
+        l.post(1, EntryKind::Payment, 2.0, 4);
+        l.post(1, EntryKind::Fine, -5.0, 2);
+        assert_eq!(l.net_of(1, EntryKind::Payment), 2.0);
+        assert_eq!(l.net_of(1, EntryKind::Fine), -5.0);
+        assert_eq!(l.total_fines(), 5.0);
+    }
+
+    #[test]
+    fn fines_match_rewards_balanced() {
+        let mut l = Ledger::new();
+        l.post(1, EntryKind::Fine, -5.0, 2);
+        l.post(2, EntryKind::Reward, 5.0, 2);
+        assert!(l.fines_match_rewards(false, 1e-12));
+    }
+
+    #[test]
+    fn phase4_fines_can_be_unmatched() {
+        let mut l = Ledger::new();
+        l.post(1, EntryKind::Fine, -20.0, 4); // audit fine, kept by mechanism
+        assert!(!l.fines_match_rewards(false, 1e-12));
+        assert!(l.fines_match_rewards(true, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_amount() {
+        Ledger::new().post(0, EntryKind::Payment, f64::NAN, 4);
+    }
+}

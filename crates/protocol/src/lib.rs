@@ -1,0 +1,45 @@
+//! # `protocol` — the four-phase DLS-LBL protocol with verification
+//!
+//! The enforcement layer of the reproduction of Carroll & Grosu (IPPS
+//! 2007). Where the `mechanism` crate answers *who is paid what*, this
+//! crate makes those numbers *incentive-compatible to compute in a
+//! distributed way*, in the paper's autonomous-node model where agents
+//! control both their inputs and the algorithm they run:
+//!
+//! * [`crypto`] — simulated unforgeable signatures and PKI (`dsm_i(m)`).
+//! * [`lambda`] — the Λ data-tagging device of footnote 1: block
+//!   identifiers that prove how much load a node received.
+//! * [`messages`] — Phase I bids, Phase II `G_i` messages (eqs. 4.1–4.2)
+//!   with the full recipient-side check suite, grievances, and the Phase IV
+//!   payment proof (eq. 4.12).
+//! * [`root`] — arbitration: evidence verification, fines and rewards
+//!   (Lemma 5.2: only actual deviants are ever fined).
+//! * [`deviation`] — the Lemma 5.1 misbehavior catalog.
+//! * [`ledger`] — the payment-infrastructure ledger.
+//! * [`runner`] — end-to-end scenario execution across all four phases,
+//!   with deviations injected, caught, and fined.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Parallel-array indexing is idiomatic throughout this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod crypto;
+pub mod deviation;
+pub mod lambda;
+pub mod ledger;
+pub mod messages;
+pub mod root;
+pub mod runner;
+pub mod transcript;
+pub mod tree_runner;
+
+pub use crypto::{Dsm, KeyPair, NodeId, Registry, Signature};
+pub use deviation::Deviation;
+pub use lambda::{BlockMint, LoadTag};
+pub use ledger::{EntryKind, Ledger};
+pub use messages::{Bill, Complaint, GMessage, PaymentProof};
+pub use root::{arbitrate, ArbitrationContext, ArbitrationRecord};
+pub use runner::{run, RunReport, Scenario};
+pub use transcript::{replay, Finding, FindingKind, Transcript};
+pub use tree_runner::{run_tree, TreeRunReport, TreeScenario};

@@ -1,0 +1,230 @@
+//! Per-block discrete-event simulation — the fine-grained twin of
+//! [`crate::chain`].
+//!
+//! The Λ device divides the load into `B` tagged blocks; this module
+//! simulates every block's hop as its own event instead of aggregating
+//! whole transfers. Semantics are identical to the aggregate model (links
+//! carry a node's outbound blocks back-to-back, a node still computes only
+//! once its entire retained set has arrived), so the finish times must
+//! match the aggregate simulation to rounding — asserted in tests — while
+//! the event count scales with `B`. This is the "DES granularity" ablation
+//! of DESIGN.md §5, and it doubles as the faithful execution model for
+//! protocols that meter per-block receipts.
+
+use crate::engine::Engine;
+use crate::time::SimTime;
+use dlt::model::{LinearNetwork, LocalAllocation};
+use serde::{Deserialize, Serialize};
+
+/// Result of a per-block run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockRun {
+    /// Number of blocks each node retained.
+    pub retained_blocks: Vec<usize>,
+    /// Number of blocks each node received.
+    pub received_blocks: Vec<usize>,
+    /// Per-node compute finish times (0 for idle nodes).
+    pub finish_times: Vec<f64>,
+    /// Overall makespan.
+    pub makespan: f64,
+    /// Number of discrete events processed.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// One block finished arriving at `node`.
+    BlockArrived { node: usize },
+    /// `node` finished computing its retained set.
+    ComputeComplete { node: usize },
+}
+
+/// Simulate the chain at block granularity.
+///
+/// Block accounting: node `i` receives `received_blocks[i]` blocks, keeps
+/// the first `retained_blocks[i]` (block counts are rounded from the plan;
+/// the terminal node keeps everything), forwards the rest. A link carries
+/// blocks one at a time, `block_size × z` each; a node starts computing
+/// when its last retained block lands and computes `retained × block_size
+/// × w̃`.
+pub fn simulate_blocks(
+    net: &LinearNetwork,
+    plan: &LocalAllocation,
+    actual_rates: &[f64],
+    blocks: usize,
+) -> BlockRun {
+    let n = net.len();
+    assert_eq!(plan.len(), n);
+    assert_eq!(actual_rates.len(), n);
+    assert!(blocks >= 1);
+    let m = n - 1;
+    let block_size = 1.0 / blocks as f64;
+
+    // Static block accounting (the plan is fixed before execution).
+    let mut received = vec![0usize; n];
+    let mut retained = vec![0usize; n];
+    let mut pool = blocks;
+    for i in 0..n {
+        received[i] = pool;
+        let keep = if i == m {
+            pool
+        } else {
+            ((plan.alpha_hat(i) * pool as f64).round() as usize).min(pool)
+        };
+        retained[i] = keep;
+        pool -= keep;
+    }
+
+    // Event-driven execution.
+    let mut engine: Engine<Event> = Engine::new();
+    let mut arrived = vec![0usize; n];
+    let mut finish = vec![0.0f64; n];
+    // `link_free[i]`: when the link into node i can start its next block.
+    let mut link_free = vec![0.0f64; n];
+
+    // The root "receives" all blocks at t = 0.
+    arrived[0] = received[0];
+    if retained[0] > 0 {
+        let dur = retained[0] as f64 * block_size * actual_rates[0];
+        engine.schedule_at(SimTime::new(dur), Event::ComputeComplete { node: 0 });
+    }
+    // Root forwards its outbound blocks back-to-back from t = 0.
+    if m >= 1 {
+        let fwd = received[0] - retained[0];
+        let mut t = 0.0;
+        for _ in 0..fwd {
+            t += block_size * net.z(1);
+            engine.schedule_at(SimTime::new(t), Event::BlockArrived { node: 1 });
+        }
+        link_free[1] = t;
+    }
+
+    engine.run(|eng, t, ev| match ev {
+        Event::BlockArrived { node } => {
+            arrived[node] += 1;
+            // Start computing once the full retained set is in. Retained
+            // blocks are the *first* `retained[node]` to arrive.
+            if arrived[node] == retained[node] && retained[node] > 0 {
+                let dur = retained[node] as f64 * block_size * actual_rates[node];
+                eng.schedule_in(dur, Event::ComputeComplete { node });
+            }
+            // Forward every block beyond the retained set immediately
+            // (front-end), respecting the outbound link's serialization.
+            if node < m && arrived[node] > retained[node] {
+                let start = link_free[node + 1].max(t.as_f64());
+                let end = start + block_size * net.z(node + 1);
+                link_free[node + 1] = end;
+                eng.schedule_at(SimTime::new(end), Event::BlockArrived { node: node + 1 });
+            }
+        }
+        Event::ComputeComplete { node } => {
+            finish[node] = t.as_f64();
+        }
+    });
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    BlockRun {
+        retained_blocks: retained,
+        received_blocks: received,
+        finish_times: finish,
+        makespan,
+        events: engine.processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::simulate_honest;
+    use dlt::linear;
+
+    fn net() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn block_counts_partition_the_load() {
+        let net = net();
+        let sol = linear::solve(&net);
+        let rates = net.rates_w();
+        let run = simulate_blocks(&net, &sol.local, &rates, 1000);
+        assert_eq!(run.retained_blocks.iter().sum::<usize>(), 1000);
+        assert_eq!(run.received_blocks[0], 1000);
+    }
+
+    #[test]
+    fn converges_to_aggregate_simulation() {
+        // Block rounding perturbs the allocation by O(1/B); the makespan
+        // must converge to the aggregate model's as B grows.
+        let net = net();
+        let sol = linear::solve(&net);
+        let rates = net.rates_w();
+        let aggregate = simulate_honest(&net, &sol.local);
+        let mut errors = Vec::new();
+        for blocks in [100usize, 1000, 10_000] {
+            let run = simulate_blocks(&net, &sol.local, &rates, blocks);
+            errors.push((run.makespan - aggregate.makespan).abs());
+        }
+        assert!(errors[2] < errors[0], "error should shrink with granularity: {errors:?}");
+        assert!(errors[2] < 1e-3, "10k blocks should be within 1e-3: {errors:?}");
+    }
+
+    #[test]
+    fn event_count_scales_with_blocks() {
+        let net = net();
+        let sol = linear::solve(&net);
+        let rates = net.rates_w();
+        let small = simulate_blocks(&net, &sol.local, &rates, 100);
+        let large = simulate_blocks(&net, &sol.local, &rates, 1000);
+        assert!(large.events > small.events * 5);
+    }
+
+    #[test]
+    fn cut_through_forwarding_cannot_be_slower_than_store_and_forward() {
+        // Per-block forwarding lets downstream transfers start before a
+        // node's full delivery completes, so finish times are ≤ the
+        // aggregate model's (up to rounding).
+        let net = net();
+        let sol = linear::solve(&net);
+        let rates = net.rates_w();
+        let aggregate = simulate_honest(&net, &sol.local);
+        let run = simulate_blocks(&net, &sol.local, &rates, 10_000);
+        for i in 0..net.len() {
+            assert!(
+                run.finish_times[i] <= aggregate.finish_times[i] + 1e-3,
+                "P{i}: blocks {} vs aggregate {}",
+                run.finish_times[i],
+                aggregate.finish_times[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_degenerates_gracefully() {
+        let net = LinearNetwork::from_rates(&[1.0, 1.0], &[0.5]);
+        let plan = linear::solve(&net).local;
+        let run = simulate_blocks(&net, &plan, &[1.0, 1.0], 1);
+        // One block: someone gets everything (rounding decides whom).
+        assert_eq!(run.retained_blocks.iter().sum::<usize>(), 1);
+        assert!(run.makespan > 0.0);
+    }
+
+    #[test]
+    fn slow_actual_rate_delays_finish() {
+        let net = net();
+        let sol = linear::solve(&net);
+        let mut rates = net.rates_w();
+        let base = simulate_blocks(&net, &sol.local, &rates, 1000);
+        rates[2] *= 3.0;
+        let slow = simulate_blocks(&net, &sol.local, &rates, 1000);
+        assert!(slow.finish_times[2] > base.finish_times[2]);
+    }
+
+    #[test]
+    fn terminal_keeps_all_remaining_blocks() {
+        let net = net();
+        let sol = linear::solve(&net);
+        let run = simulate_blocks(&net, &sol.local, &net.rates_w(), 777);
+        assert_eq!(run.retained_blocks[3], run.received_blocks[3]);
+    }
+}

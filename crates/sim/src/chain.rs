@@ -1,0 +1,279 @@
+//! Event-driven simulation of chain execution — Figure 2 brought to life,
+//! including the misbehaviors of §4 Phase III.
+//!
+//! The simulation is driven by the [`Engine`] event queue: load transfers
+//! and computations are events whose completion triggers downstream
+//! activity. An honest run must reproduce the analytic schedule of
+//! [`dlt::timing::ChainSchedule`] exactly; deviant runs let nodes compute
+//! slower than bid (`w̃ > w`) or retain less than prescribed (`α̃ < α`,
+//! shedding work onto their successors), which is precisely what the
+//! mechanism's verification layer must detect.
+
+use crate::engine::Engine;
+use crate::gantt::{Activity, GanttChart};
+use crate::time::SimTime;
+use dlt::model::{LinearNetwork, LocalAllocation, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// Per-node runtime behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeBehavior {
+    /// Actual unit processing time `w̃_i` the node computes at. The paper
+    /// requires `w̃_i ≥ t_i`; the simulator itself accepts any positive
+    /// value and leaves enforcement to the caller.
+    pub actual_rate: f64,
+    /// Actual *local* retention `α̃̂_i`: the fraction of received load the
+    /// node keeps. `None` means the prescribed fraction. Ignored for the
+    /// terminal node, which has no successor and must keep everything.
+    pub retention_override: Option<f64>,
+}
+
+impl NodeBehavior {
+    /// Fully compliant behavior at the given actual rate.
+    pub fn compliant(actual_rate: f64) -> Self {
+        Self { actual_rate, retention_override: None }
+    }
+
+    /// Load-shedding behavior: keep only `fraction` of the received load
+    /// (forwarding the rest), computing at `actual_rate`.
+    pub fn shedding(actual_rate: f64, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        Self { actual_rate, retention_override: Some(fraction) }
+    }
+}
+
+/// Result of a simulated chain run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainRun {
+    /// The recorded Gantt chart.
+    pub gantt: GanttChart,
+    /// Load actually received by each node (`D̃_i`).
+    pub received: Vec<f64>,
+    /// Load actually retained and computed by each node (`α̃_i`).
+    pub retained: Vec<f64>,
+    /// Load actually forwarded by each node.
+    pub forwarded: Vec<f64>,
+    /// Per-node compute finish times (0 for idle nodes).
+    pub finish_times: Vec<f64>,
+    /// Overall makespan.
+    pub makespan: f64,
+    /// Number of discrete events processed.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// `amount` units finished arriving at node `to`.
+    TransferComplete { to: usize, amount: f64 },
+    /// Node finished computing its retained load.
+    ComputeComplete { node: usize },
+}
+
+/// Simulate the chain under the prescribed local allocation `plan` with the
+/// given per-node behaviors.
+///
+/// # Panics
+/// Panics if the vector lengths disagree with the network size.
+pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBehavior]) -> ChainRun {
+    let n = net.len();
+    assert_eq!(plan.len(), n, "plan size mismatch");
+    assert_eq!(behaviors.len(), n, "behavior size mismatch");
+    let m = n - 1;
+
+    let mut gantt = GanttChart::with_processors(n);
+    let mut received = vec![0.0; n];
+    let mut retained = vec![0.0; n];
+    let mut forwarded = vec![0.0; n];
+    let mut finish = vec![0.0; n];
+
+    let retention = |i: usize| -> f64 {
+        if i == m {
+            1.0
+        } else {
+            behaviors[i].retention_override.unwrap_or_else(|| plan.alpha_hat(i))
+        }
+    };
+
+    let mut engine: Engine<Event> = Engine::new();
+    // The root "receives" the whole load at time zero.
+    engine.schedule_at(SimTime::ZERO, Event::TransferComplete { to: 0, amount: 1.0 });
+
+    engine.run(|eng, t, ev| match ev {
+        Event::TransferComplete { to, amount } => {
+            let now = t.as_f64();
+            received[to] = amount;
+            if to > 0 {
+                let dur = amount * net.z(to);
+                gantt.record(to, Activity::Receive, now - dur, now, amount);
+                gantt.record(to - 1, Activity::Send, now - dur, now, amount);
+            }
+            let keep = (retention(to) * amount).min(amount);
+            let fwd = amount - keep;
+            retained[to] = keep;
+            forwarded[to] = fwd;
+            if keep > 0.0 {
+                let dur = keep * behaviors[to].actual_rate;
+                gantt.record(to, Activity::Compute, now, now + dur, keep);
+                eng.schedule_in(dur, Event::ComputeComplete { node: to });
+            }
+            if to < m && fwd > EPSILON {
+                let dur = fwd * net.z(to + 1);
+                eng.schedule_in(dur, Event::TransferComplete { to: to + 1, amount: fwd });
+            }
+        }
+        Event::ComputeComplete { node } => {
+            finish[node] = t.as_f64();
+        }
+    });
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    let events = engine.processed();
+    ChainRun { gantt, received, retained, forwarded, finish_times: finish, makespan, events }
+}
+
+/// Simulate a fully honest run: every node computes at the network rate and
+/// retains the prescribed fraction.
+pub fn simulate_honest(net: &LinearNetwork, plan: &LocalAllocation) -> ChainRun {
+    let behaviors: Vec<NodeBehavior> =
+        (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+    simulate(net, plan, &behaviors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt::linear;
+    use dlt::timing::{finish_times as analytic_times, ChainSchedule};
+
+    fn net4() -> LinearNetwork {
+        LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7])
+    }
+
+    #[test]
+    fn honest_run_matches_analytic_finish_times() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        let expected = analytic_times(&net, &sol.alloc);
+        for i in 0..net.len() {
+            assert!(
+                (run.finish_times[i] - expected[i]).abs() < 1e-12,
+                "T_{i}: sim {} vs analytic {}",
+                run.finish_times[i],
+                expected[i]
+            );
+        }
+        assert!((run.makespan - sol.makespan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn honest_run_matches_analytic_schedule() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        let analytic = ChainSchedule::analytic(&net, &sol.alloc);
+        for (i, p) in analytic.processors.iter().enumerate() {
+            let lane = &run.gantt.lanes[i];
+            let compute = lane.of(Activity::Compute).next().expect("compute segment");
+            assert!((compute.start - p.compute.start).abs() < 1e-12, "P{i} compute start");
+            assert!((compute.end - p.compute.end).abs() < 1e-12, "P{i} compute end");
+        }
+    }
+
+    #[test]
+    fn honest_run_receives_match_closed_form() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        let expected = sol.alloc.received();
+        for i in 0..net.len() {
+            assert!((run.received[i] - expected[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gantt_is_one_port_consistent() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        run.gantt.validate_one_port().unwrap();
+    }
+
+    #[test]
+    fn event_count_is_linear_in_nodes() {
+        let net = LinearNetwork::homogeneous(10, 1.0, 0.1);
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        // per node: one transfer-in + one compute-complete
+        assert_eq!(run.events, 20);
+    }
+
+    #[test]
+    fn slow_node_delays_only_its_own_finish() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> =
+            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        behaviors[2].actual_rate = net.w(2) * 3.0; // P2 computes 3x slower
+        let run = simulate(&net, &sol.local, &behaviors);
+        let honest = simulate_honest(&net, &sol.local);
+        assert!(run.finish_times[2] > honest.finish_times[2] + 1e-9);
+        // Other nodes' finish times are unchanged: computation does not
+        // block forwarding under the front-end model.
+        for i in [0usize, 1, 3] {
+            assert!((run.finish_times[i] - honest.finish_times[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shedding_node_pushes_load_downstream() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> =
+            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        // P1 keeps only half of what it should.
+        let prescribed = sol.local.alpha_hat(1);
+        behaviors[1] = NodeBehavior::shedding(net.w(1), prescribed / 2.0);
+        let run = simulate(&net, &sol.local, &behaviors);
+        let honest = simulate_honest(&net, &sol.local);
+        assert!(run.retained[1] < honest.retained[1] - 1e-9);
+        assert!(run.received[2] > honest.received[2] + 1e-9, "successor receives extra");
+        // Total load is conserved.
+        let total: f64 = run.retained.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shedding_everything_gives_node_zero_finish_time() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> =
+            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        behaviors[1] = NodeBehavior::shedding(net.w(1), 0.0);
+        let run = simulate(&net, &sol.local, &behaviors);
+        assert_eq!(run.retained[1], 0.0);
+        assert_eq!(run.finish_times[1], 0.0);
+    }
+
+    #[test]
+    fn terminal_node_cannot_shed() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> =
+            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        behaviors[3] = NodeBehavior::shedding(net.w(3), 0.0); // ignored
+        let run = simulate(&net, &sol.local, &behaviors);
+        assert!(run.retained[3] > 0.0);
+        let total: f64 = run.retained.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_processor_run() {
+        let net = LinearNetwork::homogeneous(1, 2.0, 0.0);
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        assert_eq!(run.makespan, 2.0);
+        assert_eq!(run.retained, vec![1.0]);
+    }
+}

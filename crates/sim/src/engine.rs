@@ -1,0 +1,191 @@
+//! A minimal generic discrete-event engine: a priority queue of timestamped
+//! events with FIFO tie-breaking, plus a driver loop.
+//!
+//! The engine is deliberately small — the divisible-load model has no
+//! preemption or cancellation — but it is a *real* event queue: the chain
+//! and star simulations in this crate are driven entirely by event
+//! causality, and their agreement with the closed-form schedules of
+//! `dlt::timing` is what validates both.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a payload due at a time. Events at equal times pop in
+/// insertion order (deterministic FIFO tie-break).
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue and simulation clock.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at time zero.
+    pub fn new() -> Self {
+        Self { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — the model has no retro-causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {} < {}", at, self.now);
+        self.queue.push(Scheduled { time: at, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Pop the next event, advancing the clock. Returns `None` when the
+    /// queue is drained.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.queue.pop()?;
+        self.now = ev.time;
+        self.processed += 1;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Run to completion, invoking `handler` for every event. The handler
+    /// may schedule further events through the engine it is handed.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, SimTime, E)) {
+        while let Some((t, e)) = self.next_event() {
+            handler(self, t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::new(3.0), "c");
+        eng.schedule_at(SimTime::new(1.0), "a");
+        eng.schedule_at(SimTime::new(2.0), "b");
+        let mut seen = Vec::new();
+        while let Some((_, e)) = eng.next_event() {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut eng = Engine::new();
+        for label in ["first", "second", "third"] {
+            eng.schedule_at(SimTime::new(1.0), label);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, e)) = eng.next_event() {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::new(5.0), ());
+        assert_eq!(eng.now(), SimTime::ZERO);
+        eng.next_event();
+        assert_eq!(eng.now(), SimTime::new(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_past_scheduling() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::new(5.0), ());
+        eng.next_event();
+        eng.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        // Count down from 3 by self-rescheduling.
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::new(1.0), 3u32);
+        let mut fired = Vec::new();
+        eng.run(|eng, t, n| {
+            fired.push((t.as_f64(), n));
+            if n > 1 {
+                eng.schedule_in(1.0, n - 1);
+            }
+        });
+        assert_eq!(fired, vec![(1.0, 3), (2.0, 2), (3.0, 1)]);
+        assert_eq!(eng.processed(), 3);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::new(2.0), "start");
+        eng.next_event();
+        eng.schedule_in(0.5, "later");
+        let (t, _) = eng.next_event().unwrap();
+        assert_eq!(t, SimTime::new(2.5));
+    }
+}

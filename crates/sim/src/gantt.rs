@@ -1,0 +1,236 @@
+//! Gantt chart recording and rendering — the computational reproduction of
+//! Figure 2 of the paper.
+//!
+//! Every simulation records activity segments per lane (one lane per
+//! processor, one per link); the chart can be checked for model-consistency
+//! (no overlapping activity on a one-port resource) and rendered as ASCII
+//! art for the `exp_fig2_gantt` experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of activity a segment represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Receiving load on an inbound link.
+    Receive,
+    /// Computing retained load.
+    Compute,
+    /// Transmitting load on an outbound link.
+    Send,
+}
+
+impl Activity {
+    /// One-character glyph for ASCII rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            Activity::Receive => '▒',
+            Activity::Compute => '█',
+            Activity::Send => '░',
+        }
+    }
+}
+
+/// One activity interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// What is happening.
+    pub activity: Activity,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// The amount of load involved.
+    pub load: f64,
+}
+
+impl Segment {
+    /// Duration of the segment.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A lane of the chart (one processor's activity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lane {
+    /// Lane label (e.g. `P3`).
+    pub label: String,
+    /// Segments in insertion order.
+    pub segments: Vec<Segment>,
+}
+
+impl Lane {
+    /// Segments of a given activity kind.
+    pub fn of(&self, activity: Activity) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(move |s| s.activity == activity)
+    }
+}
+
+/// A full Gantt chart.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GanttChart {
+    /// Lanes in processor order.
+    pub lanes: Vec<Lane>,
+}
+
+impl GanttChart {
+    /// Create a chart with `n` empty lanes labelled `P0 … P{n-1}`.
+    pub fn with_processors(n: usize) -> Self {
+        Self {
+            lanes: (0..n).map(|i| Lane { label: format!("P{i}"), segments: Vec::new() }).collect(),
+        }
+    }
+
+    /// Record a segment on lane `lane`.
+    pub fn record(&mut self, lane: usize, activity: Activity, start: f64, end: f64, load: f64) {
+        assert!(end >= start, "segment ends before it starts");
+        self.lanes[lane].segments.push(Segment { activity, start, end, load });
+    }
+
+    /// Latest end time over all segments.
+    pub fn horizon(&self) -> f64 {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.segments.iter())
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// The end of the last *compute* segment on each lane (0 if none):
+    /// the per-processor finish times.
+    pub fn finish_times(&self) -> Vec<f64> {
+        self.lanes
+            .iter()
+            .map(|l| l.of(Activity::Compute).map(|s| s.end).fold(0.0, f64::max))
+            .collect()
+    }
+
+    /// Model-consistency check: within a lane, compute segments must not
+    /// overlap each other, and receive must precede compute on the same
+    /// load (we check the weaker, structural property: no two segments of
+    /// the *same* activity kind overlap — the front-end model allows
+    /// receive/send/compute to run concurrently).
+    pub fn validate_one_port(&self) -> Result<(), String> {
+        for lane in &self.lanes {
+            for kind in [Activity::Receive, Activity::Compute, Activity::Send] {
+                let mut segs: Vec<&Segment> = lane.of(kind).collect();
+                segs.sort_by(|a, b| a.start.total_cmp(&b.start));
+                for pair in segs.windows(2) {
+                    if pair[0].end > pair[1].start + 1e-12 {
+                        return Err(format!(
+                            "{}: overlapping {kind:?} segments [{}, {}] and [{}, {}]",
+                            lane.label, pair[0].start, pair[0].end, pair[1].start, pair[1].end
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the chart as ASCII art, `width` characters across the time
+    /// horizon. Each lane shows communication above the axis (paper's
+    /// convention) via a `comm` row (receive/send) and a `comp` row.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let horizon = self.horizon();
+        if horizon <= 0.0 {
+            return String::from("(empty chart)\n");
+        }
+        let scale = width as f64 / horizon;
+        let mut out = String::new();
+        for lane in &self.lanes {
+            let mut comm = vec![' '; width];
+            let mut comp = vec![' '; width];
+            for s in &lane.segments {
+                let a = ((s.start * scale) as usize).min(width - 1);
+                let b = ((s.end * scale).ceil() as usize).clamp(a + 1, width);
+                let row = match s.activity {
+                    Activity::Compute => &mut comp,
+                    _ => &mut comm,
+                };
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = s.activity.glyph();
+                }
+            }
+            out.push_str(&format!("{:>4} comm |{}|\n", lane.label, comm.iter().collect::<String>()));
+            out.push_str(&format!("{:>4} comp |{}|\n", "", comp.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{:>4}      0{}{:.4}\n",
+            "time",
+            " ".repeat(width.saturating_sub(6)),
+            horizon
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GanttChart {
+        let mut g = GanttChart::with_processors(2);
+        g.record(0, Activity::Compute, 0.0, 2.0 / 3.0, 2.0 / 3.0);
+        g.record(0, Activity::Send, 0.0, 1.0 / 3.0, 1.0 / 3.0);
+        g.record(1, Activity::Receive, 0.0, 1.0 / 3.0, 1.0 / 3.0);
+        g.record(1, Activity::Compute, 1.0 / 3.0, 2.0 / 3.0, 1.0 / 3.0);
+        g
+    }
+
+    #[test]
+    fn horizon_is_latest_end() {
+        let g = sample();
+        assert!((g.horizon() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_times_use_compute_end() {
+        let g = sample();
+        let t = g.finish_times();
+        assert!((t[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_front_end_concurrency() {
+        // compute and send overlap on P0 — allowed by the front-end model.
+        assert!(sample().validate_one_port().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_computes() {
+        let mut g = GanttChart::with_processors(1);
+        g.record(0, Activity::Compute, 0.0, 1.0, 0.5);
+        g.record(0, Activity::Compute, 0.5, 1.5, 0.5);
+        assert!(g.validate_one_port().is_err());
+    }
+
+    #[test]
+    fn empty_lane_has_zero_finish() {
+        let g = GanttChart::with_processors(1);
+        assert_eq!(g.finish_times(), vec![0.0]);
+    }
+
+    #[test]
+    fn ascii_render_contains_lanes_and_axis() {
+        let s = sample().render_ascii(40);
+        assert!(s.contains("P0 comm"));
+        assert!(s.contains("P1 comm"));
+        assert!(s.contains("0.6667"));
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn ascii_render_empty_chart() {
+        let g = GanttChart::with_processors(1);
+        assert_eq!(g.render_ascii(40), "(empty chart)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn record_rejects_reversed_segment() {
+        let mut g = GanttChart::with_processors(1);
+        g.record(0, Activity::Compute, 1.0, 0.5, 0.1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # `sim` — discrete-event simulation of divisible load execution
+//!
+//! The execution substrate of the DLS-LBL reproduction. The paper's timing
+//! model (Figure 2) is analytic; this crate re-derives it by *simulation*:
+//! a small discrete-event engine drives store-and-forward chain execution
+//! (and sequential star distribution) under the one-port, front-end model,
+//! recording a Gantt chart. Honest runs must agree with `dlt`'s closed
+//! forms to machine precision — that agreement is asserted all over the
+//! test suite and is the backbone of experiment E1.
+//!
+//! Beyond validation, the simulator is what gives Phase III misbehavior its
+//! semantics: a node that sheds load (`α̃ < α`) or computes slower than bid
+//! (`w̃ > w`) produces a concretely different timeline, which the protocol
+//! layer's verification then has to catch.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Parallel-array indexing is idiomatic throughout this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blocks;
+pub mod chain;
+pub mod engine;
+pub mod gantt;
+pub mod star_sim;
+pub mod svg;
+pub mod time;
+
+pub use blocks::{simulate_blocks, BlockRun};
+pub use chain::{simulate as simulate_chain, simulate_honest, ChainRun, NodeBehavior};
+pub use engine::Engine;
+pub use gantt::{Activity, GanttChart, Lane, Segment};
+pub use svg::{render_svg, SvgStyle};
+pub use star_sim::{simulate as simulate_star, StarRun};
+pub use time::SimTime;

@@ -1,0 +1,145 @@
+//! Event-driven simulation of star/bus execution, used by the
+//! cross-architecture experiment (E10) and to validate the star solver's
+//! closed form the same way [`crate::chain`] validates the chain solver.
+//!
+//! The root serves children sequentially over its single port while
+//! computing its own share through its front-end; child `i`'s transfer can
+//! only begin once child `i-1`'s transfer completes.
+
+use crate::engine::Engine;
+use crate::gantt::{Activity, GanttChart};
+use crate::time::SimTime;
+use dlt::model::{Allocation, StarNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Result of a simulated star run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarRun {
+    /// Recorded Gantt chart (lane 0 is the root, lane `i` child `i`).
+    pub gantt: GanttChart,
+    /// Per-processor finish times.
+    pub finish_times: Vec<f64>,
+    /// Overall makespan.
+    pub makespan: f64,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Transfer to child `index` (1-based lane) completed.
+    TransferComplete { index: usize },
+    /// A processor finished computing.
+    ComputeComplete { node: usize },
+}
+
+/// Simulate the star under an arbitrary allocation (root first, children in
+/// distribution order).
+pub fn simulate(net: &StarNetwork, alloc: &Allocation) -> StarRun {
+    let n = net.len();
+    assert_eq!(alloc.len(), n);
+    let mut gantt = GanttChart::with_processors(n);
+    let mut finish = vec![0.0; n];
+
+    let mut engine: Engine<Event> = Engine::new();
+
+    // Root computes its share immediately.
+    if alloc.alpha(0) > 0.0 {
+        let dur = alloc.alpha(0) * net.root().w;
+        gantt.record(0, Activity::Compute, 0.0, dur, alloc.alpha(0));
+        engine.schedule_at(SimTime::new(dur), Event::ComputeComplete { node: 0 });
+    }
+    // Chain the child transfers over the root's single port.
+    let mut port_free = 0.0;
+    for (i, (link, _)) in net.children().iter().enumerate() {
+        let lane = i + 1;
+        let amount = alloc.alpha(lane);
+        let dur = amount * link.z;
+        if amount > 0.0 {
+            gantt.record(0, Activity::Send, port_free, port_free + dur, amount);
+            gantt.record(lane, Activity::Receive, port_free, port_free + dur, amount);
+            engine.schedule_at(SimTime::new(port_free + dur), Event::TransferComplete { index: lane });
+        }
+        port_free += dur;
+    }
+
+    engine.run(|eng, t, ev| match ev {
+        Event::TransferComplete { index } => {
+            let amount = alloc.alpha(index);
+            let w = net.children()[index - 1].1.w;
+            let dur = amount * w;
+            gantt.record(index, Activity::Compute, t.as_f64(), t.as_f64() + dur, amount);
+            eng.schedule_in(dur, Event::ComputeComplete { node: index });
+        }
+        Event::ComputeComplete { node } => {
+            finish[node] = t.as_f64();
+        }
+    });
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    let events = engine.processed();
+    StarRun { gantt, finish_times: finish, makespan, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt::star;
+
+    fn net() -> StarNetwork {
+        StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0], &[0.1, 0.4, 0.2])
+    }
+
+    #[test]
+    fn optimal_allocation_finishes_simultaneously() {
+        let net = net();
+        let sol = star::solve(&net);
+        let run = simulate(&net, &sol.alloc);
+        for (i, &t) in run.finish_times.iter().enumerate() {
+            assert!((t - sol.makespan).abs() < 1e-12, "P{i}: {t} vs {}", sol.makespan);
+        }
+    }
+
+    #[test]
+    fn simulated_times_match_closed_form() {
+        let net = net();
+        let alloc = Allocation::new(vec![0.4, 0.3, 0.2, 0.1]);
+        let run = simulate(&net, &alloc);
+        let expected = star::finish_times(&net, &alloc);
+        for i in 0..net.len() {
+            assert!((run.finish_times[i] - expected[i]).abs() < 1e-12, "P{i}");
+        }
+    }
+
+    #[test]
+    fn one_port_respected_on_root() {
+        let net = net();
+        let sol = star::solve(&net);
+        let run = simulate(&net, &sol.alloc);
+        run.gantt.validate_one_port().unwrap();
+        // Send segments on the root lane are contiguous, not parallel.
+        let sends: Vec<_> = run.gantt.lanes[0].of(Activity::Send).collect();
+        for pair in sends.windows(2) {
+            assert!(pair[1].start >= pair[0].end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_share_child_never_computes() {
+        let net = net();
+        let alloc = Allocation::new(vec![0.5, 0.5, 0.0, 0.0]);
+        let run = simulate(&net, &alloc);
+        assert_eq!(run.finish_times[2], 0.0);
+        assert_eq!(run.finish_times[3], 0.0);
+        assert!(run.gantt.lanes[3].segments.is_empty());
+    }
+
+    #[test]
+    fn later_child_waits_for_port() {
+        let net = StarNetwork::from_rates(&[1.0, 1.0, 1.0], &[1.0, 1.0]);
+        let alloc = Allocation::new(vec![0.2, 0.4, 0.4]);
+        let run = simulate(&net, &alloc);
+        let recv2 = run.gantt.lanes[2].of(Activity::Receive).next().unwrap();
+        assert!((recv2.start - 0.4).abs() < 1e-12, "child 2 waits for child 1's transfer");
+    }
+}

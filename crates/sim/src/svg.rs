@@ -1,0 +1,163 @@
+//! Standalone SVG rendering of Gantt charts — publication-quality output
+//! for the Figure 2 reproduction (the ASCII renderer stays the quick-look
+//! tool).
+//!
+//! No dependencies: the SVG is assembled as a string. Colors follow the
+//! paper's convention of communication above the axis and computation
+//! below, here mapped to per-activity fills within each processor's lane.
+
+use crate::gantt::{Activity, GanttChart};
+use std::fmt::Write;
+
+/// Visual parameters for the SVG renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgStyle {
+    /// Total chart width in pixels (excluding margins).
+    pub width: f64,
+    /// Height of each lane's activity row.
+    pub row_height: f64,
+    /// Margin around the chart.
+    pub margin: f64,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        Self { width: 860.0, row_height: 22.0, margin: 48.0 }
+    }
+}
+
+fn fill(activity: Activity) -> &'static str {
+    match activity {
+        Activity::Receive => "#7eb6e8",
+        Activity::Compute => "#3a6ea5",
+        Activity::Send => "#c9dff2",
+    }
+}
+
+/// Render the chart as a self-contained SVG document. Each processor gets
+/// two rows: communication (receive/send) on top, computation below —
+/// mirroring Figure 2's layout.
+pub fn render_svg(chart: &GanttChart, style: &SvgStyle) -> String {
+    let horizon = chart.horizon().max(1e-12);
+    let scale = style.width / horizon;
+    let lane_height = style.row_height * 2.0 + 10.0;
+    let height = style.margin * 2.0 + chart.lanes.len() as f64 * lane_height + 30.0;
+    let total_width = style.width + style.margin * 2.0;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_width:.0}" height="{height:.0}" viewBox="0 0 {total_width:.0} {height:.0}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="100%" height="100%" fill="white"/><style>text{{font-family:sans-serif;font-size:12px}}</style>"#
+    );
+    for (lane_idx, lane) in chart.lanes.iter().enumerate() {
+        let y0 = style.margin + lane_idx as f64 * lane_height;
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            style.margin - 8.0,
+            y0 + style.row_height + 4.0,
+            lane.label
+        );
+        // Row guides.
+        let _ = write!(
+            out,
+            r##"<line x1="{m:.1}" y1="{y:.1}" x2="{x2:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            m = style.margin,
+            y = y0 + style.row_height,
+            x2 = style.margin + style.width,
+        );
+        for segment in &lane.segments {
+            let x = style.margin + segment.start * scale;
+            let w = (segment.duration() * scale).max(0.5);
+            let (y, h) = match segment.activity {
+                Activity::Compute => (y0 + style.row_height + 2.0, style.row_height),
+                _ => (y0, style.row_height),
+            };
+            let _ = write!(
+                out,
+                r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.1}" fill="{}" stroke="#456" stroke-width="0.4"><title>{} {:?} [{:.4}, {:.4}] load {:.4}</title></rect>"##,
+                fill(segment.activity),
+                lane.label,
+                segment.activity,
+                segment.start,
+                segment.end,
+                segment.load,
+            );
+        }
+    }
+    // Time axis.
+    let axis_y = style.margin + chart.lanes.len() as f64 * lane_height + 12.0;
+    let _ = write!(
+        out,
+        r##"<line x1="{m:.1}" y1="{axis_y:.1}" x2="{x2:.1}" y2="{axis_y:.1}" stroke="#333"/>"##,
+        m = style.margin,
+        x2 = style.margin + style.width,
+    );
+    for i in 0..=8 {
+        let t = horizon * i as f64 / 8.0;
+        let x = style.margin + t * scale;
+        let _ = write!(
+            out,
+            r##"<line x1="{x:.1}" y1="{axis_y:.1}" x2="{x:.1}" y2="{:.1}" stroke="#333"/><text x="{x:.1}" y="{:.1}" text-anchor="middle">{t:.3}</text>"##,
+            axis_y + 5.0,
+            axis_y + 18.0,
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::simulate_honest;
+    use dlt::linear;
+    use dlt::model::LinearNetwork;
+
+    fn chart() -> GanttChart {
+        let net = LinearNetwork::from_rates(&[1.0, 1.8, 0.6], &[0.25, 0.15]);
+        let sol = linear::solve(&net);
+        simulate_honest(&net, &sol.local).gantt
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = render_svg(&chart(), &SvgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn has_one_labeled_lane_per_processor() {
+        let svg = render_svg(&chart(), &SvgStyle::default());
+        for label in ["P0", "P1", "P2"] {
+            assert!(svg.contains(&format!(">{label}</text>")), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn contains_compute_and_comm_rects() {
+        let svg = render_svg(&chart(), &SvgStyle::default());
+        assert!(svg.contains(fill(Activity::Compute)));
+        assert!(svg.contains(fill(Activity::Receive)));
+        assert!(svg.contains(fill(Activity::Send)));
+    }
+
+    #[test]
+    fn tooltips_carry_segment_metadata() {
+        let svg = render_svg(&chart(), &SvgStyle::default());
+        assert!(svg.contains("<title>"));
+        assert!(svg.contains("Compute"));
+    }
+
+    #[test]
+    fn empty_chart_renders_without_panic() {
+        let empty = GanttChart::with_processors(2);
+        let svg = render_svg(&empty, &SvgStyle::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

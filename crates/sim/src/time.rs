@@ -1,0 +1,115 @@
+//! Simulation time: a totally ordered wrapper over `f64`.
+//!
+//! `f64` itself is not `Ord` (NaN); the event queue needs a total order, so
+//! simulation time is a newtype that rejects NaN at construction and derives
+//! its order from `f64::total_cmp`.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time. Non-negative and never NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct a simulation time.
+    ///
+    /// # Panics
+    /// Panics if `t` is NaN or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "simulation time cannot be NaN");
+        assert!(t >= 0.0, "simulation time cannot be negative, got {t}");
+        SimTime(t)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative() {
+        SimTime::new(-0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t.as_f64(), 2.0);
+        assert_eq!(t - SimTime::new(0.5), 1.5);
+        let mut u = SimTime::ZERO;
+        u += 3.0;
+        assert_eq!(u.as_f64(), 3.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(0.25).to_string(), "t=0.250000");
+    }
+}

@@ -1,0 +1,293 @@
+//! Random network generators for experiments and property tests.
+//!
+//! The paper evaluates nothing empirically, so the experiment suite needs a
+//! workload model. We provide the standard DLT shapes: uniform-random
+//! heterogeneous chains, homogeneous chains, monotone gradients (fast→slow
+//! and slow→fast), and bottleneck topologies that stress specific parts of
+//! the theory (a very slow link partitions the chain; a very slow processor
+//! tests participation).
+
+use dlt::model::{LinearNetwork, StarNetwork, TreeNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a generated chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChainShape {
+    /// Processor and link rates drawn i.i.d. uniform from the ranges.
+    UniformRandom,
+    /// All processors and links identical (midpoint of the ranges).
+    Homogeneous,
+    /// Processors get slower towards the tail.
+    DecreasingSpeed,
+    /// Processors get faster towards the tail.
+    IncreasingSpeed,
+    /// One uniformly random link is `10×` the slowest link rate.
+    BottleneckLink,
+    /// One uniformly random processor is `10×` the slowest processor rate.
+    StragglerProcessor,
+}
+
+impl ChainShape {
+    /// Every shape, for exhaustive sweeps.
+    pub fn all() -> [ChainShape; 6] {
+        [
+            ChainShape::UniformRandom,
+            ChainShape::Homogeneous,
+            ChainShape::DecreasingSpeed,
+            ChainShape::IncreasingSpeed,
+            ChainShape::BottleneckLink,
+            ChainShape::StragglerProcessor,
+        ]
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChainShape::UniformRandom => "uniform",
+            ChainShape::Homogeneous => "homogeneous",
+            ChainShape::DecreasingSpeed => "decreasing",
+            ChainShape::IncreasingSpeed => "increasing",
+            ChainShape::BottleneckLink => "bottleneck-link",
+            ChainShape::StragglerProcessor => "straggler",
+        }
+    }
+}
+
+/// Configuration for chain generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainConfig {
+    /// Number of processors (`m + 1 ≥ 1`).
+    pub processors: usize,
+    /// Processor rate range `[w_min, w_max]`.
+    pub w_range: (f64, f64),
+    /// Link rate range `[z_min, z_max]`.
+    pub z_range: (f64, f64),
+    /// The shape.
+    pub shape: ChainShape,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        Self {
+            processors: 8,
+            w_range: (0.5, 4.0),
+            z_range: (0.05, 0.8),
+            shape: ChainShape::UniformRandom,
+        }
+    }
+}
+
+/// Generate one chain.
+pub fn chain(config: &ChainConfig, seed: u64) -> LinearNetwork {
+    assert!(config.processors >= 1);
+    let (wl, wh) = config.w_range;
+    let (zl, zh) = config.z_range;
+    assert!(wl > 0.0 && wh >= wl && zl >= 0.0 && zh >= zl);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.processors;
+    let mut w: Vec<f64>;
+    let mut z: Vec<f64>;
+    match config.shape {
+        ChainShape::UniformRandom => {
+            w = (0..n).map(|_| rng.gen_range(wl..=wh)).collect();
+            z = (0..n - 1).map(|_| rng.gen_range(zl..=zh)).collect();
+        }
+        ChainShape::Homogeneous => {
+            w = vec![0.5 * (wl + wh); n];
+            z = vec![0.5 * (zl + zh); n.saturating_sub(1)];
+        }
+        ChainShape::DecreasingSpeed => {
+            w = (0..n)
+                .map(|i| wl + (wh - wl) * i as f64 / (n.max(2) - 1) as f64)
+                .collect();
+            z = (0..n - 1).map(|_| rng.gen_range(zl..=zh)).collect();
+        }
+        ChainShape::IncreasingSpeed => {
+            w = (0..n)
+                .map(|i| wh - (wh - wl) * i as f64 / (n.max(2) - 1) as f64)
+                .collect();
+            z = (0..n - 1).map(|_| rng.gen_range(zl..=zh)).collect();
+        }
+        ChainShape::BottleneckLink => {
+            w = (0..n).map(|_| rng.gen_range(wl..=wh)).collect();
+            z = (0..n - 1).map(|_| rng.gen_range(zl..=zh)).collect();
+            if !z.is_empty() {
+                let k = rng.gen_range(0..z.len());
+                z[k] = zh * 10.0;
+            }
+        }
+        ChainShape::StragglerProcessor => {
+            w = (0..n).map(|_| rng.gen_range(wl..=wh)).collect();
+            z = (0..n - 1).map(|_| rng.gen_range(zl..=zh)).collect();
+            let k = rng.gen_range(0..n);
+            w[k] = wh * 10.0;
+        }
+    }
+    // Guard degenerate single-processor requests.
+    if n == 1 {
+        z.clear();
+        w.truncate(1);
+    }
+    LinearNetwork::from_rates(&w, &z)
+}
+
+/// Generate a batch of chains with consecutive seeds.
+pub fn chains(config: &ChainConfig, base_seed: u64, count: usize) -> Vec<LinearNetwork> {
+    (0..count).map(|k| chain(config, base_seed.wrapping_add(k as u64))).collect()
+}
+
+/// Generate a random star with `children` children using the same ranges.
+pub fn star(config: &ChainConfig, seed: u64) -> StarNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (wl, wh) = config.w_range;
+    let (zl, zh) = config.z_range;
+    let children = config.processors.saturating_sub(1);
+    let w: Vec<f64> = (0..=children).map(|_| rng.gen_range(wl..=wh)).collect();
+    let z: Vec<f64> = (0..children).map(|_| rng.gen_range(zl..=zh)).collect();
+    StarNetwork::from_rates(&w, &z)
+}
+
+/// Generate a random tree with the given node budget and maximum fanout.
+pub fn tree(config: &ChainConfig, max_fanout: usize, seed: u64) -> TreeNode {
+    assert!(max_fanout >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (wl, wh) = config.w_range;
+    let (zl, zh) = config.z_range;
+    let mut budget = config.processors.max(1) - 1;
+    build_tree(&mut rng, &mut budget, max_fanout, wl, wh, zl, zh)
+}
+
+fn build_tree(
+    rng: &mut StdRng,
+    budget: &mut usize,
+    max_fanout: usize,
+    wl: f64,
+    wh: f64,
+    zl: f64,
+    zh: f64,
+) -> TreeNode {
+    let w = rng.gen_range(wl..=wh);
+    if *budget == 0 {
+        return TreeNode::leaf(w);
+    }
+    let fanout = rng.gen_range(1..=max_fanout.min(*budget));
+    *budget -= fanout;
+    let children = (0..fanout)
+        .map(|_| {
+            let z = rng.gen_range(zl..=zh);
+            (dlt::model::Link::new(z), build_tree(rng, budget, max_fanout, wl, wh, zl, zh))
+        })
+        .collect();
+    TreeNode { processor: dlt::model::Processor::new(w), children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChainConfig::default();
+        assert_eq!(chain(&cfg, 7), chain(&cfg, 7));
+        assert_ne!(chain(&cfg, 7), chain(&cfg, 8));
+    }
+
+    #[test]
+    fn respects_processor_count() {
+        for n in [1usize, 2, 5, 50] {
+            let cfg = ChainConfig { processors: n, ..Default::default() };
+            assert_eq!(chain(&cfg, 1).len(), n);
+        }
+    }
+
+    #[test]
+    fn rates_within_ranges() {
+        let cfg = ChainConfig::default();
+        let net = chain(&cfg, 3);
+        for p in net.processors() {
+            assert!(p.w >= cfg.w_range.0 && p.w <= cfg.w_range.1);
+        }
+        for l in net.links() {
+            assert!(l.z >= cfg.z_range.0 && l.z <= cfg.z_range.1);
+        }
+    }
+
+    #[test]
+    fn homogeneous_is_flat() {
+        let cfg = ChainConfig { shape: ChainShape::Homogeneous, ..Default::default() };
+        let net = chain(&cfg, 1);
+        let w0 = net.w(0);
+        assert!(net.rates_w().iter().all(|&w| w == w0));
+    }
+
+    #[test]
+    fn gradients_are_monotone() {
+        let dec = ChainConfig { shape: ChainShape::DecreasingSpeed, ..Default::default() };
+        let net = chain(&dec, 1);
+        let w = net.rates_w();
+        assert!(w.windows(2).all(|p| p[0] <= p[1]), "decreasing speed = increasing w");
+        let inc = ChainConfig { shape: ChainShape::IncreasingSpeed, ..Default::default() };
+        let w = chain(&inc, 1).rates_w();
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn bottleneck_has_one_slow_link() {
+        let cfg = ChainConfig { shape: ChainShape::BottleneckLink, ..Default::default() };
+        let net = chain(&cfg, 5);
+        let slow = net.rates_z().iter().filter(|&&z| z > cfg.z_range.1 * 5.0).count();
+        assert_eq!(slow, 1);
+    }
+
+    #[test]
+    fn straggler_has_one_slow_processor() {
+        let cfg = ChainConfig { shape: ChainShape::StragglerProcessor, ..Default::default() };
+        let net = chain(&cfg, 5);
+        let slow = net.rates_w().iter().filter(|&&w| w > cfg.w_range.1 * 5.0).count();
+        assert_eq!(slow, 1);
+    }
+
+    #[test]
+    fn batch_generation_distinct() {
+        let cfg = ChainConfig::default();
+        let batch = chains(&cfg, 100, 10);
+        assert_eq!(batch.len(), 10);
+        assert_ne!(batch[0], batch[1]);
+    }
+
+    #[test]
+    fn generated_chains_are_solvable() {
+        let cfg = ChainConfig::default();
+        for net in chains(&cfg, 0, 20) {
+            let sol = dlt::linear::solve(&net);
+            sol.alloc.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn star_generation() {
+        let cfg = ChainConfig { processors: 6, ..Default::default() };
+        let s = star(&cfg, 1);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn tree_generation_respects_budget() {
+        let cfg = ChainConfig { processors: 12, ..Default::default() };
+        let t = tree(&cfg, 3, 1);
+        assert!(t.size() <= 12);
+        assert!(t.size() >= 2);
+        // solvable
+        let sol = dlt::tree::solve(&t);
+        assert!(dlt::tree::validate(&sol));
+    }
+
+    #[test]
+    fn all_shapes_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            ChainShape::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

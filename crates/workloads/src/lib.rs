@@ -1,0 +1,20 @@
+//! # `workloads` — network generators and sweep utilities
+//!
+//! The paper has no empirical section, so the experiment suite defines its
+//! own workload model: random heterogeneous chains, homogeneous chains,
+//! speed gradients, bottleneck links and straggler processors
+//! ([`generators`]), plus grid helpers and network decomposition for the
+//! mechanism/protocol layers ([`sweep`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Parallel-array indexing is idiomatic throughout this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod generators;
+pub mod scenarios;
+pub mod sweep;
+
+pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
+pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
+pub use sweep::{geomspace, linspace, mechanism_parts, MechanismParts};

@@ -1,0 +1,195 @@
+//! Declarative scenario descriptions — the JSON-facing configuration layer
+//! used by `dls-cli run-file` and batch experiment drivers.
+//!
+//! A [`ScenarioSpec`] describes either an explicit chain or a generated
+//! one, the deviation placements, and the mechanism knobs, all as plain
+//! serde-able data. The `protocol` crate depends on this crate's types
+//! only indirectly (specs are resolved into raw rate vectors here; the
+//! caller builds the actual `protocol::Scenario`), which keeps the
+//! dependency graph acyclic.
+
+use crate::generators::{chain, ChainConfig, ChainShape};
+use serde::{Deserialize, Serialize};
+
+/// How the network is obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum NetworkSpec {
+    /// Explicit rates.
+    Explicit {
+        /// Processor rates, root first.
+        w: Vec<f64>,
+        /// Link rates.
+        z: Vec<f64>,
+    },
+    /// Generated from a shape.
+    Generated {
+        /// Number of processors.
+        processors: usize,
+        /// Shape name (see [`ChainShape`]).
+        shape: String,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// A deviation placement in a spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationSpec {
+    /// 1-based strategic processor index.
+    pub processor: usize,
+    /// Deviation kind (kebab-case label, see `protocol::Deviation`).
+    pub kind: String,
+    /// Optional numeric parameter (factor / fraction / amount).
+    pub parameter: Option<f64>,
+}
+
+/// A full declarative scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The network.
+    pub network: NetworkSpec,
+    /// Deviations to inject (may be empty).
+    #[serde(default)]
+    pub deviations: Vec<DeviationSpec>,
+    /// Fine `F` (defaults to an automatically sufficient value).
+    #[serde(default)]
+    pub fine: Option<f64>,
+    /// Audit probability `q` (default 0.5).
+    #[serde(default)]
+    pub audit_probability: Option<f64>,
+    /// RNG seed for the protocol run.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// The resolved rates of a spec's network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedNetwork {
+    /// Processor rates, root first.
+    pub w: Vec<f64>,
+    /// Link rates.
+    pub z: Vec<f64>,
+}
+
+/// Errors produced while resolving a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Unknown shape name.
+    UnknownShape(String),
+    /// Rate vectors inconsistent.
+    BadRates(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownShape(s) => write!(f, "unknown shape {s:?}"),
+            SpecError::BadRates(s) => write!(f, "bad rates: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parse a shape label.
+pub fn parse_shape(label: &str) -> Result<ChainShape, SpecError> {
+    ChainShape::all()
+        .into_iter()
+        .find(|s| s.label() == label)
+        .ok_or_else(|| SpecError::UnknownShape(label.to_string()))
+}
+
+impl NetworkSpec {
+    /// Resolve to concrete rates.
+    pub fn resolve(&self) -> Result<ResolvedNetwork, SpecError> {
+        match self {
+            NetworkSpec::Explicit { w, z } => {
+                if w.len() != z.len() + 1 {
+                    return Err(SpecError::BadRates(format!(
+                        "{} processors need {} links, got {}",
+                        w.len(),
+                        w.len().saturating_sub(1),
+                        z.len()
+                    )));
+                }
+                if w.len() < 2 {
+                    return Err(SpecError::BadRates("need at least 2 processors".into()));
+                }
+                Ok(ResolvedNetwork { w: w.clone(), z: z.clone() })
+            }
+            NetworkSpec::Generated { processors, shape, seed } => {
+                let shape = parse_shape(shape)?;
+                if *processors < 2 {
+                    return Err(SpecError::BadRates("need at least 2 processors".into()));
+                }
+                let cfg = ChainConfig { processors: *processors, shape, ..Default::default() };
+                let net = chain(&cfg, *seed);
+                Ok(ResolvedNetwork { w: net.rates_w(), z: net.rates_z() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_spec_resolves() {
+        let spec = NetworkSpec::Explicit { w: vec![1.0, 2.0], z: vec![0.5] };
+        let net = spec.resolve().unwrap();
+        assert_eq!(net.w, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn explicit_spec_validates_arity() {
+        let spec = NetworkSpec::Explicit { w: vec![1.0, 2.0], z: vec![] };
+        assert!(matches!(spec.resolve(), Err(SpecError::BadRates(_))));
+    }
+
+    #[test]
+    fn generated_spec_is_deterministic() {
+        let spec = NetworkSpec::Generated { processors: 5, shape: "uniform".into(), seed: 7 };
+        assert_eq!(spec.resolve().unwrap(), spec.resolve().unwrap());
+    }
+
+    #[test]
+    fn unknown_shape_rejected() {
+        let spec = NetworkSpec::Generated { processors: 5, shape: "spiral".into(), seed: 7 };
+        assert!(matches!(spec.resolve(), Err(SpecError::UnknownShape(_))));
+    }
+
+    #[test]
+    fn every_shape_label_parses() {
+        for shape in ChainShape::all() {
+            assert_eq!(parse_shape(shape.label()).unwrap(), shape);
+        }
+    }
+
+    #[test]
+    fn full_spec_json_round_trip() {
+        let json = r#"{
+            "network": {"kind": "generated", "processors": 6, "shape": "bottleneck-link", "seed": 3},
+            "deviations": [{"processor": 2, "kind": "shed-load", "parameter": 0.5}],
+            "fine": 25.0,
+            "audit_probability": 1.0,
+            "seed": 99
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.deviations.len(), 1);
+        assert_eq!(spec.fine, Some(25.0));
+        let back = serde_json::to_string(&spec).unwrap();
+        let spec2: ScenarioSpec = serde_json::from_str(&back).unwrap();
+        assert_eq!(spec, spec2);
+        assert!(spec.network.resolve().is_ok());
+    }
+
+    #[test]
+    fn defaults_are_optional_in_json() {
+        let json = r#"{"network": {"kind": "explicit", "w": [1.0, 2.0], "z": [0.5]}}"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert!(spec.deviations.is_empty());
+        assert_eq!(spec.fine, None);
+    }
+}

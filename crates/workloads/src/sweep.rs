@@ -1,0 +1,95 @@
+//! Parameter-sweep helpers: grids and network decomposition used by the
+//! experiment harness.
+
+use dlt::model::LinearNetwork;
+use serde::{Deserialize, Serialize};
+
+/// `count` evenly spaced points covering `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2 && hi >= lo);
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+/// `count` logarithmically spaced points covering `[lo, hi]` inclusive
+/// (`lo > 0`).
+pub fn geomspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2 && lo > 0.0 && hi >= lo);
+    let ratio = (hi / lo).powf(1.0 / (count - 1) as f64);
+    let mut v = lo;
+    (0..count)
+        .map(|_| {
+            let cur = v;
+            v *= ratio;
+            cur
+        })
+        .collect()
+}
+
+/// Decompose a chain into the mechanism's view: the obedient root's rate,
+/// the strategic processors' true rates, and the public link rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismParts {
+    /// Root rate `w_0`.
+    pub root_rate: f64,
+    /// True rates `t_1 … t_m`.
+    pub true_rates: Vec<f64>,
+    /// Link rates `z_1 … z_m`.
+    pub link_rates: Vec<f64>,
+}
+
+/// Split a chain network for mechanism/protocol construction.
+///
+/// # Panics
+/// Panics if the chain has fewer than two processors (no strategic agents).
+pub fn mechanism_parts(net: &LinearNetwork) -> MechanismParts {
+    assert!(net.len() >= 2, "need at least one strategic processor");
+    MechanismParts {
+        root_rate: net.w(0),
+        true_rates: net.rates_w()[1..].to_vec(),
+        link_rates: net.rates_z(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn geomspace_endpoints_and_ratio() {
+        let v = geomspace(1.0, 16.0, 5);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[4] - 16.0).abs() < 1e-9);
+        for pair in v.windows(2) {
+            assert!((pair[1] / pair[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mechanism_parts_roundtrip() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        let parts = mechanism_parts(&net);
+        assert_eq!(parts.root_rate, 1.0);
+        assert_eq!(parts.true_rates, vec![2.0, 3.0]);
+        assert_eq!(parts.link_rates, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strategic")]
+    fn mechanism_parts_rejects_singleton() {
+        mechanism_parts(&LinearNetwork::homogeneous(1, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn linspace_rejects_degenerate_count() {
+        linspace(0.0, 1.0, 1);
+    }
+}

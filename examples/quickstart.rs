@@ -1,0 +1,67 @@
+//! Quickstart: schedule a divisible load on a chain of strategic
+//! processors with the DLS-LBL mechanism, end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dls::prelude::*;
+
+fn main() {
+    // A 5-processor pipeline: the obedient root P0 owns the data (say, a
+    // large log to scan) and four rented, self-interested machines hang
+    // off it in a daisy chain.
+    let root_rate = 1.0; // seconds per unit of load at the root
+    let true_rates = vec![1.8, 0.6, 2.5, 1.2]; // the machines' private speeds
+    let link_rates = vec![0.25, 0.15, 0.40, 0.10]; // seconds per unit shipped
+
+    // --- Plain DLT view: what is the optimal schedule? ------------------
+    let mut w = vec![root_rate];
+    w.extend_from_slice(&true_rates);
+    let net = LinearNetwork::from_rates(&w, &link_rates);
+    let sol = solve_linear(&net);
+    println!("optimal allocation (α_i):");
+    for (i, &a) in sol.alloc.fractions().iter().enumerate() {
+        println!("  P{i}: {a:.4}");
+    }
+    println!("optimal makespan: {:.4}\n", sol.makespan());
+
+    // Theorem 2.1: every processor finishes at the same instant.
+    let times = finish_times(&net, &sol.alloc);
+    println!("finish times: {times:.4?}  (all equal)\n");
+
+    // --- Mechanism view: run the full 4-phase protocol -------------------
+    let scenario = Scenario::honest(root_rate, true_rates.clone(), link_rates.clone());
+    let report = run_protocol(&scenario);
+    assert!(report.clean(), "honest run produces no grievances");
+    println!("protocol run: makespan {:.4}, {} events simulated", report.makespan, report.events);
+    println!("net utilities (truthful agents, Theorem 5.4 says ≥ 0):");
+    for j in 1..=true_rates.len() {
+        println!("  P{j}: {:+.4}", report.utility(j));
+    }
+
+    // --- What if P2 lies about its speed? --------------------------------
+    let mech = DlsLbl::new(root_rate, link_rates.clone());
+    let agents: Vec<Agent> = true_rates.iter().map(|&t| Agent::new(t)).collect();
+    let truthful = mech.settle_truthful(&agents);
+    let mut conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
+    conducts[1] = Conduct::misreport(agents[1], 0.5); // P2 claims to be 2× faster
+    let lying = mech.settle(&conducts, false);
+    println!(
+        "\nP2 underbids 2×: utility {:+.4} -> {:+.4}  (truth dominates: Theorem 5.3)",
+        truthful.utility(2),
+        lying.utility(2)
+    );
+
+    // --- And if it cheats during execution? ------------------------------
+    let cheat = scenario.clone().with_deviation(2, Deviation::ShedLoad { keep_fraction: 0.5 });
+    let caught = run_protocol(&cheat);
+    let conviction = caught.convictions().next().expect("the shed is detected");
+    println!(
+        "\nP2 sheds half its load: caught by P{} ({}), fined {:.2}, net utility {:+.4}",
+        conviction.claimant,
+        conviction.complaint,
+        conviction.fine,
+        caught.utility(2)
+    );
+}

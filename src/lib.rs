@@ -1,0 +1,46 @@
+//! # `dls` — strategyproof divisible load scheduling in linear networks
+//!
+//! A full reproduction of Carroll & Grosu, *"A Strategyproof Mechanism for
+//! Scheduling Divisible Loads in Linear Networks"* (IPPS 2007), as a Rust
+//! workspace. This facade crate re-exports the four layers:
+//!
+//! * [`dlt`] — Divisible Load Theory solvers (Algorithm 1, reductions,
+//!   timing, companion bus/star/tree architectures, exact arithmetic).
+//! * [`sim`] — discrete-event execution under the one-port/front-end model
+//!   (Figure 2), with Gantt recording.
+//! * [`mechanism`] — the DLS-LBL payments (eqs. 4.3–4.13), fines, audits,
+//!   and empirical strategyproofness/participation checkers.
+//! * [`protocol`] — the four-phase signed-message protocol with the
+//!   Lemma 5.1 deviation catalog, arbitration, and ledger.
+//! * [`workloads`] — random network generators and sweep helpers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dls::prelude::*;
+//!
+//! // A chain: obedient root (w=1) and three strategic processors.
+//! let scenario = Scenario::honest(1.0, vec![2.0, 0.5, 4.0], vec![0.2, 0.1, 0.7]);
+//! let report = dls::protocol::run(&scenario);
+//! assert!(report.clean());                 // nobody cheated, nobody fined
+//! for j in 1..=3 {
+//!     assert!(report.utility(j) >= 0.0);   // Theorem 5.4
+//! }
+//! ```
+
+pub use dlt;
+pub use mechanism;
+pub use protocol;
+pub use sim;
+pub use workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use dlt::linear::solve as solve_linear;
+    pub use dlt::model::{Allocation, LinearNetwork, LocalAllocation, Processor, StarNetwork, TreeNode};
+    pub use dlt::timing::{finish_times, makespan, ChainSchedule};
+    pub use mechanism::{Agent, Conduct, DlsLbl, FineSchedule};
+    pub use protocol::{run as run_protocol, Deviation, RunReport, Scenario};
+    pub use sim::{simulate_chain, simulate_honest, GanttChart, NodeBehavior};
+    pub use workloads::{ChainConfig, ChainShape};
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full pipeline from network generation
+//! through solving, simulation, mechanism settlement, and protocol
+//! execution must be mutually consistent.
+
+use dls::prelude::*;
+use dls::{dlt, mechanism, protocol, sim, workloads};
+
+fn random_parts(seed: u64, n: usize) -> workloads::MechanismParts {
+    let cfg = ChainConfig { processors: n, ..Default::default() };
+    let net = workloads::chain(&cfg, seed);
+    workloads::mechanism_parts(&net)
+}
+
+#[test]
+fn solver_simulator_mechanism_protocol_agree() {
+    for seed in 0..25u64 {
+        let parts = random_parts(seed, 6);
+        let mut w = vec![parts.root_rate];
+        w.extend_from_slice(&parts.true_rates);
+        let net = LinearNetwork::from_rates(&w, &parts.link_rates);
+
+        // Solve.
+        let sol = dlt::linear::solve(&net);
+        sol.alloc.validate().unwrap();
+
+        // Simulate.
+        let run = sim::simulate_honest(&net, &sol.local);
+        assert!((run.makespan - sol.makespan()).abs() < 1e-10, "seed {seed}");
+
+        // Mechanism settlement.
+        let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
+        let agents: Vec<Agent> = parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
+        let outcome = mech.settle_truthful(&agents);
+
+        // Protocol run.
+        let scenario =
+            Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone())
+                .with_seed(seed);
+        let report = protocol::run(&scenario);
+        assert!(report.clean(), "seed {seed}");
+        assert!((report.makespan - sol.makespan()).abs() < 1e-10);
+
+        // The three layers agree on assignments and utilities.
+        for j in 1..=agents.len() {
+            assert!((report.assigned[j] - sol.alloc.alpha(j)).abs() < 1e-10);
+            assert!((report.utility(j) - outcome.utility(j)).abs() < 1e-9, "seed {seed} P{j}");
+        }
+    }
+}
+
+#[test]
+fn ledger_conservation_in_deviant_runs() {
+    // Fines transfer to reporters (plus extra-work penalties); payments
+    // flow out of the mechanism. Check the ledger's internal consistency
+    // for each deviation type.
+    let base = Scenario::honest(1.0, vec![1.5, 0.8, 2.2, 1.1], vec![0.2, 0.15, 0.3, 0.1]);
+    for deviation in protocol::Deviation::catalog() {
+        let report = protocol::run(&base.clone().with_deviation(2, deviation));
+        // Phase I–III fines are rewarded to reporters 1:1.
+        assert!(
+            report.ledger.fines_match_rewards(true, 1e-9),
+            "{}: fines and rewards unbalanced",
+            deviation.label()
+        );
+    }
+}
+
+#[test]
+fn makespan_with_deviant_never_beats_optimum() {
+    // Any deviation leaves the system makespan at or above the optimum the
+    // honest protocol achieves (the optimum is unique).
+    let base = Scenario::honest(1.0, vec![1.5, 0.8, 2.2], vec![0.2, 0.15, 0.3]);
+    let honest = protocol::run(&base);
+    for deviation in protocol::Deviation::catalog() {
+        let report = protocol::run(&base.clone().with_deviation(1, deviation));
+        assert!(
+            report.makespan >= honest.makespan - 1e-9,
+            "{} produced a better makespan than the optimum?!",
+            deviation.label()
+        );
+    }
+}
+
+#[test]
+fn gantt_chart_valid_for_every_deviation() {
+    let base = Scenario::honest(1.0, vec![1.5, 0.8, 2.2], vec![0.2, 0.15, 0.3]);
+    for deviation in protocol::Deviation::catalog() {
+        let report = protocol::run(&base.clone().with_deviation(2, deviation));
+        report
+            .gantt
+            .validate_one_port()
+            .unwrap_or_else(|e| panic!("{}: {e}", deviation.label()));
+    }
+}
+
+#[test]
+fn exact_arithmetic_validates_f64_pipeline() {
+    // Random integer-rate chains: the exact solver's allocation drives the
+    // simulator to the exact makespan.
+    for seed in 0..10u64 {
+        let m = 3 + (seed as usize % 4);
+        let w: Vec<i64> = (0..=m as i64).map(|i| 5 + ((seed as i64 + i * 7) % 20)).collect();
+        let z: Vec<i64> = (0..m as i64).map(|i| 1 + ((seed as i64 + i * 3) % 6)).collect();
+        let chain = dlt::exact::ExactChain::from_scaled_ints(&w, &z, 10);
+        let exact_sol = dlt::exact::chain::solve(&chain);
+        let f64net = chain.to_f64_network();
+        let f64sol = dlt::linear::solve(&f64net);
+        assert!((exact_sol.makespan().to_f64() - f64sol.makespan()).abs() < 1e-12);
+        let run = sim::simulate_honest(&f64net, &f64sol.local);
+        assert!((run.makespan - exact_sol.makespan().to_f64()).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn mechanism_and_naive_baseline_disagree_on_manipulability() {
+    let parts = random_parts(3, 5);
+    let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
+    let naive =
+        mechanism::naive_baseline::NaiveMechanism::new(parts.root_rate, parts.link_rates, 1.2);
+    let agents: Vec<Agent> = parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
+    let grid = mechanism::verify::default_factor_grid();
+    // DLS-LBL: no agent can gain.
+    for sweep in mechanism::verify::strategyproofness_report(&mech, &agents, &grid) {
+        assert!(sweep.truthful_is_best(1e-9));
+    }
+    // Naive: someone can gain.
+    let manipulable = (1..=agents.len()).any(|j| {
+        let truthful = naive.sweep(&agents, j, &[1.0])[0].1;
+        naive.best_factor(&agents, j, &grid).1 > truthful + 1e-9
+    });
+    assert!(manipulable);
+}
+
+#[test]
+fn multiple_simultaneous_deviants_all_caught() {
+    let base = Scenario::honest(1.0, vec![1.5, 0.8, 2.2, 1.1, 0.9], vec![0.2, 0.15, 0.3, 0.1, 0.25])
+        .with_fine(FineSchedule::new(100.0, 1.0));
+    let s = base
+        .clone()
+        .with_deviation(1, Deviation::WrongEquivalent { factor: 0.7 })
+        .with_deviation(3, Deviation::ShedLoad { keep_fraction: 0.5 })
+        .with_deviation(5, Deviation::Overcharge { amount: 0.3 });
+    let report = protocol::run(&s);
+    let convicted: std::collections::HashSet<_> = report.convictions().map(|a| a.accused).collect();
+    assert!(convicted.contains(&1), "convicted: {convicted:?}");
+    assert!(convicted.contains(&3), "convicted: {convicted:?}");
+    assert!(convicted.contains(&5), "convicted: {convicted:?}");
+    // Honest nodes 2 and 4 pay nothing.
+    for j in [2usize, 4] {
+        assert!(report.ledger.net_of(j, protocol::EntryKind::Fine) >= 0.0);
+    }
+}
+
+#[test]
+fn prelude_exports_cover_the_quickstart_surface() {
+    // Compile-time check that the facade exposes the advertised API.
+    let net = LinearNetwork::from_rates(&[1.0, 2.0], &[0.5]);
+    let sol = solve_linear(&net);
+    let _ = makespan(&net, &sol.alloc);
+    let _ = finish_times(&net, &sol.alloc);
+    let _ = ChainSchedule::analytic(&net, &sol.alloc);
+    let _ = GanttChart::with_processors(2);
+    let _ = NodeBehavior::compliant(1.0);
+    let _ = ChainShape::all();
+}

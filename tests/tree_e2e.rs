@@ -1,0 +1,91 @@
+//! Cross-crate integration for the tree generalization: shape → canonical
+//! order → solver → mechanism → protocol must agree end to end.
+
+use dls::dlt::model::TreeNode;
+use dls::dlt::tree;
+use dls::mechanism::dls_tree::TreeMechanism;
+use dls::prelude::*;
+use dls::protocol::tree_runner::{run_tree, TreeScenario};
+use dls::workloads;
+
+fn random_shape(seed: u64) -> TreeNode {
+    let cfg = ChainConfig { processors: 7, ..Default::default() };
+    workloads::tree(&cfg, 3, seed)
+}
+
+fn rates_for(shape: &TreeNode, seed: u64) -> Vec<f64> {
+    (0..shape.size() - 1)
+        .map(|i| 0.5 + ((seed as usize + i * 7) % 30) as f64 / 10.0)
+        .collect()
+}
+
+#[test]
+fn honest_tree_protocol_matches_mechanism_across_shapes() {
+    for seed in 0..15u64 {
+        let shape = tree::canonicalize(&random_shape(seed));
+        if shape.size() < 2 {
+            continue;
+        }
+        let rates = rates_for(&shape, seed);
+        let scenario = TreeScenario::honest(shape.clone(), rates.clone());
+        let report = run_tree(&scenario);
+        assert!(report.clean(), "seed {seed}: {:?}", report.arbitrations);
+
+        let mech = TreeMechanism::new(shape);
+        let agents: Vec<Agent> = rates.into_iter().map(Agent::new).collect();
+        let outcome = mech.settle_truthful(&agents);
+        for j in 1..=agents.len() {
+            assert!(
+                (report.utility(j) - outcome.utility(j)).abs() < 1e-9,
+                "seed {seed} P{j}: protocol {} vs mechanism {}",
+                report.utility(j),
+                outcome.utility(j)
+            );
+            assert!(report.utility(j) >= -1e-9, "VP violated at seed {seed} P{j}");
+        }
+        assert!((report.makespan - outcome.makespan).abs() < 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn tree_solver_equivalent_consistency_across_shapes() {
+    // The equivalent time of the canonicalized tree never exceeds the
+    // uncanonicalized one (the canonical order is optimal), and both are
+    // bounded by the root's own rate.
+    for seed in 0..25u64 {
+        let shape = random_shape(seed);
+        let canonical = tree::canonicalize(&shape);
+        let raw = tree::equivalent_time(&shape);
+        let opt = tree::equivalent_time(&canonical);
+        assert!(opt <= raw + 1e-9, "seed {seed}: canonical {opt} vs raw {raw}");
+        assert!(opt <= shape.processor.w + 1e-12);
+    }
+}
+
+#[test]
+fn deviant_tree_runs_never_reward_the_deviant() {
+    let shape = tree::canonicalize(&random_shape(3));
+    let rates = rates_for(&shape, 3);
+    let m = rates.len();
+    let base = TreeScenario::honest(shape, rates)
+        .with_fine(FineSchedule::new(60.0, 1.0));
+    let honest = run_tree(&base);
+    for d in Deviation::catalog() {
+        for target in 1..=m {
+            let report = run_tree(&base.clone().with_deviation(target, d));
+            assert!(
+                report.utility(target) <= honest.utility(target) + 1e-9,
+                "{} at P{target} profited",
+                d.label()
+            );
+            // Honest agents are never net-fined.
+            for j in (1..=m).filter(|&j| j != target) {
+                assert!(
+                    report.ledger.net_of(j, dls::protocol::EntryKind::Fine) >= 0.0,
+                    "honest P{j} fined under {} at P{target}",
+                    d.label()
+                );
+            }
+        }
+    }
+}
