@@ -24,14 +24,19 @@ fn arithmetic(c: &mut Criterion) {
     let chain = ExactChain::from_scaled_ints(&w, &z, 10);
     let f64net = chain.to_f64_network();
     group.bench_function("f64", |b| b.iter(|| black_box(linear::solve(&f64net))));
-    group.bench_function("exact_rational", |b| b.iter(|| black_box(exact::chain::solve(&chain))));
+    group.bench_function("exact_rational", |b| {
+        b.iter(|| black_box(exact::chain::solve(&chain)))
+    });
     group.finish();
 }
 
 fn algorithm(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_algorithm");
     for &n in &[16usize, 256] {
-        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: n,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, 42);
         group.bench_with_input(BenchmarkId::new("reduction", n), &net, |b, net| {
             b.iter(|| black_box(linear::solve(net)))
@@ -46,7 +51,10 @@ fn algorithm(c: &mut Criterion) {
 fn sweep_driver(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sweep_driver");
     group.sample_size(10);
-    let cfg = ChainConfig { processors: 16, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: 16,
+        ..Default::default()
+    };
     let work = move |seed: u64| {
         let net = workloads::chain(&cfg, seed);
         linear::solve(&net).makespan()
@@ -54,16 +62,17 @@ fn sweep_driver(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(seq_sweep(0..512, work)))
     });
-    group.bench_function("rayon", |b| {
-        b.iter(|| black_box(par_sweep(0..512, work)))
-    });
+    group.bench_function("rayon", |b| b.iter(|| black_box(par_sweep(0..512, work))));
     group.finish();
 }
 
 fn execution_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_execution");
     for &n in &[16usize, 256] {
-        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: n,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, 42);
         let sol = linear::solve(&net);
         group.bench_with_input(BenchmarkId::new("des", n), &net, |b, net| {
@@ -80,7 +89,13 @@ fn des_granularity(c: &mut Criterion) {
     // DESIGN.md §5: per-block (Λ-granular) events vs aggregate transfers.
     let mut group = c.benchmark_group("ablation_des_granularity");
     group.sample_size(20);
-    let net = workloads::chain(&ChainConfig { processors: 8, ..Default::default() }, 42);
+    let net = workloads::chain(
+        &ChainConfig {
+            processors: 8,
+            ..Default::default()
+        },
+        42,
+    );
     let sol = linear::solve(&net);
     let rates = net.rates_w();
     group.bench_function("aggregate", |b| {
@@ -98,5 +113,12 @@ fn des_granularity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, arithmetic, algorithm, sweep_driver, execution_model, des_granularity);
+criterion_group!(
+    benches,
+    arithmetic,
+    algorithm,
+    sweep_driver,
+    execution_model,
+    des_granularity
+);
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use std::hint::black_box;
 use workloads::ChainConfig;
 
 fn setup(n: usize) -> (DlsLbl, Vec<Agent>) {
-    let cfg = ChainConfig { processors: n + 1, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: n + 1,
+        ..Default::default()
+    };
     let net = workloads::chain(&cfg, 42);
     let parts = workloads::mechanism_parts(&net);
     let mech = DlsLbl::new(parts.root_rate, parts.link_rates);

@@ -8,7 +8,10 @@ use std::hint::black_box;
 use workloads::ChainConfig;
 
 fn scenario(m: usize) -> Scenario {
-    let cfg = ChainConfig { processors: m + 1, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: m + 1,
+        ..Default::default()
+    };
     let net = workloads::chain(&cfg, 42);
     let parts = workloads::mechanism_parts(&net);
     Scenario::honest(parts.root_rate, parts.true_rates, parts.link_rates)

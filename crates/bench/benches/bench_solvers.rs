@@ -14,7 +14,10 @@ use workloads::ChainConfig;
 fn chains(c: &mut Criterion) {
     let mut group = c.benchmark_group("linear_solver");
     for &n in &[4usize, 16, 64, 256, 1024] {
-        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: n,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, 42);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("algorithm1", n), &net, |b, net| {
@@ -46,7 +49,10 @@ fn exact_solver(c: &mut Criterion) {
 fn companions(c: &mut Criterion) {
     let mut group = c.benchmark_group("companion_solvers");
     for &n in &[16usize, 256] {
-        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: n,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, 42);
         let star_net = StarNetwork::from_rates(&net.rates_w(), &net.rates_z());
         group.bench_with_input(BenchmarkId::new("star", n), &star_net, |b, s| {

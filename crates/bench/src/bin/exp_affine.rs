@@ -54,7 +54,10 @@ fn main() {
     // participating processors always finish together.
     let trials = 500u64;
     let bad: usize = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 6, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 6,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let zero = affine::solve(&net, &AffineOverheads::zero(net.len()));
         let lin = linear::solve(&net);

@@ -25,11 +25,24 @@ fn main() {
     // Headline instance.
     let truth = [1.8f64, 0.6, 2.5, 1.2];
     let links = vec![0.25, 0.15, 0.40, 0.10];
-    let at = ArcherTardos::new(ChainRule { root_rate: 1.0, link_rates: links.clone() }, w_max);
+    let at = ArcherTardos::new(
+        ChainRule {
+            root_rate: 1.0,
+            link_rates: links.clone(),
+        },
+        w_max,
+    );
     let dls = DlsLbl::new(1.0, links.clone());
     let agents: Vec<Agent> = truth.iter().map(|&t| Agent::new(t)).collect();
     let lbl = dls.settle_truthful(&agents);
-    let mut t = Table::new(&["agent", "α_j", "U (Archer–Tardos)", "U (DLS-LBL)", "P (AT)", "Q (LBL)"]);
+    let mut t = Table::new(&[
+        "agent",
+        "α_j",
+        "U (Archer–Tardos)",
+        "U (DLS-LBL)",
+        "P (AT)",
+        "Q (LBL)",
+    ]);
     let mut at_outlay = 0.0;
     for j in 1..=truth.len() {
         let out = at.settle(&truth, j, truth[j - 1]);
@@ -55,14 +68,20 @@ fn main() {
     // ratio distribution.
     let trials = 200u64;
     let results = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 5, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 5,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let parts = workloads::mechanism_parts(&net);
-        let rule = ChainRule { root_rate: parts.root_rate, link_rates: parts.link_rates.clone() };
+        let rule = ChainRule {
+            root_rate: parts.root_rate,
+            link_rates: parts.link_rates.clone(),
+        };
         // Monotonicity precondition.
         let grid: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
-        let mono = (1..=parts.true_rates.len())
-            .all(|j| is_monotone(&rule, &parts.true_rates, j, &grid));
+        let mono =
+            (1..=parts.true_rates.len()).all(|j| is_monotone(&rule, &parts.true_rates, j, &grid));
         let at = ArcherTardos::new(rule, w_max);
         let dls = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
         let agents: Vec<Agent> = parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
@@ -104,7 +123,9 @@ fn main() {
             }
         }
     }
-    println!("bus network (companion [14]): strategyproofness violations over the grid: {violations}");
+    println!(
+        "bus network (companion [14]): strategyproofness violations over the grid: {violations}"
+    );
     assert_eq!(violations, 0);
     println!();
     println!("PASS: E14 — two strategyproof payment schemes, one allocation rule");

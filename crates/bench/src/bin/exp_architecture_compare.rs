@@ -29,7 +29,10 @@ fn main() {
     // --- random inventories -------------------------------------------
     let trials = 1000u64;
     for n in [4usize, 8, 16] {
-        let cfg = ChainConfig { processors: n, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: n,
+            ..Default::default()
+        };
         let results = par_sweep(0..trials, |seed| {
             let net = workloads::chain(&cfg, seed);
             let w = net.rates_w();
@@ -39,8 +42,7 @@ fn main() {
             let star_ms = star::solve(&star_net).makespan;
             let bus_z = z.iter().sum::<f64>() / z.len() as f64;
             let bus_ms = star::solve(&StarNetwork::bus(w[0], &w[1..], bus_z)).makespan;
-            let interior_ms =
-                interior::solve(&InteriorNetwork::new(net.clone(), n / 2)).makespan;
+            let interior_ms = interior::solve(&InteriorNetwork::new(net.clone(), n / 2)).makespan;
             // binary tree over a same-sized random inventory
             let t = workloads::tree(&cfg, 2, seed);
             let tree_ms = tree::makespan(&t);
@@ -55,11 +57,36 @@ fn main() {
         let inter = col(|r| r.3);
         let tr = col(|r| r.4);
         let mut t = Table::new(&["architecture", "mean makespan", "min", "max"]);
-        t.row(vec!["chain (boundary)".into(), format!("{:.4}", chain.mean), format!("{:.4}", chain.min), format!("{:.4}", chain.max)]);
-        t.row(vec!["chain (interior)".into(), format!("{:.4}", inter.mean), format!("{:.4}", inter.min), format!("{:.4}", inter.max)]);
-        t.row(vec!["star".into(), format!("{:.4}", star_s.mean), format!("{:.4}", star_s.min), format!("{:.4}", star_s.max)]);
-        t.row(vec!["bus (avg z)".into(), format!("{:.4}", bus.mean), format!("{:.4}", bus.min), format!("{:.4}", bus.max)]);
-        t.row(vec!["binary tree".into(), format!("{:.4}", tr.mean), format!("{:.4}", tr.min), format!("{:.4}", tr.max)]);
+        t.row(vec![
+            "chain (boundary)".into(),
+            format!("{:.4}", chain.mean),
+            format!("{:.4}", chain.min),
+            format!("{:.4}", chain.max),
+        ]);
+        t.row(vec![
+            "chain (interior)".into(),
+            format!("{:.4}", inter.mean),
+            format!("{:.4}", inter.min),
+            format!("{:.4}", inter.max),
+        ]);
+        t.row(vec![
+            "star".into(),
+            format!("{:.4}", star_s.mean),
+            format!("{:.4}", star_s.min),
+            format!("{:.4}", star_s.max),
+        ]);
+        t.row(vec![
+            "bus (avg z)".into(),
+            format!("{:.4}", bus.mean),
+            format!("{:.4}", bus.min),
+            format!("{:.4}", bus.max),
+        ]);
+        t.row(vec![
+            "binary tree".into(),
+            format!("{:.4}", tr.mean),
+            format!("{:.4}", tr.min),
+            format!("{:.4}", tr.max),
+        ]);
         println!("n = {n} processors ({trials} random inventories):");
         t.print();
         // On heterogeneous chains interior origination usually wins (the
@@ -73,7 +100,10 @@ fn main() {
             100.0 * wins as f64 / trials as f64,
             chain.mean / inter.mean
         );
-        assert!(wins as f64 / trials as f64 > 0.5, "interior should usually win");
+        assert!(
+            wins as f64 / trials as f64 > 0.5,
+            "interior should usually win"
+        );
         println!();
     }
 
@@ -89,7 +119,12 @@ fn main() {
             format!("{z}"),
             format!("{chain_ms:.4}"),
             format!("{star_ms:.4}"),
-            if chain_ms < star_ms - 1e-12 { "chain" } else { "star" }.into(),
+            if chain_ms < star_ms - 1e-12 {
+                "chain"
+            } else {
+                "star"
+            }
+            .into(),
         ]);
     }
     t.print();
@@ -113,11 +148,20 @@ fn main() {
     println!();
 
     // --- degenerate-tree sanity: tree solver ≡ chain solver ------------
-    let net = workloads::chain(&ChainConfig { processors: 12, ..Default::default() }, 7);
+    let net = workloads::chain(
+        &ChainConfig {
+            processors: 12,
+            ..Default::default()
+        },
+        7,
+    );
     let chain_ms = linear::solve(&net).makespan();
     let tree_ms = tree::makespan(&TreeNode::from_chain(&net));
     assert!((chain_ms - tree_ms).abs() < 1e-10);
-    println!("degenerate-tree cross-check: |chain − tree| = {:.2e} ✓", (chain_ms - tree_ms).abs());
+    println!(
+        "degenerate-tree cross-check: |chain − tree| = {:.2e} ✓",
+        (chain_ms - tree_ms).abs()
+    );
     println!();
     println!("PASS: E10 architecture comparison complete");
 }

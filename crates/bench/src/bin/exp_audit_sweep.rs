@@ -44,13 +44,14 @@ fn main() {
                 let base = scenario(fine, q, seed);
                 let honest = protocol::run(&base);
                 let dev = protocol::run(
-                    &base.clone().with_deviation(2, Deviation::Overcharge { amount: overcharge }),
+                    &base
+                        .clone()
+                        .with_deviation(2, Deviation::Overcharge { amount: overcharge }),
                 );
                 let caught = dev.convictions().any(|a| a.accused == 2);
                 (dev.utility(2) - honest.utility(2), caught)
             });
-            let mc_gain: f64 =
-                results.iter().map(|r| r.0).sum::<f64>() / trials as f64;
+            let mc_gain: f64 = results.iter().map(|r| r.0).sum::<f64>() / trials as f64;
             let caught = results.iter().filter(|r| r.1).count() as f64 / trials as f64;
             t.row(vec![
                 format!("{q:.2}"),
@@ -62,8 +63,8 @@ fn main() {
             // 4σ band: per-trial outcomes differ by ≈ x + F/q between the
             // caught/uncaught branches, so the mean's standard error is
             // (x + F/q)·√(q(1−q)/N).
-            let sigma = (overcharge + schedule.overcharge_fine())
-                * (q * (1.0 - q) / trials as f64).sqrt();
+            let sigma =
+                (overcharge + schedule.overcharge_fine()) * (q * (1.0 - q) / trials as f64).sqrt();
             assert!(
                 (mc_gain - analysis.expected_gain).abs() < 4.0 * sigma + 1e-9,
                 "Monte Carlo diverges from closed form: {mc_gain} vs {} (4σ = {})",

@@ -28,17 +28,32 @@ fn main() {
     println!();
 
     // Trajectory detail on the headline instance.
-    let agents = vec![Agent::new(1.8), Agent::new(0.6), Agent::new(2.5), Agent::new(1.2)];
+    let agents = vec![
+        Agent::new(1.8),
+        Agent::new(0.6),
+        Agent::new(2.5),
+        Agent::new(1.2),
+    ];
     let links = vec![0.25, 0.15, 0.40, 0.10];
     let dls = DlsLbl::new(1.0, links.clone());
     let naive = NaiveMechanism::new(1.0, links, 1.2);
     let start = vec![3.6, 0.3, 5.0, 0.6]; // everyone starts far from truth
 
     for (name, traj) in [
-        ("DLS-LBL", best_response_dynamics(&dls, &agents, &start, &grid(), 8)),
-        ("naive", best_response_dynamics(&naive, &agents, &start, &grid(), 8)),
+        (
+            "DLS-LBL",
+            best_response_dynamics(&dls, &agents, &start, &grid(), 8),
+        ),
+        (
+            "naive",
+            best_response_dynamics(&naive, &agents, &start, &grid(), 8),
+        ),
     ] {
-        println!("{name}: {} round(s), converged = {}", traj.profiles.len() - 1, traj.converged);
+        println!(
+            "{name}: {} round(s), converged = {}",
+            traj.profiles.len() - 1,
+            traj.converged
+        );
         let mut t = Table::new(&["round", "bid(P1)/t", "bid(P2)/t", "bid(P3)/t", "bid(P4)/t"]);
         for (r, p) in traj.profiles.iter().enumerate() {
             t.row(vec![
@@ -50,19 +65,28 @@ fn main() {
             ]);
         }
         t.print();
-        println!("distance from truth: {:.3e}", traj.distance_from_truth(&agents));
+        println!(
+            "distance from truth: {:.3e}",
+            traj.distance_from_truth(&agents)
+        );
         println!();
         if name == "DLS-LBL" {
             assert!(traj.distance_from_truth(&agents) < 1e-9);
         } else {
-            assert!(traj.distance_from_truth(&agents) > 0.05, "baseline should drift");
+            assert!(
+                traj.distance_from_truth(&agents) > 0.05,
+                "baseline should drift"
+            );
         }
     }
 
     // Randomized convergence sweep.
     let trials = 300u64;
     let failures: usize = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 4 + (seed % 4) as usize, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 4 + (seed % 4) as usize,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let parts = workloads::mechanism_parts(&net);
         let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());

@@ -28,7 +28,10 @@ fn main() {
     let factors = [0.5f64, 0.75, 1.0, 1.5, 2.5];
     let trials = 300u64;
     let results = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 6, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 6,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let parts = workloads::mechanism_parts(&net);
         let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
@@ -73,10 +76,22 @@ fn main() {
     let s = Stats::of(&gains);
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["networks".into(), trials.to_string()]);
-    t.row(vec!["dominant-strategy violations".into(), dominant_violations.to_string()]);
-    t.row(vec!["nets where some pair gains jointly".into(), format!("{positive}/{trials}")]);
-    t.row(vec!["best coalition gain (mean)".into(), format!("{:+.4}", s.mean)]);
-    t.row(vec!["best coalition gain (max)".into(), format!("{:+.4}", s.max)]);
+    t.row(vec![
+        "dominant-strategy violations".into(),
+        dominant_violations.to_string(),
+    ]);
+    t.row(vec![
+        "nets where some pair gains jointly".into(),
+        format!("{positive}/{trials}"),
+    ]);
+    t.row(vec![
+        "best coalition gain (mean)".into(),
+        format!("{:+.4}", s.mean),
+    ]);
+    t.row(vec![
+        "best coalition gain (max)".into(),
+        format!("{:+.4}", s.max),
+    ]);
     t.print();
     assert_eq!(dominant_violations, 0, "Theorem 5.3 must hold member-wise");
     println!();

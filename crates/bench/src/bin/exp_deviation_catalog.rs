@@ -19,7 +19,10 @@ fn main() {
     println!("E6: Lemma 5.1 — every deviation is detected, fined, and unprofitable");
     println!();
     let trials = 300u64;
-    let cfg = ChainConfig { processors: 6, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: 6,
+        ..Default::default()
+    };
 
     let mut table = Table::new(&[
         "deviation",
@@ -40,7 +43,9 @@ fn main() {
             let mut target = 1 + (seed as usize % m);
             if matches!(
                 deviation,
-                Deviation::ShedLoad { .. } | Deviation::WrongDistribution { .. } | Deviation::WrongEquivalent { .. }
+                Deviation::ShedLoad { .. }
+                    | Deviation::WrongDistribution { .. }
+                    | Deviation::WrongEquivalent { .. }
             ) && target == m
             {
                 target = 1.max(m - 1);
@@ -62,9 +67,7 @@ fn main() {
                     .arbitrations
                     .iter()
                     .any(|a| !a.substantiated && a.claimant == target),
-                _ if deviation.is_finable() => {
-                    deviant.convictions().any(|a| a.accused == target)
-                }
+                _ if deviation.is_finable() => deviant.convictions().any(|a| a.accused == target),
                 _ => true, // priced deviations have nothing to detect
             };
             // Lemma 5.2: no honest node is ever net-fined.
@@ -86,8 +89,18 @@ fn main() {
             format!("{:+.4}", s.mean),
             format!("{:+.4}", s.max),
         ]);
-        assert_eq!(detected as u64, trials, "{} detection not 100%", deviation.label());
-        assert_eq!(honest_fined, 0, "honest node fined under {}", deviation.label());
+        assert_eq!(
+            detected as u64,
+            trials,
+            "{} detection not 100%",
+            deviation.label()
+        );
+        assert_eq!(
+            honest_fined,
+            0,
+            "honest node fined under {}",
+            deviation.label()
+        );
         assert!(s.max <= 1e-9, "{} profited somewhere", deviation.label());
     }
     table.print();

@@ -26,7 +26,10 @@ fn main() {
     let links = vec![0.25, 0.15, 0.40, 0.10];
     let tree_mech = TreeMechanism::chain(1.0, &links);
     let chain_mech = DlsLbl::new(1.0, links.clone());
-    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2].iter().map(|&t| Agent::new(t)).collect();
+    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2]
+        .iter()
+        .map(|&t| Agent::new(t))
+        .collect();
     let t_out = tree_mech.settle_truthful(&agents);
     let c_out = chain_mech.settle_truthful(&agents);
     let mut max_diff = 0.0f64;
@@ -52,7 +55,10 @@ fn main() {
     let trials = 200u64;
     let factors = [0.3, 0.5, 0.75, 0.9, 1.0, 1.2, 1.6, 2.5, 5.0];
     let results = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 7, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 7,
+            ..Default::default()
+        };
         let shape = workloads::tree(&cfg, 3, seed);
         let n_agents = shape.size() - 1;
         if n_agents == 0 {
@@ -85,8 +91,14 @@ fn main() {
     let min_u = results.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["random trees".into(), trials.to_string()]);
-    t.row(vec!["agents × bids tested".into(), (total_agents * factors.len()).to_string()]);
-    t.row(vec!["strategyproofness violations".into(), violations.to_string()]);
+    t.row(vec![
+        "agents × bids tested".into(),
+        (total_agents * factors.len()).to_string(),
+    ]);
+    t.row(vec![
+        "strategyproofness violations".into(),
+        violations.to_string(),
+    ]);
     t.row(vec!["min truthful utility".into(), format!("{min_u:+.3e}")]);
     t.print();
     assert_eq!(violations, 0);
@@ -95,7 +107,10 @@ fn main() {
 
     // Bus instantiation.
     let bus = TreeMechanism::star(1.0, &[0.3, 0.3, 0.3, 0.3]);
-    let bus_agents: Vec<Agent> = [1.5, 0.9, 2.0, 1.2].iter().map(|&t| Agent::new(t)).collect();
+    let bus_agents: Vec<Agent> = [1.5, 0.9, 2.0, 1.2]
+        .iter()
+        .map(|&t| Agent::new(t))
+        .collect();
     let honest = bus.settle_truthful(&bus_agents);
     let mut bus_violations = 0;
     for j in 1..=4 {
@@ -117,12 +132,31 @@ fn main() {
     let shape = dlt::model::TreeNode::internal(
         1.0,
         vec![
-            (0.15, dlt::model::TreeNode::internal(1.0, vec![(0.05, dlt::model::TreeNode::leaf(1.0)), (0.25, dlt::model::TreeNode::leaf(1.0))])),
-            (0.30, dlt::model::TreeNode::internal(1.0, vec![(0.10, dlt::model::TreeNode::leaf(1.0)), (0.20, dlt::model::TreeNode::leaf(1.0))])),
+            (
+                0.15,
+                dlt::model::TreeNode::internal(
+                    1.0,
+                    vec![
+                        (0.05, dlt::model::TreeNode::leaf(1.0)),
+                        (0.25, dlt::model::TreeNode::leaf(1.0)),
+                    ],
+                ),
+            ),
+            (
+                0.30,
+                dlt::model::TreeNode::internal(
+                    1.0,
+                    vec![
+                        (0.10, dlt::model::TreeNode::leaf(1.0)),
+                        (0.20, dlt::model::TreeNode::leaf(1.0)),
+                    ],
+                ),
+            ),
         ],
     );
     let rates = vec![1.4, 2.2, 0.7, 1.9, 1.1, 3.0];
-    let base = TreeScenario::honest(shape, rates).with_fine(mechanism::FineSchedule::new(50.0, 1.0));
+    let base =
+        TreeScenario::honest(shape, rates).with_fine(mechanism::FineSchedule::new(50.0, 1.0));
     let honest = run_tree(&base);
     assert!(honest.clean());
     let mut t2 = Table::new(&["deviation at P1 (internal)", "caught", "ΔU(deviant)"]);
@@ -139,7 +173,11 @@ fn main() {
         };
         let delta = report.utility(1) - honest.utility(1);
         assert!(delta <= 1e-9, "{} profited in the tree protocol", d.label());
-        t2.row(vec![d.label().to_string(), caught.into(), format!("{delta:+.4}")]);
+        t2.row(vec![
+            d.label().to_string(),
+            caught.into(),
+            format!("{delta:+.4}"),
+        ]);
     }
     t2.print();
     println!();

@@ -32,7 +32,14 @@ fn main() {
     println!();
 
     let analytic = finish_times(&net, &sol.alloc);
-    let mut t = Table::new(&["proc", "α_i", "recv end", "T_i (sim)", "T_i (eq. 2.1/2.2)", "|Δ|"]);
+    let mut t = Table::new(&[
+        "proc",
+        "α_i",
+        "recv end",
+        "T_i (sim)",
+        "T_i (eq. 2.1/2.2)",
+        "|Δ|",
+    ]);
     for i in 0..net.len() {
         let recv_end = run.gantt.lanes[i]
             .of(sim::Activity::Receive)
@@ -54,7 +61,11 @@ fn main() {
         .fold(0.0, f64::max);
     println!();
     println!("simulated vs analytic max error: {max_err:.3e}");
-    println!("makespan: {:.6} (= w̄_0 = {:.6})", run.makespan, sol.makespan());
+    println!(
+        "makespan: {:.6} (= w̄_0 = {:.6})",
+        run.makespan,
+        sol.makespan()
+    );
     assert!(max_err < 1e-12, "simulation must reproduce the closed form");
     run.gantt.validate_one_port().expect("one-port consistency");
 

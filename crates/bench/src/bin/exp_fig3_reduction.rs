@@ -25,7 +25,13 @@ fn main() {
     let net = LinearNetwork::from_rates(&[1.0, 1.8, 0.6, 2.5, 1.2], &[0.25, 0.15, 0.40, 0.10]);
     println!("start: {net}");
     let trace = reduction::reduce_fully(&net);
-    let mut t = Table::new(&["step", "collapsed pair", "α̂ (front keeps)", "w̄ (equivalent)", "chain after"]);
+    let mut t = Table::new(&[
+        "step",
+        "collapsed pair",
+        "α̂ (front keeps)",
+        "w̄ (equivalent)",
+        "chain after",
+    ]);
     for (k, step) in trace.steps.iter().enumerate() {
         t.row(vec![
             (k + 1).to_string(),
@@ -45,7 +51,11 @@ fn main() {
 
     // Pairwise w̄ vs segment makespan, every step.
     for (k, step) in trace.steps.iter().enumerate() {
-        let before = if k == 0 { net.clone() } else { trace.steps[k - 1].network.clone() };
+        let before = if k == 0 {
+            net.clone()
+        } else {
+            trace.steps[k - 1].network.clone()
+        };
         let pair = before.segment(step.index, step.index + 1);
         let pair_ms = linear::solve(&pair).makespan();
         assert!(
@@ -58,7 +68,10 @@ fn main() {
 
     // Structural sweep over random networks.
     let trials = 1000u64;
-    let cfg = ChainConfig { processors: 10, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: 10,
+        ..Default::default()
+    };
     let bad = par_sweep(0..trials, |seed| {
         let net = workloads::chain(&cfg, seed);
         let mut violations = 0u32;

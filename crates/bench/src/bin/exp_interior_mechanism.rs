@@ -26,11 +26,14 @@ fn main() {
         let left_n = 1 + (seed % 3) as usize;
         let right_n = 1 + ((seed / 3) % 3) as usize;
         let left_links: Vec<f64> = (0..left_n).map(|k| 0.05 + h(k as u64) / 10.0).collect();
-        let right_links: Vec<f64> =
-            (0..right_n).map(|k| 0.05 + h(100 + k as u64) / 10.0).collect();
+        let right_links: Vec<f64> = (0..right_n)
+            .map(|k| 0.05 + h(100 + k as u64) / 10.0)
+            .collect();
         let mech = DlsInterior::new(1.0, left_links, right_links);
         let left: Vec<Agent> = (0..left_n).map(|k| Agent::new(h(200 + k as u64))).collect();
-        let right: Vec<Agent> = (0..right_n).map(|k| Agent::new(h(300 + k as u64))).collect();
+        let right: Vec<Agent> = (0..right_n)
+            .map(|k| Agent::new(h(300 + k as u64)))
+            .collect();
         let honest = mech.settle_truthful(&left, &right);
         let lt: Vec<Conduct> = left.iter().map(|&a| Conduct::truthful(a)).collect();
         let rt: Vec<Conduct> = right.iter().map(|&a| Conduct::truthful(a)).collect();
@@ -41,8 +44,7 @@ fn main() {
             for &f in &factors {
                 let mut lc = lt.clone();
                 lc[p - 1] = Conduct::misreport(left[p - 1], f);
-                if mech.settle(&lc, &rt).utility(Arm::Left, p)
-                    > honest.utility(Arm::Left, p) + 1e-9
+                if mech.settle(&lc, &rt).utility(Arm::Left, p) > honest.utility(Arm::Left, p) + 1e-9
                 {
                     violations += 1;
                 }
@@ -69,8 +71,8 @@ fn main() {
         let cross = mech.settle(&lt, &rc);
         let mut max_cross = 0.0f64;
         for p in 1..=left_n {
-            max_cross = max_cross
-                .max((cross.utility(Arm::Left, p) - honest.utility(Arm::Left, p)).abs());
+            max_cross =
+                max_cross.max((cross.utility(Arm::Left, p) - honest.utility(Arm::Left, p)).abs());
         }
         (violations, min_u, max_cross)
     });
@@ -79,9 +81,15 @@ fn main() {
     let max_cross = results.iter().map(|r| r.2).fold(0.0f64, f64::max);
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["random interior chains".into(), trials.to_string()]);
-    t.row(vec!["strategyproofness violations".into(), violations.to_string()]);
+    t.row(vec![
+        "strategyproofness violations".into(),
+        violations.to_string(),
+    ]);
     t.row(vec!["min truthful utility".into(), format!("{min_u:+.3e}")]);
-    t.row(vec!["max cross-arm utility influence".into(), format!("{max_cross:.3e}")]);
+    t.row(vec![
+        "max cross-arm utility influence".into(),
+        format!("{max_cross:.3e}"),
+    ]);
     t.print();
     assert_eq!(violations, 0);
     assert!(min_u >= -1e-9);

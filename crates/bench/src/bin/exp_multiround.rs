@@ -26,8 +26,10 @@ fn main() {
         .iter()
         .map(|&z| LinearNetwork::homogeneous(6, 1.0, z))
         .collect();
-    let sweeps: Vec<Vec<(usize, f64)>> =
-        nets.iter().map(|n| multiround::round_sweep(n, startup, 16)).collect();
+    let sweeps: Vec<Vec<(usize, f64)>> = nets
+        .iter()
+        .map(|n| multiround::round_sweep(n, startup, 16))
+        .collect();
     for k in 1..=16usize {
         t.row(vec![
             k.to_string(),

@@ -26,7 +26,10 @@ fn main() {
     let trials = 3000u64;
     let results = par_sweep(0..trials, |seed| {
         let m = 3 + (seed % 6) as usize; // 3..=8 strategic processors
-        let cfg = ChainConfig { processors: m + 1, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: m + 1,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let parts = workloads::mechanism_parts(&net);
         let mut scenario = Scenario::honest(
@@ -71,8 +74,14 @@ fn main() {
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["runs".into(), trials.to_string()]);
     t.row(vec!["deviants injected".into(), total_deviants.to_string()]);
-    t.row(vec!["arbitrations held".into(), total_arbitrations.to_string()]);
-    t.row(vec!["false fines on honest nodes".into(), total_false.to_string()]);
+    t.row(vec![
+        "arbitrations held".into(),
+        total_arbitrations.to_string(),
+    ]);
+    t.row(vec![
+        "false fines on honest nodes".into(),
+        total_false.to_string(),
+    ]);
     t.print();
     assert_eq!(total_false, 0, "Lemma 5.2 violated");
     println!();

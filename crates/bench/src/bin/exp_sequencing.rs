@@ -29,7 +29,10 @@ fn main() {
     let trials = 500u64;
     for m in [3usize, 5, 7] {
         let results = par_sweep(0..trials, |seed| {
-            let cfg = ChainConfig { processors: m + 1, ..Default::default() };
+            let cfg = ChainConfig {
+                processors: m + 1,
+                ..Default::default()
+            };
             let net = workloads::star(&cfg, seed);
             let optimal = ascending_is_optimal(&net, 1e-9);
             let search = exhaustive_best_order(&net);
@@ -43,7 +46,10 @@ fn main() {
             "m = {m}: ascending-link order optimal in {optimal}/{trials} stars; worst/best makespan ratio mean {:.3}, max {:.3}",
             s.mean, s.max
         );
-        assert_eq!(optimal as u64, trials, "classical sequencing result violated");
+        assert_eq!(
+            optimal as u64, trials,
+            "classical sequencing result violated"
+        );
     }
     println!();
 
@@ -52,9 +58,17 @@ fn main() {
     println!("non-monotonicity under a BAD order (slow link served first):");
     // Root w=2.1 serving child A over z=0.66 then child B over z=0.097.
     let mk = |w_a: f64| {
-        star::solve(&StarNetwork::from_rates(&[2.1, w_a, 0.5], &[0.6568, 0.0969])).makespan
+        star::solve(&StarNetwork::from_rates(
+            &[2.1, w_a, 0.5],
+            &[0.6568, 0.0969],
+        ))
+        .makespan
     };
-    let mut t = Table::new(&["w_A", "equal-finish makespan (bad order)", "ascending order"]);
+    let mut t = Table::new(&[
+        "w_A",
+        "equal-finish makespan (bad order)",
+        "ascending order",
+    ]);
     let mut decreased = false;
     let mut prev = f64::NEG_INFINITY;
     for &w_a in &[2.0, 2.4, 2.8, 3.2, 3.6, 4.0] {
@@ -65,7 +79,11 @@ fn main() {
             decreased = true;
         }
         prev = bad;
-        t.row(vec![format!("{w_a}"), format!("{bad:.6}"), format!("{good:.6}")]);
+        t.row(vec![
+            format!("{w_a}"),
+            format!("{bad:.6}"),
+            format!("{good:.6}"),
+        ]);
     }
     t.print();
     assert!(
@@ -77,7 +95,10 @@ fn main() {
     for &w_a in &[2.0, 2.4, 2.8, 3.2, 3.6, 4.0] {
         let net = StarNetwork::from_rates(&[2.1, w_a, 0.5], &[0.6568, 0.0969]);
         let good = order_makespan(&net, &ascending_link_order(&net));
-        assert!(good >= prev - 1e-12, "ascending order must be monotone in w_A");
+        assert!(
+            good >= prev - 1e-12,
+            "ascending order must be monotone in w_A"
+        );
         prev = good;
     }
     println!();

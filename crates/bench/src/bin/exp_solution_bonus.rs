@@ -64,7 +64,11 @@ fn main() {
             format!("{behave:.5}"),
             format!("{sabotage:.5}"),
             format!("{margin:+.5}"),
-            if margin > 1e-12 { "yes".into() } else { "NO (neutral)".to_string() },
+            if margin > 1e-12 {
+                "yes".into()
+            } else {
+                "NO (neutral)".to_string()
+            },
         ]);
     }
     t.print();

@@ -23,11 +23,12 @@ fn main() {
 
     // Headline instance: the curve for each agent around the truthful bid.
     let mech = DlsLbl::new(1.0, vec![0.25, 0.15, 0.40, 0.10]);
-    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2].iter().map(|&t| Agent::new(t)).collect();
+    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2]
+        .iter()
+        .map(|&t| Agent::new(t))
+        .collect();
     let factors = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 4.0];
-    let mut t = Table::new(&[
-        "bid/t", "U(P1)", "U(P2)", "U(P3)", "U(P4 terminal)",
-    ]);
+    let mut t = Table::new(&["bid/t", "U(P1)", "U(P2)", "U(P3)", "U(P4 terminal)"]);
     let sweeps = strategyproofness_report(&mech, &agents, &factors);
     for (k, &f) in factors.iter().enumerate() {
         t.row(vec![
@@ -40,7 +41,12 @@ fn main() {
     }
     t.print();
     for s in &sweeps {
-        assert!(s.truthful_is_best(1e-9), "P{} max gain {}", s.agent, s.max_gain());
+        assert!(
+            s.truthful_is_best(1e-9),
+            "P{} max gain {}",
+            s.agent,
+            s.max_gain()
+        );
     }
     println!("(row 1.00 is the maximum of every column ✓)");
     println!();
@@ -74,7 +80,10 @@ fn main() {
     let trials = 500u64;
     let grid = default_factor_grid();
     let violations: usize = par_sweep(0..trials, |seed| {
-        let cfg = ChainConfig { processors: 2 + (seed % 7) as usize + 1, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 2 + (seed % 7) as usize + 1,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, seed);
         let parts = workloads::mechanism_parts(&net);
         let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());

@@ -32,14 +32,22 @@ fn main() {
     ]);
     for shape in ChainShape::all() {
         for n in [2usize, 8, 32] {
-            let cfg = ChainConfig { processors: n, shape, ..Default::default() };
+            let cfg = ChainConfig {
+                processors: n,
+                shape,
+                ..Default::default()
+            };
             let results = par_sweep(0..trials, |seed| {
                 let net = workloads::chain(&cfg, seed);
                 let sol = linear::solve(&net);
                 sol.alloc.validate().expect("feasible");
                 let spread = participation_spread(&net, &sol.alloc);
-                let min_alpha =
-                    sol.alloc.fractions().iter().copied().fold(f64::INFINITY, f64::min);
+                let min_alpha = sol
+                    .alloc
+                    .fractions()
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
                 let bis = solve_bisection(&net, BisectionParams::default());
                 let dev = (bis.makespan - sol.makespan()).abs();
                 (spread, min_alpha, dev)
@@ -55,7 +63,10 @@ fn main() {
                 format!("{:.2e}", Stats::of(&alphas).min),
                 format!("{:.2e}", Stats::of(&devs).max),
             ]);
-            assert!(Stats::of(&spreads).max < 1e-9, "spread too large for {shape:?} n={n}");
+            assert!(
+                Stats::of(&spreads).max < 1e-9,
+                "spread too large for {shape:?} n={n}"
+            );
             assert!(Stats::of(&alphas).min > 0.0, "a processor was left out");
         }
     }
@@ -68,8 +79,12 @@ fn main() {
     let mut cases = 0;
     for seed in 0..50u64 {
         let m = 2 + (seed % 10) as usize;
-        let w: Vec<i64> = (0..=m).map(|i| 3 + ((seed as i64 + i as i64 * 7) % 40)).collect();
-        let z: Vec<i64> = (0..m).map(|i| 1 + ((seed as i64 * 3 + i as i64 * 5) % 8)).collect();
+        let w: Vec<i64> = (0..=m)
+            .map(|i| 3 + ((seed as i64 + i as i64 * 7) % 40))
+            .collect();
+        let z: Vec<i64> = (0..m)
+            .map(|i| 1 + ((seed as i64 * 3 + i as i64 * 5) % 8))
+            .collect();
         let chain = exact::ExactChain::from_scaled_ints(&w, &z, 10);
         let sol = exact::chain::solve(&chain);
         cases += 1;

@@ -22,13 +22,16 @@ fn main() {
     let mut table = Table::new(&["shape", "n", "samples", "min U", "mean U", "max U", "σ(U)"]);
     for shape in ChainShape::all() {
         for n in [3usize, 9, 25] {
-            let cfg = ChainConfig { processors: n, shape, ..Default::default() };
+            let cfg = ChainConfig {
+                processors: n,
+                shape,
+                ..Default::default()
+            };
             let utilities: Vec<f64> = par_sweep(0..trials, |seed| {
                 let net = workloads::chain(&cfg, seed);
                 let parts = workloads::mechanism_parts(&net);
                 let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
-                let agents: Vec<Agent> =
-                    parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
+                let agents: Vec<Agent> = parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
                 participation_report(&mech, &agents).utilities
             })
             .into_iter()
@@ -44,7 +47,10 @@ fn main() {
                 format!("{:.4}", s.max),
                 format!("{:.4}", s.std),
             ]);
-            assert!(s.min >= -1e-12, "negative truthful utility under {shape:?} n={n}");
+            assert!(
+                s.min >= -1e-12,
+                "negative truthful utility under {shape:?} n={n}"
+            );
         }
     }
     table.print();
@@ -52,7 +58,10 @@ fn main() {
 
     // Lemma 5.4 identity on a fixed instance.
     let mech = DlsLbl::new(1.0, vec![0.25, 0.15, 0.40, 0.10]);
-    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2].iter().map(|&t| Agent::new(t)).collect();
+    let agents: Vec<Agent> = [1.8, 0.6, 2.5, 1.2]
+        .iter()
+        .map(|&t| Agent::new(t))
+        .collect();
     let outcome = mech.settle_truthful(&agents);
     println!("Lemma 5.4 identity U_j = w_(j-1) − w̄_(j-1) on the headline instance:");
     for j in 1..=agents.len() {
@@ -66,5 +75,8 @@ fn main() {
         assert!((outcome.utility(j) - (w_pred - wbar_pred)).abs() < 1e-12);
     }
     println!();
-    println!("PASS: Theorem 5.4 reproduced across {} samples", 6 * 3 * trials);
+    println!(
+        "PASS: Theorem 5.4 reproduced across {} samples",
+        6 * 3 * trials
+    );
 }

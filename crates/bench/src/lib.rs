@@ -10,7 +10,6 @@
 #![allow(clippy::needless_range_loop)]
 
 use rayon::prelude::*;
-use serde::Serialize;
 
 /// A plain-text table printer with right-aligned columns.
 #[derive(Debug, Default)]
@@ -22,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).
@@ -68,7 +70,7 @@ impl Table {
 }
 
 /// Summary statistics over a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Sample size.
     pub n: usize,

@@ -18,10 +18,9 @@
 //! all-participate result for the linear model).
 
 use crate::model::{Allocation, LinearNetwork, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// Startup overheads for the affine model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AffineOverheads {
     /// Computation startup `s_i` per processor (`s.len() == n`).
     pub compute: Vec<f64>,
@@ -33,7 +32,10 @@ impl AffineOverheads {
     /// Uniform overheads across the chain.
     pub fn uniform(n: usize, compute: f64, comm: f64) -> Self {
         assert!(compute >= 0.0 && comm >= 0.0);
-        Self { compute: vec![compute; n], comm: vec![comm; n.saturating_sub(1)] }
+        Self {
+            compute: vec![compute; n],
+            comm: vec![comm; n.saturating_sub(1)],
+        }
     }
 
     /// Zero overheads (degenerates to the linear model).
@@ -43,7 +45,7 @@ impl AffineOverheads {
 }
 
 /// Solution of the affine chain problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AffineSolution {
     /// The allocation (may contain zeros: far processors can be priced out
     /// by their startup costs).
@@ -90,7 +92,9 @@ pub fn finish_times(
 
 /// Makespan under the affine model.
 pub fn makespan(net: &LinearNetwork, overheads: &AffineOverheads, alloc: &Allocation) -> f64 {
-    finish_times(net, overheads, alloc).into_iter().fold(0.0, f64::max)
+    finish_times(net, overheads, alloc)
+        .into_iter()
+        .fold(0.0, f64::max)
 }
 
 /// Force the allocation for a candidate common finish time `T`: each
@@ -159,7 +163,12 @@ pub fn solve(net: &LinearNetwork, overheads: &AffineOverheads) -> AffineSolution
     }
     let participants = alloc.iter().filter(|&&a| a > EPSILON).count();
     let allocation = Allocation::new(alloc);
-    AffineSolution { makespan: t, alloc: allocation, participants, iterations }
+    AffineSolution {
+        makespan: t,
+        alloc: allocation,
+        participants,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +187,10 @@ mod tests {
         let lin = linear::solve(&net);
         assert!((sol.makespan - lin.makespan()).abs() < 1e-9);
         for i in 0..net.len() {
-            assert!((sol.alloc.alpha(i) - lin.alloc.alpha(i)).abs() < 1e-7, "α_{i}");
+            assert!(
+                (sol.alloc.alpha(i) - lin.alloc.alpha(i)).abs() < 1e-7,
+                "α_{i}"
+            );
         }
         assert_eq!(sol.participants, net.len());
     }
@@ -198,7 +210,10 @@ mod tests {
         let sol = solve(&net, &overheads);
         assert_eq!(sol.participants, 1, "only the root should work");
         assert!((sol.alloc.alpha(0) - 1.0).abs() < 1e-9);
-        assert!((sol.makespan - 1.0).abs() < 1e-9, "root alone takes w_0 = 1");
+        assert!(
+            (sol.makespan - 1.0).abs() < 1e-9,
+            "root alone takes w_0 = 1"
+        );
     }
 
     #[test]
@@ -213,7 +228,10 @@ mod tests {
                 excluded_seen = true;
             }
         }
-        assert!(excluded_seen, "some startup level should exclude only the tail");
+        assert!(
+            excluded_seen,
+            "some startup level should exclude only the tail"
+        );
     }
 
     #[test]
@@ -224,7 +242,11 @@ mod tests {
         let times = finish_times(&net, &overheads, &sol.alloc);
         for (i, &t) in times.iter().enumerate() {
             if sol.alloc.alpha(i) > EPSILON {
-                assert!((t - sol.makespan).abs() < 1e-7, "P{i}: {t} vs {}", sol.makespan);
+                assert!(
+                    (t - sol.makespan).abs() < 1e-7,
+                    "P{i}: {t} vs {}",
+                    sol.makespan
+                );
             }
         }
     }

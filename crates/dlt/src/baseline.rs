@@ -16,10 +16,9 @@
 //! code or algebra* with the reduction solver.
 
 use crate::model::{Allocation, LinearNetwork};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of evaluating a candidate makespan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// The forced allocation (may be infeasible: negative entries or not
     /// summing to one).
@@ -43,11 +42,14 @@ pub fn force_allocation(net: &LinearNetwork, t: f64) -> Candidate {
         alloc.push(a);
         assigned += a;
     }
-    Candidate { alloc, residual: 1.0 - assigned }
+    Candidate {
+        alloc,
+        residual: 1.0 - assigned,
+    }
 }
 
 /// Parameters for the bisection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BisectionParams {
     /// Absolute tolerance on the residual load.
     pub tolerance: f64,
@@ -57,12 +59,15 @@ pub struct BisectionParams {
 
 impl Default for BisectionParams {
     fn default() -> Self {
-        Self { tolerance: 1e-13, max_iters: 200 }
+        Self {
+            tolerance: 1e-13,
+            max_iters: 200,
+        }
     }
 }
 
 /// Result of the bisection solver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BisectionSolution {
     /// The optimal allocation.
     pub alloc: Allocation,
@@ -101,7 +106,11 @@ pub fn solve_bisection(net: &LinearNetwork, params: BisectionParams) -> Bisectio
     // sums to exactly one.
     let m = net.last_index();
     cand.alloc[m] += cand.residual;
-    BisectionSolution { alloc: Allocation::new(cand.alloc), makespan: t, iterations }
+    BisectionSolution {
+        alloc: Allocation::new(cand.alloc),
+        makespan: t,
+        iterations,
+    }
 }
 
 #[cfg(test)]

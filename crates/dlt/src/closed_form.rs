@@ -10,7 +10,6 @@
 //!   `w̄* = (−z + √(z² + 4wz)) / 2`.
 
 use crate::model::Allocation;
-use serde::{Deserialize, Serialize};
 
 /// Optimal allocation of a 2-processor chain `(w0) --z1-- (w1)`:
 /// `α_0 = (w1 + z1) / (w0 + w1 + z1)`.
@@ -59,7 +58,7 @@ pub fn homogeneous_fixed_point(w: f64, z: f64) -> f64 {
 /// `n`-processor uniform chain for `n = 1 ..= max_n`. Decreases
 /// monotonically towards [`homogeneous_fixed_point`]; used by the E10
 /// experiment to show where adding processors stops paying.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaturationProfile {
     /// Processor rate `w`.
     pub w: f64,
@@ -83,7 +82,12 @@ pub fn saturation_profile(w: f64, z: f64, max_n: usize) -> SaturationProfile {
         w_bar = w * tail / (w + tail);
         profile.push(w_bar);
     }
-    SaturationProfile { w, z, profile, fixed_point: homogeneous_fixed_point(w, z) }
+    SaturationProfile {
+        w,
+        z,
+        profile,
+        fixed_point: homogeneous_fixed_point(w, z),
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +165,11 @@ mod tests {
         let prof = saturation_profile(1.3, 0.4, 12);
         for (k, &v) in prof.profile.iter().enumerate() {
             let net = LinearNetwork::homogeneous(k + 1, 1.3, 0.4);
-            assert!((linear::equivalent_time(&net) - v).abs() < 1e-12, "n={}", k + 1);
+            assert!(
+                (linear::equivalent_time(&net) - v).abs() < 1e-12,
+                "n={}",
+                k + 1
+            );
         }
     }
 }

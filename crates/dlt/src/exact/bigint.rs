@@ -97,7 +97,10 @@ impl BigUint {
 
     /// Subtraction; panics if `other > self`.
     pub fn sub(&self, other: &Self) -> Self {
-        assert!(self.cmp_mag(other) != Ordering::Less, "BigUint subtraction underflow");
+        assert!(
+            self.cmp_mag(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i64;
         for i in 0..self.limbs.len() {
@@ -249,7 +252,9 @@ impl BigUint {
         let mut v = self.clone();
         while !v.is_zero() {
             let (q, r) = v.div_rem(&ten);
-            digits.push(char::from(b'0' + r.limbs.first().copied().unwrap_or(0) as u8));
+            digits.push(char::from(
+                b'0' + r.limbs.first().copied().unwrap_or(0) as u8,
+            ));
             v = q;
         }
         digits.iter().rev().collect()
@@ -283,22 +288,32 @@ pub struct BigInt {
 impl BigInt {
     /// The value zero.
     pub fn zero() -> Self {
-        Self { sign: Sign::Zero, mag: BigUint::zero() }
+        Self {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        Self { sign: Sign::Positive, mag: BigUint::one() }
+        Self {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// Construct from an `i64`.
     pub fn from_i64(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Self::zero(),
-            Ordering::Greater => Self { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
-            Ordering::Less => {
-                Self { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
-            }
+            Ordering::Greater => Self {
+                sign: Sign::Positive,
+                mag: BigUint::from_u64(v as u64),
+            },
+            Ordering::Less => Self {
+                sign: Sign::Negative,
+                mag: BigUint::from_u64(v.unsigned_abs()),
+            },
         }
     }
 
@@ -342,8 +357,14 @@ impl BigInt {
     pub fn neg(&self) -> Self {
         match self.sign {
             Sign::Zero => Self::zero(),
-            Sign::Positive => Self { sign: Sign::Negative, mag: self.mag.clone() },
-            Sign::Negative => Self { sign: Sign::Positive, mag: self.mag.clone() },
+            Sign::Positive => Self {
+                sign: Sign::Negative,
+                mag: self.mag.clone(),
+            },
+            Sign::Negative => Self {
+                sign: Sign::Positive,
+                mag: self.mag.clone(),
+            },
         }
     }
 
@@ -352,11 +373,20 @@ impl BigInt {
         match (self.sign, other.sign) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => Self { sign: a, mag: self.mag.add(&other.mag) },
+            (a, b) if a == b => Self {
+                sign: a,
+                mag: self.mag.add(&other.mag),
+            },
             _ => match self.mag.cmp_mag(&other.mag) {
                 Ordering::Equal => Self::zero(),
-                Ordering::Greater => Self { sign: self.sign, mag: self.mag.sub(&other.mag) },
-                Ordering::Less => Self { sign: other.sign, mag: other.mag.sub(&self.mag) },
+                Ordering::Greater => Self {
+                    sign: self.sign,
+                    mag: self.mag.sub(&other.mag),
+                },
+                Ordering::Less => Self {
+                    sign: other.sign,
+                    mag: other.mag.sub(&self.mag),
+                },
             },
         }
     }
@@ -371,8 +401,15 @@ impl BigInt {
         if self.is_zero() || other.is_zero() {
             return Self::zero();
         }
-        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
-        Self { sign, mag: self.mag.mul(&other.mag) }
+        let sign = if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        Self {
+            sign,
+            mag: self.mag.mul(&other.mag),
+        }
     }
 
     /// Comparison.
@@ -557,7 +594,10 @@ mod tests {
 
     #[test]
     fn bigint_ordering() {
-        let vals: Vec<BigInt> = [-3i64, -1, 0, 2, 7].iter().map(|&v| BigInt::from_i64(v)).collect();
+        let vals: Vec<BigInt> = [-3i64, -1, 0, 2, 7]
+            .iter()
+            .map(|&v| BigInt::from_i64(v))
+            .collect();
         for w in vals.windows(2) {
             assert!(w[0] < w[1]);
         }

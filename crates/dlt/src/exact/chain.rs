@@ -22,8 +22,14 @@ impl ExactChain {
     pub fn new(w: Vec<Rational>, z: Vec<Rational>) -> Self {
         assert!(!w.is_empty());
         assert_eq!(w.len(), z.len() + 1);
-        assert!(w.iter().all(Rational::is_positive), "processor rates must be positive");
-        assert!(z.iter().all(|v| !v.is_negative()), "link rates must be non-negative");
+        assert!(
+            w.iter().all(Rational::is_positive),
+            "processor rates must be positive"
+        );
+        assert!(
+            z.iter().all(|v| !v.is_negative()),
+            "link rates must be non-negative"
+        );
         Self { w, z }
     }
 
@@ -93,7 +99,11 @@ pub fn solve(chain: &ExactChain) -> ExactSolution {
         alloc.push(carried.clone() * ah.clone());
         carried = carried * (one() - ah.clone());
     }
-    ExactSolution { local, alloc, equivalent }
+    ExactSolution {
+        local,
+        alloc,
+        equivalent,
+    }
 }
 
 /// Exact finish time of processor `i` per eqs. 2.1–2.2.

@@ -16,17 +16,26 @@ pub struct Rational {
 impl Rational {
     /// Zero.
     pub fn zero() -> Self {
-        Self { num: BigInt::zero(), den: BigUint::one() }
+        Self {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        Self { num: BigInt::one(), den: BigUint::one() }
+        Self {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// From an integer.
     pub fn from_int(v: i64) -> Self {
-        Self { num: BigInt::from_i64(v), den: BigUint::one() }
+        Self {
+            num: BigInt::from_i64(v),
+            den: BigUint::one(),
+        }
     }
 
     /// From a ratio of integers. Panics if `den == 0`.
@@ -51,7 +60,10 @@ impl Rational {
         }
         let (nm, _) = num.magnitude().div_rem(&g);
         let (dn, _) = den.div_rem(&g);
-        Self { num: BigInt::from_mag(num.sign(), nm), den: dn }
+        Self {
+            num: BigInt::from_mag(num.sign(), nm),
+            den: dn,
+        }
     }
 
     /// Numerator (signed, lowest terms).
@@ -108,8 +120,12 @@ impl Rational {
     /// Comparison.
     pub fn cmp_val(&self, other: &Self) -> Ordering {
         // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0)
-        let lhs = self.num.mul(&BigInt::from_mag(Sign::Positive, other.den.clone()));
-        let rhs = other.num.mul(&BigInt::from_mag(Sign::Positive, self.den.clone()));
+        let lhs = self
+            .num
+            .mul(&BigInt::from_mag(Sign::Positive, other.den.clone()));
+        let rhs = other
+            .num
+            .mul(&BigInt::from_mag(Sign::Positive, self.den.clone()));
         lhs.cmp_val(&rhs)
     }
 
@@ -159,7 +175,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: self.num.neg(), den: self.den }
+        Rational {
+            num: self.num.neg(),
+            den: self.den,
+        }
     }
 }
 

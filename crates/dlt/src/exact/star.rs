@@ -134,7 +134,10 @@ mod tests {
         let exact = solve(&star);
         let approx = f64star::solve(&star.to_f64_network());
         for i in 0..star.len() {
-            assert!((exact.alloc[i].to_f64() - approx.alloc.alpha(i)).abs() < 1e-12, "α_{i}");
+            assert!(
+                (exact.alloc[i].to_f64() - approx.alloc.alpha(i)).abs() < 1e-12,
+                "α_{i}"
+            );
         }
         assert!((exact.makespan.to_f64() - approx.makespan).abs() < 1e-12);
     }

@@ -14,17 +14,16 @@
 use crate::linear;
 use crate::model::{Allocation, LinearNetwork, Link, Processor, StarNetwork};
 use crate::star;
-use serde::{Deserialize, Serialize};
 
 /// A linear network with the load originating at an interior processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteriorNetwork {
     chain: LinearNetwork,
     root: usize,
 }
 
 /// Which arm the root serves first under the one-port constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceOrder {
     /// Left arm first, then right.
     LeftFirst,
@@ -72,7 +71,7 @@ impl InteriorNetwork {
 }
 
 /// Solution of the interior-origination problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteriorSolution {
     /// Global allocation in *physical* order `P_0 … P_m`.
     pub alloc: Allocation,

@@ -61,5 +61,7 @@ pub mod timing;
 pub mod tree;
 
 pub use linear::{solve as solve_linear, LinearSolution};
-pub use model::{Allocation, LinearNetwork, Link, LocalAllocation, Processor, StarNetwork, TreeNode};
+pub use model::{
+    Allocation, LinearNetwork, Link, LocalAllocation, Processor, StarNetwork, TreeNode,
+};
 pub use timing::{finish_time, finish_times, makespan, ChainSchedule};

@@ -13,11 +13,10 @@
 //! (Theorem 2.1) and is optimal for the linear cost model.
 
 use crate::model::{Allocation, LinearNetwork, LocalAllocation};
-use serde::{Deserialize, Serialize};
 
 /// The complete output of Algorithm 1: local fractions, global fractions and
 /// the per-prefix equivalent processing times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSolution {
     /// Local allocation `α̂` (fraction of received load retained by each
     /// processor; `α̂_m = 1`).
@@ -56,7 +55,11 @@ pub fn solve(net: &LinearNetwork) -> LinearSolution {
     }
     let local = LocalAllocation::new(alpha_hat);
     let alloc = local.to_global();
-    LinearSolution { local, alloc, equivalent: w_bar }
+    LinearSolution {
+        local,
+        alloc,
+        equivalent: w_bar,
+    }
 }
 
 /// The equivalent unit processing time `w̄` of an entire chain: the makespan
@@ -91,6 +94,43 @@ pub fn reduce_pair(w: f64, z: f64, w_next: f64) -> (f64, f64) {
 /// equivalent time of `P_{j-1} … P_m` under counterfactual bids.
 pub fn solve_suffix(net: &LinearNetwork, i: usize) -> LinearSolution {
     solve(&net.suffix(i))
+}
+
+/// The surviving chain after processor `dead` crash-stops: `P_dead` is
+/// removed and, when it was interior, the two links around it are fused
+/// into one of rate `z_dead + z_{dead+1}` — load bound for `P_{dead+1}`
+/// still physically traverses both hops (store-and-forward through the
+/// failed node's position), it just no longer stops there. When `P_dead`
+/// is the terminal processor the chain is simply truncated.
+///
+/// The fault-recovery protocol re-solves the allocation on this network.
+///
+/// # Panics
+/// Panics if `dead` is the root (`0`, obedient and assumed reliable) or out
+/// of range, or if removing the node would empty the chain.
+pub fn splice(net: &LinearNetwork, dead: usize) -> LinearNetwork {
+    let m = net.last_index();
+    assert!(
+        dead >= 1 && dead <= m,
+        "can only splice out a strategic processor, got {dead}"
+    );
+    assert!(net.len() > 1, "cannot splice the only processor out");
+    let mut w = Vec::with_capacity(net.len() - 1);
+    let mut z = Vec::with_capacity(net.len() - 2);
+    for i in 0..=m {
+        if i == dead {
+            continue;
+        }
+        w.push(net.w(i));
+        if i >= 1 {
+            z.push(if i == dead + 1 {
+                net.z(dead) + net.z(i)
+            } else {
+                net.z(i)
+            });
+        }
+    }
+    LinearNetwork::from_rates(&w, &z)
 }
 
 #[cfg(test)]
@@ -130,8 +170,13 @@ mod tests {
     fn solution_is_feasible() {
         let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
         let sol = solve(&net);
-        sol.alloc.validate().expect("solver output must be feasible");
-        assert!(sol.alloc.fractions().iter().all(|&a| a > 0.0), "all processors participate");
+        sol.alloc
+            .validate()
+            .expect("solver output must be feasible");
+        assert!(
+            sol.alloc.fractions().iter().all(|&a| a > 0.0),
+            "all processors participate"
+        );
     }
 
     #[test]
@@ -139,7 +184,10 @@ mod tests {
         let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0, 1.5], &[0.2, 0.1, 0.7, 0.05]);
         let sol = solve(&net);
         let spread = participation_spread(&net, &sol.alloc);
-        assert!(spread < 1e-12, "optimal solution must equalize finish times, spread={spread}");
+        assert!(
+            spread < 1e-12,
+            "optimal solution must equalize finish times, spread={spread}"
+        );
     }
 
     #[test]
@@ -224,6 +272,56 @@ mod tests {
         for t in times {
             assert!((t - sol.makespan()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn splice_interior_fuses_links() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
+        let spliced = splice(&net, 2);
+        assert_eq!(spliced.rates_w(), vec![1.0, 2.0, 4.0]);
+        // Link into the old P3 fuses z_2 + z_3 = 0.1 + 0.7.
+        assert_eq!(spliced.rates_z(), vec![0.2, 0.1 + 0.7]);
+    }
+
+    #[test]
+    fn splice_terminal_truncates() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
+        let spliced = splice(&net, 3);
+        assert_eq!(spliced.rates_w(), vec![1.0, 2.0, 0.5]);
+        assert_eq!(spliced.rates_z(), vec![0.2, 0.1]);
+    }
+
+    #[test]
+    fn splice_first_strategic_node() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5], &[0.2, 0.1]);
+        let spliced = splice(&net, 1);
+        assert_eq!(spliced.rates_w(), vec![1.0, 0.5]);
+        assert_eq!(spliced.rates_z(), vec![0.2 + 0.1]);
+    }
+
+    #[test]
+    fn spliced_chain_is_solvable_and_slower() {
+        // Losing a worker can only worsen (or keep) the equivalent time.
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0, 1.5], &[0.2, 0.1, 0.7, 0.05]);
+        let base = equivalent_time(&net);
+        for dead in 1..net.len() {
+            let spliced = splice(&net, dead);
+            let sol = solve(&spliced);
+            sol.alloc
+                .validate()
+                .expect("spliced solution must be feasible");
+            assert!(
+                equivalent_time(&spliced) >= base - EPSILON,
+                "removing P{dead} cannot speed the chain up"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strategic")]
+    fn splice_rejects_the_root() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0], &[0.2]);
+        splice(&net, 0);
     }
 
     #[test]

@@ -13,7 +13,6 @@
 //!   `P_i` that it retains for itself (the rest is forwarded).
 //! * `D_i` — the amount of load received by `P_i` (`D_0 = 1`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Numerical tolerance used by validators and equality checks on `f64`
@@ -24,7 +23,7 @@ pub const EPSILON: f64 = 1e-9;
 /// takes to compute one unit of load). `w` must be strictly positive and
 /// finite: a zero-time processor would absorb the entire load and break every
 /// closed form in the theory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Processor {
     /// Unit processing time (`w_i` in the paper). Smaller is faster.
     pub w: f64,
@@ -36,7 +35,10 @@ impl Processor {
     /// # Panics
     /// Panics if `w` is not strictly positive and finite.
     pub fn new(w: f64) -> Self {
-        assert!(w.is_finite() && w > 0.0, "processor rate must be positive and finite, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "processor rate must be positive and finite, got {w}"
+        );
         Self { w }
     }
 
@@ -49,7 +51,7 @@ impl Processor {
 
 /// A communication link characterized by its unit transmission time `z` (the
 /// time it takes to move one unit of load across the link).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Unit transmission time (`z_j` in the paper). Smaller is faster.
     pub z: f64,
@@ -62,7 +64,10 @@ impl Link {
     /// Panics if `z` is negative, NaN or infinite. `z == 0` (an infinitely
     /// fast link) is permitted; it models co-located processors.
     pub fn new(z: f64) -> Self {
-        assert!(z.is_finite() && z >= 0.0, "link rate must be non-negative and finite, got {z}");
+        assert!(
+            z.is_finite() && z >= 0.0,
+            "link rate must be non-negative and finite, got {z}"
+        );
         Self { z }
     }
 
@@ -82,7 +87,7 @@ impl Link {
 ///
 /// This is the network of Figure 1 in the paper. `links[j]` is `ℓ_{j+1}`,
 /// i.e. the link *into* `processors[j + 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearNetwork {
     processors: Vec<Processor>,
     links: Vec<Link>,
@@ -95,7 +100,10 @@ impl LinearNetwork {
     /// Panics if there are no processors or if `links.len() + 1 !=
     /// processors.len()`.
     pub fn new(processors: Vec<Processor>, links: Vec<Link>) -> Self {
-        assert!(!processors.is_empty(), "a network needs at least one processor");
+        assert!(
+            !processors.is_empty(),
+            "a network needs at least one processor"
+        );
         assert_eq!(
             links.len() + 1,
             processors.len(),
@@ -222,7 +230,7 @@ impl fmt::Display for LinearNetwork {
 ///
 /// The root distributes the children's shares sequentially (one-port model)
 /// in index order while computing its own share (front-end model).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarNetwork {
     root: Processor,
     children: Vec<(Link, Processor)>,
@@ -289,7 +297,7 @@ impl StarNetwork {
 /// A node of a tree network: a processor plus the links to its subtrees.
 /// The root of the whole tree originates the load. Children are served in
 /// the stored order (one-port, front-end semantics at every internal node).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeNode {
     /// The processor at this node.
     pub processor: Processor,
@@ -300,14 +308,20 @@ pub struct TreeNode {
 impl TreeNode {
     /// A leaf node.
     pub fn leaf(w: f64) -> Self {
-        Self { processor: Processor::new(w), children: Vec::new() }
+        Self {
+            processor: Processor::new(w),
+            children: Vec::new(),
+        }
     }
 
     /// An internal node with explicit children.
     pub fn internal(w: f64, children: Vec<(f64, TreeNode)>) -> Self {
         Self {
             processor: Processor::new(w),
-            children: children.into_iter().map(|(z, c)| (Link::new(z), c)).collect(),
+            children: children
+                .into_iter()
+                .map(|(z, c)| (Link::new(z), c))
+                .collect(),
         }
     }
 
@@ -318,7 +332,12 @@ impl TreeNode {
 
     /// Depth of the subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(|(_, c)| c.depth()).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(|(_, c)| c.depth())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Build a linear chain as a degenerate tree (each node has one child).
@@ -338,7 +357,7 @@ impl TreeNode {
 
 /// A load allocation: the fraction of the unit load assigned to each
 /// processor, in network order. Produced by every solver in this crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     fractions: Vec<f64>,
 }
@@ -467,7 +486,7 @@ impl std::error::Error for AllocationError {}
 /// The local allocation vector `α̂`: `α̂_i` is the fraction of the load
 /// *received* by `P_i` that it retains; the remainder `1 - α̂_i` is forwarded
 /// to its successor. `α̂_m = 1` always (the terminal processor keeps all).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalAllocation {
     fractions: Vec<f64>,
 }
@@ -621,19 +640,28 @@ mod tests {
     #[test]
     fn allocation_validate_rejects_negative() {
         let a = Allocation::new(vec![0.5, -0.3, 0.8]);
-        assert!(matches!(a.validate(), Err(AllocationError::Negative { index: 1, .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(AllocationError::Negative { index: 1, .. })
+        ));
     }
 
     #[test]
     fn allocation_validate_rejects_bad_total() {
         let a = Allocation::new(vec![0.5, 0.3]);
-        assert!(matches!(a.validate(), Err(AllocationError::BadTotal { .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(AllocationError::BadTotal { .. })
+        ));
     }
 
     #[test]
     fn allocation_validate_rejects_nan() {
         let a = Allocation::new(vec![f64::NAN, 1.0]);
-        assert!(matches!(a.validate(), Err(AllocationError::NotFinite { index: 0, .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(AllocationError::NotFinite { index: 0, .. })
+        ));
     }
 
     #[test]
@@ -649,7 +677,10 @@ mod tests {
     fn local_global_round_trip() {
         let a = Allocation::new(vec![0.4, 0.36, 0.24]);
         let local = a.to_local();
-        assert!((local.alpha_hat(2) - 1.0).abs() < EPSILON, "terminal keeps all");
+        assert!(
+            (local.alpha_hat(2) - 1.0).abs() < EPSILON,
+            "terminal keeps all"
+        );
         let back = local.to_global();
         for i in 0..3 {
             assert!((back.alpha(i) - a.alpha(i)).abs() < 1e-12);

@@ -25,10 +25,9 @@
 
 use crate::linear;
 use crate::model::{Allocation, LinearNetwork, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// Multi-installment schedule parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiRoundConfig {
     /// Number of installments `k ≥ 1`.
     pub rounds: usize,
@@ -41,7 +40,10 @@ impl MultiRoundConfig {
     pub fn new(rounds: usize, comm_startup: f64) -> Self {
         assert!(rounds >= 1);
         assert!(comm_startup >= 0.0);
-        Self { rounds, comm_startup }
+        Self {
+            rounds,
+            comm_startup,
+        }
     }
 }
 
@@ -140,7 +142,7 @@ pub fn optimize_allocation(net: &LinearNetwork, config: &MultiRoundConfig) -> (A
 }
 
 /// The computed multi-round schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiRoundSchedule {
     /// Exact makespan of the discrete pipelined schedule.
     pub makespan: f64,
@@ -163,14 +165,24 @@ pub fn schedule(net: &LinearNetwork, config: &MultiRoundConfig) -> MultiRoundSch
         optimize_allocation(net, config)
     };
     let compute_end = finish_times_with(net, config, &total_alloc);
-    MultiRoundSchedule { makespan, compute_end, total_alloc, rounds: config.rounds }
+    MultiRoundSchedule {
+        makespan,
+        compute_end,
+        total_alloc,
+        rounds: config.rounds,
+    }
 }
 
 /// Makespan as a function of `k` over `1..=max_rounds` — the U-curve data
 /// series.
 pub fn round_sweep(net: &LinearNetwork, comm_startup: f64, max_rounds: usize) -> Vec<(usize, f64)> {
     (1..=max_rounds)
-        .map(|k| (k, schedule(net, &MultiRoundConfig::new(k, comm_startup)).makespan))
+        .map(|k| {
+            (
+                k,
+                schedule(net, &MultiRoundConfig::new(k, comm_startup)).makespan,
+            )
+        })
         .collect()
 }
 
@@ -228,7 +240,10 @@ mod tests {
             let single_split = linear::solve(&net).alloc;
             let naive = makespan_with(&net, &cfg, &single_split);
             let (_, optimized) = optimize_allocation(&net, &cfg);
-            assert!(optimized <= naive + 1e-9, "k={k}: {optimized} vs naive {naive}");
+            assert!(
+                optimized <= naive + 1e-9,
+                "k={k}: {optimized} vs naive {naive}"
+            );
         }
     }
 
@@ -283,7 +298,10 @@ mod tests {
         let fast = LinearNetwork::from_rates(&[1.0, 1.0, 1.0, 1.0], &[0.01, 0.01, 0.01]);
         let k1 = schedule(&fast, &MultiRoundConfig::new(1, 0.0)).makespan;
         let k8 = schedule(&fast, &MultiRoundConfig::new(8, 0.0)).makespan;
-        assert!((k1 - k8) / k1 < 0.05, "gain should be marginal: {k1} vs {k8}");
+        assert!(
+            (k1 - k8) / k1 < 0.05,
+            "gain should be marginal: {k1} vs {k8}"
+        );
     }
 
     #[test]

@@ -15,10 +15,9 @@
 use crate::linear;
 use crate::model::{Allocation, LinearNetwork};
 use crate::timing::makespan;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a perturbation probe.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbeReport {
     /// Number of perturbations attempted.
     pub attempts: usize,
@@ -71,12 +70,16 @@ pub fn perturbation_probe(
             best_delta = best_delta.min(d);
         }
     }
-    ProbeReport { attempts, improvements, best_delta }
+    ProbeReport {
+        attempts,
+        improvements,
+        best_delta,
+    }
 }
 
 /// Comparative statics of a single bid change: how processor `i`'s assigned
 /// load and the chain's equivalent time respond when `w_i` is replaced.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BidResponse {
     /// Assigned fraction at the original rate.
     pub alpha_before: f64,
@@ -152,8 +155,14 @@ mod tests {
         let net = sample();
         for i in 0..net.len() {
             let r = bid_response(&net, i, net.w(i) * 2.0);
-            assert!(r.alpha_after <= r.alpha_before + 1e-12, "P_{i} load must not grow");
-            assert!(r.makespan_after >= r.makespan_before - 1e-12, "makespan must not shrink");
+            assert!(
+                r.alpha_after <= r.alpha_before + 1e-12,
+                "P_{i} load must not grow"
+            );
+            assert!(
+                r.makespan_after >= r.makespan_before - 1e-12,
+                "makespan must not shrink"
+            );
         }
     }
 
@@ -172,7 +181,10 @@ mod tests {
         let net = sample();
         for i in 0..net.len() {
             for (lo, hi) in [(0.5, 1.0), (1.0, 3.0), (0.1, 10.0)] {
-                assert!(monotonicity(&net, i, lo, hi, 1e-12), "P_{i} lo={lo} hi={hi}");
+                assert!(
+                    monotonicity(&net, i, lo, hi, 1e-12),
+                    "P_{i} lo={lo} hi={hi}"
+                );
             }
         }
     }

@@ -18,11 +18,10 @@
 
 use crate::linear;
 use crate::model::{LinearNetwork, Link, Processor};
-use serde::{Deserialize, Serialize};
 
 /// One step in a reduction trace: processors `index` and `index + 1` of the
 /// *current* (partially reduced) chain were collapsed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReductionStep {
     /// Index of the front processor of the collapsed pair within the chain
     /// as it existed before this step.
@@ -37,7 +36,7 @@ pub struct ReductionStep {
 
 /// A full reduction trace from an `n`-processor chain down to a single
 /// equivalent processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReductionTrace {
     /// The original network.
     pub original: LinearNetwork,
@@ -68,7 +67,12 @@ pub fn collapse_last_pair(net: &LinearNetwork) -> ReductionStep {
     let mut processors: Vec<Processor> = net.processors()[..i].to_vec();
     processors.push(Processor::new(w_bar));
     let links: Vec<Link> = net.links()[..i].to_vec();
-    ReductionStep { index: i, alpha_hat, w_bar, network: LinearNetwork::new(processors, links) }
+    ReductionStep {
+        index: i,
+        alpha_hat,
+        w_bar,
+        network: LinearNetwork::new(processors, links),
+    }
 }
 
 /// Reduce the whole chain to a single equivalent processor, recording every
@@ -81,7 +85,10 @@ pub fn reduce_fully(net: &LinearNetwork) -> ReductionTrace {
         current = step.network.clone();
         steps.push(step);
     }
-    ReductionTrace { original: net.clone(), steps }
+    ReductionTrace {
+        original: net.clone(),
+        steps,
+    }
 }
 
 /// Replace the suffix `P_i … P_m` of the chain by a single equivalent
@@ -177,7 +184,10 @@ mod tests {
     fn collapse_suffix_preserves_prefix_allocation() {
         let net = sample();
         for i in 0..net.len() {
-            assert!(reduction_preserves_prefix_allocation(&net, i, 1e-12), "suffix {i}");
+            assert!(
+                reduction_preserves_prefix_allocation(&net, i, 1e-12),
+                "suffix {i}"
+            );
         }
     }
 
@@ -198,7 +208,10 @@ mod tests {
         for cut in 1..net.len() {
             let partial = collapse_suffix(&net, cut);
             let via_cut = reduce_fully(&partial).equivalent_time();
-            assert!((direct - via_cut).abs() < 1e-12, "cut={cut}: {direct} vs {via_cut}");
+            assert!(
+                (direct - via_cut).abs() < 1e-12,
+                "cut={cut}: {direct} vs {via_cut}"
+            );
         }
     }
 

@@ -21,7 +21,6 @@
 
 use crate::model::StarNetwork;
 use crate::star;
-use serde::{Deserialize, Serialize};
 
 /// Evaluate the optimal equal-finish makespan of a star when children are
 /// served in the given order (indices into `net.children()`).
@@ -42,7 +41,7 @@ pub fn ascending_link_order(net: &StarNetwork) -> Vec<usize> {
 }
 
 /// Result of the exhaustive order search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderSearch {
     /// The best order found.
     pub best_order: Vec<usize>,
@@ -58,7 +57,10 @@ pub struct OrderSearch {
 /// factorial blowup).
 pub fn exhaustive_best_order(net: &StarNetwork) -> OrderSearch {
     let m = net.children().len();
-    assert!(m <= 9, "exhaustive search is factorial; m = {m} is too large");
+    assert!(
+        m <= 9,
+        "exhaustive search is factorial; m = {m} is too large"
+    );
     let mut order: Vec<usize> = (0..m).collect();
     let mut best_order = order.clone();
     let mut best = f64::INFINITY;
@@ -73,7 +75,12 @@ pub fn exhaustive_best_order(net: &StarNetwork) -> OrderSearch {
         }
         worst = worst.max(ms);
     });
-    OrderSearch { best_order, best_makespan: best, worst_makespan: worst, evaluated }
+    OrderSearch {
+        best_order,
+        best_makespan: best,
+        worst_makespan: worst,
+        evaluated,
+    }
 }
 
 fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {

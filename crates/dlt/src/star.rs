@@ -16,10 +16,9 @@
 //! `α_0 w_0 = α_1 (z_1 + w_1)`, then normalized to sum to one.
 
 use crate::model::{Allocation, StarNetwork, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// Solution of the star scheduling problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarSolution {
     /// Global allocation: index 0 is the root, then children in
     /// distribution order.
@@ -42,7 +41,10 @@ pub fn solve(net: &StarNetwork) -> StarSolution {
     let total: f64 = raw.iter().sum();
     let fractions: Vec<f64> = raw.iter().map(|r| r / total).collect();
     let makespan = fractions[0] * net.root().w;
-    StarSolution { alloc: Allocation::new(fractions), makespan }
+    StarSolution {
+        alloc: Allocation::new(fractions),
+        makespan,
+    }
 }
 
 /// Finish times of every processor in the star under an arbitrary

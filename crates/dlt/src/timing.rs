@@ -8,7 +8,6 @@
 //! link `ℓ_j` takes `D_j · z_j`.
 
 use crate::model::{Allocation, LinearNetwork, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// The finish time `T_i(α)` of processor `P_i` per eqs. 2.1–2.2:
 ///
@@ -79,7 +78,7 @@ pub fn participation_spread(net: &LinearNetwork, alloc: &Allocation) -> f64 {
 }
 
 /// One activity interval on a processor or link in the analytic schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Start time.
     pub start: f64,
@@ -90,7 +89,10 @@ pub struct Interval {
 impl Interval {
     /// Construct an interval; panics if `end < start` beyond tolerance.
     pub fn new(start: f64, end: f64) -> Self {
-        assert!(end >= start - EPSILON, "interval ends before it starts: [{start}, {end}]");
+        assert!(
+            end >= start - EPSILON,
+            "interval ends before it starts: [{start}, {end}]"
+        );
         Self { start, end }
     }
 
@@ -110,7 +112,7 @@ impl Interval {
 /// receives, computes, and forwards. This is the analytic counterpart of the
 /// Gantt chart in Figure 2; the discrete-event simulator in the `sim` crate
 /// must reproduce it exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorSchedule {
     /// Receiving interval on the inbound link (`None` for the root, which
     /// originates the load).
@@ -127,7 +129,7 @@ pub struct ProcessorSchedule {
 }
 
 /// The full analytic schedule of a chain execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainSchedule {
     /// Per-processor activities, root first.
     pub processors: Vec<ProcessorSchedule>,
@@ -156,7 +158,11 @@ impl ChainSchedule {
                 Some(Interval::new(start, recv_end))
             };
             let compute = Interval::new(recv_end, recv_end + alloc.alpha(i) * net.w(i));
-            let forwarded = if i < m { received[i] - alloc.alpha(i) } else { 0.0 };
+            let forwarded = if i < m {
+                received[i] - alloc.alpha(i)
+            } else {
+                0.0
+            };
             let send = if i < m && forwarded > EPSILON {
                 let dur = forwarded * net.z(i + 1);
                 Some(Interval::new(recv_end, recv_end + dur))
@@ -176,11 +182,11 @@ impl ChainSchedule {
                 forwarded,
             });
         }
-        let makespan = processors
-            .iter()
-            .map(|p| p.compute.end)
-            .fold(0.0, f64::max);
-        Self { processors, makespan }
+        let makespan = processors.iter().map(|p| p.compute.end).fold(0.0, f64::max);
+        Self {
+            processors,
+            makespan,
+        }
     }
 
     /// Check internal consistency of the schedule against the closed-form
@@ -304,7 +310,10 @@ mod tests {
         let sched = ChainSchedule::analytic(&net, &alloc);
         for p in &sched.processors[1..] {
             let r = p.receive.expect("non-root receives");
-            assert!(p.compute.start >= r.end - EPSILON, "compute cannot precede full receipt");
+            assert!(
+                p.compute.start >= r.end - EPSILON,
+                "compute cannot precede full receipt"
+            );
         }
     }
 

@@ -12,10 +12,9 @@
 
 use crate::model::{Link, Processor, StarNetwork, TreeNode, EPSILON};
 use crate::star;
-use serde::{Deserialize, Serialize};
 
 /// Per-node solution of the tree problem, mirroring the input tree's shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeSolution {
     /// Load fraction retained by this node's processor.
     pub alpha: f64,
@@ -67,7 +66,10 @@ pub fn canonicalize(node: &TreeNode) -> TreeNode {
         .map(|(l, c)| (*l, canonicalize(c)))
         .collect();
     children.sort_by(|a, b| a.0.z.total_cmp(&b.0.z));
-    TreeNode { processor: node.processor, children }
+    TreeNode {
+        processor: node.processor,
+        children,
+    }
 }
 
 /// Compute the equivalent unit processing time of a subtree by bottom-up
@@ -171,7 +173,11 @@ mod tests {
         let star_net = StarNetwork::from_rates(&[1.0, 2.0, 0.7, 3.0], &[0.1, 0.4, 0.2]);
         let tree = TreeNode::internal(
             1.0,
-            vec![(0.1, TreeNode::leaf(2.0)), (0.4, TreeNode::leaf(0.7)), (0.2, TreeNode::leaf(3.0))],
+            vec![
+                (0.1, TreeNode::leaf(2.0)),
+                (0.4, TreeNode::leaf(0.7)),
+                (0.2, TreeNode::leaf(3.0)),
+            ],
         );
         let tsol = solve(&tree);
         let ssol = star::solve(&star_net);
@@ -186,8 +192,20 @@ mod tests {
         let tree = TreeNode::internal(
             1.0,
             vec![
-                (0.2, TreeNode::internal(1.5, vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))])),
-                (0.2, TreeNode::internal(1.5, vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))])),
+                (
+                    0.2,
+                    TreeNode::internal(
+                        1.5,
+                        vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))],
+                    ),
+                ),
+                (
+                    0.2,
+                    TreeNode::internal(
+                        1.5,
+                        vec![(0.3, TreeNode::leaf(2.0)), (0.3, TreeNode::leaf(2.0))],
+                    ),
+                ),
             ],
         );
         let sol = solve(&tree);

@@ -118,13 +118,7 @@ fn workloads_free_tree(net: &LinearNetwork, fanout: usize) -> dlt::model::TreeNo
     use dlt::model::{Link, TreeNode};
     let n = net.len();
     let links = net.rates_z();
-    fn build(
-        i: usize,
-        n: usize,
-        fanout: usize,
-        net: &LinearNetwork,
-        links: &[f64],
-    ) -> TreeNode {
+    fn build(i: usize, n: usize, fanout: usize, net: &LinearNetwork, links: &[f64]) -> TreeNode {
         let mut children = Vec::new();
         for k in 1..=fanout {
             let c = i * fanout + k;
@@ -133,7 +127,10 @@ fn workloads_free_tree(net: &LinearNetwork, fanout: usize) -> dlt::model::TreeNo
                 children.push((Link::new(z), build(c, n, fanout, net, links)));
             }
         }
-        TreeNode { processor: net.processors()[i], children }
+        TreeNode {
+            processor: net.processors()[i],
+            children,
+        }
     }
     build(0, n, fanout, net, &links)
 }

@@ -11,10 +11,8 @@
 //! * an **actual load** `α̃_i` — how much of its prescribed assignment it
 //!   really retains (shedding pushes the remainder onto its successor).
 
-use serde::{Deserialize, Serialize};
-
 /// A strategic agent's private type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Agent {
     /// True unit processing time `t_i` (private).
     pub true_rate: f64,
@@ -44,7 +42,7 @@ impl Agent {
 }
 
 /// What an agent declares and does in one round of the mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Conduct {
     /// Declared unit processing time `w_i`.
     pub bid: f64,
@@ -59,7 +57,11 @@ impl Conduct {
     /// Fully truthful conduct for an agent: bid the true rate, execute at
     /// full capacity, take the prescribed load.
     pub fn truthful(agent: Agent) -> Self {
-        Self { bid: agent.true_rate, actual_rate: agent.true_rate, actual_load: None }
+        Self {
+            bid: agent.true_rate,
+            actual_rate: agent.true_rate,
+            actual_load: None,
+        }
     }
 
     /// Misreport the rate by `factor` (>1 overbids/slower, <1 underbids),
@@ -68,7 +70,11 @@ impl Conduct {
     pub fn misreport(agent: Agent, factor: f64) -> Self {
         assert!(factor > 0.0);
         let bid = agent.true_rate * factor;
-        Self { bid, actual_rate: agent.feasible_actual(bid.min(agent.true_rate)), actual_load: None }
+        Self {
+            bid,
+            actual_rate: agent.feasible_actual(bid.min(agent.true_rate)),
+            actual_load: None,
+        }
     }
 
     /// Bid truthfully but execute slower than capacity (`w̃ = t·factor`,
@@ -132,7 +138,11 @@ mod tests {
     #[test]
     fn infeasible_conduct_detected() {
         let a = Agent::new(2.0);
-        let c = Conduct { bid: 2.0, actual_rate: 1.0, actual_load: None };
+        let c = Conduct {
+            bid: 2.0,
+            actual_rate: 1.0,
+            actual_load: None,
+        };
         assert!(!c.is_feasible(a), "cannot compute faster than hardware");
     }
 

@@ -28,7 +28,6 @@
 use dlt::linear;
 use dlt::model::{LinearNetwork, StarNetwork};
 use dlt::star;
-use serde::{Deserialize, Serialize};
 
 /// A one-parameter allocation rule over `m` strategic agents.
 pub trait AllocationRule {
@@ -39,7 +38,7 @@ pub trait AllocationRule {
 }
 
 /// The chain rule: Algorithm 1 over (obedient root, strategic `P_1…P_m`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainRule {
     /// Root rate `w_0`.
     pub root_rate: f64,
@@ -63,7 +62,7 @@ impl AllocationRule for ChainRule {
 
 /// The star rule: sequential-distribution star (bus = uniform links) over
 /// (obedient root, strategic children) — the substrate of \[14\].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarRule {
     /// Root rate.
     pub root_rate: f64,
@@ -74,7 +73,10 @@ pub struct StarRule {
 impl StarRule {
     /// A bus: all children share one link rate.
     pub fn bus(root_rate: f64, children: usize, bus_rate: f64) -> Self {
-        Self { root_rate, link_rates: vec![bus_rate; children] }
+        Self {
+            root_rate,
+            link_rates: vec![bus_rate; children],
+        }
     }
 }
 
@@ -103,7 +105,7 @@ pub struct ArcherTardos<R: AllocationRule> {
 }
 
 /// Outcome for one agent under Archer–Tardos.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtOutcome {
     /// Assigned load `α_j`.
     pub load: f64,
@@ -117,7 +119,11 @@ impl<R: AllocationRule> ArcherTardos<R> {
     /// Create the mechanism. Bids outside `(0, w_max]` are rejected.
     pub fn new(rule: R, w_max: f64) -> Self {
         assert!(w_max > 0.0);
-        Self { rule, w_max, panels: 256 }
+        Self {
+            rule,
+            w_max,
+            panels: 256,
+        }
     }
 
     /// Access the rule.
@@ -127,7 +133,11 @@ impl<R: AllocationRule> ArcherTardos<R> {
 
     /// `∫_{a}^{w_max} α_j(b_{-j}, u) du` by composite Simpson.
     fn rebate(&self, bids: &[f64], j: usize, a: f64) -> f64 {
-        assert!(a <= self.w_max, "bid {a} above the admissible space {}", self.w_max);
+        assert!(
+            a <= self.w_max,
+            "bid {a} above the admissible space {}",
+            self.w_max
+        );
         let n = self.panels;
         let h = (self.w_max - a) / n as f64;
         if h <= 0.0 {
@@ -150,10 +160,17 @@ impl<R: AllocationRule> ArcherTardos<R> {
     pub fn settle(&self, bids: &[f64], j: usize, true_rate: f64) -> AtOutcome {
         assert!(j >= 1 && j <= self.rule.num_agents());
         let b_j = bids[j - 1];
-        assert!(b_j > 0.0 && b_j <= self.w_max, "bid outside the admissible space");
+        assert!(
+            b_j > 0.0 && b_j <= self.w_max,
+            "bid outside the admissible space"
+        );
         let load = self.rule.load(bids, j);
         let payment = b_j * load + self.rebate(bids, j, b_j);
-        AtOutcome { load, payment, utility: payment - load * true_rate }
+        AtOutcome {
+            load,
+            payment,
+            utility: payment - load * true_rate,
+        }
     }
 
     /// Utility-vs-bid sweep for agent `j`, others fixed.
@@ -192,7 +209,10 @@ mod tests {
     use super::*;
 
     fn chain_rule() -> ChainRule {
-        ChainRule { root_rate: 1.0, link_rates: vec![0.2, 0.1, 0.7] }
+        ChainRule {
+            root_rate: 1.0,
+            link_rates: vec![0.2, 0.1, 0.7],
+        }
     }
 
     fn grid() -> Vec<f64> {
@@ -210,7 +230,10 @@ mod tests {
 
     #[test]
     fn star_rule_is_monotone() {
-        let rule = StarRule { root_rate: 1.0, link_rates: vec![0.2, 0.3, 0.1] };
+        let rule = StarRule {
+            root_rate: 1.0,
+            link_rates: vec![0.2, 0.3, 0.1],
+        };
         let bids = [1.5, 0.7, 2.5];
         for j in 1..=3 {
             assert!(is_monotone(&rule, &bids, j, &grid()), "agent {j}");
@@ -299,6 +322,9 @@ mod tests {
                 any_diff = true;
             }
         }
-        assert!(any_diff, "expected the two payment schemes to disagree somewhere");
+        assert!(
+            any_diff,
+            "expected the two payment schemes to disagree somewhere"
+        );
     }
 }

@@ -9,10 +9,9 @@
 //! machinery) lives in the `protocol` crate.
 
 use crate::fines::FineSchedule;
-use serde::{Deserialize, Serialize};
 
 /// Expected-value analysis of one overcharge attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverchargeAnalysis {
     /// The amount by which the bill was inflated.
     pub overcharge: f64,
@@ -33,7 +32,12 @@ pub fn analyze_overcharge(schedule: &FineSchedule, overcharge: f64) -> Overcharg
     // With prob (1-q): keep the overcharge. With prob q: caught — the bill
     // is rejected (no overcharge collected) and the fine is levied.
     let expected_gain = (1.0 - q) * overcharge - q * fine;
-    OverchargeAnalysis { overcharge, audit_probability: q, fine_if_caught: fine, expected_gain }
+    OverchargeAnalysis {
+        overcharge,
+        audit_probability: q,
+        fine_if_caught: fine,
+        expected_gain,
+    }
 }
 
 /// The largest overcharge with non-negative expected gain:
@@ -68,7 +72,10 @@ mod tests {
         let schedule = FineSchedule::new(10.0, 0.2);
         for overcharge in [0.1, 1.0, 5.0, 9.9] {
             let a = analyze_overcharge(&schedule, overcharge);
-            assert!(a.expected_gain < 0.0, "overcharge {overcharge} should not pay");
+            assert!(
+                a.expected_gain < 0.0,
+                "overcharge {overcharge} should not pay"
+            );
         }
     }
 
@@ -99,7 +106,10 @@ mod tests {
 
     #[test]
     fn certain_audit_deters_everything() {
-        assert_eq!(break_even_overcharge(&FineSchedule::new(1.0, 1.0)), f64::INFINITY);
+        assert_eq!(
+            break_even_overcharge(&FineSchedule::new(1.0, 1.0)),
+            f64::INFINITY
+        );
         let a = analyze_overcharge(&FineSchedule::new(1.0, 1.0), 100.0);
         assert!(a.expected_gain < 0.0);
     }

@@ -27,10 +27,9 @@ use crate::agent::{Agent, Conduct};
 use crate::payment::{self, PaymentBreakdown, PaymentInputs};
 use dlt::interior::{InteriorNetwork, ServiceOrder};
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// Which arm an agent sits in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arm {
     /// Towards `P_0`.
     Left,
@@ -39,7 +38,7 @@ pub enum Arm {
 }
 
 /// The interior-origination mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlsInterior {
     /// Obedient root rate.
     pub root_rate: f64,
@@ -51,7 +50,7 @@ pub struct DlsInterior {
 }
 
 /// Outcome for one strategic agent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InteriorAgentOutcome {
     /// The arm.
     pub arm: Arm,
@@ -64,7 +63,7 @@ pub struct InteriorAgentOutcome {
 }
 
 /// Settled outcome of a round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteriorOutcome {
     /// Left-arm agents, root-outward.
     pub left: Vec<InteriorAgentOutcome>,
@@ -97,7 +96,11 @@ impl DlsInterior {
             !left_links.is_empty() && !right_links.is_empty(),
             "interior origination needs both arms; use DlsLbl for boundary origination"
         );
-        Self { root_rate, left_links, right_links }
+        Self {
+            root_rate,
+            left_links,
+            right_links,
+        }
     }
 
     /// The bid-independent service order: the arm behind the faster first
@@ -299,11 +302,17 @@ mod tests {
         // root as the arm head's predecessor.
         let (mech, l, r) = setup();
         let out = mech.settle_truthful(&l, &r);
-        let arm_net = mech.arm_network(Arm::Right, &r.iter().map(|a| a.true_rate).collect::<Vec<_>>());
+        let arm_net = mech.arm_network(
+            Arm::Right,
+            &r.iter().map(|a| a.true_rate).collect::<Vec<_>>(),
+        );
         let sol = linear::solve(&arm_net);
         for p in 1..=3 {
             let expected = arm_net.w(p - 1) - sol.equivalent[p - 1];
-            assert!((out.utility(Arm::Right, p) - expected).abs() < 1e-9, "position {p}");
+            assert!(
+                (out.utility(Arm::Right, p) - expected).abs() < 1e-9,
+                "position {p}"
+            );
         }
     }
 

@@ -11,10 +11,9 @@ use crate::agent::{Agent, Conduct};
 use crate::payment::{self, PaymentBreakdown, PaymentInputs};
 use dlt::linear::{self, LinearSolution};
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MechanismConfig {
     /// The link rates `z_1 … z_m` are public infrastructure (the links are
     /// obedient per §4); processors only bid their `w`.
@@ -23,12 +22,14 @@ pub struct MechanismConfig {
 
 impl Default for MechanismConfig {
     fn default() -> Self {
-        Self { solution_bonus: 0.0 }
+        Self {
+            solution_bonus: 0.0,
+        }
     }
 }
 
 /// The mechanism instance for a chain with known (obedient) link rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlsLbl {
     /// Unit link times `z_1 … z_m`.
     pub link_rates: Vec<f64>,
@@ -39,7 +40,7 @@ pub struct DlsLbl {
 }
 
 /// The settled outcome for one strategic processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgentOutcome {
     /// Prescribed assignment `α_j` under the bids.
     pub assigned_load: f64,
@@ -52,7 +53,7 @@ pub struct AgentOutcome {
 }
 
 /// The settled outcome of one round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
     /// The bid-derived network (root + declared rates).
     pub bid_network: LinearNetwork,
@@ -80,8 +81,15 @@ impl DlsLbl {
     /// Create a mechanism for a chain whose links have the given rates and
     /// whose root (P_0, obedient) has rate `root_rate`.
     pub fn new(root_rate: f64, link_rates: Vec<f64>) -> Self {
-        assert!(!link_rates.is_empty(), "need at least one strategic processor");
-        Self { link_rates, root_rate, config: MechanismConfig::default() }
+        assert!(
+            !link_rates.is_empty(),
+            "need at least one strategic processor"
+        );
+        Self {
+            link_rates,
+            root_rate,
+            config: MechanismConfig::default(),
+        }
     }
 
     /// Builder: enable the eq. 4.13 solution bonus.
@@ -99,7 +107,11 @@ impl DlsLbl {
     /// The output function `α(w)`: assemble the bid network and run
     /// Algorithm 1.
     pub fn allocate(&self, bids: &[f64]) -> (LinearNetwork, LinearSolution) {
-        assert_eq!(bids.len(), self.num_agents(), "one bid per strategic processor");
+        assert_eq!(
+            bids.len(),
+            self.num_agents(),
+            "one bid per strategic processor"
+        );
         let mut w = Vec::with_capacity(bids.len() + 1);
         w.push(self.root_rate);
         w.extend_from_slice(bids);
@@ -117,7 +129,11 @@ impl DlsLbl {
         assert_eq!(conducts.len(), self.num_agents());
         let bids: Vec<f64> = conducts.iter().map(|c| c.bid).collect();
         let (net, sol) = self.allocate(&bids);
-        let s = if solution_found { self.config.solution_bonus } else { 0.0 };
+        let s = if solution_found {
+            self.config.solution_bonus
+        } else {
+            0.0
+        };
         let agents = conducts
             .iter()
             .enumerate()
@@ -138,7 +154,12 @@ impl DlsLbl {
                 }
             })
             .collect();
-        RoundOutcome { root_load: sol.alloc.alpha(0), bid_network: net, solution: sol, agents }
+        RoundOutcome {
+            root_load: sol.alloc.alpha(0),
+            bid_network: net,
+            solution: sol,
+            agents,
+        }
     }
 
     /// Settle with every agent truthful — the benchmark point of the
@@ -165,7 +186,10 @@ mod tests {
     fn allocate_matches_direct_solver() {
         let mech = mechanism();
         let (net, sol) = mech.allocate(&[2.0, 0.5, 4.0]);
-        let direct = linear::solve(&LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]));
+        let direct = linear::solve(&LinearNetwork::from_rates(
+            &[1.0, 2.0, 0.5, 4.0],
+            &[0.2, 0.1, 0.7],
+        ));
         assert_eq!(net.len(), 4);
         for i in 0..4 {
             assert!((sol.alloc.alpha(i) - direct.alloc.alpha(i)).abs() < 1e-15);
@@ -177,7 +201,10 @@ mod tests {
         let mech = mechanism();
         let outcome = mech.settle_truthful(&agents());
         for j in 1..=3 {
-            assert!(outcome.utility(j) >= 0.0, "voluntary participation violated at P{j}");
+            assert!(
+                outcome.utility(j) >= 0.0,
+                "voluntary participation violated at P{j}"
+            );
         }
     }
 
@@ -207,7 +234,8 @@ mod tests {
     fn loads_partition_the_unit() {
         let mech = mechanism();
         let outcome = mech.settle_truthful(&agents());
-        let total: f64 = outcome.root_load + outcome.agents.iter().map(|a| a.assigned_load).sum::<f64>();
+        let total: f64 =
+            outcome.root_load + outcome.agents.iter().map(|a| a.assigned_load).sum::<f64>();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

@@ -24,19 +24,18 @@ use crate::agent::{Agent, Conduct};
 use crate::payment::{compensation, recompense, valuation};
 use dlt::model::{Link, Processor, StarNetwork, TreeNode};
 use dlt::{star, tree};
-use serde::{Deserialize, Serialize};
 
 /// The shape of the network: processor rates at non-root nodes are
 /// *placeholders* (replaced by bids); the root's rate and all link rates
 /// are trusted infrastructure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeMechanism {
     shape: TreeNode,
     agents: usize,
 }
 
 /// Per-agent outcome of a tree settlement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeAgentOutcome {
     /// Preorder index of the node (1-based among non-root nodes).
     pub agent: usize,
@@ -53,7 +52,7 @@ pub struct TreeAgentOutcome {
 }
 
 /// Settled outcome of one tree round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeOutcome {
     /// Per-agent outcomes in preorder (index 0 is agent 1).
     pub agents: Vec<TreeAgentOutcome>,
@@ -106,7 +105,10 @@ impl TreeMechanism {
     pub fn chain(root_rate: f64, link_rates: &[f64]) -> Self {
         let mut node = TreeNode::leaf(1.0);
         for &z in link_rates.iter().skip(1).rev() {
-            node = TreeNode { processor: Processor::new(1.0), children: vec![(Link::new(z), node)] };
+            node = TreeNode {
+                processor: Processor::new(1.0),
+                children: vec![(Link::new(z), node)],
+            };
         }
         let root = TreeNode {
             processor: Processor::new(root_rate),
@@ -117,9 +119,14 @@ impl TreeMechanism {
 
     /// A star/bus as a depth-1 tree.
     pub fn star(root_rate: f64, link_rates: &[f64]) -> Self {
-        let children =
-            link_rates.iter().map(|&z| (Link::new(z), TreeNode::leaf(1.0))).collect();
-        Self::new(TreeNode { processor: Processor::new(root_rate), children })
+        let children = link_rates
+            .iter()
+            .map(|&z| (Link::new(z), TreeNode::leaf(1.0)))
+            .collect();
+        Self::new(TreeNode {
+            processor: Processor::new(root_rate),
+            children,
+        })
     }
 
     /// Number of strategic agents.
@@ -144,7 +151,10 @@ impl TreeMechanism {
                 .iter()
                 .map(|(l, c)| (*l, rebuild(c, bids, next, false)))
                 .collect();
-            TreeNode { processor: Processor::new(rate), children }
+            TreeNode {
+                processor: Processor::new(rate),
+                children,
+            }
         }
         let mut next = 0;
         let out = rebuild(&self.shape, bids, &mut next, true);
@@ -170,7 +180,11 @@ impl TreeMechanism {
                 rate: node.processor.w,
                 equivalent: tree::equivalent_time(node),
                 assigned: sol.alpha,
-                alpha_hat: if sol.received > 1e-300 { sol.alpha / sol.received } else { 1.0 },
+                alpha_hat: if sol.received > 1e-300 {
+                    sol.alpha / sol.received
+                } else {
+                    1.0
+                },
                 leaf: node.children.is_empty(),
                 children: Vec::new(),
             });
@@ -199,12 +213,7 @@ impl TreeMechanism {
     /// The realized equivalent time of parent `p`'s local star when child
     /// `j`'s branch is re-timed to `w_hat_j`, all split fractions fixed by
     /// the bids.
-    fn realized_parent_equivalent(
-        infos: &[NodeInfo],
-        p: usize,
-        j: usize,
-        w_hat_j: f64,
-    ) -> f64 {
+    fn realized_parent_equivalent(infos: &[NodeInfo], p: usize, j: usize, w_hat_j: f64) -> f64 {
         let parent = &infos[p];
         let star_net = StarNetwork::new(
             Processor::new(parent.rate),
@@ -266,7 +275,11 @@ impl TreeMechanism {
                 }
             })
             .collect();
-        TreeOutcome { agents, root_load, makespan }
+        TreeOutcome {
+            agents,
+            root_load,
+            makespan,
+        }
     }
 
     /// Truthful settlement.
@@ -310,8 +323,7 @@ mod tests {
         let chain_mech = DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]);
         let agents = chain_agents();
         for (j, factor) in [(1usize, 0.5), (2, 2.0), (3, 1.5)] {
-            let mut conducts: Vec<Conduct> =
-                agents.iter().map(|&a| Conduct::truthful(a)).collect();
+            let mut conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
             conducts[j - 1] = Conduct::misreport(agents[j - 1], factor);
             let t = tree_mech.settle(&conducts);
             let c = chain_mech.settle(&conducts, false);
@@ -329,8 +341,20 @@ mod tests {
         let shape = TreeNode::internal(
             1.0,
             vec![
-                (0.2, TreeNode::internal(1.0, vec![(0.3, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))])),
-                (0.15, TreeNode::internal(1.0, vec![(0.4, TreeNode::leaf(1.0)), (0.1, TreeNode::leaf(1.0))])),
+                (
+                    0.2,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.3, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))],
+                    ),
+                ),
+                (
+                    0.15,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.4, TreeNode::leaf(1.0)), (0.1, TreeNode::leaf(1.0))],
+                    ),
+                ),
             ],
         );
         TreeMechanism::new(shape)
@@ -385,8 +409,7 @@ mod tests {
         let agents = tree_agents();
         let honest = mech.settle_truthful(&agents);
         for j in 1..=6 {
-            let mut conducts: Vec<Conduct> =
-                agents.iter().map(|&a| Conduct::truthful(a)).collect();
+            let mut conducts: Vec<Conduct> = agents.iter().map(|&a| Conduct::truthful(a)).collect();
             conducts[j - 1] = Conduct::slack_execution(agents[j - 1], 2.0);
             let deviant = mech.settle(&conducts);
             assert!(deviant.utility(j) <= honest.utility(j) + 1e-12, "P{j}");
@@ -405,7 +428,10 @@ mod tests {
                     agents.iter().map(|&a| Conduct::truthful(a)).collect();
                 conducts[j - 1] = Conduct::misreport(agents[j - 1], factor);
                 let deviant = mech.settle(&conducts);
-                assert!(deviant.utility(j) <= honest.utility(j) + 1e-9, "P{j}×{factor}");
+                assert!(
+                    deviant.utility(j) <= honest.utility(j) + 1e-9,
+                    "P{j}×{factor}"
+                );
             }
         }
     }
@@ -414,8 +440,7 @@ mod tests {
     fn loads_partition_the_unit() {
         let mech = binary_tree();
         let outcome = mech.settle_truthful(&tree_agents());
-        let total: f64 =
-            outcome.root_load + outcome.agents.iter().map(|a| a.assigned).sum::<f64>();
+        let total: f64 = outcome.root_load + outcome.agents.iter().map(|a| a.assigned).sum::<f64>();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

@@ -11,11 +11,10 @@
 use crate::agent::{Agent, Conduct};
 use crate::dls_lbl::DlsLbl;
 use crate::naive_baseline::NaiveMechanism;
-use serde::{Deserialize, Serialize};
 
 /// One step of the dynamics: every agent, in index order, switches to its
 /// utility-maximizing bid (from `grid × t_j`) against the current profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     /// Bid profiles after each full round of best responses (index 0 is
     /// the initial profile).
@@ -69,7 +68,11 @@ impl BidGame for NaiveMechanism {
         let conducts: Vec<Conduct> = agents
             .iter()
             .zip(bids)
-            .map(|(&a, &b)| Conduct { bid: b, actual_rate: a.true_rate, actual_load: None })
+            .map(|(&a, &b)| Conduct {
+                bid: b,
+                actual_rate: a.true_rate,
+                actual_load: None,
+            })
             .collect();
         NaiveMechanism::utility(self, agents, &conducts, j)
     }
@@ -120,7 +123,10 @@ pub fn best_response_dynamics<G: BidGame>(
             break;
         }
     }
-    Trajectory { profiles, converged }
+    Trajectory {
+        profiles,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +150,11 @@ mod tests {
     #[test]
     fn dls_lbl_converges_to_truth_from_anywhere() {
         let (mech, _, agents) = setup();
-        for initial in [vec![1.0, 1.0, 1.0], vec![4.0, 0.2, 8.0], vec![2.0, 0.5, 4.0]] {
+        for initial in [
+            vec![1.0, 1.0, 1.0],
+            vec![4.0, 0.2, 8.0],
+            vec![2.0, 0.5, 4.0],
+        ] {
             let traj = best_response_dynamics(&mech, &agents, &initial, &grid(), 10);
             assert!(traj.converged, "from {initial:?}");
             assert!(
@@ -160,7 +170,11 @@ mod tests {
         // Dominance means one pass suffices (plus the fixed-point check).
         let (mech, _, agents) = setup();
         let traj = best_response_dynamics(&mech, &agents, &[4.0, 0.2, 8.0], &grid(), 10);
-        assert!(traj.profiles.len() <= 3, "rounds used: {}", traj.profiles.len() - 1);
+        assert!(
+            traj.profiles.len() <= 3,
+            "rounds used: {}",
+            traj.profiles.len() - 1
+        );
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! with `F/q`, so the *expected* penalty for overcharging is again `F`.
 
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// The fine configuration used by the root when arbitrating grievances.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FineSchedule {
     /// The base fine `F`.
     pub base: f64,
@@ -25,7 +24,10 @@ impl FineSchedule {
     pub fn new(base: f64, audit_probability: f64) -> Self {
         assert!(base > 0.0 && base.is_finite());
         assert!(audit_probability > 0.0 && audit_probability <= 1.0);
-        Self { base, audit_probability }
+        Self {
+            base,
+            audit_probability,
+        }
     }
 
     /// The fine applied to a substantiated protocol deviation.

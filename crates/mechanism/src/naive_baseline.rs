@@ -11,11 +11,10 @@
 use crate::agent::{Agent, Conduct};
 use dlt::linear;
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// The naive bid-priced mechanism: allocate with Algorithm 1 on the bids,
 /// pay `α_j · w_j` (declared rate), no verification of actual speed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveMechanism {
     /// Link rates (public).
     pub link_rates: Vec<f64>,
@@ -30,7 +29,11 @@ impl NaiveMechanism {
     /// Create a baseline with the given margin.
     pub fn new(root_rate: f64, link_rates: Vec<f64>, price_margin: f64) -> Self {
         assert!(price_margin >= 1.0);
-        Self { link_rates, root_rate, price_margin }
+        Self {
+            link_rates,
+            root_rate,
+            price_margin,
+        }
     }
 
     /// Utility of agent `j` with conduct `c` while others bid `bids`:
@@ -59,7 +62,11 @@ impl NaiveMechanism {
             .map(|&f| {
                 let mut conducts = truthful.clone();
                 let bid = agents[j - 1].true_rate * f;
-                conducts[j - 1] = Conduct { bid, actual_rate: agents[j - 1].true_rate, actual_load: None };
+                conducts[j - 1] = Conduct {
+                    bid,
+                    actual_rate: agents[j - 1].true_rate,
+                    actual_load: None,
+                };
                 (f, self.utility(agents, &conducts, j))
             })
             .collect()

@@ -19,10 +19,9 @@
 
 use dlt::linear;
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// Everything the payment computation for one processor depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaymentInputs {
     /// Prescribed assignment `α_j` (units of total load) from the bids.
     pub assigned_load: f64,
@@ -33,7 +32,7 @@ pub struct PaymentInputs {
 }
 
 /// Itemized payment for one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaymentBreakdown {
     /// Valuation `V_j` (non-positive).
     pub valuation: f64,
@@ -84,7 +83,10 @@ pub fn compensation(assigned_load: f64, actual_load: f64, actual_rate: f64) -> f
 /// * `actual_rate` — its metered `w̃_j`.
 pub fn adjusted_equivalent(bids: &LinearNetwork, j: usize, actual_rate: f64) -> f64 {
     let m = bids.last_index();
-    assert!(j >= 1 && j <= m, "payments are defined for strategic processors 1..=m");
+    assert!(
+        j >= 1 && j <= m,
+        "payments are defined for strategic processors 1..=m"
+    );
     let sol = linear::solve(&bids.suffix(j));
     let alpha_hat_j = sol.local.alpha_hat(0);
     let w_bar_j = sol.makespan();
@@ -158,6 +160,27 @@ pub fn settle(
     }
 }
 
+/// Pro-rata settlement for a processor that crash-stopped or stalled after
+/// finishing only `completed_load` of its assignment: it is compensated for
+/// exactly the work it metered (`completed · w̃`), with no recompense and no
+/// bonus — failure is no-fault (no fine), but the bonus rewards *finishing*
+/// the prescribed share, which a failed node did not do. Utility is
+/// therefore exactly zero: the node is made whole for its cost, nothing
+/// more.
+pub fn pro_rata(completed_load: f64, actual_rate: f64) -> PaymentBreakdown {
+    let v = valuation(completed_load, actual_rate);
+    let c = completed_load * actual_rate;
+    PaymentBreakdown {
+        valuation: v,
+        compensation: c,
+        recompense: 0.0,
+        bonus: 0.0,
+        solution_bonus: 0.0,
+        payment: c,
+        utility: v + c,
+    }
+}
+
 /// Utility of the obedient root (eq. 4.3): always zero — the mechanism
 /// reimburses exactly the cost of the work it performed.
 pub fn root_utility(assigned_load: f64, actual_rate: f64) -> f64 {
@@ -184,7 +207,11 @@ mod tests {
     fn recompense_only_for_overload() {
         assert_eq!(recompense(0.3, 0.3, 2.0), 0.0);
         assert_eq!(recompense(0.3, 0.5, 2.0), 0.4);
-        assert_eq!(recompense(0.3, 0.2, 2.0), 0.0, "underload earns nothing extra");
+        assert_eq!(
+            recompense(0.3, 0.2, 2.0),
+            0.0,
+            "underload earns nothing extra"
+        );
     }
 
     #[test]
@@ -252,7 +279,10 @@ mod tests {
         for j in 1..net.len() {
             let honest = bonus(&net, j, net.w(j));
             let slow = bonus(&net, j, net.w(j) * 3.0);
-            assert!(slow < honest - 1e-12, "P{j}: slow {slow} vs honest {honest}");
+            assert!(
+                slow < honest - 1e-12,
+                "P{j}: slow {slow} vs honest {honest}"
+            );
         }
     }
 
@@ -262,7 +292,10 @@ mod tests {
         for j in 1..net.len() - 1 {
             let honest = bonus(&net, j, net.w(j));
             let fast = bonus(&net, j, net.w(j) * 0.5);
-            assert!((fast - honest).abs() < 1e-12, "interior P{j} cannot gain by overdelivering");
+            assert!(
+                (fast - honest).abs() < 1e-12,
+                "interior P{j} cannot gain by overdelivering"
+            );
         }
     }
 
@@ -272,7 +305,11 @@ mod tests {
         let p = settle(
             &net,
             1,
-            PaymentInputs { assigned_load: 0.2, actual_load: 0.0, actual_rate: 2.0 },
+            PaymentInputs {
+                assigned_load: 0.2,
+                actual_load: 0.0,
+                actual_rate: 2.0,
+            },
             0.0,
         );
         assert_eq!(p.payment, 0.0);
@@ -290,10 +327,16 @@ mod tests {
             actual_load: sol.alloc.alpha(j),
             actual_rate: net.w(j),
         };
-        let overloaded = PaymentInputs { actual_load: sol.alloc.alpha(j) + 0.1, ..base };
+        let overloaded = PaymentInputs {
+            actual_load: sol.alloc.alpha(j) + 0.1,
+            ..base
+        };
         let u0 = settle(&net, j, base, 0.0).utility;
         let u1 = settle(&net, j, overloaded, 0.0).utility;
-        assert!((u0 - u1).abs() < 1e-12, "recompense must neutralize the overload");
+        assert!(
+            (u0 - u1).abs() < 1e-12,
+            "recompense must neutralize the overload"
+        );
     }
 
     #[test]
@@ -308,6 +351,47 @@ mod tests {
         let without = settle(&net, 1, inputs, 0.0);
         let with = settle(&net, 1, inputs, 0.25);
         assert!((with.utility - without.utility - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pro_rata_makes_failed_node_whole_without_bonus() {
+        let p = pro_rata(0.3, 2.0);
+        assert_eq!(p.payment, 0.6);
+        assert_eq!(p.bonus, 0.0);
+        assert_eq!(p.recompense, 0.0);
+        assert!(
+            p.utility.abs() < 1e-15,
+            "exact cost reimbursement, nothing more"
+        );
+    }
+
+    #[test]
+    fn pro_rata_is_worse_than_finishing() {
+        // A node that finishes earns its bonus; one that fails earns zero
+        // utility — so failing is never preferable, even without a fine.
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        for j in 1..net.len() {
+            let full = settle(
+                &net,
+                j,
+                PaymentInputs {
+                    assigned_load: sol.alloc.alpha(j),
+                    actual_load: sol.alloc.alpha(j),
+                    actual_rate: net.w(j),
+                },
+                0.0,
+            );
+            let failed = pro_rata(0.5 * sol.alloc.alpha(j), net.w(j));
+            assert!(full.utility >= failed.utility - 1e-15, "P{j}");
+        }
+    }
+
+    #[test]
+    fn pro_rata_zero_progress_pays_nothing() {
+        let p = pro_rata(0.0, 3.0);
+        assert_eq!(p.payment, 0.0);
+        assert_eq!(p.utility, 0.0);
     }
 
     #[test]

@@ -5,10 +5,9 @@
 
 use crate::agent::{Agent, Conduct};
 use crate::dls_lbl::DlsLbl;
-use serde::{Deserialize, Serialize};
 
 /// One point on a utility-vs-bid curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The bid as a multiple of the true rate.
     pub bid_factor: f64,
@@ -21,7 +20,7 @@ pub struct SweepPoint {
 
 /// The utility-vs-bid curve for one agent, holding the others truthful (or
 /// at any fixed conduct).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BidSweep {
     /// Index of the swept strategic processor (1-based, `P_j`).
     pub agent: usize,
@@ -34,7 +33,9 @@ pub struct BidSweep {
 impl BidSweep {
     /// True if no swept bid beats the truthful bid by more than `tol`.
     pub fn truthful_is_best(&self, tol: f64) -> bool {
-        self.points.iter().all(|p| p.utility <= self.truthful_utility + tol)
+        self.points
+            .iter()
+            .all(|p| p.utility <= self.truthful_utility + tol)
     }
 
     /// The most profitable deviation found (positive means a
@@ -65,8 +66,11 @@ pub fn bid_sweep(
     let me = agents[j - 1];
     let utility_at = |bid: f64| -> f64 {
         let mut conducts = others.to_vec();
-        conducts[j - 1] =
-            Conduct { bid, actual_rate: me.feasible_actual(bid.min(me.true_rate)), actual_load: None };
+        conducts[j - 1] = Conduct {
+            bid,
+            actual_rate: me.feasible_actual(bid.min(me.true_rate)),
+            actual_load: None,
+        };
         mech.settle(&conducts, false).utility(j)
     };
     let truthful_utility = utility_at(me.true_rate);
@@ -74,10 +78,18 @@ pub fn bid_sweep(
         .iter()
         .map(|&f| {
             let bid = me.true_rate * f;
-            SweepPoint { bid_factor: f, bid, utility: utility_at(bid) }
+            SweepPoint {
+                bid_factor: f,
+                bid,
+                utility: utility_at(bid),
+            }
         })
         .collect();
-    BidSweep { agent: j, points, truthful_utility }
+    BidSweep {
+        agent: j,
+        points,
+        truthful_utility,
+    }
 }
 
 /// Check strategyproofness for every agent over a factor grid, others
@@ -91,7 +103,7 @@ pub fn strategyproofness_report(mech: &DlsLbl, agents: &[Agent], factors: &[f64]
 }
 
 /// Voluntary participation report: truthful utilities for every agent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParticipationReport {
     /// Truthful utility per strategic processor (index 0 is `P_1`).
     pub utilities: Vec<f64>,

@@ -14,13 +14,11 @@
 //! inauthentic messages are rejected, contradictory signed messages are
 //! detectable and attributable, and evidence survives forwarding.
 
-use serde::{Deserialize, Serialize};
-
 /// A node identifier: index in the chain (`0` is the root).
 pub type NodeId = usize;
 
 /// A signature tag over a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature(pub u128);
 
 /// Keyed 128-bit hash (FNV-1a style folded twice with different offsets).
@@ -40,6 +38,15 @@ fn keyed_hash(secret: u128, data: &[u8]) -> u128 {
     h1 ^ h2.rotate_left(17)
 }
 
+/// Canonical message bytes for signing: the payload's `Debug` rendering.
+/// All signed payload types derive `Debug` with full field coverage, so two
+/// payloads render identically iff they are equal — which is exactly the
+/// property the simulated signatures need (offline stand-in for canonical
+/// JSON serialization).
+fn canonical_bytes<T: std::fmt::Debug>(payload: &T) -> Vec<u8> {
+    format!("{payload:?}").into_bytes()
+}
+
 /// A node's private key. Only the owning node (and the registry, which
 /// plays the PKI's role of binding identities to keys) ever holds it.
 #[derive(Debug, Clone)]
@@ -55,9 +62,9 @@ impl KeyPair {
         Signature(keyed_hash(self.secret, data))
     }
 
-    /// Sign any serializable payload (canonical JSON bytes).
-    pub fn sign<T: Serialize>(&self, payload: &T) -> Signature {
-        let bytes = serde_json::to_vec(payload).expect("serializable payload");
+    /// Sign any debuggable payload (canonical `Debug`-formatted bytes).
+    pub fn sign<T: std::fmt::Debug>(&self, payload: &T) -> Signature {
+        let bytes = canonical_bytes(payload);
         self.sign_bytes(&bytes)
     }
 }
@@ -96,7 +103,10 @@ impl Registry {
 
     /// Hand node `id` its keypair.
     pub fn keypair(&self, id: NodeId) -> KeyPair {
-        KeyPair { node: id, secret: self.secrets[id] }
+        KeyPair {
+            node: id,
+            secret: self.secrets[id],
+        }
     }
 
     /// Verify a signature over raw bytes.
@@ -104,15 +114,15 @@ impl Registry {
         id < self.secrets.len() && keyed_hash(self.secrets[id], data) == sig.0
     }
 
-    /// Verify a signature over a serializable payload.
-    pub fn verify<T: Serialize>(&self, id: NodeId, payload: &T, sig: Signature) -> bool {
-        let bytes = serde_json::to_vec(payload).expect("serializable payload");
+    /// Verify a signature over a debuggable payload.
+    pub fn verify<T: std::fmt::Debug>(&self, id: NodeId, payload: &T, sig: Signature) -> bool {
+        let bytes = canonical_bytes(payload);
         self.verify_bytes(id, &bytes, sig)
     }
 }
 
 /// A digitally signed message `dsm_i(m) = (m, sig_i(m))` (§4 notation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dsm<T> {
     /// The payload `m`.
     pub payload: T,
@@ -122,11 +132,15 @@ pub struct Dsm<T> {
     pub signature: Signature,
 }
 
-impl<T: Serialize + Clone> Dsm<T> {
+impl<T: std::fmt::Debug + Clone> Dsm<T> {
     /// Sign a payload.
     pub fn new(key: &KeyPair, payload: T) -> Self {
         let signature = key.sign(&payload);
-        Self { payload, signer: key.node, signature }
+        Self {
+            payload,
+            signer: key.node,
+            signature,
+        }
     }
 
     /// Verify against the registry, optionally pinning the expected signer.

@@ -12,10 +12,8 @@
 //! | `FalseAccusation` | (v) | any | root exculpates the accused |
 //! | `Underbid`/`Overbid`/`SlackExecution` | Lemma 5.3 | I/III | not "caught" — priced by the payment rule |
 
-use serde::{Deserialize, Serialize};
-
 /// A strategic processor's chosen deviation for one protocol run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Deviation {
     /// Follow the protocol faithfully.
     None,

@@ -1,0 +1,402 @@
+//! Deterministic fault injection for protocol runs.
+//!
+//! A [`FaultPlan`] is a seed-reproducible description of everything that
+//! goes wrong in one execution: at most one *halting* fault (a crash-stop
+//! or a livelock stall of a single strategic processor, in any of the four
+//! phases) plus any number of *message* faults (drops, delays, corruption).
+//! The fault-tolerant runner ([`crate::ft_runner::run_with_faults`])
+//! consumes the plan; given the same `(Scenario, FaultPlan)` pair it
+//! produces bit-identical reports, which is what makes fault experiments
+//! replayable.
+//!
+//! Faults are **operational**, not strategic: a crashed node did not choose
+//! to crash, so — unlike the deviations of [`crate::deviation::Deviation`]
+//! — no fault in this module ever carries a fine. The two layers compose:
+//! a node may both deviate (and be fined for it) and later crash (and be
+//! paid pro rata for what it finished).
+
+use crate::crypto::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What goes wrong at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Crash-stop: the node halts permanently in `phase`. For Phase III,
+    /// `progress ∈ [0, 1]` is the fraction of its retained load finished
+    /// before the halt; other phases ignore it (the node dies before doing
+    /// any work of that phase).
+    Crash {
+        /// Phase (1–4) in which the node halts.
+        phase: u8,
+        /// Fraction of retained load computed before halting (Phase III).
+        progress: f64,
+    },
+    /// Livelock: the node stops making compute progress in Phase III after
+    /// finishing `progress` of its share, but still answers liveness
+    /// probes. Triggers the same recovery as a crash — the mechanism
+    /// recovers from *missing work*, not from a post-mortem diagnosis.
+    Stall {
+        /// Fraction of retained load computed before stalling.
+        progress: f64,
+    },
+    /// The node's outbound message of `phase` is lost; the receiver times
+    /// out and the message is retransmitted.
+    DropMessage {
+        /// Phase whose outbound message is lost.
+        phase: u8,
+    },
+    /// The node's outbound message of `phase` arrives late by `delay`.
+    DelayMessage {
+        /// Phase whose outbound message is delayed.
+        phase: u8,
+        /// Added latency (same time unit as processing rates).
+        delay: f64,
+    },
+    /// The node's outbound message of `phase` arrives garbled; the
+    /// signature check fails, the receiver discards it and requests a
+    /// retransmission. The corrupt bytes never enter the transcript, so
+    /// replay cannot mistake line noise for a forged signature.
+    CorruptMessage {
+        /// Phase whose outbound message is corrupted.
+        phase: u8,
+    },
+}
+
+impl FaultKind {
+    /// True for faults that permanently remove the node's compute capacity
+    /// (crash or stall) — at most one of these per plan.
+    pub fn is_halting(&self) -> bool {
+        matches!(self, FaultKind::Crash { .. } | FaultKind::Stall { .. })
+    }
+}
+
+/// One injected fault: `kind` happens to `node`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The afflicted strategic processor (`1..=m`; the root is obedient
+    /// *and* reliable by assumption).
+    pub node: NodeId,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A malformed [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault names a node outside `1..=m`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of strategic processors in the chain.
+        m: usize,
+    },
+    /// A fault names a phase outside `1..=4`.
+    BadPhase(u8),
+    /// A progress fraction outside `[0, 1]` or non-finite.
+    BadProgress(f64),
+    /// More than one crash/stall in a single plan. Single-failure recovery
+    /// is what the chain-splice protocol handles; see ROADMAP for the
+    /// multi-failure extension.
+    MultipleHaltingFaults,
+    /// The detection timeout must be finite and non-negative.
+    BadTimeout(f64),
+    /// A message delay must be finite and non-negative.
+    BadDelay(f64),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::NodeOutOfRange { node, m } => {
+                write!(
+                    f,
+                    "fault names node {node}, but strategic nodes are 1..={m}"
+                )
+            }
+            FaultError::BadPhase(p) => write!(f, "fault names phase {p}, but phases are 1..=4"),
+            FaultError::BadProgress(p) => write!(f, "progress {p} is not in [0, 1]"),
+            FaultError::MultipleHaltingFaults => {
+                write!(
+                    f,
+                    "at most one crash/stall per plan (single-failure recovery)"
+                )
+            }
+            FaultError::BadTimeout(t) => {
+                write!(f, "detection timeout {t} is not finite and non-negative")
+            }
+            FaultError::BadDelay(d) => {
+                write!(f, "message delay {d} is not finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The injected faults.
+    pub events: Vec<FaultEvent>,
+    /// Time a neighbour (or the root) waits for a message or a result
+    /// before declaring its counterpart unresponsive. Same time unit as
+    /// processing rates.
+    pub detection_timeout: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// Default timeout: generous relative to unit-load makespans.
+    pub const DEFAULT_TIMEOUT: f64 = 0.05;
+
+    /// The empty plan: nothing fails.
+    pub fn none() -> Self {
+        Self {
+            events: Vec::new(),
+            detection_timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// A single crash-stop of `node` in `phase` at `progress`.
+    pub fn crash(node: NodeId, phase: u8, progress: f64) -> Self {
+        Self {
+            events: vec![FaultEvent {
+                node,
+                kind: FaultKind::Crash { phase, progress },
+            }],
+            detection_timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// A single Phase III stall of `node` at `progress`.
+    pub fn stall(node: NodeId, progress: f64) -> Self {
+        Self {
+            events: vec![FaultEvent {
+                node,
+                kind: FaultKind::Stall { progress },
+            }],
+            detection_timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Add a fault event (builder style).
+    pub fn with_event(mut self, node: NodeId, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { node, kind });
+        self
+    }
+
+    /// Override the detection timeout (builder style).
+    pub fn with_timeout(mut self, timeout: f64) -> Self {
+        self.detection_timeout = timeout;
+        self
+    }
+
+    /// Draw a random single-halt plan for an `m`-processor chain from a
+    /// seed: one crash or stall at a uniform node, phase and progress,
+    /// plus an independent chance of one message fault. Deterministic in
+    /// `(seed, m)`.
+    pub fn seeded(seed: u64, m: usize) -> Self {
+        assert!(m >= 1, "need at least one strategic processor");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_0175);
+        let node = rng.gen_range(1..=m);
+        let progress = rng.gen::<f64>();
+        let halt = if rng.gen_bool(0.8) {
+            let phase = rng.gen_range(1..=4) as u8;
+            FaultKind::Crash { phase, progress }
+        } else {
+            FaultKind::Stall { progress }
+        };
+        let mut plan = Self::none().with_event(node, halt);
+        if rng.gen_bool(0.3) {
+            let victim = rng.gen_range(1..=m);
+            let phase = rng.gen_range(1..=4) as u8;
+            let kind = match rng.gen_range(0..3usize) {
+                0 => FaultKind::DropMessage { phase },
+                1 => FaultKind::DelayMessage {
+                    phase,
+                    delay: 0.01 + 0.04 * rng.gen::<f64>(),
+                },
+                _ => FaultKind::CorruptMessage { phase },
+            };
+            plan = plan.with_event(victim, kind);
+        }
+        plan
+    }
+
+    /// The single halting fault, if any: `(node, kind)`.
+    pub fn halting_fault(&self) -> Option<(NodeId, FaultKind)> {
+        self.events
+            .iter()
+            .find(|e| e.kind.is_halting())
+            .map(|e| (e.node, e.kind))
+    }
+
+    /// All message faults in plan order.
+    pub fn message_faults(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(|e| !e.kind.is_halting())
+    }
+
+    /// Check the plan against an `m`-processor chain.
+    pub fn validate(&self, m: usize) -> Result<(), FaultError> {
+        let mut halting = 0usize;
+        for e in &self.events {
+            if e.node < 1 || e.node > m {
+                return Err(FaultError::NodeOutOfRange { node: e.node, m });
+            }
+            match e.kind {
+                FaultKind::Crash { phase, progress } => {
+                    halting += 1;
+                    if !(1..=4).contains(&phase) {
+                        return Err(FaultError::BadPhase(phase));
+                    }
+                    if !(progress.is_finite() && (0.0..=1.0).contains(&progress)) {
+                        return Err(FaultError::BadProgress(progress));
+                    }
+                }
+                FaultKind::Stall { progress } => {
+                    halting += 1;
+                    if !(progress.is_finite() && (0.0..=1.0).contains(&progress)) {
+                        return Err(FaultError::BadProgress(progress));
+                    }
+                }
+                FaultKind::DropMessage { phase } | FaultKind::CorruptMessage { phase } => {
+                    if !(1..=4).contains(&phase) {
+                        return Err(FaultError::BadPhase(phase));
+                    }
+                }
+                FaultKind::DelayMessage { phase, delay } => {
+                    if !(1..=4).contains(&phase) {
+                        return Err(FaultError::BadPhase(phase));
+                    }
+                    if !(delay.is_finite() && delay >= 0.0) {
+                        return Err(FaultError::BadDelay(delay));
+                    }
+                }
+            }
+        }
+        if halting > 1 {
+            return Err(FaultError::MultipleHaltingFaults);
+        }
+        if !(self.detection_timeout.is_finite() && self.detection_timeout >= 0.0) {
+            return Err(FaultError::BadTimeout(self.detection_timeout));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_valid() {
+        assert_eq!(FaultPlan::none().validate(3), Ok(()));
+    }
+
+    #[test]
+    fn crash_plan_round_trips() {
+        let plan = FaultPlan::crash(2, 3, 0.4);
+        assert_eq!(plan.validate(3), Ok(()));
+        assert_eq!(
+            plan.halting_fault(),
+            Some((
+                2,
+                FaultKind::Crash {
+                    phase: 3,
+                    progress: 0.4
+                }
+            ))
+        );
+        assert_eq!(plan.message_faults().count(), 0);
+    }
+
+    #[test]
+    fn rejects_root_and_out_of_range_nodes() {
+        assert!(matches!(
+            FaultPlan::crash(0, 1, 0.0).validate(3),
+            Err(FaultError::NodeOutOfRange { node: 0, m: 3 })
+        ));
+        assert!(matches!(
+            FaultPlan::crash(4, 1, 0.0).validate(3),
+            Err(FaultError::NodeOutOfRange { node: 4, m: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_phase_progress_timeout_delay() {
+        assert_eq!(
+            FaultPlan::crash(1, 5, 0.0).validate(3),
+            Err(FaultError::BadPhase(5))
+        );
+        assert_eq!(
+            FaultPlan::crash(1, 3, 1.5).validate(3),
+            Err(FaultError::BadProgress(1.5))
+        );
+        assert!(matches!(
+            FaultPlan::crash(1, 3, 0.5)
+                .with_timeout(f64::NAN)
+                .validate(3),
+            Err(FaultError::BadTimeout(_))
+        ));
+        assert!(matches!(
+            FaultPlan::none()
+                .with_event(
+                    1,
+                    FaultKind::DelayMessage {
+                        phase: 2,
+                        delay: -1.0
+                    }
+                )
+                .validate(3),
+            Err(FaultError::BadDelay(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_two_halting_faults() {
+        let plan = FaultPlan::crash(1, 3, 0.5).with_event(2, FaultKind::Stall { progress: 0.2 });
+        assert_eq!(plan.validate(3), Err(FaultError::MultipleHaltingFaults));
+    }
+
+    #[test]
+    fn message_faults_may_coexist_with_a_crash() {
+        let plan = FaultPlan::crash(1, 3, 0.5)
+            .with_event(2, FaultKind::DropMessage { phase: 1 })
+            .with_event(
+                3,
+                FaultKind::DelayMessage {
+                    phase: 2,
+                    delay: 0.02,
+                },
+            );
+        assert_eq!(plan.validate(3), Ok(()));
+        assert_eq!(plan.message_faults().count(), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        for seed in 0..50u64 {
+            for m in 1..=8usize {
+                let a = FaultPlan::seeded(seed, m);
+                let b = FaultPlan::seeded(seed, m);
+                assert_eq!(a, b, "seed {seed}, m {m}");
+                assert_eq!(a.validate(m), Ok(()), "seed {seed}, m {m}: {a:?}");
+                assert!(a.halting_fault().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_plans_vary_with_seed() {
+        let distinct: std::collections::HashSet<String> = (0..20u64)
+            .map(|s| format!("{:?}", FaultPlan::seeded(s, 5)))
+            .collect();
+        assert!(distinct.len() > 5, "seeds should explore the fault space");
+    }
+}

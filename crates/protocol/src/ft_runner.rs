@@ -1,0 +1,912 @@
+//! Fault-tolerant protocol execution: run a [`Scenario`] under an injected
+//! [`FaultPlan`] and recover via **chain splicing**.
+//!
+//! ### Recovery protocol
+//! When a strategic processor `P_k` halts (crash-stop in any phase, or a
+//! Phase III stall), a neighbour's detection timer fires, the root probes
+//! liveness, and recovery proceeds by *splicing* `P_k` out of the chain:
+//! the links `z_k` and `z_{k+1}` fuse into one store-and-forward hop of
+//! rate `z_k + z_{k+1}` ([`dlt::linear::splice`]), and the root re-solves
+//! the DLT allocation on the survivor chain for whatever load `P_k` left
+//! unprocessed.
+//!
+//! * Halt **before distribution** (Phases I–II): the whole unit load is
+//!   allocated over the survivor chain from scratch.
+//! * Halt **during computation** (Phase III, at progress `p`): the dead
+//!   node's residual `(1 − p)·α̃_k` is re-allocated over the survivors;
+//!   each survivor's recovery work is compensated at exactly its metered
+//!   cost, so recovery is utility-neutral for the survivors.
+//! * Halt **before billing** (Phase IV): all work is done; the root
+//!   settles the silent node's account from its own recomputation.
+//!
+//! The failed node is paid **pro rata** ([`mechanism::payment::pro_rata`])
+//! for the work it verifiably completed — made whole for its cost, but no
+//! bonus, since bonuses reward finishing the prescribed share.
+//!
+//! ### Extended Lemma 5.2
+//! Faults are operational, not strategic, so they are **no-fault**: across
+//! every injected fault — crash, stall, message drop, delay, corruption —
+//! no honest processor is ever fined. Timeout complaints resolve by
+//! liveness probe with a zero fine either way; corrupted messages are
+//! discarded *before* entering the transcript, so replay can never mistake
+//! line noise for a forged signature. Deviations remain finable exactly as
+//! in the fault-free protocol, and both layers compose: a deviant that
+//! later crashes keeps its earlier fines and loses its bonus.
+//!
+//! ### Determinism
+//! Given the same `(Scenario, FaultPlan)` pair the report is bit-identical
+//! — faults are part of the experiment description, not sampled during the
+//! run.
+//!
+//! ### Modelling simplifications
+//! Phase boundaries act as barriers: detection and recovery start after
+//! the fault-free schedule of the interrupted phase completes. A node that
+//! halts in phase `p` is treated as absent from phase `p` onward *and* its
+//! earlier-phase message interplay is replayed on the spliced chain for
+//! pre-distribution halts (the survivors re-run Phases I–II among
+//! themselves). Recovery allocation is computed on the *reported* (bid)
+//! rates, like any Phase II allocation. After a pre-distribution splice
+//! the inner protocol transcript and ledger are renumbered back to the
+//! original chain indices via [`FtRunReport::splice_map`].
+
+use crate::crypto::NodeId;
+use crate::faults::{FaultError, FaultKind, FaultPlan};
+use crate::ledger::{EntryKind, Ledger};
+use crate::root::{arbitrate_unresponsive, ArbitrationRecord};
+use crate::runner::{try_run, RunReport, Scenario, ScenarioError};
+use crate::transcript::{Entry, Transcript};
+use dlt::linear;
+use dlt::model::LinearNetwork;
+use mechanism::payment::{self, PaymentInputs};
+
+/// Why a fault-tolerant run could not start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// The scenario itself is malformed.
+    Scenario(ScenarioError),
+    /// The fault plan is malformed (for this chain size).
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            FtError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+impl From<ScenarioError> for FtError {
+    fn from(e: ScenarioError) -> Self {
+        FtError::Scenario(e)
+    }
+}
+
+impl From<FaultError> for FtError {
+    fn from(e: FaultError) -> Self {
+        FtError::Fault(e)
+    }
+}
+
+/// Everything a fault-tolerant run produced. All per-node vectors use the
+/// **original** chain indexing (`0` = root, length `m + 1` or `m`), even
+/// when recovery ran on a spliced chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtRunReport {
+    /// The crash-stopped node, if any.
+    pub crashed: Option<NodeId>,
+    /// The stalled (alive but unproductive) node, if any.
+    pub stalled: Option<NodeId>,
+    /// Every detection event: `(detector, suspect, phase)`.
+    pub detected: Vec<(NodeId, NodeId, u8)>,
+    /// Load prescribed per node by the (possibly re-run) Phase II.
+    pub assigned: Vec<f64>,
+    /// Load each node actually finished, including recovery work. Sums to
+    /// the unit workload whenever recovery succeeded.
+    pub completed: Vec<f64>,
+    /// Residual load the recovery re-assigned (0 when nothing halted
+    /// mid-computation).
+    pub recovered_load: f64,
+    /// Extra load each node received from recovery.
+    pub recovery_assigned: Vec<f64>,
+    /// Realized makespan including detection and recovery overhead.
+    pub makespan: f64,
+    /// Makespan of the same scenario with no faults (for overhead plots).
+    pub base_makespan: f64,
+    /// All arbitration records (timeout complaints included), in order.
+    pub arbitrations: Vec<ArbitrationRecord>,
+    /// The full ledger, renumbered to original indices.
+    pub ledger: Ledger,
+    /// Net utility of every strategic processor (`net_utilities[j-1]` is
+    /// `P_j`'s), original indexing; the halted node's reflects pro-rata
+    /// settlement.
+    pub net_utilities: Vec<f64>,
+    /// The transcript: fault entries plus the protocol messages of the run
+    /// that executed (spliced indices for pre-distribution halts — see
+    /// `splice_map`).
+    pub transcript: Transcript,
+    /// `splice_map[old] = Some(new)` maps original to post-splice indices;
+    /// `None` marks the removed node. Identity when nothing was spliced.
+    pub splice_map: Vec<Option<usize>>,
+    /// Discrete events the execution simulator processed.
+    pub events: u64,
+}
+
+impl FtRunReport {
+    /// Net utility of strategic processor `P_j` (original index).
+    pub fn utility(&self, j: usize) -> f64 {
+        self.net_utilities[j - 1]
+    }
+
+    /// True if the total finished load equals the unit workload.
+    pub fn load_conserved(&self, tol: f64) -> bool {
+        (self.completed.iter().sum::<f64>() - 1.0).abs() <= tol
+    }
+
+    /// Makespan overhead attributable to faults and recovery.
+    pub fn overhead(&self) -> f64 {
+        self.makespan - self.base_makespan
+    }
+
+    /// Fines actually paid by `P_j` (as a non-negative number).
+    pub fn fines_paid(&self, j: NodeId) -> f64 {
+        -(self.ledger.net_of(j, EntryKind::Fine)
+            + self.ledger.net_of(j, EntryKind::ExtraWorkPenalty))
+    }
+}
+
+/// Detection rule: who notices `P_k` going silent in `phase`. Phase I bids
+/// flow upward (the predecessor waits); Phase II allocations flow downward
+/// (the successor waits, the root for the terminal node); results and
+/// bills are awaited by the root.
+fn detector_of(k: NodeId, phase: u8, m: usize) -> NodeId {
+    match phase {
+        1 => k - 1,
+        2 if k < m => k + 1,
+        _ => 0,
+    }
+}
+
+/// Receiver of `P_v`'s outbound message in `phase` — `None` when the node
+/// sends nothing in that phase (the terminal node in Phases II–III).
+fn receiver_of(v: NodeId, phase: u8, m: usize) -> Option<NodeId> {
+    match phase {
+        1 => Some(v - 1),
+        2 | 3 => (v < m).then_some(v + 1),
+        _ => Some(0),
+    }
+}
+
+/// Per-unit-load makespan and absolute load shares of a (possibly
+/// root-only) network.
+fn allocation_of(net: &LinearNetwork) -> (f64, Vec<f64>) {
+    if net.len() == 1 {
+        (net.w(0), vec![1.0])
+    } else {
+        let sol = linear::solve(net);
+        let shares: Vec<f64> = (0..net.len()).map(|i| sol.alloc.alpha(i)).collect();
+        (sol.makespan(), shares)
+    }
+}
+
+/// Map a post-splice index back to the original chain.
+fn unsplice(i: usize, dead: NodeId) -> usize {
+    if i < dead {
+        i
+    } else {
+        i + 1
+    }
+}
+
+/// Execute `scenario` under `plan`, recovering from the injected faults.
+pub fn run_with_faults(scenario: &Scenario, plan: &FaultPlan) -> Result<FtRunReport, FtError> {
+    scenario.validate()?;
+    let m = scenario.num_agents();
+    plan.validate(m)?;
+    let n = m + 1;
+    let timeout = plan.detection_timeout;
+
+    let base = try_run(scenario)?;
+    let identity_map: Vec<Option<usize>> = (0..n).map(Some).collect();
+
+    let mut report = match plan.halting_fault() {
+        None => healthy_report(scenario, &base, identity_map),
+        Some((
+            k,
+            FaultKind::Crash {
+                phase: p @ (1 | 2), ..
+            },
+        )) => pre_distribution_crash(scenario, &base, k, p, timeout)?,
+        Some((k, FaultKind::Crash { phase: 3, progress })) => {
+            mid_computation_halt(scenario, &base, k, progress, timeout, false, identity_map)
+        }
+        Some((k, FaultKind::Stall { progress })) => {
+            mid_computation_halt(scenario, &base, k, progress, timeout, true, identity_map)
+        }
+        Some((k, FaultKind::Crash { .. })) => {
+            pre_billing_crash(scenario, &base, k, timeout, identity_map)
+        }
+        Some((_, _)) => unreachable!("halting_fault returns only Crash/Stall"),
+    };
+
+    apply_message_faults(&mut report, plan, m);
+    Ok(report)
+}
+
+/// No halting fault: the base run, wrapped.
+fn healthy_report(
+    scenario: &Scenario,
+    base: &RunReport,
+    splice_map: Vec<Option<usize>>,
+) -> FtRunReport {
+    let n = scenario.num_agents() + 1;
+    FtRunReport {
+        crashed: None,
+        stalled: None,
+        detected: Vec::new(),
+        assigned: base.assigned.clone(),
+        completed: base.retained.clone(),
+        recovered_load: 0.0,
+        recovery_assigned: vec![0.0; n],
+        makespan: base.makespan,
+        base_makespan: base.makespan,
+        arbitrations: base.arbitrations.clone(),
+        ledger: base.ledger.clone(),
+        net_utilities: base.net_utilities.clone(),
+        transcript: base.transcript.clone(),
+        splice_map,
+        events: base.events,
+    }
+}
+
+/// Crash in Phase I or II: nothing was distributed; splice and re-run the
+/// whole protocol on the survivor chain, then renumber back.
+fn pre_distribution_crash(
+    scenario: &Scenario,
+    base: &RunReport,
+    k: NodeId,
+    phase: u8,
+    timeout: f64,
+) -> Result<FtRunReport, FtError> {
+    let m = scenario.num_agents();
+    let n = m + 1;
+    let splice_map: Vec<Option<usize>> = (0..n)
+        .map(|i| {
+            if i == k {
+                None
+            } else {
+                Some(if i < k { i } else { i - 1 })
+            }
+        })
+        .collect();
+
+    let detector = detector_of(k, phase, m);
+    let mut transcript = Transcript::new();
+    transcript.record(Entry::Timeout {
+        detector,
+        suspect: k,
+        phase,
+    });
+    let mut arbitrations = vec![arbitrate_unresponsive(detector, k, false)];
+    let detected = vec![(detector, k, phase)];
+
+    if m == 1 {
+        // No strategic survivor: the obedient root computes the whole unit
+        // load itself at rate w_0.
+        transcript.record(Entry::Recovery {
+            dead: k,
+            residual: 0.0,
+            reassigned: vec![(0, 1.0)],
+        });
+        let mut assigned = vec![0.0; n];
+        assigned[0] = 1.0;
+        return Ok(FtRunReport {
+            crashed: Some(k),
+            stalled: None,
+            detected,
+            completed: assigned.clone(),
+            assigned,
+            recovered_load: 0.0,
+            recovery_assigned: vec![0.0; n],
+            makespan: timeout + scenario.root_rate,
+            base_makespan: base.makespan,
+            arbitrations,
+            ledger: Ledger::new(),
+            net_utilities: vec![0.0],
+            transcript,
+            splice_map,
+            events: 0,
+        });
+    }
+
+    // Splice the chain of *true* rates; bids re-derive from the surviving
+    // nodes' deviations inside the inner run.
+    let mut w = vec![scenario.root_rate];
+    w.extend_from_slice(&scenario.true_rates);
+    let spliced = linear::splice(&LinearNetwork::from_rates(&w, &scenario.link_rates), k);
+    let mut deviations = scenario.deviations.clone();
+    deviations.remove(k - 1);
+    let inner_scenario = Scenario {
+        root_rate: scenario.root_rate,
+        true_rates: spliced.rates_w()[1..].to_vec(),
+        link_rates: spliced.rates_z().to_vec(),
+        deviations,
+        fine: scenario.fine,
+        blocks: scenario.blocks,
+        seed: scenario.seed,
+        solution_bonus: scenario.solution_bonus,
+        solution_found: scenario.solution_found,
+    };
+    let inner = try_run(&inner_scenario)?;
+
+    transcript.record(Entry::Recovery {
+        dead: k,
+        residual: 0.0,
+        reassigned: inner
+            .assigned
+            .iter()
+            .enumerate()
+            .map(|(si, &a)| (unsplice(si, k), a))
+            .collect(),
+    });
+    for e in inner.transcript.entries() {
+        transcript.record(e.clone());
+    }
+
+    // Renumber everything back to original indices.
+    let mut assigned = vec![0.0; n];
+    let mut completed = vec![0.0; n];
+    for si in 0..inner.assigned.len() {
+        assigned[unsplice(si, k)] = inner.assigned[si];
+        completed[unsplice(si, k)] = inner.retained[si];
+    }
+    let mut ledger = Ledger::new();
+    for e in inner.ledger.entries() {
+        ledger.post(unsplice(e.node, k), e.kind, e.amount, e.phase);
+    }
+    arbitrations.extend(inner.arbitrations.iter().map(|a| ArbitrationRecord {
+        claimant: unsplice(a.claimant, k),
+        accused: unsplice(a.accused, k),
+        ..a.clone()
+    }));
+    let mut net_utilities = vec![0.0; m];
+    for sj in 1..=m - 1 {
+        net_utilities[unsplice(sj, k) - 1] = inner.net_utilities[sj - 1];
+    }
+
+    Ok(FtRunReport {
+        crashed: Some(k),
+        stalled: None,
+        detected,
+        assigned,
+        completed,
+        recovered_load: 0.0,
+        recovery_assigned: vec![0.0; n],
+        makespan: timeout + inner.makespan,
+        base_makespan: base.makespan,
+        arbitrations,
+        ledger,
+        net_utilities,
+        transcript,
+        splice_map,
+        events: inner.events,
+    })
+}
+
+/// Crash or stall during Phase III computation at fraction `progress`:
+/// splice, re-allocate the residual, settle the halted node pro rata and
+/// the survivors' recovery work at cost.
+fn mid_computation_halt(
+    scenario: &Scenario,
+    base: &RunReport,
+    k: NodeId,
+    progress: f64,
+    timeout: f64,
+    alive: bool,
+    splice_map: Vec<Option<usize>>,
+) -> FtRunReport {
+    let m = scenario.num_agents();
+    let n = m + 1;
+    let actual_k = base.actual_rates[k - 1];
+    let done_k = progress * base.retained[k];
+    let residual = base.retained[k] - done_k;
+
+    let detector = detector_of(k, 3, m);
+    let mut transcript = base.transcript.clone();
+    transcript.record(Entry::Timeout {
+        detector,
+        suspect: k,
+        phase: 3,
+    });
+    let mut arbitrations = base.arbitrations.clone();
+    arbitrations.push(arbitrate_unresponsive(detector, k, alive));
+
+    // Re-solve on the spliced *bid* chain, as any Phase II allocation.
+    let mut bid_w = vec![scenario.root_rate];
+    bid_w.extend_from_slice(&base.bids);
+    let spliced = linear::splice(&LinearNetwork::from_rates(&bid_w, &scenario.link_rates), k);
+    let (per_unit_makespan, shares) = allocation_of(&spliced);
+
+    let mut completed = base.retained.clone();
+    completed[k] = done_k;
+    let mut recovery_assigned = vec![0.0; n];
+    let mut reassigned = Vec::with_capacity(shares.len());
+    for (si, &share) in shares.iter().enumerate() {
+        let orig = unsplice(si, k);
+        let extra = residual * share;
+        recovery_assigned[orig] = extra;
+        completed[orig] += extra;
+        reassigned.push((orig, extra));
+    }
+    transcript.record(Entry::Recovery {
+        dead: k,
+        residual,
+        reassigned,
+    });
+
+    // Rebuild the ledger: the halted node's Phase IV settlement (payment,
+    // and any audit outcome of a bill it never submitted) is replaced by
+    // pro-rata compensation; survivors are paid their recovery work at
+    // metered cost. Earlier-phase fines and rewards stand.
+    let mut ledger = Ledger::new();
+    for e in base.ledger.entries() {
+        if !(e.node == k && e.phase == 4) {
+            ledger.post(e.node, e.kind, e.amount, e.phase);
+        }
+    }
+    let pro_rata = payment::pro_rata(done_k, actual_k);
+    ledger.post(k, EntryKind::Payment, pro_rata.payment, 4);
+    for j in 1..=m {
+        if j != k && recovery_assigned[j] > 0.0 {
+            ledger.post(
+                j,
+                EntryKind::Payment,
+                recovery_assigned[j] * base.actual_rates[j - 1],
+                4,
+            );
+        }
+    }
+
+    // Net utilities: valuation (recovered from the base report) adjusted
+    // for the changed workloads, plus the rebuilt ledger.
+    let mut net_utilities = vec![0.0; m];
+    for j in 1..=m {
+        let valuation = if j == k {
+            pro_rata.valuation
+        } else {
+            let base_valuation = base.net_utilities[j - 1] - base.ledger.net(j);
+            base_valuation - recovery_assigned[j] * base.actual_rates[j - 1]
+        };
+        net_utilities[j - 1] = valuation + ledger.net(j);
+    }
+
+    FtRunReport {
+        crashed: (!alive).then_some(k),
+        stalled: alive.then_some(k),
+        detected: vec![(detector, k, 3)],
+        assigned: base.assigned.clone(),
+        completed,
+        recovered_load: residual,
+        recovery_assigned,
+        makespan: base.makespan + timeout + residual * per_unit_makespan,
+        base_makespan: base.makespan,
+        arbitrations,
+        ledger,
+        net_utilities,
+        transcript,
+        splice_map,
+        events: base.events,
+    }
+}
+
+/// Crash in Phase IV: all work is done, only the bill is missing. After
+/// the timeout the root settles the silent node from its own recomputation
+/// (the proof data it already holds), which also voids any inflated bill
+/// the node would have submitted.
+fn pre_billing_crash(
+    scenario: &Scenario,
+    base: &RunReport,
+    k: NodeId,
+    timeout: f64,
+    splice_map: Vec<Option<usize>>,
+) -> FtRunReport {
+    let m = scenario.num_agents();
+    let n = m + 1;
+    let detector = detector_of(k, 4, m);
+    let mut transcript = base.transcript.clone();
+    transcript.record(Entry::Timeout {
+        detector,
+        suspect: k,
+        phase: 4,
+    });
+    let mut arbitrations = base.arbitrations.clone();
+    arbitrations.push(arbitrate_unresponsive(detector, k, false));
+
+    let mut bid_w = vec![scenario.root_rate];
+    bid_w.extend_from_slice(&base.bids);
+    let bid_net = LinearNetwork::from_rates(&bid_w, &scenario.link_rates);
+    let s = if scenario.solution_found {
+        scenario.solution_bonus
+    } else {
+        0.0
+    };
+    let honest = payment::settle(
+        &bid_net,
+        k,
+        PaymentInputs {
+            assigned_load: base.assigned[k],
+            actual_load: base.retained[k],
+            actual_rate: base.actual_rates[k - 1],
+        },
+        s,
+    );
+
+    let mut ledger = Ledger::new();
+    for e in base.ledger.entries() {
+        if !(e.node == k && e.phase == 4) {
+            ledger.post(e.node, e.kind, e.amount, e.phase);
+        }
+    }
+    ledger.post(k, EntryKind::Payment, honest.payment, 4);
+
+    let mut net_utilities = base.net_utilities.clone();
+    net_utilities[k - 1] = honest.valuation + ledger.net(k);
+
+    FtRunReport {
+        crashed: Some(k),
+        stalled: None,
+        detected: vec![(detector, k, 4)],
+        assigned: base.assigned.clone(),
+        completed: base.retained.clone(),
+        recovered_load: 0.0,
+        recovery_assigned: vec![0.0; n],
+        makespan: base.makespan + timeout,
+        base_makespan: base.makespan,
+        arbitrations,
+        ledger,
+        net_utilities,
+        transcript,
+        splice_map,
+        events: base.events,
+    }
+}
+
+/// Layer the plan's message faults on top of the halting-fault report:
+/// each drop/corruption costs one detection timeout (and files a no-fault
+/// timeout complaint that the liveness probe rejects); each delay adds its
+/// latency. Messages of the halted node are skipped — its silence is
+/// already the halting fault's story. Corrupted messages never enter the
+/// transcript: only the retransmitted, well-signed copy is recorded, so
+/// replay cannot incriminate the sender.
+fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
+    let halted = report.crashed.or(report.stalled);
+    for event in plan.message_faults() {
+        if Some(event.node) == halted {
+            continue;
+        }
+        match event.kind {
+            FaultKind::DropMessage { phase } | FaultKind::CorruptMessage { phase } => {
+                let Some(receiver) = receiver_of(event.node, phase, m) else {
+                    continue;
+                };
+                report.makespan += plan.detection_timeout;
+                report.transcript.record(Entry::Timeout {
+                    detector: receiver,
+                    suspect: event.node,
+                    phase,
+                });
+                report.detected.push((receiver, event.node, phase));
+                report
+                    .arbitrations
+                    .push(arbitrate_unresponsive(receiver, event.node, true));
+            }
+            FaultKind::DelayMessage { phase, delay } => {
+                if receiver_of(event.node, phase, m).is_some() {
+                    report.makespan += delay;
+                }
+            }
+            FaultKind::Crash { .. } | FaultKind::Stall { .. } => unreachable!("filtered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::Deviation;
+    use mechanism::FineSchedule;
+
+    fn scenario() -> Scenario {
+        Scenario::honest(1.0, vec![2.0, 0.5, 4.0], vec![0.2, 0.1, 0.7])
+    }
+
+    /// Honest chains of 3–8 total nodes with heterogeneous rates.
+    fn chains() -> Vec<Scenario> {
+        (2..=7usize)
+            .map(|m| {
+                let true_rates: Vec<f64> =
+                    (0..m).map(|j| 0.5 + 0.9 * ((j * 7 % 5) as f64)).collect();
+                let link_rates: Vec<f64> =
+                    (0..m).map(|j| 0.1 + 0.15 * ((j * 3 % 4) as f64)).collect();
+                Scenario::honest(1.0, true_rates, link_rates)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let ft = run_with_faults(&s, &FaultPlan::none()).unwrap();
+        assert_eq!(ft.makespan, plain.makespan);
+        assert_eq!(ft.net_utilities, plain.net_utilities);
+        assert_eq!(ft.completed, plain.retained);
+        assert!(ft.crashed.is_none() && ft.stalled.is_none());
+        assert_eq!(ft.overhead(), 0.0);
+    }
+
+    #[test]
+    fn any_single_crash_recovers_on_every_chain() {
+        // The acceptance sweep: every node, every phase, several progress
+        // points, chains of 3–8 nodes — no panic, load conserved, no
+        // honest survivor fined.
+        for s in chains() {
+            let m = s.num_agents();
+            for k in 1..=m {
+                for phase in 1..=4u8 {
+                    for progress in [0.0, 0.37, 1.0] {
+                        let plan = FaultPlan::crash(k, phase, progress);
+                        let ft = run_with_faults(&s, &plan).unwrap();
+                        assert_eq!(ft.crashed, Some(k));
+                        assert!(
+                            ft.load_conserved(1e-9),
+                            "m={m} k={k} phase={phase} p={progress}: completed {:?}",
+                            ft.completed
+                        );
+                        assert!(ft.makespan >= ft.base_makespan, "recovery cannot be free");
+                        for j in 1..=m {
+                            assert!(
+                                ft.fines_paid(j) <= 1e-12,
+                                "honest P{j} fined after crash of P{k} in phase {phase}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_reports_are_deterministic() {
+        for s in chains().into_iter().take(3) {
+            for seed in 0..10u64 {
+                let plan = FaultPlan::seeded(seed, s.num_agents());
+                let a = run_with_faults(&s, &plan).unwrap();
+                let b = run_with_faults(&s, &plan).unwrap();
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase3_crash_pays_pro_rata_and_keeps_survivors_whole() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let ft = run_with_faults(&s, &FaultPlan::crash(2, 3, 0.4)).unwrap();
+        // The crashed node is made whole for its partial work: utility 0.
+        assert!(
+            ft.utility(2).abs() < 1e-9,
+            "pro-rata utility {}",
+            ft.utility(2)
+        );
+        // It completed exactly 40% of its share.
+        assert!((ft.completed[2] - 0.4 * plain.retained[2]).abs() < 1e-12);
+        // Survivors' recovery work is compensated at cost: net unchanged.
+        for j in [1usize, 3] {
+            assert!(
+                (ft.utility(j) - plain.utility(j)).abs() < 1e-9,
+                "P{j}: {} vs {}",
+                ft.utility(j),
+                plain.utility(j)
+            );
+        }
+        // The residual was spread over root and survivors.
+        assert!((ft.recovered_load - 0.6 * plain.retained[2]).abs() < 1e-12);
+        let spread: f64 = ft.recovery_assigned.iter().sum();
+        assert!((spread - ft.recovered_load).abs() < 1e-12);
+        assert_eq!(
+            ft.recovery_assigned[2], 0.0,
+            "the dead node gets nothing back"
+        );
+    }
+
+    #[test]
+    fn stall_triggers_recovery_without_conviction() {
+        let s = scenario();
+        let ft = run_with_faults(&s, &FaultPlan::stall(2, 0.25)).unwrap();
+        assert_eq!(ft.stalled, Some(2));
+        assert_eq!(ft.crashed, None);
+        assert!(ft.load_conserved(1e-9));
+        // The liveness probe finds the stalled node alive: complaint
+        // unsubstantiated, but with zero fine for the honest reporter too.
+        let timeout_arb = ft
+            .arbitrations
+            .iter()
+            .find(|a| a.complaint == "unresponsive")
+            .unwrap();
+        assert!(!timeout_arb.substantiated);
+        assert_eq!(timeout_arb.fine, 0.0);
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12, "P{j} fined for a stall");
+        }
+    }
+
+    #[test]
+    fn early_crash_reallocates_everything_to_survivors() {
+        let s = scenario();
+        let ft = run_with_faults(&s, &FaultPlan::crash(2, 1, 0.0)).unwrap();
+        assert!(ft.load_conserved(1e-9));
+        assert_eq!(ft.completed[2], 0.0);
+        assert_eq!(ft.splice_map, vec![Some(0), Some(1), None, Some(2)]);
+        assert!(
+            ft.utility(2).abs() < 1e-15,
+            "a node that never started earns nothing"
+        );
+        // The survivor chain's allocation matches solving the spliced
+        // true-rate network directly.
+        let spliced = linear::splice(
+            &LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]),
+            2,
+        );
+        let sol = linear::solve(&spliced);
+        assert!((ft.completed[0] - sol.alloc.alpha(0)).abs() < 1e-12);
+        assert!((ft.completed[1] - sol.alloc.alpha(1)).abs() < 1e-12);
+        assert!((ft.completed[3] - sol.alloc.alpha(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_node_crash_truncates_the_chain() {
+        let s = scenario();
+        for phase in 1..=4u8 {
+            let ft = run_with_faults(&s, &FaultPlan::crash(3, phase, 0.5)).unwrap();
+            assert!(ft.load_conserved(1e-9), "phase {phase}");
+            for j in 1..=3 {
+                assert!(ft.fines_paid(j) <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_agent_crash_leaves_the_root_to_compute_alone() {
+        let s = Scenario::honest(1.0, vec![1.0], vec![1.0]);
+        let ft = run_with_faults(&s, &FaultPlan::crash(1, 1, 0.0)).unwrap();
+        assert!(ft.load_conserved(1e-12));
+        assert_eq!(ft.completed[0], 1.0);
+        assert!((ft.makespan - (FaultPlan::DEFAULT_TIMEOUT + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase4_crash_settles_from_the_roots_recomputation() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let ft = run_with_faults(&s, &FaultPlan::crash(1, 4, 0.0)).unwrap();
+        // All work was done; the honest node is settled exactly as if it
+        // had billed, so its utility survives its crash.
+        assert!((ft.utility(1) - plain.utility(1)).abs() < 1e-9);
+        assert!((ft.makespan - plain.makespan - FaultPlan::DEFAULT_TIMEOUT).abs() < 1e-12);
+        assert!(ft.load_conserved(1e-9));
+    }
+
+    #[test]
+    fn phase4_crash_voids_an_overcharged_bill_without_the_audit_fine() {
+        // An overcharger that crashes before billing never submits the
+        // inflated bill: the root settles honestly, no fine, no profit.
+        let s = scenario()
+            .with_fine(FineSchedule::new(15.0, 1.0))
+            .with_deviation(2, Deviation::Overcharge { amount: 0.5 });
+        let ft = run_with_faults(&s, &FaultPlan::crash(2, 4, 0.0)).unwrap();
+        assert_eq!(ft.fines_paid(2), 0.0, "no bill, no overcharge, no fine");
+        let honest = run_with_faults(&scenario(), &FaultPlan::crash(2, 4, 0.0)).unwrap();
+        assert!(
+            (ft.utility(2) - honest.utility(2)).abs() < 1e-9,
+            "crash voids the overcharge"
+        );
+    }
+
+    #[test]
+    fn deviant_that_crashes_keeps_its_earlier_fines() {
+        // P2 lies in Phase I (wrong equivalent), is convicted in Phase II,
+        // then crashes in Phase III: the fine stands, the pro-rata payment
+        // only covers its metered cost.
+        let s = scenario().with_deviation(2, Deviation::WrongEquivalent { factor: 0.6 });
+        let ft = run_with_faults(&s, &FaultPlan::crash(2, 3, 0.5)).unwrap();
+        assert!(
+            ft.fines_paid(2) > 0.0,
+            "the Phase II conviction survives the crash"
+        );
+        assert!(
+            ft.utility(2) < -1e-9,
+            "fined deviant nets negative even with pro-rata pay"
+        );
+        assert!(ft.load_conserved(1e-9));
+        // The honest reporter's reward also stands.
+        assert!(ft.ledger.net_of(3, EntryKind::Reward) > 0.0);
+    }
+
+    #[test]
+    fn message_faults_add_overhead_but_never_fines() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let plan = FaultPlan::none()
+            .with_event(1, FaultKind::DropMessage { phase: 1 })
+            .with_event(2, FaultKind::CorruptMessage { phase: 2 })
+            .with_event(
+                3,
+                FaultKind::DelayMessage {
+                    phase: 4,
+                    delay: 0.02,
+                },
+            );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        let expected = plain.makespan + 2.0 * FaultPlan::DEFAULT_TIMEOUT + 0.02;
+        assert!((ft.makespan - expected).abs() < 1e-12);
+        assert_eq!(ft.detected.len(), 2, "drop and corruption each time out");
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12, "P{j} fined for a network fault");
+            assert!((ft.utility(j) - plain.utility(j)).abs() < 1e-9);
+        }
+        assert!(ft.load_conserved(1e-9));
+    }
+
+    #[test]
+    fn corrupted_messages_leave_no_replay_findings() {
+        use crate::crypto::Registry;
+        use crate::lambda::BlockMint;
+        let s = scenario();
+        let plan = FaultPlan::none().with_event(2, FaultKind::CorruptMessage { phase: 2 });
+        let ft = run_with_faults(&s, &plan).unwrap();
+        let registry = Registry::new(4, s.seed);
+        let mint = BlockMint::new(s.blocks, s.seed ^ 0x5EED_B10C);
+        let findings = crate::transcript::replay(&ft.transcript, &registry, &mint);
+        assert!(
+            findings.is_empty(),
+            "line noise incriminated someone: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_fault_sweeps_hold_the_invariants() {
+        for s in chains() {
+            let m = s.num_agents();
+            for seed in 0..20u64 {
+                let plan = FaultPlan::seeded(seed, m);
+                let ft = run_with_faults(&s, &plan).unwrap();
+                assert!(ft.load_conserved(1e-9), "m={m} seed={seed} plan {plan:?}");
+                for j in 1..=m {
+                    assert!(
+                        ft.fines_paid(j) <= 1e-12,
+                        "m={m} seed={seed}: honest P{j} fined under {plan:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_plans_and_scenarios() {
+        let s = scenario();
+        assert!(matches!(
+            run_with_faults(&s, &FaultPlan::crash(9, 1, 0.0)),
+            Err(FtError::Fault(FaultError::NodeOutOfRange { .. }))
+        ));
+        let mut bad = scenario();
+        bad.true_rates[0] = -1.0;
+        assert!(matches!(
+            run_with_faults(&bad, &FaultPlan::none()),
+            Err(FtError::Scenario(ScenarioError::BadRate { .. }))
+        ));
+    }
+}

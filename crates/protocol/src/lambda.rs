@@ -10,7 +10,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// The root-side mint: the authoritative set of block identifiers.
@@ -34,7 +33,11 @@ impl BlockMint {
                 ids.push(id);
             }
         }
-        Self { ids, lookup, blocks }
+        Self {
+            ids,
+            lookup,
+            blocks,
+        }
     }
 
     /// Number of blocks the unit load was divided into.
@@ -51,7 +54,9 @@ impl BlockMint {
     /// the load for distribution).
     pub fn range(&self, start: usize, len: usize) -> LoadTag {
         assert!(start + len <= self.blocks);
-        LoadTag { ids: self.ids[start..start + len].to_vec() }
+        LoadTag {
+            ids: self.ids[start..start + len].to_vec(),
+        }
     }
 
     /// Verify a receipt proof: every identifier must be genuine and
@@ -75,7 +80,7 @@ impl BlockMint {
 }
 
 /// A receipt proof: the block identifiers a node can exhibit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadTag {
     /// The identifiers.
     pub ids: Vec<u64>,
@@ -109,7 +114,9 @@ impl LoadTag {
     /// attack).
     pub fn forged(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        Self { ids: (0..n).map(|_| rng.gen()).collect() }
+        Self {
+            ids: (0..n).map(|_| rng.gen()).collect(),
+        }
     }
 }
 

@@ -3,10 +3,9 @@
 //! report net utilities and check conservation properties.
 
 use crate::crypto::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The kind of a ledger entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntryKind {
     /// Phase IV payment `Q_j` (compensation + bonus + solution bonus).
     Payment,
@@ -20,7 +19,7 @@ pub enum EntryKind {
 }
 
 /// One ledger entry. `amount` is signed: positive credits the node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry {
     /// The affected node.
     pub node: NodeId,
@@ -33,7 +32,7 @@ pub struct Entry {
 }
 
 /// The full ledger of a protocol run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ledger {
     entries: Vec<Entry>,
 }
@@ -47,7 +46,12 @@ impl Ledger {
     /// Append an entry.
     pub fn post(&mut self, node: NodeId, kind: EntryKind, amount: f64, phase: u8) {
         assert!(amount.is_finite(), "ledger amounts must be finite");
-        self.entries.push(Entry { node, kind, amount, phase });
+        self.entries.push(Entry {
+            node,
+            kind,
+            amount,
+            phase,
+        });
     }
 
     /// All entries in posting order.
@@ -57,7 +61,11 @@ impl Ledger {
 
     /// Net credited amount for a node.
     pub fn net(&self, node: NodeId) -> f64 {
-        self.entries.iter().filter(|e| e.node == node).map(|e| e.amount).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.node == node)
+            .map(|e| e.amount)
+            .sum()
     }
 
     /// Net amount of a given kind for a node.

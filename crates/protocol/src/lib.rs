@@ -18,6 +18,12 @@
 //! * [`ledger`] — the payment-infrastructure ledger.
 //! * [`runner`] — end-to-end scenario execution across all four phases,
 //!   with deviations injected, caught, and fined.
+//! * [`faults`] — deterministic, seeded fault plans: crash-stop, stalls,
+//!   message drops/delays/corruption.
+//! * [`ft_runner`] — fault-tolerant execution: timeout detection,
+//!   chain-splice recovery, pro-rata settlement of failed nodes, and the
+//!   no-fault extension of Lemma 5.2 (no honest survivor is ever fined
+//!   under any injected fault).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +32,8 @@
 
 pub mod crypto;
 pub mod deviation;
+pub mod faults;
+pub mod ft_runner;
 pub mod lambda;
 pub mod ledger;
 pub mod messages;
@@ -36,10 +44,12 @@ pub mod tree_runner;
 
 pub use crypto::{Dsm, KeyPair, NodeId, Registry, Signature};
 pub use deviation::Deviation;
+pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan};
+pub use ft_runner::{run_with_faults, FtError, FtRunReport};
 pub use lambda::{BlockMint, LoadTag};
 pub use ledger::{EntryKind, Ledger};
 pub use messages::{Bill, Complaint, GMessage, PaymentProof};
-pub use root::{arbitrate, ArbitrationContext, ArbitrationRecord};
-pub use runner::{run, RunReport, Scenario};
+pub use root::{arbitrate, arbitrate_unresponsive, ArbitrationContext, ArbitrationRecord};
+pub use runner::{run, try_run, RunReport, Scenario, ScenarioError};
 pub use transcript::{replay, Finding, FindingKind, Transcript};
 pub use tree_runner::{run_tree, TreeRunReport, TreeScenario};

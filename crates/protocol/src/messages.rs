@@ -4,11 +4,10 @@
 
 use crate::crypto::{Dsm, NodeId, Registry};
 use crate::lambda::LoadTag;
-use serde::{Deserialize, Serialize};
 
 /// Phase I message: `P_i` reports its equivalent processing time
 /// `dsm_i(w̄_i)` to its predecessor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BidMessage {
     /// `dsm_i(w̄_i)`.
     pub equivalent: Dsm<f64>,
@@ -21,7 +20,7 @@ pub struct BidMessage {
 /// signed by `P_{i-2}` (the *grandparent*), so `P_{i-1}` cannot tell its
 /// parent one story and its child another without producing attributable,
 /// contradictory evidence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GMessage {
     /// `dsm_{i-2}(D_{i-1})` — load reaching the predecessor, vouched by the
     /// grandparent.
@@ -39,7 +38,7 @@ pub struct GMessage {
 }
 
 /// Why a `G_i` message was rejected by its recipient.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GCheckError {
     /// A signature failed to verify or carried the wrong signer.
     Inauthentic,
@@ -107,7 +106,7 @@ impl GMessage {
 }
 
 /// A complaint submitted to the root for arbitration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Complaint {
     /// Two authentic, contradictory signed values from the same node
     /// (Phase I or II).
@@ -145,6 +144,18 @@ pub enum Complaint {
         /// The accused (innocent) node.
         accused: NodeId,
     },
+    /// A neighbour stopped responding within the detection timeout. Unlike
+    /// every other complaint this one is **no-fault**: a lost message can
+    /// mimic a crash, so the root probes liveness and triggers recovery
+    /// but levies no fine on either party (extended Lemma 5.2 — an honest
+    /// survivor must never pay for its neighbour's failure, and an honest
+    /// reporter must never pay for a timeout the network caused).
+    Unresponsive {
+        /// The silent node.
+        accused: NodeId,
+        /// The phase in which the silence was observed.
+        phase: u8,
+    },
 }
 
 impl Complaint {
@@ -154,14 +165,15 @@ impl Complaint {
             Complaint::Contradiction { accused, .. }
             | Complaint::BadComputation { accused, .. }
             | Complaint::Overload { accused, .. }
-            | Complaint::Unfounded { accused } => *accused,
+            | Complaint::Unfounded { accused }
+            | Complaint::Unresponsive { accused, .. } => *accused,
         }
     }
 }
 
 /// The Phase IV payment proof `Proof_j` (eq. 4.12): everything the root
 /// needs to recompute `Q_j` from scratch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PaymentProof {
     /// The `G_j` message received in Phase II.
     pub g: GMessage,
@@ -175,7 +187,7 @@ pub struct PaymentProof {
 }
 
 /// A bill submitted to the payment infrastructure in Phase IV.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bill {
     /// The billing node.
     pub node: NodeId,
@@ -233,7 +245,10 @@ mod tests {
         let reg = registry();
         let mut g = consistent_example(&reg);
         g.w_prev.payload = 0.9; // altered without re-signing
-        assert_eq!(g.check(&reg, 1, 1.0, 1.0, 1e-9), Err(GCheckError::Inauthentic));
+        assert_eq!(
+            g.check(&reg, 1, 1.0, 1.0, 1e-9),
+            Err(GCheckError::Inauthentic)
+        );
     }
 
     #[test]
@@ -242,7 +257,10 @@ mod tests {
         let mut g = consistent_example(&reg);
         // Re-sign w_prev with a non-parent key.
         g.w_prev = Dsm::new(&reg.keypair(3), g.w_prev.payload);
-        assert_eq!(g.check(&reg, 1, 1.0, 1.0, 1e-9), Err(GCheckError::Inauthentic));
+        assert_eq!(
+            g.check(&reg, 1, 1.0, 1.0, 1e-9),
+            Err(GCheckError::Inauthentic)
+        );
     }
 
     #[test]
@@ -250,7 +268,10 @@ mod tests {
         let reg = registry();
         let g = consistent_example(&reg);
         // recipient actually bid 1.1, message echoes 1.0
-        assert_eq!(g.check(&reg, 1, 1.1, 1.0, 1e-9), Err(GCheckError::BidMismatch));
+        assert_eq!(
+            g.check(&reg, 1, 1.1, 1.0, 1e-9),
+            Err(GCheckError::BidMismatch)
+        );
     }
 
     #[test]
@@ -258,7 +279,10 @@ mod tests {
         let reg = registry();
         // wbar_prev inconsistent with α̂·w_prev
         let g = honest_g(&reg, 1, 1.0, 1.0 / 3.0, 0.5, 1.0, 1.0);
-        assert_eq!(g.check(&reg, 1, 1.0, 1.0, 1e-9), Err(GCheckError::EquivalentIdentity));
+        assert_eq!(
+            g.check(&reg, 1, 1.0, 1.0, 1e-9),
+            Err(GCheckError::EquivalentIdentity)
+        );
     }
 
     #[test]
@@ -267,14 +291,20 @@ mod tests {
         // self-consistent w̄_{0} = α̂·w_0 but α̂ violates eq. 2.7
         // α̂ = 0.5: wbar_prev = 0.5, but (1-0.5)(1+1) = 1 ≠ 0.5
         let g = honest_g(&reg, 1, 1.0, 0.5, 0.5, 1.0, 1.0);
-        assert_eq!(g.check(&reg, 1, 1.0, 1.0, 1e-9), Err(GCheckError::BalanceIdentity));
+        assert_eq!(
+            g.check(&reg, 1, 1.0, 1.0, 1e-9),
+            Err(GCheckError::BalanceIdentity)
+        );
     }
 
     #[test]
     fn nonsense_fractions_caught() {
         let reg = registry();
         let g = honest_g(&reg, 1, 1.0, 1.5, 0.5, 1.0, 1.0); // D grows?!
-        assert_eq!(g.check(&reg, 1, 1.0, 1.0, 1e-9), Err(GCheckError::BadFractions));
+        assert_eq!(
+            g.check(&reg, 1, 1.0, 1.0, 1e-9),
+            Err(GCheckError::BadFractions)
+        );
     }
 
     #[test]

@@ -11,13 +11,12 @@ use crate::lambda::BlockMint;
 use crate::ledger::{EntryKind, Ledger};
 use crate::messages::Complaint;
 use mechanism::FineSchedule;
-use serde::{Deserialize, Serialize};
 
 /// Tolerance for the root's arithmetic recomputation.
 pub const ARBITRATION_TOL: f64 = 1e-9;
 
 /// Outcome of arbitrating one complaint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArbitrationRecord {
     /// Who filed the complaint.
     pub claimant: NodeId,
@@ -59,18 +58,33 @@ pub fn arbitrate(
 ) -> ArbitrationRecord {
     let accused = complaint.accused();
     let (substantiated, extra_penalty, label) = match complaint {
-        Complaint::Contradiction { accused, first, second } => {
-            let both_authentic =
-                first.verify(ctx.registry, Some(*accused)) && second.verify(ctx.registry, Some(*accused));
+        Complaint::Contradiction {
+            accused,
+            first,
+            second,
+        } => {
+            let both_authentic = first.verify(ctx.registry, Some(*accused))
+                && second.verify(ctx.registry, Some(*accused));
             let different = (first.payload - second.payload).abs() > ARBITRATION_TOL;
             (both_authentic && different, 0.0, "contradiction")
         }
-        Complaint::BadComputation { evidence, recipient_bid, link_rate, .. } => {
+        Complaint::BadComputation {
+            evidence,
+            recipient_bid,
+            link_rate,
+            ..
+        } => {
             // The root replays the recipient's checks. Any failure means
             // the sender deviated (signatures were already verified by the
             // recipient; the root re-verifies them too).
             let failed = evidence
-                .check(ctx.registry, claimant, *recipient_bid, *link_rate, ARBITRATION_TOL)
+                .check(
+                    ctx.registry,
+                    claimant,
+                    *recipient_bid,
+                    *link_rate,
+                    ARBITRATION_TOL,
+                )
                 .is_err();
             (failed, 0.0, "bad-computation")
         }
@@ -89,18 +103,34 @@ pub fn arbitrate(
             }
         }
         Complaint::Unfounded { .. } => (false, 0.0, "unfounded"),
+        // Timeouts cannot be substantiated from signed evidence alone — a
+        // dropped message is indistinguishable from a crash. The root
+        // resolves them out of band via a liveness probe
+        // ([`arbitrate_unresponsive`]); routed here they are no-fault.
+        Complaint::Unresponsive { .. } => (false, 0.0, "unresponsive"),
     };
 
-    let f = ctx.fine.deviation_fine();
-    if substantiated {
-        ledger.post(accused, EntryKind::Fine, -f, ctx.phase);
-        ledger.post(claimant, EntryKind::Reward, f, ctx.phase);
-        if extra_penalty > 0.0 {
-            ledger.post(accused, EntryKind::ExtraWorkPenalty, -extra_penalty, ctx.phase);
-        }
+    let f = if matches!(complaint, Complaint::Unresponsive { .. }) {
+        0.0
     } else {
-        ledger.post(claimant, EntryKind::Fine, -f, ctx.phase);
-        ledger.post(accused, EntryKind::Reward, f, ctx.phase);
+        ctx.fine.deviation_fine()
+    };
+    if f > 0.0 {
+        if substantiated {
+            ledger.post(accused, EntryKind::Fine, -f, ctx.phase);
+            ledger.post(claimant, EntryKind::Reward, f, ctx.phase);
+            if extra_penalty > 0.0 {
+                ledger.post(
+                    accused,
+                    EntryKind::ExtraWorkPenalty,
+                    -extra_penalty,
+                    ctx.phase,
+                );
+            }
+        } else {
+            ledger.post(claimant, EntryKind::Fine, -f, ctx.phase);
+            ledger.post(accused, EntryKind::Reward, f, ctx.phase);
+        }
     }
     ArbitrationRecord {
         claimant,
@@ -109,6 +139,25 @@ pub fn arbitrate(
         substantiated,
         fine: f,
         extra_penalty,
+    }
+}
+
+/// Resolve an [`Complaint::Unresponsive`] timeout complaint by liveness
+/// probe: the root pings the accused and substantiates the complaint iff
+/// the node is genuinely down. Either way **no fine is levied and nothing
+/// is posted to the ledger** — failure is no-fault, and a live node that
+/// merely suffered a dropped message owes nothing, while the reporter who
+/// experienced a real timeout is not punished for raising it. This is the
+/// fault-tolerant extension of Lemma 5.2: across every injected fault, a
+/// processor still pays only if it *deviated*.
+pub fn arbitrate_unresponsive(claimant: NodeId, accused: NodeId, alive: bool) -> ArbitrationRecord {
+    ArbitrationRecord {
+        claimant,
+        accused,
+        complaint: "unresponsive".to_string(),
+        substantiated: !alive,
+        fine: 0.0,
+        extra_penalty: 0.0,
     }
 }
 
@@ -152,8 +201,11 @@ mod tests {
         // Claimant forges the second message (cannot sign as node 2).
         let mut second = Dsm::new(&key, 0.5);
         second.payload = 0.9; // tampered, signature now invalid
-        let complaint =
-            Complaint::Contradiction { accused: 2, first: Dsm::new(&key, 0.5), second };
+        let complaint = Complaint::Contradiction {
+            accused: 2,
+            first: Dsm::new(&key, 0.5),
+            second,
+        };
         let mut ledger = Ledger::new();
         let rec = arbitrate(&complaint, 1, &ctx(&reg, &mint), &mut ledger);
         assert!(!rec.substantiated, "forged evidence must not convict");
@@ -167,7 +219,11 @@ mod tests {
         let mint = BlockMint::new(10, 1);
         let key = reg.keypair(2);
         let m = Dsm::new(&key, 0.5);
-        let complaint = Complaint::Contradiction { accused: 2, first: m, second: m };
+        let complaint = Complaint::Contradiction {
+            accused: 2,
+            first: m,
+            second: m,
+        };
         let mut ledger = Ledger::new();
         let rec = arbitrate(&complaint, 1, &ctx(&reg, &mint), &mut ledger);
         assert!(!rec.substantiated);
@@ -178,7 +234,11 @@ mod tests {
         let reg = Registry::new(4, 1);
         let mint = BlockMint::new(10, 1);
         let tag = mint.range(0, 6); // proven 0.6 received
-        let complaint = Complaint::Overload { accused: 1, expected: 0.4, tag };
+        let complaint = Complaint::Overload {
+            accused: 1,
+            expected: 0.4,
+            tag,
+        };
         let mut ledger = Ledger::new();
         let rec = arbitrate(&complaint, 2, &ctx(&reg, &mint), &mut ledger);
         assert!(rec.substantiated);
@@ -192,7 +252,11 @@ mod tests {
         let reg = Registry::new(4, 1);
         let mint = BlockMint::new(10, 1);
         let tag = crate::lambda::LoadTag::forged(8, 99);
-        let complaint = Complaint::Overload { accused: 1, expected: 0.4, tag };
+        let complaint = Complaint::Overload {
+            accused: 1,
+            expected: 0.4,
+            tag,
+        };
         let mut ledger = Ledger::new();
         let rec = arbitrate(&complaint, 2, &ctx(&reg, &mint), &mut ledger);
         assert!(!rec.substantiated);
@@ -204,10 +268,17 @@ mod tests {
         let reg = Registry::new(4, 1);
         let mint = BlockMint::new(10, 1);
         let tag = mint.range(0, 4); // exactly the expected amount
-        let complaint = Complaint::Overload { accused: 1, expected: 0.4, tag };
+        let complaint = Complaint::Overload {
+            accused: 1,
+            expected: 0.4,
+            tag,
+        };
         let mut ledger = Ledger::new();
         let rec = arbitrate(&complaint, 2, &ctx(&reg, &mint), &mut ledger);
-        assert!(!rec.substantiated, "receiving the prescribed load is not a grievance");
+        assert!(
+            !rec.substantiated,
+            "receiving the prescribed load is not a grievance"
+        );
     }
 
     #[test]
@@ -220,6 +291,41 @@ mod tests {
         assert!(!rec.substantiated);
         assert_eq!(ledger.net(2), -10.0);
         assert_eq!(ledger.net(3), 10.0);
+    }
+
+    #[test]
+    fn unresponsive_complaint_never_moves_money() {
+        let reg = Registry::new(4, 1);
+        let mint = BlockMint::new(10, 1);
+        let complaint = Complaint::Unresponsive {
+            accused: 2,
+            phase: 3,
+        };
+        let mut ledger = Ledger::new();
+        let rec = arbitrate(&complaint, 1, &ctx(&reg, &mint), &mut ledger);
+        assert_eq!(rec.fine, 0.0);
+        assert!(
+            ledger.entries().is_empty(),
+            "timeouts are no-fault: no postings at all"
+        );
+    }
+
+    #[test]
+    fn liveness_probe_substantiates_against_dead_node_without_fine() {
+        let rec = arbitrate_unresponsive(1, 2, false);
+        assert!(rec.substantiated);
+        assert_eq!(rec.fine, 0.0);
+        assert_eq!(rec.extra_penalty, 0.0);
+    }
+
+    #[test]
+    fn liveness_probe_exculpates_live_node_without_fining_reporter() {
+        let rec = arbitrate_unresponsive(1, 2, true);
+        assert!(!rec.substantiated);
+        assert_eq!(
+            rec.fine, 0.0,
+            "a timeout the network caused must not cost the reporter"
+        );
     }
 
     #[test]

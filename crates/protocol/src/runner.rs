@@ -30,11 +30,10 @@ use mechanism::payment::{self, PaymentInputs};
 use mechanism::FineSchedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sim::NodeBehavior;
 
 /// A complete protocol scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// The obedient root's unit processing time `w_0`.
     pub root_rate: f64,
@@ -56,10 +55,106 @@ pub struct Scenario {
     pub solution_found: bool,
 }
 
+/// Why a [`Scenario`] was rejected before the protocol could start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// `true_rates` is empty: there is no strategic processor to schedule.
+    NoAgents,
+    /// `true_rates`, `link_rates` and `deviations` must describe the same
+    /// chain: `m` processors need `m` links and `m` deviation slots.
+    LengthMismatch {
+        /// `true_rates.len()`.
+        true_rates: usize,
+        /// `link_rates.len()`.
+        link_rates: usize,
+        /// `deviations.len()`.
+        deviations: usize,
+    },
+    /// A rate that must be finite and strictly positive is not.
+    BadRate {
+        /// Which field (`"root_rate"`, `"true_rates"`, `"link_rates"`).
+        field: &'static str,
+        /// Index within the field (0 for scalars).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The audit probability `q` must lie in `[0, 1]` and be finite.
+    BadAuditProbability(f64),
+    /// The fine `F` must be finite and non-negative.
+    BadFine(f64),
+    /// The solution bonus `S` must be finite and non-negative.
+    BadSolutionBonus(f64),
+    /// Λ must divide the unit load into at least one block.
+    ZeroBlocks,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::NoAgents => write!(f, "scenario has no strategic processors"),
+            ScenarioError::LengthMismatch {
+                true_rates,
+                link_rates,
+                deviations,
+            } => write!(
+                f,
+                "inconsistent chain description: {true_rates} true rates, \
+                 {link_rates} link rates (need {true_rates}), {deviations} deviations \
+                 (need {true_rates})"
+            ),
+            ScenarioError::BadRate {
+                field,
+                index,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{field}[{index}] = {value} is not a finite positive rate"
+                )
+            }
+            ScenarioError::BadAuditProbability(q) => {
+                write!(f, "audit probability {q} is not in [0, 1]")
+            }
+            ScenarioError::BadFine(v) => write!(f, "fine {v} is not finite and non-negative"),
+            ScenarioError::BadSolutionBonus(v) => {
+                write!(f, "solution bonus {v} is not finite and non-negative")
+            }
+            ScenarioError::ZeroBlocks => write!(f, "Λ granularity must be at least one block"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn check_positive(field: &'static str, index: usize, value: f64) -> Result<(), ScenarioError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ScenarioError::BadRate {
+            field,
+            index,
+            value,
+        })
+    }
+}
+
 impl Scenario {
     /// A fully honest scenario over the given chain.
+    ///
+    /// Panics on a malformed chain description; use [`Scenario::validate`]
+    /// / [`try_run`] for a fallible path.
     pub fn honest(root_rate: f64, true_rates: Vec<f64>, link_rates: Vec<f64>) -> Self {
-        assert_eq!(true_rates.len(), link_rates.len());
+        if true_rates.len() != link_rates.len() {
+            panic!(
+                "{}",
+                ScenarioError::LengthMismatch {
+                    true_rates: true_rates.len(),
+                    link_rates: link_rates.len(),
+                    deviations: true_rates.len(),
+                }
+            );
+        }
         let m = true_rates.len();
         let mut w = vec![root_rate];
         w.extend_from_slice(&true_rates);
@@ -107,10 +202,48 @@ impl Scenario {
     pub fn num_agents(&self) -> usize {
         self.true_rates.len()
     }
+
+    /// Check every numeric input the protocol relies on. [`try_run`] calls
+    /// this before touching any state; a scenario that passes cannot make
+    /// the run itself divide by zero or propagate NaNs from its inputs.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let m = self.true_rates.len();
+        if m == 0 {
+            return Err(ScenarioError::NoAgents);
+        }
+        if self.link_rates.len() != m || self.deviations.len() != m {
+            return Err(ScenarioError::LengthMismatch {
+                true_rates: m,
+                link_rates: self.link_rates.len(),
+                deviations: self.deviations.len(),
+            });
+        }
+        check_positive("root_rate", 0, self.root_rate)?;
+        for (i, &t) in self.true_rates.iter().enumerate() {
+            check_positive("true_rates", i, t)?;
+        }
+        for (i, &z) in self.link_rates.iter().enumerate() {
+            check_positive("link_rates", i, z)?;
+        }
+        let q = self.fine.audit_probability;
+        if !(q.is_finite() && (0.0..=1.0).contains(&q)) {
+            return Err(ScenarioError::BadAuditProbability(q));
+        }
+        if !(self.fine.base.is_finite() && self.fine.base >= 0.0) {
+            return Err(ScenarioError::BadFine(self.fine.base));
+        }
+        if !(self.solution_bonus.is_finite() && self.solution_bonus >= 0.0) {
+            return Err(ScenarioError::BadSolutionBonus(self.solution_bonus));
+        }
+        if self.blocks == 0 {
+            return Err(ScenarioError::ZeroBlocks);
+        }
+        Ok(())
+    }
 }
 
 /// Everything a protocol run produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Declared rates `w_1 … w_m`.
     pub bids: Vec<f64>,
@@ -159,11 +292,20 @@ impl RunReport {
     }
 }
 
-/// Execute the scenario.
+/// Execute the scenario, panicking on malformed input.
+///
+/// Thin wrapper over [`try_run`] for tests and experiment drivers whose
+/// scenarios are built programmatically and known-valid.
 pub fn run(scenario: &Scenario) -> RunReport {
+    try_run(scenario).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+}
+
+/// Execute the scenario after validating it, returning a typed error
+/// instead of panicking on bad input (empty chains, mismatched vector
+/// lengths, non-finite/zero/negative rates, out-of-range `q`, …).
+pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
+    scenario.validate()?;
     let m = scenario.num_agents();
-    assert!(m >= 1);
-    assert_eq!(scenario.deviations.len(), m);
     let n = m + 1;
     let registry = Registry::new(n, scenario.seed);
     let mint = BlockMint::new(scenario.blocks, scenario.seed ^ 0x5EED_B10C);
@@ -226,8 +368,16 @@ pub fn run(scenario: &Scenario) -> RunReport {
             let key = registry.keypair(j);
             let first = Dsm::new(&key, reported_wbar[j]);
             let second = Dsm::new(&key, reported_wbar[j] * second_factor);
-            transcript.record(Entry::PhaseIBid { from: j, to: j - 1, message: second });
-            let complaint = Complaint::Contradiction { accused: j, first, second };
+            transcript.record(Entry::PhaseIBid {
+                from: j,
+                to: j - 1,
+                message: second,
+            });
+            let complaint = Complaint::Contradiction {
+                accused: j,
+                first,
+                second,
+            };
             let ctx = ArbitrationContext {
                 registry: &registry,
                 mint: &mint,
@@ -355,11 +505,16 @@ pub fn run(scenario: &Scenario) -> RunReport {
     };
     let plan = LocalAllocation::new(
         (0..n)
-            .map(|i| if received[i] > 1e-15 { (retained[i] / received[i]).clamp(0.0, 1.0) } else { 1.0 })
+            .map(|i| {
+                if received[i] > 1e-15 {
+                    (retained[i] / received[i]).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            })
             .collect(),
     );
-    let behaviors: Vec<NodeBehavior> =
-        (0..n).map(|i| NodeBehavior::compliant(actual[i])).collect();
+    let behaviors: Vec<NodeBehavior> = (0..n).map(|i| NodeBehavior::compliant(actual[i])).collect();
     let exec = sim::simulate_chain(&sim_net, &plan, &behaviors);
 
     // Record deliveries and raise overload grievances.
@@ -375,7 +530,11 @@ pub fn run(scenario: &Scenario) -> RunReport {
         if received[i] > d[i] + half_block {
             let recv_blocks = mint.to_blocks(received[i]).min(scenario.blocks);
             let tag = mint.range(scenario.blocks - recv_blocks, recv_blocks);
-            let complaint = Complaint::Overload { accused: i - 1, expected: d[i], tag };
+            let complaint = Complaint::Overload {
+                accused: i - 1,
+                expected: d[i],
+                tag,
+            };
             let ctx = ArbitrationContext {
                 registry: &registry,
                 mint: &mint,
@@ -389,7 +548,11 @@ pub fn run(scenario: &Scenario) -> RunReport {
 
     // ---------- Phase IV: self-billing and audits ----------
     let bid_net = LinearNetwork::from_rates(&bids, z);
-    let s = if scenario.solution_found { scenario.solution_bonus } else { 0.0 };
+    let s = if scenario.solution_found {
+        scenario.solution_bonus
+    } else {
+        0.0
+    };
     let mut audited = Vec::new();
     let mut valuations = vec![0.0; n];
     for j in 1..=m {
@@ -418,7 +581,10 @@ pub fn run(scenario: &Scenario) -> RunReport {
                 actual_load: retained[j],
             },
         };
-        transcript.record(Entry::PhaseIVBill { bill: bill.clone(), recomputed: honest_bill });
+        transcript.record(Entry::PhaseIVBill {
+            bill: bill.clone(),
+            recomputed: honest_bill,
+        });
         let challenged = rng.gen::<f64>() < scenario.fine.audit_probability;
         if challenged {
             audited.push(j);
@@ -455,7 +621,7 @@ pub fn run(scenario: &Scenario) -> RunReport {
 
     let net_utilities: Vec<f64> = (1..=m).map(|j| valuations[j] + ledger.net(j)).collect();
 
-    RunReport {
+    Ok(RunReport {
         bids: bids[1..].to_vec(),
         actual_rates: actual[1..].to_vec(),
         assigned,
@@ -469,7 +635,7 @@ pub fn run(scenario: &Scenario) -> RunReport {
         gantt: exec.gantt,
         events: exec.events,
         transcript,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -483,7 +649,11 @@ mod tests {
     #[test]
     fn honest_run_is_clean() {
         let report = run(&scenario());
-        assert!(report.clean(), "complaints in an honest run: {:?}", report.arbitrations);
+        assert!(
+            report.clean(),
+            "complaints in an honest run: {:?}",
+            report.arbitrations
+        );
         assert!(report.audited.len() <= 3);
         assert!(report.ledger.total_fines() == 0.0);
     }
@@ -492,8 +662,10 @@ mod tests {
     fn honest_run_matches_mechanism_settlement() {
         let report = run(&scenario());
         let mech = mechanism::DlsLbl::new(1.0, vec![0.2, 0.1, 0.7]);
-        let agents: Vec<mechanism::Agent> =
-            [2.0, 0.5, 4.0].iter().map(|&t| mechanism::Agent::new(t)).collect();
+        let agents: Vec<mechanism::Agent> = [2.0, 0.5, 4.0]
+            .iter()
+            .map(|&t| mechanism::Agent::new(t))
+            .collect();
         let outcome = mech.settle_truthful(&agents);
         for j in 1..=3 {
             assert!(
@@ -511,7 +683,10 @@ mod tests {
         let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
         let sol = linear::solve(&net);
         for i in 0..4 {
-            assert!((report.assigned[i] - sol.alloc.alpha(i)).abs() < 1e-12, "α_{i}");
+            assert!(
+                (report.assigned[i] - sol.alloc.alpha(i)).abs() < 1e-12,
+                "α_{i}"
+            );
             assert!((report.retained[i] - sol.alloc.alpha(i)).abs() < 1e-12);
         }
         assert!((report.makespan - sol.makespan()).abs() < 1e-12);
@@ -542,7 +717,10 @@ mod tests {
         let s = scenario().with_deviation(1, Deviation::WrongDistribution { factor: 1.3 });
         let report = run(&s);
         let convicted: Vec<_> = report.convictions().map(|a| a.accused).collect();
-        assert!(convicted.contains(&1), "P1 should be convicted, got {convicted:?}");
+        assert!(
+            convicted.contains(&1),
+            "P1 should be convicted, got {convicted:?}"
+        );
     }
 
     #[test]
@@ -567,7 +745,10 @@ mod tests {
         // The victim absorbed the extra and is recompensed: its net
         // utility must not fall below the honest run's.
         let honest = run(&scenario());
-        assert!(report.utility(3) >= honest.utility(3) - 1e-9, "victim must be made whole");
+        assert!(
+            report.utility(3) >= honest.utility(3) - 1e-9,
+            "victim must be made whole"
+        );
     }
 
     #[test]
@@ -601,7 +782,9 @@ mod tests {
                 continue;
             }
             // Audits must fire to catch overcharging deterministically.
-            let s = scenario().with_fine(FineSchedule::new(15.0, 1.0)).with_deviation(2, d);
+            let s = scenario()
+                .with_fine(FineSchedule::new(15.0, 1.0))
+                .with_deviation(2, d);
             let report = run(&s);
             assert!(
                 report.utility(2) < honest.utility(2) - 1.0,
@@ -623,7 +806,11 @@ mod tests {
         ] {
             let s = scenario().with_deviation(2, d);
             let report = run(&s);
-            assert!(report.ledger.total_fines() == 0.0, "{} should not be fined", d.label());
+            assert!(
+                report.ledger.total_fines() == 0.0,
+                "{} should not be fined",
+                d.label()
+            );
             assert!(
                 report.utility(2) <= honest.utility(2) + 1e-9,
                 "{} profited: {} vs {}",
@@ -639,7 +826,9 @@ mod tests {
         // Lemma 5.2, fuzzed over the catalog: in every run, only the
         // deviant is ever fined.
         for d in Deviation::catalog() {
-            let s = scenario().with_fine(FineSchedule::new(15.0, 1.0)).with_deviation(2, d);
+            let s = scenario()
+                .with_fine(FineSchedule::new(15.0, 1.0))
+                .with_deviation(2, d);
             let report = run(&s);
             for j in [1usize, 3] {
                 assert!(
@@ -689,7 +878,10 @@ mod tests {
         let mint = BlockMint::new(s.blocks, s.seed ^ 0x5EED_B10C);
         let findings = crate::transcript::replay(&report.transcript, &registry, &mint);
         assert!(findings.is_empty(), "{findings:?}");
-        assert!(report.transcript.len() >= 3 + 3 + 3 + 3, "bids + Gs + deliveries + bills");
+        assert!(
+            report.transcript.len() >= 3 + 3 + 3 + 3,
+            "bids + Gs + deliveries + bills"
+        );
     }
 
     #[test]
@@ -700,7 +892,9 @@ mod tests {
             if !d.is_finable() || matches!(d, Deviation::FalseAccusation) {
                 continue; // false accusations leave no transcript trace
             }
-            let s = scenario().with_fine(FineSchedule::new(15.0, 1.0)).with_deviation(2, d);
+            let s = scenario()
+                .with_fine(FineSchedule::new(15.0, 1.0))
+                .with_deviation(2, d);
             let report = run(&s);
             let registry = Registry::new(4, s.seed);
             let mint = BlockMint::new(s.blocks, s.seed ^ 0x5EED_B10C);
@@ -717,6 +911,114 @@ mod tests {
                 d.label()
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_honest_scenarios() {
+        assert_eq!(scenario().validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_run_rejects_empty_chain() {
+        let mut s = scenario();
+        s.true_rates.clear();
+        assert_eq!(try_run(&s).unwrap_err(), ScenarioError::NoAgents);
+    }
+
+    #[test]
+    fn try_run_rejects_mismatched_lengths() {
+        let mut s = scenario();
+        s.deviations.pop();
+        assert!(matches!(
+            try_run(&s),
+            Err(ScenarioError::LengthMismatch { .. })
+        ));
+        let mut s = scenario();
+        s.link_rates.push(0.5);
+        assert!(matches!(
+            try_run(&s),
+            Err(ScenarioError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn try_run_rejects_degenerate_rates() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut s = scenario();
+            s.true_rates[1] = bad;
+            assert!(
+                matches!(
+                    try_run(&s),
+                    Err(ScenarioError::BadRate {
+                        field: "true_rates",
+                        index: 1,
+                        ..
+                    })
+                ),
+                "accepted true rate {bad}"
+            );
+            let mut s = scenario();
+            s.link_rates[0] = bad;
+            assert!(matches!(
+                try_run(&s),
+                Err(ScenarioError::BadRate {
+                    field: "link_rates",
+                    index: 0,
+                    ..
+                })
+            ));
+            let mut s = scenario();
+            s.root_rate = bad;
+            assert!(matches!(
+                try_run(&s),
+                Err(ScenarioError::BadRate {
+                    field: "root_rate",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn try_run_rejects_bad_mechanism_knobs() {
+        let mut s = scenario();
+        s.fine.audit_probability = 1.5;
+        assert_eq!(
+            try_run(&s).unwrap_err(),
+            ScenarioError::BadAuditProbability(1.5)
+        );
+        let mut s = scenario();
+        s.fine.base = f64::NAN;
+        assert!(matches!(try_run(&s), Err(ScenarioError::BadFine(_))));
+        let mut s = scenario();
+        s.solution_bonus = -1.0;
+        assert_eq!(
+            try_run(&s).unwrap_err(),
+            ScenarioError::BadSolutionBonus(-1.0)
+        );
+        let mut s = scenario();
+        s.blocks = 0;
+        assert_eq!(try_run(&s).unwrap_err(), ScenarioError::ZeroBlocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn run_panics_with_typed_message_on_bad_input() {
+        let mut s = scenario();
+        s.true_rates[0] = -2.0;
+        run(&s);
+    }
+
+    #[test]
+    fn scenario_errors_display_the_offence() {
+        let msg = ScenarioError::BadRate {
+            field: "link_rates",
+            index: 2,
+            value: -0.5,
+        }
+        .to_string();
+        assert!(msg.contains("link_rates[2]"), "{msg}");
+        assert!(msg.contains("-0.5"), "{msg}");
     }
 
     #[test]

@@ -12,10 +12,9 @@
 use crate::crypto::{Dsm, NodeId, Registry};
 use crate::lambda::{BlockMint, LoadTag};
 use crate::messages::{Bill, GMessage};
-use serde::{Deserialize, Serialize};
 
 /// One recorded protocol message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Entry {
     /// Phase I: `from` reported its equivalent time to `to`.
     PhaseIBid {
@@ -56,10 +55,32 @@ pub enum Entry {
         /// (recorded so replay needs no solver round-trip).
         recomputed: f64,
     },
+    /// A neighbour's detection timer expired: `detector` reported `suspect`
+    /// silent in `phase`. Recorded for forensics only — replay never turns
+    /// a timeout into an accusation, because silence carries no signature
+    /// and a dropped message can mimic a crash.
+    Timeout {
+        /// The node whose timer fired.
+        detector: NodeId,
+        /// The node that went silent.
+        suspect: NodeId,
+        /// The phase in which silence was observed.
+        phase: u8,
+    },
+    /// The root spliced a failed node out of the chain and re-solved the
+    /// allocation for its unprocessed load on the survivors.
+    Recovery {
+        /// The node removed from the chain.
+        dead: NodeId,
+        /// Load the dead node had been assigned but never finished.
+        residual: f64,
+        /// `(survivor, extra load)` pairs from the re-solved allocation.
+        reassigned: Vec<(NodeId, f64)>,
+    },
 }
 
 /// A full run transcript.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Transcript {
     entries: Vec<Entry>,
 }
@@ -92,7 +113,7 @@ impl Transcript {
 }
 
 /// A deviation uncovered by replaying a transcript.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// The node the evidence incriminates.
     pub accused: NodeId,
@@ -101,7 +122,7 @@ pub struct Finding {
 }
 
 /// Classification of replay findings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FindingKind {
     /// Two authentic Phase I messages with different values.
     ContradictoryBids,
@@ -125,19 +146,29 @@ pub fn replay(transcript: &Transcript, registry: &Registry, mint: &BlockMint) ->
         match e {
             Entry::PhaseIBid { from, message, .. } => {
                 if !message.verify(registry, Some(*from)) {
-                    findings.push(Finding { accused: *from, kind: FindingKind::ForgedSignature });
+                    findings.push(Finding {
+                        accused: *from,
+                        kind: FindingKind::ForgedSignature,
+                    });
                     continue;
                 }
                 if let Some(&(_, prev)) = bids.iter().find(|(n, _)| n == from) {
                     if (prev - message.payload).abs() > 1e-9 {
-                        findings
-                            .push(Finding { accused: *from, kind: FindingKind::ContradictoryBids });
+                        findings.push(Finding {
+                            accused: *from,
+                            kind: FindingKind::ContradictoryBids,
+                        });
                     }
                 } else {
                     bids.push((*from, message.payload));
                 }
             }
-            Entry::PhaseIIAllocation { from, to, g, link_rate } => {
+            Entry::PhaseIIAllocation {
+                from,
+                to,
+                g,
+                link_rate,
+            } => {
                 // The recipient's Phase I bid is whatever it reported
                 // upward — read it from the transcript itself.
                 let my_bid = bids
@@ -146,17 +177,22 @@ pub fn replay(transcript: &Transcript, registry: &Registry, mint: &BlockMint) ->
                     .map(|&(_, b)| b)
                     .unwrap_or(g.wbar_cur.payload);
                 if g.check(registry, *to, my_bid, *link_rate, 1e-9).is_err() {
-                    findings
-                        .push(Finding { accused: *from, kind: FindingKind::InconsistentAllocation });
+                    findings.push(Finding {
+                        accused: *from,
+                        kind: FindingKind::InconsistentAllocation,
+                    });
                 }
             }
-            Entry::PhaseIIIDelivery { from, to, amount, tag } => {
+            Entry::PhaseIIIDelivery {
+                from,
+                to,
+                amount,
+                tag,
+            } => {
                 // The prescription for `to` is the d_cur of the G message
                 // addressed to it.
                 let prescribed = transcript.entries().iter().find_map(|e2| match e2 {
-                    Entry::PhaseIIAllocation { to: t2, g, .. } if t2 == to => {
-                        Some(g.d_cur.payload)
-                    }
+                    Entry::PhaseIIAllocation { to: t2, g, .. } if t2 == to => Some(g.d_cur.payload),
                     _ => None,
                 });
                 if let Some(d) = prescribed {
@@ -166,20 +202,30 @@ pub fn replay(transcript: &Transcript, registry: &Registry, mint: &BlockMint) ->
                             if p > d + 0.5 * mint.block_size()
                                 && *amount > d + 0.5 * mint.block_size() =>
                         {
-                            findings
-                                .push(Finding { accused: *from, kind: FindingKind::Overdelivery });
+                            findings.push(Finding {
+                                accused: *from,
+                                kind: FindingKind::Overdelivery,
+                            });
                         }
-                        None => findings
-                            .push(Finding { accused: *to, kind: FindingKind::ForgedSignature }),
+                        None => findings.push(Finding {
+                            accused: *to,
+                            kind: FindingKind::ForgedSignature,
+                        }),
                         _ => {}
                     }
                 }
             }
             Entry::PhaseIVBill { bill, recomputed } => {
                 if (bill.amount - recomputed).abs() > 1e-9 {
-                    findings.push(Finding { accused: bill.node, kind: FindingKind::Overcharge });
+                    findings.push(Finding {
+                        accused: bill.node,
+                        kind: FindingKind::Overcharge,
+                    });
                 }
             }
+            // Fault-handling entries are evidence of *recovery*, not of
+            // deviation: no replay finding may ever rest on them.
+            Entry::Timeout { .. } | Entry::Recovery { .. } => {}
         }
     }
     findings
@@ -203,8 +249,16 @@ mod tests {
         let mint = BlockMint::new(10, 1);
         let mut t = Transcript::new();
         let key = reg.keypair(2);
-        t.record(Entry::PhaseIBid { from: 2, to: 1, message: Dsm::new(&key, 0.7) });
-        t.record(Entry::PhaseIBid { from: 2, to: 1, message: Dsm::new(&key, 0.7) });
+        t.record(Entry::PhaseIBid {
+            from: 2,
+            to: 1,
+            message: Dsm::new(&key, 0.7),
+        });
+        t.record(Entry::PhaseIBid {
+            from: 2,
+            to: 1,
+            message: Dsm::new(&key, 0.7),
+        });
         assert!(replay(&t, &reg, &mint).is_empty());
     }
 
@@ -214,8 +268,16 @@ mod tests {
         let mint = BlockMint::new(10, 1);
         let mut t = Transcript::new();
         let key = reg.keypair(2);
-        t.record(Entry::PhaseIBid { from: 2, to: 1, message: Dsm::new(&key, 0.7) });
-        t.record(Entry::PhaseIBid { from: 2, to: 1, message: Dsm::new(&key, 0.9) });
+        t.record(Entry::PhaseIBid {
+            from: 2,
+            to: 1,
+            message: Dsm::new(&key, 0.7),
+        });
+        t.record(Entry::PhaseIBid {
+            from: 2,
+            to: 1,
+            message: Dsm::new(&key, 0.9),
+        });
         let findings = replay(&t, &reg, &mint);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].accused, 2);
@@ -229,9 +291,34 @@ mod tests {
         let mut t = Transcript::new();
         let mut msg = Dsm::new(&reg.keypair(2), 0.7);
         msg.payload = 0.8; // tampered after signing
-        t.record(Entry::PhaseIBid { from: 2, to: 1, message: msg });
+        t.record(Entry::PhaseIBid {
+            from: 2,
+            to: 1,
+            message: msg,
+        });
         let findings = replay(&t, &reg, &mint);
         assert_eq!(findings[0].kind, FindingKind::ForgedSignature);
+    }
+
+    #[test]
+    fn timeout_and_recovery_entries_accuse_nobody() {
+        let reg = Registry::new(4, 1);
+        let mint = BlockMint::new(10, 1);
+        let mut t = Transcript::new();
+        t.record(Entry::Timeout {
+            detector: 1,
+            suspect: 2,
+            phase: 3,
+        });
+        t.record(Entry::Recovery {
+            dead: 2,
+            residual: 0.25,
+            reassigned: vec![(1, 0.1), (3, 0.15)],
+        });
+        assert!(
+            replay(&t, &reg, &mint).is_empty(),
+            "fault entries must never incriminate"
+        );
     }
 
     #[test]
@@ -257,7 +344,10 @@ mod tests {
                 actual_load: 0.4,
             },
         };
-        t.record(Entry::PhaseIVBill { bill, recomputed: 2.0 });
+        t.record(Entry::PhaseIVBill {
+            bill,
+            recomputed: 2.0,
+        });
         let findings = replay(&t, &reg, &mint);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, FindingKind::Overcharge);

@@ -17,18 +17,17 @@ use crate::deviation::Deviation;
 use crate::lambda::BlockMint;
 use crate::ledger::{EntryKind, Ledger};
 use crate::root::ARBITRATION_TOL;
-use mechanism::dls_tree::TreeMechanism;
-use mechanism::{Conduct, FineSchedule};
 use dlt::model::TreeNode;
 use dlt::star;
+use mechanism::dls_tree::TreeMechanism;
+use mechanism::{Conduct, FineSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A tree protocol scenario. Agent indices are preorder positions over the
 /// canonicalized shape's non-root nodes (1-based), matching
 /// [`TreeMechanism`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeScenario {
     /// The network shape (root rate and link rates are trusted; non-root
     /// processor rates are placeholders).
@@ -83,7 +82,7 @@ impl TreeScenario {
 }
 
 /// A recorded grievance in a tree run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeArbitration {
     /// Complaining node (flat id).
     pub claimant: NodeId,
@@ -96,7 +95,7 @@ pub struct TreeArbitration {
 }
 
 /// Result of a tree protocol run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeRunReport {
     /// Net utilities per agent (valuation + all ledger flows).
     pub net_utilities: Vec<f64>,
@@ -141,8 +140,11 @@ struct Flat {
 
 fn flatten(node: &TreeNode) -> Flat {
     let n = node.size();
-    let mut flat =
-        Flat { parent: vec![None; n], z_in: vec![0.0; n], children: vec![Vec::new(); n] };
+    let mut flat = Flat {
+        parent: vec![None; n],
+        z_in: vec![0.0; n],
+        children: vec![Vec::new(); n],
+    };
     fn walk(node: &TreeNode, parent: Option<usize>, z: f64, next: &mut usize, flat: &mut Flat) {
         let idx = *next;
         *next += 1;
@@ -199,8 +201,10 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
                 flat.children[i]
                     .iter()
                     .map(|&c| {
-                        (dlt::model::Link::new(flat.z_in[c]),
-                         dlt::model::Processor::new(reported_wbar[c]))
+                        (
+                            dlt::model::Link::new(flat.z_in[c]),
+                            dlt::model::Processor::new(reported_wbar[c]),
+                        )
                     })
                     .collect(),
             );
@@ -223,8 +227,7 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
             let key = registry.keypair(j);
             let first = Dsm::new(&key, reported_wbar[j]);
             let second = Dsm::new(&key, reported_wbar[j] * second_factor);
-            let authentic =
-                first.verify(&registry, Some(j)) && second.verify(&registry, Some(j));
+            let authentic = first.verify(&registry, Some(j)) && second.verify(&registry, Some(j));
             let substantiated =
                 authentic && (first.payload - second.payload).abs() > ARBITRATION_TOL;
             let claimant = flat.parent[j].expect("non-root");
@@ -258,8 +261,10 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
             flat.children[p]
                 .iter()
                 .map(|&c| {
-                    (dlt::model::Link::new(flat.z_in[c]),
-                     dlt::model::Processor::new(reported_wbar[c]))
+                    (
+                        dlt::model::Link::new(flat.z_in[c]),
+                        dlt::model::Processor::new(reported_wbar[c]),
+                    )
                 })
                 .collect(),
         );
@@ -313,7 +318,10 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
             }
         }
         // Check our own announcement.
-        let my_pos = flat.children[p].iter().position(|&k| k == c).expect("child of parent");
+        let my_pos = flat.children[p]
+            .iter()
+            .position(|&k| k == c)
+            .expect("child of parent");
         let expected_share = d[p] * sol.alloc.alpha(my_pos + 1);
         if (announced_child_d[c] - expected_share).abs() > ARBITRATION_TOL {
             ok = false;
@@ -373,7 +381,11 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
         let keep = keep.min(received[i]).max(0.0);
         retained[i] = keep;
         for &c in &flat.children[i] {
-            let share = if planned_children > 1e-300 { d[c] / planned_children } else { 0.0 };
+            let share = if planned_children > 1e-300 {
+                d[c] / planned_children
+            } else {
+                0.0
+            };
             received[c] = d[c] + extra_shipped * share;
         }
     }
@@ -417,7 +429,11 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
     // ---------- Phase IV: settlement, bills and audits ----------
     let mech = TreeMechanism::new(scenario.shape.clone());
     let conducts: Vec<Conduct> = (1..n)
-        .map(|j| Conduct { bid: bids[j], actual_rate: actual[j], actual_load: Some(retained[j]) })
+        .map(|j| Conduct {
+            bid: bids[j],
+            actual_rate: actual[j],
+            actual_load: Some(retained[j]),
+        })
         .collect();
     let outcome = mech.settle(&conducts);
     let mut valuations = vec![0.0; n];
@@ -465,8 +481,20 @@ mod tests {
         TreeNode::internal(
             1.0,
             vec![
-                (0.15, TreeNode::internal(1.0, vec![(0.05, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))])),
-                (0.30, TreeNode::internal(1.0, vec![(0.10, TreeNode::leaf(1.0)), (0.20, TreeNode::leaf(1.0))])),
+                (
+                    0.15,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.05, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))],
+                    ),
+                ),
+                (
+                    0.30,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.10, TreeNode::leaf(1.0)), (0.20, TreeNode::leaf(1.0))],
+                    ),
+                ),
             ],
         )
     }
@@ -533,14 +561,22 @@ mod tests {
         // Agent 1 is the first internal node (child of the root).
         let s = scenario().with_deviation(1, Deviation::WrongEquivalent { factor: 0.6 });
         let report = run_tree(&s);
-        assert!(report.convictions().any(|a| a.accused == 1), "{:?}", report.arbitrations);
+        assert!(
+            report.convictions().any(|a| a.accused == 1),
+            "{:?}",
+            report.arbitrations
+        );
     }
 
     #[test]
     fn wrong_distribution_is_caught() {
         let s = scenario().with_deviation(1, Deviation::WrongDistribution { factor: 1.4 });
         let report = run_tree(&s);
-        assert!(report.convictions().any(|a| a.accused == 1), "{:?}", report.arbitrations);
+        assert!(
+            report.convictions().any(|a| a.accused == 1),
+            "{:?}",
+            report.arbitrations
+        );
     }
 
     #[test]
@@ -550,7 +586,9 @@ mod tests {
             .with_deviation(1, Deviation::ShedLoad { keep_fraction: 0.3 });
         let report = run_tree(&s);
         let convicted: Vec<_> = report.convictions().collect();
-        assert!(convicted.iter().any(|a| a.accused == 1 && a.complaint == "overload"));
+        assert!(convicted
+            .iter()
+            .any(|a| a.accused == 1 && a.complaint == "overload"));
         assert!(report.ledger.net_of(1, EntryKind::ExtraWorkPenalty) < 0.0);
     }
 
@@ -567,14 +605,20 @@ mod tests {
             .with_fine(FineSchedule::new(50.0, 1.0))
             .with_deviation(4, Deviation::Overcharge { amount: 0.4 });
         let report = run_tree(&s);
-        assert!(report.convictions().any(|a| a.accused == 4 && a.complaint == "overcharge"));
+        assert!(report
+            .convictions()
+            .any(|a| a.accused == 4 && a.complaint == "overcharge"));
     }
 
     #[test]
     fn false_accusation_backfires() {
         let s = scenario().with_deviation(2, Deviation::FalseAccusation);
         let report = run_tree(&s);
-        let rec = report.arbitrations.iter().find(|a| a.claimant == 2).expect("filed");
+        let rec = report
+            .arbitrations
+            .iter()
+            .find(|a| a.claimant == 2)
+            .expect("filed");
         assert!(!rec.substantiated);
         assert!(report.ledger.net_of(2, EntryKind::Fine) < 0.0);
     }
@@ -585,7 +629,9 @@ mod tests {
         for d in Deviation::catalog() {
             // Target an internal node so every deviation is applicable.
             let target = 1;
-            let s = scenario().with_fine(FineSchedule::new(50.0, 1.0)).with_deviation(target, d);
+            let s = scenario()
+                .with_fine(FineSchedule::new(50.0, 1.0))
+                .with_deviation(target, d);
             let report = run_tree(&s);
             assert!(
                 report.utility(target) <= honest.utility(target) + 1e-9,
@@ -600,7 +646,9 @@ mod tests {
     #[test]
     fn honest_nodes_never_fined_in_tree_runs() {
         for d in Deviation::catalog() {
-            let s = scenario().with_fine(FineSchedule::new(50.0, 1.0)).with_deviation(2, d);
+            let s = scenario()
+                .with_fine(FineSchedule::new(50.0, 1.0))
+                .with_deviation(2, d);
             let report = run_tree(&s);
             for j in (1..=6).filter(|&j| j != 2) {
                 assert!(
@@ -617,12 +665,14 @@ mod tests {
         // A path tree run through the tree protocol vs the chain runner.
         let chain_shape = TreeNode::internal(
             1.0,
-            vec![(0.2, TreeNode::internal(1.0, vec![(0.1, TreeNode::leaf(1.0))]))],
+            vec![(
+                0.2,
+                TreeNode::internal(1.0, vec![(0.1, TreeNode::leaf(1.0))]),
+            )],
         );
         let tree_scenario = TreeScenario::honest(chain_shape, vec![2.0, 0.5]);
         let tree_report = run_tree(&tree_scenario);
-        let chain_scenario =
-            crate::runner::Scenario::honest(1.0, vec![2.0, 0.5], vec![0.2, 0.1]);
+        let chain_scenario = crate::runner::Scenario::honest(1.0, vec![2.0, 0.5], vec![0.2, 0.1]);
         let chain_report = crate::runner::run(&chain_scenario);
         for j in 1..=2 {
             assert!(

@@ -14,10 +14,9 @@
 use crate::engine::Engine;
 use crate::time::SimTime;
 use dlt::model::{LinearNetwork, LocalAllocation};
-use serde::{Deserialize, Serialize};
 
 /// Result of a per-block run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockRun {
     /// Number of blocks each node retained.
     pub retained_blocks: Vec<usize>,
@@ -165,8 +164,14 @@ mod tests {
             let run = simulate_blocks(&net, &sol.local, &rates, blocks);
             errors.push((run.makespan - aggregate.makespan).abs());
         }
-        assert!(errors[2] < errors[0], "error should shrink with granularity: {errors:?}");
-        assert!(errors[2] < 1e-3, "10k blocks should be within 1e-3: {errors:?}");
+        assert!(
+            errors[2] < errors[0],
+            "error should shrink with granularity: {errors:?}"
+        );
+        assert!(
+            errors[2] < 1e-3,
+            "10k blocks should be within 1e-3: {errors:?}"
+        );
     }
 
     #[test]

@@ -13,10 +13,9 @@ use crate::engine::Engine;
 use crate::gantt::{Activity, GanttChart};
 use crate::time::SimTime;
 use dlt::model::{LinearNetwork, LocalAllocation, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// Per-node runtime behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeBehavior {
     /// Actual unit processing time `w̃_i` the node computes at. The paper
     /// requires `w̃_i ≥ t_i`; the simulator itself accepts any positive
@@ -26,31 +25,60 @@ pub struct NodeBehavior {
     /// node keeps. `None` means the prescribed fraction. Ignored for the
     /// terminal node, which has no successor and must keep everything.
     pub retention_override: Option<f64>,
+    /// Fraction of the retained load the node actually finishes computing
+    /// before halting (crash-stop or stall). `None` means it runs to
+    /// completion. Forwarding is unaffected: under the store-and-forward
+    /// front-end model the outbound transfer completes before computation,
+    /// so a compute-phase failure never starves the successors.
+    pub compute_cap: Option<f64>,
 }
 
 impl NodeBehavior {
     /// Fully compliant behavior at the given actual rate.
     pub fn compliant(actual_rate: f64) -> Self {
-        Self { actual_rate, retention_override: None }
+        Self {
+            actual_rate,
+            retention_override: None,
+            compute_cap: None,
+        }
     }
 
     /// Load-shedding behavior: keep only `fraction` of the received load
     /// (forwarding the rest), computing at `actual_rate`.
     pub fn shedding(actual_rate: f64, fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&fraction));
-        Self { actual_rate, retention_override: Some(fraction) }
+        Self {
+            actual_rate,
+            retention_override: Some(fraction),
+            compute_cap: None,
+        }
+    }
+
+    /// Failing behavior: the node halts (crash-stop or stall) after
+    /// completing `progress` of its retained load, having already forwarded
+    /// the rest of the chain's share.
+    pub fn failing(actual_rate: f64, progress: f64) -> Self {
+        assert!((0.0..=1.0).contains(&progress));
+        Self {
+            actual_rate,
+            retention_override: None,
+            compute_cap: Some(progress),
+        }
     }
 }
 
 /// Result of a simulated chain run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainRun {
     /// The recorded Gantt chart.
     pub gantt: GanttChart,
     /// Load actually received by each node (`D̃_i`).
     pub received: Vec<f64>,
-    /// Load actually retained and computed by each node (`α̃_i`).
+    /// Load actually retained by each node (`α̃_i`).
     pub retained: Vec<f64>,
+    /// Load actually *finished* by each node — equal to `retained` except
+    /// for nodes that halted mid-computation (`compute_cap`).
+    pub computed: Vec<f64>,
     /// Load actually forwarded by each node.
     pub forwarded: Vec<f64>,
     /// Per-node compute finish times (0 for idle nodes).
@@ -74,7 +102,11 @@ enum Event {
 ///
 /// # Panics
 /// Panics if the vector lengths disagree with the network size.
-pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBehavior]) -> ChainRun {
+pub fn simulate(
+    net: &LinearNetwork,
+    plan: &LocalAllocation,
+    behaviors: &[NodeBehavior],
+) -> ChainRun {
     let n = net.len();
     assert_eq!(plan.len(), n, "plan size mismatch");
     assert_eq!(behaviors.len(), n, "behavior size mismatch");
@@ -83,6 +115,7 @@ pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBe
     let mut gantt = GanttChart::with_processors(n);
     let mut received = vec![0.0; n];
     let mut retained = vec![0.0; n];
+    let mut computed = vec![0.0; n];
     let mut forwarded = vec![0.0; n];
     let mut finish = vec![0.0; n];
 
@@ -90,13 +123,18 @@ pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBe
         if i == m {
             1.0
         } else {
-            behaviors[i].retention_override.unwrap_or_else(|| plan.alpha_hat(i))
+            behaviors[i]
+                .retention_override
+                .unwrap_or_else(|| plan.alpha_hat(i))
         }
     };
 
     let mut engine: Engine<Event> = Engine::new();
     // The root "receives" the whole load at time zero.
-    engine.schedule_at(SimTime::ZERO, Event::TransferComplete { to: 0, amount: 1.0 });
+    engine.schedule_at(
+        SimTime::ZERO,
+        Event::TransferComplete { to: 0, amount: 1.0 },
+    );
 
     engine.run(|eng, t, ev| match ev {
         Event::TransferComplete { to, amount } => {
@@ -111,14 +149,22 @@ pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBe
             let fwd = amount - keep;
             retained[to] = keep;
             forwarded[to] = fwd;
-            if keep > 0.0 {
-                let dur = keep * behaviors[to].actual_rate;
-                gantt.record(to, Activity::Compute, now, now + dur, keep);
+            let done = keep * behaviors[to].compute_cap.unwrap_or(1.0);
+            computed[to] = done;
+            if done > 0.0 {
+                let dur = done * behaviors[to].actual_rate;
+                gantt.record(to, Activity::Compute, now, now + dur, done);
                 eng.schedule_in(dur, Event::ComputeComplete { node: to });
             }
             if to < m && fwd > EPSILON {
                 let dur = fwd * net.z(to + 1);
-                eng.schedule_in(dur, Event::TransferComplete { to: to + 1, amount: fwd });
+                eng.schedule_in(
+                    dur,
+                    Event::TransferComplete {
+                        to: to + 1,
+                        amount: fwd,
+                    },
+                );
             }
         }
         Event::ComputeComplete { node } => {
@@ -128,14 +174,24 @@ pub fn simulate(net: &LinearNetwork, plan: &LocalAllocation, behaviors: &[NodeBe
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
     let events = engine.processed();
-    ChainRun { gantt, received, retained, forwarded, finish_times: finish, makespan, events }
+    ChainRun {
+        gantt,
+        received,
+        retained,
+        computed,
+        forwarded,
+        finish_times: finish,
+        makespan,
+        events,
+    }
 }
 
 /// Simulate a fully honest run: every node computes at the network rate and
 /// retains the prescribed fraction.
 pub fn simulate_honest(net: &LinearNetwork, plan: &LocalAllocation) -> ChainRun {
-    let behaviors: Vec<NodeBehavior> =
-        (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+    let behaviors: Vec<NodeBehavior> = (0..net.len())
+        .map(|i| NodeBehavior::compliant(net.w(i)))
+        .collect();
     simulate(net, plan, &behaviors)
 }
 
@@ -175,8 +231,14 @@ mod tests {
         for (i, p) in analytic.processors.iter().enumerate() {
             let lane = &run.gantt.lanes[i];
             let compute = lane.of(Activity::Compute).next().expect("compute segment");
-            assert!((compute.start - p.compute.start).abs() < 1e-12, "P{i} compute start");
-            assert!((compute.end - p.compute.end).abs() < 1e-12, "P{i} compute end");
+            assert!(
+                (compute.start - p.compute.start).abs() < 1e-12,
+                "P{i} compute start"
+            );
+            assert!(
+                (compute.end - p.compute.end).abs() < 1e-12,
+                "P{i} compute end"
+            );
         }
     }
 
@@ -212,8 +274,9 @@ mod tests {
     fn slow_node_delays_only_its_own_finish() {
         let net = net4();
         let sol = linear::solve(&net);
-        let mut behaviors: Vec<NodeBehavior> =
-            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
         behaviors[2].actual_rate = net.w(2) * 3.0; // P2 computes 3x slower
         let run = simulate(&net, &sol.local, &behaviors);
         let honest = simulate_honest(&net, &sol.local);
@@ -229,15 +292,19 @@ mod tests {
     fn shedding_node_pushes_load_downstream() {
         let net = net4();
         let sol = linear::solve(&net);
-        let mut behaviors: Vec<NodeBehavior> =
-            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
         // P1 keeps only half of what it should.
         let prescribed = sol.local.alpha_hat(1);
         behaviors[1] = NodeBehavior::shedding(net.w(1), prescribed / 2.0);
         let run = simulate(&net, &sol.local, &behaviors);
         let honest = simulate_honest(&net, &sol.local);
         assert!(run.retained[1] < honest.retained[1] - 1e-9);
-        assert!(run.received[2] > honest.received[2] + 1e-9, "successor receives extra");
+        assert!(
+            run.received[2] > honest.received[2] + 1e-9,
+            "successor receives extra"
+        );
         // Total load is conserved.
         let total: f64 = run.retained.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -247,8 +314,9 @@ mod tests {
     fn shedding_everything_gives_node_zero_finish_time() {
         let net = net4();
         let sol = linear::solve(&net);
-        let mut behaviors: Vec<NodeBehavior> =
-            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
         behaviors[1] = NodeBehavior::shedding(net.w(1), 0.0);
         let run = simulate(&net, &sol.local, &behaviors);
         assert_eq!(run.retained[1], 0.0);
@@ -259,13 +327,63 @@ mod tests {
     fn terminal_node_cannot_shed() {
         let net = net4();
         let sol = linear::solve(&net);
-        let mut behaviors: Vec<NodeBehavior> =
-            (0..net.len()).map(|i| NodeBehavior::compliant(net.w(i))).collect();
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
         behaviors[3] = NodeBehavior::shedding(net.w(3), 0.0); // ignored
         let run = simulate(&net, &sol.local, &behaviors);
         assert!(run.retained[3] > 0.0);
         let total: f64 = run.retained.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failing_node_finishes_only_its_progress() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
+        behaviors[1] = NodeBehavior::failing(net.w(1), 0.25);
+        let run = simulate(&net, &sol.local, &behaviors);
+        let honest = simulate_honest(&net, &sol.local);
+        // It still receives and forwards the full flow...
+        assert!((run.received[1] - honest.received[1]).abs() < 1e-12);
+        assert!((run.retained[1] - honest.retained[1]).abs() < 1e-12);
+        for i in [0usize, 2, 3] {
+            assert!(
+                (run.received[i] - honest.received[i]).abs() < 1e-12,
+                "P{i} flow disturbed"
+            );
+            assert!((run.computed[i] - honest.retained[i]).abs() < 1e-12);
+        }
+        // ...but only a quarter of its own share is ever finished.
+        assert!((run.computed[1] - 0.25 * honest.retained[1]).abs() < 1e-12);
+        assert!(run.finish_times[1] < honest.finish_times[1]);
+    }
+
+    #[test]
+    fn failing_at_zero_progress_computes_nothing() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let mut behaviors: Vec<NodeBehavior> = (0..net.len())
+            .map(|i| NodeBehavior::compliant(net.w(i)))
+            .collect();
+        behaviors[2] = NodeBehavior::failing(net.w(2), 0.0);
+        let run = simulate(&net, &sol.local, &behaviors);
+        assert_eq!(run.computed[2], 0.0);
+        assert_eq!(run.finish_times[2], 0.0);
+        assert!(run.retained[2] > 0.0, "the load was still delivered to it");
+    }
+
+    #[test]
+    fn compliant_runs_compute_everything_they_retain() {
+        let net = net4();
+        let sol = linear::solve(&net);
+        let run = simulate_honest(&net, &sol.local);
+        for i in 0..net.len() {
+            assert!((run.computed[i] - run.retained[i]).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// A fresh engine at time zero.
     pub fn new() -> Self {
-        Self { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        Self {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -85,8 +90,17 @@ impl<E> Engine<E> {
     /// # Panics
     /// Panics if `at` is in the past — the model has no retro-causality.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {} < {}", at, self.now);
-        self.queue.push(Scheduled { time: at, seq: self.seq, payload });
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {} < {}",
+            at,
+            self.now
+        );
+        self.queue.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

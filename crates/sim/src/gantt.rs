@@ -6,10 +6,8 @@
 //! (no overlapping activity on a one-port resource) and rendered as ASCII
 //! art for the `exp_fig2_gantt` experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of activity a segment represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activity {
     /// Receiving load on an inbound link.
     Receive,
@@ -31,7 +29,7 @@ impl Activity {
 }
 
 /// One activity interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// What is happening.
     pub activity: Activity,
@@ -51,7 +49,7 @@ impl Segment {
 }
 
 /// A lane of the chart (one processor's activity).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lane {
     /// Lane label (e.g. `P3`).
     pub label: String,
@@ -67,7 +65,7 @@ impl Lane {
 }
 
 /// A full Gantt chart.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GanttChart {
     /// Lanes in processor order.
     pub lanes: Vec<Lane>,
@@ -77,14 +75,24 @@ impl GanttChart {
     /// Create a chart with `n` empty lanes labelled `P0 … P{n-1}`.
     pub fn with_processors(n: usize) -> Self {
         Self {
-            lanes: (0..n).map(|i| Lane { label: format!("P{i}"), segments: Vec::new() }).collect(),
+            lanes: (0..n)
+                .map(|i| Lane {
+                    label: format!("P{i}"),
+                    segments: Vec::new(),
+                })
+                .collect(),
         }
     }
 
     /// Record a segment on lane `lane`.
     pub fn record(&mut self, lane: usize, activity: Activity, start: f64, end: f64, load: f64) {
         assert!(end >= start, "segment ends before it starts");
-        self.lanes[lane].segments.push(Segment { activity, start, end, load });
+        self.lanes[lane].segments.push(Segment {
+            activity,
+            start,
+            end,
+            load,
+        });
     }
 
     /// Latest end time over all segments.
@@ -152,8 +160,16 @@ impl GanttChart {
                     *cell = s.activity.glyph();
                 }
             }
-            out.push_str(&format!("{:>4} comm |{}|\n", lane.label, comm.iter().collect::<String>()));
-            out.push_str(&format!("{:>4} comp |{}|\n", "", comp.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>4} comm |{}|\n",
+                lane.label,
+                comm.iter().collect::<String>()
+            ));
+            out.push_str(&format!(
+                "{:>4} comp |{}|\n",
+                "",
+                comp.iter().collect::<String>()
+            ));
         }
         out.push_str(&format!(
             "{:>4}      0{}{:.4}\n",

@@ -30,6 +30,6 @@ pub use blocks::{simulate_blocks, BlockRun};
 pub use chain::{simulate as simulate_chain, simulate_honest, ChainRun, NodeBehavior};
 pub use engine::Engine;
 pub use gantt::{Activity, GanttChart, Lane, Segment};
-pub use svg::{render_svg, SvgStyle};
 pub use star_sim::{simulate as simulate_star, StarRun};
+pub use svg::{render_svg, SvgStyle};
 pub use time::SimTime;

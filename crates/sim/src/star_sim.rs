@@ -10,10 +10,9 @@ use crate::engine::Engine;
 use crate::gantt::{Activity, GanttChart};
 use crate::time::SimTime;
 use dlt::model::{Allocation, StarNetwork};
-use serde::{Deserialize, Serialize};
 
 /// Result of a simulated star run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarRun {
     /// Recorded Gantt chart (lane 0 is the root, lane `i` child `i`).
     pub gantt: GanttChart,
@@ -58,7 +57,10 @@ pub fn simulate(net: &StarNetwork, alloc: &Allocation) -> StarRun {
         if amount > 0.0 {
             gantt.record(0, Activity::Send, port_free, port_free + dur, amount);
             gantt.record(lane, Activity::Receive, port_free, port_free + dur, amount);
-            engine.schedule_at(SimTime::new(port_free + dur), Event::TransferComplete { index: lane });
+            engine.schedule_at(
+                SimTime::new(port_free + dur),
+                Event::TransferComplete { index: lane },
+            );
         }
         port_free += dur;
     }
@@ -68,7 +70,13 @@ pub fn simulate(net: &StarNetwork, alloc: &Allocation) -> StarRun {
             let amount = alloc.alpha(index);
             let w = net.children()[index - 1].1.w;
             let dur = amount * w;
-            gantt.record(index, Activity::Compute, t.as_f64(), t.as_f64() + dur, amount);
+            gantt.record(
+                index,
+                Activity::Compute,
+                t.as_f64(),
+                t.as_f64() + dur,
+                amount,
+            );
             eng.schedule_in(dur, Event::ComputeComplete { node: index });
         }
         Event::ComputeComplete { node } => {
@@ -78,7 +86,12 @@ pub fn simulate(net: &StarNetwork, alloc: &Allocation) -> StarRun {
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
     let events = engine.processed();
-    StarRun { gantt, finish_times: finish, makespan, events }
+    StarRun {
+        gantt,
+        finish_times: finish,
+        makespan,
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +109,11 @@ mod tests {
         let sol = star::solve(&net);
         let run = simulate(&net, &sol.alloc);
         for (i, &t) in run.finish_times.iter().enumerate() {
-            assert!((t - sol.makespan).abs() < 1e-12, "P{i}: {t} vs {}", sol.makespan);
+            assert!(
+                (t - sol.makespan).abs() < 1e-12,
+                "P{i}: {t} vs {}",
+                sol.makespan
+            );
         }
     }
 
@@ -140,6 +157,9 @@ mod tests {
         let alloc = Allocation::new(vec![0.2, 0.4, 0.4]);
         let run = simulate(&net, &alloc);
         let recv2 = run.gantt.lanes[2].of(Activity::Receive).next().unwrap();
-        assert!((recv2.start - 0.4).abs() < 1e-12, "child 2 waits for child 1's transfer");
+        assert!(
+            (recv2.start - 0.4).abs() < 1e-12,
+            "child 2 waits for child 1's transfer"
+        );
     }
 }

@@ -22,7 +22,11 @@ pub struct SvgStyle {
 
 impl Default for SvgStyle {
     fn default() -> Self {
-        Self { width: 860.0, row_height: 22.0, margin: 48.0 }
+        Self {
+            width: 860.0,
+            row_height: 22.0,
+            margin: 48.0,
+        }
     }
 }
 

@@ -4,13 +4,12 @@
 //! simulation time is a newtype that rejects NaN at construction and derives
 //! its order from `f64::total_cmp`.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time. Non-negative and never NaN.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {

@@ -1,0 +1,193 @@
+//! Declarative fault-scenario grids for the fault-injection experiments.
+//!
+//! This crate sits below `protocol` in the dependency graph, so the cases
+//! here are plain data — node index, phase, progress fraction — that the
+//! experiment drivers map onto `protocol::FaultPlan`s. Keeping the grids
+//! here makes the fault sweeps reproducible from a single seed and lets
+//! property tests enumerate the same cases the benchmarks plot.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of injected fault, mirrored as plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCaseKind {
+    /// Crash-stop in `phase` (at `progress` for Phase III).
+    Crash,
+    /// Phase III livelock at `progress`; the node stays probe-alive.
+    Stall,
+    /// Outbound message of `phase` lost once.
+    DropMessage,
+    /// Outbound message of `phase` late by `delay`.
+    DelayMessage,
+    /// Outbound message of `phase` garbled once.
+    CorruptMessage,
+}
+
+/// One fault scenario over an `m`-processor chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCase {
+    /// The afflicted strategic processor (`1..=m`).
+    pub node: usize,
+    /// The phase (1–4) the fault strikes in.
+    pub phase: u8,
+    /// Compute progress at the halt (Phase III crash/stall), else 0.
+    pub progress: f64,
+    /// Added latency (delay faults), else 0.
+    pub delay: f64,
+    /// What happens.
+    pub kind: FaultCaseKind,
+}
+
+impl FaultCase {
+    /// A crash of `node` in `phase` at `progress`.
+    pub fn crash(node: usize, phase: u8, progress: f64) -> Self {
+        Self {
+            node,
+            phase,
+            progress,
+            delay: 0.0,
+            kind: FaultCaseKind::Crash,
+        }
+    }
+
+    /// A Phase III stall of `node` at `progress`.
+    pub fn stall(node: usize, progress: f64) -> Self {
+        Self {
+            node,
+            phase: 3,
+            progress,
+            delay: 0.0,
+            kind: FaultCaseKind::Stall,
+        }
+    }
+
+    /// Short label for experiment tables, e.g. `crash@P2/ph3/0.40`.
+    pub fn label(&self) -> String {
+        let kind = match self.kind {
+            FaultCaseKind::Crash => "crash",
+            FaultCaseKind::Stall => "stall",
+            FaultCaseKind::DropMessage => "drop",
+            FaultCaseKind::DelayMessage => "delay",
+            FaultCaseKind::CorruptMessage => "corrupt",
+        };
+        format!(
+            "{kind}@P{}/ph{}/{:.2}",
+            self.node, self.phase, self.progress
+        )
+    }
+}
+
+/// Every crash position: all nodes × all four phases, with Phase III
+/// struck at each of `progress_points`. This is the grid behind the
+/// "makespan degradation vs crash position" plot.
+pub fn crash_position_grid(m: usize, progress_points: &[f64]) -> Vec<FaultCase> {
+    let mut cases = Vec::new();
+    for node in 1..=m {
+        for phase in 1..=4u8 {
+            if phase == 3 {
+                for &p in progress_points {
+                    cases.push(FaultCase::crash(node, 3, p));
+                }
+            } else {
+                cases.push(FaultCase::crash(node, phase, 0.0));
+            }
+        }
+    }
+    cases
+}
+
+/// Phase III crashes of one node at `steps` evenly spaced progress points
+/// (the "recovery overhead vs crash time" axis).
+pub fn crash_time_grid(node: usize, steps: usize) -> Vec<FaultCase> {
+    assert!(steps >= 2, "a time axis needs at least its endpoints");
+    (0..steps)
+        .map(|i| FaultCase::crash(node, 3, i as f64 / (steps - 1) as f64))
+        .collect()
+}
+
+/// A seed-reproducible batch of mixed fault cases (crashes, stalls and
+/// message faults) over an `m`-processor chain.
+pub fn seeded_cases(seed: u64, m: usize, count: usize) -> Vec<FaultCase> {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_CA5E);
+    (0..count)
+        .map(|_| {
+            let node = rng.gen_range(1..=m);
+            let phase = rng.gen_range(1..=4) as u8;
+            let progress = rng.gen::<f64>();
+            match rng.gen_range(0..5usize) {
+                0 => FaultCase::crash(node, phase, progress),
+                1 => FaultCase::stall(node, progress),
+                2 => FaultCase {
+                    node,
+                    phase,
+                    progress: 0.0,
+                    delay: 0.0,
+                    kind: FaultCaseKind::DropMessage,
+                },
+                3 => FaultCase {
+                    node,
+                    phase,
+                    progress: 0.0,
+                    delay: 0.01 + 0.04 * rng.gen::<f64>(),
+                    kind: FaultCaseKind::DelayMessage,
+                },
+                _ => FaultCase {
+                    node,
+                    phase,
+                    progress: 0.0,
+                    delay: 0.0,
+                    kind: FaultCaseKind::CorruptMessage,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_grid_covers_every_node_and_phase() {
+        let grid = crash_position_grid(4, &[0.0, 0.5, 1.0]);
+        // 4 nodes × (3 non-compute phases + 3 progress points) = 24.
+        assert_eq!(grid.len(), 4 * (3 + 3));
+        for node in 1..=4 {
+            for phase in 1..=4u8 {
+                assert!(grid.iter().any(|c| c.node == node && c.phase == phase));
+            }
+        }
+    }
+
+    #[test]
+    fn time_grid_spans_unit_interval() {
+        let grid = crash_time_grid(2, 5);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0].progress, 0.0);
+        assert_eq!(grid[4].progress, 1.0);
+        assert!(grid.iter().all(|c| c.phase == 3 && c.node == 2));
+    }
+
+    #[test]
+    fn seeded_cases_are_deterministic_and_in_range() {
+        let a = seeded_cases(9, 5, 40);
+        assert_eq!(a, seeded_cases(9, 5, 40));
+        for c in &a {
+            assert!((1..=5).contains(&c.node));
+            assert!((1..=4).contains(&c.phase));
+            assert!((0.0..=1.0).contains(&c.progress));
+            assert!(c.delay >= 0.0);
+        }
+        let kinds: std::collections::HashSet<_> = a.iter().map(|c| c.kind).collect();
+        assert!(kinds.len() >= 3, "batch should mix fault kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn labels_are_distinct_across_the_grid() {
+        let grid = crash_position_grid(3, &[0.25, 0.75]);
+        let labels: std::collections::HashSet<_> = grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), grid.len());
+    }
+}

@@ -10,10 +10,9 @@
 use dlt::model::{LinearNetwork, StarNetwork, TreeNode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The shape of a generated chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ChainShape {
     /// Processor and link rates drawn i.i.d. uniform from the ranges.
     UniformRandom,
@@ -56,7 +55,7 @@ impl ChainShape {
 }
 
 /// Configuration for chain generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainConfig {
     /// Number of processors (`m + 1 ≥ 1`).
     pub processors: usize,
@@ -135,7 +134,9 @@ pub fn chain(config: &ChainConfig, seed: u64) -> LinearNetwork {
 
 /// Generate a batch of chains with consecutive seeds.
 pub fn chains(config: &ChainConfig, base_seed: u64, count: usize) -> Vec<LinearNetwork> {
-    (0..count).map(|k| chain(config, base_seed.wrapping_add(k as u64))).collect()
+    (0..count)
+        .map(|k| chain(config, base_seed.wrapping_add(k as u64)))
+        .collect()
 }
 
 /// Generate a random star with `children` children using the same ranges.
@@ -177,10 +178,16 @@ fn build_tree(
     let children = (0..fanout)
         .map(|_| {
             let z = rng.gen_range(zl..=zh);
-            (dlt::model::Link::new(z), build_tree(rng, budget, max_fanout, wl, wh, zl, zh))
+            (
+                dlt::model::Link::new(z),
+                build_tree(rng, budget, max_fanout, wl, wh, zl, zh),
+            )
         })
         .collect();
-    TreeNode { processor: dlt::model::Processor::new(w), children }
+    TreeNode {
+        processor: dlt::model::Processor::new(w),
+        children,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +204,10 @@ mod tests {
     #[test]
     fn respects_processor_count() {
         for n in [1usize, 2, 5, 50] {
-            let cfg = ChainConfig { processors: n, ..Default::default() };
+            let cfg = ChainConfig {
+                processors: n,
+                ..Default::default()
+            };
             assert_eq!(chain(&cfg, 1).len(), n);
         }
     }
@@ -216,7 +226,10 @@ mod tests {
 
     #[test]
     fn homogeneous_is_flat() {
-        let cfg = ChainConfig { shape: ChainShape::Homogeneous, ..Default::default() };
+        let cfg = ChainConfig {
+            shape: ChainShape::Homogeneous,
+            ..Default::default()
+        };
         let net = chain(&cfg, 1);
         let w0 = net.w(0);
         assert!(net.rates_w().iter().all(|&w| w == w0));
@@ -224,28 +237,51 @@ mod tests {
 
     #[test]
     fn gradients_are_monotone() {
-        let dec = ChainConfig { shape: ChainShape::DecreasingSpeed, ..Default::default() };
+        let dec = ChainConfig {
+            shape: ChainShape::DecreasingSpeed,
+            ..Default::default()
+        };
         let net = chain(&dec, 1);
         let w = net.rates_w();
-        assert!(w.windows(2).all(|p| p[0] <= p[1]), "decreasing speed = increasing w");
-        let inc = ChainConfig { shape: ChainShape::IncreasingSpeed, ..Default::default() };
+        assert!(
+            w.windows(2).all(|p| p[0] <= p[1]),
+            "decreasing speed = increasing w"
+        );
+        let inc = ChainConfig {
+            shape: ChainShape::IncreasingSpeed,
+            ..Default::default()
+        };
         let w = chain(&inc, 1).rates_w();
         assert!(w.windows(2).all(|p| p[0] >= p[1]));
     }
 
     #[test]
     fn bottleneck_has_one_slow_link() {
-        let cfg = ChainConfig { shape: ChainShape::BottleneckLink, ..Default::default() };
+        let cfg = ChainConfig {
+            shape: ChainShape::BottleneckLink,
+            ..Default::default()
+        };
         let net = chain(&cfg, 5);
-        let slow = net.rates_z().iter().filter(|&&z| z > cfg.z_range.1 * 5.0).count();
+        let slow = net
+            .rates_z()
+            .iter()
+            .filter(|&&z| z > cfg.z_range.1 * 5.0)
+            .count();
         assert_eq!(slow, 1);
     }
 
     #[test]
     fn straggler_has_one_slow_processor() {
-        let cfg = ChainConfig { shape: ChainShape::StragglerProcessor, ..Default::default() };
+        let cfg = ChainConfig {
+            shape: ChainShape::StragglerProcessor,
+            ..Default::default()
+        };
         let net = chain(&cfg, 5);
-        let slow = net.rates_w().iter().filter(|&&w| w > cfg.w_range.1 * 5.0).count();
+        let slow = net
+            .rates_w()
+            .iter()
+            .filter(|&&w| w > cfg.w_range.1 * 5.0)
+            .count();
         assert_eq!(slow, 1);
     }
 
@@ -268,14 +304,20 @@ mod tests {
 
     #[test]
     fn star_generation() {
-        let cfg = ChainConfig { processors: 6, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 6,
+            ..Default::default()
+        };
         let s = star(&cfg, 1);
         assert_eq!(s.len(), 6);
     }
 
     #[test]
     fn tree_generation_respects_budget() {
-        let cfg = ChainConfig { processors: 12, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: 12,
+            ..Default::default()
+        };
         let t = tree(&cfg, 3, 1);
         assert!(t.size() <= 12);
         assert!(t.size() >= 2);

@@ -4,17 +4,22 @@
 //! own workload model: random heterogeneous chains, homogeneous chains,
 //! speed gradients, bottleneck links and straggler processors
 //! ([`generators`]), plus grid helpers and network decomposition for the
-//! mechanism/protocol layers ([`sweep`]).
+//! mechanism/protocol layers ([`sweep`]) and declarative fault-scenario
+//! grids for the fault-injection experiments ([`fault_cases`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 // Parallel-array indexing is idiomatic throughout this numeric code.
 #![allow(clippy::needless_range_loop)]
 
+pub mod fault_cases;
 pub mod generators;
 pub mod scenarios;
 pub mod sweep;
 
+pub use fault_cases::{
+    crash_position_grid, crash_time_grid, seeded_cases, FaultCase, FaultCaseKind,
+};
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
 pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
 pub use sweep::{geomspace, linspace, mechanism_parts, MechanismParts};

@@ -3,17 +3,17 @@
 //!
 //! A [`ScenarioSpec`] describes either an explicit chain or a generated
 //! one, the deviation placements, and the mechanism knobs, all as plain
-//! serde-able data. The `protocol` crate depends on this crate's types
-//! only indirectly (specs are resolved into raw rate vectors here; the
-//! caller builds the actual `protocol::Scenario`), which keeps the
-//! dependency graph acyclic.
+//! JSON-mappable data (parsed and written via `minijson`). The `protocol`
+//! crate depends on this crate's types only indirectly (specs are resolved
+//! into raw rate vectors here; the caller builds the actual
+//! `protocol::Scenario`), which keeps the dependency graph acyclic.
 
 use crate::generators::{chain, ChainConfig, ChainShape};
-use serde::{Deserialize, Serialize};
+use minijson::Value;
 
-/// How the network is obtained.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+/// How the network is obtained. In JSON, the variant is selected by a
+/// `"kind"` member: `"explicit"` or `"generated"`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetworkSpec {
     /// Explicit rates.
     Explicit {
@@ -34,7 +34,7 @@ pub enum NetworkSpec {
 }
 
 /// A deviation placement in a spec.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviationSpec {
     /// 1-based strategic processor index.
     pub processor: usize,
@@ -45,26 +45,22 @@ pub struct DeviationSpec {
 }
 
 /// A full declarative scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The network.
     pub network: NetworkSpec,
     /// Deviations to inject (may be empty).
-    #[serde(default)]
     pub deviations: Vec<DeviationSpec>,
     /// Fine `F` (defaults to an automatically sufficient value).
-    #[serde(default)]
     pub fine: Option<f64>,
     /// Audit probability `q` (default 0.5).
-    #[serde(default)]
     pub audit_probability: Option<f64>,
     /// RNG seed for the protocol run.
-    #[serde(default)]
     pub seed: Option<u64>,
 }
 
 /// The resolved rates of a spec's network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResolvedNetwork {
     /// Processor rates, root first.
     pub w: Vec<f64>,
@@ -79,6 +75,8 @@ pub enum SpecError {
     UnknownShape(String),
     /// Rate vectors inconsistent.
     BadRates(String),
+    /// Malformed JSON or a field of the wrong shape/type.
+    BadJson(String),
 }
 
 impl std::fmt::Display for SpecError {
@@ -86,6 +84,7 @@ impl std::fmt::Display for SpecError {
         match self {
             SpecError::UnknownShape(s) => write!(f, "unknown shape {s:?}"),
             SpecError::BadRates(s) => write!(f, "bad rates: {s}"),
+            SpecError::BadJson(s) => write!(f, "bad spec JSON: {s}"),
         }
     }
 }
@@ -116,18 +115,200 @@ impl NetworkSpec {
                 if w.len() < 2 {
                     return Err(SpecError::BadRates("need at least 2 processors".into()));
                 }
-                Ok(ResolvedNetwork { w: w.clone(), z: z.clone() })
+                Ok(ResolvedNetwork {
+                    w: w.clone(),
+                    z: z.clone(),
+                })
             }
-            NetworkSpec::Generated { processors, shape, seed } => {
+            NetworkSpec::Generated {
+                processors,
+                shape,
+                seed,
+            } => {
                 let shape = parse_shape(shape)?;
                 if *processors < 2 {
                     return Err(SpecError::BadRates("need at least 2 processors".into()));
                 }
-                let cfg = ChainConfig { processors: *processors, shape, ..Default::default() };
+                let cfg = ChainConfig {
+                    processors: *processors,
+                    shape,
+                    ..Default::default()
+                };
                 let net = chain(&cfg, *seed);
-                Ok(ResolvedNetwork { w: net.rates_w(), z: net.rates_z() })
+                Ok(ResolvedNetwork {
+                    w: net.rates_w(),
+                    z: net.rates_z(),
+                })
             }
         }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> SpecError {
+    SpecError::BadJson(msg.into())
+}
+
+fn f64_vec_field(obj: &Value, key: &str) -> Result<Vec<f64>, SpecError> {
+    obj.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad(format!("missing or non-array {key:?}")))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| bad(format!("non-numeric element in {key:?}")))
+        })
+        .collect()
+}
+
+impl NetworkSpec {
+    fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("network needs a string \"kind\""))?;
+        match kind {
+            "explicit" => Ok(NetworkSpec::Explicit {
+                w: f64_vec_field(v, "w")?,
+                z: f64_vec_field(v, "z")?,
+            }),
+            "generated" => Ok(NetworkSpec::Generated {
+                processors: v
+                    .get("processors")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad("missing or non-integer \"processors\""))?
+                    as usize,
+                shape: v
+                    .get("shape")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("missing or non-string \"shape\""))?
+                    .to_string(),
+                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            }),
+            other => Err(bad(format!("unknown network kind {other:?}"))),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            NetworkSpec::Explicit { w, z } => Value::Object(vec![
+                ("kind".into(), Value::String("explicit".into())),
+                (
+                    "w".into(),
+                    Value::Array(w.iter().map(|&x| Value::Number(x)).collect()),
+                ),
+                (
+                    "z".into(),
+                    Value::Array(z.iter().map(|&x| Value::Number(x)).collect()),
+                ),
+            ]),
+            NetworkSpec::Generated {
+                processors,
+                shape,
+                seed,
+            } => Value::Object(vec![
+                ("kind".into(), Value::String("generated".into())),
+                ("processors".into(), Value::Number(*processors as f64)),
+                ("shape".into(), Value::String(shape.clone())),
+                ("seed".into(), Value::Number(*seed as f64)),
+            ]),
+        }
+    }
+}
+
+impl DeviationSpec {
+    fn from_value(v: &Value) -> Result<Self, SpecError> {
+        Ok(DeviationSpec {
+            processor: v
+                .get("processor")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad("deviation needs an integer \"processor\""))?
+                as usize,
+            kind: v
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("deviation needs a string \"kind\""))?
+                .to_string(),
+            parameter: match v.get("parameter") {
+                None | Some(Value::Null) => None,
+                Some(p) => Some(
+                    p.as_f64()
+                        .ok_or_else(|| bad("non-numeric deviation \"parameter\""))?,
+                ),
+            },
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("processor".into(), Value::Number(self.processor as f64)),
+            ("kind".into(), Value::String(self.kind.clone())),
+        ];
+        if let Some(p) = self.parameter {
+            members.push(("parameter".into(), Value::Number(p)));
+        }
+        Value::Object(members)
+    }
+}
+
+impl ScenarioSpec {
+    /// Parse a spec from JSON text. Absent `deviations` / `fine` /
+    /// `audit_probability` / `seed` members take their defaults.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let v = Value::parse(text).map_err(|e| bad(e.to_string()))?;
+        let network =
+            NetworkSpec::from_value(v.get("network").ok_or_else(|| bad("missing \"network\""))?)?;
+        let deviations = match v.get("deviations") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(d) => d
+                .as_array()
+                .ok_or_else(|| bad("\"deviations\" must be an array"))?
+                .iter()
+                .map(DeviationSpec::from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        let opt_f64 = |key: &str| match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(x) => x
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("non-numeric {key:?}"))),
+        };
+        Ok(ScenarioSpec {
+            network,
+            deviations,
+            fine: opt_f64("fine")?,
+            audit_probability: opt_f64("audit_probability")?,
+            seed: match v.get("seed") {
+                None | Some(Value::Null) => None,
+                Some(x) => Some(x.as_u64().ok_or_else(|| bad("non-integer \"seed\""))?),
+            },
+        })
+    }
+
+    /// Serialize to compact JSON (round-trips through [`Self::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut members = vec![
+            ("network".into(), self.network.to_value()),
+            (
+                "deviations".into(),
+                Value::Array(
+                    self.deviations
+                        .iter()
+                        .map(DeviationSpec::to_value)
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(f) = self.fine {
+            members.push(("fine".into(), Value::Number(f)));
+        }
+        if let Some(q) = self.audit_probability {
+            members.push(("audit_probability".into(), Value::Number(q)));
+        }
+        if let Some(s) = self.seed {
+            members.push(("seed".into(), Value::Number(s as f64)));
+        }
+        Value::Object(members).to_json()
     }
 }
 
@@ -137,26 +318,40 @@ mod tests {
 
     #[test]
     fn explicit_spec_resolves() {
-        let spec = NetworkSpec::Explicit { w: vec![1.0, 2.0], z: vec![0.5] };
+        let spec = NetworkSpec::Explicit {
+            w: vec![1.0, 2.0],
+            z: vec![0.5],
+        };
         let net = spec.resolve().unwrap();
         assert_eq!(net.w, vec![1.0, 2.0]);
     }
 
     #[test]
     fn explicit_spec_validates_arity() {
-        let spec = NetworkSpec::Explicit { w: vec![1.0, 2.0], z: vec![] };
+        let spec = NetworkSpec::Explicit {
+            w: vec![1.0, 2.0],
+            z: vec![],
+        };
         assert!(matches!(spec.resolve(), Err(SpecError::BadRates(_))));
     }
 
     #[test]
     fn generated_spec_is_deterministic() {
-        let spec = NetworkSpec::Generated { processors: 5, shape: "uniform".into(), seed: 7 };
+        let spec = NetworkSpec::Generated {
+            processors: 5,
+            shape: "uniform".into(),
+            seed: 7,
+        };
         assert_eq!(spec.resolve().unwrap(), spec.resolve().unwrap());
     }
 
     #[test]
     fn unknown_shape_rejected() {
-        let spec = NetworkSpec::Generated { processors: 5, shape: "spiral".into(), seed: 7 };
+        let spec = NetworkSpec::Generated {
+            processors: 5,
+            shape: "spiral".into(),
+            seed: 7,
+        };
         assert!(matches!(spec.resolve(), Err(SpecError::UnknownShape(_))));
     }
 
@@ -176,11 +371,11 @@ mod tests {
             "audit_probability": 1.0,
             "seed": 99
         }"#;
-        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let spec = ScenarioSpec::from_json(json).unwrap();
         assert_eq!(spec.deviations.len(), 1);
         assert_eq!(spec.fine, Some(25.0));
-        let back = serde_json::to_string(&spec).unwrap();
-        let spec2: ScenarioSpec = serde_json::from_str(&back).unwrap();
+        let back = spec.to_json();
+        let spec2 = ScenarioSpec::from_json(&back).unwrap();
         assert_eq!(spec, spec2);
         assert!(spec.network.resolve().is_ok());
     }
@@ -188,8 +383,24 @@ mod tests {
     #[test]
     fn defaults_are_optional_in_json() {
         let json = r#"{"network": {"kind": "explicit", "w": [1.0, 2.0], "z": [0.5]}}"#;
-        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let spec = ScenarioSpec::from_json(json).unwrap();
         assert!(spec.deviations.is_empty());
         assert_eq!(spec.fine, None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_bad_json() {
+        for json in [
+            "not json",
+            r#"{"deviations": []}"#,
+            r#"{"network": {"kind": "mesh"}}"#,
+            r#"{"network": {"kind": "explicit", "w": [1.0, "x"], "z": [0.5]}}"#,
+            r#"{"network": {"kind": "explicit", "w": [1.0, 2.0], "z": [0.5]}, "seed": 1.5}"#,
+        ] {
+            assert!(
+                matches!(ScenarioSpec::from_json(json), Err(SpecError::BadJson(_))),
+                "accepted malformed spec: {json}"
+            );
+        }
     }
 }

@@ -2,7 +2,6 @@
 //! experiment harness.
 
 use dlt::model::LinearNetwork;
-use serde::{Deserialize, Serialize};
 
 /// `count` evenly spaced points covering `[lo, hi]` inclusive.
 pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
@@ -29,7 +28,7 @@ pub fn geomspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
 
 /// Decompose a chain into the mechanism's view: the obedient root's rate,
 /// the strategic processors' true rates, and the public link rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MechanismParts {
     /// Root rate `w_0`.
     pub root_rate: f64,

@@ -20,7 +20,11 @@ fn main() {
     .with_fine(FineSchedule::new(20.0, 1.0));
 
     let honest = run_protocol(&scenario);
-    println!("honest run: clean={}, makespan={:.4}", honest.clean(), honest.makespan);
+    println!(
+        "honest run: clean={}, makespan={:.4}",
+        honest.clean(),
+        honest.makespan
+    );
     println!(
         "{:<20} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "deviation", "caught", "by", "U(deviant)", "U(honest)", "delta"
@@ -79,7 +83,11 @@ fn main() {
     // Lemma 5.2: across all those deviant runs, honest nodes are never
     // fined. Spot-check the false-accusation case, where the *claimant*
     // pays.
-    let fa = run_protocol(&scenario.clone().with_deviation(target, Deviation::FalseAccusation));
+    let fa = run_protocol(
+        &scenario
+            .clone()
+            .with_deviation(target, Deviation::FalseAccusation),
+    );
     let record = &fa.arbitrations[0];
     println!(
         "\nfalse accusation arbitration: claimant P{} fined {:.2}, accused P{} exculpated and rewarded",

@@ -18,8 +18,8 @@ enum Policy {
     Truthful,
     Underbid(f64),
     Overbid(f64),
-    Lazy(f64),   // truthful bid, slack execution
-    Chaotic,     // random misreport each round
+    Lazy(f64), // truthful bid, slack execution
+    Chaotic,   // random misreport each round
 }
 
 impl Policy {
@@ -64,7 +64,10 @@ fn main() {
 
     for round in 0..rounds {
         // Fresh machines and links every round: the market re-forms.
-        let cfg = ChainConfig { processors: m + 1, ..Default::default() };
+        let cfg = ChainConfig {
+            processors: m + 1,
+            ..Default::default()
+        };
         let net = workloads::chain(&cfg, 9000 + round);
         let parts = workloads::mechanism_parts(&net);
         let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());

@@ -34,7 +34,10 @@ fn main() {
     let scenario = Scenario::honest(root_rate, true_rates.clone(), link_rates.clone());
     let report = run_protocol(&scenario);
     assert!(report.clean(), "honest run produces no grievances");
-    println!("protocol run: makespan {:.4}, {} events simulated", report.makespan, report.events);
+    println!(
+        "protocol run: makespan {:.4}, {} events simulated",
+        report.makespan, report.events
+    );
     println!("net utilities (truthful agents, Theorem 5.4 says ≥ 0):");
     for j in 1..=true_rates.len() {
         println!("  P{j}: {:+.4}", report.utility(j));
@@ -54,7 +57,9 @@ fn main() {
     );
 
     // --- And if it cheats during execution? ------------------------------
-    let cheat = scenario.clone().with_deviation(2, Deviation::ShedLoad { keep_fraction: 0.5 });
+    let cheat = scenario
+        .clone()
+        .with_deviation(2, Deviation::ShedLoad { keep_fraction: 0.5 });
     let caught = run_protocol(&cheat);
     let conviction = caught.convictions().next().expect("the shed is detected");
     println!(

@@ -39,12 +39,21 @@ fn main() {
             .iter()
             .map(|p| p.utility)
             .chain(naive_curve.iter().map(|&(_, u)| u))
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), u| (l.min(u), h.max(u)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), u| {
+                (l.min(u), h.max(u))
+            });
 
         println!("=== P{j} (true rate {:.2}) ===", agents[j - 1].true_rate);
-        println!("{:>6} | {:<30} | {:<30}", "bid/t", "DLS-LBL utility", "naive utility");
+        println!(
+            "{:>6} | {:<30} | {:<30}",
+            "bid/t", "DLS-LBL utility", "naive utility"
+        );
         for (p, &(_, nu)) in sweep.points.iter().zip(&naive_curve) {
-            let marker = if (p.bid_factor - 1.0).abs() < 1e-9 { " <= truth" } else { "" };
+            let marker = if (p.bid_factor - 1.0).abs() < 1e-9 {
+                " <= truth"
+            } else {
+                ""
+            };
             println!(
                 "{:>6.2} | {} | {}{marker}",
                 p.bid_factor,
@@ -65,7 +74,10 @@ fn main() {
             best_naive_f,
             best_naive_u - naive.sweep(&agents, j, &[1.0])[0].1,
         );
-        assert!(sweep.truthful_is_best(1e-9), "DLS-LBL must be strategyproof");
+        assert!(
+            sweep.truthful_is_best(1e-9),
+            "DLS-LBL must be strategyproof"
+        );
         println!();
     }
     println!("DLS-LBL peaks at the truthful bid for every agent; the naive baseline does not.");

@@ -17,15 +17,29 @@ fn main() {
     let shape = TreeNode::internal(
         1.0, // the trusted ingest node's own rate
         vec![
-            (0.30, TreeNode::internal(1.0, vec![(0.10, TreeNode::leaf(1.0)), (0.20, TreeNode::leaf(1.0))])),
-            (0.12, TreeNode::internal(1.0, vec![(0.25, TreeNode::leaf(1.0)), (0.05, TreeNode::leaf(1.0))])),
+            (
+                0.30,
+                TreeNode::internal(
+                    1.0,
+                    vec![(0.10, TreeNode::leaf(1.0)), (0.20, TreeNode::leaf(1.0))],
+                ),
+            ),
+            (
+                0.12,
+                TreeNode::internal(
+                    1.0,
+                    vec![(0.25, TreeNode::leaf(1.0)), (0.05, TreeNode::leaf(1.0))],
+                ),
+            ),
         ],
     );
     // True machine speeds (preorder over the canonicalized tree; the
     // mechanism sorts children by ascending link rate, so rack 2 — the
     // faster 0.12 uplink — comes first).
-    let agents: Vec<Agent> =
-        [1.4, 2.2, 0.7, 1.9, 1.1, 3.0].iter().map(|&t| Agent::new(t)).collect();
+    let agents: Vec<Agent> = [1.4, 2.2, 0.7, 1.9, 1.1, 3.0]
+        .iter()
+        .map(|&t| Agent::new(t))
+        .collect();
 
     let mech = TreeMechanism::new(shape.clone());
     assert_eq!(mech.num_agents(), agents.len());
@@ -40,7 +54,10 @@ fn main() {
     // --- Settlement --------------------------------------------------------
     let outcome = mech.settle_truthful(&agents);
     println!("truthful settlement:");
-    println!("{:<7} {:>10} {:>10} {:>10}", "agent", "assigned", "bonus", "utility");
+    println!(
+        "{:<7} {:>10} {:>10} {:>10}",
+        "agent", "assigned", "bonus", "utility"
+    );
     for a in &outcome.agents {
         println!(
             "{:<7} {:>10.5} {:>10.5} {:>10.5}",
@@ -51,7 +68,10 @@ fn main() {
         );
         assert!(a.utility >= 0.0, "voluntary participation");
     }
-    println!("root load: {:.5}   makespan: {:.5}", outcome.root_load, outcome.makespan);
+    println!(
+        "root load: {:.5}   makespan: {:.5}",
+        outcome.root_load, outcome.makespan
+    );
     println!("(the makespan IS the tree's equivalent processing time under the true rates)");
     println!();
 

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this shim maps the
+//! parallel-iterator entry points used by the workspace onto ordinary
+//! sequential iterators. Semantics are identical; speedup is not. The
+//! experiment harness's `par_sweep` stays correct (and its ablation bench
+//! degenerates to comparing two sequential drivers).
+
+#![forbid(unsafe_code)]
+
+/// Sequential re-implementation of the rayon prelude.
+pub mod prelude {
+    /// Conversion into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert (sequential stand-in for `into_par_iter`).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing variant (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate by reference (sequential stand-in for `par_iter`).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let out: Vec<u64> = (0u64..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}

@@ -22,7 +22,11 @@ use std::process::ExitCode;
 
 fn parse_rates(s: &str) -> Result<Vec<f64>, String> {
     s.split(',')
-        .map(|t| t.trim().parse::<f64>().map_err(|e| format!("bad rate {t:?}: {e}")))
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad rate {t:?}: {e}"))
+        })
         .collect()
 }
 
@@ -30,7 +34,12 @@ fn parse_network(w: &str, z: &str) -> Result<LinearNetwork, String> {
     let w = parse_rates(w)?;
     let z = parse_rates(z)?;
     if w.len() != z.len() + 1 {
-        return Err(format!("{} processors need {} links, got {}", w.len(), w.len() - 1, z.len()));
+        return Err(format!(
+            "{} processors need {} links, got {}",
+            w.len(),
+            w.len() - 1,
+            z.len()
+        ));
     }
     Ok(LinearNetwork::from_rates(&w, &z))
 }
@@ -40,21 +49,30 @@ fn parse_deviation(spec: &str) -> Result<(usize, Deviation), String> {
     if parts.len() < 2 {
         return Err(format!("deviation spec {spec:?}; expected J:KIND[:ARG]"));
     }
-    let j: usize = parts[0].parse().map_err(|e| format!("bad index in {spec:?}: {e}"))?;
+    let j: usize = parts[0]
+        .parse()
+        .map_err(|e| format!("bad index in {spec:?}: {e}"))?;
     let arg = |default: f64| -> Result<f64, String> {
         parts
             .get(2)
-            .map(|a| a.parse::<f64>().map_err(|e| format!("bad arg in {spec:?}: {e}")))
+            .map(|a| {
+                a.parse::<f64>()
+                    .map_err(|e| format!("bad arg in {spec:?}: {e}"))
+            })
             .unwrap_or(Ok(default))
     };
     let deviation = match parts[1] {
         "underbid" => Deviation::Underbid { factor: arg(0.5)? },
         "overbid" => Deviation::Overbid { factor: arg(2.0)? },
         "slack" => Deviation::SlackExecution { factor: arg(1.5)? },
-        "contradict" => Deviation::ContradictoryBid { second_factor: arg(0.7)? },
+        "contradict" => Deviation::ContradictoryBid {
+            second_factor: arg(0.7)?,
+        },
         "wrong-equivalent" => Deviation::WrongEquivalent { factor: arg(0.6)? },
         "wrong-distribution" => Deviation::WrongDistribution { factor: arg(1.3)? },
-        "shed" => Deviation::ShedLoad { keep_fraction: arg(0.5)? },
+        "shed" => Deviation::ShedLoad {
+            keep_fraction: arg(0.5)?,
+        },
         "overcharge" => Deviation::Overcharge { amount: arg(0.5)? },
         "false-accusation" => Deviation::FalseAccusation,
         other => return Err(format!("unknown deviation kind {other:?}")),
@@ -66,7 +84,10 @@ fn cmd_solve(w: &str, z: &str) -> Result<(), String> {
     let net = parse_network(w, z)?;
     let sol = solve_linear(&net);
     println!("network: {net}");
-    println!("{:<6} {:>12} {:>12} {:>12}", "proc", "alpha", "w_bar", "finish");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "proc", "alpha", "w_bar", "finish"
+    );
     let times = finish_times(&net, &sol.alloc);
     for i in 0..net.len() {
         println!(
@@ -101,13 +122,22 @@ fn cmd_run(w: &str, z: &str, dev_specs: &[String]) -> Result<(), String> {
     for spec in dev_specs {
         let (j, d) = parse_deviation(spec)?;
         if j < 1 || j > scenario.num_agents() {
-            return Err(format!("deviant index {j} out of range 1..={}", scenario.num_agents()));
+            return Err(format!(
+                "deviant index {j} out of range 1..={}",
+                scenario.num_agents()
+            ));
         }
         scenario = scenario.with_deviation(j, d);
     }
-    let report = dls::protocol::run(&scenario);
-    println!("makespan: {:.6}   events: {}", report.makespan, report.events);
-    println!("{:<6} {:>10} {:>10} {:>10} {:>12}", "proc", "assigned", "retained", "w~", "net utility");
+    let report = dls::protocol::try_run(&scenario).map_err(|e| format!("invalid scenario: {e}"))?;
+    println!(
+        "makespan: {:.6}   events: {}",
+        report.makespan, report.events
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12}",
+        "proc", "assigned", "retained", "w~", "net utility"
+    );
     for j in 1..=scenario.num_agents() {
         println!(
             "{:<6} {:>10.5} {:>10.5} {:>10.4} {:>12.5}",
@@ -127,7 +157,11 @@ fn cmd_run(w: &str, z: &str, dev_specs: &[String]) -> Result<(), String> {
                 a.complaint,
                 a.claimant,
                 a.accused,
-                if a.substantiated { "SUBSTANTIATED" } else { "rejected" },
+                if a.substantiated {
+                    "SUBSTANTIATED"
+                } else {
+                    "rejected"
+                },
                 a.fine
             );
         }
@@ -137,11 +171,21 @@ fn cmd_run(w: &str, z: &str, dev_specs: &[String]) -> Result<(), String> {
 
 fn cmd_run_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let spec: dls::workloads::ScenarioSpec =
-        serde_json::from_str(&text).map_err(|e| format!("bad spec: {e}"))?;
+    let spec =
+        dls::workloads::ScenarioSpec::from_json(&text).map_err(|e| format!("bad spec: {e}"))?;
     let net = spec.network.resolve().map_err(|e| e.to_string())?;
-    let w = net.w.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
-    let z = net.z.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let w = net
+        .w
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let z = net
+        .z
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let dev_specs: Vec<String> = spec
         .deviations
         .iter()
@@ -172,7 +216,10 @@ fn cmd_sweep(j: &str, w: &str, z: &str) -> Result<(), String> {
     let net = parse_network(w, z)?;
     let parts = dls::workloads::mechanism_parts(&net);
     if j < 1 || j > parts.true_rates.len() {
-        return Err(format!("index {j} out of range 1..={}", parts.true_rates.len()));
+        return Err(format!(
+            "index {j} out of range 1..={}",
+            parts.true_rates.len()
+        ));
     }
     let mech = DlsLbl::new(parts.root_rate, parts.link_rates.clone());
     let agents: Vec<Agent> = parts.true_rates.iter().map(|&t| Agent::new(t)).collect();
@@ -181,8 +228,15 @@ fn cmd_sweep(j: &str, w: &str, z: &str) -> Result<(), String> {
     let sweep = dls::mechanism::verify::bid_sweep(&mech, &agents, j, &truthful, &factors);
     println!("{:>8} {:>10} {:>12}", "bid/t", "bid", "utility");
     for p in &sweep.points {
-        let mark = if (p.bid_factor - 1.0).abs() < 1e-9 { "  <- truth" } else { "" };
-        println!("{:>8.2} {:>10.4} {:>12.6}{mark}", p.bid_factor, p.bid, p.utility);
+        let mark = if (p.bid_factor - 1.0).abs() < 1e-9 {
+            "  <- truth"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8.2} {:>10.4} {:>12.6}{mark}",
+            p.bid_factor, p.bid, p.utility
+        );
     }
     println!(
         "truthful utility {:.6}; best deviation gain {:+.2e} (strategyproof ⇒ ≤ 0)",

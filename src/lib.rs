@@ -37,7 +37,9 @@ pub use workloads;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use dlt::linear::solve as solve_linear;
-    pub use dlt::model::{Allocation, LinearNetwork, LocalAllocation, Processor, StarNetwork, TreeNode};
+    pub use dlt::model::{
+        Allocation, LinearNetwork, LocalAllocation, Processor, StarNetwork, TreeNode,
+    };
     pub use dlt::timing::{finish_times, makespan, ChainSchedule};
     pub use mechanism::{Agent, Conduct, DlsLbl, FineSchedule};
     pub use protocol::{run as run_protocol, Deviation, RunReport, Scenario};

@@ -6,7 +6,10 @@ use dls::prelude::*;
 use dls::{dlt, mechanism, protocol, sim, workloads};
 
 fn random_parts(seed: u64, n: usize) -> workloads::MechanismParts {
-    let cfg = ChainConfig { processors: n, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: n,
+        ..Default::default()
+    };
     let net = workloads::chain(&cfg, seed);
     workloads::mechanism_parts(&net)
 }
@@ -33,9 +36,12 @@ fn solver_simulator_mechanism_protocol_agree() {
         let outcome = mech.settle_truthful(&agents);
 
         // Protocol run.
-        let scenario =
-            Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone())
-                .with_seed(seed);
+        let scenario = Scenario::honest(
+            parts.root_rate,
+            parts.true_rates.clone(),
+            parts.link_rates.clone(),
+        )
+        .with_seed(seed);
         let report = protocol::run(&scenario);
         assert!(report.clean(), "seed {seed}");
         assert!((report.makespan - sol.makespan()).abs() < 1e-10);
@@ -43,7 +49,10 @@ fn solver_simulator_mechanism_protocol_agree() {
         // The three layers agree on assignments and utilities.
         for j in 1..=agents.len() {
             assert!((report.assigned[j] - sol.alloc.alpha(j)).abs() < 1e-10);
-            assert!((report.utility(j) - outcome.utility(j)).abs() < 1e-9, "seed {seed} P{j}");
+            assert!(
+                (report.utility(j) - outcome.utility(j)).abs() < 1e-9,
+                "seed {seed} P{j}"
+            );
         }
     }
 }
@@ -99,8 +108,12 @@ fn exact_arithmetic_validates_f64_pipeline() {
     // simulator to the exact makespan.
     for seed in 0..10u64 {
         let m = 3 + (seed as usize % 4);
-        let w: Vec<i64> = (0..=m as i64).map(|i| 5 + ((seed as i64 + i * 7) % 20)).collect();
-        let z: Vec<i64> = (0..m as i64).map(|i| 1 + ((seed as i64 + i * 3) % 6)).collect();
+        let w: Vec<i64> = (0..=m as i64)
+            .map(|i| 5 + ((seed as i64 + i * 7) % 20))
+            .collect();
+        let z: Vec<i64> = (0..m as i64)
+            .map(|i| 1 + ((seed as i64 + i * 3) % 6))
+            .collect();
         let chain = dlt::exact::ExactChain::from_scaled_ints(&w, &z, 10);
         let exact_sol = dlt::exact::chain::solve(&chain);
         let f64net = chain.to_f64_network();
@@ -133,8 +146,12 @@ fn mechanism_and_naive_baseline_disagree_on_manipulability() {
 
 #[test]
 fn multiple_simultaneous_deviants_all_caught() {
-    let base = Scenario::honest(1.0, vec![1.5, 0.8, 2.2, 1.1, 0.9], vec![0.2, 0.15, 0.3, 0.1, 0.25])
-        .with_fine(FineSchedule::new(100.0, 1.0));
+    let base = Scenario::honest(
+        1.0,
+        vec![1.5, 0.8, 2.2, 1.1, 0.9],
+        vec![0.2, 0.15, 0.3, 0.1, 0.25],
+    )
+    .with_fine(FineSchedule::new(100.0, 1.0));
     let s = base
         .clone()
         .with_deviation(1, Deviation::WrongEquivalent { factor: 0.7 })

@@ -163,6 +163,93 @@ proptest! {
     }
 
     #[test]
+    fn lambda_tags_are_nested_suffixes_along_the_chain(
+        w in proptest::collection::vec(0.2f64..5.0, 3..8),
+        codes in proptest::collection::vec(0usize..=9, 8),
+        seed in 0u64..10_000,
+    ) {
+        // The Λ block ids delivered down the chain must form nested
+        // suffixes of the mint's id space: node i+1 receives exactly the
+        // tail of what node i received. Holds for honest runs and under
+        // every deviation combo — shedding shrinks the flow but never
+        // reorders or forks the block stream.
+        use dls::protocol::transcript::Entry;
+        let z: Vec<f64> = (0..w.len() - 1).map(|i| 0.05 + (i as f64 * 0.07) % 0.5).collect();
+        let net = LinearNetwork::from_rates(&w, &z);
+        let parts = dls::workloads::mechanism_parts(&net);
+        let mut scenario = Scenario::honest(parts.root_rate, parts.true_rates, parts.link_rates)
+            .with_seed(seed);
+        let catalog = Deviation::catalog();
+        for j in 1..w.len() {
+            if codes[j - 1] > 0 {
+                scenario = scenario.with_deviation(j, catalog[codes[j - 1] - 1]);
+            }
+        }
+        let report = dls::protocol::run(&scenario);
+        let mint = dls::protocol::BlockMint::new(scenario.blocks, scenario.seed ^ 0x5EED_B10C);
+        let full = mint.range(0, scenario.blocks);
+        let deliveries: Vec<_> = report
+            .transcript
+            .entries()
+            .iter()
+            .filter_map(|e| match e {
+                Entry::PhaseIIIDelivery { to, tag, .. } => Some((*to, tag.clone())),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(deliveries.len(), w.len() - 1);
+        for pair in deliveries.windows(2) {
+            let (a, tag_a) = (&pair[0].0, &pair[0].1);
+            let (b, tag_b) = (&pair[1].0, &pair[1].1);
+            prop_assert_eq!(*b, *a + 1);
+            prop_assert!(
+                tag_a.ids.ends_with(&tag_b.ids),
+                "delivery to P{} is not a suffix of delivery to P{}", b, a
+            );
+        }
+        for (to, tag) in &deliveries {
+            prop_assert!(
+                full.ids.ends_with(&tag.ids),
+                "delivery to P{} is not a suffix of the block space", to
+            );
+            prop_assert!(mint.verify(tag).is_some(), "genuine tag failed verification");
+        }
+    }
+
+    #[test]
+    fn replay_never_accuses_honest_nodes(
+        w in proptest::collection::vec(0.2f64..5.0, 3..8),
+        codes in proptest::collection::vec(0usize..=9, 8),
+        seed in 0u64..10_000,
+    ) {
+        // Forensic soundness of the transcript audit, fuzzed over random
+        // chains and random deviation combos (including all-honest): every
+        // replay finding names a node that actually deviated.
+        let z: Vec<f64> = (0..w.len() - 1).map(|i| 0.05 + (i as f64 * 0.07) % 0.5).collect();
+        let net = LinearNetwork::from_rates(&w, &z);
+        let parts = dls::workloads::mechanism_parts(&net);
+        let mut scenario = Scenario::honest(parts.root_rate, parts.true_rates, parts.link_rates)
+            .with_seed(seed);
+        let catalog = Deviation::catalog();
+        for j in 1..w.len() {
+            if codes[j - 1] > 0 {
+                scenario = scenario.with_deviation(j, catalog[codes[j - 1] - 1]);
+            }
+        }
+        let report = dls::protocol::run(&scenario);
+        let registry = dls::protocol::Registry::new(w.len(), scenario.seed);
+        let mint = dls::protocol::BlockMint::new(scenario.blocks, scenario.seed ^ 0x5EED_B10C);
+        let findings = dls::protocol::replay(&report.transcript, &registry, &mint);
+        for f in &findings {
+            prop_assert!(f.accused >= 1, "replay accused the obedient root: {:?}", f);
+            prop_assert!(
+                codes[f.accused - 1] > 0,
+                "replay accused honest P{} (codes {:?}, finding {:?})", f.accused, codes, f
+            );
+        }
+    }
+
+    #[test]
     fn exact_solver_agrees_with_f64(
         w in proptest::collection::vec(1i64..50, 2..8),
         z_seed in 0u64..100,

@@ -9,7 +9,10 @@ fn instances() -> Vec<workloads::MechanismParts> {
     (0..30u64)
         .map(|seed| {
             let n = 3 + (seed as usize % 6);
-            let cfg = ChainConfig { processors: n, ..Default::default() };
+            let cfg = ChainConfig {
+                processors: n,
+                ..Default::default()
+            };
             workloads::mechanism_parts(&workloads::chain(&cfg, seed))
         })
         .collect()
@@ -25,8 +28,14 @@ fn theorem_2_1_participation() {
         w.extend_from_slice(&parts.true_rates);
         let net = LinearNetwork::from_rates(&w, &parts.link_rates);
         let sol = dlt::linear::solve(&net);
-        assert!(sol.alloc.fractions().iter().all(|&a| a > 0.0), "all participate");
-        assert!(dlt::timing::participation_spread(&net, &sol.alloc) < 1e-9, "equal finish");
+        assert!(
+            sol.alloc.fractions().iter().all(|&a| a > 0.0),
+            "all participate"
+        );
+        assert!(
+            dlt::timing::participation_spread(&net, &sol.alloc) < 1e-9,
+            "equal finish"
+        );
     }
 }
 
@@ -34,9 +43,16 @@ fn theorem_2_1_participation() {
 fn lemma_5_1_deviants_are_fined() {
     // "A selfish-but-agreeable processor will be fined for deviating."
     let parts = &instances()[0];
-    let base = Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone())
-        .with_fine(FineSchedule::new(100.0, 1.0));
-    for deviation in protocol::Deviation::catalog().into_iter().filter(|d| d.is_finable()) {
+    let base = Scenario::honest(
+        parts.root_rate,
+        parts.true_rates.clone(),
+        parts.link_rates.clone(),
+    )
+    .with_fine(FineSchedule::new(100.0, 1.0));
+    for deviation in protocol::Deviation::catalog()
+        .into_iter()
+        .filter(|d| d.is_finable())
+    {
         let m = parts.true_rates.len();
         let target = if m >= 2 { m - 1 } else { 1 }; // interior node
         let report = protocol::run(&base.clone().with_deviation(target, deviation));
@@ -50,8 +66,12 @@ fn lemma_5_2_only_deviants_are_fined() {
     // "A processor receives a fine only if it has deviated."
     let parts = &instances()[1];
     let m = parts.true_rates.len();
-    let base = Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone())
-        .with_fine(FineSchedule::new(100.0, 1.0));
+    let base = Scenario::honest(
+        parts.root_rate,
+        parts.true_rates.clone(),
+        parts.link_rates.clone(),
+    )
+    .with_fine(FineSchedule::new(100.0, 1.0));
     for deviation in protocol::Deviation::catalog() {
         for target in 1..=m {
             let report = protocol::run(&base.clone().with_deviation(target, deviation));
@@ -71,9 +91,12 @@ fn theorem_5_1_selfish_but_agreeable_compliance() {
     // No deviation strictly improves welfare, so a selfish-but-agreeable
     // agent complies.
     for parts in instances().into_iter().take(10) {
-        let base =
-            Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone())
-                .with_fine(FineSchedule::new(100.0, 1.0));
+        let base = Scenario::honest(
+            parts.root_rate,
+            parts.true_rates.clone(),
+            parts.link_rates.clone(),
+        )
+        .with_fine(FineSchedule::new(100.0, 1.0));
         let honest = protocol::run(&base);
         let m = parts.true_rates.len();
         for deviation in protocol::Deviation::catalog() {
@@ -95,8 +118,11 @@ fn theorem_5_2_selfish_and_annoying_compliance() {
     // losing: U(behave) > U(sabotage) whenever S > 0 and sabotage lowers
     // the solution probability.
     let parts = &instances()[2];
-    let base =
-        Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone());
+    let base = Scenario::honest(
+        parts.root_rate,
+        parts.true_rates.clone(),
+        parts.link_rates.clone(),
+    );
     let s = 0.2;
     let found = protocol::run(&base.clone().with_solution_bonus(s, true));
     let missed = protocol::run(&base.clone().with_solution_bonus(s, false));
@@ -105,7 +131,10 @@ fn theorem_5_2_selfish_and_annoying_compliance() {
     for j in 1..=parts.true_rates.len() {
         let behave = p_clean * found.utility(j) + (1.0 - p_clean) * missed.utility(j);
         let sabotage = p_sab * found.utility(j) + (1.0 - p_sab) * missed.utility(j);
-        assert!(behave > sabotage, "P{j}: the bonus must make sabotage losing");
+        assert!(
+            behave > sabotage,
+            "P{j}: the bonus must make sabotage losing"
+        );
         // And without the bonus, sabotage is exactly neutral.
         let base_found = protocol::run(&base.clone());
         let neutral_delta = base_found.utility(j) - base_found.utility(j);
@@ -137,8 +166,11 @@ fn theorem_5_3_strategyproofness_via_protocol() {
     // End-to-end: through the full protocol, misreporting and slacking
     // never beat truthfulness.
     let parts = &instances()[3];
-    let base =
-        Scenario::honest(parts.root_rate, parts.true_rates.clone(), parts.link_rates.clone());
+    let base = Scenario::honest(
+        parts.root_rate,
+        parts.true_rates.clone(),
+        parts.link_rates.clone(),
+    );
     let honest = protocol::run(&base);
     for factor in [0.3, 0.6, 0.9, 1.2, 2.0, 5.0] {
         for target in 1..=parts.true_rates.len() {

@@ -9,7 +9,10 @@ use dls::protocol::tree_runner::{run_tree, TreeScenario};
 use dls::workloads;
 
 fn random_shape(seed: u64) -> TreeNode {
-    let cfg = ChainConfig { processors: 7, ..Default::default() };
+    let cfg = ChainConfig {
+        processors: 7,
+        ..Default::default()
+    };
     workloads::tree(&cfg, 3, seed)
 }
 
@@ -41,9 +44,15 @@ fn honest_tree_protocol_matches_mechanism_across_shapes() {
                 report.utility(j),
                 outcome.utility(j)
             );
-            assert!(report.utility(j) >= -1e-9, "VP violated at seed {seed} P{j}");
+            assert!(
+                report.utility(j) >= -1e-9,
+                "VP violated at seed {seed} P{j}"
+            );
         }
-        assert!((report.makespan - outcome.makespan).abs() < 1e-9, "seed {seed}");
+        assert!(
+            (report.makespan - outcome.makespan).abs() < 1e-9,
+            "seed {seed}"
+        );
     }
 }
 
@@ -57,7 +66,10 @@ fn tree_solver_equivalent_consistency_across_shapes() {
         let canonical = tree::canonicalize(&shape);
         let raw = tree::equivalent_time(&shape);
         let opt = tree::equivalent_time(&canonical);
-        assert!(opt <= raw + 1e-9, "seed {seed}: canonical {opt} vs raw {raw}");
+        assert!(
+            opt <= raw + 1e-9,
+            "seed {seed}: canonical {opt} vs raw {raw}"
+        );
         assert!(opt <= shape.processor.w + 1e-12);
     }
 }
@@ -67,8 +79,7 @@ fn deviant_tree_runs_never_reward_the_deviant() {
     let shape = tree::canonicalize(&random_shape(3));
     let rates = rates_for(&shape, 3);
     let m = rates.len();
-    let base = TreeScenario::honest(shape, rates)
-        .with_fine(FineSchedule::new(60.0, 1.0));
+    let base = TreeScenario::honest(shape, rates).with_fine(FineSchedule::new(60.0, 1.0));
     let honest = run_tree(&base);
     for d in Deviation::catalog() {
         for target in 1..=m {
