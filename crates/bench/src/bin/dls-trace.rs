@@ -1,0 +1,289 @@
+//! `dls-trace` — summarize a JSONL observability trace.
+//!
+//! Reads a trace produced by `obs::JsonlSink` (one record per line, short
+//! keys: `k` kind, `n` name, `id`/`p` span ids, `vt` virtual time, `wus`
+//! wall microseconds, `v` value, `f` fields) and prints:
+//!
+//! * per-span wall-clock latency percentiles (start/end pairs matched by id),
+//! * counter totals with per-`phase` and per-`node` breakdowns (protocol
+//!   messages, verification checks, audits, complaints),
+//! * histogram summaries (makespans, timeout waits, fines levied),
+//! * the fault-recovery breakdown (detection timeouts, waits, splices,
+//!   residual re-solves).
+//!
+//! ```sh
+//! DLS_TRACE=trace.jsonl cargo run --release -p bench --bin exp_fault_sweep
+//! cargo run --release -p bench --bin dls-trace -- trace.jsonl
+//! ```
+
+use bench::Table;
+use minijson::Value;
+use obs::Summary;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Aggregated counter: total delta plus per-field-value breakdowns for the
+/// `phase` and `node` fields the protocol instrumentation uses.
+#[derive(Default)]
+struct CounterAgg {
+    total: f64,
+    by_phase: BTreeMap<String, f64>,
+    by_node: BTreeMap<String, f64>,
+}
+
+#[derive(Default)]
+struct TraceSummary {
+    records: usize,
+    by_kind: BTreeMap<String, usize>,
+    /// Open spans: id → (name, start wall µs).
+    open_spans: BTreeMap<u64, (String, u64)>,
+    /// Closed spans: name → wall-clock durations in µs.
+    span_durations: BTreeMap<String, Vec<f64>>,
+    unmatched_span_ends: usize,
+    counters: BTreeMap<String, CounterAgg>,
+    histograms: BTreeMap<String, Vec<f64>>,
+    /// Event name → (count, min vt, max vt); vt bounds are NaN when no
+    /// event of that name carried a virtual time.
+    events: BTreeMap<String, (usize, f64, f64)>,
+}
+
+/// Render a field value the way the breakdown tables key it.
+fn field_repr(v: &Value) -> String {
+    match v {
+        Value::Number(x) if x.fract() == 0.0 && x.abs() < 2f64.powi(53) => {
+            format!("{}", *x as i64)
+        }
+        Value::Number(x) => format!("{x}"),
+        Value::String(s) => s.clone(),
+        Value::Bool(b) => format!("{b}"),
+        other => other.to_json(),
+    }
+}
+
+fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), String> {
+    let v = Value::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+    let kind = v
+        .get("k")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing record kind `k`"))?
+        .to_string();
+    let name = v
+        .get("n")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing record name `n`"))?
+        .to_string();
+    let wus = v.get("wus").and_then(Value::as_u64).unwrap_or(0);
+    let value = v.get("v").and_then(Value::as_f64).unwrap_or(0.0);
+    let vt = v.get("vt").and_then(Value::as_f64);
+
+    summary.records += 1;
+    *summary.by_kind.entry(kind.clone()).or_insert(0) += 1;
+
+    match kind.as_str() {
+        "ss" => {
+            if let Some(id) = v.get("id").and_then(Value::as_u64) {
+                summary.open_spans.insert(id, (name, wus));
+            }
+        }
+        "se" => {
+            let opened = v
+                .get("id")
+                .and_then(Value::as_u64)
+                .and_then(|id| summary.open_spans.remove(&id));
+            match opened {
+                Some((open_name, start)) => summary
+                    .span_durations
+                    .entry(open_name)
+                    .or_default()
+                    .push(wus.saturating_sub(start) as f64),
+                None => summary.unmatched_span_ends += 1,
+            }
+        }
+        "ct" => {
+            let agg = summary.counters.entry(name).or_default();
+            agg.total += value;
+            if let Some(fields) = v.get("f") {
+                if let Some(p) = fields.get("phase") {
+                    *agg.by_phase.entry(field_repr(p)).or_insert(0.0) += value;
+                }
+                if let Some(n) = fields.get("node") {
+                    *agg.by_node.entry(field_repr(n)).or_insert(0.0) += value;
+                }
+            }
+        }
+        "hg" => summary.histograms.entry(name).or_default().push(value),
+        "ev" => {
+            let e = summary
+                .events
+                .entry(name)
+                .or_insert((0, f64::NAN, f64::NAN));
+            e.0 += 1;
+            if let Some(t) = vt {
+                e.1 = if e.1.is_nan() { t } else { e.1.min(t) };
+                e.2 = if e.2.is_nan() { t } else { e.2.max(t) };
+            }
+        }
+        other => return Err(format!("line {line_no}: unknown record kind {other:?}")),
+    }
+    Ok(())
+}
+
+fn micros(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+fn breakdown(label: &str, map: &BTreeMap<String, f64>) -> String {
+    let parts: Vec<String> = map.iter().map(|(k, v)| format!("{label}{k}={v}")).collect();
+    parts.join("  ")
+}
+
+fn print_summary(summary: &TraceSummary) {
+    let kinds: Vec<String> = summary
+        .by_kind
+        .iter()
+        .map(|(k, n)| format!("{k}:{n}"))
+        .collect();
+    println!(
+        "{} records ({}), {} span(s) left open, {} unmatched span end(s)",
+        summary.records,
+        kinds.join(" "),
+        summary.open_spans.len(),
+        summary.unmatched_span_ends,
+    );
+    println!();
+
+    if !summary.span_durations.is_empty() {
+        println!("span latency (wall-clock µs):");
+        let mut t = Table::new(&["span", "n", "p50", "p90", "p99", "max"]);
+        for (name, durations) in &summary.span_durations {
+            let s = Summary::of(durations);
+            t.row(vec![
+                name.clone(),
+                s.n.to_string(),
+                micros(s.p50),
+                micros(s.p90),
+                micros(s.p99),
+                micros(s.max),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if !summary.counters.is_empty() {
+        println!("counters:");
+        let mut t = Table::new(&["counter", "total", "breakdown"]);
+        for (name, agg) in &summary.counters {
+            let mut parts = Vec::new();
+            if !agg.by_phase.is_empty() {
+                parts.push(breakdown("phase ", &agg.by_phase));
+            }
+            if !agg.by_node.is_empty() {
+                parts.push(breakdown("node ", &agg.by_node));
+            }
+            t.row(vec![
+                name.clone(),
+                format!("{}", agg.total),
+                parts.join(" | "),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if !summary.histograms.is_empty() {
+        println!("histograms:");
+        let mut t = Table::new(&["histogram", "n", "min", "p50", "p90", "max", "mean"]);
+        for (name, samples) in &summary.histograms {
+            let s = Summary::of(samples);
+            t.row(vec![
+                name.clone(),
+                s.n.to_string(),
+                format!("{:.4}", s.min),
+                format!("{:.4}", s.p50),
+                format!("{:.4}", s.p90),
+                format!("{:.4}", s.max),
+                format!("{:.4}", s.mean),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if !summary.events.is_empty() {
+        println!("events:");
+        let mut t = Table::new(&["event", "count", "vt range"]);
+        for (name, (count, lo, hi)) in &summary.events {
+            let range = if lo.is_nan() {
+                "-".to_string()
+            } else {
+                format!("[{lo:.4}, {hi:.4}]")
+            };
+            t.row(vec![name.clone(), count.to_string(), range]);
+        }
+        t.print();
+        println!();
+    }
+
+    // Fault-recovery breakdown, when the trace contains any of it.
+    let timeouts = summary
+        .counters
+        .get("protocol.ft.detection_timeouts")
+        .map(|a| a.total)
+        .unwrap_or(0.0);
+    let splices = summary
+        .events
+        .get("protocol.ft.splice")
+        .map(|e| e.0)
+        .unwrap_or(0);
+    let resolves = summary
+        .events
+        .get("protocol.ft.residual_resolve")
+        .map(|e| e.0)
+        .unwrap_or(0);
+    if timeouts > 0.0 || splices > 0 || resolves > 0 {
+        println!("fault recovery:");
+        println!("  detection timeouts: {timeouts}");
+        println!("  chain splices:      {splices}");
+        println!("  residual re-solves: {resolves}");
+        if let Some(waits) = summary.histograms.get("protocol.ft.timeout_wait") {
+            let s = Summary::of(waits);
+            println!(
+                "  timeout wait (virtual time): n={} p50={:.4} max={:.4}",
+                s.n, s.p50, s.max
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let path = match args.get(1) {
+        Some(p) if p != "-h" && p != "--help" => p,
+        _ => {
+            eprintln!("usage: dls-trace <trace.jsonl>");
+            eprintln!("summarize a JSONL trace written by obs::JsonlSink (DLS_TRACE=...)");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dls-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut summary = TraceSummary::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = ingest(&mut summary, i + 1, line) {
+            eprintln!("dls-trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("trace: {path}");
+    print_summary(&summary);
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@
 //! cargo run --release -p bench --bin exp_fault_sweep
 //! ```
 
-use bench::{par_sweep, Table};
+use bench::{par_sweep, JsonReport, Table};
 use protocol::{run_with_faults, FaultKind, FaultPlan, Scenario};
 use workloads::{crash_position_grid, crash_time_grid, seeded_cases, FaultCase, FaultCaseKind};
 
@@ -62,8 +62,12 @@ fn check_invariants(s: &Scenario, plan: &FaultPlan, tag: &str) -> protocol::FtRu
 }
 
 fn main() {
+    if let Some(path) = obs::init_from_env() {
+        eprintln!("tracing to {path} (DLS_TRACE)");
+    }
     println!("E20: fault injection — makespan degradation and recovery overhead");
     println!();
+    let mut mirror = JsonReport::new("exp_fault_sweep");
 
     // ---- Overhead vs crash position (node × phase), per chain size ----
     println!("crash position sweep: relative makespan overhead (makespan / fault-free − 1)");
@@ -89,6 +93,7 @@ fn main() {
         println!("chain of {} nodes (m = {m}):", m + 1);
         t.print();
         println!();
+        mirror.table(&format!("crash_position_m{m}"), &t);
     }
 
     // ---- Recovery overhead vs crash time (Phase III progress) ----
@@ -108,6 +113,7 @@ fn main() {
         ]);
     }
     t.print();
+    mirror.table("crash_time", &t);
     assert!(
         overheads.windows(2).all(|p| p[0] >= p[1] - 1e-12),
         "later crashes must leave less to recover: {overheads:?}"
@@ -145,5 +151,12 @@ fn main() {
     );
     println!("  every run: load conserved, deterministic, zero fines on honest survivors");
     println!();
+    mirror
+        .scalar("crash_grid_runs", grid_runs as f64)
+        .scalar("mixed_fault_runs", mixed_runs as f64);
+    mirror
+        .write("results/exp_fault_sweep.json")
+        .expect("write JSON mirror");
+    obs::flush();
     println!("PASS: E20 chain-splice recovery holds the fault-tolerance invariants");
 }

@@ -11,11 +11,14 @@
 //! cargo run --release -p bench --bin exp_interior_mechanism
 //! ```
 
-use bench::{par_sweep, Table};
+use bench::{par_sweep, JsonReport, Table};
 use mechanism::dls_interior::{Arm, DlsInterior};
 use mechanism::{Agent, Conduct};
 
 fn main() {
+    if let Some(path) = obs::init_from_env() {
+        eprintln!("tracing to {path} (DLS_TRACE)");
+    }
     println!("E19: DLS-LIL — interior load origination");
     println!();
     let trials = 300u64;
@@ -95,5 +98,16 @@ fn main() {
     assert!(min_u >= -1e-9);
     assert!(max_cross < 1e-12, "arm independence must be exact");
     println!();
+    let mut mirror = JsonReport::new("exp_interior_mechanism");
+    mirror
+        .table("metrics", &t)
+        .scalar("random_trials", trials as f64)
+        .scalar("violations", violations as f64)
+        .scalar("min_truthful_utility", min_u)
+        .scalar("max_cross_arm_influence", max_cross);
+    mirror
+        .write("results/exp_interior_mechanism.json")
+        .expect("write JSON mirror");
+    obs::flush();
     println!("PASS: E19 — interior origination: strategyproof, VP, and arm-independent");
 }

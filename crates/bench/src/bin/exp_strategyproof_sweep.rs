@@ -11,15 +11,19 @@
 //! cargo run --release -p bench --bin exp_strategyproof_sweep
 //! ```
 
-use bench::{par_sweep, Table};
+use bench::{par_sweep, JsonReport, Table};
 use mechanism::naive_baseline::NaiveMechanism;
 use mechanism::verify::{bid_sweep, default_factor_grid, strategyproofness_report};
 use mechanism::{Agent, Conduct, DlsLbl};
 use workloads::ChainConfig;
 
 fn main() {
+    if let Some(path) = obs::init_from_env() {
+        eprintln!("tracing to {path} (DLS_TRACE)");
+    }
     println!("E4: Theorem 5.3 — utility vs bid (truth must dominate)");
     println!();
+    let mut mirror = JsonReport::new("exp_strategyproof_sweep");
 
     // Headline instance: the curve for each agent around the truthful bid.
     let mech = DlsLbl::new(1.0, vec![0.25, 0.15, 0.40, 0.10]);
@@ -40,6 +44,7 @@ fn main() {
         ]);
     }
     t.print();
+    mirror.table("utility_vs_bid", &t);
     for s in &sweeps {
         assert!(
             s.truthful_is_best(1e-9),
@@ -72,6 +77,7 @@ fn main() {
         ]);
     }
     t2.print();
+    mirror.table("slack_execution", &t2);
     println!("(slack execution is verified by the meter and priced down ✓)");
     println!();
 
@@ -134,5 +140,14 @@ fn main() {
     }
     assert!(manipulable > 0, "baseline should be manipulable somewhere");
     println!();
+    mirror
+        .scalar("random_trials", trials as f64)
+        .scalar("bid_grid_size", grid.len() as f64)
+        .scalar("violations", violations as f64)
+        .scalar("naive_manipulable_agents", manipulable as f64);
+    mirror
+        .write("results/exp_strategyproof_sweep.json")
+        .expect("write JSON mirror");
+    obs::flush();
     println!("PASS: DLS-LBL strategyproof on every instance; naive baseline manipulable");
 }

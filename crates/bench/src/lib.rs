@@ -2,13 +2,15 @@
 //!
 //! Each experiment from DESIGN.md §4 is a binary in `src/bin/exp_*.rs`;
 //! this library holds the shared plumbing: aligned table printing, summary
-//! statistics, and a rayon-parallel map for wide sweeps.
+//! statistics, machine-readable JSON mirrors of the text reports, and a
+//! rayon-parallel map for wide sweeps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 // Parallel-array indexing is idiomatic throughout this numeric code.
 #![allow(clippy::needless_range_loop)]
 
+use minijson::Value;
 use rayon::prelude::*;
 
 /// A plain-text table printer with right-aligned columns.
@@ -66,6 +68,102 @@ impl Table {
     /// Print to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Rows (stringified cells, insertion order).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// JSON mirror of the table: an array of objects keyed by header, with
+    /// cells that parse as finite numbers emitted as JSON numbers and
+    /// everything else as strings.
+    pub fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Value::Object(
+                        self.headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, cell)| (h.clone(), cell_value(cell)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+fn cell_value(cell: &str) -> Value {
+    match cell.parse::<f64>() {
+        Ok(x) if x.is_finite() => Value::Number(x),
+        _ => Value::String(cell.to_string()),
+    }
+}
+
+/// A machine-readable mirror of one experiment's text report, written as a
+/// single JSON document next to the `results/*.txt` file. The schema is
+/// documented in `results/README.md`: a top-level object with
+/// `experiment`, `schema_version`, and experiment-chosen keys whose table
+/// values come from [`Table::to_json_value`].
+#[derive(Debug)]
+pub struct JsonReport {
+    entries: Vec<(String, Value)>,
+}
+
+impl JsonReport {
+    /// Start a report for the named experiment (schema version 1).
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            entries: vec![
+                ("experiment".into(), Value::String(experiment.into())),
+                ("schema_version".into(), Value::Number(1.0)),
+            ],
+        }
+    }
+
+    /// Attach a numeric scalar.
+    pub fn scalar(&mut self, key: &str, value: f64) -> &mut Self {
+        self.entries.push((key.into(), Value::Number(value)));
+        self
+    }
+
+    /// Attach a string.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.entries.push((key.into(), Value::String(value.into())));
+        self
+    }
+
+    /// Attach a table (as an array of row objects).
+    pub fn table(&mut self, key: &str, table: &Table) -> &mut Self {
+        self.entries.push((key.into(), table.to_json_value()));
+        self
+    }
+
+    /// Attach an arbitrary pre-built JSON value.
+    pub fn value(&mut self, key: &str, value: Value) -> &mut Self {
+        self.entries.push((key.into(), value));
+        self
+    }
+
+    /// Serialize the report document.
+    pub fn to_json(&self) -> String {
+        Value::Object(self.entries.clone()).to_json()
+    }
+
+    /// Write the document to `path`, creating parent directories.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -150,5 +248,32 @@ mod tests {
         let p = par_sweep(0..32, |s| s * s);
         let q = seq_sweep(0..32, |s| s * s);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn table_json_mirror_types_cells() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(vec!["alpha".into(), "1.5".into()]);
+        t.row(vec!["beta".into(), "n/a".into()]);
+        let v = t.to_json_value();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("k").unwrap().as_str(), Some("alpha"));
+        assert_eq!(rows[0].get("v").unwrap().as_f64(), Some(1.5));
+        assert_eq!(rows[1].get("v").unwrap().as_str(), Some("n/a"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_minijson() {
+        let mut t = Table::new(&["seed", "makespan"]);
+        t.row(vec!["0".into(), "0.75".into()]);
+        let mut r = JsonReport::new("exp_test");
+        r.scalar("runs", 1.0).text("note", "ok").table("sweep", &t);
+        let doc = Value::parse(&r.to_json()).unwrap();
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("exp_test"));
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("runs").unwrap().as_f64(), Some(1.0));
+        let rows = doc.get("sweep").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("makespan").unwrap().as_f64(), Some(0.75));
     }
 }

@@ -44,6 +44,7 @@ impl LinearSolution {
 /// at the same instant `w̄_0`.
 pub fn solve(net: &LinearNetwork) -> LinearSolution {
     let m = net.last_index();
+    obs::count!("dlt.linear.solve", "m" => m);
     let mut alpha_hat = vec![0.0; m + 1];
     let mut w_bar = vec![0.0; m + 1];
     alpha_hat[m] = 1.0;
@@ -67,6 +68,7 @@ pub fn solve(net: &LinearNetwork) -> LinearSolution {
 /// Equivalent to `solve(net).makespan()` but does not materialize the
 /// allocation vectors.
 pub fn equivalent_time(net: &LinearNetwork) -> f64 {
+    obs::count!("dlt.linear.equivalent_time");
     let m = net.last_index();
     let mut w_bar = net.w(m);
     for i in (0..m).rev() {
@@ -109,6 +111,7 @@ pub fn solve_suffix(net: &LinearNetwork, i: usize) -> LinearSolution {
 /// Panics if `dead` is the root (`0`, obedient and assumed reliable) or out
 /// of range, or if removing the node would empty the chain.
 pub fn splice(net: &LinearNetwork, dead: usize) -> LinearNetwork {
+    obs::count!("dlt.linear.splice", "dead" => dead);
     let m = net.last_index();
     assert!(
         dead >= 1 && dead <= m,

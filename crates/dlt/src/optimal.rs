@@ -44,6 +44,7 @@ pub fn perturbation_probe(
     delta: f64,
     tol: f64,
 ) -> ProbeReport {
+    let _span = obs::span!("dlt.optimal.perturbation_probe", "n" => net.len());
     let base = makespan(net, alloc);
     let n = net.len();
     let mut attempts = 0;
@@ -70,6 +71,7 @@ pub fn perturbation_probe(
             best_delta = best_delta.min(d);
         }
     }
+    obs::hist!("dlt.optimal.probe_attempts", attempts as f64);
     ProbeReport {
         attempts,
         improvements,

@@ -132,6 +132,7 @@ pub fn settle(
     inputs: PaymentInputs,
     solution_bonus: f64,
 ) -> PaymentBreakdown {
+    obs::count!("mechanism.payment.settle", "j" => j);
     let v = valuation(inputs.actual_load, inputs.actual_rate);
     if inputs.actual_load <= 0.0 {
         // eq. 4.6: a processor that computed nothing is paid nothing.
@@ -168,6 +169,8 @@ pub fn settle(
 /// therefore exactly zero: the node is made whole for its cost, nothing
 /// more.
 pub fn pro_rata(completed_load: f64, actual_rate: f64) -> PaymentBreakdown {
+    obs::count!("mechanism.payment.pro_rata");
+    obs::hist!("mechanism.payment.pro_rata_load", completed_load);
     let v = valuation(completed_load, actual_rate);
     let c = completed_load * actual_rate;
     PaymentBreakdown {

@@ -1,0 +1,85 @@
+//! The run clock: a single accumulator for virtual (simulated) time.
+//!
+//! The fault-tolerant runner used to compute makespans with ad-hoc
+//! arithmetic (`base + timeout + residual · w̄`) while the timeline was
+//! assembled separately — two codepaths that could drift. [`RunClock`]
+//! is the one place both go through: every interval of virtual time is
+//! `advance`d exactly once, the returned `(start, end)` pair feeds the
+//! phase timeline, and the final `now()` *is* the reported makespan.
+//!
+//! Addition order is preserved (`advance` is a single `+=` per interval),
+//! so replacing the ad-hoc expressions with a clock is bit-identical:
+//! `((a + b) + c)` in f64 is exactly what sequential advances produce.
+
+/// An accumulating virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunClock {
+    now: f64,
+}
+
+impl RunClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::starting_at(0.0)
+    }
+
+    /// A clock starting at `t` (e.g. the fault-free makespan, when
+    /// detection begins after the interrupted phase completes).
+    pub fn starting_at(t: f64) -> Self {
+        assert!(!t.is_nan(), "virtual time cannot be NaN");
+        RunClock { now: t }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt`, returning the `(start, end)` interval just spent —
+    /// the timeline span for whatever consumed that time.
+    #[inline]
+    pub fn advance(&mut self, dt: f64) -> (f64, f64) {
+        let start = self.now;
+        self.now += dt;
+        (start, self.now)
+    }
+}
+
+impl Default for RunClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate_left_to_right() {
+        let mut c = RunClock::starting_at(1.5);
+        let (s1, e1) = c.advance(0.25);
+        let (s2, e2) = c.advance(0.5);
+        assert_eq!((s1, e1), (1.5, 1.75));
+        assert_eq!((s2, e2), (1.75, 2.25));
+        assert_eq!(c.now(), 2.25);
+    }
+
+    #[test]
+    fn matches_inline_expression_bitwise() {
+        // The exact shape ft_runner uses: base + timeout + residual·w̄.
+        let (base, timeout, residual, per_unit) = (0.731, 0.05, 0.3178, 1.137);
+        let inline = base + timeout + residual * per_unit;
+        let mut c = RunClock::starting_at(base);
+        c.advance(timeout);
+        c.advance(residual * per_unit);
+        assert_eq!(c.now().to_bits(), inline.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_start() {
+        RunClock::starting_at(f64::NAN);
+    }
+}

@@ -1,0 +1,100 @@
+//! Summary statistics over histogram samples: percentiles and the compact
+//! summaries `dls-trace` and the experiment binaries print.
+
+/// Nearest-rank percentile of a **sorted** sample (`q` in `[0, 100]`).
+/// Returns NaN on an empty sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Compact distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (unsorted; empty samples yield an all-NaN, n = 0
+    /// summary).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary {
+                n: 0,
+                min: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
+            p99: percentile(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 90.0), 90.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_small_samples() {
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+    }
+}

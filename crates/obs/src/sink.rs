@@ -1,0 +1,213 @@
+//! Pluggable record sinks.
+//!
+//! * [`NoopSink`] — discards everything; what `install` defaults to when a
+//!   caller wants the enabled path without storage.
+//! * [`MemorySink`] — buffers records in memory and aggregates counters and
+//!   histograms; the test sink.
+//! * [`JsonlSink`] — serializes each record as one JSON line to a file
+//!   (the `DLS_TRACE=path.jsonl` sink).
+
+use crate::record::{Record, RecordKind};
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A consumer of observability records. Implementations must be cheap and
+/// must never panic — they run inside instrumented hot paths.
+pub trait Sink: Send + Sync {
+    /// Consume one record.
+    fn record(&self, record: &Record);
+    /// Flush buffered output (file sinks). Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Discards every record.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _record: &Record) {}
+}
+
+/// Buffers records and aggregates metrics; for tests and in-process
+/// summaries.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    inner: Mutex<MemoryInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryInner {
+    records: Vec<Record>,
+    counters: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records captured.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all captured records.
+    pub fn records(&self) -> Vec<Record> {
+        self.inner.lock().unwrap().records.clone()
+    }
+
+    /// Total of a named counter (0 if never incremented).
+    pub fn counter_total(&self, name: &str) -> f64 {
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .unwrap_or(&0.0)
+    }
+
+    /// All samples of a named histogram.
+    pub fn histogram(&self, name: &str) -> Vec<f64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Names of all counters seen, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
+    }
+
+    /// Drop everything captured so far.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.records.clear();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, record: &Record) {
+        let mut inner = self.inner.lock().unwrap();
+        match record.kind {
+            RecordKind::Counter => {
+                *inner.counters.entry(record.name).or_insert(0.0) += record.value;
+            }
+            RecordKind::Histogram => {
+                inner
+                    .histograms
+                    .entry(record.name)
+                    .or_default()
+                    .push(record.value);
+            }
+            _ => {}
+        }
+        inner.records.push(record.clone());
+    }
+}
+
+/// Streams records to a file as JSON lines.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the trace file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        let line = record.to_json();
+        let mut w = self.writer.lock().unwrap();
+        // Trace output is best-effort: a full disk must not kill the run.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: RecordKind, name: &'static str, value: f64) -> Record {
+        Record {
+            kind,
+            name,
+            span: 0,
+            parent: 0,
+            vtime: f64::NAN,
+            wall_micros: 0,
+            value,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn memory_sink_aggregates_counters_and_histograms() {
+        let sink = MemorySink::new();
+        sink.record(&rec(RecordKind::Counter, "msgs", 1.0));
+        sink.record(&rec(RecordKind::Counter, "msgs", 2.0));
+        sink.record(&rec(RecordKind::Histogram, "lat", 0.5));
+        sink.record(&rec(RecordKind::Histogram, "lat", 1.5));
+        assert_eq!(sink.counter_total("msgs"), 3.0);
+        assert_eq!(sink.histogram("lat"), vec![0.5, 1.5]);
+        assert_eq!(sink.counter_total("absent"), 0.0);
+        assert_eq!(sink.len(), 4);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("obs-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&rec(RecordKind::Event, "e1", 0.0));
+            sink.record(&rec(RecordKind::Counter, "c1", 4.0));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            minijson::Value::parse(line).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,250 @@
+//! The per-run **phase timeline** artifact: which node spent which interval
+//! of virtual time in which protocol phase, plus detection timeouts and
+//! recovery splices.
+//!
+//! The timeline is *deterministic* — it carries only virtual-clock
+//! timestamps (never wall time), so reports that embed one stay
+//! bit-identical across runs. Rendering goes through the existing
+//! Gantt/SVG path (`sim::phase_timeline_to_gantt`); serialization goes
+//! through `minijson` ([`PhaseTimeline::to_json`] / [`from_json`]).
+
+use minijson::Value;
+
+/// What a timeline span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineKind {
+    /// Scheduled protocol work (Phase III compute, or the logical extent of
+    /// a message phase).
+    Work,
+    /// A detection-timeout wait (a neighbour waiting on a silent node).
+    Timeout,
+    /// Recovery work re-assigned after a chain splice.
+    Recovery,
+    /// A chain-splice marker (zero-width: the instant the dead node was cut
+    /// out of the chain).
+    Splice,
+}
+
+impl TimelineKind {
+    /// Serialized label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimelineKind::Work => "work",
+            TimelineKind::Timeout => "timeout",
+            TimelineKind::Recovery => "recovery",
+            TimelineKind::Splice => "splice",
+        }
+    }
+
+    /// Parse a serialized label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "work" => TimelineKind::Work,
+            "timeout" => TimelineKind::Timeout,
+            "recovery" => TimelineKind::Recovery,
+            "splice" => TimelineKind::Splice,
+            _ => return None,
+        })
+    }
+}
+
+/// One interval on one node's timeline lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Node index (0 = root).
+    pub node: usize,
+    /// Protocol phase 1–4 (0 for spans outside any phase).
+    pub phase: u8,
+    /// What the node was doing.
+    pub kind: TimelineKind,
+    /// Virtual start time.
+    pub start: f64,
+    /// Virtual end time (`== start` for markers).
+    pub end: f64,
+    /// Load involved (compute/recovery spans; 0 otherwise).
+    pub load: f64,
+}
+
+/// A full per-run timeline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseTimeline {
+    /// Number of nodes (root included).
+    pub nodes: usize,
+    /// All spans, in recording order.
+    pub spans: Vec<PhaseSpan>,
+    /// The run's final virtual time (reported makespan).
+    pub makespan: f64,
+}
+
+impl PhaseTimeline {
+    /// An empty timeline over `nodes` lanes.
+    pub fn new(nodes: usize) -> Self {
+        PhaseTimeline {
+            nodes,
+            spans: Vec::new(),
+            makespan: 0.0,
+        }
+    }
+
+    /// Record a span. Panics if the interval is reversed or the node is out
+    /// of range.
+    pub fn push(
+        &mut self,
+        node: usize,
+        phase: u8,
+        kind: TimelineKind,
+        (start, end): (f64, f64),
+        load: f64,
+    ) {
+        assert!(node < self.nodes, "timeline node {node} out of range");
+        assert!(end >= start, "timeline span ends before it starts");
+        self.spans.push(PhaseSpan {
+            node,
+            phase,
+            kind,
+            start,
+            end,
+            load,
+        });
+    }
+
+    /// Record a zero-width marker.
+    pub fn mark(&mut self, node: usize, phase: u8, kind: TimelineKind, at: f64) {
+        self.push(node, phase, kind, (at, at), 0.0);
+    }
+
+    /// Spans of a given kind.
+    pub fn of(&self, kind: TimelineKind) -> impl Iterator<Item = &PhaseSpan> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Spans on one node's lane.
+    pub fn lane(&self, node: usize) -> impl Iterator<Item = &PhaseSpan> {
+        self.spans.iter().filter(move |s| s.node == node)
+    }
+
+    /// Latest span end (0 for an empty timeline).
+    pub fn horizon(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Serialize via `minijson`.
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            ("nodes".into(), Value::Number(self.nodes as f64)),
+            ("makespan".into(), Value::Number(self.makespan)),
+            (
+                "spans".into(),
+                Value::Array(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("node".into(), Value::Number(s.node as f64)),
+                                ("phase".into(), Value::Number(s.phase as f64)),
+                                ("kind".into(), Value::String(s.kind.label().into())),
+                                ("start".into(), Value::Number(s.start)),
+                                ("end".into(), Value::Number(s.end)),
+                                ("load".into(), Value::Number(s.load)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parse a timeline serialized by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        let nodes = v
+            .get("nodes")
+            .and_then(Value::as_u64)
+            .ok_or("missing nodes")? as usize;
+        let makespan = v
+            .get("makespan")
+            .and_then(Value::as_f64)
+            .ok_or("missing makespan")?;
+        let mut spans = Vec::new();
+        for s in v
+            .get("spans")
+            .and_then(Value::as_array)
+            .ok_or("missing spans")?
+        {
+            spans.push(PhaseSpan {
+                node: s.get("node").and_then(Value::as_u64).ok_or("span.node")? as usize,
+                phase: s.get("phase").and_then(Value::as_u64).ok_or("span.phase")? as u8,
+                kind: s
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .and_then(TimelineKind::from_label)
+                    .ok_or("span.kind")?,
+                start: s.get("start").and_then(Value::as_f64).ok_or("span.start")?,
+                end: s.get("end").and_then(Value::as_f64).ok_or("span.end")?,
+                load: s.get("load").and_then(Value::as_f64).unwrap_or(0.0),
+            });
+        }
+        Ok(PhaseTimeline {
+            nodes,
+            spans,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseTimeline {
+        let mut t = PhaseTimeline::new(3);
+        t.push(0, 3, TimelineKind::Work, (0.0, 0.6), 0.4);
+        t.push(1, 3, TimelineKind::Work, (0.1, 0.6), 0.35);
+        t.push(2, 3, TimelineKind::Timeout, (0.6, 0.65), 0.0);
+        t.mark(1, 3, TimelineKind::Splice, 0.65);
+        t.push(2, 3, TimelineKind::Recovery, (0.65, 0.8), 0.25);
+        t.makespan = 0.8;
+        t
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let t = sample();
+        let back = PhaseTimeline::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn horizon_and_filters() {
+        let t = sample();
+        assert!((t.horizon() - 0.8).abs() < 1e-15);
+        assert_eq!(t.of(TimelineKind::Work).count(), 2);
+        assert_eq!(t.of(TimelineKind::Splice).count(), 1);
+        assert_eq!(t.lane(2).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn rejects_reversed_span() {
+        let mut t = PhaseTimeline::new(1);
+        t.push(0, 3, TimelineKind::Work, (1.0, 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let mut t = PhaseTimeline::new(1);
+        t.push(1, 3, TimelineKind::Work, (0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(PhaseTimeline::from_json("{}").is_err());
+        assert!(PhaseTimeline::from_json("not json").is_err());
+        assert!(PhaseTimeline::from_json(
+            r#"{"nodes":1,"makespan":0,"spans":[{"node":0,"phase":3,"kind":"bogus","start":0,"end":1}]}"#
+        )
+        .is_err());
+    }
+}

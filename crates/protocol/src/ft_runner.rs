@@ -133,6 +133,10 @@ pub struct FtRunReport {
     pub splice_map: Vec<Option<usize>>,
     /// Discrete events the execution simulator processed.
     pub events: u64,
+    /// Deterministic per-run phase timeline (original chain indexing):
+    /// base-run work, detection-timeout waits, the splice instant and
+    /// recovery spans, on the same virtual clock as `makespan`.
+    pub timeline: obs::PhaseTimeline,
 }
 
 impl FtRunReport {
@@ -208,6 +212,7 @@ pub fn run_with_faults(scenario: &Scenario, plan: &FaultPlan) -> Result<FtRunRep
     plan.validate(m)?;
     let n = m + 1;
     let timeout = plan.detection_timeout;
+    let _ft_span = obs::span!("protocol.ft.run", "m" => m, "timeout" => timeout);
 
     let base = try_run(scenario)?;
     let identity_map: Vec<Option<usize>> = (0..n).map(Some).collect();
@@ -259,6 +264,7 @@ fn healthy_report(
         transcript: base.transcript.clone(),
         splice_map,
         events: base.events,
+        timeline: base.timeline.clone(),
     }
 }
 
@@ -293,6 +299,23 @@ fn pre_distribution_crash(
     let mut arbitrations = vec![arbitrate_unresponsive(detector, k, false)];
     let detected = vec![(detector, k, phase)];
 
+    // Recovery restarts the whole schedule: the virtual clock begins at 0,
+    // waits out the detection timeout, then runs the survivor protocol.
+    let mut clock = obs::RunClock::new();
+    let timeout_span = clock.advance(timeout);
+    obs::count!("protocol.ft.detection_timeouts", "phase" => phase);
+    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => phase);
+    obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => phase);
+    let mut timeline = obs::PhaseTimeline::new(n);
+    timeline.push(
+        detector,
+        phase,
+        obs::TimelineKind::Timeout,
+        timeout_span,
+        0.0,
+    );
+    timeline.mark(k, phase, obs::TimelineKind::Splice, timeout_span.1);
+
     if m == 1 {
         // No strategic survivor: the obedient root computes the whole unit
         // load itself at rate w_0.
@@ -303,6 +326,9 @@ fn pre_distribution_crash(
         });
         let mut assigned = vec![0.0; n];
         assigned[0] = 1.0;
+        let root_span = clock.advance(scenario.root_rate);
+        timeline.push(0, 3, obs::TimelineKind::Recovery, root_span, 1.0);
+        timeline.makespan = clock.now();
         return Ok(FtRunReport {
             crashed: Some(k),
             stalled: None,
@@ -311,7 +337,7 @@ fn pre_distribution_crash(
             assigned,
             recovered_load: 0.0,
             recovery_assigned: vec![0.0; n],
-            makespan: timeout + scenario.root_rate,
+            makespan: clock.now(),
             base_makespan: base.makespan,
             arbitrations,
             ledger: Ledger::new(),
@@ -319,6 +345,7 @@ fn pre_distribution_crash(
             transcript,
             splice_map,
             events: 0,
+            timeline,
         });
     }
 
@@ -341,6 +368,27 @@ fn pre_distribution_crash(
         solution_found: scenario.solution_found,
     };
     let inner = try_run(&inner_scenario)?;
+    obs::event!(
+        "protocol.ft.residual_resolve",
+        vt = clock.now(),
+        "dead" => k,
+        "survivors" => inner.assigned.len()
+    );
+    let recovery_span = clock.advance(inner.makespan);
+    // The survivor protocol's Phase III work, shifted past the timeout and
+    // renumbered to the original chain.
+    for s in inner.timeline.of(obs::TimelineKind::Work) {
+        if s.phase == 3 {
+            timeline.push(
+                unsplice(s.node, k),
+                3,
+                obs::TimelineKind::Recovery,
+                (recovery_span.0 + s.start, recovery_span.0 + s.end),
+                s.load,
+            );
+        }
+    }
+    timeline.makespan = clock.now();
 
     transcript.record(Entry::Recovery {
         dead: k,
@@ -385,7 +433,7 @@ fn pre_distribution_crash(
         completed,
         recovered_load: 0.0,
         recovery_assigned: vec![0.0; n],
-        makespan: timeout + inner.makespan,
+        makespan: clock.now(),
         base_makespan: base.makespan,
         arbitrations,
         ledger,
@@ -393,6 +441,7 @@ fn pre_distribution_crash(
         transcript,
         splice_map,
         events: inner.events,
+        timeline,
     })
 }
 
@@ -424,11 +473,26 @@ fn mid_computation_halt(
     let mut arbitrations = base.arbitrations.clone();
     arbitrations.push(arbitrate_unresponsive(detector, k, alive));
 
+    // The recovery clock picks up where the fault-free schedule ended:
+    // detection wait, splice, then the residual re-computation.
+    let mut clock = obs::RunClock::starting_at(base.makespan);
+    let timeout_span = clock.advance(timeout);
+    obs::count!("protocol.ft.detection_timeouts", "phase" => 3u8);
+    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 3u8);
+    obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => 3u8);
+
     // Re-solve on the spliced *bid* chain, as any Phase II allocation.
     let mut bid_w = vec![scenario.root_rate];
     bid_w.extend_from_slice(&base.bids);
     let spliced = linear::splice(&LinearNetwork::from_rates(&bid_w, &scenario.link_rates), k);
     let (per_unit_makespan, shares) = allocation_of(&spliced);
+    obs::event!(
+        "protocol.ft.residual_resolve",
+        vt = clock.now(),
+        "dead" => k,
+        "residual" => residual,
+        "survivors" => shares.len()
+    );
 
     let mut completed = base.retained.clone();
     completed[k] = done_k;
@@ -446,6 +510,17 @@ fn mid_computation_halt(
         residual,
         reassigned,
     });
+
+    let recovery_span = clock.advance(residual * per_unit_makespan);
+    let mut timeline = base.timeline.clone();
+    timeline.push(detector, 3, obs::TimelineKind::Timeout, timeout_span, 0.0);
+    timeline.mark(k, 3, obs::TimelineKind::Splice, recovery_span.0);
+    for (orig, &extra) in recovery_assigned.iter().enumerate() {
+        if extra > 0.0 {
+            timeline.push(orig, 3, obs::TimelineKind::Recovery, recovery_span, extra);
+        }
+    }
+    timeline.makespan = clock.now();
 
     // Rebuild the ledger: the halted node's Phase IV settlement (payment,
     // and any audit outcome of a bill it never submitted) is replaced by
@@ -491,7 +566,7 @@ fn mid_computation_halt(
         completed,
         recovered_load: residual,
         recovery_assigned,
-        makespan: base.makespan + timeout + residual * per_unit_makespan,
+        makespan: clock.now(),
         base_makespan: base.makespan,
         arbitrations,
         ledger,
@@ -499,6 +574,7 @@ fn mid_computation_halt(
         transcript,
         splice_map,
         events: base.events,
+        timeline,
     }
 }
 
@@ -524,6 +600,14 @@ fn pre_billing_crash(
     });
     let mut arbitrations = base.arbitrations.clone();
     arbitrations.push(arbitrate_unresponsive(detector, k, false));
+
+    let mut clock = obs::RunClock::starting_at(base.makespan);
+    let timeout_span = clock.advance(timeout);
+    obs::count!("protocol.ft.detection_timeouts", "phase" => 4u8);
+    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 4u8);
+    let mut timeline = base.timeline.clone();
+    timeline.push(detector, 4, obs::TimelineKind::Timeout, timeout_span, 0.0);
+    timeline.makespan = clock.now();
 
     let mut bid_w = vec![scenario.root_rate];
     bid_w.extend_from_slice(&base.bids);
@@ -563,7 +647,7 @@ fn pre_billing_crash(
         completed: base.retained.clone(),
         recovered_load: 0.0,
         recovery_assigned: vec![0.0; n],
-        makespan: base.makespan + timeout,
+        makespan: clock.now(),
         base_makespan: base.makespan,
         arbitrations,
         ledger,
@@ -571,6 +655,7 @@ fn pre_billing_crash(
         transcript,
         splice_map,
         events: base.events,
+        timeline,
     }
 }
 
@@ -583,6 +668,9 @@ fn pre_billing_crash(
 /// replay cannot incriminate the sender.
 fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
     let halted = report.crashed.or(report.stalled);
+    // Message-fault overhead accrues on the same clock the halting-fault
+    // path ended on.
+    let mut clock = obs::RunClock::starting_at(report.makespan);
     for event in plan.message_faults() {
         if Some(event.node) == halted {
             continue;
@@ -592,7 +680,13 @@ fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
                 let Some(receiver) = receiver_of(event.node, phase, m) else {
                     continue;
                 };
-                report.makespan += plan.detection_timeout;
+                let wait = clock.advance(plan.detection_timeout);
+                obs::count!("protocol.ft.detection_timeouts", "phase" => phase);
+                obs::hist!("protocol.ft.timeout_wait", plan.detection_timeout, "phase" => phase);
+                report
+                    .timeline
+                    .push(receiver, phase, obs::TimelineKind::Timeout, wait, 0.0);
+                report.makespan = clock.now();
                 report.transcript.record(Entry::Timeout {
                     detector: receiver,
                     suspect: event.node,
@@ -605,12 +699,14 @@ fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
             }
             FaultKind::DelayMessage { phase, delay } => {
                 if receiver_of(event.node, phase, m).is_some() {
-                    report.makespan += delay;
+                    clock.advance(delay);
+                    report.makespan = clock.now();
                 }
             }
             FaultKind::Crash { .. } | FaultKind::Stall { .. } => unreachable!("filtered"),
         }
     }
+    report.timeline.makespan = report.makespan;
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub fn arbitrate(
     ledger: &mut Ledger,
 ) -> ArbitrationRecord {
     let accused = complaint.accused();
+    obs::count!("protocol.complaints.filed", "phase" => ctx.phase, "accused" => accused);
     let (substantiated, extra_penalty, label) = match complaint {
         Complaint::Contradiction {
             accused,
@@ -115,7 +116,17 @@ pub fn arbitrate(
     } else {
         ctx.fine.deviation_fine()
     };
+    if substantiated {
+        obs::count!("protocol.complaints.substantiated", "phase" => ctx.phase, "accused" => accused);
+    }
     if f > 0.0 {
+        let fined = if substantiated { accused } else { claimant };
+        obs::hist!(
+            "mechanism.fines.levied",
+            f + extra_penalty,
+            "node" => fined,
+            "phase" => ctx.phase
+        );
         if substantiated {
             ledger.post(accused, EntryKind::Fine, -f, ctx.phase);
             ledger.post(claimant, EntryKind::Reward, f, ctx.phase);

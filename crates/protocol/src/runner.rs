@@ -273,6 +273,9 @@ pub struct RunReport {
     pub transcript: Transcript,
     /// Number of discrete events the execution simulation processed.
     pub events: u64,
+    /// Deterministic per-run phase timeline (virtual time only; renderable
+    /// via `sim::phase_timeline_to_gantt`).
+    pub timeline: obs::PhaseTimeline,
 }
 
 impl RunReport {
@@ -307,6 +310,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
     scenario.validate()?;
     let m = scenario.num_agents();
     let n = m + 1;
+    let mut run_span = obs::span!("protocol.run", "m" => m, "seed" => scenario.seed);
     let registry = Registry::new(n, scenario.seed);
     let mint = BlockMint::new(scenario.blocks, scenario.seed ^ 0x5EED_B10C);
     let mut ledger = Ledger::new();
@@ -361,6 +365,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             message: Dsm::new(&key, reported_wbar[j]),
         });
     }
+    obs::count!("protocol.messages", by = m as f64, "phase" => 1u8);
     // Contradictory Phase I messages: the sender signs two different
     // values; the predecessor detects and reports.
     for j in 1..=m {
@@ -373,6 +378,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
                 to: j - 1,
                 message: second,
             });
+            obs::count!("protocol.messages", "phase" => 1u8);
             let complaint = Complaint::Contradiction {
                 accused: j,
                 first,
@@ -428,6 +434,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             w_prev: Dsm::new(&sender_key, bids[i - 1]),
             wbar_cur: Dsm::new(&sender_key, reported_wbar[i]),
         };
+        obs::count!("protocol.verification.checks", "phase" => 2u8, "node" => i);
         if let Err(_reason) = g.check(&registry, i, reported_wbar[i], z[i - 1], ARBITRATION_TOL) {
             // The recipient escalates with the message as evidence.
             let complaint = Complaint::BadComputation {
@@ -451,6 +458,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             g,
             link_rate: z[i - 1],
         });
+        obs::count!("protocol.messages", "phase" => 2u8);
         carry_d = g.d_cur;
         carry_wbar = g.wbar_cur;
         g_messages.push(g);
@@ -527,6 +535,8 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             amount: received[i],
             tag: mint.range(scenario.blocks - recv_blocks_i, recv_blocks_i),
         });
+        obs::count!("protocol.messages", "phase" => 3u8);
+        obs::count!("protocol.verification.checks", "phase" => 3u8, "node" => i);
         if received[i] > d[i] + half_block {
             let recv_blocks = mint.to_blocks(received[i]).min(scenario.blocks);
             let tag = mint.range(scenario.blocks - recv_blocks, recv_blocks);
@@ -585,9 +595,12 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             bill: bill.clone(),
             recomputed: honest_bill,
         });
+        obs::count!("protocol.messages", "phase" => 4u8);
         let challenged = rng.gen::<f64>() < scenario.fine.audit_probability;
         if challenged {
             audited.push(j);
+            obs::count!("protocol.audits", "node" => j);
+            obs::count!("protocol.verification.checks", "phase" => 4u8, "node" => j);
             // The root recomputes the payment from the proof.
             let recomputed = payment::settle(
                 &bid_net,
@@ -601,6 +614,12 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             )
             .payment;
             if (bill.amount - recomputed).abs() > ARBITRATION_TOL {
+                obs::hist!(
+                    "mechanism.fines.levied",
+                    scenario.fine.overcharge_fine(),
+                    "node" => j,
+                    "phase" => 4u8
+                );
                 ledger.post(j, EntryKind::Fine, -scenario.fine.overcharge_fine(), 4);
                 ledger.post(j, EntryKind::Payment, recomputed, 4);
                 arbitrations.push(ArbitrationRecord {
@@ -621,6 +640,32 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
 
     let net_utilities: Vec<f64> = (1..=m).map(|j| valuations[j] + ledger.net(j)).collect();
 
+    // Deterministic phase timeline. Message phases are instantaneous in the
+    // virtual-time model (markers at 0 and at the makespan); Phase III spans
+    // come from the recorded Gantt compute segments.
+    let mut timeline = obs::PhaseTimeline::new(n);
+    for i in 0..n {
+        timeline.mark(i, 1, obs::TimelineKind::Work, 0.0);
+        timeline.mark(i, 2, obs::TimelineKind::Work, 0.0);
+    }
+    for (i, lane) in exec.gantt.lanes.iter().enumerate() {
+        for seg in lane.of(sim::Activity::Compute) {
+            timeline.push(
+                i,
+                3,
+                obs::TimelineKind::Work,
+                (seg.start, seg.end),
+                seg.load,
+            );
+        }
+    }
+    for i in 0..n {
+        timeline.mark(i, 4, obs::TimelineKind::Work, exec.makespan);
+    }
+    timeline.makespan = exec.makespan;
+    run_span.end_at(exec.makespan);
+    obs::hist!("protocol.makespan", exec.makespan, "m" => m);
+
     Ok(RunReport {
         bids: bids[1..].to_vec(),
         actual_rates: actual[1..].to_vec(),
@@ -635,6 +680,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
         gantt: exec.gantt,
         events: exec.events,
         transcript,
+        timeline,
     })
 }
 

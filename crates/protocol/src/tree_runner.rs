@@ -168,6 +168,7 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
     let n = flat.parent.len();
     let m = scenario.num_agents();
     assert_eq!(n, m + 1);
+    let mut run_span = obs::span!("protocol.tree.run", "n" => n, "seed" => scenario.seed);
     let registry = Registry::new(n, scenario.seed);
     let mint = BlockMint::new(scenario.blocks, scenario.seed ^ 0x5EED_B10C);
     let mut ledger = Ledger::new();
@@ -219,6 +220,8 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
             honest
         };
     }
+
+    obs::count!("protocol.messages", by = m as f64, "phase" => 1u8);
 
     // Contradictory Phase I messages: detected by the parent.
     let fine = scenario.fine.deviation_fine();
@@ -288,6 +291,8 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
     // from the self-signed sibling equivalents.
     for c in 1..n {
         let p = flat.parent[c].expect("non-root");
+        obs::count!("protocol.messages", "phase" => 2u8);
+        obs::count!("protocol.verification.checks", "phase" => 2u8, "node" => c);
         // Verify signatures on the sibling list (each child's own Phase I
         // value, signed by that child) and on the parent's rate claim.
         let w_p_claim = Dsm::new(&registry.keypair(p), bids[p]);
@@ -392,6 +397,7 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
     // Overload grievances.
     let half_block = 0.5 * mint.block_size();
     for c in 1..n {
+        obs::count!("protocol.verification.checks", "phase" => 3u8, "node" => c);
         if received[c] > d[c] + half_block {
             let p = flat.parent[c].expect("non-root");
             let recv_blocks = mint.to_blocks(received[c]).min(scenario.blocks);
@@ -444,8 +450,18 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
             Deviation::Overcharge { amount } => honest_bill + amount,
             _ => honest_bill,
         };
+        obs::count!("protocol.messages", "phase" => 4u8);
         let challenged = rng.gen::<f64>() < scenario.fine.audit_probability;
+        if challenged {
+            obs::count!("protocol.audits", "node" => j);
+        }
         if challenged && (billed - honest_bill).abs() > ARBITRATION_TOL {
+            obs::hist!(
+                "mechanism.fines.levied",
+                scenario.fine.overcharge_fine(),
+                "node" => j,
+                "phase" => 4u8
+            );
             ledger.post(j, EntryKind::Fine, -scenario.fine.overcharge_fine(), 4);
             ledger.post(j, EntryKind::Payment, honest_bill, 4);
             arbitrations.push(TreeArbitration {
@@ -460,6 +476,12 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
     }
 
     let net_utilities: Vec<f64> = (1..n).map(|j| valuations[j] + ledger.net(j)).collect();
+    obs::count!("protocol.complaints.filed", by = arbitrations.len() as f64);
+    obs::count!(
+        "protocol.complaints.substantiated",
+        by = arbitrations.iter().filter(|a| a.substantiated).count() as f64
+    );
+    run_span.end_at(makespan);
     TreeRunReport {
         net_utilities,
         assigned,

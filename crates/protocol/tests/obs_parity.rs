@@ -1,0 +1,142 @@
+//! Observability parity: installing any `obs` sink must leave every
+//! protocol report — and its transcript — byte-identical to the run with
+//! instrumentation disabled. Instrumentation only *reads* protocol state,
+//! so `MemorySink`, `NoopSink` and the disabled fast path are
+//! indistinguishable at the output level (the property E21 asserts at
+//! experiment scale).
+//!
+//! The recorder is process-global, so every test here holds one static
+//! mutex for its full body: the "disabled" baseline must really run with
+//! no sink installed, not merely with another test's sink.
+
+use obs::{MemorySink, NoopSink, Sink};
+use proptest::prelude::*;
+use protocol::{run, run_with_faults, Deviation, FaultPlan, Scenario};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic heterogeneous chain with `m` strategic processors.
+fn chain(m: usize, seed: u64) -> Scenario {
+    let s = seed as usize;
+    let true_rates: Vec<f64> = (0..m)
+        .map(|j| 0.5 + 0.45 * ((s + j * 7) % 5) as f64)
+        .collect();
+    let link_rates: Vec<f64> = (0..m)
+        .map(|j| 0.08 + 0.05 * ((s + j * 3) % 4) as f64)
+        .collect();
+    Scenario::honest(1.0, true_rates, link_rates).with_seed(seed)
+}
+
+/// Run `f` with `sink` installed, uninstalling before returning.
+fn under_sink<T>(sink: Arc<dyn Sink>, f: impl Fn() -> T) -> T {
+    obs::install(sink);
+    let out = f();
+    obs::uninstall();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_free_runs_identical_under_every_sink(
+        m in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let _g = lock();
+        obs::uninstall();
+        let s = chain(m, seed);
+        let disabled = run(&s);
+        let noop = under_sink(Arc::new(NoopSink), || run(&s));
+        let memory_sink = Arc::new(MemorySink::new());
+        let memory = under_sink(memory_sink.clone(), || run(&s));
+        prop_assert_eq!(&disabled, &noop);
+        prop_assert_eq!(&disabled, &memory);
+        // Byte-identical, not merely PartialEq-equal.
+        prop_assert_eq!(
+            format!("{:?}", disabled.transcript),
+            format!("{:?}", memory.transcript)
+        );
+        prop_assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+        // The enabled run must actually have recorded something.
+        prop_assert!(memory_sink.counter_total("protocol.messages") > 0.0);
+    }
+
+    #[test]
+    fn fault_runs_identical_under_every_sink(
+        m in 2usize..6,
+        seed in 0u64..1_000_000,
+        node_pick in 0usize..64,
+        phase_pick in 0u32..4,
+        progress in prop::sample::select(vec![0.0f64, 0.25, 0.5, 0.75, 1.0]),
+    ) {
+        let _g = lock();
+        obs::uninstall();
+        let s = chain(m, seed);
+        let plan = FaultPlan::crash(1 + node_pick % m, 1 + phase_pick as u8, progress);
+        let disabled = run_with_faults(&s, &plan).expect("valid plan");
+        let noop = under_sink(Arc::new(NoopSink), || {
+            run_with_faults(&s, &plan).expect("valid plan")
+        });
+        let memory = under_sink(Arc::new(MemorySink::new()), || {
+            run_with_faults(&s, &plan).expect("valid plan")
+        });
+        prop_assert_eq!(&disabled, &noop);
+        prop_assert_eq!(&disabled, &memory);
+        prop_assert_eq!(
+            format!("{:?}", disabled.transcript),
+            format!("{:?}", memory.transcript)
+        );
+        prop_assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+    }
+}
+
+/// The fine-levying paths (audits, arbitration) are instrumented too; a
+/// deviant scenario must stay byte-identical under a sink.
+#[test]
+fn deviant_runs_identical_under_every_sink() {
+    let _g = lock();
+    obs::uninstall();
+    let s = chain(3, 7)
+        .with_deviation(1, Deviation::Underbid { factor: 0.6 })
+        .with_deviation(2, Deviation::ContradictoryBid { second_factor: 1.3 });
+    let disabled = run(&s);
+    let noop = under_sink(Arc::new(NoopSink), || run(&s));
+    let memory = under_sink(Arc::new(MemorySink::new()), || run(&s));
+    assert_eq!(disabled, noop);
+    assert_eq!(disabled, memory);
+    assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+}
+
+/// Message-level faults (drops, delays, corruption) exercise the
+/// `apply_message_faults` clock path; parity must hold there as well.
+#[test]
+fn message_fault_runs_identical_under_every_sink() {
+    let _g = lock();
+    obs::uninstall();
+    let s = chain(4, 11);
+    for plan in [
+        FaultPlan::none().with_event(2, protocol::FaultKind::DropMessage { phase: 2 }),
+        FaultPlan::none().with_event(
+            3,
+            protocol::FaultKind::DelayMessage {
+                phase: 3,
+                delay: 0.04,
+            },
+        ),
+        FaultPlan::none().with_event(1, protocol::FaultKind::CorruptMessage { phase: 4 }),
+        FaultPlan::none().with_event(4, protocol::FaultKind::Stall { progress: 0.5 }),
+    ] {
+        let disabled = run_with_faults(&s, &plan).expect("valid plan");
+        let memory = under_sink(Arc::new(MemorySink::new()), || {
+            run_with_faults(&s, &plan).expect("valid plan")
+        });
+        assert_eq!(disabled, memory);
+        assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+    }
+}

@@ -25,6 +25,7 @@ pub mod gantt;
 pub mod star_sim;
 pub mod svg;
 pub mod time;
+pub mod timeline_render;
 
 pub use blocks::{simulate_blocks, BlockRun};
 pub use chain::{simulate as simulate_chain, simulate_honest, ChainRun, NodeBehavior};
@@ -33,3 +34,4 @@ pub use gantt::{Activity, GanttChart, Lane, Segment};
 pub use star_sim::{simulate as simulate_star, StarRun};
 pub use svg::{render_svg, SvgStyle};
 pub use time::SimTime;
+pub use timeline_render::{phase_timeline_to_gantt, render_timeline_svg};

@@ -1,0 +1,91 @@
+//! Rendering of `obs` phase timelines through the existing Gantt/SVG path.
+//!
+//! A [`obs::PhaseTimeline`] records what each node spent its virtual time
+//! on (phase work, detection-timeout waits, recovery load, splice markers);
+//! this module maps those spans onto [`GanttChart`] lanes so the one
+//! renderer family (ASCII + SVG) serves both simulator output and protocol
+//! observability:
+//!
+//! * [`TimelineKind::Work`] and [`TimelineKind::Recovery`] → `Compute`
+//!   segments (the lane's "busy" row);
+//! * [`TimelineKind::Timeout`] → `Receive` segments (the comm row, shown as
+//!   a wait on the inbound link);
+//! * [`TimelineKind::Splice`] → zero-width `Send` markers (the instant the
+//!   dead node was cut out of the chain).
+
+use crate::gantt::{Activity, GanttChart};
+use obs::{PhaseTimeline, TimelineKind};
+
+/// Map a phase timeline onto a Gantt chart, one lane per node.
+pub fn phase_timeline_to_gantt(timeline: &PhaseTimeline) -> GanttChart {
+    let mut chart = GanttChart::with_processors(timeline.nodes);
+    for s in &timeline.spans {
+        let activity = match s.kind {
+            TimelineKind::Work | TimelineKind::Recovery => Activity::Compute,
+            TimelineKind::Timeout => Activity::Receive,
+            TimelineKind::Splice => Activity::Send,
+        };
+        chart.record(s.node, activity, s.start, s.end, s.load);
+    }
+    chart
+}
+
+/// Render a phase timeline straight to SVG with the default style.
+pub fn render_timeline_svg(timeline: &PhaseTimeline) -> String {
+    crate::svg::render_svg(
+        &phase_timeline_to_gantt(timeline),
+        &crate::svg::SvgStyle::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseTimeline {
+        let mut t = PhaseTimeline::new(3);
+        t.push(0, 3, TimelineKind::Work, (0.0, 0.6), 0.4);
+        t.push(1, 3, TimelineKind::Work, (0.1, 0.6), 0.35);
+        t.push(2, 3, TimelineKind::Timeout, (0.6, 0.65), 0.0);
+        t.mark(1, 3, TimelineKind::Splice, 0.65);
+        t.push(2, 3, TimelineKind::Recovery, (0.65, 0.8), 0.25);
+        t.makespan = 0.8;
+        t
+    }
+
+    #[test]
+    fn maps_kinds_to_activities() {
+        let chart = phase_timeline_to_gantt(&sample());
+        assert_eq!(chart.lanes.len(), 3);
+        // Work + Recovery land on the compute row.
+        assert_eq!(chart.lanes[0].of(Activity::Compute).count(), 1);
+        assert_eq!(chart.lanes[2].of(Activity::Compute).count(), 1);
+        // Timeout is a receive-side wait.
+        assert_eq!(chart.lanes[2].of(Activity::Receive).count(), 1);
+        // Splice is a zero-width send marker.
+        let splice: Vec<_> = chart.lanes[1].of(Activity::Send).collect();
+        assert_eq!(splice.len(), 1);
+        assert_eq!(splice[0].start, splice[0].end);
+    }
+
+    #[test]
+    fn horizon_matches_timeline() {
+        let t = sample();
+        let chart = phase_timeline_to_gantt(&t);
+        assert!((chart.horizon() - t.horizon()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn svg_renders_without_error() {
+        let svg = render_timeline_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_empty_chart() {
+        let chart = phase_timeline_to_gantt(&PhaseTimeline::new(2));
+        assert_eq!(chart.lanes.len(), 2);
+        assert!(chart.lanes.iter().all(|l| l.segments.is_empty()));
+    }
+}

@@ -30,6 +30,7 @@
 
 pub use dlt;
 pub use mechanism;
+pub use obs;
 pub use protocol;
 pub use sim;
 pub use workloads;
