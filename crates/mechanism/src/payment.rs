@@ -184,6 +184,17 @@ pub fn pro_rata(completed_load: f64, actual_rate: f64) -> PaymentBreakdown {
     }
 }
 
+/// Wage for recovery work re-assigned after a chain splice: exactly the
+/// metered cost `load · w̃` of the extra work — recovery is
+/// utility-neutral for survivors (no bonus, no recompense; the work was
+/// never part of anyone's prescribed share, so there is nothing to
+/// improve on and nothing to be overloaded against).
+pub fn recovery_wage(load: f64, rate: f64) -> f64 {
+    obs::count!("mechanism.payment.recovery_wage");
+    obs::hist!("mechanism.payment.recovery_wage_load", load);
+    load * rate
+}
+
 /// Utility of the obedient root (eq. 4.3): always zero — the mechanism
 /// reimburses exactly the cost of the work it performed.
 pub fn root_utility(assigned_load: f64, actual_rate: f64) -> f64 {

@@ -1,13 +1,16 @@
 //! Deterministic fault injection for protocol runs.
 //!
 //! A [`FaultPlan`] is a seed-reproducible description of everything that
-//! goes wrong in one execution: at most one *halting* fault (a crash-stop
-//! or a livelock stall of a single strategic processor, in any of the four
-//! phases) plus any number of *message* faults (drops, delays, corruption).
-//! The fault-tolerant runner ([`crate::ft_runner::run_with_faults`])
-//! consumes the plan; given the same `(Scenario, FaultPlan)` pair it
-//! produces bit-identical reports, which is what makes fault experiments
-//! replayable.
+//! goes wrong in one execution: an **ordered set** of *halting* faults
+//! (crash-stops or livelock stalls of strategic processors, at most one
+//! per node, in any of the four phases) plus any number of *message*
+//! faults (drops, delays, corruption). Halting faults resolve in
+//! [`FaultPlan::detection_order`] — ascending phase, plan order within a
+//! phase — which is what makes cascading and simultaneous failures
+//! deterministic. The fault-tolerant runner
+//! ([`crate::ft_runner::run_with_faults`]) consumes the plan; given the
+//! same `(Scenario, FaultPlan)` pair it produces bit-identical reports,
+//! which is what makes fault experiments replayable.
 //!
 //! Faults are **operational**, not strategic: a crashed node did not choose
 //! to crash, so — unlike the deviations of [`crate::deviation::Deviation`]
@@ -65,9 +68,19 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// True for faults that permanently remove the node's compute capacity
-    /// (crash or stall) — at most one of these per plan.
+    /// (crash or stall) — at most one of these per node.
     pub fn is_halting(&self) -> bool {
         matches!(self, FaultKind::Crash { .. } | FaultKind::Stall { .. })
+    }
+
+    /// The phase in which a halting fault strikes (`Stall` is always a
+    /// Phase III fault); `None` for message faults.
+    pub fn halt_phase(&self) -> Option<u8> {
+        match self {
+            FaultKind::Crash { phase, .. } => Some(*phase),
+            FaultKind::Stall { .. } => Some(3),
+            _ => None,
+        }
     }
 }
 
@@ -95,10 +108,13 @@ pub enum FaultError {
     BadPhase(u8),
     /// A progress fraction outside `[0, 1]` or non-finite.
     BadProgress(f64),
-    /// More than one crash/stall in a single plan. Single-failure recovery
-    /// is what the chain-splice protocol handles; see ROADMAP for the
-    /// multi-failure extension.
-    MultipleHaltingFaults,
+    /// Two halting faults name the same node. A processor dies (or stalls)
+    /// at most once per run; cascading failures are expressed as halting
+    /// faults of *distinct* nodes, ordered by the plan.
+    DuplicateHaltingFault {
+        /// The node named by more than one crash/stall.
+        node: NodeId,
+    },
     /// The detection timeout must be finite and non-negative.
     BadTimeout(f64),
     /// A message delay must be finite and non-negative.
@@ -116,10 +132,10 @@ impl std::fmt::Display for FaultError {
             }
             FaultError::BadPhase(p) => write!(f, "fault names phase {p}, but phases are 1..=4"),
             FaultError::BadProgress(p) => write!(f, "progress {p} is not in [0, 1]"),
-            FaultError::MultipleHaltingFaults => {
+            FaultError::DuplicateHaltingFault { node } => {
                 write!(
                     f,
-                    "at most one crash/stall per plan (single-failure recovery)"
+                    "node {node} has more than one crash/stall (a processor halts at most once)"
                 )
             }
             FaultError::BadTimeout(t) => {
@@ -229,12 +245,72 @@ impl FaultPlan {
         plan
     }
 
-    /// The single halting fault, if any: `(node, kind)`.
+    /// Draw a random **multi-failure** plan for an `m`-processor chain:
+    /// between 0 and `max_halts.min(m)` crash/stall events on distinct
+    /// nodes (phases and progress fractions uniform), plus an independent
+    /// chance of one message fault. Deterministic in `(seed, m,
+    /// max_halts)`.
+    pub fn seeded_multi(seed: u64, m: usize, max_halts: usize) -> Self {
+        assert!(m >= 1, "need at least one strategic processor");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_0175_CA5C);
+        let halts = rng.gen_range(0..=max_halts.min(m));
+        let mut nodes: Vec<NodeId> = (1..=m).collect();
+        let mut plan = Self::none();
+        for _ in 0..halts {
+            let node = nodes.remove(rng.gen_range(0..nodes.len()));
+            let progress = rng.gen::<f64>();
+            let kind = if rng.gen_bool(0.8) {
+                FaultKind::Crash {
+                    phase: rng.gen_range(1..=4) as u8,
+                    progress,
+                }
+            } else {
+                FaultKind::Stall { progress }
+            };
+            plan = plan.with_event(node, kind);
+        }
+        if rng.gen_bool(0.3) {
+            let victim = rng.gen_range(1..=m);
+            let phase = rng.gen_range(1..=4) as u8;
+            let kind = match rng.gen_range(0..3usize) {
+                0 => FaultKind::DropMessage { phase },
+                1 => FaultKind::DelayMessage {
+                    phase,
+                    delay: 0.01 + 0.04 * rng.gen::<f64>(),
+                },
+                _ => FaultKind::CorruptMessage { phase },
+            };
+            plan = plan.with_event(victim, kind);
+        }
+        plan
+    }
+
+    /// The first halting fault in plan order, if any: `(node, kind)`.
+    /// Single-failure plans have at most one; see
+    /// [`halting_faults`](Self::halting_faults) for the full ordered set.
     pub fn halting_fault(&self) -> Option<(NodeId, FaultKind)> {
         self.events
             .iter()
             .find(|e| e.kind.is_halting())
             .map(|e| (e.node, e.kind))
+    }
+
+    /// All halting faults (crashes and stalls) in plan order.
+    pub fn halting_faults(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(|e| e.kind.is_halting())
+    }
+
+    /// The halting faults in **deterministic detection order**: ascending
+    /// phase (a stall is a Phase III fault), stable plan order within a
+    /// phase. This is the order in which the root's timers resolve —
+    /// failures of earlier phases are detected first, and ties inside a
+    /// phase are broken by the plan's own ordering, so a Phase III fault
+    /// listed after another strikes *during the recovery round* the
+    /// earlier one triggered.
+    pub fn detection_order(&self) -> Vec<FaultEvent> {
+        let mut halts: Vec<FaultEvent> = self.halting_faults().copied().collect();
+        halts.sort_by_key(|e| e.kind.halt_phase().unwrap_or(u8::MAX));
+        halts
     }
 
     /// All message faults in plan order.
@@ -244,14 +320,19 @@ impl FaultPlan {
 
     /// Check the plan against an `m`-processor chain.
     pub fn validate(&self, m: usize) -> Result<(), FaultError> {
-        let mut halting = 0usize;
+        let mut halted: Vec<NodeId> = Vec::new();
         for e in &self.events {
             if e.node < 1 || e.node > m {
                 return Err(FaultError::NodeOutOfRange { node: e.node, m });
             }
+            if e.kind.is_halting() {
+                if halted.contains(&e.node) {
+                    return Err(FaultError::DuplicateHaltingFault { node: e.node });
+                }
+                halted.push(e.node);
+            }
             match e.kind {
                 FaultKind::Crash { phase, progress } => {
-                    halting += 1;
                     if !(1..=4).contains(&phase) {
                         return Err(FaultError::BadPhase(phase));
                     }
@@ -260,7 +341,6 @@ impl FaultPlan {
                     }
                 }
                 FaultKind::Stall { progress } => {
-                    halting += 1;
                     if !(progress.is_finite() && (0.0..=1.0).contains(&progress)) {
                         return Err(FaultError::BadProgress(progress));
                     }
@@ -279,9 +359,6 @@ impl FaultPlan {
                     }
                 }
             }
-        }
-        if halting > 1 {
-            return Err(FaultError::MultipleHaltingFaults);
         }
         if !(self.detection_timeout.is_finite() && self.detection_timeout >= 0.0) {
             return Err(FaultError::BadTimeout(self.detection_timeout));
@@ -359,9 +436,63 @@ mod tests {
     }
 
     #[test]
-    fn rejects_two_halting_faults() {
+    fn accepts_multiple_halting_faults_on_distinct_nodes() {
         let plan = FaultPlan::crash(1, 3, 0.5).with_event(2, FaultKind::Stall { progress: 0.2 });
-        assert_eq!(plan.validate(3), Err(FaultError::MultipleHaltingFaults));
+        assert_eq!(plan.validate(3), Ok(()));
+        assert_eq!(plan.halting_faults().count(), 2);
+    }
+
+    #[test]
+    fn rejects_two_halting_faults_on_the_same_node() {
+        let plan = FaultPlan::crash(2, 3, 0.5).with_event(2, FaultKind::Stall { progress: 0.2 });
+        assert_eq!(
+            plan.validate(3),
+            Err(FaultError::DuplicateHaltingFault { node: 2 })
+        );
+    }
+
+    #[test]
+    fn detection_order_sorts_by_phase_then_plan_order() {
+        let plan = FaultPlan::crash(3, 4, 0.0)
+            .with_event(1, FaultKind::Stall { progress: 0.5 })
+            .with_event(4, FaultKind::DropMessage { phase: 2 })
+            .with_event(
+                2,
+                FaultKind::Crash {
+                    phase: 3,
+                    progress: 0.25,
+                },
+            )
+            .with_event(
+                5,
+                FaultKind::Crash {
+                    phase: 1,
+                    progress: 0.0,
+                },
+            );
+        let order: Vec<NodeId> = plan.detection_order().iter().map(|e| e.node).collect();
+        // Phase 1 first, then the two Phase III faults in plan order
+        // (stall of P1 precedes crash of P2), then Phase IV; the message
+        // fault is not a halting fault at all.
+        assert_eq!(order, vec![5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_multi_plans_are_deterministic_and_valid() {
+        let mut multi_seen = false;
+        for seed in 0..80u64 {
+            for m in 1..=8usize {
+                let a = FaultPlan::seeded_multi(seed, m, 3);
+                assert_eq!(a, FaultPlan::seeded_multi(seed, m, 3), "seed {seed}, m {m}");
+                assert_eq!(a.validate(m), Ok(()), "seed {seed}, m {m}: {a:?}");
+                assert!(a.halting_faults().count() <= 3.min(m));
+                multi_seen |= a.halting_faults().count() >= 2;
+            }
+        }
+        assert!(
+            multi_seen,
+            "the seeded space must reach multi-failure plans"
+        );
     }
 
     #[test]

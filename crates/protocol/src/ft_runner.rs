@@ -1,5 +1,6 @@
 //! Fault-tolerant protocol execution: run a [`Scenario`] under an injected
-//! [`FaultPlan`] and recover via **chain splicing**.
+//! [`FaultPlan`] and recover via **chain splicing** — including cascading
+//! and simultaneous failures.
 //!
 //! ### Recovery protocol
 //! When a strategic processor `P_k` halts (crash-stop in any phase, or a
@@ -23,6 +24,30 @@
 //! for the work it verifiably completed — made whole for its cost, but no
 //! bonus, since bonuses reward finishing the prescribed share.
 //!
+//! ### Cascading and simultaneous failures
+//! A plan may halt any number of *distinct* nodes. The halting faults
+//! resolve in [`FaultPlan::detection_order`] — ascending phase, plan order
+//! within a phase — and `dlt::linear::splice` composes, so each confirmed
+//! failure fuses its links and the survivor chain shrinks monotonically:
+//!
+//! * **Pre-distribution crashes** recurse: the first dead node is spliced
+//!   out, the survivors re-run Phases I–II among themselves, and the
+//!   remaining faults (renumbered to the spliced chain) are recovered
+//!   *inside* that re-run. The composed `splice_map` records the final
+//!   renumbering.
+//! * **Phase III halts** are serialized by the root: the first halt is
+//!   detected during the base computation round; each subsequent halt
+//!   strikes during the *latest recovery round* — the node has finished
+//!   all earlier rounds and its `progress` applies to its current
+//!   recovery assignment. A node that dies while performing recovery work
+//!   is settled pro rata on everything it completed (its own share plus
+//!   the recovery fraction it finished), **not** on its original Λ.
+//! * **Phase IV crashes** are simultaneous: the root's billing timers all
+//!   fire within one shared timeout window, and the batch of
+//!   `Complaint::Unresponsive` probes is arbitrated concurrently
+//!   ([`crate::root::arbitrate_concurrent_unresponsive`]) in detection
+//!   order.
+//!
 //! ### Extended Lemma 5.2
 //! Faults are operational, not strategic, so they are **no-fault**: across
 //! every injected fault — crash, stall, message drop, delay, corruption —
@@ -36,28 +61,34 @@
 //! ### Determinism
 //! Given the same `(Scenario, FaultPlan)` pair the report is bit-identical
 //! — faults are part of the experiment description, not sampled during the
-//! run.
+//! run. On single-failure plans this engine is additionally byte-identical
+//! to the PR 1 single-failure path, frozen as
+//! [`crate::ft_reference::run_with_faults_single`] and enforced by the
+//! `multi_fault` differential suite.
 //!
 //! ### Modelling simplifications
 //! Phase boundaries act as barriers: detection and recovery start after
-//! the fault-free schedule of the interrupted phase completes. A node that
-//! halts in phase `p` is treated as absent from phase `p` onward *and* its
-//! earlier-phase message interplay is replayed on the spliced chain for
-//! pre-distribution halts (the survivors re-run Phases I–II among
-//! themselves). Recovery allocation is computed on the *reported* (bid)
-//! rates, like any Phase II allocation. After a pre-distribution splice
-//! the inner protocol transcript and ledger are renumbered back to the
-//! original chain indices via [`FtRunReport::splice_map`].
+//! the fault-free schedule of the interrupted phase completes, and
+//! recovery rounds are barriers too — the next halt in detection order is
+//! confirmed only after the previous round's re-allocation is in flight.
+//! A node that halts in phase `p` is treated as absent from phase `p`
+//! onward *and* its earlier-phase message interplay is replayed on the
+//! spliced chain for pre-distribution halts (the survivors re-run Phases
+//! I–II among themselves). Recovery allocation is computed on the
+//! *reported* (bid) rates, like any Phase II allocation. After a
+//! pre-distribution splice the inner protocol transcript and ledger are
+//! renumbered back to the original chain indices via
+//! [`FtRunReport::splice_map`].
 
 use crate::crypto::NodeId;
-use crate::faults::{FaultError, FaultKind, FaultPlan};
+use crate::faults::{FaultError, FaultEvent, FaultKind, FaultPlan};
 use crate::ledger::{EntryKind, Ledger};
-use crate::root::{arbitrate_unresponsive, ArbitrationRecord};
+use crate::root::{arbitrate_concurrent_unresponsive, arbitrate_unresponsive, ArbitrationRecord};
 use crate::runner::{try_run, RunReport, Scenario, ScenarioError};
 use crate::transcript::{Entry, Transcript};
 use dlt::linear;
 use dlt::model::LinearNetwork;
-use mechanism::payment::{self, PaymentInputs};
+use mechanism::payment::{self, PaymentBreakdown, PaymentInputs};
 
 /// Why a fault-tolerant run could not start.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,10 +127,10 @@ impl From<FaultError> for FtError {
 /// when recovery ran on a spliced chain.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FtRunReport {
-    /// The crash-stopped node, if any.
-    pub crashed: Option<NodeId>,
-    /// The stalled (alive but unproductive) node, if any.
-    pub stalled: Option<NodeId>,
+    /// Every crash-stopped node, in detection order.
+    pub crashed: Vec<NodeId>,
+    /// Every stalled (alive but unproductive) node, in detection order.
+    pub stalled: Vec<NodeId>,
     /// Every detection event: `(detector, suspect, phase)`.
     pub detected: Vec<(NodeId, NodeId, u8)>,
     /// Load prescribed per node by the (possibly re-run) Phase II.
@@ -107,10 +138,14 @@ pub struct FtRunReport {
     /// Load each node actually finished, including recovery work. Sums to
     /// the unit workload whenever recovery succeeded.
     pub completed: Vec<f64>,
-    /// Residual load the recovery re-assigned (0 when nothing halted
-    /// mid-computation).
+    /// Total residual load the recovery rounds re-assigned, counted with
+    /// multiplicity: a unit that was re-assigned and then orphaned again by
+    /// a crash-during-recovery counts once per round it traveled. 0 when
+    /// nothing halted mid-computation.
     pub recovered_load: f64,
-    /// Extra load each node received from recovery.
+    /// Extra load each node received from recovery **and actually
+    /// performed** (a node that died mid-recovery only counts the fraction
+    /// it finished).
     pub recovery_assigned: Vec<f64>,
     /// Realized makespan including detection and recovery overhead.
     pub makespan: f64,
@@ -121,7 +156,7 @@ pub struct FtRunReport {
     /// The full ledger, renumbered to original indices.
     pub ledger: Ledger,
     /// Net utility of every strategic processor (`net_utilities[j-1]` is
-    /// `P_j`'s), original indexing; the halted node's reflects pro-rata
+    /// `P_j`'s), original indexing; a halted node's reflects pro-rata
     /// settlement.
     pub net_utilities: Vec<f64>,
     /// The transcript: fault entries plus the protocol messages of the run
@@ -129,13 +164,16 @@ pub struct FtRunReport {
     /// `splice_map`).
     pub transcript: Transcript,
     /// `splice_map[old] = Some(new)` maps original to post-splice indices;
-    /// `None` marks the removed node. Identity when nothing was spliced.
+    /// `None` marks a removed node. Composed across nested splices for
+    /// cascading pre-distribution crashes. Identity when nothing was
+    /// spliced before distribution.
     pub splice_map: Vec<Option<usize>>,
     /// Discrete events the execution simulator processed.
     pub events: u64,
     /// Deterministic per-run phase timeline (original chain indexing):
-    /// base-run work, detection-timeout waits, the splice instant and
-    /// recovery spans, on the same virtual clock as `makespan`.
+    /// base-run work, detection-timeout waits, the splice instants and
+    /// recovery spans — nested recovery included — on the same virtual
+    /// clock as `makespan`.
     pub timeline: obs::PhaseTimeline,
 }
 
@@ -160,13 +198,19 @@ impl FtRunReport {
         -(self.ledger.net_of(j, EntryKind::Fine)
             + self.ledger.net_of(j, EntryKind::ExtraWorkPenalty))
     }
+
+    /// All halted nodes (crashed and stalled), in detection order within
+    /// each group.
+    pub fn halted(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().chain(self.stalled.iter()).copied()
+    }
 }
 
 /// Detection rule: who notices `P_k` going silent in `phase`. Phase I bids
 /// flow upward (the predecessor waits); Phase II allocations flow downward
 /// (the successor waits, the root for the terminal node); results and
 /// bills are awaited by the root.
-fn detector_of(k: NodeId, phase: u8, m: usize) -> NodeId {
+pub(crate) fn detector_of(k: NodeId, phase: u8, m: usize) -> NodeId {
     match phase {
         1 => k - 1,
         2 if k < m => k + 1,
@@ -176,7 +220,7 @@ fn detector_of(k: NodeId, phase: u8, m: usize) -> NodeId {
 
 /// Receiver of `P_v`'s outbound message in `phase` — `None` when the node
 /// sends nothing in that phase (the terminal node in Phases II–III).
-fn receiver_of(v: NodeId, phase: u8, m: usize) -> Option<NodeId> {
+pub(crate) fn receiver_of(v: NodeId, phase: u8, m: usize) -> Option<NodeId> {
     match phase {
         1 => Some(v - 1),
         2 | 3 => (v < m).then_some(v + 1),
@@ -186,7 +230,7 @@ fn receiver_of(v: NodeId, phase: u8, m: usize) -> Option<NodeId> {
 
 /// Per-unit-load makespan and absolute load shares of a (possibly
 /// root-only) network.
-fn allocation_of(net: &LinearNetwork) -> (f64, Vec<f64>) {
+pub(crate) fn allocation_of(net: &LinearNetwork) -> (f64, Vec<f64>) {
     if net.len() == 1 {
         (net.w(0), vec![1.0])
     } else {
@@ -197,7 +241,7 @@ fn allocation_of(net: &LinearNetwork) -> (f64, Vec<f64>) {
 }
 
 /// Map a post-splice index back to the original chain.
-fn unsplice(i: usize, dead: NodeId) -> usize {
+pub(crate) fn unsplice(i: usize, dead: NodeId) -> usize {
     if i < dead {
         i
     } else {
@@ -210,47 +254,59 @@ pub fn run_with_faults(scenario: &Scenario, plan: &FaultPlan) -> Result<FtRunRep
     scenario.validate()?;
     let m = scenario.num_agents();
     plan.validate(m)?;
-    let n = m + 1;
     let timeout = plan.detection_timeout;
     let _ft_span = obs::span!("protocol.ft.run", "m" => m, "timeout" => timeout);
 
     let base = try_run(scenario)?;
-    let identity_map: Vec<Option<usize>> = (0..n).map(Some).collect();
-
-    let mut report = match plan.halting_fault() {
-        None => healthy_report(scenario, &base, identity_map),
-        Some((
-            k,
-            FaultKind::Crash {
-                phase: p @ (1 | 2), ..
-            },
-        )) => pre_distribution_crash(scenario, &base, k, p, timeout)?,
-        Some((k, FaultKind::Crash { phase: 3, progress })) => {
-            mid_computation_halt(scenario, &base, k, progress, timeout, false, identity_map)
-        }
-        Some((k, FaultKind::Stall { progress })) => {
-            mid_computation_halt(scenario, &base, k, progress, timeout, true, identity_map)
-        }
-        Some((k, FaultKind::Crash { .. })) => {
-            pre_billing_crash(scenario, &base, k, timeout, identity_map)
-        }
-        Some((_, _)) => unreachable!("halting_fault returns only Crash/Stall"),
-    };
-
+    let queue = plan.detection_order();
+    let mut report = recover(scenario, &base, &queue, timeout)?;
     apply_message_faults(&mut report, plan, m);
     Ok(report)
 }
 
+/// Recover from the halting faults in `queue` (already in detection
+/// order). Pre-distribution crashes recurse — the survivors re-run the
+/// protocol and the remaining queue is recovered inside that re-run;
+/// Phase III/IV halts are serialized by
+/// [`compute_and_billing_recovery`].
+fn recover(
+    scenario: &Scenario,
+    base: &RunReport,
+    queue: &[FaultEvent],
+    timeout: f64,
+) -> Result<FtRunReport, FtError> {
+    let n = scenario.num_agents() + 1;
+    let identity_map: Vec<Option<usize>> = (0..n).map(Some).collect();
+    match queue.first() {
+        None => Ok(healthy_report(scenario, base, identity_map)),
+        Some(&FaultEvent {
+            node: k,
+            kind: FaultKind::Crash {
+                phase: p @ (1 | 2), ..
+            },
+        }) => pre_distribution_crash(scenario, base, k, p, &queue[1..], timeout),
+        // detection_order sorts by phase, so everything left is Phase
+        // III/IV: crashes at phase 3 or 4, and stalls.
+        _ => Ok(compute_and_billing_recovery(
+            scenario,
+            base,
+            queue,
+            timeout,
+            identity_map,
+        )),
+    }
+}
+
 /// No halting fault: the base run, wrapped.
-fn healthy_report(
+pub(crate) fn healthy_report(
     scenario: &Scenario,
     base: &RunReport,
     splice_map: Vec<Option<usize>>,
 ) -> FtRunReport {
     let n = scenario.num_agents() + 1;
     FtRunReport {
-        crashed: None,
-        stalled: None,
+        crashed: Vec::new(),
+        stalled: Vec::new(),
         detected: Vec::new(),
         assigned: base.assigned.clone(),
         completed: base.retained.clone(),
@@ -269,25 +325,18 @@ fn healthy_report(
 }
 
 /// Crash in Phase I or II: nothing was distributed; splice and re-run the
-/// whole protocol on the survivor chain, then renumber back.
+/// whole protocol on the survivor chain — recovering the remaining faults
+/// of `rest` *inside* that re-run — then renumber back.
 fn pre_distribution_crash(
     scenario: &Scenario,
     base: &RunReport,
     k: NodeId,
     phase: u8,
+    rest: &[FaultEvent],
     timeout: f64,
 ) -> Result<FtRunReport, FtError> {
     let m = scenario.num_agents();
     let n = m + 1;
-    let splice_map: Vec<Option<usize>> = (0..n)
-        .map(|i| {
-            if i == k {
-                None
-            } else {
-                Some(if i < k { i } else { i - 1 })
-            }
-        })
-        .collect();
 
     let detector = detector_of(k, phase, m);
     let mut transcript = Transcript::new();
@@ -297,7 +346,7 @@ fn pre_distribution_crash(
         phase,
     });
     let mut arbitrations = vec![arbitrate_unresponsive(detector, k, false)];
-    let detected = vec![(detector, k, phase)];
+    let mut detected = vec![(detector, k, phase)];
 
     // Recovery restarts the whole schedule: the virtual clock begins at 0,
     // waits out the detection timeout, then runs the survivor protocol.
@@ -318,7 +367,9 @@ fn pre_distribution_crash(
 
     if m == 1 {
         // No strategic survivor: the obedient root computes the whole unit
-        // load itself at rate w_0.
+        // load itself at rate w_0. (`rest` is necessarily empty — the only
+        // strategic node is the one that crashed.)
+        debug_assert!(rest.is_empty());
         transcript.record(Entry::Recovery {
             dead: k,
             residual: 0.0,
@@ -330,8 +381,8 @@ fn pre_distribution_crash(
         timeline.push(0, 3, obs::TimelineKind::Recovery, root_span, 1.0);
         timeline.makespan = clock.now();
         return Ok(FtRunReport {
-            crashed: Some(k),
-            stalled: None,
+            crashed: vec![k],
+            stalled: Vec::new(),
             detected,
             completed: assigned.clone(),
             assigned,
@@ -343,7 +394,15 @@ fn pre_distribution_crash(
             ledger: Ledger::new(),
             net_utilities: vec![0.0],
             transcript,
-            splice_map,
+            splice_map: (0..n)
+                .map(|i| {
+                    if i == k {
+                        None
+                    } else {
+                        Some(if i < k { i } else { i - 1 })
+                    }
+                })
+                .collect(),
             events: 0,
             timeline,
         });
@@ -367,7 +426,18 @@ fn pre_distribution_crash(
         solution_bonus: scenario.solution_bonus,
         solution_found: scenario.solution_found,
     };
-    let inner = try_run(&inner_scenario)?;
+    // The remaining faults, renumbered to the spliced chain, are recovered
+    // *inside* the survivor re-run: recovery-during-recovery re-enters the
+    // splice path.
+    let inner_rest: Vec<FaultEvent> = rest
+        .iter()
+        .map(|e| FaultEvent {
+            node: if e.node > k { e.node - 1 } else { e.node },
+            kind: e.kind,
+        })
+        .collect();
+    let inner_base = try_run(&inner_scenario)?;
+    let inner = recover(&inner_scenario, &inner_base, &inner_rest, timeout)?;
     obs::event!(
         "protocol.ft.residual_resolve",
         vt = clock.now(),
@@ -376,16 +446,25 @@ fn pre_distribution_crash(
     );
     let recovery_span = clock.advance(inner.makespan);
     // The survivor protocol's Phase III work, shifted past the timeout and
-    // renumbered to the original chain.
-    for s in inner.timeline.of(obs::TimelineKind::Work) {
-        if s.phase == 3 {
-            timeline.push(
+    // renumbered to the original chain. A nested recovery's own timeout,
+    // splice and recovery spans pass through the same shift.
+    for s in &inner.timeline.spans {
+        match s.kind {
+            obs::TimelineKind::Work if s.phase == 3 => timeline.push(
                 unsplice(s.node, k),
                 3,
                 obs::TimelineKind::Recovery,
                 (recovery_span.0 + s.start, recovery_span.0 + s.end),
                 s.load,
-            );
+            ),
+            obs::TimelineKind::Work => {}
+            kind => timeline.push(
+                unsplice(s.node, k),
+                s.phase,
+                kind,
+                (recovery_span.0 + s.start, recovery_span.0 + s.end),
+                s.load,
+            ),
         }
     }
     timeline.makespan = clock.now();
@@ -407,9 +486,11 @@ fn pre_distribution_crash(
     // Renumber everything back to original indices.
     let mut assigned = vec![0.0; n];
     let mut completed = vec![0.0; n];
+    let mut recovery_assigned = vec![0.0; n];
     for si in 0..inner.assigned.len() {
         assigned[unsplice(si, k)] = inner.assigned[si];
-        completed[unsplice(si, k)] = inner.retained[si];
+        completed[unsplice(si, k)] = inner.completed[si];
+        recovery_assigned[unsplice(si, k)] = inner.recovery_assigned[si];
     }
     let mut ledger = Ledger::new();
     for e in inner.ledger.entries() {
@@ -420,19 +501,39 @@ fn pre_distribution_crash(
         accused: unsplice(a.accused, k),
         ..a.clone()
     }));
+    detected.extend(
+        inner
+            .detected
+            .iter()
+            .map(|&(d, s, p)| (unsplice(d, k), unsplice(s, k), p)),
+    );
     let mut net_utilities = vec![0.0; m];
     for sj in 1..=m - 1 {
         net_utilities[unsplice(sj, k) - 1] = inner.net_utilities[sj - 1];
     }
 
+    let mut crashed = vec![k];
+    crashed.extend(inner.crashed.iter().map(|&c| unsplice(c, k)));
+    let stalled: Vec<NodeId> = inner.stalled.iter().map(|&st| unsplice(st, k)).collect();
+    // Compose the outer splice with whatever the inner recovery spliced.
+    let splice_map: Vec<Option<usize>> = (0..n)
+        .map(|i| {
+            if i == k {
+                None
+            } else {
+                inner.splice_map[if i < k { i } else { i - 1 }]
+            }
+        })
+        .collect();
+
     Ok(FtRunReport {
-        crashed: Some(k),
-        stalled: None,
+        crashed,
+        stalled,
         detected,
         assigned,
         completed,
-        recovered_load: 0.0,
-        recovery_assigned: vec![0.0; n],
+        recovered_load: inner.recovered_load,
+        recovery_assigned,
         makespan: clock.now(),
         base_makespan: base.makespan,
         arbitrations,
@@ -445,208 +546,268 @@ fn pre_distribution_crash(
     })
 }
 
-/// Crash or stall during Phase III computation at fraction `progress`:
-/// splice, re-allocate the residual, settle the halted node pro rata and
-/// the survivors' recovery work at cost.
-fn mid_computation_halt(
+/// Serialized recovery of every Phase III halt (crash or stall) followed
+/// by the simultaneous settlement of every Phase IV crash.
+///
+/// Each Phase III halt costs one detection timeout, fuses the dead node
+/// out of the running bid chain, and re-solves its unfinished work on the
+/// remaining survivors; the next halt in detection order strikes during
+/// that recovery round. Phase IV crashes share a single timeout window —
+/// their billing timers fire concurrently — and are arbitrated as a batch.
+fn compute_and_billing_recovery(
     scenario: &Scenario,
     base: &RunReport,
-    k: NodeId,
-    progress: f64,
+    queue: &[FaultEvent],
     timeout: f64,
-    alive: bool,
     splice_map: Vec<Option<usize>>,
 ) -> FtRunReport {
     let m = scenario.num_agents();
     let n = m + 1;
-    let actual_k = base.actual_rates[k - 1];
-    let done_k = progress * base.retained[k];
-    let residual = base.retained[k] - done_k;
 
-    let detector = detector_of(k, 3, m);
     let mut transcript = base.transcript.clone();
-    transcript.record(Entry::Timeout {
-        detector,
-        suspect: k,
-        phase: 3,
-    });
     let mut arbitrations = base.arbitrations.clone();
-    arbitrations.push(arbitrate_unresponsive(detector, k, alive));
+    let mut timeline = base.timeline.clone();
+    let mut detected = Vec::new();
+    let mut crashed = Vec::new();
+    let mut stalled = Vec::new();
 
-    // The recovery clock picks up where the fault-free schedule ended:
-    // detection wait, splice, then the residual re-computation.
+    // The recovery clock picks up where the fault-free schedule ended.
     let mut clock = obs::RunClock::starting_at(base.makespan);
-    let timeout_span = clock.advance(timeout);
-    obs::count!("protocol.ft.detection_timeouts", "phase" => 3u8);
-    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 3u8);
-    obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => 3u8);
+    let mut completed = base.retained.clone();
+    let mut recovery_assigned = vec![0.0; n];
+    let mut recovered_load = 0.0;
 
-    // Re-solve on the spliced *bid* chain, as any Phase II allocation.
+    // The running spliced *bid* chain — recovery allocation is a Phase II
+    // re-solve on reported rates — and the original index of each
+    // surviving position.
     let mut bid_w = vec![scenario.root_rate];
     bid_w.extend_from_slice(&base.bids);
-    let spliced = linear::splice(&LinearNetwork::from_rates(&bid_w, &scenario.link_rates), k);
-    let (per_unit_makespan, shares) = allocation_of(&spliced);
-    obs::event!(
-        "protocol.ft.residual_resolve",
-        vt = clock.now(),
-        "dead" => k,
-        "residual" => residual,
-        "survivors" => shares.len()
-    );
+    let mut net = LinearNetwork::from_rates(&bid_w, &scenario.link_rates);
+    let mut orig_of: Vec<usize> = (0..n).collect();
+    // What each node is working on in the current round: `None` is the
+    // base Phase III round (work = base.retained); after a splice it is
+    // the latest recovery re-allocation, indexed by original node id.
+    let mut round_assign: Option<Vec<f64>> = None;
 
-    let mut completed = base.retained.clone();
-    completed[k] = done_k;
-    let mut recovery_assigned = vec![0.0; n];
-    let mut reassigned = Vec::with_capacity(shares.len());
-    for (si, &share) in shares.iter().enumerate() {
-        let orig = unsplice(si, k);
-        let extra = residual * share;
-        recovery_assigned[orig] = extra;
-        completed[orig] += extra;
-        reassigned.push((orig, extra));
-    }
-    transcript.record(Entry::Recovery {
-        dead: k,
-        residual,
-        reassigned,
-    });
+    let phase3: Vec<&FaultEvent> = queue
+        .iter()
+        .filter(|e| e.kind.halt_phase() == Some(3))
+        .collect();
+    let phase4: Vec<&FaultEvent> = queue
+        .iter()
+        .filter(|e| e.kind.halt_phase() == Some(4))
+        .collect();
+    debug_assert_eq!(phase3.len() + phase4.len(), queue.len());
 
-    let recovery_span = clock.advance(residual * per_unit_makespan);
-    let mut timeline = base.timeline.clone();
-    timeline.push(detector, 3, obs::TimelineKind::Timeout, timeout_span, 0.0);
-    timeline.mark(k, 3, obs::TimelineKind::Splice, recovery_span.0);
-    for (orig, &extra) in recovery_assigned.iter().enumerate() {
-        if extra > 0.0 {
-            timeline.push(orig, 3, obs::TimelineKind::Recovery, recovery_span, extra);
+    for e in &phase3 {
+        let k = e.node;
+        let (progress, alive) = match e.kind {
+            FaultKind::Crash { progress, .. } => (progress, false),
+            FaultKind::Stall { progress } => (progress, true),
+            _ => unreachable!("phase filter admits only halting faults"),
+        };
+        // How much of its current round's work the node finished before
+        // halting. In the base round that is `progress` of its retained
+        // share; in a recovery round, `progress` of its latest recovery
+        // assignment (all earlier rounds completed in full).
+        let residual = match &round_assign {
+            None => {
+                let done_k = progress * base.retained[k];
+                let residual = base.retained[k] - done_k;
+                completed[k] = done_k;
+                residual
+            }
+            Some(assign) => {
+                let residual = assign[k] - progress * assign[k];
+                completed[k] -= residual;
+                recovery_assigned[k] -= residual;
+                residual
+            }
+        };
+
+        let detector = detector_of(k, 3, m);
+        transcript.record(Entry::Timeout {
+            detector,
+            suspect: k,
+            phase: 3,
+        });
+        arbitrations.push(arbitrate_unresponsive(detector, k, alive));
+        detected.push((detector, k, 3));
+        if alive {
+            stalled.push(k);
+        } else {
+            crashed.push(k);
         }
-    }
-    timeline.makespan = clock.now();
 
-    // Rebuild the ledger: the halted node's Phase IV settlement (payment,
-    // and any audit outcome of a bill it never submitted) is replaced by
-    // pro-rata compensation; survivors are paid their recovery work at
+        let timeout_span = clock.advance(timeout);
+        obs::count!("protocol.ft.detection_timeouts", "phase" => 3u8);
+        obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 3u8);
+        obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => 3u8);
+
+        // Fuse the halted node out of the running survivor chain and
+        // re-solve its unfinished work.
+        let si_k = orig_of
+            .iter()
+            .position(|&o| o == k)
+            .expect("halted node is on the survivor chain");
+        net = linear::splice(&net, si_k);
+        orig_of.remove(si_k);
+        let (per_unit_makespan, shares) = allocation_of(&net);
+        obs::event!(
+            "protocol.ft.residual_resolve",
+            vt = clock.now(),
+            "dead" => k,
+            "residual" => residual,
+            "survivors" => shares.len()
+        );
+
+        let mut round = vec![0.0; n];
+        let mut reassigned = Vec::with_capacity(shares.len());
+        for (si, &share) in shares.iter().enumerate() {
+            let orig = orig_of[si];
+            let extra = residual * share;
+            recovery_assigned[orig] += extra;
+            completed[orig] += extra;
+            round[orig] = extra;
+            reassigned.push((orig, extra));
+        }
+        transcript.record(Entry::Recovery {
+            dead: k,
+            residual,
+            reassigned,
+        });
+
+        let recovery_span = clock.advance(residual * per_unit_makespan);
+        timeline.push(detector, 3, obs::TimelineKind::Timeout, timeout_span, 0.0);
+        timeline.mark(k, 3, obs::TimelineKind::Splice, recovery_span.0);
+        for (orig, &extra) in round.iter().enumerate() {
+            if extra > 0.0 {
+                timeline.push(orig, 3, obs::TimelineKind::Recovery, recovery_span, extra);
+            }
+        }
+        recovered_load += residual;
+        round_assign = Some(round);
+    }
+
+    // Phase IV crashes are simultaneous: every billing timer fires within
+    // the same timeout window, and the root probes the whole batch.
+    if !phase4.is_empty() {
+        let timeout_span = clock.advance(timeout);
+        let mut probes = Vec::with_capacity(phase4.len());
+        for e in &phase4 {
+            let k = e.node;
+            let detector = detector_of(k, 4, m);
+            transcript.record(Entry::Timeout {
+                detector,
+                suspect: k,
+                phase: 4,
+            });
+            detected.push((detector, k, 4));
+            crashed.push(k);
+            obs::count!("protocol.ft.detection_timeouts", "phase" => 4u8);
+            obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 4u8);
+            timeline.push(detector, 4, obs::TimelineKind::Timeout, timeout_span, 0.0);
+            probes.push((detector, k, false));
+        }
+        arbitrations.extend(arbitrate_concurrent_unresponsive(&probes));
+    }
+
+    // Rebuild the ledger: every halted node's Phase IV settlement
+    // (payment, and any audit outcome of a bill it never submitted) is
+    // voided at once, then re-settled — Phase III halts pro rata on what
+    // they verifiably completed, Phase IV crashes from the root's own
+    // recomputation — and survivors are paid their recovery work at
     // metered cost. Earlier-phase fines and rewards stand.
-    let mut ledger = Ledger::new();
-    for e in base.ledger.entries() {
-        if !(e.node == k && e.phase == 4) {
-            ledger.post(e.node, e.kind, e.amount, e.phase);
+    let halted: Vec<NodeId> = queue.iter().map(|e| e.node).collect();
+    let mut ledger = base.ledger.without_entries_of(&halted, 4);
+    let mut pro_rata_of: Vec<Option<PaymentBreakdown>> = vec![None; n];
+    for e in &phase3 {
+        let k = e.node;
+        let pr = payment::pro_rata(completed[k], base.actual_rates[k - 1]);
+        ledger.post(k, EntryKind::Payment, pr.payment, 4);
+        pro_rata_of[k] = Some(pr);
+    }
+    let mut settled_of: Vec<Option<PaymentBreakdown>> = vec![None; n];
+    if !phase4.is_empty() {
+        let bid_net = LinearNetwork::from_rates(&bid_w, &scenario.link_rates);
+        let s = if scenario.solution_found {
+            scenario.solution_bonus
+        } else {
+            0.0
+        };
+        for e in &phase4 {
+            let k = e.node;
+            let honest = payment::settle(
+                &bid_net,
+                k,
+                PaymentInputs {
+                    assigned_load: base.assigned[k],
+                    actual_load: base.retained[k],
+                    actual_rate: base.actual_rates[k - 1],
+                },
+                s,
+            );
+            ledger.post(k, EntryKind::Payment, honest.payment, 4);
+            if recovery_assigned[k] > 0.0 {
+                // A Phase IV casualty that performed recovery work earlier
+                // is paid that wage too — it finished it before dying.
+                ledger.post(
+                    k,
+                    EntryKind::Payment,
+                    payment::recovery_wage(recovery_assigned[k], base.actual_rates[k - 1]),
+                    4,
+                );
+            }
+            settled_of[k] = Some(honest);
         }
     }
-    let pro_rata = payment::pro_rata(done_k, actual_k);
-    ledger.post(k, EntryKind::Payment, pro_rata.payment, 4);
     for j in 1..=m {
-        if j != k && recovery_assigned[j] > 0.0 {
+        if !halted.contains(&j) && recovery_assigned[j] > 0.0 {
             ledger.post(
                 j,
                 EntryKind::Payment,
-                recovery_assigned[j] * base.actual_rates[j - 1],
+                payment::recovery_wage(recovery_assigned[j], base.actual_rates[j - 1]),
                 4,
             );
         }
     }
 
     // Net utilities: valuation (recovered from the base report) adjusted
-    // for the changed workloads, plus the rebuilt ledger.
-    let mut net_utilities = vec![0.0; m];
-    for j in 1..=m {
-        let valuation = if j == k {
-            pro_rata.valuation
-        } else {
-            let base_valuation = base.net_utilities[j - 1] - base.ledger.net(j);
-            base_valuation - recovery_assigned[j] * base.actual_rates[j - 1]
-        };
-        net_utilities[j - 1] = valuation + ledger.net(j);
-    }
-
-    FtRunReport {
-        crashed: (!alive).then_some(k),
-        stalled: alive.then_some(k),
-        detected: vec![(detector, k, 3)],
-        assigned: base.assigned.clone(),
-        completed,
-        recovered_load: residual,
-        recovery_assigned,
-        makespan: clock.now(),
-        base_makespan: base.makespan,
-        arbitrations,
-        ledger,
-        net_utilities,
-        transcript,
-        splice_map,
-        events: base.events,
-        timeline,
-    }
-}
-
-/// Crash in Phase IV: all work is done, only the bill is missing. After
-/// the timeout the root settles the silent node from its own recomputation
-/// (the proof data it already holds), which also voids any inflated bill
-/// the node would have submitted.
-fn pre_billing_crash(
-    scenario: &Scenario,
-    base: &RunReport,
-    k: NodeId,
-    timeout: f64,
-    splice_map: Vec<Option<usize>>,
-) -> FtRunReport {
-    let m = scenario.num_agents();
-    let n = m + 1;
-    let detector = detector_of(k, 4, m);
-    let mut transcript = base.transcript.clone();
-    transcript.record(Entry::Timeout {
-        detector,
-        suspect: k,
-        phase: 4,
-    });
-    let mut arbitrations = base.arbitrations.clone();
-    arbitrations.push(arbitrate_unresponsive(detector, k, false));
-
-    let mut clock = obs::RunClock::starting_at(base.makespan);
-    let timeout_span = clock.advance(timeout);
-    obs::count!("protocol.ft.detection_timeouts", "phase" => 4u8);
-    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 4u8);
-    let mut timeline = base.timeline.clone();
-    timeline.push(detector, 4, obs::TimelineKind::Timeout, timeout_span, 0.0);
-    timeline.makespan = clock.now();
-
-    let mut bid_w = vec![scenario.root_rate];
-    bid_w.extend_from_slice(&base.bids);
-    let bid_net = LinearNetwork::from_rates(&bid_w, &scenario.link_rates);
-    let s = if scenario.solution_found {
-        scenario.solution_bonus
+    // for the changed workloads, plus the rebuilt ledger. When nothing
+    // halted mid-computation no workload changed, so survivors keep their
+    // base utilities verbatim.
+    let mut net_utilities;
+    if phase3.is_empty() {
+        net_utilities = base.net_utilities.clone();
+        for e in &phase4 {
+            let k = e.node;
+            let honest = settled_of[k].as_ref().expect("settled above");
+            net_utilities[k - 1] = honest.valuation + ledger.net(k);
+        }
     } else {
-        0.0
-    };
-    let honest = payment::settle(
-        &bid_net,
-        k,
-        PaymentInputs {
-            assigned_load: base.assigned[k],
-            actual_load: base.retained[k],
-            actual_rate: base.actual_rates[k - 1],
-        },
-        s,
-    );
-
-    let mut ledger = Ledger::new();
-    for e in base.ledger.entries() {
-        if !(e.node == k && e.phase == 4) {
-            ledger.post(e.node, e.kind, e.amount, e.phase);
+        net_utilities = vec![0.0; m];
+        for j in 1..=m {
+            let valuation = if let Some(pr) = &pro_rata_of[j] {
+                pr.valuation
+            } else if let Some(honest) = &settled_of[j] {
+                honest.valuation - recovery_assigned[j] * base.actual_rates[j - 1]
+            } else {
+                let base_valuation = base.net_utilities[j - 1] - base.ledger.net(j);
+                base_valuation - recovery_assigned[j] * base.actual_rates[j - 1]
+            };
+            net_utilities[j - 1] = valuation + ledger.net(j);
         }
     }
-    ledger.post(k, EntryKind::Payment, honest.payment, 4);
 
-    let mut net_utilities = base.net_utilities.clone();
-    net_utilities[k - 1] = honest.valuation + ledger.net(k);
-
+    timeline.makespan = clock.now();
     FtRunReport {
-        crashed: Some(k),
-        stalled: None,
-        detected: vec![(detector, k, 4)],
+        crashed,
+        stalled,
+        detected,
         assigned: base.assigned.clone(),
-        completed: base.retained.clone(),
-        recovered_load: 0.0,
-        recovery_assigned: vec![0.0; n],
+        completed,
+        recovered_load,
+        recovery_assigned,
         makespan: clock.now(),
         base_makespan: base.makespan,
         arbitrations,
@@ -662,17 +823,16 @@ fn pre_billing_crash(
 /// Layer the plan's message faults on top of the halting-fault report:
 /// each drop/corruption costs one detection timeout (and files a no-fault
 /// timeout complaint that the liveness probe rejects); each delay adds its
-/// latency. Messages of the halted node are skipped — its silence is
-/// already the halting fault's story. Corrupted messages never enter the
+/// latency. Messages of halted nodes are skipped — their silence is
+/// already the halting faults' story. Corrupted messages never enter the
 /// transcript: only the retransmitted, well-signed copy is recorded, so
 /// replay cannot incriminate the sender.
-fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
-    let halted = report.crashed.or(report.stalled);
+pub(crate) fn apply_message_faults(report: &mut FtRunReport, plan: &FaultPlan, m: usize) {
     // Message-fault overhead accrues on the same clock the halting-fault
     // path ended on.
     let mut clock = obs::RunClock::starting_at(report.makespan);
     for event in plan.message_faults() {
-        if Some(event.node) == halted {
+        if report.crashed.contains(&event.node) || report.stalled.contains(&event.node) {
             continue;
         }
         match event.kind {
@@ -740,7 +900,7 @@ mod tests {
         assert_eq!(ft.makespan, plain.makespan);
         assert_eq!(ft.net_utilities, plain.net_utilities);
         assert_eq!(ft.completed, plain.retained);
-        assert!(ft.crashed.is_none() && ft.stalled.is_none());
+        assert!(ft.crashed.is_empty() && ft.stalled.is_empty());
         assert_eq!(ft.overhead(), 0.0);
     }
 
@@ -756,7 +916,7 @@ mod tests {
                     for progress in [0.0, 0.37, 1.0] {
                         let plan = FaultPlan::crash(k, phase, progress);
                         let ft = run_with_faults(&s, &plan).unwrap();
-                        assert_eq!(ft.crashed, Some(k));
+                        assert_eq!(ft.crashed, vec![k]);
                         assert!(
                             ft.load_conserved(1e-9),
                             "m={m} k={k} phase={phase} p={progress}: completed {:?}",
@@ -823,8 +983,8 @@ mod tests {
     fn stall_triggers_recovery_without_conviction() {
         let s = scenario();
         let ft = run_with_faults(&s, &FaultPlan::stall(2, 0.25)).unwrap();
-        assert_eq!(ft.stalled, Some(2));
-        assert_eq!(ft.crashed, None);
+        assert_eq!(ft.stalled, vec![2]);
+        assert!(ft.crashed.is_empty());
         assert!(ft.load_conserved(1e-9));
         // The liveness probe finds the stalled node alive: complaint
         // unsubstantiated, but with zero fine for the honest reporter too.
@@ -1004,5 +1164,251 @@ mod tests {
             run_with_faults(&bad, &FaultPlan::none()),
             Err(FtError::Scenario(ScenarioError::BadRate { .. }))
         ));
+    }
+
+    // ---- cascading and simultaneous failures ----
+
+    #[test]
+    fn two_simultaneous_phase1_crashes_splice_twice() {
+        let s = Scenario::honest(1.0, vec![2.0, 0.5, 4.0, 1.5], vec![0.2, 0.1, 0.7, 0.3]);
+        let plan = FaultPlan::crash(2, 1, 0.0).with_event(
+            3,
+            FaultKind::Crash {
+                phase: 1,
+                progress: 0.0,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![2, 3]);
+        assert!(ft.load_conserved(1e-9));
+        assert_eq!(
+            ft.splice_map,
+            vec![Some(0), Some(1), None, None, Some(2)],
+            "both dead nodes cut, survivors renumbered through both splices"
+        );
+        assert_eq!(ft.completed[2], 0.0);
+        assert_eq!(ft.completed[3], 0.0);
+        for j in 1..=4 {
+            assert!(ft.fines_paid(j) <= 1e-12, "honest P{j} fined");
+        }
+        // The doubly-spliced true-rate chain solved directly matches.
+        let once = linear::splice(
+            &LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0, 1.5], &[0.2, 0.1, 0.7, 0.3]),
+            2,
+        );
+        let twice = linear::splice(&once, 2);
+        let sol = linear::solve(&twice);
+        assert!((ft.completed[0] - sol.alloc.alpha(0)).abs() < 1e-12);
+        assert!((ft.completed[1] - sol.alloc.alpha(1)).abs() < 1e-12);
+        assert!((ft.completed[4] - sol.alloc.alpha(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_during_recovery_settles_on_the_recovery_fraction() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let plan = FaultPlan::crash(2, 3, 0.5).with_event(
+            3,
+            FaultKind::Crash {
+                phase: 3,
+                progress: 0.25,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![2, 3]);
+        assert!(ft.load_conserved(1e-9));
+        // P3 finished its whole base share plus a quarter of its recovery
+        // assignment before dying.
+        assert!(
+            ft.completed[3] >= plain.retained[3] - 1e-12,
+            "the base share was finished before the recovery round"
+        );
+        // Both casualties are honest: pro-rata settlement is
+        // utility-neutral for them.
+        assert!(ft.utility(2).abs() < 1e-9, "P2 utility {}", ft.utility(2));
+        assert!(ft.utility(3).abs() < 1e-9, "P3 utility {}", ft.utility(3));
+        // The pro-rata payment covers exactly what P3 completed — base
+        // share plus the recovery fraction, not its original assignment.
+        assert!(
+            (ft.ledger.net_of(3, EntryKind::Payment) - ft.completed[3] * plain.actual_rates[2])
+                .abs()
+                < 1e-9
+        );
+        // Two recovery rounds: two splice marks and two recovery entries.
+        assert_eq!(ft.timeline.of(obs::TimelineKind::Splice).count(), 2);
+        assert_eq!(ft.detected.len(), 2);
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12, "honest P{j} fined");
+        }
+    }
+
+    #[test]
+    fn all_strategic_nodes_crashing_leaves_the_root_alone() {
+        let s = scenario();
+        let plan = FaultPlan::crash(1, 3, 0.5)
+            .with_event(
+                2,
+                FaultKind::Crash {
+                    phase: 3,
+                    progress: 0.5,
+                },
+            )
+            .with_event(
+                3,
+                FaultKind::Crash {
+                    phase: 3,
+                    progress: 0.5,
+                },
+            );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![1, 2, 3]);
+        assert!(
+            ft.load_conserved(1e-9),
+            "the root absorbs the final residual: {:?}",
+            ft.completed
+        );
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12);
+            assert!(ft.utility(j).abs() < 1e-9, "P{j} settled pro rata");
+        }
+        assert_eq!(ft.timeline.of(obs::TimelineKind::Splice).count(), 3);
+    }
+
+    #[test]
+    fn simultaneous_phase4_crashes_share_one_timeout() {
+        let s = scenario();
+        let plain = try_run(&s).unwrap();
+        let plan = FaultPlan::crash(1, 4, 0.0).with_event(
+            3,
+            FaultKind::Crash {
+                phase: 4,
+                progress: 0.0,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![1, 3]);
+        assert!(
+            (ft.makespan - plain.makespan - FaultPlan::DEFAULT_TIMEOUT).abs() < 1e-12,
+            "billing timers fire concurrently: one timeout, not two"
+        );
+        // Both are settled as if they had billed.
+        assert!((ft.utility(1) - plain.utility(1)).abs() < 1e-9);
+        assert!((ft.utility(3) - plain.utility(3)).abs() < 1e-9);
+        assert!(ft.load_conserved(1e-9));
+        assert_eq!(
+            ft.arbitrations
+                .iter()
+                .filter(|a| a.complaint == "unresponsive" && a.substantiated)
+                .count(),
+            2,
+            "both probes resolved in the concurrent batch"
+        );
+    }
+
+    #[test]
+    fn stall_then_phase4_crash_mixes_probe_outcomes() {
+        let s = scenario();
+        let plan = FaultPlan::stall(1, 0.3).with_event(
+            3,
+            FaultKind::Crash {
+                phase: 4,
+                progress: 0.0,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.stalled, vec![1]);
+        assert_eq!(ft.crashed, vec![3]);
+        assert!(ft.load_conserved(1e-9));
+        let outcomes: Vec<bool> = ft
+            .arbitrations
+            .iter()
+            .filter(|a| a.complaint == "unresponsive")
+            .map(|a| a.substantiated)
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, true],
+            "the stalled node answers its probe; the crashed one does not"
+        );
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_crash_followed_by_mid_computation_crash_composes_splices() {
+        // P1 dies before distribution; P3 dies during the survivor re-run's
+        // computation. Recovery-during-recovery re-enters the splice path.
+        let s = scenario();
+        let plan = FaultPlan::crash(1, 1, 0.0).with_event(
+            3,
+            FaultKind::Crash {
+                phase: 3,
+                progress: 0.4,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![1, 3]);
+        assert_eq!(
+            ft.splice_map,
+            vec![Some(0), None, Some(1), Some(2)],
+            "the outer splice composes with the inner identity"
+        );
+        assert!(ft.load_conserved(1e-9));
+        assert!(
+            ft.recovered_load > 0.0,
+            "the inner Phase III crash re-assigned a residual"
+        );
+        assert!(
+            ft.utility(3).abs() < 1e-9,
+            "inner casualty settled pro rata"
+        );
+        for j in 1..=3 {
+            assert!(ft.fines_paid(j) <= 1e-12);
+        }
+        // The nested recovery's timeout and splice made it into the outer
+        // timeline.
+        assert_eq!(ft.timeline.of(obs::TimelineKind::Splice).count(), 2);
+        assert_eq!(ft.timeline.of(obs::TimelineKind::Timeout).count(), 2);
+    }
+
+    #[test]
+    fn deviant_in_a_cascade_keeps_its_fines() {
+        let s = scenario().with_deviation(2, Deviation::WrongEquivalent { factor: 0.6 });
+        let plan = FaultPlan::crash(2, 3, 0.5).with_event(
+            1,
+            FaultKind::Crash {
+                phase: 3,
+                progress: 0.5,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert!(
+            ft.fines_paid(2) > 0.0,
+            "the Phase II conviction survives the cascade"
+        );
+        assert!(ft.load_conserved(1e-9));
+        assert!(ft.fines_paid(3) <= 1e-12, "honest survivor not fined");
+        assert!(ft.fines_paid(1) <= 1e-12, "honest casualty not fined");
+    }
+
+    #[test]
+    fn seeded_multi_fault_sweeps_hold_the_invariants() {
+        for s in chains() {
+            let m = s.num_agents();
+            for seed in 0..20u64 {
+                let plan = FaultPlan::seeded_multi(seed, m, 3);
+                let ft = run_with_faults(&s, &plan).unwrap();
+                assert!(ft.load_conserved(1e-9), "m={m} seed={seed} plan {plan:?}");
+                for j in 1..=m {
+                    assert!(
+                        ft.fines_paid(j) <= 1e-12,
+                        "m={m} seed={seed}: honest P{j} fined under {plan:?}"
+                    );
+                }
+                let again = run_with_faults(&s, &plan).unwrap();
+                assert_eq!(ft, again, "m={m} seed={seed}: replay diverged");
+            }
+        }
     }
 }

@@ -77,6 +77,22 @@ impl Ledger {
             .sum()
     }
 
+    /// A copy of this ledger with every entry of the listed `nodes` in
+    /// `phase` removed, preserving posting order. The fault-tolerant
+    /// runner uses this to void the Phase IV settlements of *every*
+    /// halted node at once before re-settling them (pro rata or from the
+    /// root's recomputation) under cascading failures.
+    pub fn without_entries_of(&self, nodes: &[NodeId], phase: u8) -> Ledger {
+        Ledger {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| !(e.phase == phase && nodes.contains(&e.node)))
+                .copied()
+                .collect(),
+        }
+    }
+
     /// Sum of all fines levied (as a positive number).
     pub fn total_fines(&self) -> f64 {
         -self

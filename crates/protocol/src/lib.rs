@@ -21,9 +21,12 @@
 //! * [`faults`] — deterministic, seeded fault plans: crash-stop, stalls,
 //!   message drops/delays/corruption.
 //! * [`ft_runner`] — fault-tolerant execution: timeout detection,
-//!   chain-splice recovery, pro-rata settlement of failed nodes, and the
-//!   no-fault extension of Lemma 5.2 (no honest survivor is ever fined
-//!   under any injected fault).
+//!   chain-splice recovery of cascading and simultaneous failures,
+//!   pro-rata settlement of failed nodes, and the no-fault extension of
+//!   Lemma 5.2 (no honest survivor is ever fined under any injected
+//!   fault).
+//! * [`ft_reference`] — the frozen PR 1 single-failure recovery path,
+//!   kept as a byte-identical differential-testing reference.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@
 pub mod crypto;
 pub mod deviation;
 pub mod faults;
+pub mod ft_reference;
 pub mod ft_runner;
 pub mod lambda;
 pub mod ledger;
@@ -45,6 +49,7 @@ pub mod tree_runner;
 pub use crypto::{Dsm, KeyPair, NodeId, Registry, Signature};
 pub use deviation::Deviation;
 pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan};
+pub use ft_reference::run_with_faults_single;
 pub use ft_runner::{run_with_faults, FtError, FtRunReport};
 pub use lambda::{BlockMint, LoadTag};
 pub use ledger::{EntryKind, Ledger};

@@ -172,6 +172,23 @@ pub fn arbitrate_unresponsive(claimant: NodeId, accused: NodeId, alive: bool) ->
     }
 }
 
+/// Resolve a batch of **concurrent** [`Complaint::Unresponsive`]
+/// complaints — simultaneous failures whose detection timers all fire in
+/// the same timeout window. The root probes each accused node in the
+/// given order (which is the plan's deterministic detection order), so
+/// the arbitration records of simultaneous failures are serialized
+/// exactly like everything else in the run. Each probe is resolved by
+/// [`arbitrate_unresponsive`]: no-fault, zero fine either way.
+pub fn arbitrate_concurrent_unresponsive(
+    probes: &[(NodeId, NodeId, bool)],
+) -> Vec<ArbitrationRecord> {
+    obs::count!("protocol.complaints.concurrent_unresponsive", "batch" => probes.len());
+    probes
+        .iter()
+        .map(|&(claimant, accused, alive)| arbitrate_unresponsive(claimant, accused, alive))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,203 @@
+//! Property tests for cascading and simultaneous failure recovery.
+//!
+//! Random `(Scenario, FaultPlan)` pairs with up to three halting faults
+//! (plus message faults) must always hold the fault-tolerance
+//! invariants:
+//!
+//! * **Load conservation** — the unit workload is fully completed by the
+//!   survivors plus the partial work of the dead.
+//! * **No honest survivor is ever fined** (the fault-tolerant extension
+//!   of Lemma 5.2).
+//! * **Pro-rata settlement** — a node that halts mid-computation is paid
+//!   exactly `pro_rata(completed, w̃)` for the fraction it finished
+//!   (recovery work included), landing its net utility at exactly zero;
+//!   a node that dies before receiving load earns exactly nothing.
+//! * **Deterministic replay** — re-running the same `(Scenario,
+//!   FaultPlan)` yields a byte-identical `FtRunReport`.
+//! * **Differential safety** — every plan with at most one halting fault
+//!   produces a report byte-identical to the frozen PR 1 single-failure
+//!   path (`ft_reference`), so the multi-failure generalization cannot
+//!   have drifted on the cases the old engine handled.
+
+use mechanism::payment;
+use proptest::prelude::*;
+use protocol::{
+    run_with_faults, run_with_faults_single, EntryKind, FaultKind, FaultPlan, Scenario,
+};
+
+/// A deterministic heterogeneous chain, same family as the obs-parity
+/// suite: seed-indexed rates and link speeds.
+fn chain(m: usize, s: usize) -> Scenario {
+    let true_rates: Vec<f64> = (0..m)
+        .map(|j| 0.5 + 0.45 * (((s + j * 7) % 5) as f64))
+        .collect();
+    let link_rates: Vec<f64> = (0..m)
+        .map(|j| 0.08 + 0.05 * (((s + j * 3) % 4) as f64))
+        .collect();
+    Scenario::honest(1.0, true_rates, link_rates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole invariants over random multi-failure plans: up to
+    /// three distinct-node crash/stall faults plus message faults.
+    #[test]
+    fn multi_failure_plans_hold_the_invariants(
+        m in 2usize..=6,
+        net_seed in 0usize..64,
+        plan_seed in 0u64..1_000_000,
+    ) {
+        let s = chain(m, net_seed);
+        let plan = FaultPlan::seeded_multi(plan_seed, m, 3);
+        let ft = run_with_faults(&s, &plan).expect("seeded plans are valid");
+
+        // Load conservation across any number of splices.
+        prop_assert!(ft.load_conserved(1e-9), "lost load: completed {:?}", ft.completed);
+
+        // Every node here is honest: nobody is ever fined.
+        for j in 1..=m {
+            prop_assert!(ft.fines_paid(j) <= 1e-12, "honest P{j} fined");
+        }
+
+        // Settlement of the dead, by the phase the halt struck in.
+        for ev in plan.halting_faults() {
+            let k = ev.node;
+            match ev.kind.halt_phase() {
+                Some(3) => {
+                    // Mid-computation halt (base round or mid-recovery):
+                    // paid pro-rata on exactly what it finished, utility
+                    // exactly zero.
+                    let expect = payment::pro_rata(ft.completed[k], s.true_rates[k - 1]).payment;
+                    let paid = ft.ledger.net_of(k, EntryKind::Payment);
+                    prop_assert!(
+                        (paid - expect).abs() <= 1e-9,
+                        "P{k} paid {paid}, pro-rata says {expect}"
+                    );
+                    prop_assert!(
+                        ft.net_utilities[k - 1].abs() <= 1e-9,
+                        "pro-rata settlement must land P{k} at zero utility, got {}",
+                        ft.net_utilities[k - 1]
+                    );
+                }
+                Some(1) | Some(2) => {
+                    // Dead before receiving load: earns exactly nothing.
+                    prop_assert_eq!(ft.completed[k], 0.0);
+                    prop_assert!(
+                        ft.ledger.net(k).abs() <= 1e-12,
+                        "P{k} crashed pre-distribution but has ledger net {}",
+                        ft.ledger.net(k)
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // Survivors that performed recovery work are paid a wage for it.
+        for j in 1..=m {
+            if ft.halted().any(|h| h == j) || ft.recovery_assigned[j] <= 0.0 {
+                continue;
+            }
+            let wage = payment::recovery_wage(ft.recovery_assigned[j], s.true_rates[j - 1]);
+            prop_assert!(
+                ft.ledger.net(j) >= wage - 1e-9,
+                "P{j} performed recovery work but was not paid its wage"
+            );
+        }
+
+        // Replay is bit-identical.
+        let again = run_with_faults(&s, &plan).expect("seeded plans are valid");
+        prop_assert_eq!(format!("{ft:?}"), format!("{again:?}"), "replay diverged");
+    }
+
+    /// Differential: random *single*-halt plans through the multi-failure
+    /// engine must be byte-identical to the frozen PR 1 path.
+    #[test]
+    fn single_failure_plans_match_the_frozen_reference(
+        m in 1usize..=6,
+        net_seed in 0usize..64,
+        node_ix in 0usize..6,
+        phase in 1usize..=4,
+        progress in prop::sample::select(vec![0.0f64, 0.25, 0.5, 0.75, 1.0]),
+        stall in 0usize..2,
+        message_fault in 0usize..4,
+    ) {
+        let s = chain(m, net_seed);
+        let node = 1 + node_ix % m;
+        let phase = phase as u8;
+        let mut plan = if stall == 1 {
+            FaultPlan::stall(node, progress)
+        } else {
+            FaultPlan::crash(node, phase, progress)
+        };
+        if message_fault > 0 {
+            let target = 1 + (node_ix + 1) % m;
+            let kind = match message_fault {
+                1 => FaultKind::DropMessage { phase },
+                2 => FaultKind::DelayMessage { phase, delay: 0.02 },
+                _ => FaultKind::CorruptMessage { phase },
+            };
+            plan = plan.with_event(target, kind);
+        }
+        let live = run_with_faults(&s, &plan).expect("valid plan");
+        let frozen = run_with_faults_single(&s, &plan).expect("valid plan");
+        prop_assert_eq!(
+            format!("{live:?}"),
+            format!("{frozen:?}"),
+            "multi-failure engine diverged from the PR 1 path"
+        );
+    }
+}
+
+/// The PR 1 seeded single-fault batches — the exact population E20
+/// sweeps — all match the frozen reference byte for byte.
+#[test]
+fn seeded_single_fault_plans_match_the_frozen_reference() {
+    for m in 1..=6usize {
+        let s = chain(m, m);
+        for seed in 0..40u64 {
+            let plan = FaultPlan::seeded(seed, m);
+            let live = run_with_faults(&s, &plan).expect("valid plan");
+            let frozen = run_with_faults_single(&s, &plan).expect("valid plan");
+            assert_eq!(
+                format!("{live:?}"),
+                format!("{frozen:?}"),
+                "seed {seed}, m={m}: multi-failure engine diverged from the PR 1 path"
+            );
+        }
+    }
+}
+
+/// Two crashes landing in the same recovery lineage: the second node
+/// dies while performing recovery work and is settled on the fraction of
+/// its *recovery* assignment it finished — not on its original Λ.
+#[test]
+fn crash_during_recovery_is_settled_on_the_recovery_fraction() {
+    let s = chain(4, 1);
+    let plan = FaultPlan::crash(2, 3, 0.5).with_event(
+        3,
+        FaultKind::Crash {
+            phase: 3,
+            progress: 0.25,
+        },
+    );
+    let ft = run_with_faults(&s, &plan).expect("valid plan");
+    assert_eq!(ft.crashed, vec![2, 3]);
+    assert!(ft.load_conserved(1e-9));
+    for k in [2usize, 3] {
+        let expect = payment::pro_rata(ft.completed[k], s.true_rates[k - 1]).payment;
+        assert!(
+            (ft.ledger.net_of(k, EntryKind::Payment) - expect).abs() <= 1e-12,
+            "P{k} not settled pro-rata on its completed fraction"
+        );
+        assert!(ft.net_utilities[k - 1].abs() <= 1e-12);
+    }
+    // P3 finished strictly less than its base retention would have been:
+    // it died a quarter into its recovery share.
+    assert!(
+        ft.recovery_assigned[3] > 0.0,
+        "P3 must have received recovery work"
+    );
+    let again = run_with_faults(&s, &plan).expect("valid plan");
+    assert_eq!(format!("{ft:?}"), format!("{again:?}"));
+}

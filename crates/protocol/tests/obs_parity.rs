@@ -113,6 +113,60 @@ fn deviant_runs_identical_under_every_sink() {
     assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
 }
 
+/// Cascading and simultaneous failures exercise the nested-recovery
+/// instrumentation (recursive splices, batched Phase IV timeouts, the
+/// recovery-round counters); parity must hold across the whole
+/// multi-failure engine.
+#[test]
+fn cascading_failure_runs_identical_under_every_sink() {
+    let _g = lock();
+    obs::uninstall();
+    let s = chain(5, 13);
+    for plan in [
+        // Crash-during-recovery: P2 dies in the base round, P3 mid-way
+        // through its recovery share.
+        FaultPlan::crash(2, 3, 0.5).with_event(
+            3,
+            protocol::FaultKind::Crash {
+                phase: 3,
+                progress: 0.25,
+            },
+        ),
+        // Pre-distribution crash cascading into a compute-phase crash.
+        FaultPlan::crash(1, 1, 0.0).with_event(
+            4,
+            protocol::FaultKind::Crash {
+                phase: 3,
+                progress: 0.4,
+            },
+        ),
+        // Simultaneous billing blackout plus a stall.
+        FaultPlan::crash(2, 4, 0.0)
+            .with_event(
+                5,
+                protocol::FaultKind::Crash {
+                    phase: 4,
+                    progress: 0.0,
+                },
+            )
+            .with_event(1, protocol::FaultKind::Stall { progress: 0.75 }),
+    ] {
+        let disabled = run_with_faults(&s, &plan).expect("valid plan");
+        let noop = under_sink(Arc::new(NoopSink), || {
+            run_with_faults(&s, &plan).expect("valid plan")
+        });
+        let memory_sink = Arc::new(MemorySink::new());
+        let memory = under_sink(memory_sink.clone(), || {
+            run_with_faults(&s, &plan).expect("valid plan")
+        });
+        assert_eq!(disabled, noop);
+        assert_eq!(disabled, memory);
+        assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+        // The instrumented run must have seen the detection counters.
+        assert!(memory_sink.counter_total("protocol.ft.detection_timeouts") > 0.0);
+    }
+}
+
 /// Message-level faults (drops, delays, corruption) exercise the
 /// `apply_message_faults` clock path; parity must hold there as well.
 #[test]

@@ -145,6 +145,122 @@ pub fn seeded_cases(seed: u64, m: usize, count: usize) -> Vec<FaultCase> {
         .collect()
 }
 
+/// Every ordered pair of **distinct-node** crashes: the first case of
+/// each inner vec is detected first (same-phase pairs are simultaneous;
+/// mixed-phase pairs cascade). `phase_pairs` selects which phase
+/// combinations to enumerate — e.g. `(3, 3)` is a crash-during-recovery
+/// case, `(4, 4)` a simultaneous billing blackout. Phase III slots are
+/// struck at `progress`; other phases at 0.
+pub fn crash_pair_grid(m: usize, phase_pairs: &[(u8, u8)], progress: f64) -> Vec<Vec<FaultCase>> {
+    let mut plans = Vec::new();
+    for a in 1..=m {
+        for b in 1..=m {
+            if a == b {
+                continue;
+            }
+            for &(pa, pb) in phase_pairs {
+                let prog = |ph: u8| if ph == 3 { progress } else { 0.0 };
+                plans.push(vec![
+                    FaultCase::crash(a, pa, prog(pa)),
+                    FaultCase::crash(b, pb, prog(pb)),
+                ]);
+            }
+        }
+    }
+    plans
+}
+
+/// Cascades of `depth` Phase III crashes on nodes `1..=depth` (must fit
+/// the chain), every crash at the same `progress`: node 1 dies during the
+/// base round, node 2 during the first recovery round, and so on — the
+/// recovery-during-recovery axis.
+pub fn cascade_grid(m: usize, max_depth: usize, progress_points: &[f64]) -> Vec<Vec<FaultCase>> {
+    let mut plans = Vec::new();
+    for depth in 2..=max_depth.min(m) {
+        for &p in progress_points {
+            plans.push(
+                (1..=depth)
+                    .map(|node| FaultCase::crash(node, 3, p))
+                    .collect(),
+            );
+        }
+    }
+    plans
+}
+
+/// A seed-reproducible batch of **multi-failure** plans: each inner vec
+/// holds between 0 and `max_halts.min(m)` crash/stall cases on distinct
+/// nodes, plus an independent chance of one message fault — the plain-data
+/// mirror of `protocol::FaultPlan::seeded_multi`'s shape, at experiment
+/// scale.
+pub fn seeded_multi_cases(
+    seed: u64,
+    m: usize,
+    count: usize,
+    max_halts: usize,
+) -> Vec<Vec<FaultCase>> {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_CA5E_CA5C);
+    (0..count)
+        .map(|_| {
+            let halts = rng.gen_range(0..=max_halts.min(m));
+            let mut nodes: Vec<usize> = (1..=m).collect();
+            let mut plan = Vec::new();
+            for _ in 0..halts {
+                let node = nodes.remove(rng.gen_range(0..nodes.len()));
+                let progress = rng.gen::<f64>();
+                if rng.gen_bool(0.8) {
+                    plan.push(FaultCase::crash(node, rng.gen_range(1..=4) as u8, progress));
+                } else {
+                    plan.push(FaultCase::stall(node, progress));
+                }
+            }
+            if rng.gen_bool(0.3) {
+                let node = rng.gen_range(1..=m);
+                let phase = rng.gen_range(1..=4) as u8;
+                plan.push(match rng.gen_range(0..3usize) {
+                    0 => FaultCase {
+                        node,
+                        phase,
+                        progress: 0.0,
+                        delay: 0.0,
+                        kind: FaultCaseKind::DropMessage,
+                    },
+                    1 => FaultCase {
+                        node,
+                        phase,
+                        progress: 0.0,
+                        delay: 0.01 + 0.04 * rng.gen::<f64>(),
+                        kind: FaultCaseKind::DelayMessage,
+                    },
+                    _ => FaultCase {
+                        node,
+                        phase,
+                        progress: 0.0,
+                        delay: 0.0,
+                        kind: FaultCaseKind::CorruptMessage,
+                    },
+                });
+            }
+            plan
+        })
+        .collect()
+}
+
+/// Label a multi-fault plan for experiment tables, e.g.
+/// `crash@P1/ph3/0.50 + crash@P2/ph3/0.50` (`healthy` for the empty
+/// plan).
+pub fn multi_label(plan: &[FaultCase]) -> String {
+    if plan.is_empty() {
+        "healthy".to_string()
+    } else {
+        plan.iter()
+            .map(FaultCase::label)
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +305,68 @@ mod tests {
         let grid = crash_position_grid(3, &[0.25, 0.75]);
         let labels: std::collections::HashSet<_> = grid.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), grid.len());
+    }
+
+    #[test]
+    fn pair_grid_enumerates_ordered_distinct_pairs() {
+        let pairs = crash_pair_grid(4, &[(3, 3), (4, 4), (3, 4)], 0.5);
+        // 4·3 ordered node pairs × 3 phase pairs.
+        assert_eq!(pairs.len(), 4 * 3 * 3);
+        for plan in &pairs {
+            assert_eq!(plan.len(), 2);
+            assert_ne!(plan[0].node, plan[1].node);
+            for c in plan {
+                assert_eq!(c.kind, FaultCaseKind::Crash);
+                assert_eq!(c.progress, if c.phase == 3 { 0.5 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_grid_stacks_compute_crashes_from_the_front() {
+        let cascades = cascade_grid(5, 3, &[0.25, 0.75]);
+        // Depths 2 and 3, two progress points each.
+        assert_eq!(cascades.len(), 2 * 2);
+        for plan in &cascades {
+            for (i, c) in plan.iter().enumerate() {
+                assert_eq!(c.node, i + 1);
+                assert_eq!(c.phase, 3);
+            }
+        }
+        // Depth is clamped to the chain length.
+        assert_eq!(cascade_grid(2, 9, &[0.5]).len(), 1);
+    }
+
+    #[test]
+    fn seeded_multi_cases_are_deterministic_with_distinct_halt_nodes() {
+        let plans = seeded_multi_cases(7, 5, 60, 3);
+        assert_eq!(plans, seeded_multi_cases(7, 5, 60, 3));
+        let mut multi_seen = false;
+        for plan in &plans {
+            let halts: Vec<_> = plan
+                .iter()
+                .filter(|c| matches!(c.kind, FaultCaseKind::Crash | FaultCaseKind::Stall))
+                .map(|c| c.node)
+                .collect();
+            let distinct: std::collections::HashSet<_> = halts.iter().collect();
+            assert_eq!(
+                distinct.len(),
+                halts.len(),
+                "halting nodes must be distinct"
+            );
+            assert!(halts.len() <= 3);
+            multi_seen |= halts.len() >= 2;
+        }
+        assert!(
+            multi_seen,
+            "batch should exercise genuine multi-failure plans"
+        );
+    }
+
+    #[test]
+    fn multi_label_joins_case_labels() {
+        assert_eq!(multi_label(&[]), "healthy");
+        let plan = vec![FaultCase::crash(1, 3, 0.5), FaultCase::stall(2, 0.25)];
+        assert_eq!(multi_label(&plan), "crash@P1/ph3/0.50 + stall@P2/ph3/0.25");
     }
 }

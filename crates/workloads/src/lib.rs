@@ -18,7 +18,8 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use fault_cases::{
-    crash_position_grid, crash_time_grid, seeded_cases, FaultCase, FaultCaseKind,
+    cascade_grid, crash_pair_grid, crash_position_grid, crash_time_grid, multi_label, seeded_cases,
+    seeded_multi_cases, FaultCase, FaultCaseKind,
 };
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
 pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
