@@ -1,0 +1,307 @@
+//! E23 — closed-loop load harness for `dls-serve`.
+//!
+//! Starts the server in-process on loopback and drives it with a
+//! configurable number of connections, each pipelining a deterministic
+//! request mix (`workloads::requests`). Three phases:
+//!
+//! 1. **Identity** — every distinct chain is solved twice on one
+//!    connection; the cached response must be bit-identical to the cold
+//!    solve (the solver-cache contract).
+//! 2. **Load** — closed-loop pipelined traffic measuring throughput and
+//!    per-request latency percentiles, split cold/cached via the server's
+//!    stats endpoint.
+//! 3. **Burst** — a deliberate overrun of the admission queue to exercise
+//!    backpressure rejections.
+//!
+//! Finishes with a graceful drain and asserts the ledger
+//! `received == completed + rejected`. Writes `results/exp_serve_load.txt`
+//! and `.json`. Environment overrides: `DLS_E23_REQUESTS`,
+//! `DLS_E23_CONNS`, `DLS_E23_DISTINCT`, `DLS_E23_WORKERS`,
+//! `DLS_E23_QUEUE`, `DLS_E23_WINDOW`, `DLS_E23_FT_FRACTION`,
+//! `DLS_E23_MIN_RPS` (0 disables the throughput gate).
+
+use bench::{JsonReport, Table};
+use minijson::Value;
+use std::collections::HashMap;
+use std::time::Instant;
+use svc::{serve, Client, ServerConfig};
+use workloads::requests::{self, RequestMixConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct ConnResult {
+    latencies_us: obs::Histogram,
+    ok: u64,
+    cached: u64,
+    rejected: u64,
+    errors: u64,
+    timeouts: u64,
+}
+
+/// Drive one connection closed-loop: keep `window` requests in flight.
+fn drive(addr: std::net::SocketAddr, lines: Vec<String>, window: usize) -> ConnResult {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut result = ConnResult {
+        latencies_us: obs::Histogram::new(),
+        ok: 0,
+        cached: 0,
+        rejected: 0,
+        errors: 0,
+        timeouts: 0,
+    };
+    let mut inflight: HashMap<i64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let total = lines.len();
+    let mut received = 0usize;
+    while received < total {
+        while next < total && inflight.len() < window {
+            let id = id_of(&lines[next]);
+            client.send(&lines[next]).expect("send");
+            inflight.insert(id, Instant::now());
+            next += 1;
+        }
+        client.flush().expect("flush");
+        let response = client.recv().expect("recv");
+        received += 1;
+        let id = response.get("id").and_then(Value::as_i64).unwrap_or(-1);
+        if let Some(sent) = inflight.remove(&id) {
+            result
+                .latencies_us
+                .record(sent.elapsed().as_secs_f64() * 1e6);
+        }
+        match response.get("status").and_then(Value::as_str) {
+            Some("ok") => {
+                result.ok += 1;
+                if response.get("cached").and_then(Value::as_bool) == Some(true) {
+                    result.cached += 1;
+                }
+            }
+            Some("rejected") => result.rejected += 1,
+            Some("timeout") => result.timeouts += 1,
+            _ => result.errors += 1,
+        }
+    }
+    result
+}
+
+fn id_of(line: &str) -> i64 {
+    Value::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_i64))
+        .expect("request line has an id")
+}
+
+fn stats_of(client: &mut Client) -> Value {
+    let v = client.call(r#"{"op":"stats"}"#).expect("stats");
+    v.get("result").expect("stats result").clone()
+}
+
+fn main() {
+    let total = env_usize("DLS_E23_REQUESTS", 200_000);
+    let conns = env_usize("DLS_E23_CONNS", 4);
+    let distinct = env_usize("DLS_E23_DISTINCT", 32);
+    let workers = env_usize("DLS_E23_WORKERS", 4);
+    let queue = env_usize("DLS_E23_QUEUE", 1024);
+    let window = env_usize("DLS_E23_WINDOW", 64);
+    let ft_fraction = env_f64("DLS_E23_FT_FRACTION", 0.0);
+    let min_rps = env_f64("DLS_E23_MIN_RPS", 10_000.0);
+
+    let handle = serve(ServerConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+    println!("E23: dls-serve on {addr} ({workers} workers, queue {queue})");
+
+    // Phase 1 — cache identity over every distinct chain.
+    let pool_cfg = RequestMixConfig {
+        total,
+        distinct_chains: distinct,
+        ft_fraction,
+        ..RequestMixConfig::default()
+    };
+    let pool = requests::chain_pool(&pool_cfg);
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let mut identical = 0usize;
+    for (i, net) in pool.iter().enumerate() {
+        let rates: Vec<f64> = (1..net.len()).map(|j| net.w(j)).collect();
+        let line = requests::solve_line(1_000_000 + i as i64, net.w(0), &net.rates_z(), &rates);
+        let cold = probe.call(&line).expect("cold solve");
+        let warm = probe.call(&line).expect("warm solve");
+        assert_eq!(cold.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+        let cold_body = cold.get("result").expect("result").to_json();
+        let warm_body = warm.get("result").expect("result").to_json();
+        assert_eq!(cold_body, warm_body, "cache hit diverged on chain {i}");
+        identical += 1;
+    }
+    println!(
+        "identity: {identical}/{} cached solves bit-identical",
+        pool.len()
+    );
+
+    // Phase 2 — closed-loop load. The pool is already warm, so the solve
+    // stream measures cached throughput; ft_runs (if any) are never cached.
+    let (lines, solve_count, ft_count) = requests::request_lines(&pool_cfg);
+    let shards: Vec<Vec<String>> = (0..conns)
+        .map(|c| lines.iter().skip(c).step_by(conns).cloned().collect())
+        .collect();
+    let started = Instant::now();
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| scope.spawn(move || drive(addr, shard, window)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latency = obs::Histogram::new();
+    let (mut ok, mut cached, mut rejected, mut errors, mut timeouts) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for r in &results {
+        latency.merge(&r.latencies_us);
+        ok += r.ok;
+        cached += r.cached;
+        rejected += r.rejected;
+        errors += r.errors;
+        timeouts += r.timeouts;
+    }
+    let answered = ok + rejected + errors + timeouts;
+    let throughput = answered as f64 / elapsed;
+    let cached_rps = cached as f64 / elapsed;
+    let summary = latency.summary();
+    println!(
+        "load: {answered} answered in {elapsed:.2}s — {throughput:.0} req/s \
+         ({cached} cached, {cached_rps:.0} cached-solve/s), p50 {:.0}µs p99 {:.0}µs",
+        summary.p50, summary.p99
+    );
+
+    // Phase 3 — burst past the queue to exercise admission control.
+    let burst_lines: Vec<String> = (0..queue * 2)
+        .map(|i| {
+            let net = &pool[i % pool.len()];
+            let rates: Vec<f64> = (1..net.len()).map(|j| net.w(j)).collect();
+            requests::ft_line(
+                2_000_000 + i as i64,
+                net.w(0),
+                &rates,
+                &net.rates_z(),
+                i as u64,
+                Some((1 + i % rates.len(), 3, 0.5)),
+            )
+        })
+        .collect();
+    let burst = drive(addr, burst_lines, queue * 2);
+    println!(
+        "burst: {} ok, {} rejected with backpressure, {} timeouts",
+        burst.ok, burst.rejected, burst.timeouts
+    );
+
+    // Stats + graceful drain.
+    let server_stats = stats_of(&mut probe);
+    let bye = probe.call(r#"{"op":"shutdown"}"#).expect("shutdown");
+    assert_eq!(bye.get("status").and_then(Value::as_str), Some("ok"));
+    drop(probe);
+    let snapshot = handle.join();
+    assert!(
+        snapshot.conserved(),
+        "drain lost requests: received={} completed={} rejected={}",
+        snapshot.received,
+        snapshot.completed,
+        snapshot.rejected
+    );
+    println!(
+        "drain: received={} completed={} rejected={} (conserved)",
+        snapshot.received, snapshot.completed, snapshot.rejected
+    );
+
+    let hit_rate = server_stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Value::as_f64)
+        .map(|h| {
+            let m = server_stats
+                .get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            h / (h + m).max(1.0)
+        })
+        .unwrap_or(0.0);
+
+    let mut table = Table::new(&["metric", "value"]);
+    let mut row = |k: &str, v: String| {
+        table.row(vec![k.into(), v]);
+    };
+    row("connections", conns.to_string());
+    row("workers", workers.to_string());
+    row("pipeline_window", window.to_string());
+    row("requests_load_phase", answered.to_string());
+    row("solve_requests", solve_count.to_string());
+    row("ft_requests", ft_count.to_string());
+    row("elapsed_s", format!("{elapsed:.4}"));
+    row("throughput_rps", format!("{throughput:.1}"));
+    row("cached_solve_rps", format!("{cached_rps:.1}"));
+    row("cache_hit_rate", format!("{hit_rate:.4}"));
+    row("latency_p50_us", format!("{:.1}", summary.p50));
+    row("latency_p90_us", format!("{:.1}", summary.p90));
+    row("latency_p99_us", format!("{:.1}", summary.p99));
+    row("burst_rejected", burst.rejected.to_string());
+    row("identity_checked_chains", identical.to_string());
+    table.print();
+
+    let mut report = JsonReport::new("exp_serve_load");
+    report
+        .scalar("connections", conns as f64)
+        .scalar("workers", workers as f64)
+        .scalar("window", window as f64)
+        .scalar("queue_capacity", queue as f64)
+        .scalar("distinct_chains", distinct as f64)
+        .scalar("requests", answered as f64)
+        .scalar("elapsed_s", elapsed)
+        .scalar("throughput_rps", throughput)
+        .scalar("cached_solve_rps", cached_rps)
+        .scalar("cache_hit_rate", hit_rate)
+        .scalar("latency_p50_us", summary.p50)
+        .scalar("latency_p90_us", summary.p90)
+        .scalar("latency_p99_us", summary.p99)
+        .scalar("latency_max_us", summary.max)
+        .scalar("burst_rejected", burst.rejected as f64)
+        .scalar("bit_identical_chains", identical as f64)
+        .scalar("drain_received", snapshot.received as f64)
+        .scalar("drain_completed", snapshot.completed as f64)
+        .scalar("drain_rejected", snapshot.rejected as f64)
+        .text(
+            "drain_conserved",
+            if snapshot.conserved() {
+                "true"
+            } else {
+                "false"
+            },
+        )
+        .value("server_stats", server_stats);
+    report
+        .write("results/exp_serve_load.json")
+        .expect("write E23 json");
+    std::fs::write("results/exp_serve_load.txt", table.render()).expect("write E23 txt");
+    println!("wrote results/exp_serve_load.json");
+
+    if min_rps > 0.0 && cached_rps < min_rps && ft_fraction == 0.0 {
+        eprintln!("E23 FAILED: cached solve throughput {cached_rps:.0} < {min_rps:.0} req/s");
+        std::process::exit(1);
+    }
+}

@@ -91,6 +91,15 @@ impl Value {
         }
     }
 
+    /// The number as a signed integer (must be integral and within ±2^53,
+    /// the range where `f64` represents every integer exactly).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) if x.abs() <= 2f64.powi(53) && x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
     /// The string, if this is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -111,6 +120,14 @@ impl Value {
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object members in written order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
             _ => None,
         }
     }
@@ -438,5 +455,81 @@ mod tests {
     fn error_reports_offset() {
         let e = Value::parse("[1, x]").unwrap_err();
         assert_eq!(e.offset, 4);
+    }
+
+    #[test]
+    fn i64_accessor_guards_range_and_fraction() {
+        assert_eq!(Value::Number(-7.0).as_i64(), Some(-7));
+        assert_eq!(Value::Number(7.0).as_i64(), Some(7));
+        assert_eq!(Value::Number(7.5).as_i64(), None);
+        assert_eq!(Value::Number(2f64.powi(54)).as_i64(), None);
+        assert_eq!(Value::String("7".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn object_accessor_exposes_members_in_order() {
+        let v = Value::parse(r#"{"b":1,"a":2}"#).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(members[1].1.as_i64(), Some(2));
+        assert!(Value::Array(vec![]).as_object().is_none());
+    }
+
+    #[test]
+    fn nested_values_round_trip_parse_of_to_json() {
+        let cases = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Number(-0.125),
+            Value::Number(9007199254740992.0), // 2^53, boundary of exact i64 write
+            Value::String(String::new()),
+            Value::Array(vec![
+                Value::Object(vec![
+                    ("deep".into(), Value::Array(vec![Value::Null])),
+                    ("n".into(), Value::Number(1e-9)),
+                ]),
+                Value::String("π ≈ 3".into()),
+            ]),
+            Value::Object(vec![(
+                "outer".into(),
+                Value::Object(vec![(
+                    "inner".into(),
+                    Value::Array(vec![Value::Bool(true)]),
+                )]),
+            )]),
+        ];
+        for v in cases {
+            assert_eq!(Value::parse(&v.to_json()).unwrap(), v, "case {v:?}");
+        }
+    }
+
+    #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        // All of U+0000..U+001F must be escaped on write and re-parse to the
+        // same string (the named escapes \n \r \t and \uXXXX for the rest).
+        let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::String(s.clone());
+        let json = v.to_json();
+        for byte in json.as_bytes() {
+            assert!(*byte >= 0x20, "raw control byte {byte:#04x} in {json:?}");
+        }
+        assert_eq!(Value::parse(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse_to_code_points() {
+        assert_eq!(
+            Value::parse(r#""\u0041\u00e9\u2603""#).unwrap(),
+            Value::String("Aé☃".into())
+        );
+        // Lone surrogates degrade to U+FFFD rather than erroring.
+        assert_eq!(
+            Value::parse(r#""\ud800""#).unwrap(),
+            Value::String("\u{FFFD}".into())
+        );
+        assert!(Value::parse(r#""\u00g1""#).is_err());
+        assert!(Value::parse(r#""\u00""#).is_err());
     }
 }

@@ -48,7 +48,7 @@ pub mod sink;
 pub mod timeline;
 
 pub use clock::RunClock;
-pub use metrics::{percentile, Summary};
+pub use metrics::{percentile, Histogram, Summary};
 pub use record::{Field, FieldValue, Record, RecordKind};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
 pub use timeline::{PhaseSpan, PhaseTimeline, TimelineKind};

@@ -60,6 +60,90 @@ impl Summary {
     }
 }
 
+/// A mergeable sample histogram with exact nearest-rank percentiles.
+///
+/// Stores raw samples (8 bytes each), which keeps percentiles exact and
+/// [`merge`](Histogram::merge) trivially correct: merging is sample-set
+/// union, so `merge(a, b).percentile(q)` equals the percentile of the
+/// concatenated samples — no bucket-boundary error. The intended sharding
+/// pattern is one `Histogram` per worker thread, each recorded into only
+/// by its owner (no cross-thread locking on the record path), merged into
+/// a scratch histogram when a stats reader wants an aggregate view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.sorted = false;
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Absorb every sample of `other` (sample-set union; `other` is not
+    /// modified). The aggregation primitive for per-worker sharding.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.sorted = false;
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Exact nearest-rank percentile (`q` in `[0, 100]`; NaN when empty).
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        self.ensure_sorted();
+        percentile(&self.samples, q)
+    }
+
+    /// Compact summary of the recorded samples.
+    pub fn summary(&mut self) -> Summary {
+        self.ensure_sorted();
+        // `Summary::of` re-sorts a copy; feeding it the sorted sample keeps
+        // that sort O(n) in practice and the result identical.
+        Summary::of(&self.samples)
+    }
+
+    /// The raw samples, in recording order (unsorted accessor not needed;
+    /// exposed sorted for deterministic snapshots).
+    pub fn sorted_samples(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    /// Drop all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +180,64 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.n, 0);
         assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.percentile(50.0), 2.0);
+        assert_eq!(h.summary(), Summary::of(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn merged_percentiles_equal_percentiles_of_concatenation() {
+        // Per-worker shards merged for the stats endpoint must agree with
+        // one histogram that saw every sample.
+        let shards: Vec<Vec<f64>> = vec![
+            (1..=40).map(|i| i as f64).collect(),
+            (41..=90).rev().map(|i| i as f64).collect(),
+            vec![0.5, 90.5],
+            vec![],
+        ];
+        let mut merged = Histogram::new();
+        let mut all = Vec::new();
+        for shard_samples in &shards {
+            let mut shard = Histogram::new();
+            for &v in shard_samples {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+            all.extend_from_slice(shard_samples);
+        }
+        all.sort_by(f64::total_cmp);
+        assert_eq!(merged.len(), all.len());
+        for q in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(q), percentile(&all, q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_into_nonempty_after_percentile_query_stays_exact() {
+        // Interleave queries (which sort) with merges (which append) to
+        // check the lazy-sort flag is maintained.
+        let mut a = Histogram::new();
+        a.record(3.0);
+        a.record(1.0);
+        assert_eq!(a.percentile(100.0), 3.0);
+        let mut b = Histogram::new();
+        b.record(2.0);
+        b.record(0.0);
+        a.merge(&b);
+        assert_eq!(a.percentile(0.0), 0.0);
+        assert_eq!(a.percentile(50.0), 1.0);
+        assert_eq!(a.sorted_samples(), &[0.0, 1.0, 2.0, 3.0]);
+        a.clear();
+        assert!(a.is_empty());
+        assert!(a.percentile(50.0).is_nan());
     }
 }

@@ -1,0 +1,181 @@
+//! A sharded LRU cache from [`ChainKey`](crate::quant::ChainKey) to the
+//! serialized solve report.
+//!
+//! Shards are selected by key hash, so concurrent workers contend only
+//! when they race on the same shard (1-in-`shards` for distinct chains).
+//! Each shard is a small `HashMap` with a generation stamp per entry;
+//! eviction removes the least-recently-used entry with a linear scan —
+//! evictions happen only on misses into a full shard, where the scan cost
+//! is dwarfed by the solve the miss is about to perform.
+
+use crate::quant::ChainKey;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Shard {
+    entries: HashMap<ChainKey, (Arc<String>, u64)>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &ChainKey) -> Option<Arc<String>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(body, stamp)| {
+            *stamp = clock;
+            Arc::clone(body)
+        })
+    }
+
+    fn insert(&mut self, key: ChainKey, body: Arc<String>, capacity: usize) {
+        self.clock += 1;
+        if self.entries.len() >= capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (body, self.clock));
+    }
+}
+
+/// Sharded LRU solver cache. Values are the serialized report bodies, so a
+/// hit returns the exact bytes a cold solve produced.
+pub struct SolverCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolverCache {
+    /// A cache with `shards` shards of `capacity_per_shard` entries each.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0 && capacity_per_shard > 0);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &ChainKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `key`, computing and inserting the body on a miss. Returns
+    /// the body and whether it was a hit. `solve` runs outside the shard
+    /// lock; when two workers race on the same cold key both solve and the
+    /// later insert wins — harmless, since both bodies are identical by
+    /// canonicalization.
+    pub fn get_or_insert(
+        &self,
+        key: &ChainKey,
+        solve: impl FnOnce() -> String,
+    ) -> (Arc<String>, bool) {
+        if let Some(body) = self.shard_of(key).lock().unwrap().touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (body, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let body = Arc::new(solve());
+        self.shard_of(key).lock().unwrap().insert(
+            key.clone(),
+            Arc::clone(&body),
+            self.capacity_per_shard,
+        );
+        (body, false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ticks: Vec<i64>) -> ChainKey {
+        ChainKey {
+            m: ticks.len() / 2,
+            ticks,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let cache = SolverCache::new(4, 8);
+        let k = key(vec![1, 2, 3]);
+        let (cold, hit) = cache.get_or_insert(&k, || "body-1".to_string());
+        assert!(!hit);
+        let (warm, hit) = cache.get_or_insert(&k, || unreachable!("must not re-solve"));
+        assert!(hit);
+        assert_eq!(*cold, *warm);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // Single shard of capacity 2 makes eviction deterministic.
+        let cache = SolverCache::new(1, 2);
+        let (a, b, c) = (key(vec![1]), key(vec![2]), key(vec![3]));
+        cache.get_or_insert(&a, || "a".into());
+        cache.get_or_insert(&b, || "b".into());
+        cache.get_or_insert(&a, || unreachable!()); // a is now most recent
+        cache.get_or_insert(&c, || "c".into()); // evicts b
+        assert_eq!(cache.len(), 2);
+        let (_, hit_a) = cache.get_or_insert(&a, || "a2".into());
+        assert!(hit_a, "a survived the eviction");
+        let (_, hit_b) = cache.get_or_insert(&b, || "b2".into());
+        assert!(!hit_b, "b was evicted");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = SolverCache::new(8, 4);
+        for i in 0..64i64 {
+            let (body, hit) = cache.get_or_insert(&key(vec![i, i + 1]), || format!("v{i}"));
+            assert!(!hit);
+            assert_eq!(*body, format!("v{i}"));
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Request parsing and the per-endpoint handlers.
+//!
+//! The wire protocol is newline-delimited JSON, parsed with
+//! [`minijson::Value::parse`]. Every request is an object with an `"op"`
+//! and an optional integer `"id"` that is echoed verbatim in the response,
+//! so clients may pipeline requests and match completions out of order.
+//!
+//! Work ops (`solve`, `ft_run`) are executed by the worker pool; control
+//! ops (`health`, `stats`, `shutdown`) are answered inline by the
+//! connection thread so they keep working while the queue is saturated.
+//!
+//! Solve reports are **canonical-deterministic**: the handler solves the
+//! quantized chain ([`crate::quant`]), so the serialized body is a pure
+//! function of the cache key and a cache hit returns bytes identical to
+//! the cold solve it replaced.
+
+use crate::quant::{self, CanonicalChain};
+use crate::stats::Endpoint;
+use mechanism::{Agent, DlsLbl};
+use minijson::Value;
+use protocol::ft_runner;
+use protocol::{FaultPlan, Scenario};
+
+/// A parsed work request, ready for a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkRequest {
+    /// Cached DLS-LBL solve + payments on a canonical chain.
+    Solve(CanonicalChain),
+    /// Fault-injected protocol run.
+    FtRun {
+        /// Root rate `w_0`.
+        root_rate: f64,
+        /// True rates `t_1 … t_m`.
+        rates: Vec<f64>,
+        /// Link rates `z_1 … z_m`.
+        links: Vec<f64>,
+        /// Scenario RNG seed.
+        seed: u64,
+        /// Optional single crash `(node, phase, progress)`.
+        crash: Option<(usize, u8, f64)>,
+    },
+}
+
+impl WorkRequest {
+    /// Which metering endpoint this request belongs to.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            WorkRequest::Solve(_) => Endpoint::Solve,
+            WorkRequest::FtRun { .. } => Endpoint::FtRun,
+        }
+    }
+}
+
+/// What a request line asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Dispatch to the worker pool.
+    Work(WorkRequest),
+    /// Liveness probe (inline).
+    Health,
+    /// Counters + latency histograms (inline).
+    Stats,
+    /// Begin graceful drain (inline).
+    Shutdown,
+}
+
+/// A parsed request envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<i64>,
+    /// Per-request deadline override (milliseconds in queue + service).
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub kind: RequestKind,
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn vec_field(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array field {key:?}"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("non-numeric entry in {key:?}"))
+        })
+        .collect()
+}
+
+/// Parse one request line. `quantum` is the solver-cache quantization step.
+pub fn parse_request(line: &str, quantum: f64) -> Result<Request, String> {
+    let v = Value::parse(line).map_err(|e| e.to_string())?;
+    let id = v.get("id").and_then(Value::as_i64);
+    let deadline_ms = v.get("deadline_ms").and_then(Value::as_u64);
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"op\"".to_string())?;
+    let kind = match op {
+        "health" => RequestKind::Health,
+        "stats" => RequestKind::Stats,
+        "shutdown" => RequestKind::Shutdown,
+        "solve" => {
+            let root = f64_field(&v, "root_rate")?;
+            let links = vec_field(&v, "links")?;
+            let bids = vec_field(&v, "bids")?;
+            let chain = quant::canonicalize(root, &links, &bids, quantum)
+                .ok_or_else(|| "invalid chain: rates must be finite, positive, representable, with links.len() == bids.len() >= 1".to_string())?;
+            RequestKind::Work(WorkRequest::Solve(chain))
+        }
+        "ft_run" => {
+            let root_rate = f64_field(&v, "root_rate")?;
+            let rates = vec_field(&v, "rates")?;
+            let links = vec_field(&v, "links")?;
+            let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
+            let crash = match v.get("crash") {
+                None | Some(Value::Null) => None,
+                Some(c) => {
+                    let node = c
+                        .get("node")
+                        .and_then(Value::as_u64)
+                        .ok_or("crash.node must be a positive integer")?
+                        as usize;
+                    let phase = c
+                        .get("phase")
+                        .and_then(Value::as_u64)
+                        .ok_or("crash.phase must be 1..=4")? as u8;
+                    let progress = c.get("progress").and_then(Value::as_f64).unwrap_or(0.5);
+                    Some((node, phase, progress))
+                }
+            };
+            RequestKind::Work(WorkRequest::FtRun {
+                root_rate,
+                rates,
+                links,
+                seed,
+                crash,
+            })
+        }
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request {
+        id,
+        deadline_ms,
+        kind,
+    })
+}
+
+fn numbers(xs: impl IntoIterator<Item = f64>) -> Value {
+    Value::Array(xs.into_iter().map(Value::Number).collect())
+}
+
+/// Solve + settle the canonical chain and serialize the report. A pure
+/// function of the canonical chain — the solver-cache value.
+pub fn solve_body(chain: &CanonicalChain) -> String {
+    let _span = obs::span!("svc.solve", "m" => chain.key.m);
+    let mech = DlsLbl::new(chain.root_rate, chain.link_rates.clone());
+    let agents: Vec<Agent> = chain.bids.iter().map(|&b| Agent::new(b)).collect();
+    let outcome = mech.settle_truthful(&agents);
+    let mut alloc = vec![outcome.root_load];
+    alloc.extend(outcome.agents.iter().map(|a| a.assigned_load));
+    Value::Object(vec![
+        ("m".into(), Value::Number(chain.key.m as f64)),
+        (
+            "makespan".into(),
+            Value::Number(outcome.solution.makespan()),
+        ),
+        ("alloc".into(), numbers(alloc)),
+        (
+            "payments".into(),
+            numbers(outcome.agents.iter().map(|a| a.breakdown.payment)),
+        ),
+        (
+            "utilities".into(),
+            numbers(outcome.agents.iter().map(|a| a.breakdown.utility)),
+        ),
+        (
+            "total_payment".into(),
+            Value::Number(outcome.total_payment()),
+        ),
+    ])
+    .to_json()
+}
+
+/// Run a (possibly fault-injected) protocol execution and serialize the
+/// report.
+pub fn ft_body(
+    root_rate: f64,
+    rates: &[f64],
+    links: &[f64],
+    seed: u64,
+    crash: Option<(usize, u8, f64)>,
+) -> Result<String, String> {
+    let _span = obs::span!("svc.ft_run", "m" => rates.len());
+    if rates.len() != links.len() || rates.is_empty() {
+        return Err("rates and links must be equal-length and non-empty".into());
+    }
+    let scenario = Scenario::honest(root_rate, rates.to_vec(), links.to_vec()).with_seed(seed);
+    scenario.validate().map_err(|e| format!("{e:?}"))?;
+    let plan = match crash {
+        Some((node, phase, progress)) => FaultPlan::crash(node, phase, progress),
+        None => FaultPlan::none(),
+    };
+    plan.validate(rates.len()).map_err(|e| format!("{e:?}"))?;
+    let report = ft_runner::run_with_faults(&scenario, &plan).map_err(|e| format!("{e:?}"))?;
+    Ok(Value::Object(vec![
+        ("m".into(), Value::Number(rates.len() as f64)),
+        ("makespan".into(), Value::Number(report.makespan)),
+        ("base_makespan".into(), Value::Number(report.base_makespan)),
+        ("overhead".into(), Value::Number(report.overhead())),
+        (
+            "load_conserved".into(),
+            Value::Bool(report.load_conserved(1e-9)),
+        ),
+        (
+            "crashed".into(),
+            numbers(report.crashed.iter().map(|&n| n as f64)),
+        ),
+        (
+            "utilities".into(),
+            numbers(report.net_utilities.iter().copied()),
+        ),
+    ])
+    .to_json())
+}
+
+fn id_prefix(id: Option<i64>) -> String {
+    match id {
+        Some(id) => format!("{{\"id\":{id},"),
+        None => "{".to_string(),
+    }
+}
+
+/// An `ok` response around a serialized result body.
+pub fn ok_response(id: Option<i64>, cached: Option<bool>, body: &str) -> String {
+    let cached = match cached {
+        Some(true) => "\"cached\":true,",
+        Some(false) => "\"cached\":false,",
+        None => "",
+    };
+    format!(
+        "{}\"status\":\"ok\",{}\"result\":{}}}",
+        id_prefix(id),
+        cached,
+        body
+    )
+}
+
+/// An `error` response (malformed request or failed execution).
+pub fn error_response(id: Option<i64>, message: &str) -> String {
+    format!(
+        "{}\"status\":\"error\",\"error\":{}}}",
+        id_prefix(id),
+        Value::String(message.to_string()).to_json()
+    )
+}
+
+/// A backpressure rejection with a retry hint.
+pub fn rejected_response(id: Option<i64>, retry_after_ms: u64, draining: bool) -> String {
+    format!(
+        "{}\"status\":\"rejected\",\"reason\":\"{}\",\"retry_after_ms\":{}}}",
+        id_prefix(id),
+        if draining { "draining" } else { "backpressure" },
+        retry_after_ms
+    )
+}
+
+/// A deadline-exceeded response.
+pub fn timeout_response(id: Option<i64>, deadline_ms: u64) -> String {
+    format!(
+        "{}\"status\":\"timeout\",\"deadline_ms\":{}}}",
+        id_prefix(id),
+        deadline_ms
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_request() {
+        let r = parse_request(
+            r#"{"op":"solve","id":7,"root_rate":1.0,"links":[0.2,0.1],"bids":[2.0,0.5]}"#,
+            1e-9,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(7));
+        match r.kind {
+            RequestKind::Work(WorkRequest::Solve(chain)) => {
+                assert_eq!(chain.key.m, 2);
+                assert_eq!(chain.bids, vec![2.0, 0.5]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_ops_and_rejects_unknown() {
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#, 1e-9).unwrap().kind,
+            RequestKind::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown","id":-3}"#, 1e-9)
+                .unwrap()
+                .id,
+            Some(-3)
+        );
+        assert!(parse_request(r#"{"op":"mine_bitcoin"}"#, 1e-9).is_err());
+        assert!(parse_request("not json", 1e-9).is_err());
+        assert!(parse_request(r#"{"id":1}"#, 1e-9).is_err());
+    }
+
+    #[test]
+    fn solve_body_is_deterministic_and_parses() {
+        let chain = quant::canonicalize(1.0, &[0.2, 0.1, 0.7], &[2.0, 0.5, 4.0], 1e-9).unwrap();
+        let a = solve_body(&chain);
+        let b = solve_body(&chain);
+        assert_eq!(a, b);
+        let v = Value::parse(&a).unwrap();
+        assert_eq!(v.get("m").unwrap().as_u64(), Some(3));
+        let alloc = v.get("alloc").unwrap().as_array().unwrap();
+        assert_eq!(alloc.len(), 4);
+        let total: f64 = alloc.iter().map(|x| x.as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ft_body_reports_a_crash_run() {
+        let body = ft_body(
+            1.0,
+            &[2.0, 0.5, 4.0],
+            &[0.2, 0.1, 0.7],
+            42,
+            Some((2, 3, 0.5)),
+        )
+        .unwrap();
+        let v = Value::parse(&body).unwrap();
+        assert_eq!(v.get("load_conserved").unwrap().as_bool(), Some(true));
+        let crashed = v.get("crashed").unwrap().as_array().unwrap();
+        assert_eq!(crashed[0].as_u64(), Some(2));
+        assert!(v.get("overhead").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ft_body_rejects_bad_plans() {
+        assert!(ft_body(1.0, &[], &[], 0, None).is_err());
+        assert!(ft_body(1.0, &[2.0], &[0.2], 0, Some((5, 3, 0.5))).is_err());
+    }
+
+    #[test]
+    fn response_envelopes_are_valid_json() {
+        for s in [
+            ok_response(Some(3), Some(true), r#"{"x":1}"#),
+            ok_response(None, None, "{}"),
+            error_response(Some(-1), "bad \"thing\""),
+            rejected_response(None, 25, false),
+            rejected_response(Some(9), 100, true),
+            timeout_response(Some(2), 250),
+        ] {
+            let v = Value::parse(&s).unwrap_or_else(|e| panic!("invalid envelope {s}: {e}"));
+            assert!(v.get("status").is_some());
+        }
+        let v = Value::parse(&ok_response(Some(3), Some(true), r#"{"x":1}"#)).unwrap();
+        assert_eq!(v.get("id").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("result").unwrap().get("x").unwrap().as_i64(), Some(1));
+    }
+}

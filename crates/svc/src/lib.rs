@@ -1,0 +1,43 @@
+//! # `svc` — the online DLS-LBL scheduling service
+//!
+//! Every other entry point in this workspace is a batch experiment; `svc`
+//! is the serving substrate the ROADMAP's north star asks for: a
+//! zero-dependency (std-only, like `minijson` and `obs`) TCP server that
+//! accepts scheduling requests online, runs the DLS-LBL mechanism, and
+//! returns allocations and payments.
+//!
+//! Wire protocol: newline-delimited JSON over TCP. Ops:
+//!
+//! | op         | handled by        | response |
+//! |------------|-------------------|----------|
+//! | `solve`    | worker pool, cached | allocation, payments, utilities, makespan |
+//! | `ft_run`   | worker pool       | fault-injected run report (`protocol::ft_runner`) |
+//! | `health`   | inline            | state, uptime, queue depth |
+//! | `stats`    | inline            | counters, cache stats, per-endpoint latency percentiles |
+//! | `shutdown` | inline            | `draining`; begins the graceful drain |
+//!
+//! The pieces: [`quant`] canonicalizes requests to quantized chains (the
+//! cache identity), [`cache`] is the sharded LRU solver cache, [`queue`]
+//! the bounded admission queue, [`pool`] the workers, [`handlers`] the
+//! parse/execute layer, [`server`] the TCP front end with graceful drain,
+//! [`client`] a blocking client. `bin/dls-serve` is the binary;
+//! `bench/src/bin/dls-bench-serve` drives it closed-loop (experiment E23).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod handlers;
+pub mod pool;
+pub mod quant;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::SolverCache;
+pub use client::Client;
+pub use quant::{canonicalize, CanonicalChain, ChainKey, DEFAULT_QUANTUM};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::{Endpoint, StatsRegistry, StatsSnapshot};

@@ -1,0 +1,221 @@
+//! The fixed-size worker pool: threads popping jobs off the bounded queue,
+//! executing handlers, and replying through each connection's writer
+//! channel.
+
+use crate::cache::SolverCache;
+use crate::handlers::{self, WorkRequest};
+use crate::queue::BoundedQueue;
+use crate::stats::StatsRegistry;
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared state every worker and connection thread sees.
+pub struct ServiceCtx {
+    /// Solver cache (shared across workers).
+    pub cache: SolverCache,
+    /// Counters and latency shards.
+    pub stats: StatsRegistry,
+    /// True once a drain began: stop admitting, finish in-flight.
+    pub draining: AtomicBool,
+    /// Deadline applied when a request carries none.
+    pub default_deadline: Duration,
+    /// Retry hint handed out with backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Solver-cache quantization step.
+    pub quantum: f64,
+    /// When the server installed a [`obs::MemorySink`], the stats endpoint
+    /// mirrors its counter totals.
+    pub obs_memory: Option<Arc<obs::MemorySink>>,
+}
+
+/// One unit of work: a parsed request plus its reply channel.
+pub struct Job {
+    /// The work to perform.
+    pub request: WorkRequest,
+    /// Correlation id to echo.
+    pub id: Option<i64>,
+    /// Deadline measured from `enqueued`.
+    pub deadline: Duration,
+    /// Admission instant.
+    pub enqueued: Instant,
+    /// The owning connection's writer channel.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// Execute one job to its response string, updating stats. Split from the
+/// thread loop so tests can drive it synchronously.
+pub fn execute(worker: usize, ctx: &ServiceCtx, job: &Job) -> String {
+    let endpoint = job.request.endpoint();
+    if job.enqueued.elapsed() > job.deadline {
+        ctx.stats.on_timeout();
+        ctx.stats.on_completed(false);
+        obs::count!("svc.timeout");
+        return handlers::timeout_response(job.id, job.deadline.as_millis() as u64);
+    }
+    obs::count!("svc.requests");
+    let response = match &job.request {
+        WorkRequest::Solve(chain) => {
+            let (body, hit) = ctx
+                .cache
+                .get_or_insert(&chain.key, || handlers::solve_body(chain));
+            if hit {
+                obs::count!("svc.cache.hit");
+            } else {
+                obs::count!("svc.cache.miss");
+            }
+            ctx.stats.on_completed(false);
+            handlers::ok_response(job.id, Some(hit), &body)
+        }
+        WorkRequest::FtRun {
+            root_rate,
+            rates,
+            links,
+            seed,
+            crash,
+        } => match handlers::ft_body(*root_rate, rates, links, *seed, *crash) {
+            Ok(body) => {
+                ctx.stats.on_completed(false);
+                handlers::ok_response(job.id, None, &body)
+            }
+            Err(msg) => {
+                ctx.stats.on_completed(true);
+                handlers::error_response(job.id, &msg)
+            }
+        },
+    };
+    let micros = job.enqueued.elapsed().as_secs_f64() * 1e6;
+    ctx.stats.record_latency(worker, endpoint, micros);
+    obs::hist!("svc.latency_us", micros);
+    response
+}
+
+/// The running pool; join after the queue closes to finish the drain.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `n` workers consuming from `queue`.
+    pub fn spawn(n: usize, queue: Arc<BoundedQueue<Job>>, ctx: Arc<ServiceCtx>) -> Self {
+        let handles = (0..n.max(1))
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("dls-worker-{worker}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let response = execute(worker, &ctx, &job);
+                            // A send failure means the connection is gone;
+                            // the request still counts as completed.
+                            let _ = job.reply.send(response);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Wait for every worker to finish (the queue must be closed first or
+    /// this blocks forever).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Pools always hold at least one worker.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant;
+    use crate::stats::StatsSnapshot;
+
+    fn ctx() -> ServiceCtx {
+        ServiceCtx {
+            cache: SolverCache::new(4, 64),
+            stats: StatsRegistry::new(2),
+            draining: AtomicBool::new(false),
+            default_deadline: Duration::from_secs(5),
+            retry_after_ms: 25,
+            quantum: quant::DEFAULT_QUANTUM,
+            obs_memory: None,
+        }
+    }
+
+    fn solve_job(reply: mpsc::Sender<String>, deadline: Duration) -> Job {
+        let chain = quant::canonicalize(1.0, &[0.2, 0.1], &[2.0, 0.5], 1e-9).unwrap();
+        Job {
+            request: WorkRequest::Solve(chain),
+            id: Some(1),
+            deadline,
+            enqueued: Instant::now(),
+            reply,
+        }
+    }
+
+    #[test]
+    fn execute_solve_hits_cache_second_time() {
+        let ctx = ctx();
+        let (tx, _rx) = mpsc::channel();
+        let cold = execute(0, &ctx, &solve_job(tx.clone(), Duration::from_secs(5)));
+        let warm = execute(1, &ctx, &solve_job(tx, Duration::from_secs(5)));
+        assert!(cold.contains("\"cached\":false"));
+        assert!(warm.contains("\"cached\":true"));
+        let strip = |s: &str| {
+            s.replace("\"cached\":true", "")
+                .replace("\"cached\":false", "")
+        };
+        assert_eq!(strip(&cold), strip(&warm), "hit must be bit-identical");
+        assert_eq!(ctx.cache.hits(), 1);
+        assert_eq!(ctx.stats.snapshot().completed, 2);
+    }
+
+    #[test]
+    fn expired_deadline_yields_timeout() {
+        let ctx = ctx();
+        let (tx, _rx) = mpsc::channel();
+        let job = solve_job(tx, Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let resp = execute(0, &ctx, &job);
+        assert!(resp.contains("\"status\":\"timeout\""));
+        let s: StatsSnapshot = ctx.stats.snapshot();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn pool_drains_queue_then_exits() {
+        let ctx = Arc::new(ctx());
+        let queue = Arc::new(BoundedQueue::new(32));
+        let pool = WorkerPool::spawn(3, Arc::clone(&queue), Arc::clone(&ctx));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..10 {
+            queue
+                .try_push(solve_job(tx.clone(), Duration::from_secs(5)))
+                .map_err(|_| ())
+                .unwrap();
+        }
+        drop(tx);
+        queue.close();
+        pool.join();
+        let replies: Vec<String> = rx.iter().collect();
+        assert_eq!(replies.len(), 10);
+        assert_eq!(ctx.stats.snapshot().completed, 10);
+        assert_eq!(ctx.cache.misses(), 1);
+        assert_eq!(ctx.cache.hits(), 9);
+    }
+}

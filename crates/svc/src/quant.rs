@@ -1,0 +1,131 @@
+//! Canonical quantized chain keys — the solver cache's notion of request
+//! identity.
+//!
+//! Two solve requests should share a cache entry exactly when they describe
+//! the same chain *after quantization*. The key is the vector of integer
+//! ticks `round(rate / quantum)` over `(w_0, z_1…z_m, b_1…b_m)`; the
+//! canonical rates handed to the solver are those ticks scaled back by the
+//! quantum. Because the solver only ever sees canonical rates, a cache hit
+//! is **bit-identical** to a cold solve by construction: the cached bytes
+//! are a pure function of the key, and every request mapping to the key
+//! would have produced the same bytes.
+//!
+//! Aliasing bound: requests that land on the same key differ per rate by
+//! less than one quantum (ticks are rounds, so by at most `quantum / 2`
+//! from the canonical rate). With the default quantum `1e-9` and the
+//! workload rate ranges (`w, z ∈ [0.01, 10]`), the optimal allocation is
+//! Lipschitz with a modest constant, so aliased chains have optimal
+//! allocations within a few `1e-8` of each other — far below the `1e-6`
+//! tolerance the service advertises (property-tested in
+//! `tests/cache_props.rs`).
+
+/// Default quantization step for rates (unit processing / link times).
+pub const DEFAULT_QUANTUM: f64 = 1e-9;
+
+/// A canonical, hashable identity for a solve request: the chain length
+/// plus the quantized ticks of every rate in a fixed order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChainKey {
+    /// Number of strategic processors `m`.
+    pub m: usize,
+    /// Ticks of `(w_0, z_1 … z_m, b_1 … b_m)`, in that order.
+    pub ticks: Vec<i64>,
+}
+
+/// A solve request after canonicalization: the key and the exact rates the
+/// solver must use (ticks × quantum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalChain {
+    /// Cache identity.
+    pub key: ChainKey,
+    /// Canonical root rate `w_0`.
+    pub root_rate: f64,
+    /// Canonical link rates `z_1 … z_m`.
+    pub link_rates: Vec<f64>,
+    /// Canonical bids `b_1 … b_m`.
+    pub bids: Vec<f64>,
+}
+
+/// Quantize one rate to its tick count. Rates are validated upstream to be
+/// finite, positive and far below `i64` overflow at any sane quantum.
+#[inline]
+pub fn tick(rate: f64, quantum: f64) -> i64 {
+    (rate / quantum).round() as i64
+}
+
+/// Canonicalize a solve request. Returns `None` when any rate is
+/// non-finite, non-positive, or quantizes to zero ticks (a rate smaller
+/// than half a quantum cannot be represented and would alias with 0).
+pub fn canonicalize(
+    root_rate: f64,
+    link_rates: &[f64],
+    bids: &[f64],
+    quantum: f64,
+) -> Option<CanonicalChain> {
+    if link_rates.len() != bids.len() || bids.is_empty() {
+        return None;
+    }
+    let m = bids.len();
+    let mut ticks = Vec::with_capacity(1 + 2 * m);
+    let mut quantized = |r: f64| -> Option<f64> {
+        if !r.is_finite() || r <= 0.0 || r > 1e12 {
+            return None;
+        }
+        let t = tick(r, quantum);
+        if t <= 0 {
+            return None;
+        }
+        ticks.push(t);
+        Some(t as f64 * quantum)
+    };
+    let root = quantized(root_rate)?;
+    let links: Vec<f64> = link_rates
+        .iter()
+        .map(|&z| quantized(z))
+        .collect::<Option<_>>()?;
+    let bid_rates: Vec<f64> = bids.iter().map(|&b| quantized(b)).collect::<Option<_>>()?;
+    Some(CanonicalChain {
+        key: ChainKey { m, ticks },
+        root_rate: root,
+        link_rates: links,
+        bids: bid_rates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_for_sub_quantum_perturbations() {
+        let a = canonicalize(1.0, &[0.2, 0.3], &[2.0, 0.5], 1e-9).unwrap();
+        let b = canonicalize(1.0 + 2e-10, &[0.2 - 3e-10, 0.3], &[2.0, 0.5 + 1e-10], 1e-9).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.root_rate, b.root_rate);
+        assert_eq!(a.bids, b.bids);
+    }
+
+    #[test]
+    fn different_key_beyond_one_quantum() {
+        let a = canonicalize(1.0, &[0.2], &[2.0], 1e-9).unwrap();
+        let b = canonicalize(1.0, &[0.2], &[2.0 + 2e-9], 1e-9).unwrap();
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn rejects_degenerate_rates() {
+        assert!(canonicalize(0.0, &[0.2], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[f64::NAN], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[0.2], &[-1.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[0.2], &[1e-12], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[0.2, 0.3], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[], &[], 1e-9).is_none());
+    }
+
+    #[test]
+    fn canonical_rates_are_tick_multiples() {
+        let c = canonicalize(1.2345678901, &[0.2], &[2.0], 1e-6).unwrap();
+        assert_eq!(c.key.ticks[0], 1234568);
+        assert_eq!(c.root_rate, 1234568.0 * 1e-6);
+    }
+}

@@ -1,0 +1,189 @@
+//! A bounded MPMC job queue with non-blocking admission.
+//!
+//! Producers (connection threads) never block: [`BoundedQueue::try_push`]
+//! fails immediately when the queue is at capacity or closed, which is
+//! what lets the server answer "rejected, retry later" instead of letting
+//! a traffic spike grow an unbounded backlog. Consumers (workers) block in
+//! [`BoundedQueue::pop`] until a job arrives or the queue is closed *and*
+//! drained — closing stops admission but lets in-flight jobs finish, which
+//! is exactly the graceful-drain contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (backpressure — retry later).
+    Full,
+    /// The queue is closed (server draining — do not retry here).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admit a job, or refuse without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Take the next job, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    /// Stop admission. Pending jobs remain poppable; blocked consumers are
+    /// woken (and exit once the backlog drains).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently pending.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no job is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn rejects_when_full_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_releases_consumers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err((12, PushError::Closed)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut accepted = 0u32;
+                    for i in 0..100u32 {
+                        if q.try_push(p * 1000 + i).is_ok() {
+                            accepted += 1;
+                        }
+                        if i % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: u32 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let consumed: u32 = consumers
+            .into_iter()
+            .map(|h| h.join().unwrap().len() as u32)
+            .sum();
+        assert_eq!(accepted, consumed, "every admitted job is consumed");
+    }
+}

@@ -1,0 +1,426 @@
+//! The TCP server: accept loop, per-connection reader/writer threads,
+//! dispatch into the worker pool, and graceful drain.
+//!
+//! ### Threading model
+//! One accept thread; per connection, one reader thread (frames NDJSON
+//! lines, answers control ops inline, admits work ops to the bounded
+//! queue) and one writer thread (serializes responses from an `mpsc`
+//! channel, so workers never block on a slow client socket); a fixed pool
+//! of worker threads executing [`crate::handlers`]. Responses carry the
+//! request's `id`, so pipelined completions may arrive out of order.
+//!
+//! ### Backpressure
+//! Admission is non-blocking: when the queue is full the reader answers
+//! `status = "rejected"` with a `retry_after_ms` hint instead of queueing
+//! unboundedly. Every framed request is answered exactly once, so after a
+//! drain `received == completed + rejected` — checked by the E23 harness
+//! and the integration tests.
+//!
+//! ### Graceful drain
+//! A `shutdown` op (or [`ServerHandle::shutdown`]) stops the accept loop,
+//! closes admission (late work ops are rejected as `"draining"`), lets
+//! workers finish the backlog, flushes the `obs` sink, and leaves the
+//! final counter snapshot to [`ServerHandle::join`].
+
+use crate::cache::SolverCache;
+use crate::handlers::{self, Request, RequestKind};
+use crate::pool::{Job, ServiceCtx, WorkerPool};
+use crate::quant;
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{Endpoint, StatsRegistry};
+use minijson::Value;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing solve / ft_run jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (admission control threshold).
+    pub queue_capacity: usize,
+    /// Solver-cache shard count.
+    pub cache_shards: usize,
+    /// Entries per cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Rate quantization step for cache keys.
+    pub quantum: f64,
+    /// Default per-request deadline (queue wait + service), milliseconds.
+    pub default_deadline_ms: u64,
+    /// Retry hint returned with backpressure rejections, milliseconds.
+    pub retry_after_ms: u64,
+    /// Mirror obs counters from this memory sink in the stats endpoint
+    /// (the server does not install it; the binary decides).
+    pub obs_memory: Option<Arc<obs::MemorySink>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 1024,
+            cache_shards: 16,
+            cache_capacity_per_shard: 512,
+            quantum: quant::DEFAULT_QUANTUM,
+            default_deadline_ms: 2_000,
+            retry_after_ms: 25,
+            obs_memory: None,
+        }
+    }
+}
+
+struct Shared {
+    ctx: Arc<ServiceCtx>,
+    queue: Arc<BoundedQueue<Job>>,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+impl Shared {
+    /// Idempotently begin the drain: stop admission and unblock accept.
+    fn begin_drain(&self) {
+        if !self.ctx.draining.swap(true, Ordering::SeqCst) {
+            obs::event!("svc.drain.begin");
+            self.queue.close();
+            // Poke the accept loop out of its blocking accept.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn health_body(&self) -> String {
+        let state = if self.ctx.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "serving"
+        };
+        Value::Object(vec![
+            ("state".into(), Value::String(state.into())),
+            (
+                "uptime_s".into(),
+                Value::Number(self.ctx.stats.uptime_secs()),
+            ),
+            ("workers".into(), Value::Number(self.workers as f64)),
+            ("queue_depth".into(), Value::Number(self.queue.len() as f64)),
+            (
+                "queue_capacity".into(),
+                Value::Number(self.queue.capacity() as f64),
+            ),
+        ])
+        .to_json()
+    }
+
+    fn stats_body(&self) -> String {
+        let s = self.ctx.stats.snapshot();
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let summary = self.ctx.stats.merged_latency(e).summary();
+                let nan_safe = |x: f64| if x.is_finite() { x } else { 0.0 };
+                (
+                    e.name().to_string(),
+                    Value::Object(vec![
+                        ("count".into(), Value::Number(summary.n as f64)),
+                        ("p50_us".into(), Value::Number(nan_safe(summary.p50))),
+                        ("p90_us".into(), Value::Number(nan_safe(summary.p90))),
+                        ("p99_us".into(), Value::Number(nan_safe(summary.p99))),
+                        ("max_us".into(), Value::Number(nan_safe(summary.max))),
+                        ("mean_us".into(), Value::Number(nan_safe(summary.mean))),
+                    ]),
+                )
+            })
+            .collect();
+        let mut fields = vec![
+            (
+                "uptime_s".into(),
+                Value::Number(self.ctx.stats.uptime_secs()),
+            ),
+            ("received".into(), Value::Number(s.received as f64)),
+            ("completed".into(), Value::Number(s.completed as f64)),
+            ("rejected".into(), Value::Number(s.rejected as f64)),
+            ("timeouts".into(), Value::Number(s.timeouts as f64)),
+            ("errors".into(), Value::Number(s.errors as f64)),
+            (
+                "cache".into(),
+                Value::Object(vec![
+                    ("hits".into(), Value::Number(self.ctx.cache.hits() as f64)),
+                    (
+                        "misses".into(),
+                        Value::Number(self.ctx.cache.misses() as f64),
+                    ),
+                    ("entries".into(), Value::Number(self.ctx.cache.len() as f64)),
+                ]),
+            ),
+            ("endpoints".into(), Value::Object(endpoints)),
+        ];
+        if let Some(sink) = &self.ctx.obs_memory {
+            fields.push((
+                "obs".into(),
+                Value::Object(vec![
+                    (
+                        "requests".into(),
+                        Value::Number(sink.counter_total("svc.requests")),
+                    ),
+                    (
+                        "cache_hits".into(),
+                        Value::Number(sink.counter_total("svc.cache.hit")),
+                    ),
+                    ("records".into(), Value::Number(sink.len() as f64)),
+                ]),
+            ));
+        }
+        Value::Object(fields).to_json()
+    }
+}
+
+/// Handle one framed request line; sends any inline response over `tx`.
+fn handle_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
+    let _span = obs::span!("svc.request");
+    shared.ctx.stats.on_received();
+    let Request {
+        id,
+        deadline_ms,
+        kind,
+    } = match handlers::parse_request(line, shared.ctx.quantum) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.ctx.stats.on_completed(true);
+            let _ = tx.send(handlers::error_response(None, &msg));
+            return;
+        }
+    };
+    match kind {
+        RequestKind::Health => {
+            shared.ctx.stats.on_completed(false);
+            let _ = tx.send(handlers::ok_response(id, None, &shared.health_body()));
+        }
+        RequestKind::Stats => {
+            shared.ctx.stats.on_completed(false);
+            let _ = tx.send(handlers::ok_response(id, None, &shared.stats_body()));
+        }
+        RequestKind::Shutdown => {
+            shared.ctx.stats.on_completed(false);
+            let _ = tx.send(handlers::ok_response(id, None, "{\"state\":\"draining\"}"));
+            shared.begin_drain();
+        }
+        RequestKind::Work(request) => {
+            if shared.ctx.draining.load(Ordering::SeqCst) {
+                shared.ctx.stats.on_rejected();
+                let _ = tx.send(handlers::rejected_response(
+                    id,
+                    shared.ctx.retry_after_ms,
+                    true,
+                ));
+                return;
+            }
+            let deadline = Duration::from_millis(
+                deadline_ms.unwrap_or(shared.ctx.default_deadline.as_millis() as u64),
+            );
+            let job = Job {
+                request,
+                id,
+                deadline,
+                enqueued: Instant::now(),
+                reply: tx.clone(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => {}
+                Err((job, PushError::Full)) => {
+                    shared.ctx.stats.on_rejected();
+                    obs::count!("svc.rejected.backpressure");
+                    let _ = tx.send(handlers::rejected_response(
+                        job.id,
+                        shared.ctx.retry_after_ms,
+                        false,
+                    ));
+                }
+                Err((job, PushError::Closed)) => {
+                    shared.ctx.stats.on_rejected();
+                    let _ = tx.send(handlers::rejected_response(
+                        job.id,
+                        shared.ctx.retry_after_ms,
+                        true,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Reader loop for one connection. Returns when the client disconnects or
+/// the server drains.
+fn reader_loop(shared: &Shared, stream: TcpStream, tx: mpsc::Sender<String>) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets idle connections notice the drain.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(shared, trimmed, &tx);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial bytes (if any) stay in `line`; keep reading
+                // unless the server is draining.
+                if shared.ctx.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Writer loop: serialize responses onto the socket, batching flushes.
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<String>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(response) = rx.recv() {
+        if w.write_all(response.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        // Batch whatever else is already queued before paying the flush.
+        while let Ok(more) = rx.try_recv() {
+            if w.write_all(more.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// A running server; keep it to [`shutdown`](ServerHandle::shutdown) and
+/// [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared counters (live view).
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.shared.ctx.stats
+    }
+
+    /// Programmatic drain trigger (same as a client `shutdown` op).
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Wait for the drain to finish: accept loop, connections, backlog,
+    /// sink flush. Returns the final counter snapshot. A drain must have
+    /// been initiated (`shutdown` op or [`ServerHandle::shutdown`]).
+    pub fn join(mut self) -> crate::stats::StatsSnapshot {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Readers exit on drain; no admission can happen after this point.
+        for h in std::mem::take(&mut *self.readers.lock().unwrap()) {
+            let _ = h.join();
+        }
+        // Workers exit once the closed queue is empty.
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        // Writers exit once every job's reply sender is gone.
+        for h in std::mem::take(&mut *self.writers.lock().unwrap()) {
+            let _ = h.join();
+        }
+        obs::flush();
+        obs::event!("svc.drain.done");
+        self.shared.ctx.stats.snapshot()
+    }
+}
+
+/// Bind and start serving. Returns once the listener is accepting.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let ctx = Arc::new(ServiceCtx {
+        cache: SolverCache::new(config.cache_shards, config.cache_capacity_per_shard),
+        stats: StatsRegistry::new(config.workers),
+        draining: AtomicBool::new(false),
+        default_deadline: Duration::from_millis(config.default_deadline_ms),
+        retry_after_ms: config.retry_after_ms,
+        quantum: config.quantum,
+        obs_memory: config.obs_memory.clone(),
+    });
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let pool = WorkerPool::spawn(config.workers, Arc::clone(&queue), Arc::clone(&ctx));
+    let shared = Arc::new(Shared {
+        ctx,
+        queue,
+        addr,
+        workers: config.workers,
+    });
+    let readers = Arc::new(Mutex::new(Vec::new()));
+    let writers = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let readers = Arc::clone(&readers);
+        let writers = Arc::clone(&writers);
+        std::thread::Builder::new()
+            .name("dls-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.ctx.draining.load(Ordering::SeqCst) {
+                        return; // the poke connection or a late client
+                    }
+                    let Ok(stream) = stream else { continue };
+                    obs::count!("svc.connections");
+                    let (tx, rx) = mpsc::channel::<String>();
+                    let write_half = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let writer = std::thread::Builder::new()
+                        .name("dls-conn-writer".into())
+                        .spawn(move || writer_loop(write_half, rx))
+                        .expect("spawn writer");
+                    writers.lock().unwrap().push(writer);
+                    let shared2 = Arc::clone(&shared);
+                    let reader = std::thread::Builder::new()
+                        .name("dls-conn-reader".into())
+                        .spawn(move || reader_loop(&shared2, stream, tx))
+                        .expect("spawn reader");
+                    readers.lock().unwrap().push(reader);
+                }
+            })
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        pool: Some(pool),
+        readers,
+        writers,
+    })
+}

@@ -1,0 +1,195 @@
+//! Service counters and per-endpoint latency histograms.
+//!
+//! The hot path must not serialize workers on one histogram lock, so the
+//! registry is sharded per worker: worker `i` records only into slot `i`
+//! (its mutex is uncontended except when a stats reader takes a snapshot),
+//! and the stats endpoint aggregates slots with [`obs::Histogram::merge`].
+//! Global counters are single atomics — uncontended adds are cheap and the
+//! drain invariant (`received == completed + rejected`) needs them exact.
+
+use obs::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The work endpoints the service meters individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `op = "solve"` — cached DLS-LBL solve + payments.
+    Solve,
+    /// `op = "ft_run"` — fault-injected protocol execution.
+    FtRun,
+}
+
+impl Endpoint {
+    /// All metered endpoints, index-aligned with the histogram slots.
+    pub const ALL: [Endpoint; 2] = [Endpoint::Solve, Endpoint::FtRun];
+
+    /// Wire / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Solve => "solve",
+            Endpoint::FtRun => "ft_run",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            Endpoint::Solve => 0,
+            Endpoint::FtRun => 1,
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerShard {
+    latency_us: [Histogram; 2],
+}
+
+/// Final counter values reported after a drain; the conservation invariant
+/// is checked by [`StatsSnapshot::conserved`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests successfully read and framed off a socket.
+    pub received: u64,
+    /// Requests that got a terminal response (`ok`, `error` or `timeout`).
+    pub completed: u64,
+    /// Requests refused with backpressure (queue full or draining).
+    pub rejected: u64,
+    /// Subset of `completed` that hit the per-request deadline in queue.
+    pub timeouts: u64,
+    /// Subset of `completed` answered with `status = "error"`.
+    pub errors: u64,
+}
+
+impl StatsSnapshot {
+    /// The graceful-drain ledger: every received request was answered
+    /// exactly once, either completed or rejected with backpressure.
+    pub fn conserved(&self) -> bool {
+        self.received == self.completed + self.rejected
+    }
+}
+
+/// Shared metering state for one server.
+pub struct StatsRegistry {
+    workers: Vec<Mutex<WorkerShard>>,
+    received: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    started: Instant,
+}
+
+impl StatsRegistry {
+    /// A registry with one histogram shard per worker.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Count a framed request.
+    pub fn on_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a terminal response; `error` marks `status = "error"`.
+    pub fn on_completed(&self, error: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a backpressure rejection.
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a deadline miss (also a completion, recorded separately).
+    pub fn on_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's service latency from worker `worker`.
+    pub fn record_latency(&self, worker: usize, endpoint: Endpoint, micros: f64) {
+        self.workers[worker % self.workers.len()]
+            .lock()
+            .unwrap()
+            .latency_us[endpoint.slot()]
+        .record(micros);
+    }
+
+    /// Merge every worker's shard for `endpoint` into one histogram.
+    pub fn merged_latency(&self, endpoint: Endpoint) -> Histogram {
+        let mut merged = Histogram::new();
+        for shard in &self.workers {
+            merged.merge(&shard.lock().unwrap().latency_us[endpoint.slot()]);
+        }
+        merged
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Seconds since the registry (server) started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_tracks_the_ledger() {
+        let r = StatsRegistry::new(2);
+        for _ in 0..5 {
+            r.on_received();
+        }
+        r.on_completed(false);
+        r.on_completed(true);
+        r.on_timeout();
+        r.on_completed(false); // the timeout's completion
+        r.on_rejected();
+        let s = r.snapshot();
+        assert_eq!(s.received, 5);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.errors, 1);
+        assert!(!s.conserved());
+        r.on_completed(false);
+        assert!(r.snapshot().conserved());
+    }
+
+    #[test]
+    fn per_worker_shards_merge_for_reading() {
+        let r = StatsRegistry::new(3);
+        r.record_latency(0, Endpoint::Solve, 10.0);
+        r.record_latency(1, Endpoint::Solve, 30.0);
+        r.record_latency(2, Endpoint::Solve, 20.0);
+        r.record_latency(1, Endpoint::FtRun, 99.0);
+        let mut solve = r.merged_latency(Endpoint::Solve);
+        assert_eq!(solve.len(), 3);
+        assert_eq!(solve.percentile(100.0), 30.0);
+        let ft = r.merged_latency(Endpoint::FtRun);
+        assert_eq!(ft.len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Solver-cache correctness properties (ISSUE 4):
+//!
+//! 1. A cache hit returns **byte-identical** bytes to the cold solve it
+//!    replaced, for random bid chains.
+//! 2. Quantization never aliases two chains whose optimal allocations
+//!    differ at the configured tolerance: chains that share a key differ
+//!    per rate by less than one quantum, and their true (unquantized)
+//!    optimal allocations agree to well within the service tolerance.
+//! 3. Chains that differ by at least one quantum in any rate never share
+//!    a key.
+
+use dlt::linear;
+use dlt::model::LinearNetwork;
+use proptest::prelude::*;
+use svc::handlers::solve_body;
+use svc::{canonicalize, SolverCache, DEFAULT_QUANTUM};
+
+/// Tolerance at which the service considers two allocations distinct.
+const ALLOC_TOL: f64 = 1e-6;
+
+fn chain_inputs() -> impl Strategy<Value = (f64, Vec<f64>, Vec<f64>)> {
+    (1usize..=6).prop_flat_map(|m| {
+        (
+            0.1f64..5.0,
+            proptest::collection::vec(0.01f64..2.0, m),
+            proptest::collection::vec(0.1f64..5.0, m),
+        )
+    })
+}
+
+fn true_alloc(root: f64, links: &[f64], bids: &[f64]) -> Vec<f64> {
+    let mut w = vec![root];
+    w.extend_from_slice(bids);
+    let net = LinearNetwork::from_rates(&w, links);
+    let sol = linear::solve(&net);
+    (0..net.len()).map(|i| sol.alloc.alpha(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_hit_is_byte_identical_to_cold_solve((root, links, bids) in chain_inputs()) {
+        let chain = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        let cache = SolverCache::new(4, 32);
+        let (cold, hit_cold) = cache.get_or_insert(&chain.key, || solve_body(&chain));
+        prop_assert!(!hit_cold);
+        // A second request for the same chain — and any request that
+        // canonicalizes to the same key — must see the same bytes.
+        let (warm, hit_warm) = cache.get_or_insert(&chain.key, || unreachable!("cache must hit"));
+        prop_assert!(hit_warm);
+        prop_assert_eq!(cold.as_bytes(), warm.as_bytes());
+        // And the cached bytes equal an independent cold solve.
+        prop_assert_eq!(warm.as_str(), solve_body(&chain).as_str());
+    }
+
+    #[test]
+    fn aliased_chains_agree_at_the_tolerance(
+        (root, links, bids) in chain_inputs(),
+        jitter in proptest::collection::vec(-0.49f64..0.49, 13),
+    ) {
+        // Perturb every rate by strictly less than half a quantum around
+        // its canonical value: the perturbed chain is *forced* to alias.
+        let canon = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        let mut j = jitter.into_iter().cycle();
+        let mut wiggle = |x: f64| x + j.next().unwrap() * DEFAULT_QUANTUM;
+        let root2 = wiggle(canon.root_rate);
+        let links2: Vec<f64> = canon.link_rates.iter().map(|&z| wiggle(z)).collect();
+        let bids2: Vec<f64> = canon.bids.iter().map(|&b| wiggle(b)).collect();
+        let canon2 = canonicalize(root2, &links2, &bids2, DEFAULT_QUANTUM).unwrap();
+        prop_assert_eq!(&canon.key, &canon2.key, "sub-quantum jitter must alias");
+        // Aliased chains must not differ at the advertised tolerance: the
+        // true optimal allocations of the two *unquantized* chains agree.
+        let a = true_alloc(root, &links, &bids);
+        let b = true_alloc(root2, &links2, &bids2);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!(
+                (x - y).abs() < ALLOC_TOL,
+                "alpha_{} diverged: {} vs {}", i, x, y
+            );
+        }
+    }
+
+    #[test]
+    fn super_quantum_changes_never_alias(
+        (root, links, bids) in chain_inputs(),
+        which in 0usize..12,
+        bump in 2.0f64..1000.0,
+    ) {
+        let canon = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        let m = bids.len();
+        let slot = which % (1 + 2 * m);
+        let delta = bump * DEFAULT_QUANTUM;
+        let (mut root2, mut links2, mut bids2) =
+            (canon.root_rate, canon.link_rates.clone(), canon.bids.clone());
+        if slot == 0 {
+            root2 += delta;
+        } else if slot <= m {
+            links2[slot - 1] += delta;
+        } else {
+            bids2[slot - 1 - m] += delta;
+        }
+        let canon2 = canonicalize(root2, &links2, &bids2, DEFAULT_QUANTUM).unwrap();
+        prop_assert_ne!(&canon.key, &canon2.key, "a ≥ 2-quantum change must re-key");
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests over real loopback TCP: full protocol session,
+//! pipelined out-of-order completions, backpressure under a saturated
+//! queue, and the graceful-drain ledger `received == completed + rejected`.
+
+use minijson::Value;
+use svc::{serve, Client, ServerConfig};
+use workloads::requests;
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("?")
+}
+
+#[test]
+fn full_protocol_session_over_tcp() {
+    let handle = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Liveness.
+    let health = c.call(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(status(&health), "ok");
+    assert_eq!(
+        health.get("result").unwrap().get("state").unwrap().as_str(),
+        Some("serving")
+    );
+
+    // Cold then warm solve: identical result bytes, cached flag flips.
+    let line = requests::solve_line(11, 1.0, &[0.2, 0.1, 0.7], &[2.0, 0.5, 4.0]);
+    let cold = c.call(&line).unwrap();
+    let warm = c.call(&line).unwrap();
+    assert_eq!(status(&cold), "ok");
+    assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+    assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(warm.get("id").unwrap().as_i64(), Some(11));
+    assert_eq!(
+        cold.get("result").unwrap().to_json(),
+        warm.get("result").unwrap().to_json(),
+        "cache hit must be bit-identical to the cold solve"
+    );
+
+    // An already-expired deadline surfaces as a timeout, not an answer.
+    let rushed = c
+        .call(
+            r#"{"op":"solve","id":12,"deadline_ms":0,"root_rate":1.0,"links":[0.2],"bids":[2.0]}"#,
+        )
+        .unwrap();
+    assert_eq!(status(&rushed), "timeout");
+    assert_eq!(rushed.get("id").unwrap().as_i64(), Some(12));
+
+    // Fault-injected run with a crash keeps the load ledger intact.
+    let ft = c
+        .call(&requests::ft_line(
+            13,
+            1.0,
+            &[2.0, 0.5, 4.0],
+            &[0.2, 0.1, 0.7],
+            42,
+            Some((2, 3, 0.5)),
+        ))
+        .unwrap();
+    assert_eq!(status(&ft), "ok");
+    let report = ft.get("result").unwrap();
+    assert_eq!(report.get("load_conserved").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        report.get("crashed").unwrap().as_array().unwrap()[0].as_u64(),
+        Some(2)
+    );
+
+    // Malformed and unknown requests answer inline with errors.
+    assert_eq!(status(&c.call("this is not json").unwrap()), "error");
+    assert_eq!(status(&c.call(r#"{"op":"explode"}"#).unwrap()), "error");
+
+    // Stats reflect the session so far.
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let s = stats.get("result").unwrap();
+    assert_eq!(
+        s.get("cache").unwrap().get("hits").unwrap().as_u64(),
+        Some(1)
+    );
+    assert_eq!(s.get("timeouts").unwrap().as_u64(), Some(1));
+    assert_eq!(s.get("errors").unwrap().as_u64(), Some(2));
+    let solve_count = s
+        .get("endpoints")
+        .unwrap()
+        .get("solve")
+        .unwrap()
+        .get("count")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(
+        solve_count, 2,
+        "two solves served (the timeout is not latency-metered)"
+    );
+
+    // Graceful drain: shutdown acks, then the ledger must balance.
+    let bye = c.call(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(status(&bye), "ok");
+    assert_eq!(
+        bye.get("result").unwrap().get("state").unwrap().as_str(),
+        Some("draining")
+    );
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+    assert_eq!(snapshot.received, 9);
+    assert_eq!(snapshot.rejected, 0);
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_and_conserve() {
+    let handle = serve(ServerConfig {
+        workers: 4,
+        queue_capacity: 4096, // larger than the whole batch: no rejections
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    const CONNS: usize = 3;
+    const PER_CONN: usize = 200;
+    let chains: Vec<(f64, Vec<f64>, Vec<f64>)> = (0..4)
+        .map(|i| {
+            let s = 1.0 + 0.25 * i as f64;
+            (s, vec![0.2 * s, 0.1, 0.7], vec![2.0, 0.5 * s, 4.0])
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for conn in 0..CONNS {
+            let chains = &chains;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let ids: Vec<i64> = (0..PER_CONN)
+                    .map(|i| (conn * PER_CONN + i) as i64)
+                    .collect();
+                for &id in &ids {
+                    let (root, links, bids) = &chains[id as usize % chains.len()];
+                    c.send(&requests::solve_line(id, *root, links, bids))
+                        .expect("send");
+                }
+                c.flush().expect("flush");
+                let mut seen: std::collections::HashSet<i64> = Default::default();
+                for _ in 0..PER_CONN {
+                    let v = c.recv().expect("recv");
+                    assert_eq!(status(&v), "ok");
+                    assert!(seen.insert(v.get("id").unwrap().as_i64().unwrap()));
+                }
+                assert_eq!(seen, ids.iter().copied().collect());
+            });
+        }
+    });
+
+    handle.shutdown();
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+    assert_eq!(snapshot.completed, (CONNS * PER_CONN) as u64);
+    assert_eq!(snapshot.rejected, 0);
+}
+
+#[test]
+fn saturated_queue_rejects_with_backpressure_and_drains_clean() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        retry_after_ms: 7,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).expect("connect");
+
+    const TOTAL: usize = 200;
+    for i in 0..TOTAL {
+        // ft_run is never cached, so every request costs real worker time
+        // and the two-slot queue must overflow.
+        c.send(&requests::ft_line(
+            i as i64,
+            1.0,
+            &[2.0, 0.5, 4.0, 1.5],
+            &[0.2, 0.1, 0.7, 0.3],
+            i as u64,
+            Some((1 + i % 4, 3, 0.5)),
+        ))
+        .expect("send");
+    }
+    c.flush().expect("flush");
+
+    let (mut ok, mut rejected, mut other) = (0usize, 0usize, 0usize);
+    for _ in 0..TOTAL {
+        let v = c.recv().expect("recv");
+        match status(&v) {
+            "ok" => ok += 1,
+            "rejected" => {
+                assert_eq!(
+                    v.get("reason").unwrap().as_str(),
+                    Some("backpressure"),
+                    "pre-drain rejections must cite backpressure"
+                );
+                assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(7));
+                rejected += 1;
+            }
+            _ => other += 1,
+        }
+    }
+    assert_eq!(ok + rejected + other, TOTAL, "every request answered once");
+    assert!(
+        rejected > 0,
+        "a 2-slot queue must overflow under {TOTAL} pipelined ft_runs"
+    );
+    assert!(ok > 0, "admitted requests must still complete");
+
+    handle.shutdown();
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+    assert_eq!(snapshot.received, TOTAL as u64);
+    assert_eq!(snapshot.rejected, rejected as u64);
+
+    // Once drained, the listener is gone.
+    assert!(
+        Client::connect(addr).is_err(),
+        "drained server must refuse connects"
+    );
+}

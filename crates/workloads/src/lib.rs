@@ -4,8 +4,9 @@
 //! own workload model: random heterogeneous chains, homogeneous chains,
 //! speed gradients, bottleneck links and straggler processors
 //! ([`generators`]), plus grid helpers and network decomposition for the
-//! mechanism/protocol layers ([`sweep`]) and declarative fault-scenario
-//! grids for the fault-injection experiments ([`fault_cases`]).
+//! mechanism/protocol layers ([`sweep`]), declarative fault-scenario
+//! grids for the fault-injection experiments ([`fault_cases`]), and
+//! NDJSON request-mix streams for the serving layer ([`requests`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -14,6 +15,7 @@
 
 pub mod fault_cases;
 pub mod generators;
+pub mod requests;
 pub mod scenarios;
 pub mod sweep;
 
@@ -22,5 +24,6 @@ pub use fault_cases::{
     seeded_multi_cases, FaultCase, FaultCaseKind,
 };
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
+pub use requests::{ft_line, request_lines, solve_line, RequestMixConfig};
 pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
 pub use sweep::{geomspace, linspace, mechanism_parts, MechanismParts};
