@@ -69,27 +69,73 @@ impl Summary {
 /// pattern is one `Histogram` per worker thread, each recorded into only
 /// by its owner (no cross-thread locking on the record path), merged into
 /// a scratch histogram when a stats reader wants an aggregate view.
+///
+/// By default storage is unbounded — right for batch experiments, where
+/// exactness over every sample is the point. Long-running services should
+/// use [`with_cap`](Histogram::with_cap): a capped histogram keeps at
+/// most `cap` samples in a rotating window (new samples overwrite the
+/// slot a cycling cursor points at once the window is full), so memory
+/// stays bounded while percentiles reflect a recent window of the
+/// stream. [`total_count`](Histogram::total_count) always reports the
+/// exact all-time number of samples recorded or merged in, capped or
+/// not.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    /// Max stored samples; 0 means unbounded.
+    cap: usize,
+    /// Overwrite cursor, used only once a capped histogram is full.
+    cursor: usize,
+    /// All-time samples recorded or merged in (≥ `samples.len()`).
+    total: u64,
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty, unbounded histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record one sample.
-    pub fn record(&mut self, value: f64) {
-        self.sorted = false;
-        self.samples.push(value);
+    /// An empty histogram that stores at most `cap` samples (a `cap` of 0
+    /// means unbounded, same as [`new`](Histogram::new)).
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            cap,
+            ..Self::default()
+        }
     }
 
-    /// Number of samples recorded.
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        self.store(value);
+    }
+
+    fn store(&mut self, value: f64) {
+        self.sorted = false;
+        if self.cap > 0 && self.samples.len() >= self.cap {
+            // Full window: overwrite the slot under the cycling cursor.
+            // (After a percentile query the samples are sorted, so the
+            // evicted sample is arbitrary rather than strictly oldest —
+            // fine for a bounded stats window.)
+            self.cursor %= self.cap;
+            self.samples[self.cursor] = value;
+            self.cursor += 1;
+        } else {
+            self.samples.push(value);
+        }
+    }
+
+    /// Number of samples currently stored (≤ the cap, when one is set).
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Exact all-time count of samples recorded or merged in, including
+    /// any that a capped window has since evicted.
+    pub fn total_count(&self) -> u64 {
+        self.total
     }
 
     /// True when no sample has been recorded.
@@ -97,16 +143,25 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    /// Sum of all samples.
+    /// Sum of the currently stored samples.
     pub fn sum(&self) -> f64 {
         self.samples.iter().sum()
     }
 
-    /// Absorb every sample of `other` (sample-set union; `other` is not
-    /// modified). The aggregation primitive for per-worker sharding.
+    /// Absorb every stored sample of `other` (sample-set union; `other`
+    /// is not modified), subject to `self`'s cap. The aggregation
+    /// primitive for per-worker sharding: merging bounded shards into an
+    /// unbounded scratch histogram stays bounded by `shards × cap`.
     pub fn merge(&mut self, other: &Histogram) {
-        self.sorted = false;
-        self.samples.extend_from_slice(&other.samples);
+        self.total += other.total;
+        if self.cap == 0 {
+            self.sorted = false;
+            self.samples.extend_from_slice(&other.samples);
+        } else {
+            for &v in &other.samples {
+                self.store(v);
+            }
+        }
     }
 
     /// Exact nearest-rank percentile (`q` in `[0, 100]`; NaN when empty).
@@ -130,10 +185,12 @@ impl Histogram {
         &self.samples
     }
 
-    /// Drop all samples.
+    /// Drop all samples and reset the all-time count (the cap is kept).
     pub fn clear(&mut self) {
         self.samples.clear();
         self.sorted = false;
+        self.cursor = 0;
+        self.total = 0;
     }
 
     fn ensure_sorted(&mut self) {
@@ -219,6 +276,57 @@ mod tests {
         for q in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(merged.percentile(q), percentile(&all, q), "q = {q}");
         }
+    }
+
+    #[test]
+    fn capped_histogram_bounds_storage_but_counts_exactly() {
+        let mut h = Histogram::with_cap(4);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.len(), 4, "storage must stay at the cap");
+        assert_eq!(h.total_count(), 100, "all-time count stays exact");
+        assert!(!h.is_empty());
+        // Percentiles stay well-defined over the bounded window.
+        let p100 = h.percentile(100.0);
+        assert!(p100.is_finite());
+        // The window holds recent-ish samples, not the first four.
+        assert!(h.sorted_samples().iter().all(|&v| v >= 4.0));
+        h.clear();
+        assert_eq!(h.total_count(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merging_capped_shards_into_unbounded_scratch_is_bounded() {
+        // The serving pattern: per-worker capped shards, an unbounded
+        // scratch merge per stats read. Scratch size ≤ shards × cap,
+        // total_count is the exact all-time sum.
+        let mut scratch = Histogram::new();
+        for w in 0..3 {
+            let mut shard = Histogram::with_cap(8);
+            for i in 0..50 {
+                shard.record((w * 50 + i) as f64);
+            }
+            assert_eq!(shard.len(), 8);
+            scratch.merge(&shard);
+        }
+        assert_eq!(scratch.len(), 24);
+        assert_eq!(scratch.total_count(), 150);
+        assert_eq!(scratch.summary().n, 24);
+    }
+
+    #[test]
+    fn merge_into_capped_histogram_respects_its_cap() {
+        let mut a = Histogram::with_cap(3);
+        a.record(1.0);
+        let mut b = Histogram::new();
+        for v in [2.0, 3.0, 4.0, 5.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.total_count(), 5);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! `dls-serve` — the DLS-LBL scheduling server.
 //!
 //! ```text
-//! dls-serve [--addr 127.0.0.1:4500] [--workers N] [--queue N] [--self-test]
+//! dls-serve [--addr 127.0.0.1:4500] [--workers N] [--queue N]
+//!           [--deadline-ms N] [--allow-remote-shutdown] [--self-test]
 //! ```
+//!
+//! The `shutdown` op is honored from loopback peers only unless
+//! `--allow-remote-shutdown` is given, so binding a non-loopback `--addr`
+//! does not hand remote clients control of the server lifecycle.
 //!
 //! Speaks newline-delimited JSON (see the `svc` crate docs for the ops).
 //! With `DLS_TRACE=path.jsonl` set, streams `obs` records to that file
@@ -36,11 +41,12 @@ fn parse_args() -> (ServerConfig, bool) {
             "--deadline-ms" => {
                 config.default_deadline_ms = take("--deadline-ms").parse().expect("--deadline-ms")
             }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--self-test" => self_test = true,
             "--help" | "-h" => {
                 println!(
                     "dls-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--deadline-ms N] [--self-test]"
+                     [--deadline-ms N] [--allow-remote-shutdown] [--self-test]"
                 );
                 std::process::exit(0);
             }

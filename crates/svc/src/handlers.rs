@@ -64,12 +64,22 @@ pub enum RequestKind {
     Shutdown,
 }
 
+/// Smallest accepted per-request deadline. A `deadline_ms` of 0 would be
+/// a guaranteed timeout — a request whose only effect is burning a queue
+/// slot — so it is rejected at parse time instead of admitted.
+pub const MIN_DEADLINE_MS: u64 = 1;
+
+/// Largest accepted per-request deadline (1 hour): a remote client may
+/// not park work in the queue indefinitely.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
 /// A parsed request envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<i64>,
-    /// Per-request deadline override (milliseconds in queue + service).
+    /// Per-request deadline override (milliseconds in queue + service),
+    /// validated into `[MIN_DEADLINE_MS, MAX_DEADLINE_MS]` at parse time.
     pub deadline_ms: Option<u64>,
     /// The operation.
     pub kind: RequestKind,
@@ -94,11 +104,28 @@ fn vec_field(v: &Value, key: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-/// Parse one request line. `quantum` is the solver-cache quantization step.
-pub fn parse_request(line: &str, quantum: f64) -> Result<Request, String> {
-    let v = Value::parse(line).map_err(|e| e.to_string())?;
+/// Parse one request line. `quantum` is the solver-cache quantization
+/// step. Errors carry the request's `id` when one was parseable, so the
+/// error response stays matchable by pipelining clients.
+pub fn parse_request(line: &str, quantum: f64) -> Result<Request, (Option<i64>, String)> {
+    let v = Value::parse(line).map_err(|e| (None, e.to_string()))?;
     let id = v.get("id").and_then(Value::as_i64);
-    let deadline_ms = v.get("deadline_ms").and_then(Value::as_u64);
+    parse_envelope(&v, quantum, id).map_err(|msg| (id, msg))
+}
+
+fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, String> {
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(d) => Some(
+            d.as_u64()
+                .filter(|ms| (MIN_DEADLINE_MS..=MAX_DEADLINE_MS).contains(ms))
+                .ok_or_else(|| {
+                    format!(
+                        "deadline_ms must be an integer in [{MIN_DEADLINE_MS}, {MAX_DEADLINE_MS}]"
+                    )
+                })?,
+        ),
+    };
     let op = v
         .get("op")
         .and_then(Value::as_str)
@@ -108,17 +135,17 @@ pub fn parse_request(line: &str, quantum: f64) -> Result<Request, String> {
         "stats" => RequestKind::Stats,
         "shutdown" => RequestKind::Shutdown,
         "solve" => {
-            let root = f64_field(&v, "root_rate")?;
-            let links = vec_field(&v, "links")?;
-            let bids = vec_field(&v, "bids")?;
+            let root = f64_field(v, "root_rate")?;
+            let links = vec_field(v, "links")?;
+            let bids = vec_field(v, "bids")?;
             let chain = quant::canonicalize(root, &links, &bids, quantum)
                 .ok_or_else(|| "invalid chain: rates must be finite, positive, representable, with links.len() == bids.len() >= 1".to_string())?;
             RequestKind::Work(WorkRequest::Solve(chain))
         }
         "ft_run" => {
-            let root_rate = f64_field(&v, "root_rate")?;
-            let rates = vec_field(&v, "rates")?;
-            let links = vec_field(&v, "links")?;
+            let root_rate = f64_field(v, "root_rate")?;
+            let rates = vec_field(v, "rates")?;
+            let links = vec_field(v, "links")?;
             let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
             let crash = match v.get("crash") {
                 None | Some(Value::Null) => None,
@@ -300,6 +327,29 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_is_validated_at_parse_time() {
+        let line = |d: &str| format!(r#"{{"op":"health","deadline_ms":{d}}}"#);
+        assert_eq!(
+            parse_request(&line("250"), 1e-9).unwrap().deadline_ms,
+            Some(250)
+        );
+        assert!(parse_request(&line("0"), 1e-9).is_err());
+        assert!(parse_request(&line("-5"), 1e-9).is_err());
+        assert!(parse_request(&line("3600001"), 1e-9).is_err());
+        assert!(parse_request(&line("\"soon\""), 1e-9).is_err());
+        assert_eq!(
+            parse_request(&line("null"), 1e-9).unwrap().deadline_ms,
+            None
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#, 1e-9)
+                .unwrap()
+                .deadline_ms,
+            None
+        );
     }
 
     #[test]

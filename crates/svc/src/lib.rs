@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use cache::SolverCache;
 pub use client::Client;
-pub use quant::{canonicalize, CanonicalChain, ChainKey, DEFAULT_QUANTUM};
+pub use quant::{canonicalize, CanonicalChain, ChainKey, DEFAULT_QUANTUM, MAX_TICKS};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use stats::{Endpoint, StatsRegistry, StatsSnapshot};
+pub use stats::{Endpoint, StatsRegistry, StatsSnapshot, LATENCY_SAMPLE_CAP};

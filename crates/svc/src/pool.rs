@@ -23,6 +23,8 @@ pub struct ServiceCtx {
     pub default_deadline: Duration,
     /// Retry hint handed out with backpressure rejections.
     pub retry_after_ms: u64,
+    /// Honor `shutdown` ops from non-loopback peers.
+    pub allow_remote_shutdown: bool,
     /// Solver-cache quantization step.
     pub quantum: f64,
     /// When the server installed a [`obs::MemorySink`], the stats endpoint
@@ -151,6 +153,7 @@ mod tests {
             draining: AtomicBool::new(false),
             default_deadline: Duration::from_secs(5),
             retry_after_ms: 25,
+            allow_remote_shutdown: false,
             quantum: quant::DEFAULT_QUANTUM,
             obs_memory: None,
         }

@@ -22,6 +22,15 @@
 /// Default quantization step for rates (unit processing / link times).
 pub const DEFAULT_QUANTUM: f64 = 1e-9;
 
+/// Largest admissible tick count: `2^53`, the bound below which every
+/// integer is exactly representable as an `f64`. Rates above
+/// `MAX_TICKS × quantum` are rejected rather than quantized: past this
+/// point `rate / quantum` loses integer precision and the `as i64` cast
+/// would eventually saturate, aliasing materially different chains onto
+/// one key. At the default quantum `1e-9` this caps admissible rates at
+/// ~9.0e6 — far above any workload rate this service models.
+pub const MAX_TICKS: i64 = 1 << 53;
+
 /// A canonical, hashable identity for a solve request: the chain length
 /// plus the quantized ticks of every rate in a fixed order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -46,16 +55,26 @@ pub struct CanonicalChain {
     pub bids: Vec<f64>,
 }
 
-/// Quantize one rate to its tick count. Rates are validated upstream to be
-/// finite, positive and far below `i64` overflow at any sane quantum.
+/// Quantize one rate to its tick count. Returns `None` when the tick
+/// would fall outside `1..=MAX_TICKS`: non-finite or non-positive rates,
+/// rates below half a quantum (they would alias with 0), and rates large
+/// enough that the `f64 → i64` conversion would lose precision or
+/// saturate (see [`MAX_TICKS`]).
 #[inline]
-pub fn tick(rate: f64, quantum: f64) -> i64 {
-    (rate / quantum).round() as i64
+pub fn tick(rate: f64, quantum: f64) -> Option<i64> {
+    let t = (rate / quantum).round();
+    if t.is_finite() && t >= 1.0 && t <= MAX_TICKS as f64 {
+        Some(t as i64)
+    } else {
+        None
+    }
 }
 
 /// Canonicalize a solve request. Returns `None` when any rate is
-/// non-finite, non-positive, or quantizes to zero ticks (a rate smaller
-/// than half a quantum cannot be represented and would alias with 0).
+/// non-finite, non-positive, quantizes to zero ticks (a rate smaller
+/// than half a quantum cannot be represented and would alias with 0), or
+/// exceeds `MAX_TICKS × quantum` (the tick computation would saturate
+/// and alias distinct chains).
 pub fn canonicalize(
     root_rate: f64,
     link_rates: &[f64],
@@ -71,10 +90,7 @@ pub fn canonicalize(
         if !r.is_finite() || r <= 0.0 || r > 1e12 {
             return None;
         }
-        let t = tick(r, quantum);
-        if t <= 0 {
-            return None;
-        }
+        let t = tick(r, quantum)?;
         ticks.push(t);
         Some(t as f64 * quantum)
     };
@@ -120,6 +136,36 @@ mod tests {
         assert!(canonicalize(1.0, &[0.2], &[1e-12], 1e-9).is_none());
         assert!(canonicalize(1.0, &[0.2, 0.3], &[2.0], 1e-9).is_none());
         assert!(canonicalize(1.0, &[], &[], 1e-9).is_none());
+    }
+
+    #[test]
+    fn rejects_rates_that_would_saturate_ticks() {
+        // 2^53 × 1e-9 ≈ 9.007e6: anything above must be rejected, not
+        // silently saturated onto a shared key.
+        assert!(canonicalize(1e7, &[0.2], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[9.3e9], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1.0, &[0.2], &[1e12], 1e-9).is_none());
+        // Distinct over-bound rates may not alias: both are rejected.
+        assert!(canonicalize(9.3e9, &[0.2], &[2.0], 1e-9).is_none());
+        assert!(canonicalize(1e10, &[0.2], &[2.0], 1e-9).is_none());
+        // Just inside the bound still canonicalizes (ticks within an ulp
+        // of 9e15; the canonical rate, not the raw input, defines the key).
+        let c = canonicalize(9.0e6, &[0.2], &[2.0], 1e-9).unwrap();
+        assert!((c.key.ticks[0] - 9_000_000_000_000_000).abs() <= 1);
+        // A coarser quantum admits large rates again (bound scales).
+        assert!(canonicalize(1e10, &[0.2], &[2.0], 1e-3).is_some());
+    }
+
+    #[test]
+    fn tick_is_checked_at_the_bounds() {
+        assert_eq!(tick(1.0, 1e-9), Some(1_000_000_000));
+        assert_eq!(tick(f64::INFINITY, 1e-9), None);
+        assert_eq!(tick(-1.0, 1e-9), None);
+        assert_eq!(tick(1e-12, 1e-9), None);
+        let near_bound = tick(9.0e6, 1e-9).unwrap();
+        assert!((near_bound - 9_000_000_000_000_000).abs() <= 1);
+        assert_eq!(tick((MAX_TICKS as f64) * 4.0 * 1e-9, 1e-9), None);
+        assert_eq!(tick(f64::MAX, 1e-9), None);
     }
 
     #[test]

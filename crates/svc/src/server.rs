@@ -55,6 +55,10 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Retry hint returned with backpressure rejections, milliseconds.
     pub retry_after_ms: u64,
+    /// Honor `shutdown` ops from non-loopback peers. Off by default: when
+    /// `--addr` binds a non-loopback interface, remote clients must not
+    /// be able to drain the server.
+    pub allow_remote_shutdown: bool,
     /// Mirror obs counters from this memory sink in the stats endpoint
     /// (the server does not install it; the binary decides).
     pub obs_memory: Option<Arc<obs::MemorySink>>,
@@ -71,6 +75,7 @@ impl Default for ServerConfig {
             quantum: quant::DEFAULT_QUANTUM,
             default_deadline_ms: 2_000,
             retry_after_ms: 25,
+            allow_remote_shutdown: false,
             obs_memory: None,
         }
     }
@@ -121,12 +126,16 @@ impl Shared {
         let endpoints = Endpoint::ALL
             .iter()
             .map(|&e| {
-                let summary = self.ctx.stats.merged_latency(e).summary();
+                let mut merged = self.ctx.stats.merged_latency(e);
+                // Exact all-time count; percentiles are over the bounded
+                // recent window each worker shard retains.
+                let count = merged.total_count();
+                let summary = merged.summary();
                 let nan_safe = |x: f64| if x.is_finite() { x } else { 0.0 };
                 (
                     e.name().to_string(),
                     Value::Object(vec![
-                        ("count".into(), Value::Number(summary.n as f64)),
+                        ("count".into(), Value::Number(count as f64)),
                         ("p50_us".into(), Value::Number(nan_safe(summary.p50))),
                         ("p90_us".into(), Value::Number(nan_safe(summary.p90))),
                         ("p99_us".into(), Value::Number(nan_safe(summary.p99))),
@@ -179,8 +188,15 @@ impl Shared {
     }
 }
 
+/// May this connection's `shutdown` op drain the server? Loopback peers
+/// always may (the operational harnesses run on the same host); remote
+/// peers only when the server was started with `allow_remote_shutdown`.
+fn shutdown_permitted(peer_loopback: bool, allow_remote: bool) -> bool {
+    peer_loopback || allow_remote
+}
+
 /// Handle one framed request line; sends any inline response over `tx`.
-fn handle_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
+fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Sender<String>) {
     let _span = obs::span!("svc.request");
     shared.ctx.stats.on_received();
     let Request {
@@ -189,9 +205,9 @@ fn handle_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
         kind,
     } = match handlers::parse_request(line, shared.ctx.quantum) {
         Ok(r) => r,
-        Err(msg) => {
+        Err((id, msg)) => {
             shared.ctx.stats.on_completed(true);
-            let _ = tx.send(handlers::error_response(None, &msg));
+            let _ = tx.send(handlers::error_response(id, &msg));
             return;
         }
     };
@@ -205,9 +221,18 @@ fn handle_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
             let _ = tx.send(handlers::ok_response(id, None, &shared.stats_body()));
         }
         RequestKind::Shutdown => {
-            shared.ctx.stats.on_completed(false);
-            let _ = tx.send(handlers::ok_response(id, None, "{\"state\":\"draining\"}"));
-            shared.begin_drain();
+            if shutdown_permitted(peer_loopback, shared.ctx.allow_remote_shutdown) {
+                shared.ctx.stats.on_completed(false);
+                let _ = tx.send(handlers::ok_response(id, None, "{\"state\":\"draining\"}"));
+                shared.begin_drain();
+            } else {
+                shared.ctx.stats.on_completed(true);
+                let _ = tx.send(handlers::error_response(
+                    id,
+                    "shutdown refused: only loopback peers may drain this server \
+                     (start with --allow-remote-shutdown to override)",
+                ));
+            }
         }
         RequestKind::Work(request) => {
             if shared.ctx.draining.load(Ordering::SeqCst) {
@@ -259,6 +284,10 @@ fn reader_loop(shared: &Shared, stream: TcpStream, tx: mpsc::Sender<String>) {
     let _ = stream.set_nodelay(true);
     // A finite read timeout lets idle connections notice the drain.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
@@ -267,9 +296,18 @@ fn reader_loop(shared: &Shared, stream: TcpStream, tx: mpsc::Sender<String>) {
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    handle_line(shared, trimmed, &tx);
+                    handle_line(shared, trimmed, peer_loopback, &tx);
                 }
                 line.clear();
+                // Re-check the drain after every line, not only on idle
+                // timeouts: a client that pipelines continuously would
+                // otherwise never let this thread observe the drain and
+                // `join` would hang on it. Work is already rejected as
+                // "draining" at this point, so exiting after the response
+                // was queued is safe (the writer flushes before closing).
+                if shared.ctx.draining.load(Ordering::SeqCst) {
+                    return;
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -367,6 +405,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         default_deadline: Duration::from_millis(config.default_deadline_ms),
         retry_after_ms: config.retry_after_ms,
+        allow_remote_shutdown: config.allow_remote_shutdown,
         quantum: config.quantum,
         obs_memory: config.obs_memory.clone(),
     });
@@ -378,8 +417,8 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
         workers: config.workers,
     });
-    let readers = Arc::new(Mutex::new(Vec::new()));
-    let writers = Arc::new(Mutex::new(Vec::new()));
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -394,6 +433,11 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     }
                     let Ok(stream) = stream else { continue };
                     obs::count!("svc.connections");
+                    // Reap threads of connections that already closed, so
+                    // handles don't accumulate under connection churn
+                    // (finished threads are safe to detach by dropping).
+                    readers.lock().unwrap().retain(|h| !h.is_finished());
+                    writers.lock().unwrap().retain(|h| !h.is_finished());
                     let (tx, rx) = mpsc::channel::<String>();
                     let write_half = match stream.try_clone() {
                         Ok(s) => s,
@@ -423,4 +467,17 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         readers,
         writers,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_gated_to_loopback_unless_overridden() {
+        assert!(shutdown_permitted(true, false));
+        assert!(shutdown_permitted(true, true));
+        assert!(shutdown_permitted(false, true));
+        assert!(!shutdown_permitted(false, false));
+    }
 }

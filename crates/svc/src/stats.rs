@@ -4,8 +4,11 @@
 //! registry is sharded per worker: worker `i` records only into slot `i`
 //! (its mutex is uncontended except when a stats reader takes a snapshot),
 //! and the stats endpoint aggregates slots with [`obs::Histogram::merge`].
-//! Global counters are single atomics — uncontended adds are cheap and the
-//! drain invariant (`received == completed + rejected`) needs them exact.
+//! Shards are capped at [`LATENCY_SAMPLE_CAP`] samples so a long-running
+//! server's stats memory is bounded (percentiles are over a recent
+//! window; counts stay exact). Global counters are single atomics —
+//! uncontended adds are cheap and the drain invariant
+//! (`received == completed + rejected`) needs them exact.
 
 use obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,9 +44,27 @@ impl Endpoint {
     }
 }
 
-#[derive(Default)]
+/// Max latency samples stored per worker per endpoint. Bounds stats
+/// memory on a long-running server (the shards otherwise grow 8 bytes
+/// per request forever) and bounds the work a stats read does while
+/// holding a shard lock; percentiles are over a recent window of this
+/// size, while request *counts* stay exact via
+/// [`obs::Histogram::total_count`].
+pub const LATENCY_SAMPLE_CAP: usize = 4096;
+
 struct WorkerShard {
     latency_us: [Histogram; 2],
+}
+
+impl WorkerShard {
+    fn new() -> Self {
+        Self {
+            latency_us: [
+                Histogram::with_cap(LATENCY_SAMPLE_CAP),
+                Histogram::with_cap(LATENCY_SAMPLE_CAP),
+            ],
+        }
+    }
 }
 
 /// Final counter values reported after a drain; the conservation invariant
@@ -85,7 +106,9 @@ impl StatsRegistry {
     /// A registry with one histogram shard per worker.
     pub fn new(workers: usize) -> Self {
         Self {
-            workers: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            workers: (0..workers.max(1))
+                .map(|_| Mutex::new(WorkerShard::new()))
+                .collect(),
             received: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -128,6 +151,11 @@ impl StatsRegistry {
     }
 
     /// Merge every worker's shard for `endpoint` into one histogram.
+    /// Bounded: each shard stores ≤ [`LATENCY_SAMPLE_CAP`] samples, so
+    /// the copy done under each shard lock (and the merged result) is at
+    /// most `workers × cap` samples; the merged
+    /// [`total_count`](obs::Histogram::total_count) is the exact all-time
+    /// request count for the endpoint.
     pub fn merged_latency(&self, endpoint: Endpoint) -> Histogram {
         let mut merged = Histogram::new();
         for shard in &self.workers {
@@ -177,6 +205,22 @@ mod tests {
         assert!(!s.conserved());
         r.on_completed(false);
         assert!(r.snapshot().conserved());
+    }
+
+    #[test]
+    fn latency_shards_stay_bounded_under_sustained_load() {
+        let r = StatsRegistry::new(2);
+        let n = 3 * LATENCY_SAMPLE_CAP;
+        for i in 0..n {
+            r.record_latency(i % 2, Endpoint::Solve, i as f64);
+        }
+        let mut merged = r.merged_latency(Endpoint::Solve);
+        assert!(
+            merged.len() <= 2 * LATENCY_SAMPLE_CAP,
+            "stored samples must be capped per shard"
+        );
+        assert_eq!(merged.total_count(), n as u64, "counts stay exact");
+        assert!(merged.percentile(50.0).is_finite());
     }
 
     #[test]

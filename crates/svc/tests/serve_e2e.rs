@@ -41,13 +41,15 @@ fn full_protocol_session_over_tcp() {
         "cache hit must be bit-identical to the cold solve"
     );
 
-    // An already-expired deadline surfaces as a timeout, not an answer.
+    // A zero deadline is a guaranteed timeout — rejected at parse time
+    // instead of admitted (the timeout path itself is unit-tested in
+    // `pool::tests::expired_deadline_yields_timeout`).
     let rushed = c
         .call(
             r#"{"op":"solve","id":12,"deadline_ms":0,"root_rate":1.0,"links":[0.2],"bids":[2.0]}"#,
         )
         .unwrap();
-    assert_eq!(status(&rushed), "timeout");
+    assert_eq!(status(&rushed), "error");
     assert_eq!(rushed.get("id").unwrap().as_i64(), Some(12));
 
     // Fault-injected run with a crash keeps the load ledger intact.
@@ -80,8 +82,12 @@ fn full_protocol_session_over_tcp() {
         s.get("cache").unwrap().get("hits").unwrap().as_u64(),
         Some(1)
     );
-    assert_eq!(s.get("timeouts").unwrap().as_u64(), Some(1));
-    assert_eq!(s.get("errors").unwrap().as_u64(), Some(2));
+    assert_eq!(s.get("timeouts").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        s.get("errors").unwrap().as_u64(),
+        Some(3),
+        "bad deadline, malformed line, unknown op"
+    );
     let solve_count = s
         .get("endpoints")
         .unwrap()
@@ -93,7 +99,7 @@ fn full_protocol_session_over_tcp() {
         .unwrap();
     assert_eq!(
         solve_count, 2,
-        "two solves served (the timeout is not latency-metered)"
+        "two solves served (rejected requests are not latency-metered)"
     );
 
     // Graceful drain: shutdown acks, then the ledger must balance.
@@ -159,6 +165,57 @@ fn pipelined_requests_complete_out_of_order_and_conserve() {
     assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
     assert_eq!(snapshot.completed, (CONNS * PER_CONN) as u64);
     assert_eq!(snapshot.rejected, 0);
+}
+
+#[test]
+fn drain_completes_while_a_client_pipelines_without_idle_gaps() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    let handle = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // A client that round-trips requests back-to-back: its reader thread
+    // on the server keeps getting lines with no 100 ms idle gap, so it
+    // must notice the drain from the per-line check, not the read
+    // timeout. It stops on its own once the drained server closes the
+    // connection.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let mut sent: i64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let line = requests::solve_line(sent, 1.0, &[0.2], &[2.0]);
+                if c.call(&line).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+        })
+    };
+    // Let the stream get going, then drain mid-flight.
+    std::thread::sleep(Duration::from_millis(200));
+    handle.shutdown();
+
+    // `join` must return despite the continuously busy connection; give a
+    // regression a bounded failure instead of hanging the suite.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(handle.join());
+    });
+    let snapshot = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("drain hung while a client pipelined without idle gaps");
+    stop.store(true, Ordering::Relaxed);
+    pump.join().unwrap();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
 }
 
 #[test]
