@@ -129,6 +129,95 @@ pub fn makespan(root: &TreeNode) -> f64 {
     equivalent_time(root)
 }
 
+/// Result of [`splice_node`]: the survivor tree plus the preorder
+/// renumbering the splice induced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplicedTree {
+    /// The survivor tree, re-canonicalized.
+    pub tree: TreeNode,
+    /// `map[old] = Some(new)` maps the original tree's preorder indices to
+    /// the survivor tree's; `None` marks the removed node.
+    pub map: Vec<Option<usize>>,
+}
+
+/// Remove the non-root node at preorder index `dead` and re-attach each of
+/// its child subtrees directly to its parent.
+///
+/// Every re-attached subtree's incoming link fuses with the dead node's:
+/// the data still travels both hops, store-and-forward, so the rates add —
+/// `z(parent→child) = z(parent→dead) + z(dead→child)`. On a degenerate
+/// path this is exactly [`crate::linear::splice`]'s `z_k + z_{k+1}` fusion;
+/// a leaf is simply cut. The survivor tree is re-canonicalized (children
+/// re-sorted by ascending link rate, stably), because the fused links can
+/// land anywhere in the parent's service order; `map` records where every
+/// surviving node ended up.
+pub fn splice_node(root: &TreeNode, dead: usize) -> SplicedTree {
+    let n = root.size();
+    assert!(
+        dead >= 1 && dead < n,
+        "can only splice a non-root node out of the tree (dead={dead}, n={n})"
+    );
+
+    // Tag every node with its original preorder index so the map survives
+    // re-attachment and re-sorting.
+    struct Tagged {
+        old: usize,
+        w: f64,
+        children: Vec<(f64, Tagged)>,
+    }
+    fn tag(node: &TreeNode, next: &mut usize) -> Tagged {
+        let old = *next;
+        *next += 1;
+        Tagged {
+            old,
+            w: node.processor.w,
+            children: node
+                .children
+                .iter()
+                .map(|(l, c)| (l.z, tag(c, next)))
+                .collect(),
+        }
+    }
+    fn remove(node: &mut Tagged, dead: usize) -> bool {
+        if let Some(i) = node.children.iter().position(|(_, c)| c.old == dead) {
+            let (z_dead, dead_node) = node.children.remove(i);
+            for (z_c, c) in dead_node.children.into_iter().rev() {
+                node.children.insert(i, (z_dead + z_c, c));
+            }
+            return true;
+        }
+        node.children.iter_mut().any(|(_, c)| remove(c, dead))
+    }
+    fn resort(node: &mut Tagged) {
+        node.children.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, c) in &mut node.children {
+            resort(c);
+        }
+    }
+    fn rebuild(node: &Tagged, next: &mut usize, map: &mut [Option<usize>]) -> TreeNode {
+        map[node.old] = Some(*next);
+        *next += 1;
+        TreeNode {
+            processor: Processor::new(node.w),
+            children: node
+                .children
+                .iter()
+                .map(|(z, c)| (Link::new(*z), rebuild(c, next, map)))
+                .collect(),
+        }
+    }
+
+    let mut next = 0;
+    let mut tagged = tag(root, &mut next);
+    let removed = remove(&mut tagged, dead);
+    debug_assert!(removed, "preorder index {dead} not found below the root");
+    resort(&mut tagged);
+    let mut map = vec![None; n];
+    let mut next = 0;
+    let tree = rebuild(&tagged, &mut next, &mut map);
+    SplicedTree { tree, map }
+}
+
 /// Verify that the solution's fractions are non-negative and sum to one.
 pub fn validate(sol: &TreeSolution) -> bool {
     fn all_nonneg(s: &TreeSolution) -> bool {
@@ -236,6 +325,105 @@ mod tests {
         let sol = solve(&tree);
         assert!(validate(&sol));
         assert!((makespan(&tree) - linear::solve(&net).makespan()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn splice_on_a_path_matches_linear_splice_exactly() {
+        let net = LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0, 1.5], &[0.2, 0.1, 0.7, 0.3]);
+        let tree = TreeNode::from_chain(&net);
+        for dead in 1..net.len() {
+            let spliced = splice_node(&tree, dead);
+            let expected = linear::splice(&net, dead);
+            let expected_tree = TreeNode::from_chain(&expected);
+            assert_eq!(
+                spliced.tree, expected_tree,
+                "dead={dead}: fused path differs from linear::splice"
+            );
+            for old in 0..net.len() {
+                let want = match old.cmp(&dead) {
+                    std::cmp::Ordering::Less => Some(old),
+                    std::cmp::Ordering::Equal => None,
+                    std::cmp::Ordering::Greater => Some(old - 1),
+                };
+                assert_eq!(spliced.map[old], want, "dead={dead} old={old}");
+            }
+        }
+    }
+
+    #[test]
+    fn splice_internal_node_reattaches_subtrees_with_fused_links() {
+        // root --0.4--> A --{0.3, 0.1}--> (B, C): cutting A hands B and C
+        // to the root with fused links 0.7 and 0.5, re-sorted ascending.
+        let tree = TreeNode::internal(
+            1.0,
+            vec![(
+                0.4,
+                TreeNode::internal(
+                    1.5,
+                    vec![(0.3, TreeNode::leaf(2.0)), (0.1, TreeNode::leaf(3.0))],
+                ),
+            )],
+        );
+        let spliced = splice_node(&tree, 1);
+        let expected = TreeNode::internal(
+            1.0,
+            vec![(0.5, TreeNode::leaf(3.0)), (0.7, TreeNode::leaf(2.0))],
+        );
+        assert_eq!(spliced.tree, expected);
+        // Old preorder: [root, A, B(2.0), C(3.0)]. C's fused link (0.5) now
+        // sorts before B's (0.7).
+        assert_eq!(spliced.map, vec![Some(0), None, Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn splice_leaf_truncates() {
+        let tree = TreeNode::internal(
+            1.0,
+            vec![(0.1, TreeNode::leaf(2.0)), (0.2, TreeNode::leaf(0.7))],
+        );
+        let spliced = splice_node(&tree, 2);
+        assert_eq!(
+            spliced.tree,
+            TreeNode::internal(1.0, vec![(0.1, TreeNode::leaf(2.0))])
+        );
+        assert_eq!(spliced.map, vec![Some(0), Some(1), None]);
+        // Down to a lone root.
+        let lone = splice_node(&spliced.tree, 1);
+        assert_eq!(lone.tree, TreeNode::leaf(1.0));
+        assert_eq!(lone.map, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn spliced_tree_still_solves_to_a_unit_partition() {
+        let tree = TreeNode::internal(
+            1.0,
+            vec![
+                (
+                    0.15,
+                    TreeNode::internal(
+                        1.4,
+                        vec![(0.05, TreeNode::leaf(2.2)), (0.25, TreeNode::leaf(0.7))],
+                    ),
+                ),
+                (
+                    0.30,
+                    TreeNode::internal(
+                        1.9,
+                        vec![(0.10, TreeNode::leaf(1.1)), (0.20, TreeNode::leaf(3.0))],
+                    ),
+                ),
+            ],
+        );
+        for dead in 1..tree.size() {
+            let spliced = splice_node(&tree, dead);
+            assert_eq!(spliced.tree.size(), tree.size() - 1, "dead={dead}");
+            let sol = solve(&spliced.tree);
+            assert!(validate(&sol), "dead={dead}: invalid spliced solution");
+            // Every survivor maps somewhere, bijectively.
+            let mut seen: Vec<usize> = spliced.map.iter().filter_map(|&x| x).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..tree.size() - 1).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -67,6 +67,13 @@ impl TreeOutcome {
     pub fn utility(&self, j: usize) -> f64 {
         self.agents[j - 1].utility
     }
+
+    /// Payment owed to agent `j` (1-based preorder index) — the honest
+    /// bill the fault-recovery path re-posts when a node goes silent
+    /// before billing.
+    pub fn payment(&self, j: usize) -> f64 {
+        self.agents[j - 1].payment
+    }
 }
 
 /// Flattened per-node view used by the payment computation.

@@ -12,6 +12,12 @@
 //! same `(Scenario, FaultPlan)` pair it produces bit-identical reports,
 //! which is what makes fault experiments replayable.
 //!
+//! Plans are **shape-agnostic**: node ids are just indices `1..=m` over
+//! the strategic processors, so the same plan applies unchanged to an
+//! `m`-agent chain and to an `m`-agent tree (preorder indexing over the
+//! canonicalized shape, [`crate::ft_tree_runner::run_with_faults`]) — the
+//! property the degenerate-path differential suite relies on.
+//!
 //! Faults are **operational**, not strategic: a crashed node did not choose
 //! to crash, so — unlike the deviations of [`crate::deviation::Deviation`]
 //! — no fault in this module ever carries a fine. The two layers compose:

@@ -1,0 +1,1227 @@
+//! Fault-tolerant **tree** protocol execution: run a [`TreeScenario`]
+//! under an injected [`FaultPlan`] and recover by **subtree
+//! re-attachment** ([`dlt::tree::splice_node`]).
+//!
+//! ### Recovery protocol
+//! The chain engine ([`crate::ft_runner`]) recovers a halt by fusing two
+//! links; on a tree the failed node may route several subtrees, so the
+//! splice re-attaches *every* child subtree of the dead node to the dead
+//! node's parent. Each re-attached subtree's incoming link fuses with the
+//! dead node's (`z(parent→child) = z(parent→dead) + z(dead→child)` — the
+//! data travels both hops, store-and-forward), and the parent's service
+//! order is re-canonicalized because the fused links can land anywhere in
+//! the ascending-link sequence. [`FtTreeRunReport::splice_map`] records
+//! where every survivor ended up.
+//!
+//! The phase semantics mirror the chain engine exactly:
+//!
+//! * **Pre-distribution halts (Phases I–II)** recurse: the dead node is
+//!   spliced out of the true-rate tree, the survivors re-run the whole
+//!   protocol among themselves (remaining faults renumbered onto the
+//!   spliced tree and recovered *inside* that re-run), and everything is
+//!   renumbered back through the composed splice map.
+//! * **Phase III halts** are serialized by the root: each halt costs one
+//!   detection timeout, fuses the dead node out of the running *bid* tree,
+//!   and re-solves its unfinished residual over the survivors
+//!   ([`dlt::tree::solve`]); the halted node is settled **pro rata**
+//!   ([`mechanism::payment::pro_rata`]) on what it verifiably completed,
+//!   and survivors are paid their recovery work at metered cost
+//!   ([`mechanism::payment::recovery_wage`]).
+//! * **Phase IV crashes** share a single timeout window and are arbitrated
+//!   as a concurrent batch; the root re-posts each silent node's honest
+//!   bill from its own [`TreeMechanism`] re-settlement.
+//!
+//! ### Detection order on a tree
+//! Phase I bids flow upward, so the **parent** of a silent node times out;
+//! Phase II allocations flow downward, so the **first child in canonical
+//! service order** waits (the root for a leaf); Phase III results and
+//! Phase IV bills are awaited by the **root**. On a degenerate path these
+//! rules reduce to the chain's predecessor/successor rules.
+//!
+//! ### Degenerate paths delegate to the chain engine
+//! A tree in which every node has at most one child *is* a chain, so this
+//! engine detects the shape after canonicalization and routes it through
+//! [`crate::ft_runner::run_with_faults`] on the faithfully converted
+//! [`Scenario`] — chain fault semantics are inherited, not re-derived, and
+//! the result is **byte-identical** to the frozen linear fault path by
+//! construction (the same way `svc` cache hits are bit-identical to cold
+//! solves). The `tree_fault` differential suite pins the routing and the
+//! scenario conversion against drift, over the full E22 population.
+//!
+//! ### Determinism and the no-fault property
+//! Given the same `(TreeScenario, FaultPlan)` pair the report is
+//! bit-identical — faults are part of the experiment description, not
+//! sampled during the run — and across every injected fault no honest
+//! survivor is ever fined (the tree extension of Lemma 5.2's no-fault
+//! corollary).
+
+use crate::crypto::NodeId;
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::ft_runner::{FtError, FtRunReport};
+use crate::ledger::{EntryKind, Ledger};
+use crate::root::{arbitrate_concurrent_unresponsive, arbitrate_unresponsive, ArbitrationRecord};
+use crate::runner::{Scenario, ScenarioError};
+use crate::tree_runner::{run_tree, Flat, TreeArbitration, TreeRunReport, TreeScenario};
+use dlt::model::{Link, Processor, TreeNode};
+use dlt::tree::{self, SplicedTree};
+use mechanism::dls_tree::TreeMechanism;
+use mechanism::payment::{self, PaymentBreakdown};
+use mechanism::Conduct;
+
+/// Everything a fault-tolerant tree run produced. All per-node vectors use
+/// the **original** preorder indexing over the canonicalized shape (`0` =
+/// root, length `m + 1` or `m`), even when recovery ran on a spliced tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtTreeRunReport {
+    /// Every crash-stopped node, in detection order.
+    pub crashed: Vec<NodeId>,
+    /// Every stalled (alive but unproductive) node, in detection order.
+    pub stalled: Vec<NodeId>,
+    /// Every detection event: `(detector, suspect, phase)`.
+    pub detected: Vec<(NodeId, NodeId, u8)>,
+    /// Load prescribed per node by the (possibly re-run) Phase II.
+    pub assigned: Vec<f64>,
+    /// Load each node actually finished, including recovery work. Sums to
+    /// the unit workload whenever recovery succeeded.
+    pub completed: Vec<f64>,
+    /// Total residual load the recovery rounds re-assigned, counted with
+    /// multiplicity across rounds. 0 when nothing halted mid-computation.
+    pub recovered_load: f64,
+    /// Extra load each node received from recovery **and actually
+    /// performed**.
+    pub recovery_assigned: Vec<f64>,
+    /// Realized makespan including detection and recovery overhead.
+    pub makespan: f64,
+    /// Makespan of the same scenario with no faults (for overhead plots).
+    pub base_makespan: f64,
+    /// All arbitration records (timeout complaints included), in order.
+    pub arbitrations: Vec<TreeArbitration>,
+    /// The full ledger, renumbered to original indices.
+    pub ledger: Ledger,
+    /// Net utility of every strategic processor (`net_utilities[j-1]` is
+    /// `P_j`'s), original indexing; a halted node's reflects pro-rata
+    /// settlement.
+    pub net_utilities: Vec<f64>,
+    /// `splice_map[old] = Some(new)` maps original to post-splice preorder
+    /// indices; `None` marks a removed node. Composed across nested
+    /// splices. Identity when nothing was spliced before distribution.
+    pub splice_map: Vec<Option<usize>>,
+    /// Deterministic per-run timeline on the same virtual clock as
+    /// `makespan`. On a degenerate path (chain delegation) this is the
+    /// chain engine's full timeline; on a branching tree it carries the
+    /// detection-timeout waits, splice instants and recovery spans (the
+    /// base tree run does not time individual nodes).
+    pub timeline: obs::PhaseTimeline,
+}
+
+impl FtTreeRunReport {
+    /// Net utility of strategic processor `P_j` (original preorder index).
+    pub fn utility(&self, j: usize) -> f64 {
+        self.net_utilities[j - 1]
+    }
+
+    /// True if the total finished load equals the unit workload.
+    pub fn load_conserved(&self, tol: f64) -> bool {
+        (self.completed.iter().sum::<f64>() - 1.0).abs() <= tol
+    }
+
+    /// Makespan overhead attributable to faults and recovery.
+    pub fn overhead(&self) -> f64 {
+        self.makespan - self.base_makespan
+    }
+
+    /// Fines actually paid by `P_j` (as a non-negative number).
+    pub fn fines_paid(&self, j: NodeId) -> f64 {
+        -(self.ledger.net_of(j, EntryKind::Fine)
+            + self.ledger.net_of(j, EntryKind::ExtraWorkPenalty))
+    }
+
+    /// All halted nodes (crashed and stalled), in detection order within
+    /// each group.
+    pub fn halted(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().chain(self.stalled.iter()).copied()
+    }
+}
+
+/// Detection rule on the tree: who notices `P_k` going silent in `phase`.
+/// Phase I bids flow upward (the parent waits); Phase II allocations flow
+/// downward (the first child in canonical order waits, the root for a
+/// leaf); results and bills are awaited by the root. Reduces to the
+/// chain's predecessor/successor rules on a path.
+fn detector_of(k: NodeId, phase: u8, flat: &Flat) -> NodeId {
+    match phase {
+        1 => flat.parent[k].expect("strategic nodes have parents"),
+        2 => flat.children[k].first().copied().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Receiver of `P_v`'s outbound message in `phase` — `None` when the node
+/// sends nothing in that phase (a leaf in Phases II–III).
+fn receiver_of(v: NodeId, phase: u8, flat: &Flat) -> Option<NodeId> {
+    match phase {
+        1 => flat.parent[v],
+        2 | 3 => flat.children[v].first().copied(),
+        _ => Some(0),
+    }
+}
+
+/// Per-unit-load makespan and absolute preorder load shares of a (possibly
+/// root-only) tree.
+fn allocation_of_tree(t: &TreeNode) -> (f64, Vec<f64>) {
+    if t.size() == 1 {
+        (t.processor.w, vec![1.0])
+    } else {
+        let sol = tree::solve(t);
+        (sol.equivalent, sol.flatten())
+    }
+}
+
+/// Rebuild `shape` with `rates` at the non-root processors (preorder); the
+/// trusted root rate and all link rates are kept.
+fn with_rates(shape: &TreeNode, rates: &[f64]) -> TreeNode {
+    fn rebuild(node: &TreeNode, rates: &[f64], next: &mut usize, is_root: bool) -> TreeNode {
+        let w = if is_root {
+            node.processor.w
+        } else {
+            let r = rates[*next];
+            *next += 1;
+            r
+        };
+        TreeNode {
+            processor: Processor::new(w),
+            children: node
+                .children
+                .iter()
+                .map(|(l, c)| (Link::new(l.z), rebuild(c, rates, next, false)))
+                .collect(),
+        }
+    }
+    let mut next = 0;
+    let out = rebuild(shape, rates, &mut next, true);
+    debug_assert_eq!(next, rates.len(), "one rate per non-root node");
+    out
+}
+
+/// Non-root processor rates in preorder.
+fn strategic_rates(tree: &TreeNode) -> Vec<f64> {
+    fn walk(node: &TreeNode, out: &mut Vec<f64>, is_root: bool) {
+        if !is_root {
+            out.push(node.processor.w);
+        }
+        for (_, c) in &node.children {
+            walk(c, out, false);
+        }
+    }
+    let mut out = Vec::new();
+    walk(tree, &mut out, true);
+    out
+}
+
+/// Convert a chain arbitration record into the tree report's shape. The
+/// fine amounts are not dropped — unresponsive probes are no-fault (always
+/// zero) and any real fine lives in the ledger.
+fn to_tree_arbitration(a: &ArbitrationRecord) -> TreeArbitration {
+    TreeArbitration {
+        claimant: a.claimant,
+        accused: a.accused,
+        complaint: a.complaint.clone(),
+        substantiated: a.substantiated,
+    }
+}
+
+/// If the canonicalized shape is a degenerate path — every node has at
+/// most one child — convert the scenario faithfully to the chain
+/// [`Scenario`] it is: same preorder agent indexing, same fine schedule,
+/// blocks and seed, no solution bonus (the tree protocol has none).
+/// Returns `None` for a branching tree.
+pub fn as_chain_scenario(scenario: &TreeScenario) -> Option<Scenario> {
+    let mut link_rates = Vec::new();
+    let mut node = &scenario.shape;
+    while let Some((link, child)) = node.children.first() {
+        if node.children.len() > 1 {
+            return None;
+        }
+        link_rates.push(link.z);
+        node = child;
+    }
+    Some(Scenario {
+        root_rate: scenario.shape.processor.w,
+        true_rates: scenario.true_rates.clone(),
+        link_rates,
+        deviations: scenario.deviations.clone(),
+        fine: scenario.fine,
+        blocks: scenario.blocks,
+        seed: scenario.seed,
+        solution_bonus: 0.0,
+        solution_found: false,
+    })
+}
+
+/// Wrap the chain engine's report into the tree report shape, verbatim.
+fn from_chain_report(r: FtRunReport) -> FtTreeRunReport {
+    FtTreeRunReport {
+        crashed: r.crashed,
+        stalled: r.stalled,
+        detected: r.detected,
+        assigned: r.assigned,
+        completed: r.completed,
+        recovered_load: r.recovered_load,
+        recovery_assigned: r.recovery_assigned,
+        makespan: r.makespan,
+        base_makespan: r.base_makespan,
+        arbitrations: r.arbitrations.iter().map(to_tree_arbitration).collect(),
+        ledger: r.ledger,
+        net_utilities: r.net_utilities,
+        splice_map: r.splice_map,
+        timeline: r.timeline,
+    }
+}
+
+fn validate_scenario(s: &TreeScenario) -> Result<(), ScenarioError> {
+    let m = s.num_agents();
+    if m == 0 {
+        return Err(ScenarioError::NoAgents);
+    }
+    let nodes = s.shape.size() - 1;
+    if nodes != m || s.deviations.len() != m {
+        return Err(ScenarioError::LengthMismatch {
+            true_rates: m,
+            link_rates: nodes,
+            deviations: s.deviations.len(),
+        });
+    }
+    for (j, &t) in s.true_rates.iter().enumerate() {
+        if !(t.is_finite() && t > 0.0) {
+            return Err(ScenarioError::BadRate {
+                field: "true_rates",
+                index: j,
+                value: t,
+            });
+        }
+    }
+    let q = s.fine.audit_probability;
+    if !(q.is_finite() && (0.0..=1.0).contains(&q)) {
+        return Err(ScenarioError::BadAuditProbability(q));
+    }
+    let f = s.fine.deviation_fine();
+    if !(f.is_finite() && f >= 0.0) {
+        return Err(ScenarioError::BadFine(f));
+    }
+    if s.blocks == 0 {
+        return Err(ScenarioError::ZeroBlocks);
+    }
+    Ok(())
+}
+
+/// Execute the tree scenario under `plan`, recovering from the injected
+/// faults. Re-exported at the crate root as `run_tree_with_faults`.
+pub fn run_with_faults(
+    scenario: &TreeScenario,
+    plan: &FaultPlan,
+) -> Result<FtTreeRunReport, FtError> {
+    validate_scenario(scenario)?;
+    let m = scenario.num_agents();
+    plan.validate(m)?;
+    let timeout = plan.detection_timeout;
+    let _ft_span = obs::span!("protocol.ft_tree.run", "m" => m, "timeout" => timeout);
+
+    if let Some(chain) = as_chain_scenario(scenario) {
+        // A degenerate path IS a chain: inherit the frozen chain fault
+        // semantics wholesale — byte-identical by construction.
+        let report = crate::ft_runner::run_with_faults(&chain, plan)?;
+        return Ok(from_chain_report(report));
+    }
+
+    let base = run_tree(scenario);
+    let queue = plan.detection_order();
+    let mut report = recover(scenario, &base, &queue, timeout)?;
+    apply_message_faults(
+        &mut report,
+        plan,
+        &crate::tree_runner::flatten(&scenario.shape),
+    );
+    Ok(report)
+}
+
+/// Recover from the halting faults in `queue` (already in detection
+/// order), mirroring the chain engine's dispatch.
+fn recover(
+    scenario: &TreeScenario,
+    base: &TreeRunReport,
+    queue: &[FaultEvent],
+    timeout: f64,
+) -> Result<FtTreeRunReport, FtError> {
+    let n = scenario.num_agents() + 1;
+    let identity_map: Vec<Option<usize>> = (0..n).map(Some).collect();
+    match queue.first() {
+        None => Ok(healthy_report(base, n, identity_map)),
+        Some(&FaultEvent {
+            node: k,
+            kind: FaultKind::Crash {
+                phase: p @ (1 | 2), ..
+            },
+        }) => pre_distribution_crash(scenario, base, k, p, &queue[1..], timeout),
+        // detection_order sorts by phase, so everything left is Phase
+        // III/IV: crashes at phase 3 or 4, and stalls.
+        _ => Ok(compute_and_billing_recovery(
+            scenario,
+            base,
+            queue,
+            timeout,
+            identity_map,
+        )),
+    }
+}
+
+/// No halting fault: the base tree run, wrapped.
+fn healthy_report(
+    base: &TreeRunReport,
+    n: usize,
+    splice_map: Vec<Option<usize>>,
+) -> FtTreeRunReport {
+    let mut timeline = obs::PhaseTimeline::new(n);
+    timeline.makespan = base.makespan;
+    FtTreeRunReport {
+        crashed: Vec::new(),
+        stalled: Vec::new(),
+        detected: Vec::new(),
+        assigned: base.assigned.clone(),
+        completed: base.retained.clone(),
+        recovered_load: 0.0,
+        recovery_assigned: vec![0.0; n],
+        makespan: base.makespan,
+        base_makespan: base.makespan,
+        arbitrations: base.arbitrations.clone(),
+        ledger: base.ledger.clone(),
+        net_utilities: base.net_utilities.clone(),
+        splice_map,
+        timeline,
+    }
+}
+
+/// Crash in Phase I or II: nothing was distributed; splice the subtrees
+/// onto the dead node's parent and re-run the whole protocol on the
+/// survivor tree — recovering the remaining faults of `rest` *inside* that
+/// re-run — then renumber back through the splice map.
+fn pre_distribution_crash(
+    scenario: &TreeScenario,
+    base: &TreeRunReport,
+    k: NodeId,
+    phase: u8,
+    rest: &[FaultEvent],
+    timeout: f64,
+) -> Result<FtTreeRunReport, FtError> {
+    let m = scenario.num_agents();
+    let n = m + 1;
+    let flat = crate::tree_runner::flatten(&scenario.shape);
+
+    let detector = detector_of(k, phase, &flat);
+    let mut arbitrations = vec![to_tree_arbitration(&arbitrate_unresponsive(
+        detector, k, false,
+    ))];
+    let mut detected = vec![(detector, k, phase)];
+
+    // Recovery restarts the whole schedule: the virtual clock begins at 0,
+    // waits out the detection timeout, then runs the survivor protocol.
+    let mut clock = obs::RunClock::new();
+    let timeout_span = clock.advance(timeout);
+    obs::count!("protocol.ft.detection_timeouts", "phase" => phase);
+    obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => phase);
+    obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => phase);
+    let mut timeline = obs::PhaseTimeline::new(n);
+    timeline.push(
+        detector,
+        phase,
+        obs::TimelineKind::Timeout,
+        timeout_span,
+        0.0,
+    );
+    timeline.mark(k, phase, obs::TimelineKind::Splice, timeout_span.1);
+
+    if m == 1 {
+        // No strategic survivor: the obedient root computes the whole unit
+        // load itself at rate w_0.
+        debug_assert!(rest.is_empty());
+        let mut assigned = vec![0.0; n];
+        assigned[0] = 1.0;
+        let root_span = clock.advance(scenario.shape.processor.w);
+        timeline.push(0, 3, obs::TimelineKind::Recovery, root_span, 1.0);
+        timeline.makespan = clock.now();
+        return Ok(FtTreeRunReport {
+            crashed: vec![k],
+            stalled: Vec::new(),
+            detected,
+            completed: assigned.clone(),
+            assigned,
+            recovered_load: 0.0,
+            recovery_assigned: vec![0.0; n],
+            makespan: clock.now(),
+            base_makespan: base.makespan,
+            arbitrations,
+            ledger: Ledger::new(),
+            net_utilities: vec![0.0],
+            splice_map: vec![Some(0), None],
+            timeline,
+        });
+    }
+
+    // Splice the tree of *true* rates; bids re-derive from the surviving
+    // nodes' deviations inside the inner run.
+    let true_tree = with_rates(&scenario.shape, &scenario.true_rates);
+    let SplicedTree { tree: spliced, map } = tree::splice_node(&true_tree, k);
+    // Survivor preorder position -> original id.
+    let mut orig_of = vec![0usize; n - 1];
+    for (old, new) in map.iter().enumerate() {
+        if let Some(new) = new {
+            orig_of[*new] = old;
+        }
+    }
+    let inner_rates = strategic_rates(&spliced);
+    let mut inner_deviations = vec![crate::deviation::Deviation::None; m - 1];
+    for j in 1..n {
+        if let Some(nj) = map[j] {
+            inner_deviations[nj - 1] = scenario.deviations[j - 1];
+        }
+    }
+    let inner_scenario = TreeScenario {
+        shape: spliced,
+        true_rates: inner_rates,
+        deviations: inner_deviations,
+        fine: scenario.fine,
+        blocks: scenario.blocks,
+        seed: scenario.seed,
+    };
+    // The remaining faults, renumbered to the spliced tree, are recovered
+    // *inside* the survivor re-run.
+    let inner_rest: Vec<FaultEvent> = rest
+        .iter()
+        .map(|e| FaultEvent {
+            node: map[e.node].expect("remaining faults strike survivors"),
+            kind: e.kind,
+        })
+        .collect();
+    let inner_base = run_tree(&inner_scenario);
+    let inner = recover(&inner_scenario, &inner_base, &inner_rest, timeout)?;
+    obs::event!(
+        "protocol.ft.residual_resolve",
+        vt = clock.now(),
+        "dead" => k,
+        "survivors" => inner.assigned.len()
+    );
+    let recovery_span = clock.advance(inner.makespan);
+    // The survivor re-run is one Recovery span at the root (the base tree
+    // run does not time individual nodes); a nested recovery's own
+    // timeout, splice and recovery spans pass through the same shift,
+    // renumbered to original ids.
+    timeline.push(0, 3, obs::TimelineKind::Recovery, recovery_span, 1.0);
+    for s in &inner.timeline.spans {
+        timeline.push(
+            orig_of[s.node],
+            s.phase,
+            s.kind,
+            (recovery_span.0 + s.start, recovery_span.0 + s.end),
+            s.load,
+        );
+    }
+    timeline.makespan = clock.now();
+
+    // Renumber everything back to original indices.
+    let mut assigned = vec![0.0; n];
+    let mut completed = vec![0.0; n];
+    let mut recovery_assigned = vec![0.0; n];
+    for si in 0..inner.assigned.len() {
+        assigned[orig_of[si]] = inner.assigned[si];
+        completed[orig_of[si]] = inner.completed[si];
+        recovery_assigned[orig_of[si]] = inner.recovery_assigned[si];
+    }
+    let mut ledger = Ledger::new();
+    for e in inner.ledger.entries() {
+        ledger.post(orig_of[e.node], e.kind, e.amount, e.phase);
+    }
+    arbitrations.extend(inner.arbitrations.iter().map(|a| TreeArbitration {
+        claimant: orig_of[a.claimant],
+        accused: orig_of[a.accused],
+        complaint: a.complaint.clone(),
+        substantiated: a.substantiated,
+    }));
+    detected.extend(
+        inner
+            .detected
+            .iter()
+            .map(|&(d, s, p)| (orig_of[d], orig_of[s], p)),
+    );
+    let mut net_utilities = vec![0.0; m];
+    for sj in 1..n - 1 {
+        net_utilities[orig_of[sj] - 1] = inner.net_utilities[sj - 1];
+    }
+
+    let mut crashed = vec![k];
+    crashed.extend(inner.crashed.iter().map(|&c| orig_of[c]));
+    let stalled: Vec<NodeId> = inner.stalled.iter().map(|&st| orig_of[st]).collect();
+    // Compose the outer splice with whatever the inner recovery spliced.
+    let splice_map: Vec<Option<usize>> = (0..n)
+        .map(|i| match map[i] {
+            None => None,
+            Some(ni) => inner.splice_map[ni],
+        })
+        .collect();
+
+    Ok(FtTreeRunReport {
+        crashed,
+        stalled,
+        detected,
+        assigned,
+        completed,
+        recovered_load: inner.recovered_load,
+        recovery_assigned,
+        makespan: clock.now(),
+        base_makespan: base.makespan,
+        arbitrations,
+        ledger,
+        net_utilities,
+        splice_map,
+        timeline,
+    })
+}
+
+/// Serialized recovery of every Phase III halt followed by the
+/// simultaneous settlement of every Phase IV crash — structurally the
+/// chain engine's `compute_and_billing_recovery` with the running bid
+/// *chain* replaced by the running bid *tree*.
+fn compute_and_billing_recovery(
+    scenario: &TreeScenario,
+    base: &TreeRunReport,
+    queue: &[FaultEvent],
+    timeout: f64,
+    splice_map: Vec<Option<usize>>,
+) -> FtTreeRunReport {
+    let m = scenario.num_agents();
+    let n = m + 1;
+
+    let mut arbitrations = base.arbitrations.clone();
+    let mut timeline = obs::PhaseTimeline::new(n);
+    let mut detected = Vec::new();
+    let mut crashed = Vec::new();
+    let mut stalled = Vec::new();
+
+    // The recovery clock picks up where the fault-free schedule ended.
+    let mut clock = obs::RunClock::starting_at(base.makespan);
+    let mut completed = base.retained.clone();
+    let mut recovery_assigned = vec![0.0; n];
+    let mut recovered_load = 0.0;
+
+    // The running spliced *bid* tree — recovery allocation is a Phase II
+    // re-solve on reported rates — and the original id of each surviving
+    // preorder position. Bids do not move links, so the canonical order of
+    // the bid tree is the shape's own.
+    let mut cur = with_rates(&scenario.shape, &base.bids);
+    let mut orig_of: Vec<usize> = (0..n).collect();
+    // What each node is working on in the current round: `None` is the
+    // base Phase III round (work = base.retained); after a splice it is
+    // the latest recovery re-allocation, indexed by original node id.
+    let mut round_assign: Option<Vec<f64>> = None;
+
+    let phase3: Vec<&FaultEvent> = queue
+        .iter()
+        .filter(|e| e.kind.halt_phase() == Some(3))
+        .collect();
+    let phase4: Vec<&FaultEvent> = queue
+        .iter()
+        .filter(|e| e.kind.halt_phase() == Some(4))
+        .collect();
+    debug_assert_eq!(phase3.len() + phase4.len(), queue.len());
+
+    for e in &phase3 {
+        let k = e.node;
+        let (progress, alive) = match e.kind {
+            FaultKind::Crash { progress, .. } => (progress, false),
+            FaultKind::Stall { progress } => (progress, true),
+            _ => unreachable!("phase filter admits only halting faults"),
+        };
+        let residual = match &round_assign {
+            None => {
+                let done_k = progress * base.retained[k];
+                let residual = base.retained[k] - done_k;
+                completed[k] = done_k;
+                residual
+            }
+            Some(assign) => {
+                let residual = assign[k] - progress * assign[k];
+                completed[k] -= residual;
+                recovery_assigned[k] -= residual;
+                residual
+            }
+        };
+
+        // Phase III results are awaited by the root.
+        let detector = 0;
+        arbitrations.push(to_tree_arbitration(&arbitrate_unresponsive(
+            detector, k, alive,
+        )));
+        detected.push((detector, k, 3));
+        if alive {
+            stalled.push(k);
+        } else {
+            crashed.push(k);
+        }
+
+        let timeout_span = clock.advance(timeout);
+        obs::count!("protocol.ft.detection_timeouts", "phase" => 3u8);
+        obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 3u8);
+        obs::event!("protocol.ft.splice", vt = clock.now(), "dead" => k, "phase" => 3u8);
+
+        // Re-attach the halted node's subtrees onto its parent in the
+        // running survivor tree and re-solve its unfinished work.
+        let si_k = orig_of
+            .iter()
+            .position(|&o| o == k)
+            .expect("halted node is on the survivor tree");
+        let SplicedTree { tree: next, map } = tree::splice_node(&cur, si_k);
+        cur = next;
+        let mut next_orig = vec![0usize; orig_of.len() - 1];
+        for (old, new) in map.iter().enumerate() {
+            if let Some(new) = new {
+                next_orig[*new] = orig_of[old];
+            }
+        }
+        orig_of = next_orig;
+        let (per_unit_makespan, shares) = allocation_of_tree(&cur);
+        obs::event!(
+            "protocol.ft.residual_resolve",
+            vt = clock.now(),
+            "dead" => k,
+            "residual" => residual,
+            "survivors" => shares.len()
+        );
+
+        let mut round = vec![0.0; n];
+        for (si, &share) in shares.iter().enumerate() {
+            let orig = orig_of[si];
+            let extra = residual * share;
+            recovery_assigned[orig] += extra;
+            completed[orig] += extra;
+            round[orig] = extra;
+        }
+
+        let recovery_span = clock.advance(residual * per_unit_makespan);
+        timeline.push(detector, 3, obs::TimelineKind::Timeout, timeout_span, 0.0);
+        timeline.mark(k, 3, obs::TimelineKind::Splice, recovery_span.0);
+        for (orig, &extra) in round.iter().enumerate() {
+            if extra > 0.0 {
+                timeline.push(orig, 3, obs::TimelineKind::Recovery, recovery_span, extra);
+            }
+        }
+        recovered_load += residual;
+        round_assign = Some(round);
+    }
+
+    // Phase IV crashes are simultaneous: every billing timer fires within
+    // the same timeout window, and the root probes the whole batch.
+    if !phase4.is_empty() {
+        let timeout_span = clock.advance(timeout);
+        let mut probes = Vec::with_capacity(phase4.len());
+        for e in &phase4 {
+            let k = e.node;
+            detected.push((0, k, 4));
+            crashed.push(k);
+            obs::count!("protocol.ft.detection_timeouts", "phase" => 4u8);
+            obs::hist!("protocol.ft.timeout_wait", timeout, "phase" => 4u8);
+            timeline.push(0, 4, obs::TimelineKind::Timeout, timeout_span, 0.0);
+            probes.push((0, k, false));
+        }
+        arbitrations.extend(
+            arbitrate_concurrent_unresponsive(&probes)
+                .iter()
+                .map(to_tree_arbitration),
+        );
+    }
+
+    // Rebuild the ledger: every halted node's Phase IV settlement is
+    // voided at once, then re-settled — Phase III halts pro rata on what
+    // they verifiably completed, Phase IV crashes from the root's own
+    // `TreeMechanism` re-settlement — and survivors are paid their
+    // recovery work at metered cost. Earlier-phase fines and rewards
+    // stand.
+    let halted: Vec<NodeId> = queue.iter().map(|e| e.node).collect();
+    let mut ledger = base.ledger.without_entries_of(&halted, 4);
+    let mut pro_rata_of: Vec<Option<PaymentBreakdown>> = vec![None; n];
+    for e in &phase3 {
+        let k = e.node;
+        let pr = payment::pro_rata(completed[k], base.actual_rates[k - 1]);
+        ledger.post(k, EntryKind::Payment, pr.payment, 4);
+        pro_rata_of[k] = Some(pr);
+    }
+    if !phase4.is_empty() {
+        // The root recomputes the silent nodes' honest bills from the same
+        // settlement the base run used — deterministic, so an honest
+        // casualty's re-posted bill is bit-identical to the one it never
+        // sent.
+        let mech = TreeMechanism::new(scenario.shape.clone());
+        let conducts: Vec<Conduct> = (1..n)
+            .map(|j| Conduct {
+                bid: base.bids[j - 1],
+                actual_rate: base.actual_rates[j - 1],
+                actual_load: Some(base.retained[j]),
+            })
+            .collect();
+        let outcome = mech.settle(&conducts);
+        for e in &phase4 {
+            let k = e.node;
+            ledger.post(k, EntryKind::Payment, outcome.payment(k), 4);
+            if recovery_assigned[k] > 0.0 {
+                // A Phase IV casualty that performed recovery work earlier
+                // is paid that wage too — it finished it before dying.
+                ledger.post(
+                    k,
+                    EntryKind::Payment,
+                    payment::recovery_wage(recovery_assigned[k], base.actual_rates[k - 1]),
+                    4,
+                );
+            }
+        }
+    }
+    for j in 1..=m {
+        if !halted.contains(&j) && recovery_assigned[j] > 0.0 {
+            ledger.post(
+                j,
+                EntryKind::Payment,
+                payment::recovery_wage(recovery_assigned[j], base.actual_rates[j - 1]),
+                4,
+            );
+        }
+    }
+
+    // Net utilities: valuation adjusted for the changed workloads, plus
+    // the rebuilt ledger. When nothing halted mid-computation no workload
+    // changed, so survivors keep their base utilities verbatim.
+    let mut net_utilities;
+    if phase3.is_empty() {
+        net_utilities = base.net_utilities.clone();
+        for e in &phase4 {
+            let k = e.node;
+            let valuation = -base.retained[k] * base.actual_rates[k - 1];
+            net_utilities[k - 1] = valuation + ledger.net(k);
+        }
+    } else {
+        net_utilities = vec![0.0; m];
+        for j in 1..=m {
+            let valuation = if let Some(pr) = &pro_rata_of[j] {
+                pr.valuation
+            } else {
+                // completed[j] = base share + recovery work performed.
+                -(base.retained[j] + recovery_assigned[j]) * base.actual_rates[j - 1]
+            };
+            net_utilities[j - 1] = valuation + ledger.net(j);
+        }
+    }
+
+    timeline.makespan = clock.now();
+    FtTreeRunReport {
+        crashed,
+        stalled,
+        detected,
+        assigned: base.assigned.clone(),
+        completed,
+        recovered_load,
+        recovery_assigned,
+        makespan: clock.now(),
+        base_makespan: base.makespan,
+        arbitrations,
+        ledger,
+        net_utilities,
+        splice_map,
+        timeline,
+    }
+}
+
+/// Layer the plan's message faults on top of the halting-fault report:
+/// each drop/corruption costs one detection timeout (and files a no-fault
+/// timeout complaint the liveness probe rejects); each delay adds its
+/// latency. Messages of halted nodes are skipped, and a leaf that sends
+/// nothing in Phases II–III has nothing to drop.
+fn apply_message_faults(report: &mut FtTreeRunReport, plan: &FaultPlan, flat: &Flat) {
+    let mut clock = obs::RunClock::starting_at(report.makespan);
+    for event in plan.message_faults() {
+        if report.crashed.contains(&event.node) || report.stalled.contains(&event.node) {
+            continue;
+        }
+        match event.kind {
+            FaultKind::DropMessage { phase } | FaultKind::CorruptMessage { phase } => {
+                let Some(receiver) = receiver_of(event.node, phase, flat) else {
+                    continue;
+                };
+                let wait = clock.advance(plan.detection_timeout);
+                obs::count!("protocol.ft.detection_timeouts", "phase" => phase);
+                obs::hist!("protocol.ft.timeout_wait", plan.detection_timeout, "phase" => phase);
+                report
+                    .timeline
+                    .push(receiver, phase, obs::TimelineKind::Timeout, wait, 0.0);
+                report.makespan = clock.now();
+                report.detected.push((receiver, event.node, phase));
+                report
+                    .arbitrations
+                    .push(to_tree_arbitration(&arbitrate_unresponsive(
+                        receiver, event.node, true,
+                    )));
+            }
+            FaultKind::DelayMessage { phase, delay } => {
+                if receiver_of(event.node, phase, flat).is_some() {
+                    clock.advance(delay);
+                    report.makespan = clock.now();
+                }
+            }
+            FaultKind::Crash { .. } | FaultKind::Stall { .. } => unreachable!("filtered"),
+        }
+    }
+    report.timeline.makespan = report.makespan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::Deviation;
+    use crate::faults::FaultError;
+
+    /// The 7-node two-level tree of the `tree_runner` tests.
+    fn shape() -> TreeNode {
+        TreeNode::internal(
+            1.0,
+            vec![
+                (
+                    0.15,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.05, TreeNode::leaf(1.0)), (0.25, TreeNode::leaf(1.0))],
+                    ),
+                ),
+                (
+                    0.30,
+                    TreeNode::internal(
+                        1.0,
+                        vec![(0.10, TreeNode::leaf(1.0)), (0.20, TreeNode::leaf(1.0))],
+                    ),
+                ),
+            ],
+        )
+    }
+
+    fn scenario() -> TreeScenario {
+        TreeScenario::honest(shape(), vec![1.4, 2.2, 0.7, 1.9, 1.1, 3.0])
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_tree_run() {
+        let s = scenario();
+        let plain = run_tree(&s);
+        let ft = run_with_faults(&s, &FaultPlan::none()).unwrap();
+        assert_eq!(ft.makespan, plain.makespan);
+        assert_eq!(ft.net_utilities, plain.net_utilities);
+        assert_eq!(ft.completed, plain.retained);
+        assert!(ft.crashed.is_empty() && ft.stalled.is_empty());
+        assert_eq!(ft.overhead(), 0.0);
+    }
+
+    #[test]
+    fn any_single_crash_recovers_on_the_branching_tree() {
+        let s = scenario();
+        let m = s.num_agents();
+        for k in 1..=m {
+            for phase in 1..=4u8 {
+                for progress in [0.0, 0.37, 1.0] {
+                    let plan = FaultPlan::crash(k, phase, progress);
+                    let ft = run_with_faults(&s, &plan).unwrap();
+                    assert_eq!(ft.crashed, vec![k]);
+                    assert!(
+                        ft.load_conserved(1e-9),
+                        "k={k} phase={phase} p={progress}: completed {:?}",
+                        ft.completed
+                    );
+                    assert!(ft.makespan >= ft.base_makespan, "recovery cannot be free");
+                    for j in 1..=m {
+                        assert!(
+                            ft.fines_paid(j) <= 1e-12,
+                            "honest P{j} fined after crash of P{k} in phase {phase}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internal_node_crash_reattaches_its_subtrees() {
+        // Node 1 routes the subtree {2, 3}; cutting it pre-distribution
+        // must keep its children productive, not orphan them.
+        let s = scenario();
+        let ft = run_with_faults(&s, &FaultPlan::crash(1, 1, 0.0)).unwrap();
+        assert!(ft.load_conserved(1e-9));
+        assert_eq!(ft.completed[1], 0.0);
+        assert!(
+            ft.completed[2] > 0.0 && ft.completed[3] > 0.0,
+            "re-attached subtree nodes still work: {:?}",
+            ft.completed
+        );
+        assert_eq!(ft.splice_map[1], None);
+        // The survivor allocation matches solving the spliced true-rate
+        // tree directly.
+        let true_tree = with_rates(&s.shape, &s.true_rates);
+        let spliced = tree::splice_node(&true_tree, 1);
+        let sol = tree::solve(&spliced.tree);
+        let shares = sol.flatten();
+        for (old, new) in spliced.map.iter().enumerate() {
+            if let Some(new) = new {
+                assert!(
+                    (ft.completed[old] - shares[*new]).abs() < 1e-12,
+                    "node {old}: {} vs {}",
+                    ft.completed[old],
+                    shares[*new]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase3_crash_pays_pro_rata_and_keeps_survivors_whole() {
+        let s = scenario();
+        let plain = run_tree(&s);
+        let ft = run_with_faults(&s, &FaultPlan::crash(4, 3, 0.4)).unwrap();
+        assert!(
+            ft.utility(4).abs() < 1e-9,
+            "pro-rata utility {}",
+            ft.utility(4)
+        );
+        assert!((ft.completed[4] - 0.4 * plain.retained[4]).abs() < 1e-12);
+        for j in (1..=6).filter(|&j| j != 4) {
+            assert!(
+                (ft.utility(j) - plain.utility(j)).abs() < 1e-9,
+                "P{j}: {} vs {}",
+                ft.utility(j),
+                plain.utility(j)
+            );
+        }
+        assert!((ft.recovered_load - 0.6 * plain.retained[4]).abs() < 1e-12);
+        let spread: f64 = ft.recovery_assigned.iter().sum();
+        assert!((spread - ft.recovered_load).abs() < 1e-12);
+        assert_eq!(ft.recovery_assigned[4], 0.0);
+    }
+
+    #[test]
+    fn phase4_crash_settles_from_the_roots_recomputation() {
+        let s = scenario();
+        let plain = run_tree(&s);
+        let ft = run_with_faults(&s, &FaultPlan::crash(2, 4, 0.0)).unwrap();
+        assert!((ft.utility(2) - plain.utility(2)).abs() < 1e-9);
+        assert!((ft.makespan - plain.makespan - FaultPlan::DEFAULT_TIMEOUT).abs() < 1e-12);
+        assert!(ft.load_conserved(1e-9));
+    }
+
+    #[test]
+    fn stall_triggers_recovery_without_conviction() {
+        let s = scenario();
+        let ft = run_with_faults(&s, &FaultPlan::stall(1, 0.25)).unwrap();
+        assert_eq!(ft.stalled, vec![1]);
+        assert!(ft.crashed.is_empty());
+        assert!(ft.load_conserved(1e-9));
+        let timeout_arb = ft
+            .arbitrations
+            .iter()
+            .find(|a| a.complaint == "unresponsive")
+            .unwrap();
+        assert!(!timeout_arb.substantiated);
+        for j in 1..=6 {
+            assert!(ft.fines_paid(j) <= 1e-12, "P{j} fined for a stall");
+        }
+    }
+
+    #[test]
+    fn cascading_crashes_compose_subtree_splices() {
+        let s = scenario();
+        let plan = FaultPlan::crash(1, 1, 0.0).with_event(
+            4,
+            FaultKind::Crash {
+                phase: 3,
+                progress: 0.5,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![1, 4]);
+        assert!(ft.load_conserved(1e-9));
+        assert!(ft.recovered_load > 0.0);
+        assert!(
+            ft.utility(4).abs() < 1e-9,
+            "inner casualty settled pro rata"
+        );
+        for j in 1..=6 {
+            assert!(ft.fines_paid(j) <= 1e-12);
+        }
+        assert_eq!(ft.timeline.of(obs::TimelineKind::Splice).count(), 2);
+    }
+
+    #[test]
+    fn all_strategic_nodes_crashing_leaves_the_root_alone() {
+        let s = scenario();
+        let mut plan = FaultPlan::crash(1, 3, 0.5);
+        for k in 2..=6 {
+            plan = plan.with_event(
+                k,
+                FaultKind::Crash {
+                    phase: 3,
+                    progress: 0.5,
+                },
+            );
+        }
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![1, 2, 3, 4, 5, 6]);
+        assert!(
+            ft.load_conserved(1e-9),
+            "the root absorbs the final residual: {:?}",
+            ft.completed
+        );
+        for j in 1..=6 {
+            assert!(ft.fines_paid(j) <= 1e-12);
+            assert!(ft.utility(j).abs() < 1e-9, "P{j} settled pro rata");
+        }
+    }
+
+    #[test]
+    fn simultaneous_phase4_crashes_share_one_timeout() {
+        let s = scenario();
+        let plain = run_tree(&s);
+        let plan = FaultPlan::crash(2, 4, 0.0).with_event(
+            5,
+            FaultKind::Crash {
+                phase: 4,
+                progress: 0.0,
+            },
+        );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        assert_eq!(ft.crashed, vec![2, 5]);
+        assert!(
+            (ft.makespan - plain.makespan - FaultPlan::DEFAULT_TIMEOUT).abs() < 1e-12,
+            "billing timers fire concurrently: one timeout, not two"
+        );
+        assert!((ft.utility(2) - plain.utility(2)).abs() < 1e-9);
+        assert!((ft.utility(5) - plain.utility(5)).abs() < 1e-9);
+        assert!(ft.load_conserved(1e-9));
+    }
+
+    #[test]
+    fn message_faults_add_overhead_but_never_fines() {
+        let s = scenario();
+        let plain = run_tree(&s);
+        let plan = FaultPlan::none()
+            .with_event(1, FaultKind::DropMessage { phase: 1 })
+            .with_event(2, FaultKind::CorruptMessage { phase: 2 })
+            .with_event(
+                4,
+                FaultKind::DelayMessage {
+                    phase: 4,
+                    delay: 0.02,
+                },
+            );
+        let ft = run_with_faults(&s, &plan).unwrap();
+        // Node 2 is a leaf: it sends nothing in Phase II, so only the
+        // drop and the delay cost anything.
+        let expected = plain.makespan + FaultPlan::DEFAULT_TIMEOUT + 0.02;
+        assert!((ft.makespan - expected).abs() < 1e-12);
+        assert_eq!(ft.detected.len(), 1, "only the Phase I drop times out");
+        for j in 1..=6 {
+            assert!(ft.fines_paid(j) <= 1e-12, "P{j} fined for a network fault");
+            assert!((ft.utility(j) - plain.utility(j)).abs() < 1e-9);
+        }
+        assert!(ft.load_conserved(1e-9));
+    }
+
+    #[test]
+    fn deviant_that_crashes_keeps_its_earlier_fines() {
+        let s = scenario().with_deviation(1, Deviation::WrongEquivalent { factor: 0.6 });
+        let ft = run_with_faults(&s, &FaultPlan::crash(1, 3, 0.5)).unwrap();
+        assert!(
+            ft.fines_paid(1) > 0.0,
+            "the Phase II conviction survives the crash"
+        );
+        assert!(ft.load_conserved(1e-9));
+        assert!(
+            ft.utility(1) < -1e-9,
+            "fined deviant nets negative even with pro-rata pay"
+        );
+    }
+
+    #[test]
+    fn tree_reports_are_deterministic() {
+        let s = scenario();
+        for seed in 0..10u64 {
+            let plan = FaultPlan::seeded_multi(seed, s.num_agents(), 3);
+            let a = run_with_faults(&s, &plan).unwrap();
+            let b = run_with_faults(&s, &plan).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_path_delegates_to_the_chain_engine_byte_for_byte() {
+        let net = dlt::model::LinearNetwork::from_rates(&[1.0, 2.0, 0.5, 4.0], &[0.2, 0.1, 0.7]);
+        let path = TreeNode::from_chain(&net);
+        let s = TreeScenario::honest(path, vec![2.0, 0.5, 4.0]);
+        let chain = as_chain_scenario(&s).expect("a path is a chain");
+        for k in 1..=3 {
+            for phase in 1..=4u8 {
+                let plan = FaultPlan::crash(k, phase, 0.5);
+                let ft = run_with_faults(&s, &plan).unwrap();
+                let lin = crate::ft_runner::run_with_faults(&chain, &plan).unwrap();
+                let expected = from_chain_report(lin);
+                assert_eq!(
+                    format!("{ft:?}"),
+                    format!("{expected:?}"),
+                    "k={k} phase={phase}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branching_trees_are_not_chains() {
+        assert!(as_chain_scenario(&scenario()).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_plans_and_scenarios() {
+        let s = scenario();
+        assert!(matches!(
+            run_with_faults(&s, &FaultPlan::crash(9, 1, 0.0)),
+            Err(FtError::Fault(FaultError::NodeOutOfRange { .. }))
+        ));
+        let mut bad = scenario();
+        bad.true_rates[0] = -1.0;
+        assert!(matches!(
+            run_with_faults(&bad, &FaultPlan::none()),
+            Err(FtError::Scenario(ScenarioError::BadRate { .. }))
+        ));
+        let mut short = scenario();
+        short.true_rates.pop();
+        short.deviations.pop();
+        assert!(matches!(
+            run_with_faults(&short, &FaultPlan::none()),
+            Err(FtError::Scenario(ScenarioError::LengthMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn seeded_multi_fault_sweeps_hold_the_invariants() {
+        let s = scenario();
+        let m = s.num_agents();
+        for seed in 0..20u64 {
+            let plan = FaultPlan::seeded_multi(seed, m, 3);
+            let ft = run_with_faults(&s, &plan).unwrap();
+            assert!(ft.load_conserved(1e-9), "seed={seed} plan {plan:?}");
+            for j in 1..=m {
+                assert!(
+                    ft.fines_paid(j) <= 1e-12,
+                    "seed={seed}: honest P{j} fined under {plan:?}"
+                );
+            }
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //!   fault).
 //! * [`ft_reference`] — the frozen PR 1 single-failure recovery path,
 //!   kept as a byte-identical differential-testing reference.
+//! * [`ft_tree_runner`] — fault-tolerant execution on **tree** networks:
+//!   subtree re-attachment recovery (`dlt::tree::splice_node`), with
+//!   degenerate paths delegating byte-for-byte to [`ft_runner`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +41,7 @@ pub mod deviation;
 pub mod faults;
 pub mod ft_reference;
 pub mod ft_runner;
+pub mod ft_tree_runner;
 pub mod lambda;
 pub mod ledger;
 pub mod messages;
@@ -51,10 +55,11 @@ pub use deviation::Deviation;
 pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan};
 pub use ft_reference::run_with_faults_single;
 pub use ft_runner::{run_with_faults, FtError, FtRunReport};
+pub use ft_tree_runner::{run_with_faults as run_tree_with_faults, FtTreeRunReport};
 pub use lambda::{BlockMint, LoadTag};
 pub use ledger::{EntryKind, Ledger};
 pub use messages::{Bill, Complaint, GMessage, PaymentProof};
 pub use root::{arbitrate, arbitrate_unresponsive, ArbitrationContext, ArbitrationRecord};
 pub use runner::{run, try_run, RunReport, Scenario, ScenarioError};
 pub use transcript::{replay, Finding, FindingKind, Transcript};
-pub use tree_runner::{run_tree, TreeRunReport, TreeScenario};
+pub use tree_runner::{run_tree, TreeArbitration, TreeRunReport, TreeScenario};

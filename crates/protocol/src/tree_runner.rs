@@ -75,6 +75,12 @@ impl TreeScenario {
         self
     }
 
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Number of strategic agents.
     pub fn num_agents(&self) -> usize {
         self.true_rates.len()
@@ -112,6 +118,11 @@ pub struct TreeRunReport {
     pub ledger: Ledger,
     /// Realized makespan of Phase III.
     pub makespan: f64,
+    /// Phase I bids per agent (`bids[j-1]` is `P_j`'s, preorder).
+    pub bids: Vec<f64>,
+    /// Metered execution rate per agent (preorder) — what the node
+    /// actually ran at, deviations included.
+    pub actual_rates: Vec<f64>,
 }
 
 impl TreeRunReport {
@@ -132,13 +143,13 @@ impl TreeRunReport {
 }
 
 /// Flat view of the canonicalized tree.
-struct Flat {
-    parent: Vec<Option<usize>>,
-    z_in: Vec<f64>, // link into each node (0 for the root)
-    children: Vec<Vec<usize>>,
+pub(crate) struct Flat {
+    pub(crate) parent: Vec<Option<usize>>,
+    pub(crate) z_in: Vec<f64>, // link into each node (0 for the root)
+    pub(crate) children: Vec<Vec<usize>>,
 }
 
-fn flatten(node: &TreeNode) -> Flat {
+pub(crate) fn flatten(node: &TreeNode) -> Flat {
     let n = node.size();
     let mut flat = Flat {
         parent: vec![None; n],
@@ -490,6 +501,8 @@ pub fn run_tree(scenario: &TreeScenario) -> TreeRunReport {
         arbitrations,
         ledger,
         makespan,
+        bids: bids[1..].to_vec(),
+        actual_rates: actual[1..].to_vec(),
     }
 }
 

@@ -167,6 +167,83 @@ fn cascading_failure_runs_identical_under_every_sink() {
     }
 }
 
+/// Tree-network fault recovery (subtree re-attachment, serialized Phase
+/// III splices, batched Phase IV probes) is instrumented with the same
+/// counters as the chain engine; the report — timeline included — must be
+/// bit-identical across disabled/noop/memory recorders.
+#[test]
+fn tree_fault_runs_identical_under_every_sink() {
+    let _g = lock();
+    obs::uninstall();
+    let shape = dlt::model::TreeNode::internal(
+        1.0,
+        vec![
+            (
+                0.15,
+                dlt::model::TreeNode::internal(
+                    1.0,
+                    vec![
+                        (0.05, dlt::model::TreeNode::leaf(1.0)),
+                        (0.25, dlt::model::TreeNode::leaf(1.0)),
+                    ],
+                ),
+            ),
+            (0.30, dlt::model::TreeNode::leaf(1.0)),
+        ],
+    );
+    let s = protocol::TreeScenario::honest(shape, vec![1.4, 2.2, 0.7, 1.9]);
+    for plan in [
+        // Internal-node crash: subtree re-attachment plus a cascading
+        // compute-phase crash on a re-attached child.
+        FaultPlan::crash(1, 1, 0.0).with_event(
+            3,
+            protocol::FaultKind::Crash {
+                phase: 3,
+                progress: 0.4,
+            },
+        ),
+        // Serialized Phase III splices followed by a billing blackout.
+        FaultPlan::crash(2, 3, 0.5)
+            .with_event(4, protocol::FaultKind::Stall { progress: 0.25 })
+            .with_event(
+                1,
+                protocol::FaultKind::Crash {
+                    phase: 4,
+                    progress: 0.0,
+                },
+            ),
+        // Message faults through the tree receiver rules.
+        FaultPlan::none()
+            .with_event(1, protocol::FaultKind::DropMessage { phase: 2 })
+            .with_event(
+                2,
+                protocol::FaultKind::DelayMessage {
+                    phase: 1,
+                    delay: 0.03,
+                },
+            ),
+    ] {
+        let disabled = protocol::run_tree_with_faults(&s, &plan).expect("valid plan");
+        let noop = under_sink(Arc::new(NoopSink), || {
+            protocol::run_tree_with_faults(&s, &plan).expect("valid plan")
+        });
+        let memory_sink = Arc::new(MemorySink::new());
+        let memory = under_sink(memory_sink.clone(), || {
+            protocol::run_tree_with_faults(&s, &plan).expect("valid plan")
+        });
+        assert_eq!(disabled, noop);
+        assert_eq!(disabled, memory);
+        assert_eq!(format!("{disabled:?}"), format!("{memory:?}"));
+        assert_eq!(
+            format!("{:?}", disabled.timeline),
+            format!("{:?}", memory.timeline)
+        );
+        if plan.halting_faults().count() > 0 {
+            assert!(memory_sink.counter_total("protocol.ft.detection_timeouts") > 0.0);
+        }
+    }
+}
+
 /// Message-level faults (drops, delays, corruption) exercise the
 /// `apply_message_faults` clock path; parity must hold there as well.
 #[test]

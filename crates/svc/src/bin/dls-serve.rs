@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dls-serve [--addr 127.0.0.1:4500] [--workers N] [--queue N]
-//!           [--deadline-ms N] [--allow-remote-shutdown] [--self-test]
+//!           [--max-conns N] [--deadline-ms N] [--allow-remote-shutdown]
+//!           [--self-test]
 //! ```
 //!
 //! The `shutdown` op is honored from loopback peers only unless
@@ -38,6 +39,7 @@ fn parse_args() -> (ServerConfig, bool) {
             "--addr" => config.addr = take("--addr"),
             "--workers" => config.workers = take("--workers").parse().expect("--workers"),
             "--queue" => config.queue_capacity = take("--queue").parse().expect("--queue"),
+            "--max-conns" => config.max_conns = take("--max-conns").parse().expect("--max-conns"),
             "--deadline-ms" => {
                 config.default_deadline_ms = take("--deadline-ms").parse().expect("--deadline-ms")
             }
@@ -46,7 +48,8 @@ fn parse_args() -> (ServerConfig, bool) {
             "--help" | "-h" => {
                 println!(
                     "dls-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--deadline-ms N] [--allow-remote-shutdown] [--self-test]"
+                     [--max-conns N] [--deadline-ms N] [--allow-remote-shutdown] \
+                     [--self-test]"
                 );
                 std::process::exit(0);
             }

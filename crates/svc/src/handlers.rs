@@ -299,6 +299,15 @@ pub fn rejected_response(id: Option<i64>, retry_after_ms: u64, draining: bool) -
     )
 }
 
+/// An accept-side rejection: the server is at its connection cap. Sent
+/// once on the fresh socket (no request was read, so there is no id),
+/// then the connection is closed.
+pub fn conn_limit_response(retry_after_ms: u64) -> String {
+    format!(
+        "{{\"status\":\"rejected\",\"reason\":\"connection-limit\",\"retry_after_ms\":{retry_after_ms}}}"
+    )
+}
+
 /// A deadline-exceeded response.
 pub fn timeout_response(id: Option<i64>, deadline_ms: u64) -> String {
     format!(
@@ -414,6 +423,7 @@ mod tests {
             error_response(Some(-1), "bad \"thing\""),
             rejected_response(None, 25, false),
             rejected_response(Some(9), 100, true),
+            conn_limit_response(25),
             timeout_response(Some(2), 250),
         ] {
             let v = Value::parse(&s).unwrap_or_else(|e| panic!("invalid envelope {s}: {e}"));

@@ -55,6 +55,10 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Retry hint returned with backpressure rejections, milliseconds.
     pub retry_after_ms: u64,
+    /// Accept-side connection cap: when this many connections are live, a
+    /// new one is sent a single `connection-limit` rejection line (with
+    /// the `retry_after_ms` hint) and closed without reading a request.
+    pub max_conns: usize,
     /// Honor `shutdown` ops from non-loopback peers. Off by default: when
     /// `--addr` binds a non-loopback interface, remote clients must not
     /// be able to drain the server.
@@ -75,6 +79,7 @@ impl Default for ServerConfig {
             quantum: quant::DEFAULT_QUANTUM,
             default_deadline_ms: 2_000,
             retry_after_ms: 25,
+            max_conns: 256,
             allow_remote_shutdown: false,
             obs_memory: None,
         }
@@ -424,6 +429,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let shared = Arc::clone(&shared);
         let readers = Arc::clone(&readers);
         let writers = Arc::clone(&writers);
+        let max_conns = config.max_conns.max(1);
         std::thread::Builder::new()
             .name("dls-accept".into())
             .spawn(move || {
@@ -438,6 +444,21 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     // (finished threads are safe to detach by dropping).
                     readers.lock().unwrap().retain(|h| !h.is_finished());
                     writers.lock().unwrap().retain(|h| !h.is_finished());
+                    // Accept-side cap: the reap above keeps the live count
+                    // honest under churn. A capped client gets a single
+                    // parseable rejection line and EOF — it never reaches
+                    // the reader/writer threads or the queue.
+                    if readers.lock().unwrap().len() >= max_conns {
+                        obs::count!("svc.connections.capped");
+                        let mut stream = stream;
+                        let _ = writeln!(
+                            stream,
+                            "{}",
+                            handlers::conn_limit_response(shared.ctx.retry_after_ms)
+                        );
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
                     let (tx, rx) = mpsc::channel::<String>();
                     let write_half = match stream.try_clone() {
                         Ok(s) => s,

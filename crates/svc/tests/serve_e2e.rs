@@ -283,3 +283,69 @@ fn saturated_queue_rejects_with_backpressure_and_drains_clean() {
         "drained server must refuse connects"
     );
 }
+
+#[test]
+fn connection_cap_rejects_with_retry_hint_and_recovers() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        max_conns: 2,
+        retry_after_ms: 9,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Two live clients fill the cap.
+    let mut a = Client::connect(addr).expect("connect");
+    let mut b = Client::connect(addr).expect("connect");
+    assert_eq!(status(&a.call(r#"{"op":"health"}"#).unwrap()), "ok");
+    assert_eq!(status(&b.call(r#"{"op":"health"}"#).unwrap()), "ok");
+
+    // A third connection gets one parseable rejection line — without
+    // sending anything — then EOF.
+    {
+        use std::io::BufRead;
+        let stream = std::net::TcpStream::connect(addr).expect("tcp connect");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read rejection line");
+        let v = Value::parse(line.trim()).expect("rejection must be valid JSON");
+        assert_eq!(status(&v), "rejected");
+        assert_eq!(
+            v.get("reason").unwrap().as_str(),
+            Some("connection-limit"),
+            "cap rejections must cite the connection limit"
+        );
+        assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(9));
+        let mut rest = String::new();
+        assert_eq!(
+            reader.read_line(&mut rest).expect("read eof"),
+            0,
+            "capped connection must be closed after the rejection line"
+        );
+    }
+
+    // The capped-out attempt must not have disturbed the live sessions.
+    assert_eq!(status(&a.call(r#"{"op":"health"}"#).unwrap()), "ok");
+    assert_eq!(status(&b.call(r#"{"op":"health"}"#).unwrap()), "ok");
+
+    // Dropping a client frees a slot; the reap runs on the next accept,
+    // so retry (with the hinted pause) until admitted.
+    drop(b);
+    let mut c = loop {
+        let mut c = Client::connect(addr).expect("tcp connect");
+        match c.call(r#"{"op":"health"}"#) {
+            Ok(v) if status(&v) == "ok" => break c,
+            _ => std::thread::sleep(std::time::Duration::from_millis(9)),
+        }
+    };
+
+    // The recovered slot is a full session, and the drain ledger holds.
+    let line = requests::solve_line(1, 1.0, &[0.2, 0.1], &[2.0, 0.5]);
+    assert_eq!(status(&c.call(&line).unwrap()), "ok");
+    handle.shutdown();
+    drop(a);
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+}

@@ -6,6 +6,7 @@
 //! here makes the fault sweeps reproducible from a single seed and lets
 //! property tests enumerate the same cases the benchmarks plot.
 
+use dlt::model::TreeNode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -247,6 +248,116 @@ pub fn seeded_multi_cases(
         .collect()
 }
 
+/// One tree network for the tree-fault experiments: a canonicalized shape
+/// plus the true rates of its strategic processors in canonical preorder.
+/// The shape's embedded non-root rates equal `true_rates`, so the case can
+/// feed `protocol::TreeScenario` directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeFaultCase {
+    /// Short shape label for experiment tables, e.g. `binary/m6`.
+    pub label: String,
+    /// The canonicalized tree (root rate, link rates, agent rates).
+    pub shape: TreeNode,
+    /// Non-root processor rates in canonical preorder (`true_rates[j-1]`
+    /// is `P_j`'s).
+    pub true_rates: Vec<f64>,
+}
+
+impl TreeFaultCase {
+    /// Number of strategic processors.
+    pub fn num_agents(&self) -> usize {
+        self.shape.size() - 1
+    }
+}
+
+/// Non-root processor rates of a tree in preorder.
+fn agent_rates(node: &TreeNode) -> Vec<f64> {
+    fn walk(node: &TreeNode, out: &mut Vec<f64>, is_root: bool) {
+        if !is_root {
+            out.push(node.processor.w);
+        }
+        for (_, c) in &node.children {
+            walk(c, out, false);
+        }
+    }
+    let mut out = Vec::new();
+    walk(node, &mut out, true);
+    out
+}
+
+fn finish(label: String, shape: TreeNode) -> TreeFaultCase {
+    let shape = dlt::tree::canonicalize(&shape);
+    let true_rates = agent_rates(&shape);
+    TreeFaultCase {
+        label,
+        shape,
+        true_rates,
+    }
+}
+
+/// The tree-shape population the E24 sweep and the tree-fault proptests
+/// share: degenerate paths (which must reduce byte-for-byte to the chain
+/// fault path), stars, a balanced binary tree, and seeded random trees.
+/// All rates are drawn from `seed`, so the grid is reproducible.
+pub fn tree_shape_grid(seed: u64) -> Vec<TreeFaultCase> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EE_FA17);
+    let mut w = || rng.gen_range(0.5..=4.0);
+    let mut cases = Vec::new();
+
+    // Degenerate paths: the differential spine of the harness.
+    for m in 2..=4usize {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7EE_FA17 ^ (m as u64) << 8);
+        let rates: Vec<f64> = (0..=m).map(|_| rng.gen_range(0.5..=4.0)).collect();
+        let links: Vec<f64> = (0..m).map(|_| rng.gen_range(0.05..=0.8)).collect();
+        let net = dlt::model::LinearNetwork::from_rates(&rates, &links);
+        cases.push(finish(format!("path/m{m}"), TreeNode::from_chain(&net)));
+    }
+
+    // Stars: every agent one hop from the root, ascending links.
+    for m in [3usize, 5] {
+        let children = (0..m)
+            .map(|i| (0.1 + 0.1 * i as f64, TreeNode::leaf(w())))
+            .collect();
+        cases.push(finish(
+            format!("star/m{m}"),
+            TreeNode::internal(w(), children),
+        ));
+    }
+
+    // A balanced binary tree: two internal routers, four leaves.
+    let binary = TreeNode::internal(
+        w(),
+        vec![
+            (
+                0.15,
+                TreeNode::internal(
+                    w(),
+                    vec![(0.05, TreeNode::leaf(w())), (0.25, TreeNode::leaf(w()))],
+                ),
+            ),
+            (
+                0.30,
+                TreeNode::internal(
+                    w(),
+                    vec![(0.10, TreeNode::leaf(w())), (0.20, TreeNode::leaf(w()))],
+                ),
+            ),
+        ],
+    );
+    cases.push(finish("binary/m6".to_string(), binary));
+
+    // Seeded random trees of mixed fanout.
+    let config = crate::generators::ChainConfig {
+        processors: 6,
+        ..Default::default()
+    };
+    for k in 0..3u64 {
+        let t = crate::generators::tree(&config, 3, seed.wrapping_add(0xA11CE + k));
+        cases.push(finish(format!("random/s{k}"), t));
+    }
+    cases
+}
+
 /// Label a multi-fault plan for experiment tables, e.g.
 /// `crash@P1/ph3/0.50 + crash@P2/ph3/0.50` (`healthy` for the empty
 /// plan).
@@ -361,6 +472,33 @@ mod tests {
             multi_seen,
             "batch should exercise genuine multi-failure plans"
         );
+    }
+
+    #[test]
+    fn tree_grid_is_deterministic_and_canonical() {
+        let grid = tree_shape_grid(0xE24);
+        assert_eq!(grid, tree_shape_grid(0xE24));
+        let labels: std::collections::HashSet<_> = grid.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels.len(), grid.len(), "labels must be distinct");
+        for case in &grid {
+            assert_eq!(case.true_rates.len(), case.num_agents());
+            assert!(case.true_rates.iter().all(|&r| r > 0.0));
+            // Canonicalization is idempotent on the stored shape.
+            assert_eq!(dlt::tree::canonicalize(&case.shape), case.shape);
+        }
+    }
+
+    #[test]
+    fn tree_grid_mixes_paths_and_branching_shapes() {
+        fn is_path(node: &TreeNode) -> bool {
+            node.children.len() <= 1 && node.children.iter().all(|(_, c)| is_path(c))
+        }
+        let grid = tree_shape_grid(1);
+        assert!(grid.iter().any(|c| is_path(&c.shape)));
+        assert!(grid.iter().any(|c| !is_path(&c.shape)));
+        assert!(grid.iter().any(|c| c.label.starts_with("star/")));
+        assert!(grid.iter().any(|c| c.label.starts_with("binary/")));
+        assert!(grid.iter().any(|c| c.label.starts_with("random/")));
     }
 
     #[test]

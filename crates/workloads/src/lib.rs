@@ -21,7 +21,7 @@ pub mod sweep;
 
 pub use fault_cases::{
     cascade_grid, crash_pair_grid, crash_position_grid, crash_time_grid, multi_label, seeded_cases,
-    seeded_multi_cases, FaultCase, FaultCaseKind,
+    seeded_multi_cases, tree_shape_grid, FaultCase, FaultCaseKind, TreeFaultCase,
 };
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
 pub use requests::{ft_line, request_lines, solve_line, RequestMixConfig};
