@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! dls-serve [--addr 127.0.0.1:4500] [--workers N] [--queue N]
-//!           [--max-conns N] [--deadline-ms N] [--allow-remote-shutdown]
-//!           [--self-test]
+//!           [--max-conns N] [--deadline-ms N] [--cache-ttl-ms N]
+//!           [--fleet N] [--allow-remote-shutdown] [--self-test]
 //! ```
 //!
 //! The `shutdown` op is honored from loopback peers only unless
 //! `--allow-remote-shutdown` is given, so binding a non-loopback `--addr`
 //! does not hand remote clients control of the server lifecycle.
+//!
+//! `--fleet N` starts the resilient topology instead of a single server:
+//! `N` supervised in-process shard servers (restarted on death, with
+//! backoff) behind a failover router bound to `--addr`. Clients speak the
+//! same protocol to the router; a `shutdown` op drains the router, then
+//! the fleet, and the exit ledger is the fleet-wide sum.
 //!
 //! Speaks newline-delimited JSON (see the `svc` crate docs for the ops).
 //! With `DLS_TRACE=path.jsonl` set, streams `obs` records to that file
@@ -21,14 +27,15 @@
 //! ledger, and exits non-zero on any mismatch — the CI smoke test.
 
 use std::sync::Arc;
-use svc::{serve, Client, ServerConfig};
+use svc::{serve, Client, Router, RouterConfig, ServerConfig, Supervisor, SupervisorConfig};
 
-fn parse_args() -> (ServerConfig, bool) {
+fn parse_args() -> (ServerConfig, bool, usize) {
     let mut config = ServerConfig {
         addr: "127.0.0.1:4500".into(),
         ..ServerConfig::default()
     };
     let mut self_test = false;
+    let mut fleet = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -43,13 +50,17 @@ fn parse_args() -> (ServerConfig, bool) {
             "--deadline-ms" => {
                 config.default_deadline_ms = take("--deadline-ms").parse().expect("--deadline-ms")
             }
+            "--cache-ttl-ms" => {
+                config.cache_ttl_ms = Some(take("--cache-ttl-ms").parse().expect("--cache-ttl-ms"))
+            }
+            "--fleet" => fleet = take("--fleet").parse().expect("--fleet"),
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--self-test" => self_test = true,
             "--help" | "-h" => {
                 println!(
                     "dls-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--max-conns N] [--deadline-ms N] [--allow-remote-shutdown] \
-                     [--self-test]"
+                     [--max-conns N] [--deadline-ms N] [--cache-ttl-ms N] \
+                     [--fleet N] [--allow-remote-shutdown] [--self-test]"
                 );
                 std::process::exit(0);
             }
@@ -59,11 +70,11 @@ fn parse_args() -> (ServerConfig, bool) {
             }
         }
     }
-    (config, self_test)
+    (config, self_test, fleet)
 }
 
 fn main() {
-    let (mut config, self_test) = parse_args();
+    let (mut config, self_test, fleet) = parse_args();
     let traced = obs::init_from_env();
     if traced.is_none() {
         let sink = Arc::new(obs::MemorySink::new());
@@ -82,6 +93,10 @@ fn main() {
         }
         return;
     }
+    if fleet > 0 {
+        run_fleet(config, fleet, traced);
+        return;
+    }
     let handle = serve(config).expect("bind server");
     println!("dls-serve listening on {}", handle.addr());
     if let Some(path) = traced {
@@ -91,6 +106,59 @@ fn main() {
     let snapshot = handle.join();
     println!(
         "drained: received={} completed={} rejected={} timeouts={} conserved={}",
+        snapshot.received,
+        snapshot.completed,
+        snapshot.rejected,
+        snapshot.timeouts,
+        snapshot.conserved()
+    );
+    if !snapshot.conserved() {
+        std::process::exit(1);
+    }
+}
+
+/// The resilient topology: `fleet` supervised in-process shards behind a
+/// failover router on `config.addr`. Blocks until the router drains.
+fn run_fleet(config: ServerConfig, fleet: usize, traced: Option<String>) {
+    let router_addr = config.addr.clone();
+    let allow_remote = config.allow_remote_shutdown;
+    let supervisor = Supervisor::start(SupervisorConfig {
+        shards: fleet,
+        server: ServerConfig {
+            // Shards trust only their local supervisor/router.
+            allow_remote_shutdown: false,
+            ..config
+        },
+        ..SupervisorConfig::default()
+    })
+    .expect("start shard fleet");
+    let router = Router::spawn(
+        supervisor.directory(),
+        RouterConfig {
+            addr: router_addr,
+            allow_remote_shutdown: allow_remote,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router");
+    println!(
+        "dls-serve listening on {} (fleet of {fleet})",
+        router.addr()
+    );
+    if let Some(path) = traced {
+        println!("tracing to {path}");
+    }
+    let router_stats = router.join();
+    let snapshot = supervisor.shutdown();
+    println!(
+        "router drained: received={} forwarded={} failovers={} unavailable={}",
+        router_stats.received,
+        router_stats.forwarded_ok,
+        router_stats.failovers,
+        router_stats.unavailable
+    );
+    println!(
+        "fleet drained: received={} completed={} rejected={} timeouts={} conserved={}",
         snapshot.received,
         snapshot.completed,
         snapshot.rejected,

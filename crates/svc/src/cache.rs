@@ -7,6 +7,18 @@
 //! eviction removes the least-recently-used entry with a linear scan —
 //! evictions happen only on misses into a full shard, where the scan cost
 //! is dwarfed by the solve the miss is about to perform.
+//!
+//! ### Staleness controls
+//! Two mechanisms bound how long a cached body may be served:
+//!
+//! * **TTL** ([`SolverCache::with_ttl`]): every entry carries its insert
+//!   instant; a lookup past the TTL treats the entry as a miss, removes
+//!   it, and re-solves. Counted in [`SolverCache::expired`].
+//! * **Quantum epoch** ([`SolverCache::invalidate_on_quantum_change`]):
+//!   cache keys are quantized ticks, so two *different* quanta can map
+//!   distinct chains onto the same tick vector. When the server's quantum
+//!   is reconfigured the whole cache is dropped in one sweep — a key from
+//!   the old epoch must never answer a request from the new one.
 
 use crate::quant::ChainKey;
 use std::collections::hash_map::DefaultHasher;
@@ -14,20 +26,36 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Entry {
+    body: Arc<String>,
+    stamp: u64,
+    inserted: Instant,
+}
 
 struct Shard {
-    entries: HashMap<ChainKey, (Arc<String>, u64)>,
+    entries: HashMap<ChainKey, Entry>,
     clock: u64,
 }
 
 impl Shard {
-    fn touch(&mut self, key: &ChainKey) -> Option<Arc<String>> {
+    fn touch(&mut self, key: &ChainKey, ttl: Option<Duration>) -> TouchResult {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.get_mut(key).map(|(body, stamp)| {
-            *stamp = clock;
-            Arc::clone(body)
-        })
+        match self.entries.get_mut(key) {
+            None => TouchResult::Miss,
+            Some(entry) => {
+                if let Some(ttl) = ttl {
+                    if entry.inserted.elapsed() > ttl {
+                        self.entries.remove(key);
+                        return TouchResult::Expired;
+                    }
+                }
+                entry.stamp = clock;
+                TouchResult::Hit(Arc::clone(&entry.body))
+            }
+        }
     }
 
     fn insert(&mut self, key: ChainKey, body: Arc<String>, capacity: usize) {
@@ -36,14 +64,27 @@ impl Shard {
             if let Some(oldest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&oldest);
             }
         }
-        self.entries.insert(key, (body, self.clock));
+        self.entries.insert(
+            key,
+            Entry {
+                body,
+                stamp: self.clock,
+                inserted: Instant::now(),
+            },
+        );
     }
+}
+
+enum TouchResult {
+    Hit(Arc<String>),
+    Miss,
+    Expired,
 }
 
 /// Sharded LRU solver cache. Values are the serialized report bodies, so a
@@ -51,13 +92,27 @@ impl Shard {
 pub struct SolverCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    ttl: Option<Duration>,
+    /// The quantum the resident entries were keyed under (f64 bits;
+    /// `u64::MAX` = not yet pinned).
+    epoch_quantum_bits: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    expired: AtomicU64,
+    invalidations: AtomicU64,
 }
 
+const EPOCH_UNSET: u64 = u64::MAX;
+
 impl SolverCache {
-    /// A cache with `shards` shards of `capacity_per_shard` entries each.
+    /// A cache with `shards` shards of `capacity_per_shard` entries each
+    /// and no TTL (entries live until evicted or invalidated).
     pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self::with_ttl(shards, capacity_per_shard, None)
+    }
+
+    /// A cache whose entries additionally expire `ttl` after insertion.
+    pub fn with_ttl(shards: usize, capacity_per_shard: usize, ttl: Option<Duration>) -> Self {
         assert!(shards > 0 && capacity_per_shard > 0);
         Self {
             shards: (0..shards)
@@ -69,8 +124,12 @@ impl SolverCache {
                 })
                 .collect(),
             capacity_per_shard,
+            ttl,
+            epoch_quantum_bits: AtomicU64::new(EPOCH_UNSET),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -84,15 +143,22 @@ impl SolverCache {
     /// the body and whether it was a hit. `solve` runs outside the shard
     /// lock; when two workers race on the same cold key both solve and the
     /// later insert wins — harmless, since both bodies are identical by
-    /// canonicalization.
+    /// canonicalization. An entry past the TTL counts as a miss (and as
+    /// [`expired`](SolverCache::expired)).
     pub fn get_or_insert(
         &self,
         key: &ChainKey,
         solve: impl FnOnce() -> String,
     ) -> (Arc<String>, bool) {
-        if let Some(body) = self.shard_of(key).lock().unwrap().touch(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (body, true);
+        match self.shard_of(key).lock().unwrap().touch(key, self.ttl) {
+            TouchResult::Hit(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (body, true);
+            }
+            TouchResult::Expired => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            TouchResult::Miss => {}
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let body = Arc::new(solve());
@@ -104,6 +170,34 @@ impl SolverCache {
         (body, false)
     }
 
+    /// Pin the cache to `quantum`, dropping **every** entry if it differs
+    /// from the quantum the resident entries were keyed under. Returns
+    /// `true` when the cache was cleared. Keys are quantized ticks, so a
+    /// quantum change silently re-interprets every key — full invalidation
+    /// is the only correct response (property-tested in
+    /// `tests/cache_props.rs`).
+    pub fn invalidate_on_quantum_change(&self, quantum: f64) -> bool {
+        let bits = quantum.to_bits();
+        let prev = self.epoch_quantum_bits.swap(bits, Ordering::SeqCst);
+        if prev == bits {
+            return false;
+        }
+        let first_pin = prev == EPOCH_UNSET;
+        if first_pin && self.is_empty() {
+            return false;
+        }
+        self.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Drop every cached entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().entries.clear();
+        }
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -112,6 +206,17 @@ impl SolverCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found an entry past the TTL (each also counted as a
+    /// miss).
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Full-cache invalidations forced by a quantum change.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 
     /// Entries currently resident across all shards.
@@ -177,5 +282,41 @@ mod tests {
             assert!(!hit);
             assert_eq!(*body, format!("v{i}"));
         }
+    }
+
+    #[test]
+    fn ttl_expires_entries_into_misses() {
+        let cache = SolverCache::with_ttl(2, 8, Some(Duration::from_millis(25)));
+        let k = key(vec![7, 8]);
+        cache.get_or_insert(&k, || "v1".into());
+        let (_, hit) = cache.get_or_insert(&k, || unreachable!("fresh entry must hit"));
+        assert!(hit);
+        std::thread::sleep(Duration::from_millis(40));
+        let (body, hit) = cache.get_or_insert(&k, || "v2".into());
+        assert!(!hit, "expired entry must be a miss");
+        assert_eq!(*body, "v2");
+        assert_eq!(cache.expired(), 1);
+        // Re-inserted entry is fresh again.
+        let (_, hit) = cache.get_or_insert(&k, || unreachable!());
+        assert!(hit);
+    }
+
+    #[test]
+    fn quantum_change_drops_every_entry() {
+        let cache = SolverCache::new(4, 8);
+        assert!(
+            !cache.invalidate_on_quantum_change(1e-9),
+            "pinning an empty cache is not an invalidation"
+        );
+        for i in 0..10i64 {
+            cache.get_or_insert(&key(vec![i]), || format!("v{i}"));
+        }
+        assert!(!cache.invalidate_on_quantum_change(1e-9), "same quantum");
+        assert_eq!(cache.len(), 10);
+        assert!(cache.invalidate_on_quantum_change(1e-6), "new quantum");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidations(), 1);
+        let (_, hit) = cache.get_or_insert(&key(vec![3]), || "fresh".into());
+        assert!(!hit, "old-epoch entries must not survive");
     }
 }

@@ -1,0 +1,462 @@
+//! A seeded, fault-injecting TCP proxy for resilience drills.
+//!
+//! The proxy sits between a client (or the router) and one upstream
+//! server, forwarding bytes in both directions while injecting faults
+//! drawn from a deterministic RNG:
+//!
+//! * **reset** — drop both halves of the connection mid-stream;
+//! * **delay** — stall a chunk for a fixed number of milliseconds;
+//! * **partial write** — forward a chunk in two flushes with a pause in
+//!   between (exercises partial-line reads downstream);
+//! * **corrupt** — XOR `0x80` into one byte of a server→client chunk.
+//!   Responses are ASCII JSON, so the flipped high bit always produces
+//!   invalid UTF-8 and the client's `read_line` fails loudly — corruption
+//!   is *detectable by construction*, never a silently wrong answer.
+//!
+//! Determinism: every pump direction of every accepted connection gets
+//! its own RNG seeded from `(seed, connection, direction)`, so a chaos
+//! plan replays identically for an identical byte stream. One draw is
+//! made per forwarded chunk, and chunk boundaries follow the OS's TCP
+//! read coalescing — so injected-event *counts* may wiggle slightly
+//! between runs even with a fixed seed. A shared **event budget** caps
+//! the total number of injected faults regardless; once spent, the proxy
+//! is transparent. Retrying clients therefore always converge — the
+//! harness asserts the *invariants* (termination, bit-identity, ledger),
+//! which are exact, not the event tallies, which are not.
+//!
+//! The upstream may be a fixed address or a resolver closure, so the
+//! proxy can follow a supervised shard across restarts (each restart
+//! binds a fresh ephemeral port).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The fault classes the proxy can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drop the connection (both directions) mid-stream.
+    Reset,
+    /// Stall a chunk before forwarding it.
+    Delay,
+    /// Forward a chunk in two flushes with a pause in between.
+    PartialWrite,
+    /// Flip the high bit of one byte (server→client only).
+    Corrupt,
+}
+
+/// Per-chunk fault probabilities and the global event budget.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed; identical seeds replay identical fault schedules for
+    /// identical byte streams.
+    pub seed: u64,
+    /// Per-chunk probability of a connection reset.
+    pub reset_prob: f64,
+    /// Per-chunk probability of a delay.
+    pub delay_prob: f64,
+    /// Delay length when one fires.
+    pub delay: Duration,
+    /// Per-chunk probability of a partial (split) write.
+    pub partial_prob: f64,
+    /// Per-chunk probability of corrupting one response byte
+    /// (server→client direction only).
+    pub corrupt_prob: f64,
+    /// Total faults the proxy may inject before turning transparent.
+    /// Guarantees retrying clients eventually succeed.
+    pub event_budget: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            reset_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(20),
+            partial_prob: 0.0,
+            corrupt_prob: 0.0,
+            event_budget: u64::MAX,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A transparent proxy (no faults): the control arm of E25.
+    pub fn transparent(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters of what the proxy actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Resets injected.
+    pub resets: u64,
+    /// Delays injected.
+    pub delays: u64,
+    /// Partial writes injected.
+    pub partial_writes: u64,
+    /// Bytes corrupted.
+    pub corruptions: u64,
+    /// Connections severed by [`ChaosProxy::sever_all`].
+    pub severed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    resets: AtomicU64,
+    delays: AtomicU64,
+    partial_writes: AtomicU64,
+    corruptions: AtomicU64,
+    severed: AtomicU64,
+}
+
+/// Resolves the current upstream address (shards move across restarts).
+pub type UpstreamResolver = Arc<dyn Fn() -> Option<SocketAddr> + Send + Sync>;
+
+struct Inner {
+    config: ChaosConfig,
+    budget: AtomicU64,
+    counters: Counters,
+    stopped: AtomicBool,
+    /// Write halves of live connections, for [`ChaosProxy::sever_all`].
+    live: Mutex<Vec<TcpStream>>,
+}
+
+impl Inner {
+    /// Spend one unit of the event budget; `false` = budget exhausted,
+    /// forward transparently.
+    fn try_spend(&self) -> bool {
+        self.budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// A running fault-injecting proxy; see the module docs.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+const CHUNK: usize = 4096;
+
+impl ChaosProxy {
+    /// Proxy to a fixed upstream address.
+    pub fn spawn(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<Self> {
+        Self::spawn_dynamic(Arc::new(move || Some(upstream)), config)
+    }
+
+    /// Proxy to whatever address `resolver` currently returns (e.g. a
+    /// supervised shard slot). A `None` resolution refuses the connection.
+    pub fn spawn_dynamic(resolver: UpstreamResolver, config: ChaosConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            budget: AtomicU64::new(config.event_budget),
+            config,
+            counters: Counters::default(),
+            stopped: AtomicBool::new(false),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || {
+                    let mut conn_id: u64 = 0;
+                    for stream in listener.incoming() {
+                        if inner.stopped.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(client) = stream else { continue };
+                        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        let Some(target) = resolver() else {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        let Ok(server) =
+                            TcpStream::connect_timeout(&target, Duration::from_secs(2))
+                        else {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        conn_id += 1;
+                        spawn_pumps(&inner, conn_id, client, server);
+                    }
+                })
+                .expect("spawn chaos accept thread")
+        };
+        Ok(Self {
+            addr,
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Abruptly drop every live proxied connection (simulated partition).
+    /// New connections still go through.
+    pub fn sever_all(&self) {
+        let mut live = self.inner.live.lock().unwrap();
+        for s in live.drain(..) {
+            self.inner.counters.severed.fetch_add(1, Ordering::Relaxed);
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Faults the budget still allows.
+    pub fn budget_remaining(&self) -> u64 {
+        self.inner.budget.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.inner.counters;
+        ChaosStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            delays: c.delays.load(Ordering::Relaxed),
+            partial_writes: c.partial_writes.load(Ordering::Relaxed),
+            corruptions: c.corruptions.load(Ordering::Relaxed),
+            severed: c.severed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting and sever all live connections.
+    pub fn stop(&mut self) {
+        if self.inner.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        self.sever_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_pumps(inner: &Arc<Inner>, conn_id: u64, client: TcpStream, server: TcpStream) {
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Register both write halves so `sever_all` can cut the connection.
+    {
+        let mut live = inner.live.lock().unwrap();
+        live.retain(|s| s.peer_addr().is_ok());
+        if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
+            live.push(c);
+            live.push(s);
+        }
+    }
+    for (dir, src, dst) in [
+        (0u64, client.try_clone(), server.try_clone()),
+        (1u64, server.try_clone(), client.try_clone()),
+    ] {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let inner = Arc::clone(inner);
+        let seed = inner
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(conn_id * 2 + dir);
+        let _ = std::thread::Builder::new()
+            .name(format!("chaos-pump-{conn_id}-{dir}"))
+            .spawn(move || pump(&inner, dir, src, dst, StdRng::seed_from_u64(seed)));
+    }
+}
+
+/// Forward `src` → `dst` chunk-by-chunk, injecting faults. `dir` 0 is
+/// client→server, 1 is server→client (corruption only fires on 1, so a
+/// corrupted *request* can never reach a shard and mutate real state).
+fn pump(inner: &Arc<Inner>, dir: u64, mut src: TcpStream, dst: TcpStream, mut rng: StdRng) {
+    let cfg = &inner.config;
+    let mut dst = dst;
+    let mut buf = [0u8; CHUNK];
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        // Draw every fault decision unconditionally so the RNG stream
+        // stays aligned across runs regardless of which faults fire.
+        let reset = rng.gen_bool(cfg.reset_prob);
+        let delay = rng.gen_bool(cfg.delay_prob);
+        let partial = rng.gen_bool(cfg.partial_prob);
+        let corrupt = rng.gen_bool(cfg.corrupt_prob);
+        let victim = rng.gen_range(0..CHUNK) % n.max(1);
+
+        if reset && inner.try_spend() {
+            inner.counters.resets.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        if delay && inner.try_spend() {
+            inner.counters.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(cfg.delay);
+        }
+        if dir == 1 && corrupt && inner.try_spend() {
+            inner.counters.corruptions.fetch_add(1, Ordering::Relaxed);
+            chunk[victim] ^= 0x80;
+        }
+        let wrote = if partial && n > 1 && inner.try_spend() {
+            inner
+                .counters
+                .partial_writes
+                .fetch_add(1, Ordering::Relaxed);
+            let mid = n / 2;
+            dst.write_all(&chunk[..mid])
+                .and_then(|_| dst.flush())
+                .map(|_| std::thread::sleep(Duration::from_millis(5)))
+                .and_then(|_| dst.write_all(&chunk[mid..]))
+        } else {
+            dst.write_all(chunk)
+        };
+        if wrote.and_then(|_| dst.flush()).is_err() {
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial upstream echo server for proxy tests.
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut stream = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 {
+                            break;
+                        }
+                        if stream.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn transparent_proxy_round_trips() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::spawn(upstream, ChaosConfig::transparent(1)).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello\n").unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello\n");
+        assert_eq!(proxy.stats().connections, 1);
+        assert_eq!(proxy.stats().resets, 0);
+    }
+
+    #[test]
+    fn budget_bounds_injected_events() {
+        let upstream = echo_server();
+        let config = ChaosConfig {
+            seed: 7,
+            delay_prob: 1.0,
+            delay: Duration::from_millis(1),
+            event_budget: 3,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream, config).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        for i in 0..10 {
+            c.write_all(format!("m{i}\n").as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, format!("m{i}\n"));
+        }
+        let s = proxy.stats();
+        assert_eq!(s.delays, 3, "budget caps events: {s:?}");
+        assert_eq!(proxy.budget_remaining(), 0);
+    }
+
+    #[test]
+    fn corruption_flips_a_high_bit_in_responses() {
+        let upstream = echo_server();
+        let config = ChaosConfig {
+            seed: 3,
+            corrupt_prob: 1.0,
+            event_budget: 1,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream, config).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"abcdef\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(n, 7);
+        let corrupted = buf[..n].iter().filter(|&&b| b & 0x80 != 0).count();
+        assert_eq!(corrupted, 1, "exactly one byte has the high bit set");
+        assert_eq!(proxy.stats().corruptions, 1);
+        // Budget spent: the next round-trip is clean.
+        c.write_all(b"ghijkl\n").unwrap();
+        let mut line = String::new();
+        let mut reader = BufReader::new(c);
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ghijkl\n");
+    }
+
+    #[test]
+    fn sever_all_drops_live_connections() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::spawn(upstream, ChaosConfig::transparent(9)).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"ping\n").unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        proxy.sever_all();
+        // The cut surfaces as EOF (or a reset error) on the next read.
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {}
+            other => panic!("expected severed connection, got {other:?} {line:?}"),
+        }
+        assert!(proxy.stats().severed >= 2);
+    }
+}

@@ -1,29 +1,100 @@
 //! A small blocking client for `dls-serve`, used by the load generator,
-//! the self-test, and the integration suite.
+//! the self-test, the router's shard connections, and the integration
+//! suite.
+//!
+//! All IO is bounded: connects use [`TcpStream::connect_timeout`], and
+//! [`Client::recv`] enforces the read timeout as a **total** deadline per
+//! response — a server that accepts the connection and then never replies
+//! (or stalls mid-line) yields `ErrorKind::TimedOut` instead of blocking
+//! the caller forever. [`crate::resilient_client::ResilientClient`] builds
+//! retries, backoff, and a circuit breaker on top of this.
 
 use minijson::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// IO bounds for one [`Client`] connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect timeout (per resolved address).
+    pub connect_timeout: Duration,
+    /// Total time [`Client::recv`] waits for one complete response line.
+    pub read_timeout: Duration,
+    /// Socket write timeout (a dead peer fails sends instead of wedging).
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            // Generous so a hung server fails tests instead of wedging
+            // them; resilience-layer callers shrink this drastically.
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A uniform small-timeout profile (router shard hops, health probes).
+    pub fn fast(timeout: Duration) -> Self {
+        Self {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+            write_timeout: timeout,
+        }
+    }
+}
 
 /// One NDJSON connection to a server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    read_timeout: Duration,
+    peer: SocketAddr,
 }
 
+/// The slice of `read_timeout` each blocking read syscall may take before
+/// the total-deadline check runs. Small enough that `recv` overshoots its
+/// deadline by at most this much.
+const READ_SLICE: Duration = Duration::from_millis(50);
+
 impl Client {
-    /// Connect (with a generous IO timeout so a hung server fails tests
-    /// instead of wedging them).
+    /// Connect with the default (generous) timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
-        })
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit connect/read/write bounds.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(READ_SLICE.min(config.read_timeout)))?;
+                    stream.set_write_timeout(Some(config.write_timeout))?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Self {
+                        reader,
+                        writer: BufWriter::new(stream),
+                        read_timeout: config.read_timeout,
+                        peer: resolved,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address to connect to")
+        }))
+    }
+
+    /// The address this client connected to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
     }
 
     /// Send one request line without waiting for its response (pipelining).
@@ -38,8 +109,11 @@ impl Client {
         self.writer.flush()
     }
 
-    /// Read the next response line, parsed.
-    pub fn recv(&mut self) -> std::io::Result<Value> {
+    /// Read the next response line, raw (trimmed, not parsed). Enforces
+    /// the configured read timeout as a total deadline: a silent or
+    /// stalling server yields `ErrorKind::TimedOut`.
+    pub fn recv_raw(&mut self) -> std::io::Result<String> {
+        let deadline = Instant::now() + self.read_timeout;
         let mut line = String::new();
         loop {
             match self.reader.read_line(&mut line) {
@@ -55,25 +129,52 @@ impl Client {
                         line.clear();
                         continue;
                     }
-                    return Value::parse(trimmed).map_err(|e| {
-                        std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            format!("bad response {trimmed:?}: {e}"),
-                        )
-                    });
+                    return Ok(trimmed.to_string());
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    continue
+                    // Partial bytes (if any) stay buffered in `line`; keep
+                    // reading until the *total* deadline passes.
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "no complete response within {:?} (got {} partial bytes)",
+                                self.read_timeout,
+                                line.len()
+                            ),
+                        ));
+                    }
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Round-trip one request (send, flush, receive).
+    /// Read the next response line, parsed.
+    pub fn recv(&mut self) -> std::io::Result<Value> {
+        let raw = self.recv_raw()?;
+        Value::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response {raw:?}: {e}"),
+            )
+        })
+    }
+
+    /// Round-trip one request, returning the raw response line. The bytes
+    /// are exactly what the server sent — the router relays them unchanged
+    /// so cache-identity and `retry_after_ms` survive the extra hop
+    /// byte-for-byte.
+    pub fn call_raw(&mut self, request: &str) -> std::io::Result<String> {
+        self.send(request)?;
+        self.flush()?;
+        self.recv_raw()
+    }
+
+    /// Round-trip one request (send, flush, receive, parse).
     pub fn call(&mut self, request: &str) -> std::io::Result<Value> {
         self.send(request)?;
         self.flush()?;

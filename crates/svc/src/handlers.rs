@@ -62,6 +62,14 @@ pub enum RequestKind {
     Stats,
     /// Begin graceful drain (inline).
     Shutdown,
+    /// Swap runtime tunables (inline, gated like `shutdown`). Today the
+    /// only tunable is the solver-cache quantum; changing it drops every
+    /// cache entry so a key from the old quantization epoch can never
+    /// answer a request from the new one.
+    Reconfigure {
+        /// New quantization step (`None` = report the current one).
+        quantum: Option<f64>,
+    },
 }
 
 /// Smallest accepted per-request deadline. A `deadline_ms` of 0 would be
@@ -72,6 +80,16 @@ pub const MIN_DEADLINE_MS: u64 = 1;
 /// Largest accepted per-request deadline (1 hour): a remote client may
 /// not park work in the queue indefinitely.
 pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// Smallest accepted `reconfigure` quantum. Below this, `rate / quantum`
+/// overflows [`quant::MAX_TICKS`](crate::quant::MAX_TICKS) for every
+/// workload-range rate and the server would reject all solves.
+pub const MIN_QUANTUM: f64 = 1e-15;
+
+/// Largest accepted `reconfigure` quantum: a quantum of 1.0 already
+/// collapses the whole workload rate range onto a handful of ticks;
+/// anything coarser is a configuration error.
+pub const MAX_QUANTUM: f64 = 1.0;
 
 /// A parsed request envelope.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +152,19 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
         "health" => RequestKind::Health,
         "stats" => RequestKind::Stats,
         "shutdown" => RequestKind::Shutdown,
+        "reconfigure" => {
+            let quantum = match v.get("quantum") {
+                None | Some(Value::Null) => None,
+                Some(q) => Some(
+                    q.as_f64()
+                        .filter(|&q| q.is_finite() && (MIN_QUANTUM..=MAX_QUANTUM).contains(&q))
+                        .ok_or_else(|| {
+                            format!("quantum must be a number in [{MIN_QUANTUM:e}, {MAX_QUANTUM}]")
+                        })?,
+                ),
+            };
+            RequestKind::Reconfigure { quantum }
+        }
         "solve" => {
             let root = f64_field(v, "root_rate")?;
             let links = vec_field(v, "links")?;
@@ -299,6 +330,17 @@ pub fn rejected_response(id: Option<i64>, retry_after_ms: u64, draining: bool) -
     )
 }
 
+/// A router-level rejection: no shard could take the request (all dead,
+/// draining, or unreachable). Carries the same retry contract as a
+/// backpressure rejection so resilient clients back off and try again.
+pub fn unavailable_response(id: Option<i64>, retry_after_ms: u64) -> String {
+    format!(
+        "{}\"status\":\"rejected\",\"reason\":\"unavailable\",\"retry_after_ms\":{}}}",
+        id_prefix(id),
+        retry_after_ms
+    )
+}
+
 /// An accept-side rejection: the server is at its connection cap. Sent
 /// once on the fresh socket (no request was read, so there is no id),
 /// then the connection is closed.
@@ -359,6 +401,26 @@ mod tests {
                 .deadline_ms,
             None
         );
+    }
+
+    #[test]
+    fn parses_reconfigure_and_validates_quantum() {
+        assert_eq!(
+            parse_request(r#"{"op":"reconfigure","quantum":1e-6}"#, 1e-9)
+                .unwrap()
+                .kind,
+            RequestKind::Reconfigure {
+                quantum: Some(1e-6)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"reconfigure"}"#, 1e-9).unwrap().kind,
+            RequestKind::Reconfigure { quantum: None }
+        );
+        for bad in ["0", "-1e-9", "2.0", "1e-20", "\"tiny\""] {
+            let line = format!(r#"{{"op":"reconfigure","quantum":{bad}}}"#);
+            assert!(parse_request(&line, 1e-9).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]
@@ -423,6 +485,7 @@ mod tests {
             error_response(Some(-1), "bad \"thing\""),
             rejected_response(None, 25, false),
             rejected_response(Some(9), 100, true),
+            unavailable_response(Some(4), 50),
             conn_limit_response(25),
             timeout_response(Some(2), 250),
         ] {

@@ -15,6 +15,7 @@
 //! | `health`   | inline            | state, uptime, queue depth |
 //! | `stats`    | inline            | counters, cache stats, per-endpoint latency percentiles |
 //! | `shutdown` | inline            | `draining`; begins the graceful drain |
+//! | `reconfigure` | inline         | swaps the quantum, invalidating the cache (loopback-gated) |
 //!
 //! The pieces: [`quant`] canonicalizes requests to quantized chains (the
 //! cache identity), [`cache`] is the sharded LRU solver cache, [`queue`]
@@ -22,22 +23,48 @@
 //! parse/execute layer, [`server`] the TCP front end with graceful drain,
 //! [`client`] a blocking client. `bin/dls-serve` is the binary;
 //! `bench/src/bin/dls-bench-serve` drives it closed-loop (experiment E23).
+//!
+//! ### Resilience layer (DESIGN.md §11)
+//!
+//! On top of the single server sit four cooperating pieces:
+//!
+//! * [`supervisor`] — spawns a fleet of shard servers (in-process or
+//!   child processes), monitors them, and restarts the dead with bounded
+//!   exponential backoff.
+//! * [`router`] — a front tier speaking the same NDJSON protocol; it
+//!   rendezvous-hashes each request's canonical chain key across the live
+//!   shards and relays shard bytes verbatim, failing over when a shard
+//!   dies. Cache keys are canonical, so failover is correct by
+//!   construction: a cold shard re-solves to bit-identical bytes.
+//! * [`resilient_client`] — a retrying client with exponential backoff,
+//!   seeded jitter, `retry_after_ms` honoring, and a circuit breaker.
+//! * [`chaos`] — a seeded fault-injecting TCP proxy (resets, delays,
+//!   partial writes, corruption) for deterministic failure drills;
+//!   experiment E25 (`exp_serve_chaos`) sweeps it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod handlers;
 pub mod pool;
 pub mod quant;
 pub mod queue;
+pub mod resilient_client;
+pub mod router;
 pub mod server;
 pub mod stats;
+pub mod supervisor;
 
 pub use cache::SolverCache;
-pub use client::Client;
+pub use chaos::{ChaosConfig, ChaosProxy, FaultKind};
+pub use client::{Client, ClientConfig};
 pub use quant::{canonicalize, CanonicalChain, ChainKey, DEFAULT_QUANTUM, MAX_TICKS};
 pub use queue::{BoundedQueue, PushError};
+pub use resilient_client::{CallError, CallOutcome, ResilientClient, RetryPolicy};
+pub use router::{Router, RouterConfig, RouterHandle, ShardDirectory};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::{Endpoint, StatsRegistry, StatsSnapshot, LATENCY_SAMPLE_CAP};
+pub use supervisor::{ShardRuntime, Supervisor, SupervisorConfig};

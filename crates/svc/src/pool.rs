@@ -6,7 +6,7 @@ use crate::cache::SolverCache;
 use crate::handlers::{self, WorkRequest};
 use crate::queue::BoundedQueue;
 use crate::stats::StatsRegistry;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -23,13 +23,31 @@ pub struct ServiceCtx {
     pub default_deadline: Duration,
     /// Retry hint handed out with backpressure rejections.
     pub retry_after_ms: u64,
-    /// Honor `shutdown` ops from non-loopback peers.
+    /// Honor `shutdown` (and `reconfigure`) ops from non-loopback peers.
     pub allow_remote_shutdown: bool,
-    /// Solver-cache quantization step.
-    pub quantum: f64,
+    /// Solver-cache quantization step, stored as `f64` bits so a
+    /// `reconfigure` op can swap it while workers run. Read it through
+    /// [`ServiceCtx::quantum`]; change it through
+    /// [`ServiceCtx::set_quantum`] (which also invalidates the cache).
+    pub quantum_bits: AtomicU64,
     /// When the server installed a [`obs::MemorySink`], the stats endpoint
     /// mirrors its counter totals.
     pub obs_memory: Option<Arc<obs::MemorySink>>,
+}
+
+impl ServiceCtx {
+    /// The current quantization step.
+    pub fn quantum(&self) -> f64 {
+        f64::from_bits(self.quantum_bits.load(Ordering::SeqCst))
+    }
+
+    /// Install a new quantization step and drop every cache entry keyed
+    /// under the old one. Returns `true` when the cache was cleared — a
+    /// stale entry must never answer a request quantized differently.
+    pub fn set_quantum(&self, quantum: f64) -> bool {
+        self.quantum_bits.store(quantum.to_bits(), Ordering::SeqCst);
+        self.cache.invalidate_on_quantum_change(quantum)
+    }
 }
 
 /// One unit of work: a parsed request plus its reply channel.
@@ -154,9 +172,25 @@ mod tests {
             default_deadline: Duration::from_secs(5),
             retry_after_ms: 25,
             allow_remote_shutdown: false,
-            quantum: quant::DEFAULT_QUANTUM,
+            quantum_bits: AtomicU64::new(quant::DEFAULT_QUANTUM.to_bits()),
             obs_memory: None,
         }
+    }
+
+    #[test]
+    fn quantum_swap_clears_the_cache() {
+        let ctx = ctx();
+        let (tx, _rx) = mpsc::channel();
+        execute(0, &ctx, &solve_job(tx.clone(), Duration::from_secs(5)));
+        assert_eq!(ctx.cache.len(), 1);
+        assert!(ctx.set_quantum(1e-6), "a new quantum must clear the cache");
+        assert_eq!(ctx.quantum(), 1e-6);
+        assert_eq!(ctx.cache.len(), 0);
+        let warm = execute(0, &ctx, &solve_job(tx, Duration::from_secs(5)));
+        assert!(
+            warm.contains("\"cached\":false"),
+            "post-invalidation solve must be cold: {warm}"
+        );
     }
 
     fn solve_job(reply: mpsc::Sender<String>, deadline: Duration) -> Job {

@@ -1,0 +1,829 @@
+//! The failover router: a front tier that speaks the same NDJSON protocol
+//! as a single server and spreads work across a fleet of shard servers.
+//!
+//! ### Routing
+//! Each work request is mapped to a **routing key**: for `solve`, the
+//! canonical quantized [`ChainKey`](crate::quant::ChainKey) (the solver
+//! cache identity); for everything else, a hash of the raw request line.
+//! The key is placed with **rendezvous (highest-random-weight) hashing**
+//! over the shard slots: every key has a stable preference order over all
+//! slots, so when one shard dies only its keys move (to their
+//! second-choice shard) and the rest of the fleet keeps its cache warm.
+//!
+//! ### Correct-by-construction failover
+//! The solver cache is keyed by the canonical chain, and a cached body is
+//! the exact bytes of the cold solve ([`crate::cache`]). A failed-over
+//! key therefore re-solves on its new shard to a **bit-identical**
+//! response (modulo the `cached` flag) — failover can serve stale or
+//! wrong data only if the solve itself were nondeterministic, which the
+//! E25 harness (`exp_serve_chaos`) disproves under every chaos plan.
+//!
+//! ### Relaying
+//! Shard responses are relayed as **raw bytes** ([`Client::call_raw`]):
+//! the router never reparses or reserializes a shard response, so cache
+//! bit-identity and `retry_after_ms` hints survive the extra hop
+//! unchanged. Backpressure rejections are relayed, **not** retried — the
+//! retry decision belongs to the client, and never re-sending means
+//! router forwarding attempts equal the sum of shard `received` counters
+//! exactly (asserted in `tests/resilience_e2e.rs`).
+//!
+//! ### Failure handling
+//! A connect/IO failure marks the slot down (after
+//! [`RouterConfig::failure_threshold`] consecutive failures) and the
+//! request fails over to the next slot in its preference order; a
+//! `draining` rejection does the same (the shard is going away). When no
+//! slot can take the request the client gets a `"rejected"` /
+//! `"unavailable"` response with a retry hint. An optional prober thread
+//! re-checks downed slots so they rejoin once the supervisor restarts
+//! them (the [`crate::supervisor`] also flips slots back up directly).
+
+use crate::client::{Client, ClientConfig};
+use crate::handlers::{self, RequestKind, WorkRequest};
+use minijson::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One shard slot: where it lives and how it is doing.
+struct Slot {
+    /// Current address (`None` while the shard is down/being restarted).
+    addr: Mutex<Option<SocketAddr>>,
+    /// Routable right now?
+    healthy: AtomicBool,
+    /// Bumped on every address (re)assignment; cached connections from an
+    /// older generation are discarded.
+    generation: AtomicU64,
+    /// Times the supervisor restarted this slot.
+    restarts: AtomicU64,
+    /// Requests this slot answered through the router.
+    forwarded: AtomicU64,
+    /// Consecutive forwarding/probe failures.
+    consecutive_failures: AtomicU64,
+}
+
+/// Live view of slot `i`, as reported by [`ShardDirectory::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slot index.
+    pub slot: usize,
+    /// Current address, if assigned.
+    pub addr: Option<SocketAddr>,
+    /// Routable right now?
+    pub healthy: bool,
+    /// Address generation (restart epoch).
+    pub generation: u64,
+    /// Supervisor restarts so far.
+    pub restarts: u64,
+    /// Requests answered through the router.
+    pub forwarded: u64,
+}
+
+/// The shared fleet map: the supervisor writes addresses into it, the
+/// router routes over it, the prober flips health bits.
+pub struct ShardDirectory {
+    slots: Vec<Slot>,
+}
+
+impl ShardDirectory {
+    /// A directory of `slots` empty slots (no addresses yet).
+    pub fn new(slots: usize) -> Arc<Self> {
+        assert!(slots > 0, "a fleet needs at least one slot");
+        Arc::new(Self {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    addr: Mutex::new(None),
+                    healthy: AtomicBool::new(false),
+                    generation: AtomicU64::new(0),
+                    restarts: AtomicU64::new(0),
+                    forwarded: AtomicU64::new(0),
+                    consecutive_failures: AtomicU64::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    /// Number of slots (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Directories are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Assign `addr` to `slot` and mark it healthy (a fresh/restarted
+    /// shard). Bumps the generation so stale cached connections die.
+    pub fn set_addr(&self, slot: usize, addr: SocketAddr) {
+        let s = &self.slots[slot];
+        *s.addr.lock().unwrap() = Some(addr);
+        s.generation.fetch_add(1, Ordering::SeqCst);
+        s.consecutive_failures.store(0, Ordering::SeqCst);
+        s.healthy.store(true, Ordering::SeqCst);
+    }
+
+    /// Record a restart of `slot` (called by the supervisor).
+    pub fn note_restart(&self, slot: usize) {
+        self.slots[slot].restarts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Take `slot` out of rotation (shard died or was killed).
+    pub fn mark_down(&self, slot: usize) {
+        self.slots[slot].healthy.store(false, Ordering::SeqCst);
+    }
+
+    /// Put `slot` back in rotation (probe succeeded).
+    pub fn mark_healthy(&self, slot: usize) {
+        let s = &self.slots[slot];
+        s.consecutive_failures.store(0, Ordering::SeqCst);
+        s.healthy.store(true, Ordering::SeqCst);
+    }
+
+    /// Record a forwarding/probe failure; downs the slot at `threshold`
+    /// consecutive failures.
+    pub fn record_failure(&self, slot: usize, threshold: u64) {
+        let s = &self.slots[slot];
+        let n = s.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= threshold {
+            s.healthy.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Current address of `slot`.
+    pub fn addr(&self, slot: usize) -> Option<SocketAddr> {
+        *self.slots[slot].addr.lock().unwrap()
+    }
+
+    /// Address generation of `slot`.
+    pub fn generation(&self, slot: usize) -> u64 {
+        self.slots[slot].generation.load(Ordering::SeqCst)
+    }
+
+    /// Is `slot` routable?
+    pub fn is_healthy(&self, slot: usize) -> bool {
+        self.slots[slot].healthy.load(Ordering::SeqCst)
+    }
+
+    /// Slots currently marked healthy.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_healthy(i)).collect()
+    }
+
+    /// Rendezvous preference order for `key_hash`: all slots, best first.
+    /// Deterministic per key; independent of health (callers filter).
+    pub fn rank(&self, key_hash: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&slot| std::cmp::Reverse(rendezvous_weight(key_hash, slot)));
+        order
+    }
+
+    /// Snapshot every slot for stats reporting.
+    pub fn snapshot(&self) -> Vec<SlotSnapshot> {
+        (0..self.len())
+            .map(|i| {
+                let s = &self.slots[i];
+                SlotSnapshot {
+                    slot: i,
+                    addr: *s.addr.lock().unwrap(),
+                    healthy: s.healthy.load(Ordering::SeqCst),
+                    generation: s.generation.load(Ordering::SeqCst),
+                    restarts: s.restarts.load(Ordering::SeqCst),
+                    forwarded: s.forwarded.load(Ordering::SeqCst),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Highest-random-weight score of `slot` for `key_hash`.
+fn rendezvous_weight(key_hash: u64, slot: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    key_hash.hash(&mut h);
+    (slot as u64).hash(&mut h);
+    h.finish()
+}
+
+/// Router tunables.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Connect/read/write timeout for each shard hop.
+    pub shard_timeout: Duration,
+    /// Probe interval for downed-slot recovery; `Duration::ZERO` disables
+    /// the prober (then only the supervisor flips slots back up). Note
+    /// probes count toward shard `received` totals.
+    pub health_interval: Duration,
+    /// Retry hint on router-level `unavailable` rejections.
+    pub retry_after_ms: u64,
+    /// Consecutive failures before a slot is marked down.
+    pub failure_threshold: u64,
+    /// Honor `shutdown`/`reconfigure` ops from non-loopback peers.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            shard_timeout: Duration::from_secs(2),
+            health_interval: Duration::from_millis(250),
+            retry_after_ms: 50,
+            failure_threshold: 1,
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RouterCounters {
+    received: AtomicU64,
+    forwarded_ok: AtomicU64,
+    forward_attempts: AtomicU64,
+    failovers: AtomicU64,
+    relayed_rejections: AtomicU64,
+    unavailable: AtomicU64,
+    probes: AtomicU64,
+}
+
+/// Counter snapshot for the router tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Request lines read from clients.
+    pub received: u64,
+    /// Responses relayed from a shard (any status).
+    pub forwarded_ok: u64,
+    /// Request lines actually sent to a shard (each one increments that
+    /// shard's `received`; equality is asserted in the e2e suite).
+    pub forward_attempts: u64,
+    /// Times a request moved past a failed/draining slot.
+    pub failovers: u64,
+    /// Backpressure rejections relayed unchanged (never retried here).
+    pub relayed_rejections: u64,
+    /// Router-level `unavailable` rejections (no live shard).
+    pub unavailable: u64,
+    /// Health probes sent by the prober thread.
+    pub probes: u64,
+}
+
+struct RouterShared {
+    directory: Arc<ShardDirectory>,
+    config: RouterConfig,
+    counters: RouterCounters,
+    draining: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl RouterShared {
+    fn stats(&self) -> RouterStats {
+        let c = &self.counters;
+        RouterStats {
+            received: c.received.load(Ordering::Relaxed),
+            forwarded_ok: c.forwarded_ok.load(Ordering::Relaxed),
+            forward_attempts: c.forward_attempts.load(Ordering::Relaxed),
+            failovers: c.failovers.load(Ordering::Relaxed),
+            relayed_rejections: c.relayed_rejections.load(Ordering::Relaxed),
+            unavailable: c.unavailable.load(Ordering::Relaxed),
+            probes: c.probes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            obs::event!("router.drain.begin");
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn health_body(&self) -> String {
+        let state = if self.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "serving"
+        };
+        Value::Object(vec![
+            ("state".into(), Value::String(state.into())),
+            ("role".into(), Value::String("router".into())),
+            ("slots".into(), Value::Number(self.directory.len() as f64)),
+            (
+                "live_shards".into(),
+                Value::Number(self.directory.live_slots().len() as f64),
+            ),
+        ])
+        .to_json()
+    }
+
+    fn stats_body(&self) -> String {
+        let s = self.stats();
+        let shards = self
+            .directory
+            .snapshot()
+            .into_iter()
+            .map(|slot| {
+                Value::Object(vec![
+                    ("slot".into(), Value::Number(slot.slot as f64)),
+                    (
+                        "addr".into(),
+                        match slot.addr {
+                            Some(a) => Value::String(a.to_string()),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("healthy".into(), Value::Bool(slot.healthy)),
+                    ("generation".into(), Value::Number(slot.generation as f64)),
+                    ("restarts".into(), Value::Number(slot.restarts as f64)),
+                    ("forwarded".into(), Value::Number(slot.forwarded as f64)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("role".into(), Value::String("router".into())),
+            ("received".into(), Value::Number(s.received as f64)),
+            ("forwarded_ok".into(), Value::Number(s.forwarded_ok as f64)),
+            (
+                "forward_attempts".into(),
+                Value::Number(s.forward_attempts as f64),
+            ),
+            ("failovers".into(), Value::Number(s.failovers as f64)),
+            (
+                "relayed_rejections".into(),
+                Value::Number(s.relayed_rejections as f64),
+            ),
+            ("unavailable".into(), Value::Number(s.unavailable as f64)),
+            ("probes".into(), Value::Number(s.probes as f64)),
+            ("shards".into(), Value::Array(shards)),
+        ])
+        .to_json()
+    }
+}
+
+/// One cached shard connection, valid for a single address generation.
+struct CachedConn {
+    generation: u64,
+    client: Client,
+}
+
+/// Per-connection forwarding state: cached shard connections.
+struct Forwarder {
+    conns: HashMap<usize, CachedConn>,
+}
+
+impl Forwarder {
+    fn new() -> Self {
+        Self {
+            conns: HashMap::new(),
+        }
+    }
+
+    /// Forward `line` to the best live slot for `key_hash`, failing over
+    /// through the rendezvous order. Returns the raw response to relay.
+    fn forward(
+        &mut self,
+        shared: &RouterShared,
+        key_hash: u64,
+        id: Option<i64>,
+        line: &str,
+    ) -> String {
+        let order = shared.directory.rank(key_hash);
+        // Healthy slots first (in preference order), then the rest as a
+        // last resort — with the prober disabled, a recovered-but-not-yet
+        // -remarked slot is still worth one try before giving up.
+        let candidates = order
+            .iter()
+            .copied()
+            .filter(|&s| shared.directory.is_healthy(s))
+            .chain(
+                order
+                    .iter()
+                    .copied()
+                    .filter(|&s| !shared.directory.is_healthy(s)),
+            );
+        let mut first = true;
+        for slot in candidates {
+            if !first {
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                obs::count!("router.failover");
+            }
+            first = false;
+            match self.try_slot(shared, slot, line) {
+                Some(resp) => {
+                    if resp.contains("\"reason\":\"draining\"") {
+                        // The shard acknowledged but is going away; it
+                        // stays correct to fail this key over right now.
+                        shared
+                            .directory
+                            .record_failure(slot, shared.config.failure_threshold);
+                        continue;
+                    }
+                    if resp.contains("\"reason\":\"connection-limit\"") {
+                        // The shard is alive but full; our connection was
+                        // closed after this line.
+                        self.conns.remove(&slot);
+                        continue;
+                    }
+                    shared.directory.mark_healthy(slot);
+                    shared.directory.slots[slot]
+                        .forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                    if resp.contains("\"status\":\"rejected\"") {
+                        // Backpressure: relayed unchanged, never retried
+                        // here — the retry decision (and the
+                        // `retry_after_ms` hint) belongs to the client.
+                        shared
+                            .counters
+                            .relayed_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    shared.counters.forwarded_ok.fetch_add(1, Ordering::Relaxed);
+                    return resp;
+                }
+                None => continue,
+            }
+        }
+        shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        obs::count!("router.unavailable");
+        handlers::unavailable_response(id, shared.config.retry_after_ms)
+    }
+
+    /// One attempt against one slot. `None` = IO failure (recorded).
+    fn try_slot(&mut self, shared: &RouterShared, slot: usize, line: &str) -> Option<String> {
+        let addr = shared.directory.addr(slot)?;
+        let generation = shared.directory.generation(slot);
+        match self.conns.get(&slot) {
+            Some(c) if c.generation == generation => {}
+            _ => {
+                self.conns.remove(&slot);
+                let client =
+                    Client::connect_with(addr, ClientConfig::fast(shared.config.shard_timeout))
+                        .map_err(|_| {
+                            shared
+                                .directory
+                                .record_failure(slot, shared.config.failure_threshold);
+                        })
+                        .ok()?;
+                self.conns.insert(slot, CachedConn { generation, client });
+            }
+        }
+        let conn = self.conns.get_mut(&slot)?;
+        shared
+            .counters
+            .forward_attempts
+            .fetch_add(1, Ordering::Relaxed);
+        match conn.client.call_raw(line) {
+            Ok(resp) => Some(resp),
+            Err(_) => {
+                self.conns.remove(&slot);
+                shared
+                    .directory
+                    .record_failure(slot, shared.config.failure_threshold);
+                None
+            }
+        }
+    }
+
+    /// Fan `line` out to every slot with an address (fresh connections;
+    /// reconfigure is rare). Returns (ok, failed) counts.
+    fn broadcast(&self, shared: &RouterShared, line: &str) -> (usize, usize) {
+        let (mut ok, mut failed) = (0, 0);
+        for slot in 0..shared.directory.len() {
+            let Some(addr) = shared.directory.addr(slot) else {
+                failed += 1;
+                continue;
+            };
+            let sent = Client::connect_with(addr, ClientConfig::fast(shared.config.shard_timeout))
+                .and_then(|mut c| c.call_raw(line));
+            match sent {
+                Ok(resp) if resp.contains("\"status\":\"ok\"") => ok += 1,
+                _ => failed += 1,
+            }
+        }
+        (ok, failed)
+    }
+}
+
+/// Routing key for one request line: the canonical chain key for `solve`,
+/// a raw-line hash otherwise (including unparseable lines, which are
+/// still forwarded so the shard's error bytes come back verbatim).
+fn routing_hash(kind: Option<&RequestKind>, line: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    match kind {
+        Some(RequestKind::Work(WorkRequest::Solve(chain))) => chain.key.hash(&mut h),
+        _ => line.hash(&mut h),
+    }
+    h.finish()
+}
+
+/// Handle one client connection: serial request/response forwarding.
+fn connection_loop(shared: &RouterShared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut forwarder = Forwarder::new();
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = handle_request(shared, &mut forwarder, trimmed, peer_loopback);
+                    if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(
+    shared: &RouterShared,
+    forwarder: &mut Forwarder,
+    line: &str,
+    peer_loopback: bool,
+) -> String {
+    shared.counters.received.fetch_add(1, Ordering::Relaxed);
+    obs::count!("router.requests");
+    let parsed = handlers::parse_request(line, crate::quant::DEFAULT_QUANTUM);
+    let (id, kind) = match &parsed {
+        Ok(r) => (r.id, Some(&r.kind)),
+        Err((id, _)) => (*id, None),
+    };
+    match kind {
+        Some(RequestKind::Health) => handlers::ok_response(id, None, &shared.health_body()),
+        Some(RequestKind::Stats) => handlers::ok_response(id, None, &shared.stats_body()),
+        Some(RequestKind::Shutdown) => {
+            if peer_loopback || shared.config.allow_remote_shutdown {
+                shared.begin_drain();
+                handlers::ok_response(id, None, "{\"state\":\"draining\"}")
+            } else {
+                handlers::error_response(
+                    id,
+                    "shutdown refused: only loopback peers may drain this router",
+                )
+            }
+        }
+        Some(RequestKind::Reconfigure { .. }) => {
+            // Quantum must stay fleet-consistent (it is the cache-key
+            // epoch), so reconfigure fans out to every shard.
+            if !(peer_loopback || shared.config.allow_remote_shutdown) {
+                return handlers::error_response(
+                    id,
+                    "reconfigure refused: only loopback peers may reconfigure this router",
+                );
+            }
+            let (ok, failed) = forwarder.broadcast(shared, line);
+            let body = Value::Object(vec![
+                ("shards_reconfigured".into(), Value::Number(ok as f64)),
+                ("shards_failed".into(), Value::Number(failed as f64)),
+            ])
+            .to_json();
+            if failed == 0 {
+                handlers::ok_response(id, None, &body)
+            } else {
+                handlers::error_response(id, &format!("reconfigure incomplete: {body}"))
+            }
+        }
+        // Work requests — and unparseable lines, which a shard will
+        // answer with the identical error bytes a single server would.
+        _ => {
+            let hash = routing_hash(kind, line);
+            forwarder.forward(shared, hash, id, line)
+        }
+    }
+}
+
+/// A running router; keep it to [`shutdown`](RouterHandle::shutdown) and
+/// [`join`](RouterHandle::join).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live router counters.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// The shared fleet directory.
+    pub fn directory(&self) -> Arc<ShardDirectory> {
+        Arc::clone(&self.shared.directory)
+    }
+
+    /// Programmatic drain trigger (same as a client `shutdown` op).
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Wait for the drain to finish; returns the final counters.
+    pub fn join(mut self) -> RouterStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in std::mem::take(&mut *self.conns.lock().unwrap()) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+        self.shared.stats()
+    }
+}
+
+/// The router factory: bind, start accepting, optionally start probing.
+pub struct Router;
+
+impl Router {
+    /// Bind and start routing over `directory`. Returns once the listener
+    /// is accepting.
+    pub fn spawn(
+        directory: Arc<ShardDirectory>,
+        config: RouterConfig,
+    ) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            directory,
+            config,
+            counters: RouterCounters::default(),
+            draining: AtomicBool::new(false),
+            addr,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("router-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        obs::count!("router.connections");
+                        conns.lock().unwrap().retain(|h| !h.is_finished());
+                        let shared2 = Arc::clone(&shared);
+                        let handle = std::thread::Builder::new()
+                            .name("router-conn".into())
+                            .spawn(move || connection_loop(&shared2, stream))
+                            .expect("spawn router connection thread");
+                        conns.lock().unwrap().push(handle);
+                    }
+                })
+                .expect("spawn router accept thread")
+        };
+        let prober = if shared.config.health_interval > Duration::ZERO {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("router-prober".into())
+                    .spawn(move || prober_loop(&shared))
+                    .expect("spawn router prober thread"),
+            )
+        } else {
+            None
+        };
+        Ok(RouterHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            prober,
+            conns,
+        })
+    }
+}
+
+/// Probe every addressed slot each interval, flipping health bits. Probe
+/// timeouts are capped low so a dead shard can't stall the sweep.
+fn prober_loop(shared: &RouterShared) {
+    let timeout = shared.config.shard_timeout.min(Duration::from_millis(250));
+    while !shared.draining.load(Ordering::SeqCst) {
+        for slot in 0..shared.directory.len() {
+            let Some(addr) = shared.directory.addr(slot) else {
+                continue;
+            };
+            shared.counters.probes.fetch_add(1, Ordering::Relaxed);
+            let alive = Client::connect_with(addr, ClientConfig::fast(timeout))
+                .and_then(|mut c| c.call_raw("{\"op\":\"health\"}"))
+                .map(|r| r.contains("\"status\":\"ok\""))
+                .unwrap_or(false);
+            if alive {
+                shared.directory.mark_healthy(slot);
+            } else {
+                shared
+                    .directory
+                    .record_failure(slot, shared.config.failure_threshold);
+            }
+        }
+        // Sleep in small slices so drain is observed promptly.
+        let mut remaining = shared.config.health_interval;
+        while remaining > Duration::ZERO && !shared.draining.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_rank_is_stable_and_complete() {
+        let dir = ShardDirectory::new(5);
+        let a = dir.rank(42);
+        let b = dir.rank(42);
+        assert_eq!(a, b, "ranking is deterministic");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "every slot appears once");
+        assert_ne!(dir.rank(42), dir.rank(43), "keys spread across slots");
+    }
+
+    #[test]
+    fn rendezvous_moves_only_the_dead_slots_keys() {
+        // The defining property: removing one slot must not reshuffle
+        // keys whose first choice survives.
+        let dir = ShardDirectory::new(4);
+        for key in 0..200u64 {
+            let order = dir.rank(key);
+            let first = order[0];
+            let dead = (first + 1) % 4; // kill some *other* slot
+            let next_alive = *order.iter().find(|&&s| s != dead).unwrap();
+            assert_eq!(
+                next_alive, first,
+                "key {key} must stay on its first choice when another slot dies"
+            );
+        }
+    }
+
+    #[test]
+    fn directory_health_and_generation_transitions() {
+        let dir = ShardDirectory::new(2);
+        assert_eq!(dir.live_slots(), Vec::<usize>::new());
+        let addr: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        dir.set_addr(0, addr);
+        assert_eq!(dir.live_slots(), vec![0]);
+        assert_eq!(dir.generation(0), 1);
+        dir.record_failure(0, 2);
+        assert!(dir.is_healthy(0), "below threshold");
+        dir.record_failure(0, 2);
+        assert!(!dir.is_healthy(0), "threshold downs the slot");
+        dir.set_addr(0, addr);
+        assert!(dir.is_healthy(0), "re-assignment revives");
+        assert_eq!(dir.generation(0), 2, "generation bumped");
+    }
+
+    #[test]
+    fn routing_hash_uses_chain_key_for_solves() {
+        let quantum = crate::quant::DEFAULT_QUANTUM;
+        // Same canonical chain spelled two ways must route identically.
+        let a = r#"{"op":"solve","root_rate":1.0,"links":[0.2],"bids":[2.0]}"#;
+        let b = r#"{"op":"solve","id":99,"root_rate":1.00,"links":[0.2],"bids":[2.0]}"#;
+        let ka = handlers::parse_request(a, quantum).unwrap().kind;
+        let kb = handlers::parse_request(b, quantum).unwrap().kind;
+        assert_eq!(
+            routing_hash(Some(&ka), a),
+            routing_hash(Some(&kb), b),
+            "routing key is the canonical chain, not the raw line"
+        );
+    }
+}

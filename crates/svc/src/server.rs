@@ -49,8 +49,12 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Entries per cache shard.
     pub cache_capacity_per_shard: usize,
-    /// Rate quantization step for cache keys.
+    /// Rate quantization step for cache keys (changeable at runtime via
+    /// the `reconfigure` op, which also drops the cache).
     pub quantum: f64,
+    /// Solver-cache TTL: entries older than this are re-solved
+    /// (`None` = entries live until evicted or invalidated).
+    pub cache_ttl_ms: Option<u64>,
     /// Default per-request deadline (queue wait + service), milliseconds.
     pub default_deadline_ms: u64,
     /// Retry hint returned with backpressure rejections, milliseconds.
@@ -77,6 +81,7 @@ impl Default for ServerConfig {
             cache_shards: 16,
             cache_capacity_per_shard: 512,
             quantum: quant::DEFAULT_QUANTUM,
+            cache_ttl_ms: None,
             default_deadline_ms: 2_000,
             retry_after_ms: 25,
             max_conns: 256,
@@ -160,6 +165,7 @@ impl Shared {
             ("rejected".into(), Value::Number(s.rejected as f64)),
             ("timeouts".into(), Value::Number(s.timeouts as f64)),
             ("errors".into(), Value::Number(s.errors as f64)),
+            ("quantum".into(), Value::Number(self.ctx.quantum())),
             (
                 "cache".into(),
                 Value::Object(vec![
@@ -169,6 +175,14 @@ impl Shared {
                         Value::Number(self.ctx.cache.misses() as f64),
                     ),
                     ("entries".into(), Value::Number(self.ctx.cache.len() as f64)),
+                    (
+                        "expired".into(),
+                        Value::Number(self.ctx.cache.expired() as f64),
+                    ),
+                    (
+                        "invalidations".into(),
+                        Value::Number(self.ctx.cache.invalidations() as f64),
+                    ),
                 ]),
             ),
             ("endpoints".into(), Value::Object(endpoints)),
@@ -208,7 +222,7 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
         id,
         deadline_ms,
         kind,
-    } = match handlers::parse_request(line, shared.ctx.quantum) {
+    } = match handlers::parse_request(line, shared.ctx.quantum()) {
         Ok(r) => r,
         Err((id, msg)) => {
             shared.ctx.stats.on_completed(true);
@@ -238,6 +252,38 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
                      (start with --allow-remote-shutdown to override)",
                 ));
             }
+        }
+        RequestKind::Reconfigure { quantum } => {
+            // Same gate as `shutdown`: swapping the quantum drops the
+            // whole solver cache, which a remote peer must not be able to
+            // do to a server that did not opt in.
+            if !shutdown_permitted(peer_loopback, shared.ctx.allow_remote_shutdown) {
+                shared.ctx.stats.on_completed(true);
+                let _ = tx.send(handlers::error_response(
+                    id,
+                    "reconfigure refused: only loopback peers may reconfigure this server \
+                     (start with --allow-remote-shutdown to override)",
+                ));
+                return;
+            }
+            let cleared = match quantum {
+                Some(q) => {
+                    obs::event!("svc.reconfigure");
+                    shared.ctx.set_quantum(q)
+                }
+                None => false,
+            };
+            shared.ctx.stats.on_completed(false);
+            let body = Value::Object(vec![
+                ("quantum".into(), Value::Number(shared.ctx.quantum())),
+                ("cache_cleared".into(), Value::Bool(cleared)),
+                (
+                    "cache_entries".into(),
+                    Value::Number(shared.ctx.cache.len() as f64),
+                ),
+            ])
+            .to_json();
+            let _ = tx.send(handlers::ok_response(id, None, &body));
         }
         RequestKind::Work(request) => {
             if shared.ctx.draining.load(Ordering::SeqCst) {
@@ -404,14 +450,22 @@ impl ServerHandle {
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let cache = SolverCache::with_ttl(
+        config.cache_shards,
+        config.cache_capacity_per_shard,
+        config.cache_ttl_ms.map(Duration::from_millis),
+    );
+    // Pin the starting quantization epoch so a later `reconfigure` to a
+    // different quantum is detected as a change.
+    cache.invalidate_on_quantum_change(config.quantum);
     let ctx = Arc::new(ServiceCtx {
-        cache: SolverCache::new(config.cache_shards, config.cache_capacity_per_shard),
+        cache,
         stats: StatsRegistry::new(config.workers),
         draining: AtomicBool::new(false),
         default_deadline: Duration::from_millis(config.default_deadline_ms),
         retry_after_ms: config.retry_after_ms,
         allow_remote_shutdown: config.allow_remote_shutdown,
-        quantum: config.quantum,
+        quantum_bits: std::sync::atomic::AtomicU64::new(config.quantum.to_bits()),
         obs_memory: config.obs_memory.clone(),
     });
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));

@@ -69,7 +69,7 @@ impl WorkerShard {
 
 /// Final counter values reported after a drain; the conservation invariant
 /// is checked by [`StatsSnapshot::conserved`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests successfully read and framed off a socket.
     pub received: u64,
@@ -88,6 +88,17 @@ impl StatsSnapshot {
     /// exactly once, either completed or rejected with backpressure.
     pub fn conserved(&self) -> bool {
         self.received == self.completed + self.rejected
+    }
+
+    /// Accumulate another snapshot (fleet-wide totals: the ledger is
+    /// additive across shards, so a sum of conserved snapshots is
+    /// conserved).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.received += other.received;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.timeouts += other.timeouts;
+        self.errors += other.errors;
     }
 }
 

@@ -1,0 +1,545 @@
+//! The shard supervisor: spawns a fleet of shard servers, watches them,
+//! and restarts the dead with bounded exponential backoff.
+//!
+//! Two runtimes share one lifecycle:
+//!
+//! * **In-process** ([`ShardRuntime::InProcess`]) — each shard is a
+//!   [`serve`](crate::server::serve) instance in this process. Kills are
+//!   graceful drains, so the fleet-wide ledger
+//!   (`received == completed + rejected`) is preserved across kills:
+//!   retired shards' final snapshots are kept and merged into
+//!   [`Supervisor::fleet_snapshot`].
+//! * **Child process** ([`ShardRuntime::Process`]) — each shard is a
+//!   `dls-serve` child; its ephemeral address is parsed from the
+//!   `listening on ADDR` line it prints. Kills are real `SIGKILL`s (the
+//!   shard's counters die with it), and the monitor also notices shards
+//!   that die on their own via `try_wait`.
+//!
+//! Every (re)spawn writes the new address into the shared
+//! [`ShardDirectory`], bumping the slot generation so the router drops
+//! stale connections; restarts back off exponentially
+//! (`base · 2^restarts`, capped) so a crash-looping shard cannot busy-spin
+//! the monitor.
+
+use crate::router::ShardDirectory;
+use crate::server::{serve, ServerConfig, ServerHandle};
+use crate::stats::StatsSnapshot;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How shard servers are run.
+#[derive(Debug, Clone)]
+pub enum ShardRuntime {
+    /// Shards are [`serve`] instances inside this process (tests, E25).
+    InProcess,
+    /// Shards are spawned `dls-serve` child processes.
+    Process {
+        /// Path to the `dls-serve` binary.
+        binary: PathBuf,
+        /// Extra CLI arguments appended after the generated ones.
+        extra_args: Vec<String>,
+    },
+}
+
+/// Supervisor tunables.
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// Number of shard slots.
+    pub shards: usize,
+    /// How shards are run.
+    pub runtime: ShardRuntime,
+    /// Template for each shard's server config (`addr` is overridden with
+    /// `127.0.0.1:0` so every shard gets its own ephemeral port).
+    pub server: ServerConfig,
+    /// How often the monitor sweeps the fleet.
+    pub monitor_interval: Duration,
+    /// First restart delay.
+    pub backoff_base: Duration,
+    /// Restart delay cap.
+    pub backoff_max: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 3,
+            runtime: ShardRuntime::InProcess,
+            server: ServerConfig::default(),
+            monitor_interval: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+enum ShardProc {
+    InProcess(ServerHandle),
+    Process {
+        child: Child,
+        // Keeps draining the child's stdout so it never blocks on a full
+        // pipe; joined implicitly when the child dies.
+        _stdout_pump: JoinHandle<()>,
+    },
+}
+
+struct SlotState {
+    proc: Option<ShardProc>,
+    /// Should the monitor keep this slot running?
+    desired: bool,
+    /// Restart count, drives the backoff exponent.
+    restarts: u32,
+    /// Earliest instant the next restart may happen.
+    next_restart: Instant,
+}
+
+struct SupervisorShared {
+    config: SupervisorConfig,
+    directory: Arc<ShardDirectory>,
+    slots: Mutex<Vec<SlotState>>,
+    retired: Mutex<Vec<StatsSnapshot>>,
+    /// In-flight graceful retirements of in-process shards; joined before
+    /// the final ledger is summed so no snapshot is missed.
+    retiring: Mutex<Vec<JoinHandle<()>>>,
+    stop: AtomicBool,
+}
+
+/// A running fleet supervisor.
+pub struct Supervisor {
+    shared: Arc<SupervisorShared>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+fn backoff(config: &SupervisorConfig, restarts: u32) -> Duration {
+    let factor = 1u32 << restarts.min(16);
+    (config.backoff_base * factor).min(config.backoff_max)
+}
+
+/// Spawn one shard, returning its handle and address.
+fn spawn_shard(config: &SupervisorConfig) -> std::io::Result<(ShardProc, SocketAddr)> {
+    match &config.runtime {
+        ShardRuntime::InProcess => {
+            let mut server = config.server.clone();
+            server.addr = "127.0.0.1:0".into();
+            let handle = serve(server)?;
+            let addr = handle.addr();
+            Ok((ShardProc::InProcess(handle), addr))
+        }
+        ShardRuntime::Process { binary, extra_args } => {
+            let s = &config.server;
+            let mut cmd = Command::new(binary);
+            cmd.arg("--addr")
+                .arg("127.0.0.1:0")
+                .arg("--workers")
+                .arg(s.workers.to_string())
+                .arg("--queue")
+                .arg(s.queue_capacity.to_string())
+                .arg("--max-conns")
+                .arg(s.max_conns.to_string())
+                .arg("--deadline-ms")
+                .arg(s.default_deadline_ms.to_string())
+                .args(extra_args)
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null());
+            let mut child = cmd.spawn()?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| std::io::Error::other("no stdout pipe on shard child"))?;
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            let addr = loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shard child exited before announcing its address",
+                    ));
+                }
+                if let Some(rest) = line.trim().split("listening on ").nth(1) {
+                    match rest.parse::<SocketAddr>() {
+                        Ok(addr) => break addr,
+                        Err(_) => continue,
+                    }
+                }
+            };
+            let pump = std::thread::Builder::new()
+                .name("shard-stdout".into())
+                .spawn(move || {
+                    let mut sink = String::new();
+                    while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                        sink.clear();
+                    }
+                })
+                .expect("spawn shard stdout pump");
+            Ok((
+                ShardProc::Process {
+                    child,
+                    _stdout_pump: pump,
+                },
+                addr,
+            ))
+        }
+    }
+}
+
+/// Retire an in-process shard on a detached thread: drain it and bank the
+/// final snapshot so the fleet-wide ledger stays conserved across kills.
+fn retire_in_process(shared: &Arc<SupervisorShared>, handle: ServerHandle) {
+    let shared2 = Arc::clone(shared);
+    let joiner = std::thread::Builder::new()
+        .name("shard-retire".into())
+        .spawn(move || {
+            handle.shutdown();
+            let snapshot = handle.join();
+            shared2.retired.lock().unwrap().push(snapshot);
+        })
+        .expect("spawn shard retire thread");
+    shared.retiring.lock().unwrap().push(joiner);
+}
+
+fn monitor_sweep(shared: &Arc<SupervisorShared>) {
+    let n = shared.directory.len();
+    for slot in 0..n {
+        // Narrow lock: decide what to do, then act.
+        enum Action {
+            None,
+            Reap,
+            Restart,
+        }
+        let action = {
+            let mut slots = shared.slots.lock().unwrap();
+            let state = &mut slots[slot];
+            match &mut state.proc {
+                Some(ShardProc::Process { child, .. }) => {
+                    if matches!(child.try_wait(), Ok(Some(_))) {
+                        Action::Reap
+                    } else {
+                        Action::None
+                    }
+                }
+                Some(ShardProc::InProcess(_)) => Action::None,
+                None => {
+                    if state.desired && Instant::now() >= state.next_restart {
+                        Action::Restart
+                    } else {
+                        Action::None
+                    }
+                }
+            }
+        };
+        match action {
+            Action::None => {}
+            Action::Reap => {
+                obs::count!("supervisor.shard_died");
+                shared.directory.mark_down(slot);
+                let mut slots = shared.slots.lock().unwrap();
+                let state = &mut slots[slot];
+                if let Some(ShardProc::Process { mut child, .. }) = state.proc.take() {
+                    let _ = child.wait();
+                }
+                state.next_restart = Instant::now() + backoff(&shared.config, state.restarts);
+            }
+            Action::Restart => match spawn_shard(&shared.config) {
+                Ok((proc, addr)) => {
+                    obs::count!("supervisor.shard_restarted");
+                    let mut slots = shared.slots.lock().unwrap();
+                    let state = &mut slots[slot];
+                    state.proc = Some(proc);
+                    state.restarts += 1;
+                    shared.directory.note_restart(slot);
+                    shared.directory.set_addr(slot, addr);
+                }
+                Err(_) => {
+                    let mut slots = shared.slots.lock().unwrap();
+                    let state = &mut slots[slot];
+                    state.restarts += 1;
+                    state.next_restart = Instant::now() + backoff(&shared.config, state.restarts);
+                }
+            },
+        }
+    }
+}
+
+impl Supervisor {
+    /// Spawn the whole fleet and start the monitor. Fails if any initial
+    /// shard fails to start.
+    pub fn start(config: SupervisorConfig) -> std::io::Result<Self> {
+        assert!(config.shards > 0, "a fleet needs at least one shard");
+        let directory = ShardDirectory::new(config.shards);
+        let mut slots = Vec::with_capacity(config.shards);
+        for slot in 0..config.shards {
+            let (proc, addr) = spawn_shard(&config)?;
+            directory.set_addr(slot, addr);
+            slots.push(SlotState {
+                proc: Some(proc),
+                desired: true,
+                restarts: 0,
+                next_restart: Instant::now(),
+            });
+        }
+        let shared = Arc::new(SupervisorShared {
+            config,
+            directory,
+            slots: Mutex::new(slots),
+            retired: Mutex::new(Vec::new()),
+            retiring: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("supervisor-monitor".into())
+                .spawn(move || {
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        monitor_sweep(&shared);
+                        std::thread::sleep(shared.config.monitor_interval);
+                    }
+                })
+                .expect("spawn supervisor monitor")
+        };
+        Ok(Self {
+            shared,
+            monitor: Some(monitor),
+        })
+    }
+
+    /// The shared fleet directory (hand this to the router).
+    pub fn directory(&self) -> Arc<ShardDirectory> {
+        Arc::clone(&self.shared.directory)
+    }
+
+    /// Kill the shard in `slot`. `restart` decides whether the monitor
+    /// brings it back (after backoff) or leaves the slot dead.
+    ///
+    /// In-process shards drain gracefully (their final snapshot is banked
+    /// for [`fleet_snapshot`](Supervisor::fleet_snapshot)); process shards
+    /// are `SIGKILL`ed — abrupt, mid-request death, exactly what the
+    /// failover tests need.
+    pub fn kill_shard(&self, slot: usize, restart: bool) {
+        self.shared.directory.mark_down(slot);
+        let proc = {
+            let mut slots = self.shared.slots.lock().unwrap();
+            let state = &mut slots[slot];
+            state.desired = restart;
+            state.next_restart = Instant::now() + backoff(&self.shared.config, state.restarts);
+            state.proc.take()
+        };
+        match proc {
+            Some(ShardProc::InProcess(handle)) => retire_in_process(&self.shared, handle),
+            Some(ShardProc::Process { mut child, .. }) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            None => {}
+        }
+    }
+
+    /// Total restarts across the fleet so far.
+    pub fn restarts(&self) -> u64 {
+        self.shared
+            .slots
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| s.restarts as u64)
+            .sum()
+    }
+
+    /// Fleet-wide counter snapshot: live in-process shards plus retired
+    /// ones. (Process shards keep their counters in their own address
+    /// space; they contribute zeros here — query their `stats` op
+    /// directly instead.)
+    pub fn fleet_snapshot(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        {
+            let slots = self.shared.slots.lock().unwrap();
+            for state in slots.iter() {
+                if let Some(ShardProc::InProcess(handle)) = &state.proc {
+                    total.merge(&handle.stats().snapshot());
+                }
+            }
+        }
+        for snap in self.shared.retired.lock().unwrap().iter() {
+            total.merge(snap);
+        }
+        total
+    }
+
+    /// Stop the monitor and drain every shard. Returns the final fleet
+    /// snapshot (in-process shards and retirees; killed process shards
+    /// took their counters with them).
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        let procs: Vec<(usize, Option<ShardProc>)> = {
+            let mut slots = self.shared.slots.lock().unwrap();
+            slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.desired = false;
+                    (i, s.proc.take())
+                })
+                .collect()
+        };
+        for (slot, proc) in procs {
+            self.shared.directory.mark_down(slot);
+            match proc {
+                Some(ShardProc::InProcess(handle)) => {
+                    handle.shutdown();
+                    let snapshot = handle.join();
+                    self.shared.retired.lock().unwrap().push(snapshot);
+                }
+                Some(ShardProc::Process { mut child, .. }) => {
+                    // Graceful first (the shard drains and exits), kill as
+                    // a fallback.
+                    let drained = self
+                        .shared
+                        .directory
+                        .addr(slot)
+                        .and_then(|addr| {
+                            crate::client::Client::connect_with(
+                                addr,
+                                crate::client::ClientConfig::fast(Duration::from_millis(500)),
+                            )
+                            .ok()
+                        })
+                        .and_then(|mut c| c.call_raw("{\"op\":\"shutdown\"}").ok())
+                        .is_some();
+                    if drained {
+                        let deadline = Instant::now() + Duration::from_secs(5);
+                        while Instant::now() < deadline {
+                            if matches!(child.try_wait(), Ok(Some(_))) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                None => {}
+            }
+        }
+        // Wait for every in-flight graceful retirement to bank its
+        // snapshot before summing the fleet ledger.
+        for h in std::mem::take(&mut *self.shared.retiring.lock().unwrap()) {
+            let _ = h.join();
+        }
+        let mut total = StatsSnapshot::default();
+        for snap in self.shared.retired.lock().unwrap().iter() {
+            total.merge(snap);
+        }
+        total
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // Best-effort cleanup if `shutdown` was never called: stop the
+        // monitor and kill any child processes so tests can't leak them.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        let mut slots = self.shared.slots.lock().unwrap();
+        for state in slots.iter_mut() {
+            match state.proc.take() {
+                Some(ShardProc::Process { mut child, .. }) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                Some(ShardProc::InProcess(handle)) => {
+                    handle.shutdown();
+                    let _ = handle.join();
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let config = SupervisorConfig {
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(backoff(&config, 0), Duration::from_millis(50));
+        assert_eq!(backoff(&config, 1), Duration::from_millis(100));
+        assert_eq!(backoff(&config, 2), Duration::from_millis(200));
+        assert_eq!(backoff(&config, 10), Duration::from_secs(2), "capped");
+        assert_eq!(backoff(&config, 63), Duration::from_secs(2), "no overflow");
+    }
+
+    #[test]
+    fn in_process_fleet_starts_and_drains() {
+        let config = SupervisorConfig {
+            shards: 2,
+            server: ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        let sup = Supervisor::start(config).unwrap();
+        let dir = sup.directory();
+        assert_eq!(dir.live_slots(), vec![0, 1]);
+        let addr = dir.addr(0).unwrap();
+        let mut c = crate::client::Client::connect(addr).unwrap();
+        let resp = c.call("{\"op\":\"health\"}").unwrap();
+        assert_eq!(
+            resp.get("status").and_then(minijson::Value::as_str),
+            Some("ok")
+        );
+        let total = sup.shutdown();
+        assert!(total.conserved(), "fleet ledger conserved: {total:?}");
+        assert_eq!(total.received, 1);
+    }
+
+    #[test]
+    fn killed_in_process_shard_restarts_with_new_generation() {
+        let config = SupervisorConfig {
+            shards: 1,
+            monitor_interval: Duration::from_millis(10),
+            backoff_base: Duration::from_millis(10),
+            server: ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        let sup = Supervisor::start(config).unwrap();
+        let dir = sup.directory();
+        let first_addr = dir.addr(0).unwrap();
+        let first_gen = dir.generation(0);
+        sup.kill_shard(0, true);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while dir.generation(0) == first_gen && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(dir.generation(0) > first_gen, "shard was restarted");
+        assert!(dir.is_healthy(0));
+        assert_eq!(sup.restarts(), 1);
+        let new_addr = dir.addr(0).unwrap();
+        let mut c = crate::client::Client::connect(new_addr).unwrap();
+        assert!(c.call_raw("{\"op\":\"health\"}").unwrap().contains("ok"));
+        let _ = (first_addr, sup.shutdown());
+    }
+}

@@ -8,6 +8,13 @@
 //!    optimal allocations agree to well within the service tolerance.
 //! 3. Chains that differ by at least one quantum in any rate never share
 //!    a key.
+//!
+//! PR 6 adds the staleness controls:
+//!
+//! 4. A TTL expiry forces a re-solve whose bytes are identical to the
+//!    expired entry — expiry affects *when* we solve, never *what*.
+//! 5. A quantum change drops every resident entry: no request after a
+//!    `reconfigure` can ever be answered by an old-epoch body.
 
 use dlt::linear;
 use dlt::model::LinearNetwork;
@@ -102,5 +109,43 @@ proptest! {
         }
         let canon2 = canonicalize(root2, &links2, &bids2, DEFAULT_QUANTUM).unwrap();
         prop_assert_ne!(&canon.key, &canon2.key, "a ≥ 2-quantum change must re-key");
+    }
+
+    #[test]
+    fn ttl_expiry_resolves_to_identical_bytes((root, links, bids) in chain_inputs()) {
+        // A zero TTL expires every entry on its next touch — no sleeping.
+        let chain = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        let cache = SolverCache::with_ttl(4, 32, Some(std::time::Duration::ZERO));
+        let (cold, hit) = cache.get_or_insert(&chain.key, || solve_body(&chain));
+        prop_assert!(!hit);
+        let (resolved, hit) = cache.get_or_insert(&chain.key, || solve_body(&chain));
+        prop_assert!(!hit, "zero-TTL entry must expire into a miss");
+        prop_assert_eq!(cache.expired(), 1);
+        prop_assert_eq!(
+            cold.as_bytes(), resolved.as_bytes(),
+            "expiry changed the answer bytes"
+        );
+    }
+
+    #[test]
+    fn quantum_change_never_serves_a_stale_body(
+        (root, links, bids) in chain_inputs(),
+        q_idx in 0usize..4,
+    ) {
+        let quantum2 = [1e-6f64, 1e-7, 1e-8, 1e-12][q_idx];
+        prop_assert_ne!(quantum2, DEFAULT_QUANTUM);
+        let cache = SolverCache::new(4, 32);
+        cache.invalidate_on_quantum_change(DEFAULT_QUANTUM);
+        let chain = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        cache.get_or_insert(&chain.key, || solve_body(&chain));
+        prop_assert_eq!(cache.len(), 1);
+        // The server reconfigures its quantum: every entry must go, even
+        // ones whose tick vector would collide across the two epochs.
+        prop_assert!(cache.invalidate_on_quantum_change(quantum2));
+        prop_assert!(cache.is_empty(), "old-epoch entry survived");
+        let chain2 = canonicalize(root, &links, &bids, quantum2).unwrap();
+        let (body, hit) = cache.get_or_insert(&chain2.key, || solve_body(&chain2));
+        prop_assert!(!hit, "post-reconfigure request must cold-solve");
+        prop_assert_eq!(body.as_str(), solve_body(&chain2).as_str());
     }
 }

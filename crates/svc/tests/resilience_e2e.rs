@@ -1,0 +1,608 @@
+//! Resilience end-to-end tests over real loopback TCP: client timeouts
+//! against silent servers, router bit-identity, shard-death failover
+//! (graceful and SIGKILL), rejection propagation with exact
+//! no-double-count accounting, and a kill-mid-burst drill under the
+//! chaos proxy.
+
+use minijson::Value;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use svc::chaos::{ChaosConfig, ChaosProxy};
+use svc::resilient_client::{ResilientClient, RetryPolicy};
+use svc::supervisor::ShardRuntime;
+use svc::{
+    canonicalize, serve, Client, ClientConfig, Router, RouterConfig, RouterHandle, ServerConfig,
+    Supervisor, SupervisorConfig, DEFAULT_QUANTUM,
+};
+use workloads::requests;
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("?")
+}
+
+/// The exact `"result":…` suffix a fresh solve of this chain serializes —
+/// the bit-identity oracle used throughout this suite.
+fn expected_result_suffix(root: f64, links: &[f64], bids: &[f64]) -> String {
+    let chain = canonicalize(root, links, bids, DEFAULT_QUANTUM).expect("valid chain");
+    format!("\"result\":{}}}", svc::handlers::solve_body(&chain))
+}
+
+/// A small pool of distinct chains that spread across shards.
+fn chain_set(n: usize) -> Vec<(f64, Vec<f64>, Vec<f64>)> {
+    (0..n)
+        .map(|i| {
+            let s = 1.0 + 0.21 * i as f64;
+            (s, vec![0.2 * s, 0.1, 0.7], vec![2.0, 0.5 + 0.3 * s, 4.0])
+        })
+        .collect()
+}
+
+fn fleet(shards: usize, server: ServerConfig, router: RouterConfig) -> (Supervisor, RouterHandle) {
+    let sup = Supervisor::start(SupervisorConfig {
+        shards,
+        server,
+        monitor_interval: Duration::from_millis(20),
+        backoff_base: Duration::from_millis(20),
+        backoff_max: Duration::from_millis(200),
+        runtime: ShardRuntime::InProcess,
+    })
+    .expect("start fleet");
+    let router = Router::spawn(sup.directory(), router).expect("bind router");
+    (sup, router)
+}
+
+// ---------------------------------------------------------------- timeouts
+
+/// Satellite (a): a server that accepts and then never replies must cost
+/// the client its read timeout, not an eternal hang.
+#[test]
+fn client_times_out_against_a_silent_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Keep the accepted sockets alive (and silent) for the test's life.
+    let silent = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s);
+            if held.len() >= 2 {
+                std::thread::sleep(Duration::from_secs(3));
+                return;
+            }
+        }
+    });
+    let timeout = Duration::from_millis(300);
+    let mut c = Client::connect_with(addr, ClientConfig::fast(timeout)).expect("connect");
+    let started = Instant::now();
+    let err = c
+        .call_raw(r#"{"op":"health"}"#)
+        .expect_err("silent server must not produce a response");
+    let elapsed = started.elapsed();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(
+        elapsed >= timeout && elapsed < timeout + Duration::from_secs(1),
+        "timeout fired at {elapsed:?}, configured {timeout:?}"
+    );
+    // The resilient client wraps the same failure into a bounded retry
+    // loop and also terminates.
+    let mut rc = ResilientClient::new(
+        addr.to_string(),
+        RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            client: ClientConfig::fast(timeout),
+            ..RetryPolicy::default()
+        },
+    );
+    assert!(rc.call(r#"{"op":"health"}"#).is_err());
+    drop(silent);
+}
+
+// ------------------------------------------------------------ bit-identity
+
+/// Tentpole invariant: the router is byte-transparent. The same request
+/// sequence against a routed fleet and against a single server produces
+/// identical response lines, byte for byte.
+#[test]
+fn routed_fleet_matches_single_server_byte_for_byte() {
+    let (sup, router) = fleet(
+        3,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        RouterConfig {
+            health_interval: Duration::ZERO,
+            ..RouterConfig::default()
+        },
+    );
+    let single = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start single server");
+
+    // Each chain twice (cold then warm), interleaved, plus an invalid
+    // chain and a malformed line — error bytes must match too.
+    let mut lines: Vec<String> = Vec::new();
+    for round in 0..2 {
+        for (i, (root, links, bids)) in chain_set(6).iter().enumerate() {
+            let id = (round * 100 + i) as i64;
+            lines.push(requests::solve_line(id, *root, links, bids));
+        }
+    }
+    lines.push(r#"{"op":"solve","id":900,"root_rate":-1.0,"links":[0.2],"bids":[2.0]}"#.into());
+    lines.push("this is not json".into());
+
+    let drive = |addr: std::net::SocketAddr| -> Vec<String> {
+        let mut c = Client::connect(addr).expect("connect");
+        lines.iter().map(|l| c.call_raw(l).expect("call")).collect()
+    };
+    let via_router = drive(router.addr());
+    let via_single = drive(single.addr());
+    for (i, (r, s)) in via_router.iter().zip(&via_single).enumerate() {
+        assert_eq!(r, s, "response {i} diverged for request {:?}", lines[i]);
+    }
+    // Warm rounds really were warm on both paths (same cache behavior).
+    assert!(via_router[6].contains("\"cached\":true"));
+
+    router.shutdown();
+    router.join();
+    let total = sup.shutdown();
+    assert!(total.conserved(), "fleet ledger: {total:?}");
+    single.shutdown();
+    single.join();
+}
+
+// ---------------------------------------------------------------- failover
+
+/// Kill a shard (gracefully; the SIGKILL variant is below) and the same
+/// keys must keep answering through the router, bit-identical to a fresh
+/// solve; the router records the failovers.
+#[test]
+fn failover_after_shard_death_is_bit_identical() {
+    let (sup, router) = fleet(
+        3,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        RouterConfig {
+            health_interval: Duration::ZERO,
+            ..RouterConfig::default()
+        },
+    );
+    let chains = chain_set(8);
+    let mut c = Client::connect(router.addr()).expect("connect");
+    let before: Vec<String> = chains
+        .iter()
+        .enumerate()
+        .map(|(i, (root, links, bids))| {
+            c.call_raw(&requests::solve_line(i as i64, *root, links, bids))
+                .expect("pre-kill call")
+        })
+        .collect();
+
+    // Kill one shard for good; its keys must move, the rest stay put.
+    sup.kill_shard(1, false);
+    // The kill marked the slot down, which would let the router sidestep
+    // it without ever probing. Re-mark it healthy to simulate *stale*
+    // health state: the router must now discover the death on its own
+    // (dead cached conn / refused connect) and fail over mid-forward.
+    std::thread::sleep(Duration::from_millis(100)); // let the drain land
+    sup.directory().mark_healthy(1);
+
+    let after: Vec<String> = chains
+        .iter()
+        .enumerate()
+        .map(|(i, (root, links, bids))| {
+            c.call_raw(&requests::solve_line(i as i64, *root, links, bids))
+                .expect("post-kill call")
+        })
+        .collect();
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert!(
+            a.contains("\"status\":\"ok\""),
+            "post-kill response {i}: {a}"
+        );
+        let (root, links, bids) = &chains[i];
+        let suffix = expected_result_suffix(*root, links, bids);
+        assert!(
+            a.ends_with(&suffix) && b.ends_with(&suffix),
+            "request {i} not bit-identical to a fresh solve\n before: {b}\n after: {a}"
+        );
+    }
+    let stats = router.stats();
+    assert!(
+        stats.failovers > 0,
+        "killing 1 of 3 shards must move some keys: {stats:?}"
+    );
+    assert_eq!(stats.unavailable, 0, "two shards still live: {stats:?}");
+
+    router.shutdown();
+    router.join();
+    let total = sup.shutdown();
+    assert!(total.conserved(), "fleet ledger: {total:?}");
+}
+
+/// The process runtime: a real `dls-serve` child is SIGKILLed mid-life;
+/// the supervisor restarts it (new port, bumped generation) and the
+/// router routes to the replacement.
+#[test]
+fn sigkilled_process_shard_is_restarted_and_rejoins() {
+    let binary = std::path::PathBuf::from(env!("CARGO_BIN_EXE_dls-serve"));
+    let sup = Supervisor::start(SupervisorConfig {
+        shards: 1,
+        runtime: ShardRuntime::Process {
+            binary,
+            extra_args: vec![],
+        },
+        server: ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        monitor_interval: Duration::from_millis(20),
+        backoff_base: Duration::from_millis(20),
+        backoff_max: Duration::from_millis(200),
+    })
+    .expect("start process fleet");
+    let dir = sup.directory();
+    let router = Router::spawn(
+        dir.clone(),
+        RouterConfig {
+            health_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router");
+
+    let (root, links, bids) = (1.0, vec![0.2, 0.1], vec![2.0, 0.5]);
+    let suffix = expected_result_suffix(root, &links, &bids);
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        client: ClientConfig::fast(Duration::from_millis(500)),
+        seed: 5,
+        ..RetryPolicy::default()
+    };
+    let mut rc = ResilientClient::new(router.addr().to_string(), policy);
+    let out = rc
+        .call(&requests::solve_line(1, root, &links, &bids))
+        .expect("pre-kill solve");
+    assert!(out.raw.ends_with(&suffix), "{}", out.raw);
+
+    let gen_before = dir.generation(0);
+    sup.kill_shard(0, true); // SIGKILL; supervisor must bring it back
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while dir.generation(0) == gen_before && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(dir.generation(0) > gen_before, "shard never restarted");
+    assert_eq!(sup.restarts(), 1);
+
+    // Same key, fresh shard, same bytes (cold again — the cache died).
+    let out = rc
+        .call(&requests::solve_line(2, root, &links, &bids))
+        .expect("post-restart solve");
+    assert_eq!(status(&out.value), "ok");
+    assert!(out.raw.ends_with(&suffix), "{}", out.raw);
+    assert!(out.raw.contains("\"cached\":false"), "{}", out.raw);
+
+    router.shutdown();
+    router.join();
+    sup.shutdown();
+}
+
+// ------------------------------------------------------------- accounting
+
+/// Satellite (f): shard rejections propagate through the router with
+/// `retry_after_ms` unchanged, and the router never re-sends a
+/// backpressure-rejected request — so the sum of shard `received`
+/// counters equals the router's forwarding attempts exactly.
+#[test]
+fn rejections_propagate_unchanged_and_are_never_double_counted() {
+    let (sup, router) = fleet(
+        2,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            retry_after_ms: 13,
+            ..ServerConfig::default()
+        },
+        RouterConfig {
+            // No prober: every shard `received` must come from forwarding.
+            health_interval: Duration::ZERO,
+            ..RouterConfig::default()
+        },
+    );
+    let addr = router.addr();
+
+    const CONNS: usize = 6;
+    const PER_CONN: usize = 30;
+    let rejected_seen = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for conn in 0..CONNS {
+            let rejected_seen = &rejected_seen;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for i in 0..PER_CONN {
+                    let id = (conn * PER_CONN + i) as i64;
+                    // ft_run is uncached and slow enough to overflow a
+                    // two-slot queue under six concurrent connections.
+                    let line = requests::ft_line(
+                        id,
+                        1.0,
+                        &[2.0, 0.5, 4.0, 1.5],
+                        &[0.2, 0.1, 0.7, 0.3],
+                        id as u64,
+                        Some((1 + (id as usize) % 4, 3, 0.5)),
+                    );
+                    let raw = c.call_raw(&line).expect("call");
+                    let v = Value::parse(&raw).expect("parse");
+                    match status(&v) {
+                        "ok" | "timeout" => {}
+                        "rejected" => {
+                            rejected_seen.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(
+                                v.get("reason").and_then(Value::as_str),
+                                Some("backpressure"),
+                                "{raw}"
+                            );
+                            assert_eq!(
+                                v.get("retry_after_ms").and_then(Value::as_u64),
+                                Some(13),
+                                "shard retry hint must survive the router hop: {raw}"
+                            );
+                        }
+                        other => panic!("unexpected status {other}: {raw}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let rstats = router.stats();
+    let fleet_now = sup.fleet_snapshot();
+    let total_requests = (CONNS * PER_CONN) as u64;
+    assert_eq!(rstats.received, total_requests);
+    assert_eq!(
+        rstats.forwarded_ok, total_requests,
+        "every request got exactly one relayed response: {rstats:?}"
+    );
+    assert_eq!(
+        rstats.forward_attempts, fleet_now.received,
+        "router attempts must equal fleet received — no double-counting \
+         (router: {rstats:?}, fleet: {fleet_now:?})"
+    );
+    assert_eq!(
+        rstats.forward_attempts, total_requests,
+        "no failovers happened, so attempts == requests: {rstats:?}"
+    );
+    let rejected = rejected_seen.load(Ordering::Relaxed) as u64;
+    assert!(rejected > 0, "a 2-slot queue must overflow in this drill");
+    assert_eq!(rstats.relayed_rejections, rejected);
+    assert_eq!(fleet_now.rejected, rejected);
+
+    router.shutdown();
+    router.join();
+    let total = sup.shutdown();
+    assert!(total.conserved(), "fleet ledger: {total:?}");
+}
+
+// ------------------------------------------------------------ chaos drill
+
+/// Satellite (c): kill a shard mid-burst while the client↔router link
+/// runs through the chaos proxy. Every in-flight request must terminate
+/// (ok / rejected-exhausted / timeout — no hangs), and every `ok` body
+/// must be bit-identical to a fresh solve.
+#[test]
+fn kill_mid_burst_under_chaos_terminates_everything_correctly() {
+    let (sup, router) = fleet(
+        2,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        RouterConfig {
+            health_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    );
+    let proxy = ChaosProxy::spawn(
+        router.addr(),
+        ChaosConfig {
+            seed: 20_26,
+            reset_prob: 0.05,
+            delay_prob: 0.10,
+            delay: Duration::from_millis(10),
+            partial_prob: 0.10,
+            corrupt_prob: 0.05,
+            event_budget: 60,
+        },
+    )
+    .expect("spawn chaos proxy");
+    let proxy_addr = proxy.addr();
+
+    let chains = chain_set(5);
+    const CONNS: usize = 4;
+    const PER_CONN: usize = 25;
+    let ok = AtomicUsize::new(0);
+    let exhausted = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for conn in 0..CONNS {
+            let (ok, exhausted, chains) = (&ok, &exhausted, &chains);
+            scope.spawn(move || {
+                let mut rc = ResilientClient::new(
+                    proxy_addr.to_string(),
+                    RetryPolicy {
+                        max_attempts: 8,
+                        base_backoff: Duration::from_millis(10),
+                        max_backoff: Duration::from_millis(100),
+                        client: ClientConfig::fast(Duration::from_millis(500)),
+                        seed: conn as u64,
+                        ..RetryPolicy::default()
+                    },
+                );
+                for i in 0..PER_CONN {
+                    let id = (conn * PER_CONN + i) as i64;
+                    let (root, links, bids) = &chains[id as usize % chains.len()];
+                    let line = requests::solve_line(id, *root, links, bids);
+                    match rc.call(&line) {
+                        Ok(out) => {
+                            assert_eq!(status(&out.value), "ok", "{}", out.raw);
+                            let suffix = expected_result_suffix(*root, links, bids);
+                            assert!(
+                                out.raw.ends_with(&suffix),
+                                "response under chaos not bit-identical\n got: {}",
+                                out.raw
+                            );
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Bounded retries may legitimately exhaust
+                            // under heavy chaos; what matters is that the
+                            // call *terminated*.
+                            exhausted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            if conn == 0 {
+                // Mid-burst: take a shard down; the supervisor brings a
+                // replacement back with a new generation.
+                scope.spawn(|| {
+                    std::thread::sleep(Duration::from_millis(100));
+                    sup.kill_shard(0, true);
+                });
+            }
+        }
+    });
+
+    let answered = ok.load(Ordering::Relaxed) + exhausted.load(Ordering::Relaxed);
+    assert_eq!(answered, CONNS * PER_CONN, "every request terminated");
+    assert!(
+        ok.load(Ordering::Relaxed) > 0,
+        "the fleet must answer some requests even under chaos"
+    );
+    // With the chaos budget exhausted, the path is transparent again and
+    // every key answers first-try.
+    assert_eq!(proxy.budget_remaining(), 0, "drill actually injected chaos");
+    let mut rc = ResilientClient::new(
+        proxy_addr.to_string(),
+        RetryPolicy {
+            max_attempts: 3,
+            client: ClientConfig::fast(Duration::from_secs(2)),
+            ..RetryPolicy::default()
+        },
+    );
+    for (i, (root, links, bids)) in chains.iter().enumerate() {
+        let out = rc
+            .call(&requests::solve_line(1000 + i as i64, *root, links, bids))
+            .expect("post-chaos call");
+        assert!(
+            out.raw
+                .ends_with(&expected_result_suffix(*root, links, bids)),
+            "{}",
+            out.raw
+        );
+    }
+
+    router.shutdown();
+    router.join();
+    let total = sup.shutdown();
+    assert!(
+        total.conserved(),
+        "fleet ledger conserved across kill + chaos: {total:?}"
+    );
+}
+
+// ----------------------------------------------------- cache TTL / quantum
+
+/// Satellite (b): entries past the TTL are re-solved (still bit-identical
+/// — the body is a pure function of the canonical chain).
+#[test]
+fn cache_ttl_expires_entries_end_to_end() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        cache_ttl_ms: Some(60),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let line = requests::solve_line(1, 1.0, &[0.2, 0.1], &[2.0, 0.5]);
+    let cold = c.call_raw(&line).unwrap();
+    assert!(cold.contains("\"cached\":false"));
+    let warm = c.call_raw(&line).unwrap();
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    std::thread::sleep(Duration::from_millis(100));
+    let expired = c.call_raw(&line).unwrap();
+    assert!(
+        expired.contains("\"cached\":false"),
+        "entry past TTL must re-solve: {expired}"
+    );
+    let suffix = expected_result_suffix(1.0, &[0.2, 0.1], &[2.0, 0.5]);
+    for r in [&cold, &warm, &expired] {
+        assert!(r.ends_with(&suffix), "{r}");
+    }
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let cache = stats.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("expired").unwrap().as_u64(), Some(1));
+    handle.shutdown();
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved());
+}
+
+/// Satellite (b): `reconfigure` swaps the quantum at runtime and drops
+/// the whole cache — the next identical request is a cold solve.
+#[test]
+fn reconfigure_quantum_invalidates_the_cache_end_to_end() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let line = requests::solve_line(1, 1.0, &[0.2, 0.1], &[2.0, 0.5]);
+    assert!(c.call_raw(&line).unwrap().contains("\"cached\":false"));
+    assert!(c.call_raw(&line).unwrap().contains("\"cached\":true"));
+
+    let re = c.call(r#"{"op":"reconfigure","quantum":1e-6}"#).unwrap();
+    assert_eq!(status(&re), "ok");
+    let result = re.get("result").unwrap();
+    assert_eq!(result.get("cache_cleared").unwrap().as_bool(), Some(true));
+    assert_eq!(result.get("quantum").unwrap().as_f64(), Some(1e-6));
+    assert_eq!(result.get("cache_entries").unwrap().as_u64(), Some(0));
+
+    let after = c.call_raw(&line).unwrap();
+    assert!(
+        after.contains("\"cached\":false"),
+        "old-epoch entry served after quantum change: {after}"
+    );
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let result = stats.get("result").unwrap();
+    assert_eq!(result.get("quantum").unwrap().as_f64(), Some(1e-6));
+    assert_eq!(
+        result
+            .get("cache")
+            .unwrap()
+            .get("invalidations")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+    // A no-op reconfigure (same quantum) must not clear anything.
+    let re = c.call(r#"{"op":"reconfigure","quantum":1e-6}"#).unwrap();
+    assert_eq!(
+        re.get("result")
+            .unwrap()
+            .get("cache_cleared")
+            .unwrap()
+            .as_bool(),
+        Some(false)
+    );
+    handle.shutdown();
+    drop(c);
+    assert!(handle.join().conserved());
+}

@@ -97,6 +97,23 @@ pub fn chain_pool(cfg: &RequestMixConfig) -> Vec<LinearNetwork> {
         .collect()
 }
 
+/// A solve-only stream that also reports which pool chain each line was
+/// drawn from, as `(line, pool_index)` with ids `0 .. total`. The chaos
+/// harness (E25) needs the index to check every response against an
+/// out-of-band fresh solve of the same chain — the bit-identity oracle.
+pub fn solve_lines_indexed(cfg: &RequestMixConfig) -> Vec<(String, usize)> {
+    let pool = chain_pool(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_C0FF_EE25);
+    (0..cfg.total)
+        .map(|i| {
+            let idx = rng.gen_range(0..pool.len());
+            let net = &pool[idx];
+            let bids: Vec<f64> = (1..net.len()).map(|j| net.w(j)).collect();
+            (solve_line(i as i64, net.w(0), &net.rates_z(), &bids), idx)
+        })
+        .collect()
+}
+
 /// Generate the request stream: `total` lines with ids `0 .. total`,
 /// drawing chains round-robin-with-jitter from the pool. Returns the
 /// lines plus the `(solve, ft_run)` op counts.
@@ -174,6 +191,30 @@ mod tests {
             for r in rates {
                 assert!(r.as_f64().unwrap() > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn indexed_solve_lines_point_back_into_the_pool() {
+        let cfg = RequestMixConfig {
+            total: 100,
+            distinct_chains: 5,
+            ..RequestMixConfig::default()
+        };
+        let pool = chain_pool(&cfg);
+        let a = solve_lines_indexed(&cfg);
+        assert_eq!(a, solve_lines_indexed(&cfg), "must be deterministic");
+        assert_eq!(a.len(), 100);
+        for (i, (line, idx)) in a.iter().enumerate() {
+            assert!(*idx < pool.len());
+            let v = Value::parse(line).unwrap();
+            assert_eq!(v.get("op").unwrap().as_str(), Some("solve"));
+            assert_eq!(v.get("id").unwrap().as_i64(), Some(i as i64));
+            // The line really encodes the chain its index claims.
+            let net = &pool[*idx];
+            let bids = v.get("bids").unwrap().as_array().unwrap();
+            assert_eq!(bids.len(), net.len() - 1);
+            assert_eq!(bids[0].as_f64(), Some(net.w(1)));
         }
     }
 
