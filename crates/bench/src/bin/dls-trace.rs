@@ -1,6 +1,7 @@
-//! `dls-trace` — summarize a JSONL observability trace.
+//! `dls-trace` — summarize a JSONL observability trace, or join a
+//! fleet's traces by request trace id.
 //!
-//! Reads a trace produced by `obs::JsonlSink` (one record per line, short
+//! Reads traces produced by `obs::JsonlSink` (one record per line, short
 //! keys: `k` kind, `n` name, `id`/`p` span ids, `vt` virtual time, `wus`
 //! wall microseconds, `v` value, `f` fields) and prints:
 //!
@@ -11,9 +12,33 @@
 //! * the fault-recovery breakdown (detection timeouts, waits, splices,
 //!   residual re-solves).
 //!
+//! Corrupted or truncated lines are counted and skipped, never fatal: a
+//! trace cut off mid-write (e.g. by a SIGKILL chaos drill) still
+//! summarizes.
+//!
+//! ## `--fleet` mode
+//!
+//! With `--fleet`, every argument is a JSONL file (router + shards +
+//! clients — or one file when an in-process fleet shares a sink) and the
+//! records are joined by the `trace` field the router splices into
+//! request envelopes (DESIGN.md §12). On top of the per-file summary it
+//! reconstructs:
+//!
+//! * **conservation** — per trace id, shard-side `svc.receive` events
+//!   must equal `router.forward_attempt` minus `router.attempt_failed`;
+//!   any imbalance (a lost or double-counted request) is a violation and
+//!   the exit code is non-zero,
+//! * **failover chains** — the slot sequence each multi-attempt trace
+//!   visited, with the failure reason per abandoned hop,
+//! * **per-hop latency** — percentiles for traced spans only
+//!   (`router.request`, `svc.execute`, `client.call`),
+//! * **lifecycle timeline** — supervisor kills/restarts and client
+//!   breaker transitions in wall-clock order.
+//!
 //! ```sh
 //! DLS_TRACE=trace.jsonl cargo run --release -p bench --bin exp_fault_sweep
 //! cargo run --release -p bench --bin dls-trace -- trace.jsonl
+//! cargo run --release -p bench --bin dls-trace -- --fleet router.jsonl shard0.jsonl
 //! ```
 
 use bench::Table;
@@ -31,20 +56,39 @@ struct CounterAgg {
     by_node: BTreeMap<String, f64>,
 }
 
+/// Per-trace-id conservation ledger (see `svc::router::Forwarder::forward`).
+#[derive(Default)]
+struct TraceLedger {
+    forward_attempts: u64,
+    attempt_failed: u64,
+    receives: u64,
+    /// Hops in arrival order: (wall µs, event name, slot, reason).
+    hops: Vec<(u64, &'static str, Option<u64>, String)>,
+}
+
 #[derive(Default)]
 struct TraceSummary {
     records: usize,
+    corrupt_lines: usize,
+    /// First few corruption descriptions, for the report.
+    corrupt_examples: Vec<String>,
     by_kind: BTreeMap<String, usize>,
-    /// Open spans: id → (name, start wall µs).
-    open_spans: BTreeMap<u64, (String, u64)>,
+    /// Open spans: (file, id) → (name, start wall µs, trace id).
+    open_spans: BTreeMap<(usize, u64), (String, u64, Option<u64>)>,
     /// Closed spans: name → wall-clock durations in µs.
     span_durations: BTreeMap<String, Vec<f64>>,
+    /// Closed spans that carried a trace id: name → durations in µs.
+    traced_span_durations: BTreeMap<String, Vec<f64>>,
     unmatched_span_ends: usize,
     counters: BTreeMap<String, CounterAgg>,
     histograms: BTreeMap<String, Vec<f64>>,
     /// Event name → (count, min vt, max vt); vt bounds are NaN when no
     /// event of that name carried a virtual time.
     events: BTreeMap<String, (usize, f64, f64)>,
+    /// Fleet join state: trace id → ledger.
+    ledgers: BTreeMap<u64, TraceLedger>,
+    /// Lifecycle timeline: (wall µs, description).
+    timeline: Vec<(u64, String)>,
 }
 
 /// Render a field value the way the breakdown tables key it.
@@ -60,7 +104,20 @@ fn field_repr(v: &Value) -> String {
     }
 }
 
-fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), String> {
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get("f").and_then(|f| f.get(key)).and_then(Value::as_u64)
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    v.get("f").and_then(|f| f.get(key)).and_then(Value::as_str)
+}
+
+fn ingest(
+    summary: &mut TraceSummary,
+    file_idx: usize,
+    line_no: usize,
+    line: &str,
+) -> Result<(), String> {
     let v = Value::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
     let kind = v
         .get("k")
@@ -72,9 +129,13 @@ fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), 
         .and_then(Value::as_str)
         .ok_or_else(|| format!("line {line_no}: missing record name `n`"))?
         .to_string();
+    if !matches!(kind.as_str(), "ss" | "se" | "ct" | "hg" | "ev") {
+        return Err(format!("line {line_no}: unknown record kind {kind:?}"));
+    }
     let wus = v.get("wus").and_then(Value::as_u64).unwrap_or(0);
     let value = v.get("v").and_then(Value::as_f64).unwrap_or(0.0);
     let vt = v.get("vt").and_then(Value::as_f64);
+    let trace = field_u64(&v, "trace");
 
     summary.records += 1;
     *summary.by_kind.entry(kind.clone()).or_insert(0) += 1;
@@ -82,24 +143,35 @@ fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), 
     match kind.as_str() {
         "ss" => {
             if let Some(id) = v.get("id").and_then(Value::as_u64) {
-                summary.open_spans.insert(id, (name, wus));
+                summary
+                    .open_spans
+                    .insert((file_idx, id), (name, wus, trace));
             }
         }
         "se" => {
             let opened = v
                 .get("id")
                 .and_then(Value::as_u64)
-                .and_then(|id| summary.open_spans.remove(&id));
+                .and_then(|id| summary.open_spans.remove(&(file_idx, id)));
             match opened {
-                Some((open_name, start)) => summary
-                    .span_durations
-                    .entry(open_name)
-                    .or_default()
-                    .push(wus.saturating_sub(start) as f64),
+                Some((open_name, start, open_trace)) => {
+                    let d = wus.saturating_sub(start) as f64;
+                    if open_trace.is_some() {
+                        summary
+                            .traced_span_durations
+                            .entry(open_name.clone())
+                            .or_default()
+                            .push(d);
+                    }
+                    summary.span_durations.entry(open_name).or_default().push(d);
+                }
                 None => summary.unmatched_span_ends += 1,
             }
         }
         "ct" => {
+            if name == "client.breaker.open" {
+                summary.timeline.push((wus, "client breaker OPEN".into()));
+            }
             let agg = summary.counters.entry(name).or_default();
             agg.total += value;
             if let Some(fields) = v.get("f") {
@@ -113,6 +185,51 @@ fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), 
         }
         "hg" => summary.histograms.entry(name).or_default().push(value),
         "ev" => {
+            match name.as_str() {
+                "router.forward_attempt" => {
+                    if let Some(t) = trace {
+                        let l = summary.ledgers.entry(t).or_default();
+                        l.forward_attempts += 1;
+                        l.hops
+                            .push((wus, "attempt", field_u64(&v, "slot"), String::new()));
+                    }
+                }
+                "router.attempt_failed" => {
+                    if let Some(t) = trace {
+                        let l = summary.ledgers.entry(t).or_default();
+                        l.attempt_failed += 1;
+                        let reason = field_str(&v, "reason").unwrap_or("?").to_string();
+                        l.hops.push((wus, "failed", field_u64(&v, "slot"), reason));
+                    }
+                }
+                "svc.receive" => {
+                    if let Some(t) = trace {
+                        let l = summary.ledgers.entry(t).or_default();
+                        l.receives += 1;
+                        l.hops.push((wus, "receive", None, String::new()));
+                    }
+                }
+                "supervisor.kill" => {
+                    let slot = field_u64(&v, "slot").unwrap_or(u64::MAX);
+                    summary.timeline.push((wus, format!("kill slot {slot}")));
+                }
+                "supervisor.shard_died" => {
+                    let slot = field_u64(&v, "slot").unwrap_or(u64::MAX);
+                    summary
+                        .timeline
+                        .push((wus, format!("shard DIED slot {slot}")));
+                }
+                "supervisor.shard_restarted" => {
+                    let slot = field_u64(&v, "slot").unwrap_or(u64::MAX);
+                    summary
+                        .timeline
+                        .push((wus, format!("shard RESTARTED slot {slot}")));
+                }
+                "client.breaker.close" => {
+                    summary.timeline.push((wus, "client breaker CLOSE".into()));
+                }
+                _ => {}
+            }
             let e = summary
                 .events
                 .entry(name)
@@ -123,7 +240,7 @@ fn ingest(summary: &mut TraceSummary, line_no: usize, line: &str) -> Result<(), 
                 e.2 = if e.2.is_nan() { t } else { e.2.max(t) };
             }
         }
-        other => return Err(format!("line {line_no}: unknown record kind {other:?}")),
+        _ => unreachable!("kind validated above"),
     }
     Ok(())
 }
@@ -137,6 +254,24 @@ fn breakdown(label: &str, map: &BTreeMap<String, f64>) -> String {
     parts.join("  ")
 }
 
+fn span_table(title: &str, durations: &BTreeMap<String, Vec<f64>>) {
+    println!("{title}");
+    let mut t = Table::new(&["span", "n", "p50", "p90", "p99", "max"]);
+    for (name, durations) in durations {
+        let s = Summary::of(durations);
+        t.row(vec![
+            name.clone(),
+            s.n.to_string(),
+            micros(s.p50),
+            micros(s.p90),
+            micros(s.p99),
+            micros(s.max),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
 fn print_summary(summary: &TraceSummary) {
     let kinds: Vec<String> = summary
         .by_kind
@@ -144,30 +279,20 @@ fn print_summary(summary: &TraceSummary) {
         .map(|(k, n)| format!("{k}:{n}"))
         .collect();
     println!(
-        "{} records ({}), {} span(s) left open, {} unmatched span end(s)",
+        "{} records ({}), {} span(s) left open, {} unmatched span end(s), {} corrupt line(s) skipped",
         summary.records,
         kinds.join(" "),
         summary.open_spans.len(),
         summary.unmatched_span_ends,
+        summary.corrupt_lines,
     );
+    for e in &summary.corrupt_examples {
+        println!("  corrupt: {e}");
+    }
     println!();
 
     if !summary.span_durations.is_empty() {
-        println!("span latency (wall-clock µs):");
-        let mut t = Table::new(&["span", "n", "p50", "p90", "p99", "max"]);
-        for (name, durations) in &summary.span_durations {
-            let s = Summary::of(durations);
-            t.row(vec![
-                name.clone(),
-                s.n.to_string(),
-                micros(s.p50),
-                micros(s.p90),
-                micros(s.p99),
-                micros(s.max),
-            ]);
-        }
-        t.print();
-        println!();
+        span_table("span latency (wall-clock µs):", &summary.span_durations);
     }
 
     if !summary.counters.is_empty() {
@@ -256,34 +381,156 @@ fn print_summary(summary: &TraceSummary) {
     }
 }
 
+/// The fleet join: conservation, failover chains, per-hop latency, and
+/// the lifecycle timeline. Returns the number of conservation violations.
+fn print_fleet(summary: &mut TraceSummary) -> usize {
+    println!("== fleet join ==");
+    println!();
+
+    // Conservation: receives == forward_attempts - attempt_failed, per
+    // trace id. Attempts the shard answered (even with `draining`) framed
+    // the line, so they produced a receive; only IO-failed and
+    // connection-limited attempts are excused.
+    let mut violations = 0usize;
+    let mut multi_hop = 0usize;
+    for (t, l) in &summary.ledgers {
+        let expected = l.forward_attempts.saturating_sub(l.attempt_failed);
+        if l.receives != expected {
+            violations += 1;
+            println!(
+                "CONSERVATION VIOLATION trace {t}: attempts={} failed={} receives={} (expected {})",
+                l.forward_attempts, l.attempt_failed, l.receives, expected
+            );
+        }
+        if l.forward_attempts > 1 {
+            multi_hop += 1;
+        }
+    }
+    println!(
+        "conservation: {} trace(s), {} with failover, {} violation(s)",
+        summary.ledgers.len(),
+        multi_hop,
+        violations
+    );
+    println!();
+
+    // Failover chains: the slot sequence each multi-attempt trace walked.
+    let chains: Vec<(u64, String)> = summary
+        .ledgers
+        .iter()
+        .filter(|(_, l)| l.forward_attempts > 1)
+        .map(|(t, l)| {
+            let mut hops = l.hops.clone();
+            hops.sort_by_key(|h| h.0);
+            let parts: Vec<String> = hops
+                .iter()
+                .map(|(_, what, slot, reason)| match (what, slot) {
+                    (&"attempt", Some(s)) => format!("slot{s}"),
+                    (&"failed", Some(s)) => format!("slot{s}!{reason}"),
+                    (&"receive", _) => "recv".into(),
+                    (what, _) => (*what).to_string(),
+                })
+                .collect();
+            (*t, parts.join(" -> "))
+        })
+        .collect();
+    if !chains.is_empty() {
+        println!("failover chains ({}):", chains.len());
+        for (t, chain) in chains.iter().take(20) {
+            println!("  trace {t}: {chain}");
+        }
+        if chains.len() > 20 {
+            println!("  ... and {} more", chains.len() - 20);
+        }
+        println!();
+    }
+
+    if !summary.traced_span_durations.is_empty() {
+        span_table(
+            "per-hop latency, traced requests only (wall-clock µs):",
+            &summary.traced_span_durations,
+        );
+    }
+
+    summary.timeline.sort_by_key(|e| e.0);
+    if !summary.timeline.is_empty() {
+        println!("lifecycle timeline (wall µs):");
+        for (wus, what) in &summary.timeline {
+            println!("  {wus:>12}  {what}");
+        }
+        println!();
+    }
+
+    violations
+}
+
+fn usage() {
+    eprintln!("usage: dls-trace [--fleet] <trace.jsonl> [more.jsonl ...]");
+    eprintln!();
+    eprintln!("summarize JSONL traces written by obs::JsonlSink. Produce one by");
+    eprintln!("setting DLS_TRACE=path.jsonl on any instrumented binary (dls-serve,");
+    eprintln!("the bench experiments); each process appends records to its file.");
+    eprintln!();
+    eprintln!("  --fleet   join several files (router + shards + clients) by the");
+    eprintln!("            per-request trace id: conservation check, failover");
+    eprintln!("            chains, per-hop latency, restart/breaker timeline.");
+    eprintln!("            Exits non-zero on any conservation violation.");
+    eprintln!();
+    eprintln!("corrupted or truncated lines are counted and skipped, never fatal.");
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let path = match args.get(1) {
-        Some(p) if p != "-h" && p != "--help" => p,
-        _ => {
-            eprintln!("usage: dls-trace <trace.jsonl>");
-            eprintln!("summarize a JSONL trace written by obs::JsonlSink (DLS_TRACE=...)");
-            return ExitCode::from(2);
+    let mut fleet = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fleet" => fleet = true,
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
         }
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("dls-trace: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    }
+    if paths.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
     let mut summary = TraceSummary::default();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    for (file_idx, path) in paths.iter().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dls-trace: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = ingest(&mut summary, file_idx, i + 1, line) {
+                summary.corrupt_lines += 1;
+                if summary.corrupt_examples.len() < 3 {
+                    summary.corrupt_examples.push(format!("{path}: {e}"));
+                }
+            }
         }
-        if let Err(e) = ingest(&mut summary, i + 1, line) {
-            eprintln!("dls-trace: {path}: {e}");
+    }
+
+    println!(
+        "trace: {}{}",
+        paths.join(" "),
+        if fleet { " (fleet join)" } else { "" }
+    );
+    print_summary(&summary);
+    if fleet {
+        let violations = print_fleet(&mut summary);
+        if violations > 0 {
+            eprintln!("dls-trace: {violations} conservation violation(s)");
             return ExitCode::FAILURE;
         }
     }
-    println!("trace: {path}");
-    print_summary(&summary);
     ExitCode::SUCCESS
 }

@@ -61,6 +61,7 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 thread_local! {
@@ -122,6 +123,14 @@ pub fn init_from_env() -> Option<String> {
             None
         }
     }
+}
+
+/// Allocate a process-unique trace id (monotone, starts at 1). Used by
+/// the serving router to tag a request's whole cross-hop journey; ids are
+/// unique within a process, which is all the fleet inspector needs to
+/// join router- and shard-side records (one router injects per fleet).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Microseconds of wall time since the first record of the process.

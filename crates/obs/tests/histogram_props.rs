@@ -1,0 +1,132 @@
+//! Property tests for [`obs::Histogram::merge`], the primitive the
+//! `metrics` op leans on for fleet-wide aggregation: the router merges
+//! per-shard windows, so merge must be order-insensitive and must
+//! preserve the exact all-time counts the conservation story quotes.
+//!
+//! Samples are drawn as small integers cast to `f64` so sums are exactly
+//! representable — the sum-preservation properties assert bit-exact
+//! equality, not epsilon closeness.
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// A shard's worth of samples: small integers, exactly summable in f64.
+fn shard_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..1000).prop_map(f64::from), 0..40)
+}
+
+fn shards_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(shard_strategy(), 1..6)
+}
+
+/// Record `samples` into a histogram with the given cap (0 = unbounded).
+fn hist_of(samples: &[f64], cap: usize) -> Histogram {
+    let mut h = if cap == 0 {
+        Histogram::new()
+    } else {
+        Histogram::with_cap(cap)
+    };
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging unbounded shards in any order yields the same sample set,
+    /// hence identical percentiles at every rank.
+    #[test]
+    fn merge_is_order_insensitive(shards in shards_strategy()) {
+        let hists: Vec<Histogram> = shards.iter().map(|s| hist_of(s, 0)).collect();
+        let mut forward = Histogram::new();
+        for h in &hists {
+            forward.merge(h);
+        }
+        let mut backward = Histogram::new();
+        for h in hists.iter().rev() {
+            backward.merge(h);
+        }
+        prop_assert_eq!(forward.sorted_samples(), backward.sorted_samples());
+        prop_assert_eq!(forward.total_count(), backward.total_count());
+        for q in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let (f, b) = (forward.percentile(q), backward.percentile(q));
+            prop_assert!(f == b || (f.is_nan() && b.is_nan()), "q={q}: {f} vs {b}");
+        }
+    }
+
+    /// An unbounded merge is sample-set union: exact count, exact sum,
+    /// and the sorted union of the inputs.
+    #[test]
+    fn unbounded_merge_preserves_count_and_sum(shards in shards_strategy()) {
+        let mut merged = Histogram::new();
+        let mut all: Vec<f64> = Vec::new();
+        for s in &shards {
+            merged.merge(&hist_of(s, 0));
+            all.extend_from_slice(s);
+        }
+        prop_assert_eq!(merged.total_count(), all.len() as u64);
+        prop_assert_eq!(merged.len(), all.len());
+        // Integer-valued samples: both sums are exact, so bit-equal.
+        prop_assert_eq!(merged.sum(), all.iter().sum::<f64>());
+        all.sort_by(f64::total_cmp);
+        prop_assert_eq!(merged.sorted_samples(), all.as_slice());
+    }
+
+    /// `total_count` survives capped windows exactly, on the shards and
+    /// through the merge: eviction drops samples, never history. This is
+    /// what lets the `metrics` op report exact all-time counts from
+    /// bounded memory.
+    #[test]
+    fn capped_windows_keep_exact_total_count(
+        shards in shards_strategy(),
+        cap in 1usize..16,
+    ) {
+        let recorded: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        let hists: Vec<Histogram> = shards.iter().map(|s| hist_of(s, cap)).collect();
+        for (h, s) in hists.iter().zip(&shards) {
+            prop_assert_eq!(h.total_count(), s.len() as u64);
+            prop_assert!(h.len() <= cap);
+            prop_assert!(h.len() == s.len().min(cap));
+        }
+        // Unbounded scratch target (the router's aggregation pattern):
+        // stored samples are the shard windows' union, count is all-time.
+        let mut scratch = Histogram::new();
+        for h in &hists {
+            scratch.merge(h);
+        }
+        prop_assert_eq!(scratch.total_count(), recorded);
+        let stored: usize = hists.iter().map(Histogram::len).sum();
+        prop_assert_eq!(scratch.len(), stored);
+        let window_sum: f64 = hists.iter().map(Histogram::sum).sum();
+        prop_assert_eq!(scratch.sum(), window_sum);
+
+        // Capped target: storage stays within the cap, count stays exact.
+        let mut capped = Histogram::with_cap(cap);
+        for h in &hists {
+            capped.merge(h);
+        }
+        prop_assert_eq!(capped.total_count(), recorded);
+        prop_assert!(capped.len() <= cap);
+        prop_assert_eq!(capped.len(), stored.min(cap));
+    }
+
+    /// Merge percentiles equal percentiles of the concatenated sample —
+    /// no bucket-boundary error, the exactness claim in the module docs.
+    #[test]
+    fn merge_percentiles_match_concatenation(a in shard_strategy(), b in shard_strategy()) {
+        let mut merged = hist_of(&a, 0);
+        merged.merge(&hist_of(&b, 0));
+        let mut concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        concat.sort_by(f64::total_cmp);
+        for q in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let want = obs::percentile(&concat, q);
+            let got = merged.percentile(q);
+            prop_assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "q={q}: merged {got} vs concatenated {want}"
+            );
+        }
+    }
+}

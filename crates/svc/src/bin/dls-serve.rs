@@ -60,7 +60,10 @@ fn parse_args() -> (ServerConfig, bool, usize) {
                 println!(
                     "dls-serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--max-conns N] [--deadline-ms N] [--cache-ttl-ms N] \
-                     [--fleet N] [--allow-remote-shutdown] [--self-test]"
+                     [--fleet N] [--allow-remote-shutdown] [--self-test]\n\n\
+                     env:\n  DLS_TRACE=path.jsonl  stream obs spans/events/counters \
+                     to that file\n                        (inspect with dls-trace; \
+                     join a fleet's files\n                        with dls-trace --fleet)"
                 );
                 std::process::exit(0);
             }

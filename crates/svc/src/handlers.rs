@@ -60,6 +60,10 @@ pub enum RequestKind {
     Health,
     /// Counters + latency histograms (inline).
     Stats,
+    /// Stable JSON + Prometheus-style text exposition of every counter
+    /// and latency histogram (inline). The router answers this itself,
+    /// aggregating fleet-wide over the shards' own `metrics` bodies.
+    Metrics,
     /// Begin graceful drain (inline).
     Shutdown,
     /// Swap runtime tunables (inline, gated like `shutdown`). Today the
@@ -99,6 +103,12 @@ pub struct Request {
     /// Per-request deadline override (milliseconds in queue + service),
     /// validated into `[MIN_DEADLINE_MS, MAX_DEADLINE_MS]` at parse time.
     pub deadline_ms: Option<u64>,
+    /// Cross-hop trace id. Client-settable; the router injects one into
+    /// work requests when tracing is enabled and the field is absent.
+    /// Tags every `obs` span/event the request touches on every hop.
+    /// Never echoed in responses, so routed-response byte-equality is
+    /// unaffected.
+    pub trace: Option<u64>,
     /// The operation.
     pub kind: RequestKind,
 }
@@ -144,6 +154,9 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
                 })?,
         ),
     };
+    // A malformed trace id is dropped, not rejected: tracing is advisory
+    // and must never change a request's outcome.
+    let trace = v.get("trace").and_then(Value::as_u64).filter(|&t| t > 0);
     let op = v
         .get("op")
         .and_then(Value::as_str)
@@ -151,6 +164,7 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
     let kind = match op {
         "health" => RequestKind::Health,
         "stats" => RequestKind::Stats,
+        "metrics" => RequestKind::Metrics,
         "shutdown" => RequestKind::Shutdown,
         "reconfigure" => {
             let quantum = match v.get("quantum") {
@@ -207,6 +221,7 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
     Ok(Request {
         id,
         deadline_ms,
+        trace,
         kind,
     })
 }
@@ -421,6 +436,28 @@ mod tests {
             let line = format!(r#"{{"op":"reconfigure","quantum":{bad}}}"#);
             assert!(parse_request(&line, 1e-9).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn trace_field_is_parsed_and_bad_traces_are_dropped() {
+        let r = parse_request(r#"{"op":"health","trace":42}"#, 1e-9).unwrap();
+        assert_eq!(r.trace, Some(42));
+        // trace is advisory: malformed values never fail the request.
+        for bad in ["0", "-7", "1.5", "\"abc\"", "null"] {
+            let line = format!(r#"{{"op":"health","trace":{bad}}}"#);
+            assert_eq!(parse_request(&line, 1e-9).unwrap().trace, None);
+        }
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#, 1e-9).unwrap().trace,
+            None
+        );
+    }
+
+    #[test]
+    fn parses_metrics_op() {
+        let r = parse_request(r#"{"op":"metrics","id":5}"#, 1e-9).unwrap();
+        assert_eq!(r.kind, RequestKind::Metrics);
+        assert_eq!(r.id, Some(5));
     }
 
     #[test]

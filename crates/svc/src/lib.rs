@@ -14,6 +14,7 @@
 //! | `ft_run`   | worker pool       | fault-injected run report (`protocol::ft_runner`) |
 //! | `health`   | inline            | state, uptime, queue depth |
 //! | `stats`    | inline            | counters, cache stats, per-endpoint latency percentiles |
+//! | `metrics`  | inline            | stable JSON + Prometheus text of every counter/histogram |
 //! | `shutdown` | inline            | `draining`; begins the graceful drain |
 //! | `reconfigure` | inline         | swaps the quantum, invalidating the cache (loopback-gated) |
 //!
@@ -41,6 +42,16 @@
 //! * [`chaos`] — a seeded fault-injecting TCP proxy (resets, delays,
 //!   partial writes, corruption) for deterministic failure drills;
 //!   experiment E25 (`exp_serve_chaos`) sweeps it.
+//!
+//! ### Fleet telemetry (DESIGN.md §12)
+//!
+//! [`telemetry`] threads an optional per-request trace id through every
+//! hop (router accept → failover attempts → shard queue → cache → solve,
+//! plus client retries, breaker transitions and supervisor restarts) and
+//! renders the `metrics` op's Prometheus text. Experiment E26
+//! (`exp_fleet_telemetry`) proves tracing never changes response bytes;
+//! `dls-trace --fleet` joins the per-process JSONL files by trace id and
+//! checks per-request conservation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -57,6 +68,7 @@ pub mod router;
 pub mod server;
 pub mod stats;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use cache::SolverCache;
 pub use chaos::{ChaosConfig, ChaosProxy, FaultKind};

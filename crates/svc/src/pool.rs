@@ -60,6 +60,8 @@ pub struct Job {
     pub deadline: Duration,
     /// Admission instant.
     pub enqueued: Instant,
+    /// Cross-hop trace id, tagged onto every span/event this job emits.
+    pub trace: Option<u64>,
     /// The owning connection's writer channel.
     pub reply: mpsc::Sender<String>,
 }
@@ -68,10 +70,26 @@ pub struct Job {
 /// thread loop so tests can drive it synchronously.
 pub fn execute(worker: usize, ctx: &ServiceCtx, job: &Job) -> String {
     let endpoint = job.request.endpoint();
-    if job.enqueued.elapsed() > job.deadline {
+    // The span + queue-wait sample carry the trace id when the request
+    // has one; both cost nothing while instrumentation is disabled.
+    let _span = match job.trace {
+        Some(t) => {
+            obs::span!("svc.execute", "trace" => t, "op" => endpoint.name(), "worker" => worker)
+        }
+        None => obs::span!("svc.execute", "op" => endpoint.name(), "worker" => worker),
+    };
+    let waited = job.enqueued.elapsed();
+    match job.trace {
+        Some(t) => obs::hist!("svc.queue_wait_us", waited.as_secs_f64() * 1e6, "trace" => t),
+        None => obs::hist!("svc.queue_wait_us", waited.as_secs_f64() * 1e6),
+    }
+    if waited > job.deadline {
         ctx.stats.on_timeout();
         ctx.stats.on_completed(false);
-        obs::count!("svc.timeout");
+        match job.trace {
+            Some(t) => obs::count!("svc.timeout", "trace" => t),
+            None => obs::count!("svc.timeout"),
+        }
         return handlers::timeout_response(job.id, job.deadline.as_millis() as u64);
     }
     obs::count!("svc.requests");
@@ -80,10 +98,11 @@ pub fn execute(worker: usize, ctx: &ServiceCtx, job: &Job) -> String {
             let (body, hit) = ctx
                 .cache
                 .get_or_insert(&chain.key, || handlers::solve_body(chain));
-            if hit {
-                obs::count!("svc.cache.hit");
-            } else {
-                obs::count!("svc.cache.miss");
+            match (hit, job.trace) {
+                (true, Some(t)) => obs::count!("svc.cache.hit", "trace" => t),
+                (true, None) => obs::count!("svc.cache.hit"),
+                (false, Some(t)) => obs::count!("svc.cache.miss", "trace" => t),
+                (false, None) => obs::count!("svc.cache.miss"),
             }
             ctx.stats.on_completed(false);
             handlers::ok_response(job.id, Some(hit), &body)
@@ -107,7 +126,10 @@ pub fn execute(worker: usize, ctx: &ServiceCtx, job: &Job) -> String {
     };
     let micros = job.enqueued.elapsed().as_secs_f64() * 1e6;
     ctx.stats.record_latency(worker, endpoint, micros);
-    obs::hist!("svc.latency_us", micros);
+    match job.trace {
+        Some(t) => obs::hist!("svc.latency_us", micros, "trace" => t),
+        None => obs::hist!("svc.latency_us", micros),
+    }
     response
 }
 
@@ -200,6 +222,7 @@ mod tests {
             id: Some(1),
             deadline,
             enqueued: Instant::now(),
+            trace: None,
             reply,
         }
     }

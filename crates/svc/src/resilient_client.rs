@@ -178,7 +178,7 @@ impl ResilientClient {
         base.mul_f64(scale)
     }
 
-    fn on_transport_failure(&mut self) {
+    fn on_transport_failure(&mut self, trace: Option<u64>) {
         self.conn = None;
         let failures = match self.breaker {
             Breaker::Closed {
@@ -190,7 +190,10 @@ impl ResilientClient {
             self.breaker = Breaker::Open;
             self.open_until = Some(std::time::Instant::now() + self.policy.breaker_cooldown);
             self.stats.breaker_opens += 1;
-            obs::count!("client.breaker.open");
+            match trace {
+                Some(t) => obs::count!("client.breaker.open", "trace" => t),
+                None => obs::count!("client.breaker.open"),
+            }
         } else {
             self.breaker = Breaker::Closed {
                 consecutive_failures: failures,
@@ -198,7 +201,14 @@ impl ResilientClient {
         }
     }
 
-    fn on_success(&mut self) {
+    fn on_success(&mut self, trace: Option<u64>) {
+        if self.breaker == Breaker::Open {
+            // Half-open probe succeeded: the breaker closes again.
+            match trace {
+                Some(t) => obs::event!("client.breaker.close", "trace" => t),
+                None => obs::event!("client.breaker.close"),
+            }
+        }
         self.breaker = Breaker::Closed {
             consecutive_failures: 0,
         };
@@ -230,11 +240,28 @@ impl ResilientClient {
     /// Round-trip `request` to a terminal response, retrying per policy.
     pub fn call(&mut self, request: &str) -> Result<CallOutcome, CallError> {
         self.stats.calls += 1;
+        // The request line is otherwise opaque bytes to this layer; only
+        // peek at its trace id when a sink is actually installed.
+        let trace = if obs::enabled() {
+            crate::telemetry::extract_trace(request)
+        } else {
+            None
+        };
+        let _span = match trace {
+            Some(t) => obs::span!("client.call", "trace" => t),
+            None => obs::span!("client.call"),
+        };
         let mut last_error = String::from("no attempt made");
         let mut rejections: u32 = 0;
         for attempt in 1..=self.policy.max_attempts.max(1) {
             if attempt > 1 {
                 self.stats.retries += 1;
+                match trace {
+                    Some(t) => {
+                        obs::event!("client.retry", "trace" => t, "attempt" => attempt as u64)
+                    }
+                    None => obs::event!("client.retry", "attempt" => attempt as u64),
+                }
             }
             // Open breaker: wait out the cooldown, then probe half-open.
             if self.breaker == Breaker::Open {
@@ -248,7 +275,7 @@ impl ResilientClient {
             match self.attempt(request) {
                 Err(e) => {
                     last_error = e;
-                    self.on_transport_failure();
+                    self.on_transport_failure(trace);
                     if attempt < self.policy.max_attempts {
                         let d = self.backoff(attempt - 1);
                         std::thread::sleep(d);
@@ -258,7 +285,7 @@ impl ResilientClient {
                     let status = value.get("status").and_then(Value::as_str);
                     match status {
                         Some("ok") | Some("error") | Some("timeout") => {
-                            self.on_success();
+                            self.on_success(trace);
                             return Ok(CallOutcome {
                                 value,
                                 raw,
@@ -268,10 +295,13 @@ impl ResilientClient {
                         }
                         Some("rejected") => {
                             // The server is alive — not a breaker event.
-                            self.on_success();
+                            self.on_success(trace);
                             rejections += 1;
                             self.stats.rejections += 1;
-                            obs::count!("client.rejected");
+                            match trace {
+                                Some(t) => obs::count!("client.rejected", "trace" => t),
+                                None => obs::count!("client.rejected"),
+                            }
                             let hint = value
                                 .get("retry_after_ms")
                                 .and_then(Value::as_u64)
@@ -285,7 +315,7 @@ impl ResilientClient {
                         }
                         other => {
                             last_error = format!("unknown status {other:?} in {raw:?}");
-                            self.on_transport_failure();
+                            self.on_transport_failure(trace);
                             if attempt < self.policy.max_attempts {
                                 let d = self.backoff(attempt - 1);
                                 std::thread::sleep(d);

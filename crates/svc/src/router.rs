@@ -39,7 +39,9 @@
 
 use crate::client::{Client, ClientConfig};
 use crate::handlers::{self, RequestKind, WorkRequest};
+use crate::telemetry::{self, PromText};
 use minijson::Value;
+use obs::Histogram;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -48,7 +50,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One shard slot: where it lives and how it is doing.
 struct Slot {
@@ -63,6 +65,12 @@ struct Slot {
     restarts: AtomicU64,
     /// Requests this slot answered through the router.
     forwarded: AtomicU64,
+    /// Forwarding failures at this slot that pushed a request onward
+    /// (IO error, draining response, or connection-limit response).
+    failovers: AtomicU64,
+    /// Backpressure rejections this slot answered that the router
+    /// relayed unchanged.
+    relayed_rejections: AtomicU64,
     /// Consecutive forwarding/probe failures.
     consecutive_failures: AtomicU64,
 }
@@ -82,6 +90,11 @@ pub struct SlotSnapshot {
     pub restarts: u64,
     /// Requests answered through the router.
     pub forwarded: u64,
+    /// Forwarding failures here that pushed a request to another slot
+    /// (or to `unavailable` when it was the last candidate).
+    pub failovers: u64,
+    /// Backpressure rejections answered here and relayed unchanged.
+    pub relayed_rejections: u64,
 }
 
 /// The shared fleet map: the supervisor writes addresses into it, the
@@ -102,6 +115,8 @@ impl ShardDirectory {
                     generation: AtomicU64::new(0),
                     restarts: AtomicU64::new(0),
                     forwarded: AtomicU64::new(0),
+                    failovers: AtomicU64::new(0),
+                    relayed_rejections: AtomicU64::new(0),
                     consecutive_failures: AtomicU64::new(0),
                 })
                 .collect(),
@@ -195,6 +210,8 @@ impl ShardDirectory {
                     generation: s.generation.load(Ordering::SeqCst),
                     restarts: s.restarts.load(Ordering::SeqCst),
                     forwarded: s.forwarded.load(Ordering::SeqCst),
+                    failovers: s.failovers.load(Ordering::SeqCst),
+                    relayed_rejections: s.relayed_rejections.load(Ordering::SeqCst),
                 }
             })
             .collect()
@@ -278,6 +295,7 @@ struct RouterShared {
     counters: RouterCounters,
     draining: AtomicBool,
     addr: SocketAddr,
+    started: Instant,
 }
 
 impl RouterShared {
@@ -339,6 +357,11 @@ impl RouterShared {
                     ("generation".into(), Value::Number(slot.generation as f64)),
                     ("restarts".into(), Value::Number(slot.restarts as f64)),
                     ("forwarded".into(), Value::Number(slot.forwarded as f64)),
+                    ("failovers".into(), Value::Number(slot.failovers as f64)),
+                    (
+                        "relayed_rejections".into(),
+                        Value::Number(slot.relayed_rejections as f64),
+                    ),
                 ])
             })
             .collect();
@@ -358,6 +381,177 @@ impl RouterShared {
             ("unavailable".into(), Value::Number(s.unavailable as f64)),
             ("probes".into(), Value::Number(s.probes as f64)),
             ("shards".into(), Value::Array(shards)),
+        ])
+        .to_json()
+    }
+
+    /// The router's `metrics` body: its own counters, per-slot forwarding
+    /// counters, and a fleet-wide aggregate built by fetching each
+    /// addressed shard's `metrics` and merging counters + latency sample
+    /// windows via [`Histogram::merge`] semantics (sample-set union).
+    /// The fan-out uses fresh direct connections, so it never touches
+    /// `forward_attempts` (but it does count toward shard `received`,
+    /// like health probes).
+    fn metrics_body(&self) -> String {
+        let s = self.stats();
+        let uptime_ms = self.started.elapsed().as_millis() as u64;
+        let slots = self.directory.snapshot();
+        let counters: Vec<(&str, u64)> = vec![
+            ("received", s.received),
+            ("forwarded_ok", s.forwarded_ok),
+            ("forward_attempts", s.forward_attempts),
+            ("failovers", s.failovers),
+            ("relayed_rejections", s.relayed_rejections),
+            ("unavailable", s.unavailable),
+            ("probes", s.probes),
+        ];
+        let mut prom = PromText::new();
+        prom.gauge("dls_router_uptime_ms", uptime_ms as f64);
+        for (name, v) in &counters {
+            prom.counter(&format!("dls_router_{name}_total"), *v as f64);
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            let idx = slot.slot.to_string();
+            let labels: [(&str, &str); 1] = [("slot", &idx)];
+            prom.labeled_counter(
+                "dls_router_slot_forwarded_total",
+                &labels,
+                slot.forwarded as f64,
+                i == 0,
+            );
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            let idx = slot.slot.to_string();
+            let labels: [(&str, &str); 1] = [("slot", &idx)];
+            prom.labeled_counter(
+                "dls_router_slot_failovers_total",
+                &labels,
+                slot.failovers as f64,
+                i == 0,
+            );
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            let idx = slot.slot.to_string();
+            let labels: [(&str, &str); 1] = [("slot", &idx)];
+            prom.labeled_counter(
+                "dls_router_slot_relayed_rejections_total",
+                &labels,
+                slot.relayed_rejections as f64,
+                i == 0,
+            );
+        }
+
+        // Fleet aggregation: one fresh `metrics` call per addressed slot.
+        let mut shards_reporting = 0usize;
+        let mut fleet_counters: Vec<(String, f64)> = Vec::new();
+        let mut fleet_latency: Vec<(&str, Histogram, f64)> = vec![
+            ("solve", Histogram::new(), 0.0),
+            ("ft_run", Histogram::new(), 0.0),
+        ];
+        for slot in &slots {
+            let Some(addr) = slot.addr else { continue };
+            let resp = Client::connect_with(addr, ClientConfig::fast(self.config.shard_timeout))
+                .and_then(|mut c| c.call_raw("{\"op\":\"metrics\"}"));
+            let Ok(resp) = resp else { continue };
+            let Ok(v) = Value::parse(&resp) else { continue };
+            let Some(result) = v.get("result") else {
+                continue;
+            };
+            shards_reporting += 1;
+            if let Some(Value::Object(pairs)) = result.get("counters") {
+                for (k, cv) in pairs {
+                    let Some(x) = cv.as_f64() else { continue };
+                    match fleet_counters.iter_mut().find(|(name, _)| name == k) {
+                        Some((_, total)) => *total += x,
+                        None => fleet_counters.push((k.clone(), x)),
+                    }
+                }
+            }
+            for (name, hist, count) in fleet_latency.iter_mut() {
+                let Some(l) = result.get("latency_us").and_then(|l| l.get(name)) else {
+                    continue;
+                };
+                *count += l.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+                if let Some(samples) = l.get("samples").and_then(Value::as_array) {
+                    for sample in samples {
+                        if let Some(x) = sample.as_f64() {
+                            hist.record(x);
+                        }
+                    }
+                }
+            }
+        }
+        prom.gauge("dls_fleet_shards_reporting", shards_reporting as f64);
+        for (name, total) in &fleet_counters {
+            prom.counter(&format!("dls_fleet_{name}_total"), *total);
+        }
+        let mut latency_json = Vec::new();
+        for (i, (name, hist, count)) in fleet_latency.iter_mut().enumerate() {
+            prom.summary("dls_fleet_latency_us", &[("endpoint", *name)], hist, i == 0);
+            let summary = hist.summary();
+            let nan_safe = |x: f64| if x.is_finite() { x } else { 0.0 };
+            latency_json.push((
+                name.to_string(),
+                Value::Object(vec![
+                    // Exact all-time fleet count (summed shard counts);
+                    // percentiles are over the merged recent windows.
+                    ("count".into(), Value::Number(*count)),
+                    ("p50_us".into(), Value::Number(nan_safe(summary.p50))),
+                    ("p90_us".into(), Value::Number(nan_safe(summary.p90))),
+                    ("p99_us".into(), Value::Number(nan_safe(summary.p99))),
+                    ("max_us".into(), Value::Number(nan_safe(summary.max))),
+                ]),
+            ));
+        }
+        let slot_rows = slots
+            .iter()
+            .map(|slot| {
+                Value::Object(vec![
+                    ("slot".into(), Value::Number(slot.slot as f64)),
+                    ("healthy".into(), Value::Bool(slot.healthy)),
+                    ("restarts".into(), Value::Number(slot.restarts as f64)),
+                    ("forwarded".into(), Value::Number(slot.forwarded as f64)),
+                    ("failovers".into(), Value::Number(slot.failovers as f64)),
+                    (
+                        "relayed_rejections".into(),
+                        Value::Number(slot.relayed_rejections as f64),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("role".into(), Value::String("router".into())),
+            ("uptime_ms".into(), Value::Number(uptime_ms as f64)),
+            (
+                "counters".into(),
+                Value::Object(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Number(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("slots".into(), Value::Array(slot_rows)),
+            (
+                "fleet".into(),
+                Value::Object(vec![
+                    (
+                        "shards_reporting".into(),
+                        Value::Number(shards_reporting as f64),
+                    ),
+                    (
+                        "counters".into(),
+                        Value::Object(
+                            fleet_counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("latency_us".into(), Value::Object(latency_json)),
+                ]),
+            ),
+            ("text".into(), Value::String(prom.render())),
         ])
         .to_json()
     }
@@ -383,12 +577,21 @@ impl Forwarder {
 
     /// Forward `line` to the best live slot for `key_hash`, failing over
     /// through the rendezvous order. Returns the raw response to relay.
+    ///
+    /// `trace` tags each attempt's telemetry. The per-trace conservation
+    /// ledger (`dls-trace --fleet`) is: every `router.forward_attempt`
+    /// either produced a shard-side `svc.receive` (the shard framed the
+    /// line) or a `router.attempt_failed` (IO error, or a
+    /// connection-limit rejection sent by the shard's accept loop before
+    /// it ever read the line) — so `receives == attempts - failed`,
+    /// per trace id, even across kills.
     fn forward(
         &mut self,
         shared: &RouterShared,
         key_hash: u64,
         id: Option<i64>,
         line: &str,
+        trace: Option<u64>,
     ) -> String {
         let order = shared.directory.rank(key_hash);
         // Healthy slots first (in preference order), then the rest as a
@@ -411,20 +614,38 @@ impl Forwarder {
                 obs::count!("router.failover");
             }
             first = false;
-            match self.try_slot(shared, slot, line) {
+            match self.try_slot(shared, slot, line, trace) {
                 Some(resp) => {
                     if resp.contains("\"reason\":\"draining\"") {
                         // The shard acknowledged but is going away; it
                         // stays correct to fail this key over right now.
+                        // (The shard framed the line, so the attempt has
+                        // a matching receive — not a failed attempt.)
                         shared
                             .directory
                             .record_failure(slot, shared.config.failure_threshold);
+                        shared.directory.slots[slot]
+                            .failovers
+                            .fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if resp.contains("\"reason\":\"connection-limit\"") {
                         // The shard is alive but full; our connection was
-                        // closed after this line.
+                        // closed after this line — which the shard never
+                        // read, so the attempt counts as failed in the
+                        // conservation ledger.
                         self.conns.remove(&slot);
+                        shared.directory.slots[slot]
+                            .failovers
+                            .fetch_add(1, Ordering::Relaxed);
+                        match trace {
+                            Some(t) => {
+                                obs::event!("router.attempt_failed", "trace" => t, "slot" => slot, "reason" => "connection-limit")
+                            }
+                            None => {
+                                obs::event!("router.attempt_failed", "slot" => slot, "reason" => "connection-limit")
+                            }
+                        }
                         continue;
                     }
                     shared.directory.mark_healthy(slot);
@@ -437,6 +658,9 @@ impl Forwarder {
                         // `retry_after_ms` hint) belongs to the client.
                         shared
                             .counters
+                            .relayed_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.directory.slots[slot]
                             .relayed_rejections
                             .fetch_add(1, Ordering::Relaxed);
                     }
@@ -452,7 +676,13 @@ impl Forwarder {
     }
 
     /// One attempt against one slot. `None` = IO failure (recorded).
-    fn try_slot(&mut self, shared: &RouterShared, slot: usize, line: &str) -> Option<String> {
+    fn try_slot(
+        &mut self,
+        shared: &RouterShared,
+        slot: usize,
+        line: &str,
+        trace: Option<u64>,
+    ) -> Option<String> {
         let addr = shared.directory.addr(slot)?;
         let generation = shared.directory.generation(slot);
         match self.conns.get(&slot) {
@@ -465,6 +695,11 @@ impl Forwarder {
                             shared
                                 .directory
                                 .record_failure(slot, shared.config.failure_threshold);
+                            // No line was sent, so this is not a forward
+                            // attempt — only a per-slot failover.
+                            shared.directory.slots[slot]
+                                .failovers
+                                .fetch_add(1, Ordering::Relaxed);
                         })
                         .ok()?;
                 self.conns.insert(slot, CachedConn { generation, client });
@@ -475,6 +710,12 @@ impl Forwarder {
             .counters
             .forward_attempts
             .fetch_add(1, Ordering::Relaxed);
+        // The router half of the trace-conservation ledger, co-located
+        // with the `forward_attempts` increment it audits.
+        match trace {
+            Some(t) => obs::event!("router.forward_attempt", "trace" => t, "slot" => slot),
+            None => obs::event!("router.forward_attempt", "slot" => slot),
+        }
         match conn.client.call_raw(line) {
             Ok(resp) => Some(resp),
             Err(_) => {
@@ -482,6 +723,15 @@ impl Forwarder {
                 shared
                     .directory
                     .record_failure(slot, shared.config.failure_threshold);
+                shared.directory.slots[slot]
+                    .failovers
+                    .fetch_add(1, Ordering::Relaxed);
+                match trace {
+                    Some(t) => {
+                        obs::event!("router.attempt_failed", "trace" => t, "slot" => slot, "reason" => "io")
+                    }
+                    None => obs::event!("router.attempt_failed", "slot" => slot, "reason" => "io"),
+                }
                 None
             }
         }
@@ -579,6 +829,7 @@ fn handle_request(
     match kind {
         Some(RequestKind::Health) => handlers::ok_response(id, None, &shared.health_body()),
         Some(RequestKind::Stats) => handlers::ok_response(id, None, &shared.stats_body()),
+        Some(RequestKind::Metrics) => handlers::ok_response(id, None, &shared.metrics_body()),
         Some(RequestKind::Shutdown) => {
             if peer_loopback || shared.config.allow_remote_shutdown {
                 shared.begin_drain();
@@ -615,7 +866,27 @@ fn handle_request(
         // answer with the identical error bytes a single server would.
         _ => {
             let hash = routing_hash(kind, line);
-            forwarder.forward(shared, hash, id, line)
+            // Cross-hop tracing: adopt the client's trace id, or inject a
+            // fresh one — but only while a sink is installed (the
+            // disabled path forwards the exact original bytes) and only
+            // into lines that parsed (a spliced field must not change
+            // what the shard's parse sees; unparseable lines are relayed
+            // untouched so the shard's error bytes stay authoritative).
+            let mut trace = parsed.as_ref().ok().and_then(|r| r.trace);
+            let mut spliced = None;
+            if obs::enabled() && trace.is_none() && parsed.is_ok() {
+                let t = obs::next_trace_id();
+                if let Some(with_trace) = telemetry::inject_trace(line, t) {
+                    trace = Some(t);
+                    spliced = Some(with_trace);
+                }
+            }
+            let line = spliced.as_deref().unwrap_or(line);
+            let _span = match trace {
+                Some(t) => obs::span!("router.request", "trace" => t),
+                None => obs::span!("router.request"),
+            };
+            forwarder.forward(shared, hash, id, line, trace)
         }
     }
 }
@@ -684,6 +955,7 @@ impl Router {
             counters: RouterCounters::default(),
             draining: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {

@@ -27,8 +27,10 @@ use crate::handlers::{self, Request, RequestKind};
 use crate::pool::{Job, ServiceCtx, WorkerPool};
 use crate::quant;
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{Endpoint, StatsRegistry};
+use crate::stats::{Endpoint, StatsRegistry, LATENCY_SAMPLE_CAP};
+use crate::telemetry::PromText;
 use minijson::Value;
+use obs::Histogram;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -121,14 +123,39 @@ impl Shared {
                 "uptime_s".into(),
                 Value::Number(self.ctx.stats.uptime_secs()),
             ),
+            (
+                "uptime_ms".into(),
+                Value::Number(self.ctx.stats.uptime_millis() as f64),
+            ),
             ("workers".into(), Value::Number(self.workers as f64)),
             ("queue_depth".into(), Value::Number(self.queue.len() as f64)),
             (
                 "queue_capacity".into(),
                 Value::Number(self.queue.capacity() as f64),
             ),
+            ("cache".into(), self.cache_counters()),
         ])
         .to_json()
+    }
+
+    /// The cache counter block shared by `health`, `stats` and `metrics`.
+    fn cache_counters(&self) -> Value {
+        Value::Object(vec![
+            ("hits".into(), Value::Number(self.ctx.cache.hits() as f64)),
+            (
+                "misses".into(),
+                Value::Number(self.ctx.cache.misses() as f64),
+            ),
+            ("entries".into(), Value::Number(self.ctx.cache.len() as f64)),
+            (
+                "expired".into(),
+                Value::Number(self.ctx.cache.expired() as f64),
+            ),
+            (
+                "invalidations".into(),
+                Value::Number(self.ctx.cache.invalidations() as f64),
+            ),
+        ])
     }
 
     fn stats_body(&self) -> String {
@@ -160,31 +187,17 @@ impl Shared {
                 "uptime_s".into(),
                 Value::Number(self.ctx.stats.uptime_secs()),
             ),
+            (
+                "uptime_ms".into(),
+                Value::Number(self.ctx.stats.uptime_millis() as f64),
+            ),
             ("received".into(), Value::Number(s.received as f64)),
             ("completed".into(), Value::Number(s.completed as f64)),
             ("rejected".into(), Value::Number(s.rejected as f64)),
             ("timeouts".into(), Value::Number(s.timeouts as f64)),
             ("errors".into(), Value::Number(s.errors as f64)),
             ("quantum".into(), Value::Number(self.ctx.quantum())),
-            (
-                "cache".into(),
-                Value::Object(vec![
-                    ("hits".into(), Value::Number(self.ctx.cache.hits() as f64)),
-                    (
-                        "misses".into(),
-                        Value::Number(self.ctx.cache.misses() as f64),
-                    ),
-                    ("entries".into(), Value::Number(self.ctx.cache.len() as f64)),
-                    (
-                        "expired".into(),
-                        Value::Number(self.ctx.cache.expired() as f64),
-                    ),
-                    (
-                        "invalidations".into(),
-                        Value::Number(self.ctx.cache.invalidations() as f64),
-                    ),
-                ]),
-            ),
+            ("cache".into(), self.cache_counters()),
             ("endpoints".into(), Value::Object(endpoints)),
         ];
         if let Some(sink) = &self.ctx.obs_memory {
@@ -205,6 +218,88 @@ impl Shared {
         }
         Value::Object(fields).to_json()
     }
+
+    /// The `metrics` body: every counter plus per-endpoint latency — as
+    /// stable JSON for tooling and a Prometheus-style `text` exposition
+    /// for scrapers. The JSON carries the (bounded) raw latency samples
+    /// so a router can aggregate fleet-wide percentiles exactly via
+    /// [`Histogram::merge`].
+    fn metrics_body(&self) -> String {
+        let s = self.ctx.stats.snapshot();
+        let uptime_ms = self.ctx.stats.uptime_millis();
+        let counters: Vec<(&str, u64)> = vec![
+            ("received", s.received),
+            ("completed", s.completed),
+            ("rejected", s.rejected),
+            ("timeouts", s.timeouts),
+            ("errors", s.errors),
+            ("cache_hits", self.ctx.cache.hits()),
+            ("cache_misses", self.ctx.cache.misses()),
+            ("cache_entries", self.ctx.cache.len() as u64),
+            ("cache_expired", self.ctx.cache.expired()),
+            ("cache_invalidations", self.ctx.cache.invalidations()),
+        ];
+        let mut prom = PromText::new();
+        prom.gauge("dls_uptime_ms", uptime_ms as f64);
+        prom.gauge("dls_queue_depth", self.queue.len() as f64);
+        for (name, v) in &counters {
+            prom.counter(&format!("dls_{name}_total"), *v as f64);
+        }
+        let mut latency = Vec::new();
+        for (i, &e) in Endpoint::ALL.iter().enumerate() {
+            // Re-window the merged shards so the exported sample set (the
+            // fleet-aggregation payload) is bounded regardless of worker
+            // count; the all-time count stays exact through the merge.
+            let merged = self.ctx.stats.merged_latency(e);
+            let mut windowed = Histogram::with_cap(LATENCY_SAMPLE_CAP);
+            windowed.merge(&merged);
+            prom.summary(
+                "dls_latency_us",
+                &[("endpoint", e.name())],
+                &mut windowed,
+                i == 0,
+            );
+            let summary = windowed.summary();
+            let nan_safe = |x: f64| if x.is_finite() { x } else { 0.0 };
+            latency.push((
+                e.name().to_string(),
+                Value::Object(vec![
+                    ("count".into(), Value::Number(windowed.total_count() as f64)),
+                    ("p50_us".into(), Value::Number(nan_safe(summary.p50))),
+                    ("p90_us".into(), Value::Number(nan_safe(summary.p90))),
+                    ("p99_us".into(), Value::Number(nan_safe(summary.p99))),
+                    ("max_us".into(), Value::Number(nan_safe(summary.max))),
+                    (
+                        "samples".into(),
+                        Value::Array(
+                            windowed
+                                .sorted_samples()
+                                .iter()
+                                .map(|&v| Value::Number(v))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Value::Object(vec![
+            ("role".into(), Value::String("shard".into())),
+            ("uptime_ms".into(), Value::Number(uptime_ms as f64)),
+            (
+                "counters".into(),
+                Value::Object(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Number(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("queue_depth".into(), Value::Number(self.queue.len() as f64)),
+            ("latency_us".into(), Value::Object(latency)),
+            ("text".into(), Value::String(prom.render())),
+        ])
+        .to_json()
+    }
 }
 
 /// May this connection's `shutdown` op drain the server? Loopback peers
@@ -221,6 +316,7 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
     let Request {
         id,
         deadline_ms,
+        trace,
         kind,
     } = match handlers::parse_request(line, shared.ctx.quantum()) {
         Ok(r) => r,
@@ -230,6 +326,12 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
             return;
         }
     };
+    // The shard half of the fleet's trace-conservation ledger: one
+    // receive event per traced line framed off a socket, matched against
+    // the router's per-attempt events by `dls-trace --fleet`.
+    if let Some(t) = trace {
+        obs::event!("svc.receive", "trace" => t);
+    }
     match kind {
         RequestKind::Health => {
             shared.ctx.stats.on_completed(false);
@@ -238,6 +340,10 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
         RequestKind::Stats => {
             shared.ctx.stats.on_completed(false);
             let _ = tx.send(handlers::ok_response(id, None, &shared.stats_body()));
+        }
+        RequestKind::Metrics => {
+            shared.ctx.stats.on_completed(false);
+            let _ = tx.send(handlers::ok_response(id, None, &shared.metrics_body()));
         }
         RequestKind::Shutdown => {
             if shutdown_permitted(peer_loopback, shared.ctx.allow_remote_shutdown) {
@@ -303,6 +409,7 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
                 id,
                 deadline,
                 enqueued: Instant::now(),
+                trace,
                 reply: tx.clone(),
             };
             match shared.queue.try_push(job) {

@@ -190,6 +190,13 @@ impl StatsRegistry {
     pub fn uptime_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
     }
+
+    /// Milliseconds since the registry (server) started. The `health`,
+    /// `stats` and `metrics` bodies report this alongside the coarser
+    /// `uptime_s` so restart gaps shorter than a second stay visible.
+    pub fn uptime_millis(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 }
 
 #[cfg(test)]

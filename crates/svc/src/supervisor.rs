@@ -239,7 +239,8 @@ fn monitor_sweep(shared: &Arc<SupervisorShared>) {
         match action {
             Action::None => {}
             Action::Reap => {
-                obs::count!("supervisor.shard_died");
+                obs::count!("supervisor.shard_died", "slot" => slot);
+                obs::event!("supervisor.shard_died", "slot" => slot);
                 shared.directory.mark_down(slot);
                 let mut slots = shared.slots.lock().unwrap();
                 let state = &mut slots[slot];
@@ -250,11 +251,16 @@ fn monitor_sweep(shared: &Arc<SupervisorShared>) {
             }
             Action::Restart => match spawn_shard(&shared.config) {
                 Ok((proc, addr)) => {
-                    obs::count!("supervisor.shard_restarted");
+                    obs::count!("supervisor.shard_restarted", "slot" => slot);
                     let mut slots = shared.slots.lock().unwrap();
                     let state = &mut slots[slot];
                     state.proc = Some(proc);
                     state.restarts += 1;
+                    obs::event!(
+                        "supervisor.shard_restarted",
+                        "slot" => slot,
+                        "restarts" => state.restarts as u64,
+                    );
                     shared.directory.note_restart(slot);
                     shared.directory.set_addr(slot, addr);
                 }
@@ -325,6 +331,7 @@ impl Supervisor {
     /// are `SIGKILL`ed — abrupt, mid-request death, exactly what the
     /// failover tests need.
     pub fn kill_shard(&self, slot: usize, restart: bool) {
+        obs::event!("supervisor.kill", "slot" => slot, "restart" => restart);
         self.shared.directory.mark_down(slot);
         let proc = {
             let mut slots = self.shared.slots.lock().unwrap();

@@ -1,0 +1,218 @@
+//! Fleet telemetry plumbing: cross-hop trace-id injection and the
+//! Prometheus-style text exposition behind the `metrics` op.
+//!
+//! ## Trace propagation rules (DESIGN.md §12)
+//!
+//! * The trace id lives in the **request** envelope only (`"trace": N`,
+//!   a positive integer). Responses never carry it, so the router's
+//!   relay-bytes-verbatim invariant — a routed response is byte-identical
+//!   to a direct one — is untouched by tracing.
+//! * Clients may set it; the router injects a fresh
+//!   [`obs::next_trace_id`] into parseable work requests that arrive
+//!   without one, and only while a sink is installed
+//!   ([`obs::enabled`]), so the disabled path forwards the exact
+//!   original bytes.
+//! * Injection is a **string splice**, not a re-serialization: the line's
+//!   closing `}` is replaced with `,"trace":N}`. Every other byte of the
+//!   client's request survives verbatim, so the shard's parse sees the
+//!   same fields the router's did.
+
+use obs::Histogram;
+
+/// Splice `"trace": trace` into a JSON-object request line that does not
+/// already carry one. Returns `None` when the line is not a JSON object
+/// on its face (unparseable lines are relayed untouched — the shard will
+/// produce the authoritative parse error).
+pub fn inject_trace(line: &str, trace: u64) -> Option<String> {
+    let trimmed = line.trim_end();
+    let body = trimmed.strip_suffix('}')?;
+    if !trimmed.starts_with('{') {
+        return None;
+    }
+    // `{}` needs no comma; `{...fields}` does.
+    let sep = if body.trim_start().len() > 1 { "," } else { "" };
+    Some(format!("{body}{sep}\"trace\":{trace}}}"))
+}
+
+/// Extract a trace id from a request line without a full parse pass.
+/// Used on hops (resilient client) that otherwise treat the line as
+/// opaque bytes; only called when instrumentation is enabled.
+pub fn extract_trace(line: &str) -> Option<u64> {
+    let v = minijson::Value::parse(line.trim_end()).ok()?;
+    v.get("trace")
+        .and_then(minijson::Value::as_u64)
+        .filter(|&t| t > 0)
+}
+
+/// Builder for a Prometheus-style text exposition. Zero-dependency and
+/// deliberately minimal: `# TYPE` comments, counters/gauges, and summary
+/// quantiles derived from [`obs::Histogram`]s.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+    }
+
+    /// A monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, value: f64) -> &mut Self {
+        self.header(name, "counter");
+        self.sample(name, &[], value);
+        self
+    }
+
+    /// A labeled counter sample under an already-emitted family. Emits
+    /// the `# TYPE` header only when `first` is set so families with
+    /// many label sets stay well-formed.
+    pub fn labeled_counter(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        first: bool,
+    ) -> &mut Self {
+        if first {
+            self.header(name, "counter");
+        }
+        self.sample(name, labels, value);
+        self
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) -> &mut Self {
+        self.header(name, "gauge");
+        self.sample(name, &[], value);
+        self
+    }
+
+    /// A latency summary: p50/p90/p99 quantiles plus `_count` and `_sum`,
+    /// all labeled with `labels`. Quantiles come from the histogram's
+    /// stored window; `_count` is its exact all-time total.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &mut Histogram,
+        first: bool,
+    ) -> &mut Self {
+        if first {
+            self.header(name, "summary");
+        }
+        for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+            let mut qlabels: Vec<(&str, &str)> = labels.to_vec();
+            qlabels.push(("quantile", q));
+            let v = hist.percentile(p);
+            self.sample(name, &qlabels, if v.is_finite() { v } else { 0.0 });
+        }
+        self.sample(&format!("{name}_count"), labels, hist.total_count() as f64);
+        self.sample(&format!("{name}_sum"), labels, hist.sum());
+        self
+    }
+
+    /// The rendered exposition.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_splices_without_touching_other_bytes() {
+        let line = r#"{"op":"solve","id":7,"root_rate":1.0,"links":[0.2],"bids":[2.0]}"#;
+        let out = inject_trace(line, 99).unwrap();
+        assert_eq!(
+            out,
+            r#"{"op":"solve","id":7,"root_rate":1.0,"links":[0.2],"bids":[2.0],"trace":99}"#
+        );
+        // The spliced line still parses, and parses to the same request
+        // plus the trace.
+        let before = crate::handlers::parse_request(line, 1e-9).unwrap();
+        let after = crate::handlers::parse_request(&out, 1e-9).unwrap();
+        assert_eq!(after.trace, Some(99));
+        assert_eq!(before.kind, after.kind);
+        assert_eq!(before.id, after.id);
+    }
+
+    #[test]
+    fn inject_handles_empty_object_and_rejects_non_objects() {
+        assert_eq!(inject_trace("{}", 5).unwrap(), r#"{"trace":5}"#);
+        assert_eq!(inject_trace("{}\n", 5).unwrap(), r#"{"trace":5}"#);
+        assert!(inject_trace("not json", 5).is_none());
+        assert!(inject_trace("[1,2]", 5).is_none());
+        assert!(inject_trace(r#"{"op":"health""#, 5).is_none());
+    }
+
+    #[test]
+    fn extract_roundtrips_inject() {
+        let out = inject_trace(r#"{"op":"health"}"#, 1234).unwrap();
+        assert_eq!(extract_trace(&out), Some(1234));
+        assert_eq!(extract_trace(r#"{"op":"health"}"#), None);
+        assert_eq!(extract_trace("garbage"), None);
+        assert_eq!(extract_trace(r#"{"trace":0}"#), None);
+    }
+
+    #[test]
+    fn prom_text_renders_counters_gauges_and_summaries() {
+        let mut hist = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            hist.record(v);
+        }
+        let mut p = PromText::new();
+        p.counter("dls_received_total", 42.0);
+        p.gauge("dls_uptime_ms", 1500.0);
+        p.summary("dls_latency_us", &[("endpoint", "solve")], &mut hist, true);
+        let text = p.render();
+        assert!(text.contains("# TYPE dls_received_total counter"));
+        assert!(text.contains("dls_received_total 42"));
+        assert!(text.contains("dls_uptime_ms 1500"));
+        assert!(text.contains("dls_latency_us{endpoint=\"solve\",quantile=\"0.5\"}"));
+        assert!(text.contains("dls_latency_us_count{endpoint=\"solve\"} 4"));
+        assert!(text.contains("dls_latency_us_sum{endpoint=\"solve\"} 10"));
+        // Every line is `name[{labels}] value` or a # TYPE comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.rsplit_once(' ').is_some(),
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+}

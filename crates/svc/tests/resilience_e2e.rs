@@ -390,6 +390,102 @@ fn rejections_propagate_unchanged_and_are_never_double_counted() {
     assert!(total.conserved(), "fleet ledger: {total:?}");
 }
 
+// ------------------------------------------------------- fleet metrics
+
+/// The router's `stats` slot rows carry per-slot forwarding counters,
+/// and its `metrics` op aggregates fleet-wide counters and latency by
+/// fanning out to every addressed shard.
+#[test]
+fn router_metrics_aggregates_the_fleet_and_slot_counters_balance() {
+    const SHARDS: usize = 3;
+    let (sup, router) = fleet(
+        SHARDS,
+        ServerConfig::default(),
+        RouterConfig {
+            // No prober: shard `received` is forwarding + metrics fan-out.
+            health_interval: Duration::ZERO,
+            ..RouterConfig::default()
+        },
+    );
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    let chains = chain_set(6);
+    for (i, (root, links, bids)) in chains.iter().enumerate() {
+        let line = requests::solve_line(i as i64, *root, links, bids);
+        assert_eq!(status(&c.call(&line).unwrap()), "ok");
+    }
+
+    // Per-slot stats rows: forwarded sums to the solve count, and the
+    // failure counters are zero on a healthy fleet.
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let shards = stats
+        .get("result")
+        .unwrap()
+        .get("shards")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(shards.len(), SHARDS);
+    let sum = |key: &str| -> u64 {
+        shards
+            .iter()
+            .map(|s| s.get(key).unwrap().as_u64().unwrap())
+            .sum()
+    };
+    assert_eq!(sum("forwarded"), chains.len() as u64);
+    assert_eq!(sum("failovers"), 0);
+    assert_eq!(sum("relayed_rejections"), 0);
+
+    // The metrics op: fleet aggregation over every live shard.
+    let metrics = c.call(r#"{"op":"metrics"}"#).unwrap();
+    assert_eq!(status(&metrics), "ok");
+    let m = metrics.get("result").unwrap();
+    assert_eq!(m.get("role").unwrap().as_str(), Some("router"));
+    assert_eq!(
+        m.get("counters")
+            .unwrap()
+            .get("forwarded_ok")
+            .unwrap()
+            .as_u64(),
+        Some(chains.len() as u64)
+    );
+    let fleet = m.get("fleet").unwrap();
+    assert_eq!(
+        fleet.get("shards_reporting").unwrap().as_u64(),
+        Some(SHARDS as u64)
+    );
+    // Every shard counts its forwarded solves plus the metrics fan-out
+    // request itself (like health probes, those are received too).
+    assert_eq!(
+        fleet
+            .get("counters")
+            .unwrap()
+            .get("received")
+            .unwrap()
+            .as_u64(),
+        Some((chains.len() + SHARDS) as u64)
+    );
+    // Fleet latency: exact all-time solve count across the merged shard
+    // windows (obs::Histogram::merge is sample-set union).
+    let solve = fleet.get("latency_us").unwrap().get("solve").unwrap();
+    assert_eq!(
+        solve.get("count").unwrap().as_u64(),
+        Some(chains.len() as u64)
+    );
+    assert!(solve.get("p50_us").unwrap().as_f64().unwrap() >= 0.0);
+
+    let text = m.get("text").unwrap().as_str().unwrap();
+    assert!(text.contains("# TYPE dls_router_received_total counter"));
+    assert!(text.contains("dls_router_slot_forwarded_total{slot=\"0\"}"));
+    assert!(text.contains("# TYPE dls_fleet_latency_us summary"));
+    assert!(text.contains("dls_fleet_shards_reporting 3"));
+
+    router.shutdown();
+    router.join();
+    let total = sup.shutdown();
+    assert!(total.conserved(), "fleet ledger: {total:?}");
+}
+
 // ------------------------------------------------------------ chaos drill
 
 /// Satellite (c): kill a shard mid-burst while the client↔router link

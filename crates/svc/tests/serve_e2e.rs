@@ -117,6 +117,74 @@ fn full_protocol_session_over_tcp() {
 }
 
 #[test]
+fn metrics_op_exposes_counters_schema_and_prometheus_text() {
+    let handle = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // A cold and a warm solve give the counters something to say.
+    let line = requests::solve_line(1, 1.0, &[0.2, 0.1], &[2.0, 0.5]);
+    assert_eq!(status(&c.call(&line).unwrap()), "ok");
+    assert_eq!(status(&c.call(&line).unwrap()), "ok");
+
+    // Health carries uptime and the full cache counter block
+    // (results/README.md documents this schema).
+    let health = c.call(r#"{"op":"health"}"#).unwrap();
+    let h = health.get("result").unwrap();
+    assert!(h.get("uptime_ms").unwrap().as_u64().is_some());
+    let hcache = h.get("cache").unwrap();
+    for key in ["hits", "misses", "entries", "expired", "invalidations"] {
+        assert!(
+            hcache.get(key).unwrap().as_u64().is_some(),
+            "health cache block missing {key}"
+        );
+    }
+
+    let metrics = c.call(r#"{"op":"metrics"}"#).unwrap();
+    assert_eq!(status(&metrics), "ok");
+    let m = metrics.get("result").unwrap();
+    assert_eq!(m.get("role").unwrap().as_str(), Some("shard"));
+    assert!(m.get("uptime_ms").unwrap().as_u64().is_some());
+    assert!(m.get("queue_depth").unwrap().as_u64().is_some());
+
+    let counters = m.get("counters").unwrap();
+    // 2 solves + 1 health + this metrics request itself.
+    assert_eq!(counters.get("received").unwrap().as_u64(), Some(4));
+    assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(counters.get("cache_misses").unwrap().as_u64(), Some(1));
+    assert_eq!(counters.get("cache_expired").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        counters.get("cache_invalidations").unwrap().as_u64(),
+        Some(0)
+    );
+
+    // Latency block: exact all-time count plus the bounded sample window
+    // a router merges for fleet-wide percentiles.
+    let solve = m.get("latency_us").unwrap().get("solve").unwrap();
+    assert_eq!(solve.get("count").unwrap().as_u64(), Some(2));
+    assert_eq!(solve.get("samples").unwrap().as_array().unwrap().len(), 2);
+    assert!(solve.get("p50_us").unwrap().as_f64().unwrap() >= 0.0);
+
+    // Prometheus text: counter families, gauges, and the solve summary.
+    let text = m.get("text").unwrap().as_str().unwrap();
+    assert!(text.contains("# TYPE dls_received_total counter"));
+    assert!(text.contains("dls_received_total 4"));
+    assert!(text.contains("# TYPE dls_uptime_ms gauge"));
+    assert!(text.contains("dls_latency_us{endpoint=\"solve\",quantile=\"0.5\"}"));
+    assert!(text.contains("dls_latency_us_count{endpoint=\"solve\"} 2"));
+
+    // The metrics op is inline: it never perturbs the drain ledger.
+    assert_eq!(status(&c.call(r#"{"op":"shutdown"}"#).unwrap()), "ok");
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+    assert_eq!(snapshot.received, 5);
+}
+
+#[test]
 fn pipelined_requests_complete_out_of_order_and_conserve() {
     let handle = serve(ServerConfig {
         workers: 4,
