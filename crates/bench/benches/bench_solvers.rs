@@ -1,6 +1,8 @@
 //! E9 — solver scaling benchmarks: Algorithm 1 (O(m)) vs the bisection
-//! oracle (O(m log 1/ε)) vs the exact-rational solver, plus the companion
-//! star/tree/interior solvers, across chain lengths.
+//! oracle (O(m log 1/ε)) vs the exact-rational solver, the batch core
+//! (`solve_many` vs a scalar loop, `solve_all_suffixes` vs the per-suffix
+//! loop), plus the companion star/tree/interior solvers, across chain
+//! lengths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dlt::baseline::{solve_bisection, BisectionParams};
@@ -46,6 +48,52 @@ fn exact_solver(c: &mut Criterion) {
     group.finish();
 }
 
+fn batch_core(c: &mut Criterion) {
+    use dlt::batch::{self, BatchScratch, BatchSolution};
+    let mut group = c.benchmark_group("batch_solver");
+    let cfg = ChainConfig {
+        processors: 16,
+        ..Default::default()
+    };
+    for &k in &[32usize, 1024, 32_768] {
+        let nets = workloads::chain_population(&cfg, 0..k as u64);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("scalar_loop", k), &nets, |b, nets| {
+            b.iter(|| {
+                for net in nets {
+                    black_box(linear::solve(net));
+                }
+            })
+        });
+        let mut scratch = BatchScratch::new();
+        let mut out = BatchSolution::new();
+        group.bench_with_input(BenchmarkId::new("solve_many", k), &nets, |b, nets| {
+            b.iter(|| {
+                batch::solve_many_into(nets, &mut scratch, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    for &m in &[16usize, 256] {
+        let cfg = ChainConfig {
+            processors: m,
+            ..Default::default()
+        };
+        let net = workloads::chain(&cfg, 42);
+        group.bench_with_input(BenchmarkId::new("suffix_loop", m), &net, |b, net| {
+            b.iter(|| {
+                for i in 0..net.len() {
+                    black_box(linear::solve_suffix(net, i));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("suffix_sweep", m), &net, |b, net| {
+            b.iter(|| black_box(batch::solve_all_suffixes(net)))
+        });
+    }
+    group.finish();
+}
+
 fn companions(c: &mut Criterion) {
     let mut group = c.benchmark_group("companion_solvers");
     for &n in &[16usize, 256] {
@@ -70,5 +118,5 @@ fn companions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, chains, exact_solver, companions);
+criterion_group!(benches, chains, batch_core, exact_solver, companions);
 criterion_main!(benches);

@@ -11,7 +11,11 @@
 //!
 //! * [`model`] — processors, links, networks, allocations.
 //! * [`linear`] — the paper's Algorithm 1 (LINEAR BOUNDARY-LINEAR): the
-//!   optimal chain schedule via equivalent-processor reduction.
+//!   optimal chain schedule via equivalent-processor reduction
+//!   (`linear::reference` is the frozen bit-identity oracle).
+//! * [`batch`] — the struct-of-arrays batch solver core (`solve_many`,
+//!   `solve_all_suffixes`): amortizes thousands of chains per call,
+//!   bit-identical to the scalar solver by construction.
 //! * [`baseline`] — an independent bisection solver used as an oracle.
 //! * [`reduction`] — explicit reduction traces (Figure 3) and structural
 //!   checks.
@@ -47,6 +51,7 @@
 
 pub mod affine;
 pub mod baseline;
+pub mod batch;
 pub mod closed_form;
 pub mod exact;
 pub mod interior;

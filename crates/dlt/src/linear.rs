@@ -14,6 +14,9 @@
 
 use crate::model::{Allocation, LinearNetwork, LocalAllocation};
 
+#[path = "linear_reference.rs"]
+pub mod reference;
+
 /// The complete output of Algorithm 1: local fractions, global fractions and
 /// the per-prefix equivalent processing times.
 #[derive(Debug, Clone, PartialEq)]

@@ -9,7 +9,8 @@
 
 use crate::agent::{Agent, Conduct};
 use crate::payment::{self, PaymentBreakdown, PaymentInputs};
-use dlt::linear::{self, LinearSolution};
+use dlt::batch;
+use dlt::linear::LinearSolution;
 use dlt::model::LinearNetwork;
 
 /// Configuration of the mechanism.
@@ -105,7 +106,8 @@ impl DlsLbl {
     }
 
     /// The output function `α(w)`: assemble the bid network and run
-    /// Algorithm 1.
+    /// Algorithm 1 (through the batch solver core — bit-identical to the
+    /// scalar solver by the `dlt::batch` contract).
     pub fn allocate(&self, bids: &[f64]) -> (LinearNetwork, LinearSolution) {
         assert_eq!(
             bids.len(),
@@ -116,7 +118,7 @@ impl DlsLbl {
         w.push(self.root_rate);
         w.extend_from_slice(bids);
         let net = LinearNetwork::from_rates(&w, &self.link_rates);
-        let sol = linear::solve(&net);
+        let sol = batch::solve_one(&net);
         (net, sol)
     }
 
@@ -134,24 +136,28 @@ impl DlsLbl {
         } else {
             0.0
         };
-        let agents = conducts
+        // One suffix sweep settles the whole profile in O(m); bit-identical
+        // to the per-agent `payment::settle` loop (payment-parity suite).
+        let inputs: Vec<PaymentInputs> = conducts
             .iter()
             .enumerate()
             .map(|(idx, c)| {
-                let j = idx + 1;
-                let assigned = sol.alloc.alpha(j);
-                let actual = c.actual_load.unwrap_or(assigned);
-                let inputs = PaymentInputs {
+                let assigned = sol.alloc.alpha(idx + 1);
+                PaymentInputs {
                     assigned_load: assigned,
-                    actual_load: actual,
+                    actual_load: c.actual_load.unwrap_or(assigned),
                     actual_rate: c.actual_rate,
-                };
-                AgentOutcome {
-                    assigned_load: assigned,
-                    actual_load: actual,
-                    actual_rate: c.actual_rate,
-                    breakdown: payment::settle(&net, j, inputs, s),
                 }
+            })
+            .collect();
+        let agents = payment::settle_all(&net, &inputs, s)
+            .into_iter()
+            .zip(&inputs)
+            .map(|(breakdown, inp)| AgentOutcome {
+                assigned_load: inp.assigned_load,
+                actual_load: inp.actual_load,
+                actual_rate: inp.actual_rate,
+                breakdown,
             })
             .collect();
         RoundOutcome {
@@ -186,7 +192,7 @@ mod tests {
     fn allocate_matches_direct_solver() {
         let mech = mechanism();
         let (net, sol) = mech.allocate(&[2.0, 0.5, 4.0]);
-        let direct = linear::solve(&LinearNetwork::from_rates(
+        let direct = dlt::linear::solve(&LinearNetwork::from_rates(
             &[1.0, 2.0, 0.5, 4.0],
             &[0.2, 0.1, 0.7],
         ));

@@ -17,6 +17,7 @@
 //! Total payment `Q_j = C_j + B_j (+ S)` if the processor computed anything
 //! (`α̃_j > 0`), else 0 (eq. 4.6); utility `U_j = V_j + Q_j` (eq. 4.4).
 
+use dlt::batch::{self, SuffixSolutions};
 use dlt::linear;
 use dlt::model::LinearNetwork;
 
@@ -124,8 +125,126 @@ pub fn bonus(bids: &LinearNetwork, j: usize, actual_rate: f64) -> f64 {
     bids.w(j - 1) - realized_predecessor_equivalent(bids, j, actual_rate)
 }
 
+/// [`adjusted_equivalent`] evaluated from a precomputed suffix sweep:
+/// `sfx.alpha_hat_front(j)` / `sfx.makespan(j)` are bit-identical to the
+/// `solve(&bids.suffix(j))` quantities of the scalar path, and the branch
+/// structure and FP operations mirror [`adjusted_equivalent`] exactly.
+fn adjusted_equivalent_from(
+    sfx: &SuffixSolutions,
+    bids: &LinearNetwork,
+    j: usize,
+    actual_rate: f64,
+) -> f64 {
+    let m = bids.last_index();
+    assert!(
+        j >= 1 && j <= m,
+        "payments are defined for strategic processors 1..=m"
+    );
+    if j == m {
+        // eq. 4.10: the terminal processor's equivalent is itself.
+        return actual_rate;
+    }
+    if actual_rate >= bids.w(j) {
+        sfx.alpha_hat_front(j) * actual_rate // eq. 4.11, slow case
+    } else {
+        sfx.makespan(j) // eq. 4.11, fast case: equivalent time unchanged
+    }
+}
+
+/// [`realized_predecessor_equivalent`] evaluated from a precomputed suffix
+/// sweep. `sfx.equivalent_time(j)` reproduces the scalar path's
+/// `equivalent_time(&bids.suffix(j))` (which uses a *different* FP operation
+/// order than `solve` — both recursions live in the sweep precisely so this
+/// stays bit-identical).
+fn realized_predecessor_equivalent_from(
+    sfx: &SuffixSolutions,
+    bids: &LinearNetwork,
+    j: usize,
+    actual_rate: f64,
+) -> f64 {
+    assert!(j >= 1);
+    let w_pred = bids.w(j - 1);
+    let z_j = bids.z(j);
+    let w_bar_j = sfx.equivalent_time(j);
+    // Local split of P_{j-1} vs its successor segment, from the bids (eq. 2.7).
+    let tail = w_bar_j + z_j;
+    let alpha_hat_pred = tail / (w_pred + tail);
+    let w_hat_j = adjusted_equivalent_from(sfx, bids, j, actual_rate);
+    let front = alpha_hat_pred * w_pred;
+    let back = (1.0 - alpha_hat_pred) * (z_j + w_hat_j);
+    front.max(back)
+}
+
+/// Payment for processor `j` given a precomputed suffix sweep of the bid
+/// chain. O(1) per call; bit-identical to [`settle`] (pinned by the
+/// payment-parity suite in `mechanism/tests/payment_parity.rs`). Callers
+/// settling several agents of one bid profile should compute
+/// [`dlt::batch::solve_all_suffixes`] once and use this.
+pub fn settle_with(
+    sfx: &SuffixSolutions,
+    bids: &LinearNetwork,
+    j: usize,
+    inputs: PaymentInputs,
+    solution_bonus: f64,
+) -> PaymentBreakdown {
+    let v = valuation(inputs.actual_load, inputs.actual_rate);
+    if inputs.actual_load <= 0.0 {
+        // eq. 4.6: a processor that computed nothing is paid nothing.
+        return PaymentBreakdown {
+            valuation: v,
+            compensation: 0.0,
+            recompense: 0.0,
+            bonus: 0.0,
+            solution_bonus: 0.0,
+            payment: 0.0,
+            utility: v,
+        };
+    }
+    let e = recompense(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let c = compensation(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let b = bids.w(j - 1) - realized_predecessor_equivalent_from(sfx, bids, j, inputs.actual_rate);
+    let q = c + b + solution_bonus;
+    PaymentBreakdown {
+        valuation: v,
+        compensation: c,
+        recompense: e,
+        bonus: b,
+        solution_bonus,
+        payment: q,
+        utility: v + q,
+    }
+}
+
+/// Settle every strategic processor of one bid profile in O(m) total: one
+/// suffix sweep ([`dlt::batch::solve_all_suffixes`]) replaces the former
+/// per-agent `solve_suffix` loop (O(m²)). `inputs[idx]` belongs to
+/// `P_{idx+1}`. Every breakdown is bit-identical to calling [`settle`]
+/// per agent.
+pub fn settle_all(
+    bids: &LinearNetwork,
+    inputs: &[PaymentInputs],
+    solution_bonus: f64,
+) -> Vec<PaymentBreakdown> {
+    obs::count!("mechanism.payment.settle_all", "m" => bids.last_index());
+    assert_eq!(
+        inputs.len(),
+        bids.last_index(),
+        "one PaymentInputs per strategic processor"
+    );
+    let sfx = batch::solve_all_suffixes(bids);
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(idx, inp)| settle_with(&sfx, bids, idx + 1, *inp, solution_bonus))
+        .collect()
+}
+
 /// Full payment and utility for processor `j` (eqs. 4.4–4.9, plus the
 /// optional eq. 4.13 solution bonus).
+///
+/// This is the scalar per-suffix path (each call re-solves the suffix
+/// chains); it doubles as the frozen reference that the O(m) batch path
+/// ([`settle_all`] / [`settle_with`]) is differentially pinned against.
 pub fn settle(
     bids: &LinearNetwork,
     j: usize,

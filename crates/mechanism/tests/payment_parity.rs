@@ -1,0 +1,150 @@
+//! Payment-parity suite (ISSUE 8): the O(m) batch settlement path
+//! (`payment::settle_all` / `payment::settle_with` over one
+//! `dlt::batch::solve_all_suffixes` sweep) must produce **byte-identical**
+//! `PaymentBreakdown`s to the scalar per-agent `payment::settle`, which
+//! re-solves the suffix chains from scratch on every call.
+//!
+//! Equality is asserted on `Debug`-formatted bytes (shortest-roundtrip
+//! float printing is injective on finite f64, so equal bytes imply equal
+//! bits in every field: valuation, compensation, recompense, bonus,
+//! payment, utility).
+//!
+//! The deterministic test replays the E4 population — 500 random networks
+//! (3–9 processors), every strategic agent, the full 45-point
+//! `default_factor_grid()` of misreported bids — the exact workload whose
+//! report bytes (`results/exp_strategyproof_sweep.json`) the rewiring is
+//! required to leave unchanged. The proptests add adversarial conduct
+//! (over/under-execution, slack rates, zero actual load) beyond what the
+//! sweep exercises.
+
+use dlt::batch;
+use dlt::model::LinearNetwork;
+use mechanism::payment::{self, PaymentInputs};
+use mechanism::verify::default_factor_grid;
+use proptest::prelude::*;
+use workloads::ChainConfig;
+
+/// Settle every agent the slow way: one scalar `settle` per agent.
+fn settle_scalar(
+    bids: &LinearNetwork,
+    inputs: &[PaymentInputs],
+    solution_bonus: f64,
+) -> Vec<payment::PaymentBreakdown> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(idx, inp)| payment::settle(bids, idx + 1, *inp, solution_bonus))
+        .collect()
+}
+
+/// Truthful-execution inputs for a bid chain: each agent is assigned its
+/// bid-optimal share and computes exactly that at its true rate.
+fn truthful_inputs(bid_net: &LinearNetwork, true_rates: &[f64]) -> Vec<PaymentInputs> {
+    let sol = batch::solve_one(bid_net);
+    (1..bid_net.len())
+        .map(|j| PaymentInputs {
+            assigned_load: sol.alloc.alpha(j),
+            actual_load: sol.alloc.alpha(j),
+            actual_rate: true_rates[j - 1],
+        })
+        .collect()
+}
+
+/// E4-population parity: 500 networks × every agent × 45 bid factors,
+/// batch settlement byte-equal to the scalar reference.
+#[test]
+fn settle_all_matches_scalar_settle_on_the_e4_population() {
+    let grid = default_factor_grid();
+    assert_eq!(grid.len(), 45, "E4 bid grid drifted");
+    let mut profiles = 0usize;
+    for seed in 0..500u64 {
+        let cfg = ChainConfig {
+            processors: 2 + (seed % 7) as usize + 1,
+            ..Default::default()
+        };
+        let net = workloads::chain(&cfg, seed);
+        let parts = workloads::mechanism_parts(&net);
+        let m = parts.true_rates.len();
+        for j in 1..=m {
+            for &f in &grid {
+                // Agent j misreports its rate by factor f; others truthful.
+                let mut bids = parts.true_rates.clone();
+                bids[j - 1] *= f;
+                let mut w = vec![parts.root_rate];
+                w.extend_from_slice(&bids);
+                let bid_net = LinearNetwork::from_rates(&w, &parts.link_rates);
+                let inputs = truthful_inputs(&bid_net, &parts.true_rates);
+                let fast = payment::settle_all(&bid_net, &inputs, 0.0);
+                let slow = settle_scalar(&bid_net, &inputs, 0.0);
+                assert_eq!(
+                    format!("{fast:?}"),
+                    format!("{slow:?}"),
+                    "seed {seed}, agent {j}, factor {f}"
+                );
+                profiles += 1;
+            }
+        }
+    }
+    // Σ_seed (2 + seed % 7) agents × 45 factors = 2494 × 45.
+    assert_eq!(profiles, 112_230, "population drifted");
+}
+
+fn chain_strategy() -> impl Strategy<Value = LinearNetwork> {
+    (2usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.05f64..5.0, n),
+            proptest::collection::vec(0.0f64..2.0, n - 1),
+        )
+            .prop_map(|(w, z)| LinearNetwork::from_rates(&w, &z))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random chains, truthful execution, with and without the solution
+    /// bonus: batch settlement byte-equal to scalar.
+    #[test]
+    fn parity_under_truthful_execution(
+        bid_net in chain_strategy(),
+        bonus in 0.0f64..0.5,
+    ) {
+        let rates: Vec<f64> = (1..bid_net.len()).map(|j| bid_net.w(j)).collect();
+        let inputs = truthful_inputs(&bid_net, &rates);
+        for s in [0.0, bonus] {
+            let fast = payment::settle_all(&bid_net, &inputs, s);
+            let slow = settle_scalar(&bid_net, &inputs, s);
+            prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+        }
+    }
+
+    /// Adversarial conduct: actual rate and load diverge from the bids
+    /// (slack execution, over/under-computation, including a zero-load
+    /// agent hitting the eq. 4.6 early-out). Parity must still be exact.
+    #[test]
+    fn parity_under_adversarial_conduct(
+        bid_net in chain_strategy(),
+        rate_slack in proptest::collection::vec(1.0f64..4.0, 10),
+        load_skew in proptest::collection::vec(0.0f64..2.0, 10),
+    ) {
+        let sol = batch::solve_one(&bid_net);
+        let inputs: Vec<PaymentInputs> = (1..bid_net.len())
+            .map(|j| {
+                let assigned = sol.alloc.alpha(j);
+                PaymentInputs {
+                    assigned_load: assigned,
+                    // load_skew < 0.1 → zero actual load (eq. 4.6 branch).
+                    actual_load: if load_skew[(j - 1) % 10] < 0.1 {
+                        0.0
+                    } else {
+                        assigned * load_skew[(j - 1) % 10]
+                    },
+                    actual_rate: bid_net.w(j) * rate_slack[(j - 1) % 10],
+                }
+            })
+            .collect();
+        let fast = payment::settle_all(&bid_net, &inputs, 0.125);
+        let slow = settle_scalar(&bid_net, &inputs, 0.125);
+        prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    }
+}

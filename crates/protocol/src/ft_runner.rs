@@ -229,12 +229,14 @@ pub(crate) fn receiver_of(v: NodeId, phase: u8, m: usize) -> Option<NodeId> {
 }
 
 /// Per-unit-load makespan and absolute load shares of a (possibly
-/// root-only) network.
+/// root-only) network. Residual re-solves route through the batch solver
+/// core (`dlt::batch::solve_one`), which is bit-identical to the scalar
+/// `linear::solve` by construction — E20/E22 report bytes are unchanged.
 pub(crate) fn allocation_of(net: &LinearNetwork) -> (f64, Vec<f64>) {
     if net.len() == 1 {
         (net.w(0), vec![1.0])
     } else {
-        let sol = linear::solve(net);
+        let sol = dlt::batch::solve_one(net);
         let shares: Vec<f64> = (0..net.len()).map(|i| sol.alloc.alpha(i)).collect();
         (sol.makespan(), shares)
     }

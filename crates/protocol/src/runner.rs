@@ -558,6 +558,10 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
 
     // ---------- Phase IV: self-billing and audits ----------
     let bid_net = LinearNetwork::from_rates(&bids, z);
+    // One suffix sweep powers every node's settlement (and any audit
+    // recomputation) in O(m) total — bit-identical to the per-node
+    // `payment::settle` loop it replaced.
+    let suffixes = dlt::batch::solve_all_suffixes(&bid_net);
     let s = if scenario.solution_found {
         scenario.solution_bonus
     } else {
@@ -571,7 +575,7 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             actual_load: retained[j],
             actual_rate: actual[j],
         };
-        let breakdown = payment::settle(&bid_net, j, inputs, s);
+        let breakdown = payment::settle_with(&suffixes, &bid_net, j, inputs, s);
         valuations[j] = breakdown.valuation;
         let honest_bill = breakdown.payment;
         let billed = match scenario.deviations[j - 1] {
@@ -602,7 +606,8 @@ pub fn try_run(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
             obs::count!("protocol.audits", "node" => j);
             obs::count!("protocol.verification.checks", "phase" => 4u8, "node" => j);
             // The root recomputes the payment from the proof.
-            let recomputed = payment::settle(
+            let recomputed = payment::settle_with(
+                &suffixes,
                 &bid_net,
                 j,
                 PaymentInputs {

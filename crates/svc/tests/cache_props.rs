@@ -15,6 +15,14 @@
 //!    expired entry — expiry affects *when* we solve, never *what*.
 //! 5. A quantum change drops every resident entry: no request after a
 //!    `reconfigure` can ever be answered by an old-epoch body.
+//!
+//! ISSUE 8 routes the cold solve through the batch solver core
+//! (`dlt::batch::solve_one` inside `DlsLbl::allocate`) and adds:
+//!
+//! 6. The numbers in a cold-solved body are **bit-identical** to the
+//!    frozen scalar solver `dlt::linear::reference` applied to the same
+//!    quantized canonical chain — the batch rewiring is invisible at the
+//!    wire, down to the last bit of every serialized float.
 
 use dlt::linear;
 use dlt::model::LinearNetwork;
@@ -59,6 +67,37 @@ proptest! {
         prop_assert_eq!(cold.as_bytes(), warm.as_bytes());
         // And the cached bytes equal an independent cold solve.
         prop_assert_eq!(warm.as_str(), solve_body(&chain).as_str());
+    }
+
+    #[test]
+    fn cold_solve_is_bit_identical_to_the_frozen_reference(
+        (root, links, bids) in chain_inputs(),
+    ) {
+        // The body a cold solve produces (and the cache then retains) is
+        // computed through the batch core; the reference path below never
+        // touches `dlt::batch`. minijson writes floats with Rust's
+        // shortest-roundtrip formatting and parses them back correctly
+        // rounded, so `to_bits` equality through the serialized body is a
+        // faithful bit-identity check.
+        let chain = canonicalize(root, &links, &bids, DEFAULT_QUANTUM).unwrap();
+        let body = minijson::Value::parse(&solve_body(&chain)).expect("body is JSON");
+
+        let mut w = vec![chain.root_rate];
+        w.extend_from_slice(&chain.bids);
+        let net = LinearNetwork::from_rates(&w, &chain.link_rates);
+        let want = dlt::linear::reference::solve(&net);
+
+        let makespan = body.get("makespan").and_then(|v| v.as_f64()).unwrap();
+        prop_assert_eq!(makespan.to_bits(), want.makespan().to_bits());
+        let alloc = body.get("alloc").and_then(|v| v.as_array()).unwrap();
+        prop_assert_eq!(alloc.len(), net.len());
+        for (i, v) in alloc.iter().enumerate() {
+            prop_assert_eq!(
+                v.as_f64().unwrap().to_bits(),
+                want.alloc.alpha(i).to_bits(),
+                "alloc[{}]", i
+            );
+        }
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub use fault_cases::{
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
 pub use requests::{ft_line, request_lines, solve_line, RequestMixConfig};
 pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
-pub use sweep::{geomspace, linspace, mechanism_parts, MechanismParts};
+pub use sweep::{chain_population, geomspace, linspace, mechanism_parts, MechanismParts};

@@ -26,6 +26,18 @@ pub fn geomspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Materialize the chain population of one sweep cohort: the networks for
+/// `seeds` under one [`ChainConfig`](crate::ChainConfig). This is the
+/// unit the sweep binaries hand to `dlt::batch::solve_many` — thousands of
+/// chains per solver call instead of one — and the population builder the
+/// batch-identity harness replays (E2 shapes, E27).
+pub fn chain_population(
+    cfg: &crate::ChainConfig,
+    seeds: std::ops::Range<u64>,
+) -> Vec<LinearNetwork> {
+    seeds.map(|s| crate::chain(cfg, s)).collect()
+}
+
 /// Decompose a chain into the mechanism's view: the obedient root's rate,
 /// the strategic processors' true rates, and the public link rates.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +80,16 @@ mod tests {
         assert!((v[4] - 16.0).abs() < 1e-9);
         for pair in v.windows(2) {
             assert!((pair[1] / pair[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_population_matches_per_seed_generation() {
+        let cfg = crate::ChainConfig::default();
+        let pop = chain_population(&cfg, 3..8);
+        assert_eq!(pop.len(), 5);
+        for (k, net) in pop.iter().enumerate() {
+            assert_eq!(*net, crate::chain(&cfg, 3 + k as u64));
         }
     }
 

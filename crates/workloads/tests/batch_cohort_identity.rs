@@ -1,0 +1,33 @@
+//! Cohort-level bit-identity over the E2 population (ISSUE 8): solving a
+//! whole sweep cohort (`chain_population` → `dlt::batch::solve_many`, the
+//! path the E2 binary takes) must reproduce the frozen scalar solver
+//! bit-for-bit on every shape × size the experiment sweeps, so the
+//! experiment's report cannot move by a byte.
+
+use dlt::linear::reference;
+use workloads::{chain_population, ChainConfig, ChainShape};
+
+#[test]
+fn e2_shape_cohorts_are_bit_identical_to_the_reference() {
+    for shape in ChainShape::all() {
+        for n in [2usize, 8, 32] {
+            let cfg = ChainConfig {
+                processors: n,
+                shape,
+                ..Default::default()
+            };
+            // 64 seeds per cell: enough to exercise the cohort kernel at
+            // widths past any SIMD register count, cheap enough for CI.
+            let nets = chain_population(&cfg, 0..64);
+            let batch = dlt::batch::solve_many(&nets);
+            for (i, net) in nets.iter().enumerate() {
+                let want = reference::solve(net);
+                assert_eq!(
+                    format!("{:?}", batch.solution(i)),
+                    format!("{want:?}"),
+                    "{shape:?} n={n} seed={i}"
+                );
+            }
+        }
+    }
+}
