@@ -56,6 +56,26 @@ struct CounterAgg {
     by_node: BTreeMap<String, f64>,
 }
 
+/// Per-job lifecycle ledger joined on the `job` field the `svc::jobs`
+/// events carry (`job.submit` / `job.installment` / `job.done` /
+/// `job.cancelled` / `job.rejected`). The audit: every submitted job
+/// reaches exactly one terminal state, so across the fleet
+/// `submitted == done + cancelled + rejected`.
+#[derive(Default)]
+struct JobLedgerEntry {
+    submits: u64,
+    installments: u64,
+    done: u64,
+    cancelled: u64,
+    rejected: u64,
+}
+
+impl JobLedgerEntry {
+    fn terminals(&self) -> u64 {
+        self.done + self.cancelled + self.rejected
+    }
+}
+
 /// Per-trace-id conservation ledger (see `svc::router::Forwarder::forward`).
 #[derive(Default)]
 struct TraceLedger {
@@ -87,6 +107,11 @@ struct TraceSummary {
     events: BTreeMap<String, (usize, f64, f64)>,
     /// Fleet join state: trace id → ledger.
     ledgers: BTreeMap<u64, TraceLedger>,
+    /// Job lifecycle join state: (file, job id) → ledger. A job's whole
+    /// lifecycle is emitted by the shard that owns its chain queue, so
+    /// one file holds all of its events; the file index keeps ids from
+    /// separate shard processes apart.
+    job_ledgers: BTreeMap<(usize, u64), JobLedgerEntry>,
     /// Lifecycle timeline: (wall µs, description).
     timeline: Vec<(u64, String)>,
 }
@@ -227,6 +252,19 @@ fn ingest(
                 }
                 "client.breaker.close" => {
                     summary.timeline.push((wus, "client breaker CLOSE".into()));
+                }
+                "job.submit" | "job.installment" | "job.done" | "job.cancelled"
+                | "job.rejected" => {
+                    if let Some(job) = field_u64(&v, "job") {
+                        let l = summary.job_ledgers.entry((file_idx, job)).or_default();
+                        match name.as_str() {
+                            "job.submit" => l.submits += 1,
+                            "job.installment" => l.installments += 1,
+                            "job.done" => l.done += 1,
+                            "job.cancelled" => l.cancelled += 1,
+                            _ => l.rejected += 1,
+                        }
+                    }
                 }
                 _ => {}
             }
@@ -441,6 +479,45 @@ fn print_fleet(summary: &mut TraceSummary) -> usize {
         }
         if chains.len() > 20 {
             println!("  ... and {} more", chains.len() - 20);
+        }
+        println!();
+    }
+
+    // Jobs audit: every submitted job reaches exactly one terminal state,
+    // fleet-wide `submitted == done + cancelled + rejected`.
+    if !summary.job_ledgers.is_empty() {
+        let (mut submits, mut done, mut cancelled, mut rejected, mut installments) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for ((file, job), l) in &summary.job_ledgers {
+            submits += l.submits;
+            done += l.done;
+            cancelled += l.cancelled;
+            rejected += l.rejected;
+            installments += l.installments;
+            if l.submits != 1 || l.terminals() != 1 {
+                violations += 1;
+                println!(
+                    "JOB LIFECYCLE VIOLATION file {file} job {job}: submits={} done={} cancelled={} rejected={}",
+                    l.submits, l.done, l.cancelled, l.rejected
+                );
+            }
+        }
+        println!(
+            "jobs audit: {} job(s), {} installment event(s) — submitted {} == done {} + cancelled {} + rejected {}{}",
+            summary.job_ledgers.len(),
+            installments,
+            submits,
+            done,
+            cancelled,
+            rejected,
+            if submits == done + cancelled + rejected {
+                " ✓"
+            } else {
+                " VIOLATED"
+            }
+        );
+        if submits != done + cancelled + rejected {
+            violations += 1;
         }
         println!();
     }

@@ -1,0 +1,144 @@
+//! Property tests for multi-installment scheduling and cross-job
+//! composition, encoding the optimality traps from Gallet–Robert–Vivien's
+//! *Comments on "Design and performance evaluation of load distribution
+//! strategies for multiple loads on heterogeneous linear daisy chain
+//! networks"*: claimed-optimal multi-load schedules can silently lose to
+//! the one-shot solve (so `best_rounds` must never exceed it), installment
+//! bookkeeping can leak load, and degenerate parameter settings must
+//! collapse exactly onto the single-installment closed form.
+
+use dlt::linear;
+use dlt::model::LinearNetwork;
+use dlt::multiround::{self, MultiRoundConfig, PipelinedJob};
+use dlt::timing;
+use proptest::prelude::*;
+
+fn chain_strategy() -> impl Strategy<Value = LinearNetwork> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.1f64..5.0, n),
+            proptest::collection::vec(0.01f64..2.0, n - 1),
+        )
+            .prop_map(|(w, z)| LinearNetwork::from_rates(&w, &z))
+    })
+}
+
+fn loads_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..4.0, 1..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trap 1 (conservation): splitting a job into `k` uniform
+    /// installments must neither create nor destroy load — the per-round
+    /// amounts sum back to exactly the job total on every processor.
+    #[test]
+    fn installment_loads_sum_to_the_job_total(
+        net in chain_strategy(),
+        k in 1usize..=12,
+        load in 0.1f64..4.0,
+    ) {
+        let cfg = MultiRoundConfig::new(k, 0.01);
+        let sched = multiround::schedule(&net, &cfg);
+        prop_assert!(
+            sched.total_alloc.validate().is_ok(),
+            "allocation invalid: {:?}",
+            sched.total_alloc.validate()
+        );
+        let share = 1.0 / k as f64;
+        for i in 0..net.len() {
+            let per_round = sched.total_alloc.alpha(i) * share * load;
+            let total: f64 = (0..k).map(|_| per_round).sum();
+            let expect = sched.total_alloc.alpha(i) * load;
+            prop_assert!(
+                (total - expect).abs() <= 1e-12 * expect.max(1.0),
+                "P{i}: k rounds of {per_round} sum to {total}, expected {expect}"
+            );
+        }
+    }
+
+    /// Trap 2 (degeneracy): one round with zero startup is the
+    /// single-installment model — the recurrence must reproduce the
+    /// closed-form eq. (2.2) finish times exactly.
+    #[test]
+    fn one_round_recurrence_matches_closed_form(net in chain_strategy()) {
+        let sol = linear::solve(&net);
+        let cfg = MultiRoundConfig::new(1, 0.0);
+        let finals = multiround::finish_times_with(&net, &cfg, &sol.alloc);
+        let expected = timing::finish_times(&net, &sol.alloc);
+        for i in 0..net.len() {
+            prop_assert!(
+                (finals[0][i] - expected[i]).abs() <= 1e-9 * expected[i].max(1.0),
+                "P{i}: {} vs {}", finals[0][i], expected[i]
+            );
+        }
+    }
+
+    /// Trap 3 (losing to the one-shot solve): the best round count found
+    /// by the sweep must never be worse than any candidate it covers —
+    /// in particular the running minimum of the U-curve is non-increasing
+    /// up to `best_rounds`, and the best makespan never exceeds the
+    /// one-shot (`k = 1`) solve.
+    #[test]
+    fn best_rounds_never_loses_to_any_swept_candidate(
+        net in chain_strategy(),
+        startup in 0.0f64..0.1,
+    ) {
+        let max_rounds = 12;
+        let sweep = multiround::round_sweep(&net, startup, max_rounds);
+        let (best_k, best_ms) = multiround::best_rounds(&net, startup, max_rounds);
+        prop_assert!(best_k >= 1 && best_k <= max_rounds);
+        for &(k, ms) in &sweep {
+            prop_assert!(best_ms <= ms + 1e-12, "k={k}: best {best_ms} vs {ms}");
+        }
+        // Running minimum up to best_k is non-increasing and lands on
+        // best_ms at k = best_k.
+        let mut running = f64::INFINITY;
+        for &(k, ms) in sweep.iter().take(best_k) {
+            let next = running.min(ms);
+            prop_assert!(next <= running, "running minimum rose at k={k}");
+            running = next;
+        }
+        prop_assert!((running - best_ms).abs() <= 1e-12);
+        prop_assert!(best_ms <= sweep[0].1 + 1e-12, "best must not lose to one-shot");
+    }
+
+    /// Composing a queue of one unit job is exactly the standalone
+    /// schedule — no phantom carried state.
+    #[test]
+    fn single_job_composition_is_the_standalone_schedule(
+        net in chain_strategy(),
+        k in 1usize..=8,
+        startup in 0.0f64..0.05,
+    ) {
+        let cfg = MultiRoundConfig::new(k, startup);
+        let sched = multiround::schedule(&net, &cfg);
+        let composed = multiround::compose(&net, &[PipelinedJob::new(1.0, cfg)]);
+        prop_assert_eq!(composed.jobs.len(), 1);
+        prop_assert!(
+            (composed.makespan - sched.makespan).abs() <= 1e-12 * sched.makespan.max(1.0),
+            "{} vs {}", composed.makespan, sched.makespan
+        );
+    }
+
+    /// Trap 4 (multi-load optimality): the pipelining rule must never
+    /// produce a batch slower than running every job as an independent
+    /// one-shot solve, on any chain, load mix, or startup.
+    #[test]
+    fn composed_batch_never_exceeds_sequential_one_shots(
+        net in chain_strategy(),
+        loads in loads_strategy(),
+        startup in 0.0f64..0.1,
+    ) {
+        let best = multiround::compose_best(&net, &loads, startup, 8);
+        prop_assert!(
+            best.makespan <= best.sequential_makespan + 1e-9 * best.sequential_makespan.max(1.0),
+            "pipelined {} vs sequential {}", best.makespan, best.sequential_makespan
+        );
+        // Jobs complete in queue order.
+        for w in best.jobs.windows(2) {
+            prop_assert!(w[1].finish >= w[0].finish - 1e-12);
+        }
+    }
+}

@@ -44,4 +44,4 @@ pub mod verify;
 pub use agent::{Agent, Conduct};
 pub use dls_lbl::{AgentOutcome, DlsLbl, RoundOutcome};
 pub use fines::FineSchedule;
-pub use payment::{PaymentBreakdown, PaymentInputs};
+pub use payment::{JobLedger, PaymentBreakdown, PaymentInputs};

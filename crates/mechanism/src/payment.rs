@@ -322,6 +322,185 @@ pub fn root_utility(assigned_load: f64, actual_rate: f64) -> f64 {
     v + c
 }
 
+/// Settlement of one *job* of size `load` for processor `j`
+/// (the multi-job serving path, PR 9).
+///
+/// `inputs` are in **absolute job units** (`α_j · load`, not fractions):
+/// valuation, compensation and recompense are linear in load, so they are
+/// computed directly from the absolute quantities. The bonus (eq. 4.9) is
+/// a *rate* improvement — it prices the predecessor's equivalent
+/// processing time per unit load — so a job of size `load` pays
+/// `bonus(bids, j, w̃_j) · load`. With `load = 1` and fractional inputs
+/// this is exactly [`settle`] (multiplying the bonus by 1.0 is exact).
+pub fn settle_job(
+    bids: &LinearNetwork,
+    j: usize,
+    inputs: PaymentInputs,
+    load: f64,
+    solution_bonus: f64,
+) -> PaymentBreakdown {
+    obs::count!("mechanism.payment.settle_job", "j" => j);
+    let v = valuation(inputs.actual_load, inputs.actual_rate);
+    if inputs.actual_load <= 0.0 {
+        // eq. 4.6: a processor that computed nothing is paid nothing.
+        return PaymentBreakdown {
+            valuation: v,
+            compensation: 0.0,
+            recompense: 0.0,
+            bonus: 0.0,
+            solution_bonus: 0.0,
+            payment: 0.0,
+            utility: v,
+        };
+    }
+    let e = recompense(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let c = compensation(inputs.assigned_load, inputs.actual_load, inputs.actual_rate);
+    let b = bonus(bids, j, inputs.actual_rate) * load;
+    let q = c + b + solution_bonus;
+    PaymentBreakdown {
+        valuation: v,
+        compensation: c,
+        recompense: e,
+        bonus: b,
+        solution_bonus,
+        payment: q,
+        utility: v + q,
+    }
+}
+
+/// Cross-round payment carry-over: per-installment postings accumulate
+/// into one per-job ledger entry per strategic processor, settled once at
+/// job completion via [`settle_job`].
+///
+/// Valuation, compensation and recompense are linear in load, so summing
+/// the per-installment assigned/actual loads (and load-averaging the
+/// metered rate) reproduces the one-shot settlement of the whole job —
+/// no processor can gain or lose by the load being split into rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLedger {
+    /// Installments posted so far.
+    postings: usize,
+    /// Σ assigned load per strategic processor (`P_1 …`).
+    assigned: Vec<f64>,
+    /// Σ actual load per strategic processor.
+    actual: Vec<f64>,
+    /// Σ actual_load · actual_rate per strategic processor — the metered
+    /// cost, from which the load-weighted aggregate rate is recovered.
+    cost: Vec<f64>,
+}
+
+impl JobLedger {
+    /// An empty ledger for `m` strategic processors (`P_1 ..= P_m`).
+    pub fn new(m: usize) -> Self {
+        Self {
+            postings: 0,
+            assigned: vec![0.0; m],
+            actual: vec![0.0; m],
+            cost: vec![0.0; m],
+        }
+    }
+
+    /// Post one installment: `inputs[idx]` belongs to `P_{idx+1}`, in
+    /// absolute job units.
+    pub fn post(&mut self, inputs: &[PaymentInputs]) {
+        assert_eq!(
+            inputs.len(),
+            self.assigned.len(),
+            "one posting per strategic processor"
+        );
+        for (idx, inp) in inputs.iter().enumerate() {
+            self.assigned[idx] += inp.assigned_load;
+            self.actual[idx] += inp.actual_load;
+            self.cost[idx] += inp.actual_load * inp.actual_rate;
+        }
+        self.postings += 1;
+    }
+
+    /// Number of installments posted so far.
+    pub fn postings(&self) -> usize {
+        self.postings
+    }
+
+    /// Aggregate [`PaymentInputs`] for `P_j` (absolute job units; the rate
+    /// is the load-weighted mean of the posted rates — exact when every
+    /// installment ran at the same metered rate).
+    pub fn aggregate(&self, bids: &LinearNetwork, j: usize) -> PaymentInputs {
+        assert!(j >= 1 && j <= self.assigned.len());
+        let idx = j - 1;
+        let actual = self.actual[idx];
+        let rate = if actual > 0.0 {
+            self.cost[idx] / actual
+        } else {
+            bids.w(j) // no work metered; rate is irrelevant (eq. 4.6 pays 0)
+        };
+        PaymentInputs {
+            assigned_load: self.assigned[idx],
+            actual_load: actual,
+            actual_rate: rate,
+        }
+    }
+
+    /// Settle the whole job in one entry per strategic processor.
+    pub fn finalize(
+        &self,
+        bids: &LinearNetwork,
+        load: f64,
+        solution_bonus: f64,
+    ) -> Vec<PaymentBreakdown> {
+        obs::count!("mechanism.payment.job_finalize", "rounds" => self.postings);
+        (1..=self.assigned.len())
+            .map(|j| settle_job(bids, j, self.aggregate(bids, j), load, solution_bonus))
+            .collect()
+    }
+}
+
+/// Utility processor `P_j` collects across a multi-job batch when the
+/// chain's declared profile is `bids`, its true unit processing time is
+/// `true_rate`, and jobs of sizes `loads` each ship in `rounds` uniform
+/// installments.
+///
+/// Allocations follow the bids (the mechanism prescribes them); `P_j`
+/// executes its share at its true rate while every other processor runs
+/// as bid. Each job's installment postings flow through a [`JobLedger`]
+/// and settle at completion — this is the exact path the `svc::jobs`
+/// scheduler takes, so sweeping `bids.w(j)` over misreports with this
+/// function is the jobs-mode strategyproofness check: per unit load the
+/// utility is the eq. 4.9 bonus, whose maximum is at the truthful bid, and
+/// a batch utility is a positive combination of unit utilities — so no
+/// misreport can profit across the batch.
+pub fn jobs_batch_utility(
+    bids: &LinearNetwork,
+    j: usize,
+    true_rate: f64,
+    loads: &[f64],
+    rounds: usize,
+) -> f64 {
+    assert!(rounds >= 1);
+    let m = bids.last_index();
+    assert!(j >= 1 && j <= m);
+    let sol = linear::solve(bids);
+    let share = 1.0 / rounds as f64;
+    let mut total = 0.0;
+    for &load in loads {
+        let mut ledger = JobLedger::new(m);
+        for _ in 0..rounds {
+            let postings: Vec<PaymentInputs> = (1..=m)
+                .map(|i| {
+                    let amount = sol.alloc.alpha(i) * share * load;
+                    PaymentInputs {
+                        assigned_load: amount,
+                        actual_load: amount,
+                        actual_rate: if i == j { true_rate } else { bids.w(i) },
+                    }
+                })
+                .collect();
+            ledger.post(&postings);
+        }
+        total += ledger.finalize(bids, load, 0.0)[j - 1].utility;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,5 +716,139 @@ mod tests {
     #[should_panic(expected = "strategic")]
     fn bonus_undefined_for_root() {
         adjusted_equivalent(&bids(), 0, 1.0);
+    }
+
+    #[test]
+    fn settle_job_unit_load_equals_settle() {
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        for j in 1..net.len() {
+            let inputs = PaymentInputs {
+                assigned_load: sol.alloc.alpha(j),
+                actual_load: sol.alloc.alpha(j),
+                actual_rate: net.w(j),
+            };
+            let a = settle(&net, j, inputs, 0.0);
+            let b = settle_job(&net, j, inputs, 1.0, 0.0);
+            assert_eq!(a, b, "P{j}: unit-load job settlement must be settle");
+        }
+    }
+
+    #[test]
+    fn settle_job_scales_linearly_in_load() {
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        let load = 2.5;
+        for j in 1..net.len() {
+            let unit = PaymentInputs {
+                assigned_load: sol.alloc.alpha(j),
+                actual_load: sol.alloc.alpha(j),
+                actual_rate: net.w(j),
+            };
+            let scaled = PaymentInputs {
+                assigned_load: unit.assigned_load * load,
+                actual_load: unit.actual_load * load,
+                actual_rate: unit.actual_rate,
+            };
+            let u1 = settle(&net, j, unit, 0.0).utility;
+            let ul = settle_job(&net, j, scaled, load, 0.0).utility;
+            assert!((ul - u1 * load).abs() < 1e-9, "P{j}: {ul} vs {}", u1 * load);
+        }
+    }
+
+    #[test]
+    fn ledger_finalize_matches_one_shot_settlement() {
+        // Posting k uniform installments and settling the aggregate must
+        // reproduce settling the whole job in one entry.
+        let net = bids();
+        let sol = dlt::linear::solve(&net);
+        let m = net.last_index();
+        let load = 1.75;
+        for k in [1usize, 3, 8] {
+            let mut ledger = JobLedger::new(m);
+            let share = 1.0 / k as f64;
+            for _ in 0..k {
+                let postings: Vec<PaymentInputs> = (1..=m)
+                    .map(|i| PaymentInputs {
+                        assigned_load: sol.alloc.alpha(i) * share * load,
+                        actual_load: sol.alloc.alpha(i) * share * load,
+                        actual_rate: net.w(i),
+                    })
+                    .collect();
+                ledger.post(&postings);
+            }
+            assert_eq!(ledger.postings(), k);
+            let settled = ledger.finalize(&net, load, 0.0);
+            for j in 1..=m {
+                let one_shot = settle_job(
+                    &net,
+                    j,
+                    PaymentInputs {
+                        assigned_load: sol.alloc.alpha(j) * load,
+                        actual_load: sol.alloc.alpha(j) * load,
+                        actual_rate: net.w(j),
+                    },
+                    load,
+                    0.0,
+                );
+                let s = settled[j - 1];
+                assert!(
+                    (s.utility - one_shot.utility).abs() < 1e-9
+                        && (s.payment - one_shot.payment).abs() < 1e-9
+                        && (s.bonus - one_shot.bonus).abs() < 1e-9,
+                    "P{j} k={k}: {s:?} vs {one_shot:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_zero_work_pays_nothing() {
+        let net = bids();
+        let m = net.last_index();
+        let mut ledger = JobLedger::new(m);
+        ledger.post(&vec![
+            PaymentInputs {
+                assigned_load: 0.0,
+                actual_load: 0.0,
+                actual_rate: 1.0,
+            };
+            m
+        ]);
+        for p in ledger.finalize(&net, 1.0, 0.0) {
+            assert_eq!(p.payment, 0.0);
+            assert_eq!(p.utility, 0.0);
+        }
+    }
+
+    #[test]
+    fn jobs_batch_truthful_bid_is_dominant() {
+        // E2-style sweep through the job path: no misreported bid may beat
+        // the truthful one across a multi-job batch.
+        let truth = bids();
+        let loads = [1.0, 0.5, 2.0];
+        for j in 1..truth.len() {
+            let true_rate = truth.w(j);
+            let honest = payment_sweep_utility(&truth, j, true_rate, &loads);
+            for factor in [0.25, 0.5, 0.8, 1.25, 2.0, 4.0] {
+                let mut w = truth.rates_w().to_vec();
+                w[j] = true_rate * factor;
+                let lied = LinearNetwork::from_rates(&w, &truth.rates_z());
+                let misreported = payment_sweep_utility(&lied, j, true_rate, &loads);
+                assert!(
+                    misreported <= honest + 1e-9,
+                    "P{j} ×{factor}: misreport {misreported} vs honest {honest}"
+                );
+            }
+        }
+    }
+
+    fn payment_sweep_utility(
+        declared: &LinearNetwork,
+        j: usize,
+        true_rate: f64,
+        loads: &[f64],
+    ) -> f64 {
+        jobs_batch_utility(declared, j, true_rate, loads, 4)
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! dls-serve [--addr 127.0.0.1:4500] [--workers N] [--queue N]
 //!           [--max-conns N] [--deadline-ms N] [--cache-ttl-ms N]
-//!           [--fleet N] [--allow-remote-shutdown] [--self-test]
+//!           [--job-queue-capacity N] [--fleet N]
+//!           [--allow-remote-shutdown] [--self-test]
 //! ```
 //!
 //! The `shutdown` op is honored from loopback peers only unless
@@ -53,6 +54,11 @@ fn parse_args() -> (ServerConfig, bool, usize) {
             "--cache-ttl-ms" => {
                 config.cache_ttl_ms = Some(take("--cache-ttl-ms").parse().expect("--cache-ttl-ms"))
             }
+            "--job-queue-capacity" => {
+                config.job_queue_capacity = take("--job-queue-capacity")
+                    .parse()
+                    .expect("--job-queue-capacity")
+            }
             "--fleet" => fleet = take("--fleet").parse().expect("--fleet"),
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--self-test" => self_test = true,
@@ -60,7 +66,8 @@ fn parse_args() -> (ServerConfig, bool, usize) {
                 println!(
                     "dls-serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--max-conns N] [--deadline-ms N] [--cache-ttl-ms N] \
-                     [--fleet N] [--allow-remote-shutdown] [--self-test]\n\n\
+                     [--job-queue-capacity N] [--fleet N] \
+                     [--allow-remote-shutdown] [--self-test]\n\n\
                      env:\n  DLS_TRACE=path.jsonl  stream obs spans/events/counters \
                      to that file\n                        (inspect with dls-trace; \
                      join a fleet's files\n                        with dls-trace --fleet)"

@@ -51,11 +51,60 @@ impl WorkRequest {
     }
 }
 
+/// A job-queue operation ([`crate::jobs`]). All three carry the chain
+/// fields, so a router can map them onto the shard that owns the chain's
+/// queue (the routing key is the canonical [`ChainKey`](crate::quant::ChainKey),
+/// exactly as for `solve`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOp {
+    /// Enqueue a divisible load on the chain's job queue. The response is
+    /// sent at job completion (solve-like blocking semantics).
+    Submit {
+        /// The canonical chain whose queue the job joins.
+        chain: CanonicalChain,
+        /// Total load in units of the chain's unit workload.
+        load: f64,
+        /// Explicit installment count; `None` = the pipelining rule picks.
+        rounds: Option<usize>,
+        /// Per-installment communication startup.
+        comm_startup: f64,
+    },
+    /// Report a job's lifecycle state.
+    Status {
+        /// Chain fields, used only for routing.
+        chain: CanonicalChain,
+        /// The id returned in the submit response / status records.
+        job_id: u64,
+    },
+    /// Cancel a still-queued job.
+    Cancel {
+        /// Chain fields, used only for routing.
+        chain: CanonicalChain,
+        /// The id of the queued job to cancel.
+        job_id: u64,
+    },
+}
+
+impl JobOp {
+    /// The canonical chain key this op routes by.
+    pub fn chain_key(&self) -> &crate::quant::ChainKey {
+        match self {
+            JobOp::Submit { chain, .. }
+            | JobOp::Status { chain, .. }
+            | JobOp::Cancel { chain, .. } => &chain.key,
+        }
+    }
+}
+
 /// What a request line asks the server to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestKind {
     /// Dispatch to the worker pool.
     Work(WorkRequest),
+    /// A job-queue op, dispatched to the chain's scheduler
+    /// ([`crate::jobs`]); `submit_job` answers at completion, `job_status`
+    /// and `cancel_job` answer inline.
+    Job(JobOp),
     /// Liveness probe (inline).
     Health,
     /// Counters + latency histograms (inline).
@@ -94,6 +143,19 @@ pub const MIN_QUANTUM: f64 = 1e-15;
 /// collapses the whole workload rate range onto a handful of ticks;
 /// anything coarser is a configuration error.
 pub const MAX_QUANTUM: f64 = 1.0;
+
+/// Smallest accepted `submit_job` load: settlement divides by load-scaled
+/// allocations, so degenerate near-zero jobs are rejected at parse time.
+pub const MIN_JOB_LOAD: f64 = 1e-6;
+
+/// Largest accepted `submit_job` load.
+pub const MAX_JOB_LOAD: f64 = 1e6;
+
+/// Largest accepted explicit `rounds` on `submit_job`.
+pub const MAX_JOB_ROUNDS: usize = 64;
+
+/// Largest accepted per-installment `comm_startup`.
+pub const MAX_COMM_STARTUP: f64 = 1e3;
 
 /// A parsed request envelope.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,14 +241,52 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
             };
             RequestKind::Reconfigure { quantum }
         }
-        "solve" => {
-            let root = f64_field(v, "root_rate")?;
-            let links = vec_field(v, "links")?;
-            let bids = vec_field(v, "bids")?;
-            let chain = quant::canonicalize(root, &links, &bids, quantum)
-                .ok_or_else(|| "invalid chain: rates must be finite, positive, representable, with links.len() == bids.len() >= 1".to_string())?;
-            RequestKind::Work(WorkRequest::Solve(chain))
+        "solve" => RequestKind::Work(WorkRequest::Solve(parse_chain(v, quantum)?)),
+        "submit_job" => {
+            let chain = parse_chain(v, quantum)?;
+            let load = match v.get("load") {
+                None | Some(Value::Null) => 1.0,
+                Some(l) => l
+                    .as_f64()
+                    .filter(|l| l.is_finite() && (MIN_JOB_LOAD..=MAX_JOB_LOAD).contains(l))
+                    .ok_or_else(|| {
+                        format!("load must be a number in [{MIN_JOB_LOAD:e}, {MAX_JOB_LOAD:e}]")
+                    })?,
+            };
+            let rounds = match v.get("rounds") {
+                None | Some(Value::Null) => None,
+                Some(r) => Some(
+                    r.as_u64()
+                        .filter(|&r| r >= 1 && r <= MAX_JOB_ROUNDS as u64)
+                        .ok_or_else(|| {
+                            format!("rounds must be an integer in [1, {MAX_JOB_ROUNDS}]")
+                        })? as usize,
+                ),
+            };
+            let comm_startup = match v.get("comm_startup") {
+                None | Some(Value::Null) => 0.0,
+                Some(c) => c
+                    .as_f64()
+                    .filter(|c| c.is_finite() && (0.0..=MAX_COMM_STARTUP).contains(c))
+                    .ok_or_else(|| {
+                        format!("comm_startup must be a number in [0, {MAX_COMM_STARTUP}]")
+                    })?,
+            };
+            RequestKind::Job(JobOp::Submit {
+                chain,
+                load,
+                rounds,
+                comm_startup,
+            })
         }
+        "job_status" => RequestKind::Job(JobOp::Status {
+            chain: parse_chain(v, quantum)?,
+            job_id: job_id_field(v)?,
+        }),
+        "cancel_job" => RequestKind::Job(JobOp::Cancel {
+            chain: parse_chain(v, quantum)?,
+            job_id: job_id_field(v)?,
+        }),
         "ft_run" => {
             let root_rate = f64_field(v, "root_rate")?;
             let rates = vec_field(v, "rates")?;
@@ -224,6 +324,24 @@ fn parse_envelope(v: &Value, quantum: f64, id: Option<i64>) -> Result<Request, S
         trace,
         kind,
     })
+}
+
+/// The chain fields shared by `solve` and every job op.
+fn parse_chain(v: &Value, quantum: f64) -> Result<CanonicalChain, String> {
+    let root = f64_field(v, "root_rate")?;
+    let links = vec_field(v, "links")?;
+    let bids = vec_field(v, "bids")?;
+    quant::canonicalize(root, &links, &bids, quantum).ok_or_else(|| {
+        "invalid chain: rates must be finite, positive, representable, with links.len() == bids.len() >= 1"
+            .to_string()
+    })
+}
+
+fn job_id_field(v: &Value) -> Result<u64, String> {
+    v.get("job_id")
+        .and_then(Value::as_u64)
+        .filter(|&id| id >= 1)
+        .ok_or_else(|| "job_id must be a positive integer".to_string())
 }
 
 fn numbers(xs: impl IntoIterator<Item = f64>) -> Value {
@@ -391,6 +509,114 @@ mod tests {
                 assert_eq!(chain.key.m, 2);
                 assert_eq!(chain.bids, vec![2.0, 0.5]);
             }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_submit_job_with_defaults() {
+        let r = parse_request(
+            r#"{"op":"submit_job","id":9,"root_rate":1.0,"links":[0.2,0.1],"bids":[2.0,0.5]}"#,
+            1e-9,
+        )
+        .unwrap();
+        match r.kind {
+            RequestKind::Job(JobOp::Submit {
+                chain,
+                load,
+                rounds,
+                comm_startup,
+            }) => {
+                assert_eq!(chain.key.m, 2);
+                assert_eq!(load, 1.0);
+                assert_eq!(rounds, None);
+                assert_eq!(comm_startup, 0.0);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_job_validates_load_rounds_and_startup() {
+        let line = |extra: &str| {
+            format!(r#"{{"op":"submit_job","root_rate":1.0,"links":[0.2],"bids":[2.0]{extra}}}"#)
+        };
+        let ok =
+            parse_request(&line(r#","load":2.5,"rounds":4,"comm_startup":0.05"#), 1e-9).unwrap();
+        match ok.kind {
+            RequestKind::Job(JobOp::Submit {
+                load,
+                rounds,
+                comm_startup,
+                ..
+            }) => {
+                assert_eq!(load, 2.5);
+                assert_eq!(rounds, Some(4));
+                assert_eq!(comm_startup, 0.05);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        for bad in [
+            r#","load":0"#,
+            r#","load":-1"#,
+            r#","load":1e9"#,
+            r#","load":"big""#,
+            r#","rounds":0"#,
+            r#","rounds":65"#,
+            r#","rounds":2.5"#,
+            r#","comm_startup":-0.1"#,
+            r#","comm_startup":1e9"#,
+        ] {
+            assert!(parse_request(&line(bad), 1e-9).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_job_status_and_cancel_with_routing_chain() {
+        for op in ["job_status", "cancel_job"] {
+            let r = parse_request(
+                &format!(
+                    r#"{{"op":"{op}","root_rate":1.0,"links":[0.2],"bids":[2.0],"job_id":7}}"#
+                ),
+                1e-9,
+            )
+            .unwrap();
+            match r.kind {
+                RequestKind::Job(JobOp::Status { chain, job_id })
+                | RequestKind::Job(JobOp::Cancel { chain, job_id }) => {
+                    assert_eq!(chain.key.m, 1);
+                    assert_eq!(job_id, 7);
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+            // job_id is mandatory and must be positive.
+            for bad in [
+                format!(r#"{{"op":"{op}","root_rate":1.0,"links":[0.2],"bids":[2.0]}}"#),
+                format!(r#"{{"op":"{op}","root_rate":1.0,"links":[0.2],"bids":[2.0],"job_id":0}}"#),
+            ] {
+                assert!(parse_request(&bad, 1e-9).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn job_ops_share_the_solve_chain_key() {
+        let solve = parse_request(
+            r#"{"op":"solve","root_rate":1.0,"links":[0.2,0.1],"bids":[2.0,0.5]}"#,
+            1e-9,
+        )
+        .unwrap();
+        let submit = parse_request(
+            r#"{"op":"submit_job","root_rate":1.0,"links":[0.2,0.1],"bids":[2.0,0.5]}"#,
+            1e-9,
+        )
+        .unwrap();
+        let solve_key = match solve.kind {
+            RequestKind::Work(WorkRequest::Solve(chain)) => chain.key,
+            other => panic!("unexpected kind {other:?}"),
+        };
+        match submit.kind {
+            RequestKind::Job(op) => assert_eq!(op.chain_key(), &solve_key),
             other => panic!("unexpected kind {other:?}"),
         }
     }

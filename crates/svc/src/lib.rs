@@ -12,8 +12,11 @@
 //! |------------|-------------------|----------|
 //! | `solve`    | worker pool, cached | allocation, payments, utilities, makespan |
 //! | `ft_run`   | worker pool       | fault-injected run report (`protocol::ft_runner`) |
+//! | `submit_job` | per-chain scheduler ([`jobs`]) | job report at completion (pipelined multiround installments, carry-over settlement) |
+//! | `job_status` | inline          | job lifecycle state + chain queue depth |
+//! | `cancel_job` | inline          | cancels a still-queued job (submitter gets an error response) |
 //! | `health`   | inline            | state, uptime, queue depth |
-//! | `stats`    | inline            | counters, cache stats, per-endpoint latency percentiles |
+//! | `stats`    | inline            | counters, cache stats, per-endpoint latency percentiles, job queues |
 //! | `metrics`  | inline            | stable JSON + Prometheus text of every counter/histogram |
 //! | `shutdown` | inline            | `draining`; begins the graceful drain |
 //! | `reconfigure` | inline         | swaps the quantum, invalidating the cache (loopback-gated) |
@@ -60,6 +63,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod handlers;
+pub mod jobs;
 pub mod pool;
 pub mod quant;
 pub mod queue;
@@ -73,6 +77,7 @@ pub mod telemetry;
 pub use cache::SolverCache;
 pub use chaos::{ChaosConfig, ChaosProxy, FaultKind};
 pub use client::{Client, ClientConfig};
+pub use jobs::{JobRegistry, JobSpec};
 pub use quant::{canonicalize, CanonicalChain, ChainKey, DEFAULT_QUANTUM, MAX_TICKS};
 pub use queue::{BoundedQueue, PushError};
 pub use resilient_client::{CallError, CallOutcome, ResilientClient, RetryPolicy};

@@ -33,6 +33,9 @@ pub struct ServiceCtx {
     /// When the server installed a [`obs::MemorySink`], the stats endpoint
     /// mirrors its counter totals.
     pub obs_memory: Option<Arc<obs::MemorySink>>,
+    /// Per-chain job queues and their scheduler threads
+    /// ([`crate::jobs`]).
+    pub jobs: crate::jobs::JobRegistry,
 }
 
 impl ServiceCtx {
@@ -196,6 +199,7 @@ mod tests {
             allow_remote_shutdown: false,
             quantum_bits: AtomicU64::new(quant::DEFAULT_QUANTUM.to_bits()),
             obs_memory: None,
+            jobs: crate::jobs::JobRegistry::new(crate::jobs::DEFAULT_MAX_QUEUED_JOBS),
         }
     }
 

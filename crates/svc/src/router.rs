@@ -447,6 +447,7 @@ impl RouterShared {
         let mut fleet_latency: Vec<(&str, Histogram, f64)> = vec![
             ("solve", Histogram::new(), 0.0),
             ("ft_run", Histogram::new(), 0.0),
+            ("job", Histogram::new(), 0.0),
         ];
         for slot in &slots {
             let Some(addr) = slot.addr else { continue };
@@ -757,13 +758,16 @@ impl Forwarder {
     }
 }
 
-/// Routing key for one request line: the canonical chain key for `solve`,
-/// a raw-line hash otherwise (including unparseable lines, which are
-/// still forwarded so the shard's error bytes come back verbatim).
+/// Routing key for one request line: the canonical chain key for `solve`
+/// and for every job op (`submit_job` / `job_status` / `cancel_job` must
+/// co-locate so one shard owns a chain's queue), a raw-line hash
+/// otherwise (including unparseable lines, which are still forwarded so
+/// the shard's error bytes come back verbatim).
 fn routing_hash(kind: Option<&RequestKind>, line: &str) -> u64 {
     let mut h = DefaultHasher::new();
     match kind {
         Some(RequestKind::Work(WorkRequest::Solve(chain))) => chain.key.hash(&mut h),
+        Some(RequestKind::Job(op)) => op.chain_key().hash(&mut h),
         _ => line.hash(&mut h),
     }
     h.finish()
@@ -1097,5 +1101,24 @@ mod tests {
             routing_hash(Some(&kb), b),
             "routing key is the canonical chain, not the raw line"
         );
+    }
+
+    #[test]
+    fn job_ops_route_with_the_solve_chain_key() {
+        let quantum = crate::quant::DEFAULT_QUANTUM;
+        // Every job op on a chain must land on the shard that owns the
+        // chain's solves — the per-chain queue lives on exactly one shard.
+        let solve = r#"{"op":"solve","root_rate":1.0,"links":[0.2],"bids":[2.0]}"#;
+        let submit = r#"{"op":"submit_job","root_rate":1.0,"links":[0.2],"bids":[2.0],"load":2.5}"#;
+        let status = r#"{"op":"job_status","root_rate":1.0,"links":[0.2],"bids":[2.0],"job_id":7}"#;
+        let cancel = r#"{"op":"cancel_job","root_rate":1.0,"links":[0.2],"bids":[2.0],"job_id":7}"#;
+        let hash = |line: &str| {
+            let kind = handlers::parse_request(line, quantum).unwrap().kind;
+            routing_hash(Some(&kind), line)
+        };
+        let anchor = hash(solve);
+        for line in [submit, status, cancel] {
+            assert_eq!(hash(line), anchor, "job op co-locates with solve: {line}");
+        }
     }
 }

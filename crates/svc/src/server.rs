@@ -23,7 +23,8 @@
 //! final counter snapshot to [`ServerHandle::join`].
 
 use crate::cache::SolverCache;
-use crate::handlers::{self, Request, RequestKind};
+use crate::handlers::{self, JobOp, Request, RequestKind};
+use crate::jobs::{self, JobSpec};
 use crate::pool::{Job, ServiceCtx, WorkerPool};
 use crate::quant;
 use crate::queue::{BoundedQueue, PushError};
@@ -47,6 +48,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity (admission control threshold).
     pub queue_capacity: usize,
+    /// Most jobs held queued across all per-chain job queues before
+    /// `submit_job` is rejected with backpressure.
+    pub job_queue_capacity: usize,
     /// Solver-cache shard count.
     pub cache_shards: usize,
     /// Entries per cache shard.
@@ -80,6 +84,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             queue_capacity: 1024,
+            job_queue_capacity: crate::jobs::DEFAULT_MAX_QUEUED_JOBS,
             cache_shards: 16,
             cache_capacity_per_shard: 512,
             quantum: quant::DEFAULT_QUANTUM,
@@ -199,6 +204,7 @@ impl Shared {
             ("quantum".into(), Value::Number(self.ctx.quantum())),
             ("cache".into(), self.cache_counters()),
             ("endpoints".into(), Value::Object(endpoints)),
+            ("jobs".into(), self.jobs_block()),
         ];
         if let Some(sink) = &self.ctx.obs_memory {
             fields.push((
@@ -217,6 +223,36 @@ impl Shared {
             ));
         }
         Value::Object(fields).to_json()
+    }
+
+    /// The job-queue block shared by `stats`: aggregate lifecycle
+    /// counters plus per-chain queue rows (depth and completed count per
+    /// canonical chain, tagged with the chain-key hash).
+    fn jobs_block(&self) -> Value {
+        let jobs = &self.ctx.jobs;
+        let chains = jobs
+            .chain_rows()
+            .into_iter()
+            .map(|(tag, depth, completed)| {
+                Value::Object(vec![
+                    ("chain".into(), Value::String(tag)),
+                    ("depth".into(), Value::Number(depth as f64)),
+                    ("completed".into(), Value::Number(completed as f64)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("submitted".into(), Value::Number(jobs.submitted() as f64)),
+            ("completed".into(), Value::Number(jobs.completed() as f64)),
+            ("cancelled".into(), Value::Number(jobs.cancelled() as f64)),
+            ("rejected".into(), Value::Number(jobs.rejected() as f64)),
+            ("queued".into(), Value::Number(jobs.queued() as f64)),
+            (
+                "active_installments".into(),
+                Value::Number(jobs.active_installments() as f64),
+            ),
+            ("chains".into(), Value::Array(chains)),
+        ])
     }
 
     /// The `metrics` body: every counter plus per-endpoint latency — as
@@ -238,6 +274,15 @@ impl Shared {
             ("cache_entries", self.ctx.cache.len() as u64),
             ("cache_expired", self.ctx.cache.expired()),
             ("cache_invalidations", self.ctx.cache.invalidations()),
+            ("jobs_submitted", self.ctx.jobs.submitted()),
+            ("jobs_completed", self.ctx.jobs.completed()),
+            ("jobs_cancelled", self.ctx.jobs.cancelled()),
+            ("jobs_rejected", self.ctx.jobs.rejected()),
+            ("jobs_queued", self.ctx.jobs.queued()),
+            (
+                "jobs_active_installments",
+                self.ctx.jobs.active_installments(),
+            ),
         ];
         let mut prom = PromText::new();
         prom.gauge("dls_uptime_ms", uptime_ms as f64);
@@ -391,6 +436,59 @@ fn handle_line(shared: &Shared, line: &str, peer_loopback: bool, tx: &mpsc::Send
             .to_json();
             let _ = tx.send(handlers::ok_response(id, None, &body));
         }
+        RequestKind::Job(op) => match op {
+            JobOp::Submit {
+                chain,
+                load,
+                rounds,
+                comm_startup,
+            } => {
+                if shared.ctx.draining.load(Ordering::SeqCst) {
+                    shared.ctx.stats.on_rejected();
+                    let _ = tx.send(handlers::rejected_response(
+                        id,
+                        shared.ctx.retry_after_ms,
+                        true,
+                    ));
+                    return;
+                }
+                // The response is sent by the chain's scheduler thread at
+                // job completion (or immediately, as a rejection, when the
+                // job queue is at capacity).
+                jobs::submit(
+                    &shared.ctx,
+                    JobSpec {
+                        chain,
+                        load,
+                        rounds,
+                        comm_startup,
+                    },
+                    id,
+                    trace,
+                    tx.clone(),
+                );
+            }
+            JobOp::Status { job_id, .. } => match jobs::status_body(&shared.ctx, job_id) {
+                Ok(body) => {
+                    shared.ctx.stats.on_completed(false);
+                    let _ = tx.send(handlers::ok_response(id, None, &body));
+                }
+                Err(msg) => {
+                    shared.ctx.stats.on_completed(true);
+                    let _ = tx.send(handlers::error_response(id, &msg));
+                }
+            },
+            JobOp::Cancel { job_id, .. } => match jobs::cancel(&shared.ctx, job_id) {
+                Ok(body) => {
+                    shared.ctx.stats.on_completed(false);
+                    let _ = tx.send(handlers::ok_response(id, None, &body));
+                }
+                Err(msg) => {
+                    shared.ctx.stats.on_completed(true);
+                    let _ = tx.send(handlers::error_response(id, &msg));
+                }
+            },
+        },
         RequestKind::Work(request) => {
             if shared.ctx.draining.load(Ordering::SeqCst) {
                 shared.ctx.stats.on_rejected();
@@ -543,6 +641,10 @@ impl ServerHandle {
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
+        // Job schedulers exit once their chain queues are empty (no
+        // admission can add to them now). They hold reply senders, so
+        // they must be joined before the writers below.
+        self.shared.ctx.jobs.join_schedulers();
         // Writers exit once every job's reply sender is gone.
         for h in std::mem::take(&mut *self.writers.lock().unwrap()) {
             let _ = h.join();
@@ -574,6 +676,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         allow_remote_shutdown: config.allow_remote_shutdown,
         quantum_bits: std::sync::atomic::AtomicU64::new(config.quantum.to_bits()),
         obs_memory: config.obs_memory.clone(),
+        jobs: crate::jobs::JobRegistry::new(config.job_queue_capacity),
     });
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
     let pool = WorkerPool::spawn(config.workers, Arc::clone(&queue), Arc::clone(&ctx));

@@ -22,17 +22,21 @@ pub enum Endpoint {
     Solve,
     /// `op = "ft_run"` — fault-injected protocol execution.
     FtRun,
+    /// `op = "submit_job"` — multi-job queue completion latency (submit
+    /// to response, including queue wait and batch composition).
+    Job,
 }
 
 impl Endpoint {
     /// All metered endpoints, index-aligned with the histogram slots.
-    pub const ALL: [Endpoint; 2] = [Endpoint::Solve, Endpoint::FtRun];
+    pub const ALL: [Endpoint; 3] = [Endpoint::Solve, Endpoint::FtRun, Endpoint::Job];
 
     /// Wire / report name.
     pub fn name(self) -> &'static str {
         match self {
             Endpoint::Solve => "solve",
             Endpoint::FtRun => "ft_run",
+            Endpoint::Job => "job",
         }
     }
 
@@ -40,6 +44,7 @@ impl Endpoint {
         match self {
             Endpoint::Solve => 0,
             Endpoint::FtRun => 1,
+            Endpoint::Job => 2,
         }
     }
 }
@@ -53,13 +58,14 @@ impl Endpoint {
 pub const LATENCY_SAMPLE_CAP: usize = 4096;
 
 struct WorkerShard {
-    latency_us: [Histogram; 2],
+    latency_us: [Histogram; 3],
 }
 
 impl WorkerShard {
     fn new() -> Self {
         Self {
             latency_us: [
+                Histogram::with_cap(LATENCY_SAMPLE_CAP),
                 Histogram::with_cap(LATENCY_SAMPLE_CAP),
                 Histogram::with_cap(LATENCY_SAMPLE_CAP),
             ],

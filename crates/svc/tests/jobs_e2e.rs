@@ -1,0 +1,347 @@
+//! End-to-end tests for the multi-job queue (`submit_job` / `job_status`
+//! / `cancel_job`) over real loopback TCP: the frozen single-job byte
+//! guarantee against `solve`, the composed multiround job report, status
+//! probes, capacity backpressure, and the jobs conservation ledger
+//! `submitted == completed + cancelled + rejected`.
+
+use minijson::Value;
+use svc::{serve, Client, ServerConfig};
+use workloads::requests;
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("?")
+}
+
+const LINKS: [f64; 3] = [0.2, 0.1, 0.7];
+const BIDS: [f64; 3] = [2.0, 0.5, 4.0];
+
+#[test]
+fn single_plain_job_bytes_are_bit_identical_to_solve() {
+    // Two fresh servers so both paths start cold: the frozen guarantee is
+    // that a queue holding exactly one plain job (unit load, no explicit
+    // rounds, no startup) serves through the solver cache exactly like
+    // the `solve` op — same body, same `cached` flag, same bytes.
+    let solve_srv = serve(ServerConfig::default()).expect("start solve server");
+    let jobs_srv = serve(ServerConfig::default()).expect("start jobs server");
+    let mut via_solve = Client::connect(solve_srv.addr()).expect("connect");
+    let mut via_jobs = Client::connect(jobs_srv.addr()).expect("connect");
+
+    let solve_line = requests::solve_line(7, 1.0, &LINKS, &BIDS);
+    let job_line = requests::job_line(7, 1.0, &LINKS, &BIDS, 1.0, None, 0.0);
+
+    let cold_solve = via_solve.call_raw(&solve_line).unwrap();
+    let cold_job = via_jobs.call_raw(&job_line).unwrap();
+    assert_eq!(
+        cold_solve, cold_job,
+        "cold single plain job must be byte-identical to solve"
+    );
+
+    // Warm pass: the job path populated the same cache, so the hit flag
+    // and bytes keep matching.
+    let warm_solve = via_solve.call_raw(&solve_line).unwrap();
+    let warm_job = via_jobs.call_raw(&job_line).unwrap();
+    assert_eq!(warm_solve, warm_job, "warm bytes must match too");
+    assert!(warm_job.contains("\"cached\":true"), "{warm_job}");
+
+    solve_srv.shutdown();
+    jobs_srv.shutdown();
+    drop(via_solve);
+    drop(via_jobs);
+    assert!(solve_srv.join().conserved());
+    assert!(jobs_srv.join().conserved());
+}
+
+#[test]
+fn multiround_job_reports_composition_and_settlement() {
+    let handle = serve(ServerConfig::default()).expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // A non-unit load with a startup cost takes the composed path.
+    let line = requests::job_line(21, 1.0, &LINKS, &BIDS, 3.0, None, 0.02);
+    let v = c.call(&line).unwrap();
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(v.get("id").unwrap().as_i64(), Some(21));
+    let r = v.get("result").unwrap();
+    let job_id = r.get("job_id").unwrap().as_u64().unwrap();
+    assert!(job_id >= 1);
+    assert_eq!(r.get("m").unwrap().as_u64(), Some(3));
+    assert_eq!(r.get("load").unwrap().as_f64(), Some(3.0));
+    let rounds = r.get("rounds").unwrap().as_u64().unwrap();
+    assert!((1..=16).contains(&rounds), "rounds out of range: {rounds}");
+
+    // The report's timeline invariants: the batch never finishes later
+    // than the sequential one-shot baseline, and this job finishes within
+    // the batch makespan.
+    let finish = r.get("finish").unwrap().as_f64().unwrap();
+    let batch_makespan = r.get("batch_makespan").unwrap().as_f64().unwrap();
+    let sequential = r.get("sequential_makespan").unwrap().as_f64().unwrap();
+    assert!(finish > 0.0);
+    assert!(finish <= batch_makespan + 1e-9);
+    assert!(
+        batch_makespan <= sequential + 1e-9,
+        "pipelined {batch_makespan} > sequential {sequential}"
+    );
+
+    // The allocation ships the whole load; settlement covers every
+    // strategic processor.
+    let alloc = r.get("alloc").unwrap().as_array().unwrap();
+    assert_eq!(alloc.len(), 4, "alloc spans root + m processors");
+    let shipped: f64 = alloc.iter().map(|a| a.as_f64().unwrap()).sum();
+    assert!(
+        (shipped - 3.0).abs() < 1e-6,
+        "alloc sums to load: {shipped}"
+    );
+    assert_eq!(r.get("payments").unwrap().as_array().unwrap().len(), 3);
+    assert_eq!(r.get("utilities").unwrap().as_array().unwrap().len(), 3);
+    assert!(r
+        .get("total_payment")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .is_finite());
+
+    // Status after completion: done, with the composed finish time and
+    // the round count the pipelining rule actually used.
+    let st = c
+        .call(&requests::job_status_line(22, 1.0, &LINKS, &BIDS, job_id))
+        .unwrap();
+    assert_eq!(status(&st), "ok");
+    let sr = st.get("result").unwrap();
+    assert_eq!(sr.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(sr.get("rounds").unwrap().as_u64(), Some(rounds));
+    assert_eq!(sr.get("finish").unwrap().as_f64(), Some(finish));
+    assert!(sr
+        .get("chain")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .starts_with("m3:"));
+
+    // Terminal jobs refuse cancellation; unknown ids error on both ops.
+    let cancel = c
+        .call(&format!(
+            r#"{{"op":"cancel_job","id":23,"root_rate":1.0,"links":[0.2,0.1,0.7],"bids":[2.0,0.5,4.0],"job_id":{job_id}}}"#
+        ))
+        .unwrap();
+    assert_eq!(status(&cancel), "error");
+    let unknown = c
+        .call(&requests::job_status_line(24, 1.0, &LINKS, &BIDS, 424242))
+        .unwrap();
+    assert_eq!(status(&unknown), "error");
+
+    handle.shutdown();
+    drop(c);
+    assert!(handle.join().conserved());
+}
+
+#[test]
+fn job_burst_conserves_and_reports_queue_stats() {
+    let handle = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // A pipelined burst across two distinct chains: every submit is
+    // answered exactly once, then the jobs ledger must balance.
+    const TOTAL: usize = 40;
+    let other_bids = [1.5, 0.8, 3.0];
+    for i in 0..TOTAL {
+        let bids: &[f64] = if i % 2 == 0 { &BIDS } else { &other_bids };
+        let load = 1.0 + 0.25 * (i % 5) as f64;
+        c.send(&requests::job_line(
+            i as i64,
+            1.0,
+            &LINKS,
+            bids,
+            load,
+            (i % 7 == 0).then_some(3),
+            0.0,
+        ))
+        .expect("send");
+    }
+    c.flush().expect("flush");
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..TOTAL {
+        let v = c.recv().expect("recv");
+        assert_eq!(status(&v), "ok", "{v:?}");
+        assert!(seen.insert(v.get("id").unwrap().as_i64().unwrap()));
+    }
+    assert_eq!(seen.len(), TOTAL);
+
+    // The stats jobs block: conservation, empty queues, per-chain rows.
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let jobs = stats.get("result").unwrap().get("jobs").unwrap();
+    let submitted = jobs.get("submitted").unwrap().as_u64().unwrap();
+    let completed = jobs.get("completed").unwrap().as_u64().unwrap();
+    let cancelled = jobs.get("cancelled").unwrap().as_u64().unwrap();
+    let rejected = jobs.get("rejected").unwrap().as_u64().unwrap();
+    assert_eq!(submitted, TOTAL as u64);
+    assert_eq!(
+        submitted,
+        completed + cancelled + rejected,
+        "jobs ledger must balance"
+    );
+    assert_eq!(rejected, 0, "default capacity admits the whole burst");
+    assert_eq!(jobs.get("queued").unwrap().as_u64(), Some(0));
+    assert_eq!(jobs.get("active_installments").unwrap().as_u64(), Some(0));
+    let chains = jobs.get("chains").unwrap().as_array().unwrap();
+    assert_eq!(chains.len(), 2, "two distinct chains, two queues");
+    let per_chain: u64 = chains
+        .iter()
+        .map(|row| row.get("completed").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(per_chain, TOTAL as u64);
+
+    // The job endpoint is latency-metered and fleet-aggregable.
+    let ep = stats
+        .get("result")
+        .unwrap()
+        .get("endpoints")
+        .unwrap()
+        .get("job")
+        .unwrap();
+    assert_eq!(ep.get("count").unwrap().as_u64(), Some(TOTAL as u64));
+    let metrics = c.call(r#"{"op":"metrics"}"#).unwrap();
+    let counters = metrics.get("result").unwrap().get("counters").unwrap();
+    assert_eq!(
+        counters.get("jobs_completed").unwrap().as_u64(),
+        Some(TOTAL as u64)
+    );
+    let text = metrics
+        .get("result")
+        .unwrap()
+        .get("text")
+        .unwrap()
+        .as_str()
+        .unwrap();
+    assert!(text.contains("dls_jobs_completed_total 40"), "{text}");
+
+    handle.shutdown();
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+}
+
+#[test]
+fn job_queue_capacity_rejects_with_backpressure() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        job_queue_capacity: 1,
+        retry_after_ms: 11,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Non-plain loads force the composed path, so the single-slot queue
+    // must overflow under a pipelined burst.
+    const TOTAL: usize = 60;
+    for i in 0..TOTAL {
+        c.send(&requests::job_line(
+            i as i64, 1.0, &LINKS, &BIDS, 2.5, None, 0.0,
+        ))
+        .expect("send");
+    }
+    c.flush().expect("flush");
+    let (mut ok, mut rejected) = (0usize, 0usize);
+    for _ in 0..TOTAL {
+        let v = c.recv().expect("recv");
+        match status(&v) {
+            "ok" => ok += 1,
+            "rejected" => {
+                assert_eq!(v.get("reason").unwrap().as_str(), Some("backpressure"));
+                assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(11));
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {v:?}"),
+        }
+    }
+    assert_eq!(ok + rejected, TOTAL, "every submit answered exactly once");
+    assert!(ok > 0, "admitted jobs must still complete");
+    assert!(
+        rejected > 0,
+        "a 1-slot job queue must overflow under {TOTAL} pipelined submits"
+    );
+
+    // Both ledgers balance: the drain invariant and the jobs invariant.
+    let stats = c.call(r#"{"op":"stats"}"#).unwrap();
+    let jobs = stats.get("result").unwrap().get("jobs").unwrap();
+    assert_eq!(jobs.get("submitted").unwrap().as_u64(), Some(TOTAL as u64));
+    assert_eq!(jobs.get("completed").unwrap().as_u64(), Some(ok as u64));
+    assert_eq!(
+        jobs.get("rejected").unwrap().as_u64(),
+        Some(rejected as u64)
+    );
+
+    handle.shutdown();
+    drop(c);
+    let snapshot = handle.join();
+    assert!(snapshot.conserved(), "drain lost requests: {snapshot:?}");
+    assert_eq!(snapshot.rejected, rejected as u64);
+}
+
+#[test]
+fn router_co_locates_job_ops_with_their_chain() {
+    use svc::{Router, RouterConfig, ShardDirectory};
+
+    // Two shards behind a router: all ops for one chain — solve and the
+    // whole job lifecycle — land on the same shard, so the queue, the
+    // records, and the solver cache agree.
+    let a = serve(ServerConfig::default()).expect("shard a");
+    let b = serve(ServerConfig::default()).expect("shard b");
+    let dir = ShardDirectory::new(2);
+    dir.set_addr(0, a.addr());
+    dir.set_addr(1, b.addr());
+    let router = Router::spawn(dir, RouterConfig::default()).expect("router");
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    let submit = c
+        .call(&requests::job_line(1, 1.0, &LINKS, &BIDS, 2.0, None, 0.0))
+        .unwrap();
+    assert_eq!(status(&submit), "ok", "{submit:?}");
+    let job_id = submit
+        .get("result")
+        .unwrap()
+        .get("job_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // The status probe routes to the shard that ran the job (same chain
+    // key), so the record is found.
+    let st = c
+        .call(&requests::job_status_line(2, 1.0, &LINKS, &BIDS, job_id))
+        .unwrap();
+    assert_eq!(status(&st), "ok", "{st:?}");
+    assert_eq!(
+        st.get("result").unwrap().get("state").unwrap().as_str(),
+        Some("done")
+    );
+
+    // The plain-job byte guarantee holds through the router too: the
+    // submit warms the same shard cache a solve reads.
+    let solve_line = requests::solve_line(3, 1.0, &LINKS, &BIDS);
+    let job_line = requests::job_line(3, 1.0, &LINKS, &BIDS, 1.0, None, 0.0);
+    let via_job = c.call_raw(&job_line).unwrap();
+    let via_solve = c.call_raw(&solve_line).unwrap();
+    let strip = |s: &str| {
+        s.replace("\"cached\":true", "")
+            .replace("\"cached\":false", "")
+    };
+    assert_eq!(
+        strip(&via_job),
+        strip(&via_solve),
+        "job and solve must share one shard's cache bytes"
+    );
+    assert!(via_solve.contains("\"cached\":true"), "{via_solve}");
+
+    drop(c);
+    router.shutdown();
+    router.join();
+    a.shutdown();
+    b.shutdown();
+    assert!(a.join().conserved());
+    assert!(b.join().conserved());
+}
