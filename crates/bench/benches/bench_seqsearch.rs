@@ -1,0 +1,67 @@
+//! E29 companion — sequencing-search benchmarks: exhaustive oracle cost
+//! versus the seeded local search across order-space sizes, plus the cost
+//! of one order evaluation (reorder + tree solve) and of an
+//! order-parameterized mechanism settlement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt::seqsearch::{
+    canonical_order, exhaustive_search, local_search, order_makespan, LocalSearchConfig,
+};
+use mechanism::{Agent, OrderPolicy, TreeMechanism};
+use std::hint::black_box;
+use workloads::order_search_grid;
+
+fn searches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seqsearch");
+    let grid = order_search_grid(0xE29);
+    for case in &grid {
+        let orderable = dlt::seqsearch::orderable_nodes(&case.shape);
+        if !matches!(case.label.as_str(), "star/m5" | "binary/m6" | "wide/s0") {
+            continue;
+        }
+        if orderable <= 7 {
+            group.bench_with_input(
+                BenchmarkId::new("exhaustive", &case.label),
+                &case.shape,
+                |b, shape| b.iter(|| black_box(exhaustive_search(shape, 5_040).unwrap())),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("local", &case.label),
+            &case.shape,
+            |b, shape| b.iter(|| black_box(local_search(shape, &LocalSearchConfig::default()))),
+        );
+        let order = canonical_order(&case.shape);
+        group.bench_with_input(
+            BenchmarkId::new("one_evaluation", &case.label),
+            &(&case.shape, &order),
+            |b, (shape, order)| b.iter(|| black_box(order_makespan(shape, order))),
+        );
+    }
+    group.finish();
+}
+
+fn settlements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_settlement");
+    let grid = order_search_grid(0xE29);
+    let case = grid
+        .iter()
+        .find(|c| c.label == "wide/s1")
+        .expect("grid carries the wide tree");
+    let agents: Vec<Agent> = case.true_rates.iter().map(|&r| Agent::new(r)).collect();
+    let searched = local_search(&case.shape, &LocalSearchConfig::default()).best_order;
+    for (name, policy) in [
+        ("canonical", OrderPolicy::Canonical),
+        ("frozen", OrderPolicy::Frozen(searched)),
+        ("bid_dependent", OrderPolicy::BidFastestEquivalentFirst),
+    ] {
+        let mech = TreeMechanism::with_order(case.shape.clone(), policy);
+        group.bench_with_input(BenchmarkId::new(name, &case.label), &mech, |b, mech| {
+            b.iter(|| black_box(mech.settle_truthful(&agents)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, searches, settlements);
+criterion_main!(benches);

@@ -16,7 +16,8 @@
 use bench::{par_sweep, Stats, Table};
 use dlt::model::StarNetwork;
 use dlt::sequencing::{
-    ascending_is_optimal, ascending_link_order, exhaustive_best_order, order_makespan,
+    ascending_is_optimal, ascending_link_order, order_makespan, try_exhaustive_best_order,
+    DEFAULT_ORDER_BUDGET,
 };
 use dlt::star;
 use workloads::ChainConfig;
@@ -35,7 +36,8 @@ fn main() {
             };
             let net = workloads::star(&cfg, seed);
             let optimal = ascending_is_optimal(&net, 1e-9);
-            let search = exhaustive_best_order(&net);
+            let search = try_exhaustive_best_order(&net, DEFAULT_ORDER_BUDGET)
+                .expect("m <= 7 fits the default factorial budget");
             let spread = search.worst_makespan / search.best_makespan;
             (optimal, spread)
         });

@@ -8,8 +8,15 @@
 //!
 //! * [`exhaustive_best_order`] — brute-force search over all `m!` orders
 //!   (small `m`), the ground truth;
+//! * [`try_exhaustive_best_order`] — the same search behind an explicit
+//!   evaluation budget, returning a typed [`BudgetExceeded`] instead of
+//!   panicking;
 //! * [`ascending_link_order`] — the classical heuristic;
 //! * [`order_makespan`] — evaluate any order.
+//!
+//! This module is star-only; [`crate::seqsearch`] generalizes the order
+//! space to arbitrary trees (one permutation per internal node) with the
+//! same budget-guarded oracle plus a seeded local search for large `n`.
 //!
 //! The experiment `exp_sequencing` uses these to verify the classical
 //! result empirically — it is also the justification for
@@ -20,7 +27,12 @@
 //! reproduction — see DESIGN.md).
 
 use crate::model::StarNetwork;
+use crate::seqsearch::BudgetExceeded;
 use crate::star;
+
+/// Default evaluation budget for [`exhaustive_best_order`]: `9!`, the
+/// largest star the historical hard guard admitted.
+pub const DEFAULT_ORDER_BUDGET: u64 = 362_880;
 
 /// Evaluate the optimal equal-finish makespan of a star when children are
 /// served in the given order (indices into `net.children()`).
@@ -53,14 +65,32 @@ pub struct OrderSearch {
     pub evaluated: usize,
 }
 
-/// Brute-force all `m!` service orders. Panics if `m > 9` (guard against
-/// factorial blowup).
+/// Brute-force all `m!` service orders under the default budget
+/// ([`DEFAULT_ORDER_BUDGET`]). Panics past it — callers that want a typed
+/// error instead use [`try_exhaustive_best_order`] with their own budget.
 pub fn exhaustive_best_order(net: &StarNetwork) -> OrderSearch {
+    try_exhaustive_best_order(net, DEFAULT_ORDER_BUDGET).unwrap_or_else(|e| {
+        panic!(
+            "exhaustive search is factorial; m = {} is too large ({e})",
+            net.children().len()
+        )
+    })
+}
+
+/// Brute-force all `m!` service orders behind an explicit evaluation
+/// budget: refuses with [`BudgetExceeded`] **before** evaluating anything
+/// when `m!` exceeds `budget`, instead of silently exploding (or
+/// panicking) on large stars.
+pub fn try_exhaustive_best_order(
+    net: &StarNetwork,
+    budget: u64,
+) -> Result<OrderSearch, BudgetExceeded> {
     let m = net.children().len();
-    assert!(
-        m <= 9,
-        "exhaustive search is factorial; m = {m} is too large"
-    );
+    let required = (2..=m as u128).try_fold(1u128, u128::checked_mul);
+    let required = required.unwrap_or(u128::MAX);
+    if required > budget as u128 {
+        return Err(BudgetExceeded { required, budget });
+    }
     let mut order: Vec<usize> = (0..m).collect();
     let mut best_order = order.clone();
     let mut best = f64::INFINITY;
@@ -75,12 +105,12 @@ pub fn exhaustive_best_order(net: &StarNetwork) -> OrderSearch {
         }
         worst = worst.max(ms);
     });
-    OrderSearch {
+    Ok(OrderSearch {
         best_order,
         best_makespan: best,
         worst_makespan: worst,
         evaluated,
-    }
+    })
 }
 
 fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
@@ -167,5 +197,47 @@ mod tests {
         let w = vec![1.0; 11];
         let z = vec![0.1; 10];
         exhaustive_best_order(&StarNetwork::from_rates(&w, &z));
+    }
+
+    #[test]
+    fn budgeted_search_returns_a_typed_error_past_the_budget() {
+        let net = heterogeneous(); // m = 4 → 24 orders
+        let err = try_exhaustive_best_order(&net, 23).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExceeded {
+                required: 24,
+                budget: 23
+            }
+        );
+        // At the budget it runs, and matches the unguarded search exactly.
+        let ok = try_exhaustive_best_order(&net, 24).unwrap();
+        assert_eq!(ok, exhaustive_best_order(&net));
+    }
+
+    #[test]
+    fn budgeted_search_refuses_overflowing_order_spaces() {
+        // 40! overflows u128; the guard must saturate, not wrap.
+        let w = vec![1.0; 41];
+        let z: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * i as f64).collect();
+        let err =
+            try_exhaustive_best_order(&StarNetwork::from_rates(&w, &z), u64::MAX).unwrap_err();
+        assert_eq!(err.required, u128::MAX);
+    }
+
+    #[test]
+    fn ascending_link_order_is_tie_stable() {
+        // Equal link rates must keep index order — the canonicalization
+        // contract `dlt::tree::canonicalize` silently relies on (stable
+        // sort), and the property that makes frozen searched orders
+        // reproducible across identical instances.
+        let net = StarNetwork::from_rates(&[1.0, 3.0, 0.4, 2.2, 1.7], &[0.3, 0.3, 0.1, 0.3]);
+        assert_eq!(ascending_link_order(&net), vec![2, 0, 1, 3]);
+        let bus = StarNetwork::bus(1.0, &[2.0, 0.5, 1.2, 3.3], 0.25);
+        assert_eq!(
+            ascending_link_order(&bus),
+            vec![0, 1, 2, 3],
+            "all-equal links must be served in index order"
+        );
     }
 }

@@ -427,6 +427,37 @@ mod tests {
     }
 
     #[test]
+    fn canonicalize_is_tie_stable() {
+        // Equal link rates must keep the stored child order at every
+        // depth: the sort is stable, so canonicalization is deterministic
+        // on tie-heavy (bus-like) shapes and agent preorder indices do not
+        // shuffle between identical instances.
+        let tree = TreeNode::internal(
+            1.0,
+            vec![
+                (
+                    0.3,
+                    TreeNode::internal(
+                        1.5,
+                        vec![(0.2, TreeNode::leaf(2.0)), (0.2, TreeNode::leaf(0.7))],
+                    ),
+                ),
+                (0.3, TreeNode::leaf(1.1)),
+                (0.1, TreeNode::leaf(2.4)),
+            ],
+        );
+        let canon = canonicalize(&tree);
+        // The 0.1 link moves first; the two 0.3 links keep index order.
+        assert_eq!(canon.children[0].1, TreeNode::leaf(2.4));
+        assert_eq!(canon.children[1].0.z, 0.3);
+        assert_eq!(canon.children[1].1.children.len(), 2);
+        // Inside the tied subtree, the equal 0.2 links keep their order.
+        assert_eq!(canon.children[1].1.children[0].1, TreeNode::leaf(2.0));
+        assert_eq!(canon.children[1].1.children[1].1, TreeNode::leaf(0.7));
+        assert_eq!(canon.children[2].1, TreeNode::leaf(1.1));
+    }
+
+    #[test]
     fn distribute_scales_linearly() {
         let tree = TreeNode::internal(1.0, vec![(0.2, TreeNode::leaf(2.0))]);
         let full = distribute(&tree, 1.0);

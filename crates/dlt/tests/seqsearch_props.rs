@@ -1,0 +1,160 @@
+//! Property tests for the sequencing search (`dlt::seqsearch`): validity
+//! of produced orders, the local search's unconditional "never worse than
+//! canonical" guarantee, exact parity with the exhaustive oracle on every
+//! oracle-checkable instance, and byte-determinism under a fixed seed.
+//!
+//! Random trees are drawn by generating a seed with proptest and feeding
+//! it to the shared `workloads::generators::tree` generator, so the tree
+//! population matches the one the experiments sweep.
+
+use dlt::model::TreeNode;
+use dlt::seqsearch::{
+    self, exhaustive_search, local_search, order_makespan, order_space_size, orderable_nodes,
+    LocalSearchConfig,
+};
+use proptest::prelude::*;
+use workloads::generators::{tree, ChainConfig};
+
+/// A random tree small enough that its order space is oracle-checkable
+/// for the parity property (≤ 7 orderable nodes ⇒ ≤ 5040 orders).
+fn small_tree(seed: u64) -> TreeNode {
+    let config = ChainConfig {
+        processors: 6,
+        ..Default::default()
+    };
+    tree(&config, 3, seed)
+}
+
+/// A larger random tree for the structural properties.
+fn big_tree(seed: u64) -> TreeNode {
+    let config = ChainConfig {
+        processors: 12,
+        ..Default::default()
+    };
+    tree(&config, 4, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_search_returns_a_valid_permutation_assignment(seed in 0u64..1_000_000) {
+        let root = big_tree(seed);
+        let out = local_search(&root, &LocalSearchConfig::default());
+        prop_assert!(out.best_order.is_valid(&root));
+        // The reported makespan is the one its own order actually achieves.
+        let replayed = order_makespan(&root, &out.best_order);
+        prop_assert!((replayed - out.best_makespan).abs() == 0.0);
+    }
+
+    #[test]
+    fn local_search_never_loses_to_canonical(seed in 0u64..1_000_000) {
+        let root = big_tree(seed);
+        let out = local_search(&root, &LocalSearchConfig::default());
+        prop_assert!(
+            out.best_makespan <= out.canonical_makespan,
+            "local {} > canonical {}",
+            out.best_makespan,
+            out.canonical_makespan
+        );
+    }
+
+    #[test]
+    fn local_search_matches_the_exhaustive_oracle_on_small_trees(seed in 0u64..1_000_000) {
+        let root = small_tree(seed);
+        prop_assume!(orderable_nodes(&root) <= 7);
+        let oracle = exhaustive_search(&root, 5_040).expect("space fits the budget");
+        let out = local_search(&root, &LocalSearchConfig::default());
+        // The classical sequencing result says the canonical ascending-link
+        // order is optimal, so both searches must land on the optimum; the
+        // solver is deterministic, so equal orders give equal floats.
+        prop_assert!(
+            (out.best_makespan - oracle.best_makespan).abs() < 1e-12,
+            "local {} vs oracle {}",
+            out.best_makespan,
+            oracle.best_makespan
+        );
+        prop_assert!(oracle.best_makespan <= oracle.worst_makespan);
+    }
+
+    #[test]
+    fn local_search_is_byte_deterministic_under_a_fixed_seed(
+        seed in 0u64..1_000_000,
+        search_seed in 0u64..u64::MAX,
+    ) {
+        let root = big_tree(seed);
+        let cfg = LocalSearchConfig {
+            seed: search_seed,
+            restarts: 2,
+            max_steps: 50,
+        };
+        let first = local_search(&root, &cfg);
+        let second = local_search(&root, &cfg);
+        // Debug output covers every field, including the full permutation
+        // assignment and the float makespans — byte equality means replay
+        // is exact, not merely approximately equal.
+        prop_assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+}
+
+/// The searched makespan never exceeds canonical on a single instance of
+/// the shared experiment population — the grid E29 actually sweeps.
+#[test]
+fn local_search_never_loses_to_canonical_on_the_experiment_grid() {
+    for case in workloads::order_search_grid(0xE29) {
+        let out = local_search(&case.shape, &LocalSearchConfig::default());
+        assert!(
+            out.best_makespan <= out.canonical_makespan,
+            "{}: local {} > canonical {}",
+            case.label,
+            out.best_makespan,
+            out.canonical_makespan
+        );
+        assert!(out.best_order.is_valid(&case.shape), "{}", case.label);
+    }
+}
+
+/// Exact oracle parity on every oracle-checkable instance of the grid.
+#[test]
+fn local_search_matches_the_oracle_across_the_experiment_grid() {
+    let mut checked = 0usize;
+    for case in workloads::order_search_grid(0xE29) {
+        if orderable_nodes(&case.shape) > 7 {
+            assert!(
+                exhaustive_search(&case.shape, 5_040).is_err(),
+                "{}: wide case should exceed the oracle budget",
+                case.label
+            );
+            continue;
+        }
+        let space = order_space_size(&case.shape).expect("small spaces never overflow");
+        let oracle =
+            exhaustive_search(&case.shape, 5_040).unwrap_or_else(|e| panic!("{}: {e}", case.label));
+        assert_eq!(u128::from(oracle.evaluated), space, "{}", case.label);
+        let out = local_search(&case.shape, &LocalSearchConfig::default());
+        assert!(
+            (out.best_makespan - oracle.best_makespan).abs() < 1e-12,
+            "{}: local {} vs oracle {}",
+            case.label,
+            out.best_makespan,
+            oracle.best_makespan
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "the grid must contain oracle-checkable cases");
+}
+
+/// The canonical order is what restart 0 descends from, so on tie-heavy
+/// shapes (every order equal) the search must return it unchanged.
+#[test]
+fn tie_heavy_shapes_return_the_canonical_order() {
+    let bus = TreeNode::internal(
+        1.3,
+        (0..5)
+            .map(|i| (0.2, TreeNode::leaf(1.0 + i as f64)))
+            .collect(),
+    );
+    let out = local_search(&bus, &LocalSearchConfig::default());
+    assert_eq!(out.best_order, seqsearch::canonical_order(&bus));
+    assert_eq!(out.best_makespan, out.canonical_makespan);
+}

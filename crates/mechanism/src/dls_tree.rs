@@ -23,7 +23,37 @@
 use crate::agent::{Agent, Conduct};
 use crate::payment::{compensation, recompense, valuation};
 use dlt::model::{Link, Processor, StarNetwork, TreeNode};
+use dlt::seqsearch::{self, TreeOrder};
 use dlt::{star, tree};
+
+/// How the mechanism chooses each settlement's service order (the order in
+/// which every internal node distributes to its children).
+///
+/// The order is load-bearing for incentives (E18): the strategyproofness
+/// argument needs the equal-finish makespan to be monotone in every
+/// child's rate, which the canonical ascending-link order guarantees. A
+/// **bid-independent** alternative order (e.g. one searched offline at the
+/// true rates, [`OrderPolicy::Frozen`]) keeps the allocation rule a fixed
+/// function of the bids under a fixed order, and E29 verifies truthfulness
+/// survives. A **bid-dependent** order
+/// ([`OrderPolicy::BidFastestEquivalentFirst`]) lets an agent's report
+/// move its own service position — the manipulation channel E18
+/// predicted, kept here as the measurable counter-example.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderPolicy {
+    /// The canonical ascending-link order (the default, and the paper's
+    /// strategyproof regime).
+    Canonical,
+    /// A fixed service order over the canonical shape's preorder, applied
+    /// identically at every bid profile. Bid-independent by construction.
+    Frozen(TreeOrder),
+    /// Re-derive the order from the bids at every settlement: each node
+    /// serves its children in ascending order of their bid-instantiated
+    /// subtree equivalent time (stable for ties). A plausible
+    /// "serve the fastest subtree first" rank policy — and manipulable,
+    /// because an agent's bid moves its own service position.
+    BidFastestEquivalentFirst,
+}
 
 /// The shape of the network: processor rates at non-root nodes are
 /// *placeholders* (replaced by bids); the root's rate and all link rates
@@ -32,6 +62,7 @@ use dlt::{star, tree};
 pub struct TreeMechanism {
     shape: TreeNode,
     agents: usize,
+    policy: OrderPolicy,
 }
 
 /// Per-agent outcome of a tree settlement.
@@ -102,10 +133,39 @@ impl TreeMechanism {
     /// precondition for the bonus's monotonicity argument. **Agent indices
     /// are preorder positions in the canonicalized shape.**
     pub fn new(shape: TreeNode) -> Self {
+        Self::with_order(shape, OrderPolicy::Canonical)
+    }
+
+    /// Create the mechanism with an explicit service-order policy. The
+    /// shape is canonicalized first — **agent indices are always preorder
+    /// positions in the canonicalized shape**, whatever order the policy
+    /// then serves them in; a [`OrderPolicy::Frozen`] order must fit that
+    /// canonical shape's preorder.
+    pub fn with_order(shape: TreeNode, policy: OrderPolicy) -> Self {
         let shape = dlt::tree::canonicalize(&shape);
         let agents = shape.size() - 1;
         assert!(agents >= 1, "need at least one strategic node");
-        Self { shape, agents }
+        if let OrderPolicy::Frozen(order) = &policy {
+            assert!(
+                order.is_valid(&shape),
+                "frozen order does not fit the canonical shape's preorder"
+            );
+        }
+        Self {
+            shape,
+            agents,
+            policy,
+        }
+    }
+
+    /// The canonicalized shape agent indices refer to.
+    pub fn shape(&self) -> &TreeNode {
+        &self.shape
+    }
+
+    /// The service-order policy in force.
+    pub fn policy(&self) -> &OrderPolicy {
+        &self.policy
     }
 
     /// A chain as a degenerate tree (for cross-checks against DLS-LBL).
@@ -169,20 +229,62 @@ impl TreeMechanism {
         out
     }
 
-    /// Flatten the solved tree into per-node info, preorder.
+    /// The service order the policy prescribes for this bid-instantiated
+    /// tree, expressed against the canonical shape's preorder.
+    fn service_order(&self, instantiated: &TreeNode) -> TreeOrder {
+        match &self.policy {
+            // The shape is canonical, so its stored order *is* the
+            // canonical service order.
+            OrderPolicy::Canonical => seqsearch::identity_order(instantiated),
+            OrderPolicy::Frozen(order) => order.clone(),
+            OrderPolicy::BidFastestEquivalentFirst => {
+                fn walk(node: &TreeNode, out: &mut Vec<Vec<usize>>) {
+                    let mut perm: Vec<usize> = (0..node.children.len()).collect();
+                    let equivalents: Vec<f64> = node
+                        .children
+                        .iter()
+                        .map(|(_, c)| tree::equivalent_time(c))
+                        .collect();
+                    perm.sort_by(|&a, &b| equivalents[a].total_cmp(&equivalents[b]));
+                    out.push(perm);
+                    for (_, c) in &node.children {
+                        walk(c, out);
+                    }
+                }
+                let mut perms = Vec::new();
+                walk(instantiated, &mut perms);
+                TreeOrder { perms }
+            }
+        }
+    }
+
+    /// Flatten the solved tree into per-node info, indexed by the
+    /// canonical shape's preorder (agent identity), with children listed
+    /// in the *service* order the policy produced.
     fn analyze(&self, bids: &[f64]) -> (Vec<NodeInfo>, f64, f64) {
         let instantiated = self.with_bids(bids);
-        let solution = tree::solve(&instantiated);
-        let makespan = tree::makespan(&instantiated);
-        let mut infos: Vec<NodeInfo> = Vec::with_capacity(self.agents + 1);
+        let order = self.service_order(&instantiated);
+        let (ordered, map) = seqsearch::apply_order_mapped(&instantiated, &order);
+        let solution = tree::solve(&ordered);
+        let makespan = tree::makespan(&ordered);
+        let n = self.agents + 1;
+        let mut old_of_new = vec![0usize; n];
+        for (old, &new) in map.iter().enumerate() {
+            old_of_new[new] = old;
+        }
+        let mut infos: Vec<Option<NodeInfo>> = (0..n).map(|_| None).collect();
         fn walk(
             node: &TreeNode,
             sol: &tree::TreeSolution,
             parent: Option<usize>,
-            infos: &mut Vec<NodeInfo>,
+            next_new: &mut usize,
+            old_of_new: &[usize],
+            infos: &mut [Option<NodeInfo>],
         ) -> usize {
-            let idx = infos.len();
-            infos.push(NodeInfo {
+            let new_id = *next_new;
+            *next_new += 1;
+            let old = old_of_new[new_id];
+            infos[old] = Some(NodeInfo {
                 parent,
                 rate: node.processor.w,
                 equivalent: tree::equivalent_time(node),
@@ -196,12 +298,28 @@ impl TreeMechanism {
                 children: Vec::new(),
             });
             for ((link, child), csol) in node.children.iter().zip(&sol.children) {
-                let cidx = walk(child, csol, Some(idx), infos);
-                infos[idx].children.push((link.z, cidx));
+                let cold = walk(child, csol, Some(old), next_new, old_of_new, infos);
+                infos[old]
+                    .as_mut()
+                    .expect("parent info just inserted")
+                    .children
+                    .push((link.z, cold));
             }
-            idx
+            old
         }
-        walk(&instantiated, &solution, None, &mut infos);
+        let mut next_new = 0;
+        walk(
+            &ordered,
+            &solution,
+            None,
+            &mut next_new,
+            &old_of_new,
+            &mut infos,
+        );
+        let infos = infos
+            .into_iter()
+            .map(|i| i.expect("every preorder node visited"))
+            .collect();
         (infos, makespan, solution.alpha)
     }
 
@@ -455,6 +573,107 @@ mod tests {
     #[should_panic(expected = "one bid per strategic node")]
     fn rejects_wrong_bid_arity() {
         binary_tree().with_bids(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn canonical_policy_is_the_default_and_identical() {
+        let shape = binary_tree().shape().clone();
+        let a = TreeMechanism::new(shape.clone());
+        let b = TreeMechanism::with_order(shape, OrderPolicy::Canonical);
+        let agents = tree_agents();
+        let oa = a.settle_truthful(&agents);
+        let ob = b.settle_truthful(&agents);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn frozen_canonical_order_settles_bit_identically() {
+        // Freezing the canonical order must be a no-op: same service
+        // order, same solve, same payments to the last bit.
+        let mech = binary_tree();
+        let frozen = TreeMechanism::with_order(
+            mech.shape().clone(),
+            OrderPolicy::Frozen(dlt::seqsearch::identity_order(mech.shape())),
+        );
+        let agents = tree_agents();
+        assert_eq!(
+            mech.settle_truthful(&agents),
+            frozen.settle_truthful(&agents)
+        );
+    }
+
+    #[test]
+    fn frozen_non_canonical_order_changes_the_solve_consistently() {
+        // Reversing the root's service order is a worse (or equal) order:
+        // the settlement must still partition the load, and the makespan
+        // can only get worse.
+        let mech = binary_tree();
+        let shape = mech.shape().clone();
+        let mut order = dlt::seqsearch::identity_order(&shape);
+        order.perms[0].reverse();
+        let reversed = TreeMechanism::with_order(shape, OrderPolicy::Frozen(order));
+        let agents = tree_agents();
+        let base = mech.settle_truthful(&agents);
+        let rev = reversed.settle_truthful(&agents);
+        let total: f64 = rev.root_load + rev.agents.iter().map(|a| a.assigned).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(rev.makespan >= base.makespan - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen order does not fit")]
+    fn frozen_order_arity_is_validated() {
+        let shape = binary_tree().shape().clone();
+        TreeMechanism::with_order(
+            shape,
+            OrderPolicy::Frozen(dlt::seqsearch::TreeOrder {
+                perms: vec![vec![0]],
+            }),
+        );
+    }
+
+    #[test]
+    fn bid_dependent_order_reorders_with_the_bids() {
+        // Two leaves behind distinct links: under the fastest-equivalent-
+        // first policy the served-first child is whoever *bids* lower, so
+        // flipping the bids flips the realized makespan away from the
+        // canonical one.
+        let shape = TreeNode::internal(
+            2.1,
+            vec![(0.0969, TreeNode::leaf(1.0)), (0.6568, TreeNode::leaf(1.0))],
+        );
+        let mech = TreeMechanism::with_order(shape, OrderPolicy::BidFastestEquivalentFirst);
+        let fast_first = mech.settle(&[
+            Conduct {
+                bid: 0.5,
+                actual_rate: 0.5,
+                actual_load: None,
+            },
+            Conduct {
+                bid: 2.0,
+                actual_rate: 2.0,
+                actual_load: None,
+            },
+        ]);
+        // Swap which node bids low: the slow link is now served first.
+        let slow_first = mech.settle(&[
+            Conduct {
+                bid: 2.0,
+                actual_rate: 2.0,
+                actual_load: None,
+            },
+            Conduct {
+                bid: 0.5,
+                actual_rate: 0.5,
+                actual_load: None,
+            },
+        ]);
+        assert!(
+            (fast_first.makespan - slow_first.makespan).abs() > 1e-9,
+            "the service order must have responded to the bids: {} vs {}",
+            fast_first.makespan,
+            slow_first.makespan
+        );
     }
 
     #[test]

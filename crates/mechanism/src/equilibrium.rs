@@ -10,6 +10,7 @@
 
 use crate::agent::{Agent, Conduct};
 use crate::dls_lbl::DlsLbl;
+use crate::dls_tree::TreeMechanism;
 use crate::naive_baseline::NaiveMechanism;
 
 /// One step of the dynamics: every agent, in index order, switches to its
@@ -60,6 +61,21 @@ impl BidGame for DlsLbl {
             })
             .collect();
         self.settle(&conducts, false).utility(j)
+    }
+}
+
+impl BidGame for TreeMechanism {
+    fn utility(&self, agents: &[Agent], bids: &[f64], j: usize) -> f64 {
+        let conducts: Vec<Conduct> = agents
+            .iter()
+            .zip(bids)
+            .map(|(&a, &b)| Conduct {
+                bid: b,
+                actual_rate: a.feasible_actual(b.min(a.true_rate)),
+                actual_load: None,
+            })
+            .collect();
+        self.settle(&conducts).utility(j)
     }
 }
 

@@ -1,0 +1,164 @@
+//! Truthfulness under searched service orders (E29's verification layer).
+//!
+//! The sequencing theory says the canonical ascending-link order is
+//! optimal independently of processor rates, so an order *searched at the
+//! true rates* and then **frozen** is still bid-independent — the
+//! allocation rule stays a fixed function of the bids and
+//! strategyproofness must survive. These tests verify that over the full
+//! E29 grid: zero profitable misreports on the E13-style factor grid, and
+//! one-round best-response convergence to truth.
+//!
+//! The converse is pinned too: a **bid-dependent** searched order
+//! ([`OrderPolicy::BidFastestEquivalentFirst`]) re-opens the E18
+//! manipulation channel, and a concrete profitable misreport is kept as a
+//! regression witness.
+
+use dlt::seqsearch::{local_search, LocalSearchConfig};
+use mechanism::equilibrium::{best_response_dynamics, BidGame};
+use mechanism::{Agent, OrderPolicy, TreeMechanism};
+use proptest::prelude::*;
+use workloads::{misreport_factors, order_search_grid};
+
+/// Build the frozen-searched-order mechanism for a grid case: search at
+/// the true rates (the shape embeds them), freeze the winner.
+fn frozen_mechanism(case: &workloads::TreeFaultCase) -> TreeMechanism {
+    let searched = local_search(&case.shape, &LocalSearchConfig::default());
+    TreeMechanism::with_order(case.shape.clone(), OrderPolicy::Frozen(searched.best_order))
+}
+
+#[test]
+fn frozen_searched_orders_admit_no_profitable_misreport() {
+    let factors = misreport_factors();
+    let mut sweeps = 0usize;
+    for case in order_search_grid(0xE29) {
+        let mech = frozen_mechanism(&case);
+        let agents: Vec<Agent> = case.true_rates.iter().map(|&t| Agent::new(t)).collect();
+        let truthful = case.true_rates.clone();
+        for j in 1..=agents.len() {
+            let honest = mech.utility(&agents, &truthful, j);
+            for &f in &factors {
+                let mut bids = truthful.clone();
+                bids[j - 1] = case.true_rates[j - 1] * f;
+                let gain = mech.utility(&agents, &bids, j) - honest;
+                assert!(
+                    gain <= 1e-9,
+                    "{}: agent {j} gains {gain} from factor {f}",
+                    case.label
+                );
+                sweeps += 1;
+            }
+        }
+    }
+    assert!(sweeps > 100, "the sweep must actually cover the grid");
+}
+
+#[test]
+fn frozen_searched_orders_converge_to_truth_in_one_round() {
+    let mut grid = misreport_factors();
+    grid.push(1.0);
+    for case in order_search_grid(0xE29) {
+        let mech = frozen_mechanism(&case);
+        let agents: Vec<Agent> = case.true_rates.iter().map(|&t| Agent::new(t)).collect();
+        // Start every agent off-truth on both sides of it.
+        let initial: Vec<f64> = case
+            .true_rates
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| if i % 2 == 0 { t * 2.0 } else { t * 0.5 })
+            .collect();
+        let traj = best_response_dynamics(&mech, &agents, &initial, &grid, 10);
+        assert!(traj.converged, "{}", case.label);
+        // Dominant-strategy truthfulness: one corrective round plus the
+        // fixed-point check.
+        assert!(
+            traj.profiles.len() <= 3,
+            "{}: took {} rounds",
+            case.label,
+            traj.profiles.len() - 1
+        );
+        assert!(
+            traj.distance_from_truth(&agents) < 1e-9,
+            "{}: ended at {:?}",
+            case.label,
+            traj.last()
+        );
+    }
+}
+
+/// Regression witness for the manipulation channel E18 predicted: under
+/// the bid-dependent order, the agent behind the slowest link of the
+/// anti-correlated star profits by overbidding (the lie moves its service
+/// position, and the makespan is not monotone in its reported rate there).
+#[test]
+fn bid_dependent_searched_order_is_manipulable() {
+    let case = order_search_grid(0xE29)
+        .into_iter()
+        .find(|c| c.label == "anti/m3")
+        .expect("the grid carries the anti-correlated star");
+    let mech =
+        TreeMechanism::with_order(case.shape.clone(), OrderPolicy::BidFastestEquivalentFirst);
+    let agents: Vec<Agent> = case.true_rates.iter().map(|&t| Agent::new(t)).collect();
+    let truthful = case.true_rates.clone();
+
+    // Canonical preorder puts the slowest link (0.6568, rate 0.6) last:
+    // agent 3. Overbidding by 1.9 is profitable — found by grid probe,
+    // pinned here so the counter-example cannot silently evaporate.
+    let j = 3;
+    assert!((case.true_rates[j - 1] - 0.6).abs() < 1e-12);
+    let honest = mech.utility(&agents, &truthful, j);
+    let mut bids = truthful.clone();
+    bids[j - 1] = case.true_rates[j - 1] * 1.9;
+    let gain = mech.utility(&agents, &bids, j) - honest;
+    assert!(
+        gain > 7e-3,
+        "the pinned profitable misreport vanished: gain {gain}"
+    );
+
+    // The same lie under the frozen searched order is strictly
+    // unprofitable — the fix is freezing, not the search itself.
+    let frozen = frozen_mechanism(&case);
+    let frozen_gain = frozen.utility(&agents, &bids, j) - frozen.utility(&agents, &truthful, j);
+    assert!(
+        frozen_gain <= 1e-9,
+        "frozen order leaked gain {frozen_gain}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Strategyproofness of the frozen order holds against arbitrary
+    /// (not just truthful) opponents: whatever the others bid, truth is a
+    /// best response on the factor grid.
+    #[test]
+    fn frozen_order_truth_is_best_response_against_lying_others(
+        case_seed in 0u64..1_000,
+        others in proptest::collection::vec(0.3f64..3.0, 8),
+        j_pick in 0usize..8,
+    ) {
+        let grid = order_search_grid(0xE29);
+        let case = &grid[(case_seed as usize) % grid.len()];
+        let mech = frozen_mechanism(case);
+        let agents: Vec<Agent> = case.true_rates.iter().map(|&t| Agent::new(t)).collect();
+        let j = 1 + j_pick % agents.len();
+        // Opponents misreport by arbitrary factors; agent j stays truthful.
+        let mut bids: Vec<f64> = case
+            .true_rates
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| t * others[i % others.len()])
+            .collect();
+        bids[j - 1] = case.true_rates[j - 1];
+        let honest = mech.utility(&agents, &bids, j);
+        for &f in &misreport_factors() {
+            let mut lie = bids.clone();
+            lie[j - 1] = case.true_rates[j - 1] * f;
+            let gain = mech.utility(&agents, &lie, j) - honest;
+            prop_assert!(
+                gain <= 1e-9,
+                "{}: agent {} gains {} at factor {} vs others {:?}",
+                case.label, j, gain, f, bids
+            );
+        }
+    }
+}

@@ -271,7 +271,7 @@ impl TreeFaultCase {
 }
 
 /// Non-root processor rates of a tree in preorder.
-fn agent_rates(node: &TreeNode) -> Vec<f64> {
+pub(crate) fn agent_rates(node: &TreeNode) -> Vec<f64> {
     fn walk(node: &TreeNode, out: &mut Vec<f64>, is_root: bool) {
         if !is_root {
             out.push(node.processor.w);
@@ -285,7 +285,7 @@ fn agent_rates(node: &TreeNode) -> Vec<f64> {
     out
 }
 
-fn finish(label: String, shape: TreeNode) -> TreeFaultCase {
+pub(crate) fn finish(label: String, shape: TreeNode) -> TreeFaultCase {
     let shape = dlt::tree::canonicalize(&shape);
     let true_rates = agent_rates(&shape);
     TreeFaultCase {

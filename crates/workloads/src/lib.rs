@@ -5,8 +5,10 @@
 //! speed gradients, bottleneck links and straggler processors
 //! ([`generators`]), plus grid helpers and network decomposition for the
 //! mechanism/protocol layers ([`sweep`]), declarative fault-scenario
-//! grids for the fault-injection experiments ([`fault_cases`]), and
-//! NDJSON request-mix streams for the serving layer ([`requests`]).
+//! grids for the fault-injection experiments ([`fault_cases`]),
+//! order-stress tree populations for the sequencing-search experiments
+//! ([`ordergrid`]), and NDJSON request-mix streams for the serving layer
+//! ([`requests`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,6 +17,7 @@
 
 pub mod fault_cases;
 pub mod generators;
+pub mod ordergrid;
 pub mod requests;
 pub mod scenarios;
 pub mod sweep;
@@ -24,6 +27,7 @@ pub use fault_cases::{
     seeded_multi_cases, tree_shape_grid, FaultCase, FaultCaseKind, TreeFaultCase,
 };
 pub use generators::{chain, chains, star, tree, ChainConfig, ChainShape};
+pub use ordergrid::{misreport_factors, order_search_grid};
 pub use requests::{ft_line, request_lines, solve_line, RequestMixConfig};
 pub use scenarios::{DeviationSpec, NetworkSpec, ResolvedNetwork, ScenarioSpec};
 pub use sweep::{chain_population, geomspace, linspace, mechanism_parts, MechanismParts};

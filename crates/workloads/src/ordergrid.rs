@@ -1,0 +1,125 @@
+//! Workload grids for the sequencing-search experiments (E29).
+//!
+//! The population extends [`crate::fault_cases::tree_shape_grid`] — the
+//! shared tree-shape spine — with cases chosen to stress the *order*
+//! dimension specifically: tie-heavy bus stars (every order achieves the
+//! same makespan, so stable tie-breaking is what keeps searches and
+//! settlements deterministic), E18-style anti-correlated stars (fast
+//! processors behind slow links, the shapes where a wrong order costs the
+//! most), and wider random trees that sit past any reasonable exhaustive
+//! budget and exercise the local-search regime.
+
+use crate::fault_cases::{finish, tree_shape_grid, TreeFaultCase};
+use dlt::model::TreeNode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The E29 population: every [`tree_shape_grid`] case plus order-stress
+/// shapes. Deterministic in `seed`; labels are distinct.
+pub fn order_search_grid(seed: u64) -> Vec<TreeFaultCase> {
+    let mut cases = tree_shape_grid(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0D_0E28);
+    let mut w = move || rng.gen_range(0.5..=4.0);
+
+    // Tie-heavy bus: all links equal, so the entire order space is one
+    // makespan plateau and only stable tie-breaking keeps results fixed.
+    let bus_children = (0..4).map(|_| (0.25, TreeNode::leaf(w()))).collect();
+    cases.push(finish(
+        "bus/m4".to_string(),
+        TreeNode::internal(w(), bus_children),
+    ));
+
+    // E18-style anti-correlated star: the fastest processors sit behind
+    // the slowest links, so processor-rank heuristics pick the worst
+    // order while the link-rank (canonical) order stays optimal.
+    let anti = TreeNode::internal(
+        2.1,
+        vec![
+            (0.6568, TreeNode::leaf(0.6)),
+            (0.35, TreeNode::leaf(1.1)),
+            (0.0969, TreeNode::leaf(3.2)),
+        ],
+    );
+    cases.push(finish("anti/m3".to_string(), anti));
+
+    // Wider trees: order spaces past any reasonable exhaustive budget
+    // (8! = 40320 and 7!·3! = 30240), for the local-search-only regime.
+    for (k, fanouts) in [[8usize, 0], [7, 3]].iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0E29 ^ (k as u64) << 16);
+        let mut w = move || rng.gen_range(0.5..=4.0);
+        let mut children: Vec<(f64, TreeNode)> = (0..fanouts[0])
+            .map(|i| (0.05 + 0.07 * i as f64, TreeNode::leaf(w())))
+            .collect();
+        if fanouts[1] > 0 {
+            let inner = (0..fanouts[1])
+                .map(|i| (0.1 + 0.1 * i as f64, TreeNode::leaf(w())))
+                .collect();
+            children.push((0.12, TreeNode::internal(w(), inner)));
+        }
+        cases.push(finish(
+            format!("wide/s{k}"),
+            TreeNode::internal(w(), children),
+        ));
+    }
+    cases
+}
+
+/// The E13-style misreport factor grid the truthfulness sweeps share:
+/// multiplicative deviations around truth on both sides.
+pub fn misreport_factors() -> Vec<f64> {
+    vec![0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0, 3.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_deterministic_with_distinct_labels() {
+        let grid = order_search_grid(0xE29);
+        assert_eq!(grid, order_search_grid(0xE29));
+        let labels: std::collections::HashSet<_> = grid.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels.len(), grid.len());
+    }
+
+    #[test]
+    fn grid_extends_the_tree_shape_spine() {
+        let grid = order_search_grid(7);
+        let spine = tree_shape_grid(7);
+        assert_eq!(&grid[..spine.len()], &spine[..]);
+        assert!(grid.iter().any(|c| c.label.starts_with("bus/")));
+        assert!(grid.iter().any(|c| c.label.starts_with("anti/")));
+        assert!(grid.iter().any(|c| c.label.starts_with("wide/")));
+    }
+
+    #[test]
+    fn grid_spans_both_search_regimes() {
+        let grid = order_search_grid(0xE29);
+        let small = grid
+            .iter()
+            .filter(|c| dlt::seqsearch::orderable_nodes(&c.shape) <= 7)
+            .count();
+        let large = grid
+            .iter()
+            .filter(|c| dlt::seqsearch::order_space_size(&c.shape).unwrap_or(u128::MAX) > 5040)
+            .count();
+        assert!(small > 0, "need oracle-checkable instances");
+        assert!(large > 0, "need local-search-only instances");
+    }
+
+    #[test]
+    fn shapes_are_canonical_and_rates_match() {
+        for case in order_search_grid(3) {
+            assert_eq!(dlt::tree::canonicalize(&case.shape), case.shape);
+            assert_eq!(case.true_rates.len(), case.num_agents());
+            assert!(case.true_rates.iter().all(|&r| r > 0.0));
+        }
+    }
+
+    #[test]
+    fn misreport_grid_brackets_truth() {
+        let f = misreport_factors();
+        assert!(f.iter().any(|&x| x < 1.0) && f.iter().any(|&x| x > 1.0));
+        assert!(!f.contains(&1.0));
+    }
+}
